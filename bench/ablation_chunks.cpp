@@ -1,0 +1,57 @@
+// Ablation: passage-band chunking of the pre-process strategy — chunk width
+// and growth law (Section 5's "the size of the chunks can be set to a fixed
+// value or grow in arithmetic or geometric projections").
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace gdsm;
+  using core::ChunkGrowth;
+  bench::banner("Ablation — passage-band chunks",
+                "Chunk width and growth law vs pre-process core time "
+                "(40K sequences)");
+
+  constexpr std::size_t n = 40'960;
+
+  TextTable widths("Fixed chunk width sweep (8 processors)");
+  widths.set_header({"chunk cols", "core time (s)", "vs best"});
+  double best = 1e300;
+  std::vector<std::pair<std::size_t, double>> results;
+  for (const std::size_t w :
+       std::vector<std::size_t>{16, 64, 128, 512, 2048, 8192, 40'960}) {
+    core::SimPreprocessOptions opt;
+    opt.band_rows = 1024;
+    opt.chunk_cols = w;
+    const double t = core::sim_preprocess(n, n, 8, opt).core_s;
+    results.emplace_back(w, t);
+    best = std::min(best, t);
+  }
+  for (const auto& [w, t] : results) {
+    widths.add_row({std::to_string(w), fmt_f(t, 2),
+                    "+" + fmt_f(100.0 * (t / best - 1.0), 1) + "%"});
+  }
+  widths.print(std::cout);
+
+  TextTable growth("Growth law (initial chunk 64, 8 processors)");
+  growth.set_header({"growth", "core time (s)"});
+  for (const auto& [name, law] :
+       std::vector<std::pair<const char*, ChunkGrowth>>{
+           {"fixed", ChunkGrowth::kFixed},
+           {"arithmetic", ChunkGrowth::kArithmetic},
+           {"geometric", ChunkGrowth::kGeometric}}) {
+    core::SimPreprocessOptions opt;
+    opt.band_rows = 1024;
+    opt.chunk_cols = 64;
+    opt.chunk_growth = law;
+    growth.add_row({name, fmt_f(core::sim_preprocess(n, n, 8, opt).core_s, 2)});
+  }
+  growth.print(std::cout);
+  std::cout
+      << "Reading: tiny chunks drown in per-chunk synchronization; huge\n"
+         "chunks serialize the pipeline (the next band cannot start until\n"
+         "the whole previous band is done).  Growing chunks recover most of\n"
+         "the large-chunk efficiency while keeping the pipeline start fast —\n"
+         "the paper's motivation for small chunks at the beginning.\n";
+  return 0;
+}

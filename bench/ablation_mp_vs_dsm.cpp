@@ -1,0 +1,79 @@
+// Ablation: DSM vs message passing for the blocked strategy (real threaded
+// runs).  The paper picked DSM for its easier programming model (Section 7);
+// this quantifies what that convenience costs on the wire.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/blocked.h"
+#include "core/blocked_mp.h"
+#include "core/sim_strategies.h"
+#include "util/genome.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace gdsm;
+  bench::banner("Ablation — DSM vs message passing",
+                "Blocked strategy on both substrates: identical results, "
+                "different wire traffic (real threaded runs, 4 kBP pair)");
+
+  HomologousPairSpec spec;
+  spec.length_s = 4'000;
+  spec.length_t = 4'000;
+  spec.n_regions = 4;
+  spec.region_len_mean = 200;
+  spec.region_len_spread = 40;
+  spec.seed = 1905;
+  const HomologousPair pair = make_homologous_pair(spec);
+
+  TextTable table("DSM vs MP, blocked strategy (2x2 multiplier)");
+  table.set_header({"procs", "results equal", "DSM msgs", "DSM KiB", "MP msgs",
+                    "MP KiB", "traffic ratio"});
+  for (int procs : {2, 4, 8}) {
+    core::BlockedConfig cfg;
+    cfg.nprocs = procs;
+    cfg.mult_w = 2;
+    cfg.mult_h = 2;
+    cfg.params.min_report_score = 40;
+
+    const core::StrategyResult dsm_run = core::blocked_align(pair.s, pair.t, cfg);
+    const core::MpStrategyResult mp_run =
+        core::blocked_align_mp(pair.s, pair.t, cfg);
+
+    const auto dsm_traffic = dsm_run.dsm_stats.total_traffic();
+    table.add_row(
+        {std::to_string(procs),
+         dsm_run.candidates == mp_run.candidates ? "yes" : "NO",
+         std::to_string(dsm_traffic.total_messages()),
+         std::to_string(dsm_traffic.total_bytes() / 1024),
+         std::to_string(mp_run.traffic.total_messages()),
+         std::to_string(mp_run.traffic.total_bytes() / 1024),
+         fmt_f(static_cast<double>(dsm_traffic.total_bytes()) /
+                   static_cast<double>(mp_run.traffic.total_bytes()),
+               2) +
+             "x"});
+  }
+  table.print(std::cout);
+
+  // Projected 1998-platform times for both substrates (simulated twins).
+  TextTable sim_table("Simulated 1998-platform times, 50K sequences");
+  sim_table.set_header({"procs", "DSM blocked (s)", "MP blocked (s)",
+                        "DSM overhead"});
+  for (int procs : {2, 4, 8}) {
+    const auto bands = static_cast<std::size_t>(5 * procs);
+    const double dsm_t =
+        core::sim_blocked(50'000, 50'000, procs, bands, bands).total_s;
+    const double mp_t =
+        core::sim_blocked_mp(50'000, 50'000, procs, bands, bands).total_s;
+    sim_table.add_row({std::to_string(procs), fmt_f(dsm_t, 1), fmt_f(mp_t, 1),
+                       "+" + fmt_f(100.0 * (dsm_t / mp_t - 1.0), 1) + "%"});
+  }
+  sim_table.print(std::cout);
+
+  std::cout
+      << "Reading: both substrates compute the identical candidate queue.\n"
+         "The DSM moves whole 4 KiB pages plus cv/diff/notice protocol\n"
+         "messages where message passing ships exactly the boundary cells —\n"
+         "the price of the shared-memory abstraction the paper found easier\n"
+         "to program.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: the Section 4.1 heuristic's open/close thresholds — the knobs
+// that trade candidate-queue size against region coverage.  Run on real
+// data (threaded algorithms, not the simulator).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sw/heuristic_scan.h"
+#include "util/genome.h"
+
+int main() {
+  using namespace gdsm;
+  bench::banner("Ablation — heuristic open/close thresholds",
+                "Candidate queue size and planted-region coverage vs the "
+                "Section 4.1 parameters (real scan, 8 kBP synthetic pair)");
+
+  HomologousPairSpec spec;
+  spec.length_s = 8'000;
+  spec.length_t = 8'000;
+  spec.n_regions = 8;
+  spec.region_len_mean = 250;
+  spec.region_len_spread = 60;
+  spec.seed = 424242;
+  const HomologousPair pair = make_homologous_pair(spec);
+
+  TextTable table("Threshold sweep");
+  table.set_header({"open", "close", "min_report", "candidates",
+                    "regions covered", "largest span"});
+  for (const int open : {4, 6, 10}) {
+    for (const int close : {2, 4, 8}) {
+      HeuristicParams params;
+      params.open_threshold = open;
+      params.close_drop = close;
+      params.min_report_score = 30;
+      const auto queue = heuristic_scan(pair.s, pair.t, ScoreScheme{}, params);
+
+      std::size_t covered = 0;
+      for (const PlantedRegion& r : pair.regions) {
+        covered += std::any_of(
+            queue.begin(), queue.end(), [&](const Candidate& c) {
+              return c.s_end >= r.s_begin + 1 && c.s_begin <= r.s_end &&
+                     c.t_end >= r.t_begin + 1 && c.t_begin <= r.t_end;
+            });
+      }
+      std::size_t largest = 0;
+      for (const Candidate& c : queue) {
+        largest = std::max<std::size_t>(largest, c.s_span());
+      }
+      table.add_row({std::to_string(open), std::to_string(close),
+                     std::to_string(params.min_report_score),
+                     std::to_string(queue.size()),
+                     std::to_string(covered) + "/" +
+                         std::to_string(pair.regions.size()),
+                     std::to_string(largest)});
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "Reading: lower open thresholds admit more (noisier) candidates;\n"
+         "larger close drops keep candidates alive across score dips and\n"
+         "merge neighbouring fragments into longer regions.  All settings\n"
+         "cover the planted homologies — the thresholds tune precision, not\n"
+         "recall, at these identity levels.\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/sim_strategies.h"
+#include "util/table.h"
+
+namespace gdsm::bench {
+
+/// Standard header each bench prints, naming the experiment it regenerates.
+inline void banner(const std::string& experiment, const std::string& what) {
+  std::cout << "############################################################\n"
+            << "# " << experiment << "\n"
+            << "# " << what << "\n"
+            << "# platform model: 8x Pentium II 350 MHz / 100 Mbps Ethernet /\n"
+            << "# JIAJIA DSM (calibrated simulator; see EXPERIMENTS.md)\n"
+            << "############################################################\n";
+}
+
+/// "measured (paper N)" cell text.
+inline std::string with_paper(double measured, double paper, int precision = 2) {
+  return fmt_f(measured, precision) + " (paper " + fmt_f(paper, precision) + ")";
+}
+
+inline std::string pct(double x) { return fmt_f(100.0 * x, 0) + "%"; }
+
+}  // namespace gdsm::bench

@@ -1,0 +1,54 @@
+// Fig. 19: effect of the different blocking options (balanced / equal /
+// fixed band sizing, 1K and 4K blocking parameters) on the pre-process
+// strategy's run times, without I/O.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace gdsm;
+  using core::BandScheme;
+  bench::banner("Figure 19",
+                "Effect of different blocking options on run times "
+                "(pre-process strategy, no I/O)");
+
+  struct Config {
+    const char* label;
+    BandScheme scheme;
+    std::size_t rows;
+  };
+  const Config configs[] = {
+      {"Bal. 1K blks, no IO", BandScheme::kBalanced, 1024},
+      {"Equal blks, no IO", BandScheme::kEven, 0},
+      {"1K blks, no IO", BandScheme::kFixed, 1024},
+      {"Bal. 4K blks, no IO", BandScheme::kBalanced, 4096},
+      {"4K blks, no IO", BandScheme::kFixed, 4096},
+  };
+
+  TextTable table("Figure 19 — core times (s)");
+  std::vector<std::string> header{"procs/size"};
+  for (const auto& c : configs) header.emplace_back(c.label);
+  table.set_header(std::move(header));
+
+  for (int procs : {1, 2, 4, 8}) {
+    for (const std::size_t n : std::vector<std::size_t>{16'384, 40'960, 81'920}) {
+      std::vector<std::string> row{std::to_string(procs) + " procs/" +
+                                   std::to_string(n / 1024) + "K seq."};
+      for (const auto& c : configs) {
+        core::SimPreprocessOptions opt;
+        opt.band_scheme = c.scheme;
+        opt.band_rows = c.rows;
+        row.push_back(fmt_f(core::sim_preprocess(n, n, procs, opt).core_s, 1));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "Shape checks (paper): on the SEQUENTIAL runs the 'equal' option is\n"
+         "the worst (~20% above the others) because the band spans the whole\n"
+         "sequence and spills the CPU cache; as nodes are added the even\n"
+         "division shrinks the bands and catches up.  Balanced and fixed\n"
+         "produce similar times (fixed makes output files easier to read).\n";
+  return 0;
+}

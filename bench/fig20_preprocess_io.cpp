@@ -1,0 +1,55 @@
+// Fig. 20: effect of the I/O options (no IO / immediate IO / deferred IO) on
+// the pre-process strategy's run times, with 1K blocking (the configuration
+// that saves columns most frequently).
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace gdsm;
+  using core::IoMode;
+  bench::banner("Figure 20",
+                "Effect of different I/O options on run times (pre-process "
+                "strategy, 1K blocks: band = save interleave = result "
+                "interleave = 1024)");
+
+  struct Mode {
+    const char* label;
+    IoMode mode;
+  };
+  const Mode modes[] = {
+      {"1K blks, no IO", IoMode::kNone},
+      {"1K blks, immed. IO", IoMode::kImmediate},
+      {"1K blks, def. IO", IoMode::kDeferred},
+  };
+
+  TextTable table("Figure 20 — core times (s)");
+  table.set_header({"procs/size", modes[0].label, modes[1].label,
+                    modes[2].label, "IO overhead"});
+  for (int procs : {1, 2, 4, 8}) {
+    for (const std::size_t n : std::vector<std::size_t>{16'384, 40'960, 81'920}) {
+      std::vector<std::string> row{std::to_string(procs) + " procs/" +
+                                   std::to_string(n / 1024) + "K seq."};
+      double none = 0, imm = 0;
+      for (const auto& m : modes) {
+        core::SimPreprocessOptions opt;
+        opt.band_rows = 1024;
+        opt.save_interleave = 1024;
+        opt.io_mode = m.mode;
+        const double t = core::sim_preprocess(n, n, procs, opt).core_s;
+        if (m.mode == IoMode::kNone) none = t;
+        if (m.mode == IoMode::kImmediate) imm = t;
+        row.push_back(fmt_f(t, 1));
+      }
+      row.push_back(fmt_f(100.0 * (imm / none - 1.0), 1) + "%");
+      table.add_row(std::move(row));
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "Shape checks (paper): saving columns at this frequency has little\n"
+         "effect on execution time, and the more complex deferred strategy\n"
+         "brings nearly no benefit over immediate writes — the NFS buffer\n"
+         "cache already acts as a deferred-I/O layer.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Section 7 future work, projected: comparing sequences LARGER THAN 1 MBP
+// on a heterogeneous federation of clusters — message passing between
+// clusters, DSM within each cluster.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/sim_hybrid.h"
+
+int main() {
+  using namespace gdsm;
+  bench::banner("Future work (Section 7)",
+                "1 MBP x 1 MBP comparison on a hybrid MP/DSM federation of "
+                "workstation clusters (blocked heuristic strategy)");
+
+  constexpr std::size_t n = 1'000'000;
+
+  const core::SimReport serial = core::sim_blocked(n, n, 1, 80, 80);
+  std::cout << "Serial reference (one Pentium II): " << fmt_f(serial.total_s, 0)
+            << " s = " << fmt_f(serial.total_s / 86400.0, 1) << " days\n\n";
+
+  TextTable table("Hybrid federation configurations");
+  table.set_header({"configuration", "time (s)", "hours", "speedup",
+                    "efficiency"});
+  auto add = [&](const std::string& label, const core::HybridSpec& spec,
+                 double weight_capacity) {
+    const core::SimReport rep = core::sim_hybrid_blocked(n, n, spec);
+    table.add_row({label, fmt_f(rep.total_s, 0), fmt_f(rep.total_s / 3600, 1),
+                   fmt_f(serial.total_s / rep.total_s, 2),
+                   bench::pct(serial.total_s / rep.total_s / weight_capacity)});
+  };
+
+  {
+    core::HybridSpec spec;
+    spec.clusters = 1;
+    spec.nodes_per_cluster = 8;
+    add("1 cluster x 8 nodes (the paper's testbed)", spec, 8);
+  }
+  {
+    core::HybridSpec spec;
+    spec.clusters = 2;
+    spec.nodes_per_cluster = 8;
+    spec.inter_latency_s = 1e-3;
+    add("2 x 8 nodes, 1 ms backbone", spec, 16);
+  }
+  {
+    core::HybridSpec spec;
+    spec.clusters = 2;
+    spec.nodes_per_cluster = 8;
+    spec.inter_latency_s = 20e-3;
+    add("2 x 8 nodes, 20 ms metro link", spec, 16);
+  }
+  {
+    core::HybridSpec spec;
+    spec.clusters = 4;
+    spec.nodes_per_cluster = 8;
+    spec.inter_latency_s = 2e-3;
+    add("4 x 8 nodes, 2 ms backbone", spec, 32);
+  }
+  {
+    core::HybridSpec spec;
+    spec.clusters = 2;
+    spec.nodes_per_cluster = 8;
+    spec.speeds = {1.0, 2.0};
+    add("heterogeneous 8 + 8 (2x faster), round-robin bands", spec, 24);
+  }
+  {
+    core::HybridSpec spec;
+    spec.clusters = 2;
+    spec.nodes_per_cluster = 8;
+    spec.speeds = {1.0, 2.0};
+    spec.weighted_bands = true;
+    add("heterogeneous 8 + 8 (2x faster), speed-weighted bands", spec, 24);
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "Reading: a second 8-node cluster nearly doubles throughput even\n"
+         "over a multi-ms link (the blocked strategy ships one boundary\n"
+         "segment per block, so inter-cluster latency amortizes); with\n"
+         "heterogeneous hardware, naive round-robin band assignment wastes\n"
+         "the fast cluster, and speed-weighted assignment recovers it.\n"
+         "Efficiency is speedup / total capacity (node-speed-weighted).\n";
+  return 0;
+}

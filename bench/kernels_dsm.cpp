@@ -1,0 +1,90 @@
+// google-benchmark micro-benchmarks of the threaded DSM primitives on the
+// build host (functional substrate, not the simulated 1998 cluster).
+#include <benchmark/benchmark.h>
+
+#include "dsm/cluster.h"
+
+namespace {
+
+using namespace gdsm::dsm;
+
+void BM_LockUnlockRoundTrip(benchmark::State& state) {
+  const auto iters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Cluster cluster(2);
+    cluster.run([&](Node& node) {
+      if (node.id() == 0) {
+        for (int i = 0; i < iters; ++i) {
+          node.lock(1);
+          node.unlock(1);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * iters);
+}
+BENCHMARK(BM_LockUnlockRoundTrip)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_CvPingPong(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Cluster cluster(2);
+    cluster.run([&](Node& node) {
+      for (int i = 0; i < rounds; ++i) {
+        if (node.id() == 0) {
+          node.setcv(0);
+          node.waitcv(1);
+        } else {
+          node.waitcv(0);
+          node.setcv(1);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_CvPingPong)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_RemotePageFault(benchmark::State& state) {
+  const auto pages = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    DsmConfig cfg;
+    cfg.cache_pages = 4;  // force re-faults
+    Cluster cluster(2, cfg);
+    const GlobalAddr arr =
+        cluster.alloc(static_cast<std::size_t>(pages) * cfg.page_bytes, 0);
+    cluster.run([&](Node& node) {
+      if (node.id() == 1) {
+        long sum = 0;
+        for (int p = 0; p < pages; ++p) {
+          sum += node.read<int>(arr + static_cast<GlobalAddr>(p) *
+                                          cfg.page_bytes);
+        }
+        benchmark::DoNotOptimize(sum);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * pages);
+}
+BENCHMARK(BM_RemotePageFault)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_BarrierWithDiffs(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Cluster cluster(nodes);
+    const GlobalAddr arr =
+        cluster.alloc(static_cast<std::size_t>(nodes) * sizeof(int), 0);
+    cluster.run([&](Node& node) {
+      for (int round = 0; round < 50; ++round) {
+        node.write<int>(arr + node.id() * sizeof(int), round);
+        node.barrier();
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_BarrierWithDiffs)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// google-benchmark micro-benchmarks of the DP kernels on the build host.
+#include <benchmark/benchmark.h>
+
+#include "sw/full_matrix.h"
+#include "sw/heuristic_scan.h"
+#include "sw/hirschberg.h"
+#include "sw/linear_score.h"
+#include "sw/reverse_rebuild.h"
+#include "util/genome.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace gdsm;
+
+std::pair<Sequence, Sequence> inputs(std::size_t n) {
+  Rng rng(2025);
+  return {random_dna(n, rng, "s"), random_dna(n, rng, "t")};
+}
+
+void BM_FullMatrixSW(benchmark::State& state) {
+  const auto [s, t] = inputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    MatrixBest best;
+    benchmark::DoNotOptimize(sw_fill(s, t, ScoreScheme{}, &best));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0));
+}
+BENCHMARK(BM_FullMatrixSW)->Arg(256)->Arg(1024);
+
+void BM_LinearScoreSW(benchmark::State& state) {
+  const auto [s, t] = inputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw_best_score_linear(s, t));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0));
+}
+BENCHMARK(BM_LinearScoreSW)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_HeuristicScan(benchmark::State& state) {
+  const auto [s, t] = inputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heuristic_scan(s, t));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0));
+}
+BENCHMARK(BM_HeuristicScan)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_NeedlemanWunsch(benchmark::State& state) {
+  const auto [s, t] = inputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(needleman_wunsch(s, t));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0));
+}
+BENCHMARK(BM_NeedlemanWunsch)->Arg(253)->Arg(1024);
+
+void BM_Hirschberg(benchmark::State& state) {
+  const auto [s, t] = inputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hirschberg(s, t));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0));
+}
+BENCHMARK(BM_Hirschberg)->Arg(253)->Arg(1024);
+
+void BM_ReverseRebuild(benchmark::State& state) {
+  HomologousPairSpec spec;
+  spec.length_s = static_cast<std::size_t>(state.range(0)) * 3;
+  spec.length_t = spec.length_s;
+  spec.n_regions = 1;
+  spec.region_len_mean = static_cast<std::size_t>(state.range(0));
+  spec.region_len_spread = 10;
+  spec.seed = 77;
+  const HomologousPair pair = make_homologous_pair(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rebuild_best_local_alignment(pair.s, pair.t));
+  }
+}
+BENCHMARK(BM_ReverseRebuild)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

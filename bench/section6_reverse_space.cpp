@@ -1,0 +1,92 @@
+// Section 6 (Tables 5-7, Eq. 3): the exact reverse-rebuild method.
+//
+// Verifies, on real data, that (a) the rebuilt alignment always reproduces
+// the full-matrix optimum, and (b) the pruned reverse pass touches only
+// ~1/3 of the n' x n' rectangle for worst-case (diagonal) alignments, and
+// much less for gappier ones — the paper's "necessary space is
+// approximately 30%" remark.
+#include <iostream>
+
+#include "bench_common.h"
+#include "sw/full_matrix.h"
+#include "sw/reverse_rebuild.h"
+#include "util/genome.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace gdsm;
+  bench::banner("Section 6 (Tables 5-7, Eq. 3)",
+                "Exact alignment retrieval over reversed prefixes with "
+                "intermediate-zero elimination");
+
+  // The paper's worked example first.
+  {
+    const Sequence s("s", "TCTCGACGGATTAGTATATATATA");
+    const Sequence t("t", "ATATGATCGGAATAGCTCT");
+    const RebuildResult res = rebuild_best_local_alignment(s, t);
+    std::cout << "Worked example (Section 6): score " << res.alignment.score
+              << ", s[" << res.alignment.s_begin + 1 << ".."
+              << res.alignment.s_end() << "] x t["
+              << res.alignment.t_begin + 1 << ".." << res.alignment.t_end()
+              << "], reverse pass computed " << res.stats.computed_cells
+              << " cells\n\n";
+  }
+
+  // True worst case first: identical sequences, where the useful region is
+  // bounded exactly by the k + ceil(k/2) frontier of Eq. (3) and its area
+  // tends to 1/3 of n'^2.
+  TextTable worst("Worst case (identical sequences): Eq. (3)'s ~30% bound");
+  worst.set_header({"n'", "computed cells", "fraction of n'^2",
+                    "Eq. (3) bound"});
+  for (const std::size_t len : std::vector<std::size_t>{100, 300, 1000, 3000}) {
+    Rng wrng(123 + len);
+    const Sequence shared = random_dna(len, wrng, "w");
+    const RebuildResult res = rebuild_best_local_alignment(shared, shared);
+    worst.add_row({std::to_string(len),
+                   std::to_string(res.stats.computed_cells),
+                   fmt_f(static_cast<double>(res.stats.computed_cells) /
+                             (static_cast<double>(len) * len),
+                         3),
+                   "0.333"});
+  }
+  worst.print(std::cout);
+
+  TextTable table("Planted homologies: pruned area vs the n' x n' rectangle");
+  table.set_header({"n' (planted)", "identity", "score", "computed cells",
+                    "fraction of n'^2", "exact?"});
+  for (const std::size_t len : std::vector<std::size_t>{100, 200, 400, 800}) {
+    for (const double sub_rate : {0.0, 0.10}) {
+      HomologousPairSpec spec;
+      spec.length_s = len * 4;
+      spec.length_t = len * 4;
+      spec.n_regions = 1;
+      spec.region_len_mean = len;
+      spec.region_len_spread = len / 20;
+      spec.substitution_rate = sub_rate;
+      spec.indel_rate = sub_rate / 5;
+      spec.seed = 600 + len + static_cast<std::uint64_t>(sub_rate * 100);
+      const HomologousPair pair = make_homologous_pair(spec);
+
+      const Alignment full = smith_waterman(pair.s, pair.t);
+      const RebuildResult res = rebuild_best_local_alignment(pair.s, pair.t);
+      const double np = static_cast<double>(
+          std::max(res.alignment.s_length(), res.alignment.t_length()));
+      table.add_row({std::to_string(len),
+                     sub_rate == 0.0 ? "100%" : "~90%",
+                     std::to_string(res.alignment.score),
+                     std::to_string(res.stats.computed_cells),
+                     fmt_f(static_cast<double>(res.stats.computed_cells) /
+                               (np * np),
+                           3),
+                     res.alignment.score == full.score ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "Shape checks: every rebuild reproduces the full-matrix score\n"
+               "exactly; the computed fraction approaches the paper's ~1/3\n"
+               "worst-case bound for perfect-identity (diagonal) alignments\n"
+               "and is below it for gappier regions.  Space used is\n"
+               "O(min(n,m) + n'^2) instead of O(nm).\n";
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "blast/blastn.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "blast/statistics.h"
+#include "sw/banded.h"
+
+namespace gdsm::blast {
+namespace {
+
+// 2-bit packed word code, or nullopt when the window contains an N.
+bool pack_word(const Sequence& seq, std::size_t pos, int k, std::uint32_t* out) {
+  std::uint32_t code = 0;
+  for (int i = 0; i < k; ++i) {
+    const Base b = seq[pos + static_cast<std::size_t>(i)];
+    if (b >= 4) return false;
+    code = (code << 2) | b;
+  }
+  *out = code;
+  return true;
+}
+
+struct Hsp {
+  std::size_t s_begin, s_end;  // 0-based half-open here; converted on output
+  std::size_t t_begin, t_end;
+  int score;
+};
+
+int substitution(const BlastParams& p, Base a, Base b) {
+  return (a == b && a < 4) ? p.match : p.mismatch;
+}
+
+// Ungapped X-drop extension of a seed match along its diagonal.
+Hsp extend_ungapped(const Sequence& s, const Sequence& t, std::size_t sp,
+                    std::size_t tp, int k, const BlastParams& params) {
+  // Seed score.
+  int score = 0;
+  for (int i = 0; i < k; ++i) {
+    score += substitution(params, s[sp + static_cast<std::size_t>(i)],
+                          t[tp + static_cast<std::size_t>(i)]);
+  }
+  Hsp hsp{sp, sp + static_cast<std::size_t>(k), tp,
+          tp + static_cast<std::size_t>(k), score};
+
+  // Right extension.
+  int best = score;
+  int run = score;
+  std::size_t i = hsp.s_end, j = hsp.t_end;
+  while (i < s.size() && j < t.size() && run > best - params.xdrop_ungapped) {
+    run += substitution(params, s[i], t[j]);
+    ++i;
+    ++j;
+    if (run > best) {
+      best = run;
+      hsp.s_end = i;
+      hsp.t_end = j;
+    }
+  }
+  // Left extension.
+  run = best;
+  i = hsp.s_begin;
+  j = hsp.t_begin;
+  while (i > 0 && j > 0 && run > best - params.xdrop_ungapped) {
+    run += substitution(params, s[i - 1], t[j - 1]);
+    --i;
+    --j;
+    if (run > best) {
+      best = run;
+      hsp.s_begin = i;
+      hsp.t_begin = j;
+    }
+  }
+  hsp.score = best;
+  return hsp;
+}
+
+}  // namespace
+
+std::vector<BlastHit> blastn(const Sequence& s, const Sequence& t,
+                             const BlastParams& params) {
+  const int k = params.word_size;
+  std::vector<BlastHit> out;
+  if (s.size() < static_cast<std::size_t>(k) ||
+      t.size() < static_cast<std::size_t>(k)) {
+    return out;
+  }
+
+  // 1. Word index of the subject s.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> index;
+  index.reserve(s.size());
+  for (std::size_t pos = 0; pos + static_cast<std::size_t>(k) <= s.size(); ++pos) {
+    std::uint32_t code;
+    if (pack_word(s, pos, k, &code)) {
+      index[code].push_back(static_cast<std::uint32_t>(pos));
+    }
+  }
+
+  // 2. Scan the query t; for each word hit, extend once per diagonal region.
+  // covered[diag] = first t position not yet covered by an extension.
+  std::unordered_map<std::int64_t, std::size_t> covered;
+  std::vector<Hsp> hsps;
+  for (std::size_t tp = 0; tp + static_cast<std::size_t>(k) <= t.size(); ++tp) {
+    std::uint32_t code;
+    if (!pack_word(t, tp, k, &code)) continue;
+    const auto it = index.find(code);
+    if (it == index.end()) continue;
+    for (const std::uint32_t sp : it->second) {
+      const std::int64_t diag =
+          static_cast<std::int64_t>(tp) - static_cast<std::int64_t>(sp);
+      const auto cov = covered.find(diag);
+      if (cov != covered.end() && tp < cov->second) continue;
+      const Hsp hsp = extend_ungapped(s, t, sp, tp, k, params);
+      covered[diag] = hsp.t_end;
+      if (hsp.score >= params.min_ungapped_score) hsps.push_back(hsp);
+    }
+  }
+
+  // 3. Gapped refinement: a BANDED local alignment in a padded window around
+  // each HSP (the optimal gapped alignment stays near the seed diagonal), in
+  // the BLAST scoring regime.
+  std::sort(hsps.begin(), hsps.end(),
+            [](const Hsp& a, const Hsp& b) { return a.score > b.score; });
+  const ScoreScheme scheme{params.match, params.mismatch, params.gap};
+  const KarlinParams stats = karlin_altschul(params.match, params.mismatch);
+  std::vector<BlastHit> hits;
+  for (const Hsp& hsp : hsps) {
+    const std::size_t s_lo = hsp.s_begin > params.window_pad
+                                 ? hsp.s_begin - params.window_pad
+                                 : 0;
+    const std::size_t s_hi = std::min(s.size(), hsp.s_end + params.window_pad);
+    const std::size_t t_lo = hsp.t_begin > params.window_pad
+                                 ? hsp.t_begin - params.window_pad
+                                 : 0;
+    const std::size_t t_hi = std::min(t.size(), hsp.t_end + params.window_pad);
+    const int center =
+        static_cast<int>(static_cast<std::int64_t>(hsp.t_begin - t_lo) -
+                         static_cast<std::int64_t>(hsp.s_begin - s_lo));
+    const Alignment al = banded_smith_waterman(
+        s.slice(s_lo, s_hi), t.slice(t_lo, t_hi),
+        static_cast<int>(params.window_pad), center, scheme);
+    if (al.score < params.min_score || al.ops.empty()) continue;
+    BlastHit hit{s_lo + al.s_begin + 1, s_lo + al.s_end(),
+                 t_lo + al.t_begin + 1, t_lo + al.t_end(), al.score, 0, 0};
+    hit.bit_score = bit_score(al.score, stats);
+    hit.evalue = evalue(al.score, s.size(), t.size(), stats);
+    hits.push_back(hit);
+  }
+
+  // 4. Cull: best first, drop overlaps, cap the list.
+  std::sort(hits.begin(), hits.end(), [](const BlastHit& a, const BlastHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.s_begin != b.s_begin) return a.s_begin < b.s_begin;
+    return a.t_begin < b.t_begin;
+  });
+  for (const BlastHit& h : hits) {
+    if (out.size() >= params.max_hits) break;
+    const bool overlaps =
+        std::any_of(out.begin(), out.end(), [&](const BlastHit& prev) {
+          const bool s_disjoint =
+              h.s_end < prev.s_begin || prev.s_end < h.s_begin;
+          const bool t_disjoint =
+              h.t_end < prev.t_begin || prev.t_end < h.t_begin;
+          return !(s_disjoint || t_disjoint);
+        });
+    if (!overlaps) out.push_back(h);
+  }
+  return out;
+}
+
+}  // namespace gdsm::blast

@@ -1,0 +1,73 @@
+#include "blast/statistics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gdsm::blast {
+namespace {
+
+// E[e^{lambda s}] - 1 for uniform base composition: a match occurs with
+// probability 1/4, a mismatch with 3/4.
+double phi(double lambda, int match, int mismatch) {
+  return 0.25 * std::exp(lambda * match) +
+         0.75 * std::exp(lambda * mismatch) - 1.0;
+}
+
+// Published BLASTN K values for the common (reward, penalty) regimes; the
+// general computation (Karlin & Altschul's infinite series) is out of scope.
+double k_for(int match, int mismatch) {
+  struct Entry {
+    int match, mismatch;
+    double k;
+  };
+  static constexpr Entry kTable[] = {
+      {1, -1, 0.20}, {1, -2, 0.46}, {1, -3, 0.711}, {1, -4, 0.78},
+      {2, -3, 0.46}, {2, -5, 0.71}, {2, -7, 0.78},  {3, -4, 0.29},
+  };
+  for (const Entry& e : kTable) {
+    if (e.match == match && e.mismatch == mismatch) return e.k;
+  }
+  return 0.35;  // conservative fallback for unusual regimes
+}
+
+}  // namespace
+
+KarlinParams karlin_altschul(int match, int mismatch) {
+  if (match <= 0) {
+    throw std::invalid_argument("karlin_altschul: match must be positive");
+  }
+  // Expected score must be negative or lambda does not exist.
+  const double expected = 0.25 * match + 0.75 * mismatch;
+  if (expected >= 0) {
+    throw std::invalid_argument(
+        "karlin_altschul: expected score must be negative");
+  }
+  // phi is convex with phi(0) = 0, phi'(0) = E[s] < 0 and phi -> +inf, so
+  // the positive root is unique: bracket then bisect.
+  double hi = 1.0;
+  while (phi(hi, match, mismatch) < 0) hi *= 2;
+  double lo = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (phi(mid, match, mismatch) < 0 ? lo : hi) = mid;
+  }
+  KarlinParams out;
+  out.lambda = 0.5 * (lo + hi);
+  out.k = k_for(match, mismatch);
+  // Relative entropy H = lambda * E[s e^{lambda s}] (nats per pair).
+  out.h = out.lambda * (0.25 * match * std::exp(out.lambda * match) +
+                        0.75 * mismatch * std::exp(out.lambda * mismatch));
+  return out;
+}
+
+double bit_score(int raw_score, const KarlinParams& params) {
+  return (params.lambda * raw_score - std::log(params.k)) / std::log(2.0);
+}
+
+double evalue(int raw_score, std::size_t m, std::size_t n,
+              const KarlinParams& params) {
+  return params.k * static_cast<double>(m) * static_cast<double>(n) *
+         std::exp(-params.lambda * raw_score);
+}
+
+}  // namespace gdsm::blast

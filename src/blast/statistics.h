@@ -1,0 +1,36 @@
+// Karlin–Altschul statistics for ungapped local alignment scores
+// (Karlin & Altschul, PNAS 1990): the foundation of BLAST's E-values.
+//
+// For a scoring regime with positive expected mismatch penalty, the score
+// of the best local alignment between random sequences follows an extreme
+// value distribution with parameters lambda (solved from
+// sum_ij p_i p_j e^{lambda s_ij} = 1) and K.  lambda is computed here
+// numerically; K comes from the published BLASTN tables for the common
+// nucleotide regimes (its general computation involves an infinite series
+// that is out of scope — the table covers every regime this repo uses).
+#pragma once
+
+#include <cstddef>
+
+namespace gdsm::blast {
+
+struct KarlinParams {
+  double lambda = 0;  ///< nats per raw score unit
+  double k = 0;       ///< search-space scale factor
+  double h = 0;       ///< relative entropy (nats per aligned pair)
+};
+
+/// Parameters for uniform base composition (p = 1/4 each) and the given
+/// match/mismatch scores.  Requires match > 0 and an overall negative
+/// expected score (mismatch <= -match is sufficient); throws otherwise.
+KarlinParams karlin_altschul(int match, int mismatch);
+
+/// Normalized bit score: (lambda * raw - ln K) / ln 2.
+double bit_score(int raw_score, const KarlinParams& params);
+
+/// Expected number of chance alignments with score >= raw in an m x n
+/// search space: K * m * n * exp(-lambda * raw).
+double evalue(int raw_score, std::size_t m, std::size_t n,
+              const KarlinParams& params);
+
+}  // namespace gdsm::blast

@@ -1,0 +1,74 @@
+// The band/block compute loop shared by the DSM and the message-passing
+// variants of the blocked heuristic strategy.  The only difference between
+// the two is HOW a block's top boundary arrives and HOW its bottom boundary
+// is published, so those are injected as callables.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/partition.h"
+#include "sw/heuristic_scan.h"
+#include "util/sequence.h"
+
+namespace gdsm::core {
+
+/// Computes all blocks of band `b` left to right.
+///
+/// * `recv_top(k, out)` fills `out` (block_width(k) cells) with the bottom
+///   row of band b-1 over block k's columns; never called for band 0.
+/// * `publish_bottom(k, bottom)` hands the finished block's bottom row to
+///   the next band's owner; never called for the last band (whose bottom is
+///   the matrix's final row: still-open candidates are flushed instead).
+template <typename RecvTop, typename PublishBottom>
+void compute_band(const HeuristicKernel& kernel, const Sequence& s,
+                  const Sequence& t, const BlockGrid& grid, std::size_t b,
+                  CandidateSink& sink, RecvTop&& recv_top,
+                  PublishBottom&& publish_bottom) {
+  const std::size_t row_lo = grid.row_offsets[b];  // 0-based
+  const std::size_t H = grid.band_height(b);
+  const std::size_t K = grid.blocks();
+  const bool last_band = (b + 1 == grid.bands());
+  const CellInfo zero{};
+
+  // Right edge of the previous block: [0] is the diagonal input for the
+  // first row, [r] the left input for row r.  Column 0 is all zeros.
+  std::vector<CellInfo> left_edge(H + 1, zero);
+  std::vector<CellInfo> top_row;
+  std::vector<CellInfo> prev_row;
+  std::vector<CellInfo> cur_row;
+
+  for (std::size_t k = 0; k < K; ++k) {
+    const std::size_t col_lo = grid.col_offsets[k];  // 0-based
+    const std::size_t W = grid.block_width(k);
+
+    top_row.assign(W, zero);
+    if (b > 0) recv_top(k, std::span<CellInfo>(top_row));
+
+    prev_row = top_row;
+    const std::span<const Base> t_cols = t.bases().subspan(col_lo, W);
+    cur_row.assign(W, zero);
+    std::vector<CellInfo> new_edge(H + 1, zero);
+    new_edge[0] = top_row.back();
+
+    for (std::size_t r = 1; r <= H; ++r) {
+      const std::size_t row = row_lo + r;  // 1-based matrix row
+      kernel.process_row_segment(s[row - 1], static_cast<std::uint32_t>(row),
+                                 t_cols, static_cast<std::uint32_t>(col_lo + 1),
+                                 prev_row, left_edge[r - 1], left_edge[r],
+                                 cur_row, sink);
+      new_edge[r] = cur_row.back();
+      std::swap(prev_row, cur_row);
+    }
+    left_edge = std::move(new_edge);
+
+    if (!last_band) {
+      publish_bottom(k, std::span<const CellInfo>(prev_row));
+    } else {
+      // Bottom row of the whole matrix: flush still-open candidates.
+      for (const CellInfo& cell : prev_row) sink.flush_open(cell);
+    }
+  }
+}
+
+}  // namespace gdsm::core

@@ -1,0 +1,84 @@
+#include "core/blocked.h"
+
+#include <atomic>
+#include <cassert>
+#include <vector>
+
+#include "core/band_compute.h"
+#include "core/partition.h"
+#include "core/result_gather.h"
+#include "dsm/cluster.h"
+
+namespace gdsm::core {
+
+StrategyResult blocked_align(const Sequence& s, const Sequence& t,
+                             const BlockedConfig& cfg) {
+  const int P = cfg.nprocs;
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+
+  StrategyResult result;
+  if (m == 0 || n == 0) return result;
+
+  const BlockGrid grid =
+      (cfg.bands && cfg.blocks)
+          ? make_grid(m, n, cfg.bands, cfg.blocks)
+          : grid_from_multiplier(m, n, P, cfg.mult_w, cfg.mult_h);
+  const std::size_t B = grid.bands();
+
+  dsm::DsmConfig dsm_cfg = cfg.dsm;
+  dsm_cfg.n_cvs = std::max<int>(dsm_cfg.n_cvs, static_cast<int>(B) + 1);
+  dsm::Cluster cluster(P, dsm_cfg);
+
+  // Bottom-row boundary of every band, homed at the band's owner so the
+  // producer writes locally and the consumer page-faults it in per block.
+  std::vector<dsm::SharedArray<CellInfo>> boundary;
+  boundary.reserve(B);
+  for (std::size_t b = 0; b < B; ++b) {
+    boundary.emplace_back(
+        cluster.alloc(n * sizeof(CellInfo), grid.band_owner(b, P)), n);
+  }
+  const CandidateGather gather(cluster, P, cfg.max_candidates_per_node);
+
+  const HeuristicKernel kernel(cfg.scheme, cfg.params);
+  std::atomic<bool> overflow{false};
+  std::vector<Candidate> merged;
+
+  cluster.run([&](dsm::Node& node) {
+    const int p = node.id();
+    node.barrier();
+
+    CandidateSink sink(cfg.params);
+
+    for (std::size_t b = static_cast<std::size_t>(p); b < B;
+         b += static_cast<std::size_t>(P)) {
+      compute_band(
+          kernel, s, t, grid, b, sink,
+          // Top boundary: wait for the producer's signal, then fault the
+          // shared segment in.
+          [&](std::size_t k, std::span<CellInfo> out) {
+            node.waitcv(static_cast<int>(b - 1));
+            boundary[b - 1].get_range(node, grid.col_offsets[k], out.size(),
+                                      out.data());
+          },
+          // Bottom boundary: publish (home write) and wake the next owner.
+          [&](std::size_t k, std::span<const CellInfo> bottom) {
+            boundary[b].put_range(node, grid.col_offsets[k], bottom.size(),
+                                  bottom.data());
+            node.setcv(static_cast<int>(b));
+          });
+    }
+
+    std::vector<Candidate> local = std::move(sink.queue());
+    if (!gather.publish(node, local)) overflow.store(true);
+    node.barrier();
+    if (p == 0) merged = gather.collect(node);
+  });
+
+  result.candidates = std::move(merged);
+  result.dsm_stats = cluster.stats();
+  result.overflow = overflow.load();
+  return result;
+}
+
+}  // namespace gdsm::core

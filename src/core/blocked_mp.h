@@ -1,0 +1,30 @@
+// The blocked heuristic strategy on MESSAGE PASSING instead of DSM.
+//
+// The paper chose DSM because it "offers an easier programming model than
+// its message-passing counterpart" (Section 7) and planned message passing
+// for inter-cluster communication as future work.  This variant implements
+// the identical band/block decomposition over the mp:: layer: a finished
+// block's bottom row is SENT to the next band's owner instead of being
+// published through shared pages, and the candidate queues are gathered to
+// rank 0.  It must produce exactly the same candidate queue as the DSM
+// variant and the serial scan — only the communication substrate differs.
+#pragma once
+
+#include "core/blocked.h"
+#include "core/strategy_result.h"
+#include "net/transport.h"
+#include "util/sequence.h"
+
+namespace gdsm::core {
+
+struct MpStrategyResult {
+  std::vector<Candidate> candidates;
+  net::TrafficCounters traffic;  ///< messages/bytes the ranks exchanged
+};
+
+/// Message-passing twin of blocked_align (uses BlockedConfig's nprocs,
+/// multipliers/explicit grid, scheme and params; the dsm member is ignored).
+MpStrategyResult blocked_align_mp(const Sequence& s, const Sequence& t,
+                                  const BlockedConfig& cfg = {});
+
+}  // namespace gdsm::core

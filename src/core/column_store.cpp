@@ -1,0 +1,119 @@
+#include "core/column_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace gdsm::core {
+
+const char* io_mode_name(IoMode mode) noexcept {
+  switch (mode) {
+    case IoMode::kNone: return "no IO";
+    case IoMode::kImmediate: return "immed. IO";
+    case IoMode::kDeferred: return "def. IO";
+  }
+  return "?";
+}
+
+void MemoryColumnStore::save(std::uint32_t col, std::uint32_t row_begin,
+                             std::span<const std::int32_t> values) {
+  const std::scoped_lock lock(mu_);
+  saved_[{col, row_begin}].assign(values.begin(), values.end());
+}
+
+std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<std::int32_t>>
+MemoryColumnStore::snapshot() const {
+  const std::scoped_lock lock(mu_);
+  return saved_;
+}
+
+std::size_t MemoryColumnStore::fragments() const {
+  const std::scoped_lock lock(mu_);
+  return saved_.size();
+}
+
+std::size_t MemoryColumnStore::total_cells() const {
+  const std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, vals] : saved_) n += vals.size();
+  return n;
+}
+
+FileColumnStore::FileColumnStore(std::string path, IoMode mode)
+    : path_(std::move(path)), mode_(mode) {
+  if (mode_ == IoMode::kNone) return;
+  fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd_ < 0) throw std::runtime_error("FileColumnStore: cannot open " + path_);
+}
+
+FileColumnStore::~FileColumnStore() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructors must not throw; a failed flush surfaces on explicit flush().
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileColumnStore::write_record(std::uint32_t col, std::uint32_t row_begin,
+                                   std::span<const std::int32_t> values) {
+  std::vector<std::byte> buf(3 * sizeof(std::uint32_t) +
+                             values.size() * sizeof(std::int32_t));
+  const std::uint32_t header[3] = {col, row_begin,
+                                   static_cast<std::uint32_t>(values.size())};
+  std::memcpy(buf.data(), header, sizeof header);
+  std::memcpy(buf.data() + sizeof header, values.data(),
+              values.size() * sizeof(std::int32_t));
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t w = ::write(fd_, buf.data() + off, buf.size() - off);
+    if (w < 0) throw std::runtime_error("FileColumnStore: write failed");
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+void FileColumnStore::save(std::uint32_t col, std::uint32_t row_begin,
+                           std::span<const std::int32_t> values) {
+  if (mode_ == IoMode::kNone) return;
+  const std::scoped_lock lock(mu_);
+  if (mode_ == IoMode::kImmediate) {
+    write_record(col, row_begin, values);
+  } else {
+    pending_.push_back(
+        Pending{col, row_begin, {values.begin(), values.end()}});
+  }
+}
+
+void FileColumnStore::flush() {
+  const std::scoped_lock lock(mu_);
+  for (const Pending& rec : pending_) {
+    write_record(rec.col, rec.row_begin, rec.values);
+  }
+  pending_.clear();
+  if (fd_ >= 0) ::fsync(fd_);
+}
+
+std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<std::int32_t>>
+FileColumnStore::load(const std::string& path) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<std::int32_t>> out;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("FileColumnStore: cannot read " + path);
+  std::uint32_t header[3];
+  while (std::fread(header, sizeof header, 1, f) == 1) {
+    std::vector<std::int32_t> vals(header[2]);
+    if (header[2] != 0 &&
+        std::fread(vals.data(), sizeof(std::int32_t), vals.size(), f) !=
+            vals.size()) {
+      std::fclose(f);
+      throw std::runtime_error("FileColumnStore: truncated record in " + path);
+    }
+    out[{header[0], header[1]}] = std::move(vals);
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace gdsm::core

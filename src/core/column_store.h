@@ -1,0 +1,95 @@
+// Column stores for the pre-process strategy (Section 5).
+//
+// The strategy saves every ip-th column of the score matrix (the "save
+// interleave") so interesting regions can be re-processed later without
+// recomputing the whole matrix.  Three I/O modes are modeled:
+//   kNone      — storing disabled (used to isolate I/O effects, Fig. 20);
+//   kImmediate — a ready column is written with a blocking I/O operation;
+//   kDeferred  — columns are kept in memory and written after the
+//                computation finishes (more memory, no mid-compute stalls).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gdsm::core {
+
+enum class IoMode { kNone, kImmediate, kDeferred };
+
+const char* io_mode_name(IoMode mode) noexcept;
+
+/// Destination for saved columns.  Implementations must be safe for
+/// concurrent calls from different node threads.
+class ColumnStore {
+ public:
+  virtual ~ColumnStore() = default;
+
+  /// Saves the cells of column `col` (1-based) covering matrix rows
+  /// [row_begin, row_begin + values.size()), 1-based.
+  virtual void save(std::uint32_t col, std::uint32_t row_begin,
+                    std::span<const std::int32_t> values) = 0;
+
+  /// Completes any pending writes (deferred mode drains here).
+  virtual void flush() = 0;
+};
+
+/// Keeps saved columns in memory; used by tests and the section-6 pipeline.
+class MemoryColumnStore final : public ColumnStore {
+ public:
+  void save(std::uint32_t col, std::uint32_t row_begin,
+            std::span<const std::int32_t> values) override;
+  void flush() override {}
+
+  /// Saved fragment keyed by (column, first row).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<std::int32_t>>
+  snapshot() const;
+
+  std::size_t fragments() const;
+  std::size_t total_cells() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<std::int32_t>>
+      saved_;
+};
+
+/// Appends binary records to one file per strategy run:
+///   u32 col, u32 row_begin, u32 count, i32 values[count]
+/// Immediate mode writes (and syncs) per save; deferred mode buffers and
+/// drains on flush().
+class FileColumnStore final : public ColumnStore {
+ public:
+  FileColumnStore(std::string path, IoMode mode);
+  ~FileColumnStore() override;
+
+  void save(std::uint32_t col, std::uint32_t row_begin,
+            std::span<const std::int32_t> values) override;
+  void flush() override;
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Reads a column file back (for tests and re-processing).
+  static std::map<std::pair<std::uint32_t, std::uint32_t>,
+                  std::vector<std::int32_t>>
+  load(const std::string& path);
+
+ private:
+  void write_record(std::uint32_t col, std::uint32_t row_begin,
+                    std::span<const std::int32_t> values);
+
+  std::string path_;
+  IoMode mode_;
+  std::mutex mu_;
+  int fd_ = -1;
+  struct Pending {
+    std::uint32_t col, row_begin;
+    std::vector<std::int32_t> values;
+  };
+  std::vector<Pending> pending_;
+};
+
+}  // namespace gdsm::core

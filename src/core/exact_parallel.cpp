@@ -1,0 +1,145 @@
+#include "core/exact_parallel.h"
+
+#include <cstring>
+#include <vector>
+
+#include "mp/comm.h"
+#include "sw/full_matrix.h"
+#include "sw/hirschberg.h"
+
+namespace gdsm::core {
+namespace {
+
+// Lexicographically-first-of-maximum combiner: reproduces the row-major
+// tie-breaking of the serial linear scan regardless of block scan order.
+void consider(BestLocal& best, int score, std::size_t i, std::size_t j) {
+  if (score > best.score ||
+      (score == best.score && score > 0 &&
+       (i < best.end_i || (i == best.end_i && j < best.end_j)))) {
+    best = BestLocal{score, i, j};
+  }
+}
+
+int boundary_tag(std::size_t band, std::size_t blocks, std::size_t k) {
+  return static_cast<int>(band * blocks + k);
+}
+
+}  // namespace
+
+ExactParallelResult exact_align_parallel(const Sequence& s, const Sequence& t,
+                                         const ExactParallelConfig& cfg) {
+  const int P = cfg.nprocs;
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+
+  ExactParallelResult result;
+  if (m == 0 || n == 0) return result;
+
+  const BlockGrid grid =
+      (cfg.bands && cfg.blocks)
+          ? make_grid(m, n, cfg.bands, cfg.blocks)
+          : grid_from_multiplier(m, n, P, cfg.mult_w, cfg.mult_h);
+  const std::size_t B = grid.bands();
+  const std::size_t K = grid.blocks();
+
+  mp::World world(P);
+  BestLocal global_best;
+
+  world.run([&](mp::Comm& comm) {
+    const int p = comm.rank();
+    BestLocal local;
+
+    std::vector<std::int32_t> top_row, prev_row, cur_row;
+    for (std::size_t b = static_cast<std::size_t>(p); b < B;
+         b += static_cast<std::size_t>(P)) {
+      const std::size_t row_lo = grid.row_offsets[b];
+      const std::size_t H = grid.band_height(b);
+      const int prev_rank =
+          b > 0 ? static_cast<int>((b - 1) % static_cast<std::size_t>(P)) : 0;
+      const int next_rank =
+          static_cast<int>((b + 1) % static_cast<std::size_t>(P));
+
+      // Right edge of the previous block: [0] = diag for the first row,
+      // [r] = left input for row r.
+      std::vector<std::int32_t> left_edge(H + 1, 0);
+
+      for (std::size_t k = 0; k < K; ++k) {
+        const std::size_t col_lo = grid.col_offsets[k];
+        const std::size_t W = grid.block_width(k);
+
+        top_row.assign(W, 0);
+        if (b > 0) {
+          top_row = comm.recv_vector<std::int32_t>(prev_rank,
+                                                   boundary_tag(b - 1, K, k));
+        }
+        prev_row = top_row;
+        cur_row.assign(W, 0);
+        std::vector<std::int32_t> new_edge(H + 1, 0);
+        new_edge[0] = top_row.back();
+
+        for (std::size_t r = 1; r <= H; ++r) {
+          const std::size_t row = row_lo + r;  // 1-based
+          const Base si = s[row - 1];
+          std::int32_t diag = left_edge[r - 1];
+          std::int32_t left = left_edge[r];
+          for (std::size_t w = 0; w < W; ++w) {
+            const std::size_t col = col_lo + w + 1;  // 1-based
+            const std::int32_t up = prev_row[w];
+            const std::int32_t v = std::max(
+                {0, diag + cfg.scheme.substitution(si, t[col - 1]),
+                 up + cfg.scheme.gap, left + cfg.scheme.gap});
+            diag = up;
+            left = v;
+            cur_row[w] = v;
+            if (v >= local.score) consider(local, v, row, col);
+          }
+          new_edge[r] = cur_row[W - 1];
+          std::swap(prev_row, cur_row);
+        }
+        left_edge = std::move(new_edge);
+
+        if (b + 1 < B) {
+          comm.send_span(next_rank, boundary_tag(b, K, k), prev_row.data(),
+                         prev_row.size());
+        }
+      }
+    }
+
+    // Reduce the per-rank bests to rank 0 with the row-major tie-break.
+    struct WireBest {
+      std::int64_t score;
+      std::uint64_t i, j;
+    };
+    const WireBest mine{local.score, local.end_i, local.end_j};
+    const auto gathered = comm.gather(0, &mine, sizeof mine);
+    if (p == 0) {
+      BestLocal combined;
+      for (const auto& bytes : gathered) {
+        WireBest wb;
+        std::memcpy(&wb, bytes.data(), sizeof wb);
+        consider(combined, static_cast<int>(wb.score), wb.i, wb.j);
+      }
+      global_best = combined;
+    }
+    comm.barrier();
+  });
+
+  result.best = global_best;
+  result.traffic = world.total_counters();
+  if (global_best.score > 0) {
+    const StartCoords start = find_alignment_start(
+        s, t, cfg.scheme, global_best.end_i, global_best.end_j,
+        global_best.score);
+    const Sequence sub_s = s.slice(start.i - 1, global_best.end_i);
+    const Sequence sub_t = t.slice(start.j - 1, global_best.end_j);
+    Alignment al = cfg.use_hirschberg
+                       ? hirschberg(sub_s, sub_t, cfg.scheme)
+                       : needleman_wunsch(sub_s, sub_t, cfg.scheme);
+    al.s_begin = start.i - 1;
+    al.t_begin = start.j - 1;
+    result.rebuilt = RebuildResult{std::move(al), start.stats};
+  }
+  return result;
+}
+
+}  // namespace gdsm::core

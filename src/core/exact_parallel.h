@@ -1,0 +1,43 @@
+// Parallel exact alignment: Section 6's Algorithm 1 with its dominant cost
+// (the linear-space score pass over the full matrix) parallelized.
+//
+// Section 7 lists running the Section 6 modification on clusters as
+// immediate future work.  The score pass is a wave-front like any other SW
+// scan, so it reuses the band/block decomposition of Strategy 2 — but cells
+// are plain int32 scores (no candidate bookkeeping), boundaries are int32
+// rows, and the only result is the best (score, end cell), combined with an
+// all-reduce.  The cheap reverse rebuild (O(n'^2)) then runs on rank 0.
+#pragma once
+
+#include "core/partition.h"
+#include "net/transport.h"
+#include "sw/linear_score.h"
+#include "sw/reverse_rebuild.h"
+#include "util/sequence.h"
+
+namespace gdsm::core {
+
+struct ExactParallelConfig {
+  int nprocs = 4;
+  ScoreScheme scheme{};
+  /// Band/block multipliers, as in BlockedConfig.
+  std::size_t mult_w = 5;
+  std::size_t mult_h = 5;
+  std::size_t bands = 0;   ///< explicit override
+  std::size_t blocks = 0;  ///< explicit override
+  bool use_hirschberg = false;
+};
+
+struct ExactParallelResult {
+  BestLocal best;             ///< best score + end cell (1-based)
+  RebuildResult rebuilt;      ///< the exact alignment (empty if score 0)
+  net::TrafficCounters traffic;
+};
+
+/// Finds the best local score in parallel over a message-passing cluster,
+/// then rebuilds the exact alignment via the Section 6 reverse pass.
+/// Equivalent to rebuild_best_local_alignment, distributed.
+ExactParallelResult exact_align_parallel(const Sequence& s, const Sequence& t,
+                                         const ExactParallelConfig& cfg = {});
+
+}  // namespace gdsm::core

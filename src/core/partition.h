@@ -1,0 +1,88 @@
+// Work-partition helpers shared by the threaded strategies and their
+// simulator twins, so both sides agree exactly on who computes what.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace gdsm::core {
+
+/// Contiguous 1-based column range [begin, end] owned by one processor when
+/// N columns are split over P processors (Section 4.2's "each processor is
+/// assigned N/P columns"; remainders go to the leading processors).
+struct ColumnRange {
+  std::size_t begin = 1;  ///< 1-based, inclusive
+  std::size_t end = 0;    ///< 1-based, inclusive; end < begin means empty
+  std::size_t width() const noexcept { return end + 1 - begin; }
+  bool empty() const noexcept { return end < begin; }
+};
+
+inline ColumnRange column_range(std::size_t n, int nprocs, int p) {
+  if (nprocs <= 0 || p < 0 || p >= nprocs) {
+    throw std::invalid_argument("column_range: bad processor index");
+  }
+  const std::size_t q = n / static_cast<std::size_t>(nprocs);
+  const std::size_t r = n % static_cast<std::size_t>(nprocs);
+  const auto up = static_cast<std::size_t>(p);
+  const std::size_t begin = up * q + std::min<std::size_t>(up, r);
+  const std::size_t width = q + (up < r ? 1 : 0);
+  return ColumnRange{begin + 1, begin + width};
+}
+
+/// Splits `total` items into `parts` nearly equal contiguous chunks;
+/// chunk k covers [offsets[k], offsets[k+1]) 0-based.
+inline std::vector<std::size_t> split_offsets(std::size_t total, std::size_t parts) {
+  if (parts == 0) throw std::invalid_argument("split_offsets: zero parts");
+  std::vector<std::size_t> offs(parts + 1);
+  const std::size_t q = total / parts;
+  const std::size_t r = total % parts;
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < parts; ++k) {
+    offs[k] = pos;
+    pos += q + (k < r ? 1 : 0);
+  }
+  offs[parts] = total;
+  return offs;
+}
+
+/// Band/block decomposition of Section 4.3: the m x n matrix is divided into
+/// `bands` row sets (assigned round-robin to processors) and each band into
+/// `blocks` column sets.  A "w x h blocking multiplier" for P processors
+/// yields bands = h*P and blocks = w*P (the paper's example: 3x5 with 8
+/// processors -> 40 bands of 24 blocks).
+struct BlockGrid {
+  std::vector<std::size_t> row_offsets;  ///< bands+1 entries, 0-based
+  std::vector<std::size_t> col_offsets;  ///< blocks+1 entries, 0-based
+
+  std::size_t bands() const noexcept { return row_offsets.size() - 1; }
+  std::size_t blocks() const noexcept { return col_offsets.size() - 1; }
+  std::size_t band_height(std::size_t b) const {
+    return row_offsets[b + 1] - row_offsets[b];
+  }
+  std::size_t block_width(std::size_t k) const {
+    return col_offsets[k + 1] - col_offsets[k];
+  }
+  int band_owner(std::size_t b, int nprocs) const {
+    return static_cast<int>(b % static_cast<std::size_t>(nprocs));
+  }
+};
+
+inline BlockGrid make_grid(std::size_t m, std::size_t n, std::size_t bands,
+                           std::size_t blocks) {
+  if (bands == 0 || blocks == 0) {
+    throw std::invalid_argument("make_grid: zero bands/blocks");
+  }
+  bands = std::min(bands, m ? m : 1);
+  blocks = std::min(blocks, n ? n : 1);
+  return BlockGrid{split_offsets(m, bands), split_offsets(n, blocks)};
+}
+
+inline BlockGrid grid_from_multiplier(std::size_t m, std::size_t n, int nprocs,
+                                      std::size_t mult_w, std::size_t mult_h) {
+  return make_grid(m, n, mult_h * static_cast<std::size_t>(nprocs),
+                   mult_w * static_cast<std::size_t>(nprocs));
+}
+
+}  // namespace gdsm::core

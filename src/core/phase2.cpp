@@ -1,0 +1,100 @@
+#include "core/phase2.h"
+
+#include <stdexcept>
+
+#include "dsm/cluster.h"
+#include "sw/full_matrix.h"
+
+namespace gdsm::core {
+namespace {
+
+RegionAlignment align_one(const Sequence& s, const Sequence& t,
+                          const Candidate& c, const ScoreScheme& scheme) {
+  const Sequence sub_s = s.slice(c.s_begin - 1, c.s_end);
+  const Sequence sub_t = t.slice(c.t_begin - 1, c.t_end);
+  const Alignment al = needleman_wunsch(sub_s, sub_t, scheme);
+  return RegionAlignment{c, al.score};
+}
+
+}  // namespace
+
+Alignment align_region(const Sequence& s, const Sequence& t, const Candidate& c,
+                       const ScoreScheme& scheme) {
+  if (c.s_begin == 0 || c.t_begin == 0 || c.s_end > s.size() ||
+      c.t_end > t.size() || c.s_begin > c.s_end || c.t_begin > c.t_end) {
+    throw std::invalid_argument("align_region: bad region coordinates");
+  }
+  const Sequence sub_s = s.slice(c.s_begin - 1, c.s_end);
+  const Sequence sub_t = t.slice(c.t_begin - 1, c.t_end);
+  Alignment al = needleman_wunsch(sub_s, sub_t, scheme);
+  al.s_begin += c.s_begin - 1;
+  al.t_begin += c.t_begin - 1;
+  return al;
+}
+
+Alignment align_region_local(const Sequence& s, const Sequence& t,
+                             const Candidate& c, std::size_t margin,
+                             const ScoreScheme& scheme) {
+  if (c.s_begin == 0 || c.t_begin == 0 || c.s_end > s.size() ||
+      c.t_end > t.size() || c.s_begin > c.s_end || c.t_begin > c.t_end) {
+    throw std::invalid_argument("align_region_local: bad region coordinates");
+  }
+  const std::size_t s_lo = c.s_begin - 1 > margin ? c.s_begin - 1 - margin : 0;
+  const std::size_t s_hi = std::min<std::size_t>(s.size(), c.s_end + margin);
+  const std::size_t t_lo = c.t_begin - 1 > margin ? c.t_begin - 1 - margin : 0;
+  const std::size_t t_hi = std::min<std::size_t>(t.size(), c.t_end + margin);
+  Alignment al = smith_waterman(s.slice(s_lo, s_hi), t.slice(t_lo, t_hi), scheme);
+  al.s_begin += s_lo;
+  al.t_begin += t_lo;
+  return al;
+}
+
+std::vector<RegionAlignment> phase2_serial(const Sequence& s, const Sequence& t,
+                                           const std::vector<Candidate>& queue,
+                                           const ScoreScheme& scheme) {
+  std::vector<RegionAlignment> out;
+  out.reserve(queue.size());
+  for (const Candidate& c : queue) out.push_back(align_one(s, t, c, scheme));
+  return out;
+}
+
+Phase2Result phase2_align(const Sequence& s, const Sequence& t,
+                          const std::vector<Candidate>& queue,
+                          const Phase2Config& cfg) {
+  const int P = cfg.nprocs;
+  const std::size_t S = queue.size();
+
+  dsm::Cluster cluster(P, cfg.dsm);
+  const dsm::SharedArray<Candidate> shared_queue(
+      cluster.alloc(std::max<std::size_t>(S, 1) * sizeof(Candidate), 0), S);
+  // Result slots; scattered writers touch disjoint slots, so no locks.
+  const dsm::SharedArray<RegionAlignment> shared_results(
+      cluster.alloc(std::max<std::size_t>(S, 1) * sizeof(RegionAlignment), 0), S);
+
+  Phase2Result result;
+
+  cluster.run([&](dsm::Node& node) {
+    const int p = node.id();
+    if (p == 0 && S > 0) {
+      shared_queue.put_range(node, 0, S, queue.data());
+    }
+    node.barrier();
+
+    for (std::size_t i = static_cast<std::size_t>(p); i < S;
+         i += static_cast<std::size_t>(P)) {
+      const Candidate c = shared_queue.get(node, i);
+      shared_results.put(node, i, align_one(s, t, c, cfg.scheme));
+    }
+
+    node.barrier();
+    if (p == 0 && S > 0) {
+      result.alignments.resize(S);
+      shared_results.get_range(node, 0, S, result.alignments.data());
+    }
+  });
+
+  result.dsm_stats = cluster.stats();
+  return result;
+}
+
+}  // namespace gdsm::core

@@ -1,0 +1,67 @@
+// Phase 2 (Section 4.4): retrieving the actual alignments.
+//
+// Phase 1 produces a queue of similarity regions (coordinates only).  For
+// each region the subsequences are extracted and globally aligned with the
+// Needleman–Wunsch algorithm (Section 2.3).  The queue is treated as a
+// vector sorted by subsequence size and distributed by SCATTERED MAPPING:
+// processor Pi handles positions i, i+P, i+2P, ... of the vector, and writes
+// its results to the same positions of a shared result vector — no locks or
+// condition variables are needed anywhere in this phase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/config.h"
+#include "dsm/stats.h"
+#include "sw/alignment.h"
+#include "sw/scoring.h"
+#include "util/sequence.h"
+
+namespace gdsm::core {
+
+struct Phase2Config {
+  int nprocs = 4;
+  ScoreScheme scheme{};
+  dsm::DsmConfig dsm{};
+};
+
+/// Result record for one similarity region (fixed-size so it can live in a
+/// shared vector slot).
+struct RegionAlignment {
+  Candidate region;            ///< the phase-1 coordinates (1-based inclusive)
+  std::int32_t global_score = 0;  ///< NW score of the extracted subsequences
+
+  friend bool operator==(const RegionAlignment&, const RegionAlignment&) = default;
+};
+
+struct Phase2Result {
+  std::vector<RegionAlignment> alignments;  ///< same order as the input queue
+  dsm::DsmStats dsm_stats;
+};
+
+/// Scattered-mapping parallel phase 2 on a threaded DSM cluster.
+Phase2Result phase2_align(const Sequence& s, const Sequence& t,
+                          const std::vector<Candidate>& queue,
+                          const Phase2Config& cfg = {});
+
+/// Serial reference implementation (used by tests and the 1-processor rows).
+std::vector<RegionAlignment> phase2_serial(const Sequence& s, const Sequence& t,
+                                           const std::vector<Candidate>& queue,
+                                           const ScoreScheme& scheme = {});
+
+/// Full global alignment of one region, with coordinates mapped back to the
+/// original sequences (for display — Fig. 16 style records).
+Alignment align_region(const Sequence& s, const Sequence& t, const Candidate& c,
+                       const ScoreScheme& scheme = {});
+
+/// Local (Smith–Waterman) alignment in a window padded `margin` characters
+/// around the region, mapped back to the original sequences.  The heuristic
+/// scan opens candidates only after the score has risen `open_threshold`
+/// above the minimum, so reported begin coordinates trail the true alignment
+/// start; a padded local re-alignment recovers the full extent.
+Alignment align_region_local(const Sequence& s, const Sequence& t,
+                             const Candidate& c, std::size_t margin = 32,
+                             const ScoreScheme& scheme = {});
+
+}  // namespace gdsm::core

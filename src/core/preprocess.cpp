@@ -1,0 +1,236 @@
+#include "core/preprocess.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/partition.h"
+#include "dsm/cluster.h"
+
+namespace gdsm::core {
+
+const char* band_scheme_name(BandScheme s) noexcept {
+  switch (s) {
+    case BandScheme::kFixed: return "fixed";
+    case BandScheme::kEven: return "equal";
+    case BandScheme::kBalanced: return "balanced";
+  }
+  return "?";
+}
+
+const char* chunk_growth_name(ChunkGrowth g) noexcept {
+  switch (g) {
+    case ChunkGrowth::kFixed: return "fixed";
+    case ChunkGrowth::kArithmetic: return "arithmetic";
+    case ChunkGrowth::kGeometric: return "geometric";
+  }
+  return "?";
+}
+
+std::uint64_t PreProcessResult::total_hits() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& row : result_matrix) {
+    for (auto v : row) total += v;
+  }
+  return total;
+}
+
+std::vector<std::size_t> band_offsets(std::size_t m, int nprocs, BandScheme scheme,
+                                      std::size_t band_rows) {
+  if (m == 0) return {0};
+  const auto P = static_cast<std::size_t>(nprocs);
+  auto ceil_div = [](std::size_t a, std::size_t b) { return (a + b - 1) / b; };
+
+  std::size_t height = 0;
+  switch (scheme) {
+    case BandScheme::kFixed:
+      height = std::min(std::max<std::size_t>(band_rows, 1), m);
+      break;
+    case BandScheme::kEven:
+      // One band per node, all of (nearly) the same height.
+      height = ceil_div(m, P);
+      break;
+    case BandScheme::kBalanced: {
+      // Section 5's equations: make every node process the same number of
+      // bands, with heights as close to the requested band size as possible.
+      const std::size_t bsize = std::min(std::max<std::size_t>(band_rows, 1), m);
+      const std::size_t bands_proc = ceil_div(ceil_div(m, bsize), P);
+      const std::size_t down = ceil_div(m, bands_proc * P);
+      const std::size_t up =
+          bands_proc > 1 ? ceil_div(m, (bands_proc - 1) * P) : down;
+      auto dist = [bsize](std::size_t h) {
+        return h > bsize ? h - bsize : bsize - h;
+      };
+      height = dist(down) <= dist(up) ? down : up;
+      break;
+    }
+  }
+  std::vector<std::size_t> offs;
+  for (std::size_t pos = 0; pos < m; pos += height) offs.push_back(pos);
+  offs.push_back(m);
+  return offs;
+}
+
+std::vector<std::size_t> chunk_offsets(std::size_t n, std::size_t first_chunk,
+                                       ChunkGrowth growth) {
+  std::vector<std::size_t> offs{0};
+  std::size_t chunk = std::max<std::size_t>(first_chunk, 1);
+  std::size_t step = chunk;
+  std::size_t pos = 0;
+  while (pos < n) {
+    pos = std::min(n, pos + chunk);
+    offs.push_back(pos);
+    switch (growth) {
+      case ChunkGrowth::kFixed:
+        break;
+      case ChunkGrowth::kArithmetic:
+        chunk += step;
+        break;
+      case ChunkGrowth::kGeometric:
+        chunk *= 2;
+        break;
+    }
+  }
+  return offs;
+}
+
+PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
+                                  const PreProcessConfig& cfg) {
+  const int P = cfg.nprocs;
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+
+  PreProcessResult result;
+  result.result_interleave = std::max<std::size_t>(cfg.result_interleave, 1);
+  result.row_offsets = band_offsets(m, P, cfg.band_scheme, cfg.band_rows);
+  if (m == 0 || n == 0) return result;
+  if (cfg.io_mode != IoMode::kNone && cfg.store == nullptr) {
+    throw std::invalid_argument("preprocess_align: io_mode set but no store");
+  }
+
+  const std::vector<std::size_t>& rows = result.row_offsets;
+  const std::size_t B = rows.size() - 1;
+  const std::vector<std::size_t> chunks =
+      chunk_offsets(n, cfg.chunk_cols, cfg.chunk_growth);
+  const std::size_t n_chunks = chunks.size() - 1;
+  const std::size_t ipr = result.result_interleave;
+  const std::size_t groups = (n + ipr - 1) / ipr;
+
+  dsm::DsmConfig dsm_cfg = cfg.dsm;
+  dsm_cfg.n_cvs = std::max<int>(dsm_cfg.n_cvs, static_cast<int>(B) + 1);
+  dsm::Cluster cluster(P, dsm_cfg);
+
+  auto owner = [&](std::size_t b) { return static_cast<int>(b % static_cast<std::size_t>(P)); };
+
+  // Passage bands: the bottom row of every band, homed at the producer.
+  std::vector<dsm::SharedArray<std::int32_t>> passage;
+  passage.reserve(B);
+  for (std::size_t b = 0; b < B; ++b) {
+    passage.emplace_back(cluster.alloc(n * sizeof(std::int32_t), owner(b)), n);
+  }
+  // Result matrix rows, homed at the band owner ("allocated in such a way as
+  // to allow each node to handle writes locally").
+  std::vector<dsm::SharedArray<std::uint64_t>> result_rows;
+  result_rows.reserve(B);
+  for (std::size_t b = 0; b < B; ++b) {
+    result_rows.emplace_back(
+        cluster.alloc(groups * sizeof(std::uint64_t), owner(b)), groups);
+  }
+
+  std::vector<std::vector<std::uint64_t>> collected;
+
+  cluster.run([&](dsm::Node& node) {
+    const int p = node.id();
+    node.barrier();
+
+    std::vector<std::int32_t> prev_col;
+    std::vector<std::int32_t> cur_col;
+    std::vector<std::int32_t> top_in;       // incoming passage chunk
+    std::vector<std::int32_t> bottom_out;   // outgoing passage chunk
+    std::vector<std::uint64_t> hits(groups);
+
+    for (std::size_t b = static_cast<std::size_t>(p); b < B;
+         b += static_cast<std::size_t>(P)) {
+      const std::size_t row_lo = rows[b];
+      const std::size_t H = rows[b + 1] - rows[b];
+      const bool last_band = (b + 1 == B);
+      std::fill(hits.begin(), hits.end(), 0);
+      prev_col.assign(H, 0);
+      cur_col.assign(H, 0);
+      std::int32_t prev_top = 0;  // passage(b-1)[j-1], 0 for column 1
+
+      for (std::size_t c = 0; c < n_chunks; ++c) {
+        const std::size_t col_lo = chunks[c];
+        const std::size_t W = chunks[c + 1] - chunks[c];
+
+        top_in.assign(W, 0);
+        if (b > 0) {
+          node.waitcv(static_cast<int>(b - 1));
+          passage[b - 1].get_range(node, col_lo, W, top_in.data());
+        }
+        bottom_out.resize(W);
+
+        for (std::size_t w = 0; w < W; ++w) {
+          const std::size_t j = col_lo + w + 1;  // 1-based matrix column
+          const Base tj = t[j - 1];
+          const std::int32_t top = top_in[w];
+          for (std::size_t r = 1; r <= H; ++r) {
+            const std::size_t row = row_lo + r;  // 1-based matrix row
+            const std::int32_t up = r == 1 ? top : cur_col[r - 2];
+            const std::int32_t dg = r == 1 ? prev_top : prev_col[r - 2];
+            const std::int32_t lf = prev_col[r - 1];
+            const std::int32_t v = std::max(
+                {0, dg + cfg.scheme.substitution(s[row - 1], tj),
+                 up + cfg.scheme.gap, lf + cfg.scheme.gap});
+            cur_col[r - 1] = v;
+            if (v >= cfg.threshold) ++hits[(j - 1) / ipr];
+          }
+          if (cfg.save_interleave != 0 && j % cfg.save_interleave == 0 &&
+              cfg.io_mode != IoMode::kNone) {
+            cfg.store->save(static_cast<std::uint32_t>(j),
+                            static_cast<std::uint32_t>(row_lo + 1), cur_col);
+          }
+          bottom_out[w] = cur_col[H - 1];
+          prev_top = top;
+          std::swap(prev_col, cur_col);
+        }
+
+        if (cfg.row_store != nullptr) {
+          // Passage-band checkpoint: this band's bottom row (global row
+          // rows[b+1], 1-based), fragment starting at column col_lo+1.
+          cfg.row_store->save(static_cast<std::uint32_t>(rows[b + 1]),
+                              static_cast<std::uint32_t>(col_lo + 1),
+                              bottom_out);
+        }
+        if (!last_band) {
+          passage[b].put_range(node, col_lo, W, bottom_out.data());
+          node.setcv(static_cast<int>(b));
+        }
+      }
+      result_rows[b].put_range(node, 0, groups, hits.data());
+    }
+
+    if (cfg.io_mode == IoMode::kDeferred && cfg.store != nullptr) {
+      cfg.store->flush();
+    }
+    node.barrier();
+
+    if (p == 0) {
+      collected.resize(B);
+      for (std::size_t b = 0; b < B; ++b) {
+        collected[b].resize(groups);
+        result_rows[b].get_range(node, 0, groups, collected[b].data());
+      }
+    }
+  });
+
+  if (cfg.io_mode == IoMode::kImmediate && cfg.store != nullptr) {
+    cfg.store->flush();
+  }
+  result.result_matrix = std::move(collected);
+  result.dsm_stats = cluster.stats();
+  return result;
+}
+
+}  // namespace gdsm::core

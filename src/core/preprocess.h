@@ -1,0 +1,93 @@
+// Strategy 3 (Section 5): the exact "pre-process" strategy.
+//
+// Goal: run the ORIGINAL Smith–Waterman recurrence (no candidate-tracking
+// heuristics, no loss of information) while keeping memory bounded:
+//   * only a limited amount of the similarity array is shared (the passage
+//     bands carrying each band's bottom row to the next band's owner);
+//   * processing inside a band is done by columns, each column stored in a
+//     linear array for intra-node locality;
+//   * no alignment tracking — only a scoreboard: the *result matrix* counts,
+//     per band and per group of `result_interleave` columns, how many cells
+//     scored at or above a threshold;
+//   * every `save_interleave`-th column can be saved to disk (I/O modes
+//     none / immediate / deferred) so interesting regions can be
+//     re-processed later.
+//
+// Band heights follow one of three schemes (fixed / even / balanced, the
+// balanced one per Section 5's equations); columns move between neighbours
+// in chunks whose widths may grow arithmetically or geometrically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/column_store.h"
+#include "dsm/config.h"
+#include "dsm/stats.h"
+#include "sw/scoring.h"
+#include "util/sequence.h"
+
+namespace gdsm::core {
+
+enum class BandScheme { kFixed, kEven, kBalanced };
+enum class ChunkGrowth { kFixed, kArithmetic, kGeometric };
+
+const char* band_scheme_name(BandScheme s) noexcept;
+const char* chunk_growth_name(ChunkGrowth g) noexcept;
+
+struct PreProcessConfig {
+  int nprocs = 4;
+  ScoreScheme scheme{};
+  int threshold = 10;  ///< scores >= threshold count as hits
+
+  BandScheme band_scheme = BandScheme::kFixed;
+  std::size_t band_rows = 1024;  ///< requested band height (fixed/balanced)
+
+  std::size_t chunk_cols = 128;  ///< initial chunk width
+  ChunkGrowth chunk_growth = ChunkGrowth::kFixed;
+
+  std::size_t result_interleave = 1024;  ///< columns summarized per result cell
+  std::size_t save_interleave = 0;       ///< save every ip-th column; 0 = never
+  IoMode io_mode = IoMode::kNone;
+  ColumnStore* store = nullptr;  ///< required when io_mode != kNone
+
+  /// Optional store for the passage bands ("all passage bands are saved once
+  /// the last of its cells has been updated").  Records are keyed by the
+  /// global ROW index in the store's `col` field and the 1-based first
+  /// column in `row_begin` — the transposed use of the same interface.
+  /// Together with the saved columns this enables exact re-processing of any
+  /// subregion (see core/reprocess.h).
+  ColumnStore* row_store = nullptr;
+
+  dsm::DsmConfig dsm{};
+};
+
+struct PreProcessResult {
+  /// result_matrix[band][group] = number of cells of that band whose score
+  /// reached the threshold, among columns j with (j-1)/result_interleave ==
+  /// group (1-based j).
+  std::vector<std::vector<std::uint64_t>> result_matrix;
+  std::vector<std::size_t> row_offsets;  ///< bands+1 entries, 0-based rows
+  std::size_t result_interleave = 0;
+  dsm::DsmStats dsm_stats;
+
+  std::uint64_t total_hits() const noexcept;
+  std::size_t bands() const noexcept {
+    return row_offsets.empty() ? 0 : row_offsets.size() - 1;
+  }
+};
+
+/// Band row-offsets for a scheme (exposed for tests and the simulator twin).
+/// `m` is the number of matrix rows (|s|).
+std::vector<std::size_t> band_offsets(std::size_t m, int nprocs, BandScheme scheme,
+                                      std::size_t band_rows);
+
+/// Chunk column-offsets (0-based, last == n) for a growth law.
+std::vector<std::size_t> chunk_offsets(std::size_t n, std::size_t first_chunk,
+                                       ChunkGrowth growth);
+
+/// Runs the pre-process strategy on a threaded DSM cluster.
+PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
+                                  const PreProcessConfig& cfg = {});
+
+}  // namespace gdsm::core

@@ -1,0 +1,185 @@
+#include "core/reprocess.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gdsm::core {
+namespace {
+
+// Largest checkpoint index <= limit, or 0 (the zero boundary) if none.
+std::uint32_t snap_anchor(const SavedFragments& frags, std::size_t limit) {
+  std::uint32_t best = 0;
+  for (const auto& [key, values] : frags) {
+    if (key.first <= limit) best = std::max(best, key.first);
+  }
+  return best;
+}
+
+// Assembles boundary values at `index` (a column or passage row) covering
+// positions [lo, hi] (1-based rows for a column, columns for a row).
+std::vector<std::int32_t> assemble(const SavedFragments& frags,
+                                   std::uint32_t index, std::size_t lo,
+                                   std::size_t hi, const char* what) {
+  std::vector<std::int32_t> out(hi - lo + 1, 0);
+  std::vector<bool> covered(out.size(), false);
+  for (const auto& [key, values] : frags) {
+    if (key.first != index) continue;
+    const std::size_t begin = key.second;
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      const std::size_t pos = begin + k;
+      if (pos >= lo && pos <= hi) {
+        out[pos - lo] = values[k];
+        covered[pos - lo] = true;
+      }
+    }
+  }
+  for (std::size_t k = 0; k < covered.size(); ++k) {
+    if (!covered[k]) {
+      throw std::runtime_error(
+          std::string("reprocess_region: checkpoint ") + what + " " +
+          std::to_string(index) + " does not cover position " +
+          std::to_string(lo + k));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ReprocessResult reprocess_region(const Sequence& s, const Sequence& t,
+                                 const SavedFragments& columns,
+                                 const SavedFragments& passage_rows,
+                                 const Subregion& region, int min_score,
+                                 const ScoreScheme& scheme,
+                                 std::size_t max_alignments) {
+  if (region.row_lo == 0 || region.col_lo == 0 || region.row_lo > region.row_hi ||
+      region.col_lo > region.col_hi || region.row_hi > s.size() ||
+      region.col_hi > t.size()) {
+    throw std::invalid_argument("reprocess_region: bad region");
+  }
+
+  // Snap outward to the nearest checkpoints (0 = the zero border).
+  const std::uint32_t anchor_col = snap_anchor(columns, region.col_lo - 1);
+  const std::uint32_t anchor_row = snap_anchor(passage_rows, region.row_lo - 1);
+
+  ReprocessResult res;
+  res.computed = Subregion{static_cast<std::size_t>(anchor_row) + 1,
+                           region.row_hi,
+                           static_cast<std::size_t>(anchor_col) + 1,
+                           region.col_hi};
+  const std::size_t R = res.rows();
+  const std::size_t C = res.cols();
+
+  // Boundaries: left column (rows of the computed range) and top row
+  // (columns of the computed range, plus the diagonal corner).
+  std::vector<std::int32_t> left_col(R, 0);
+  if (anchor_col > 0) {
+    left_col = assemble(columns, anchor_col, res.computed.row_lo,
+                        res.computed.row_hi, "column");
+  }
+  std::vector<std::int32_t> top_row(C, 0);
+  std::int32_t corner = 0;
+  if (anchor_row > 0) {
+    top_row = assemble(passage_rows, anchor_row, res.computed.col_lo,
+                       res.computed.col_hi, "passage row");
+    if (anchor_col > 0) {
+      corner = assemble(passage_rows, anchor_row, anchor_col, anchor_col,
+                        "passage row")[0];
+    }
+  }
+
+  // Exact DP refill of the subregion.
+  res.scores.assign(R * C, 0);
+  auto cell = [&](std::size_t r, std::size_t c) -> std::int32_t& {
+    return res.scores[r * C + c];
+  };
+  for (std::size_t r = 0; r < R; ++r) {
+    const std::size_t row = res.computed.row_lo + r;  // 1-based
+    const Base si = s[row - 1];
+    for (std::size_t c = 0; c < C; ++c) {
+      const std::size_t col = res.computed.col_lo + c;  // 1-based
+      const std::int32_t up = r == 0 ? top_row[c] : cell(r - 1, c);
+      const std::int32_t lf = c == 0 ? left_col[r] : cell(r, c - 1);
+      const std::int32_t dg = r == 0 ? (c == 0 ? corner : top_row[c - 1])
+                                     : (c == 0 ? (row - 1 == anchor_row
+                                                      ? corner
+                                                      : left_col[r - 1])
+                                                : cell(r - 1, c - 1));
+      cell(r, c) = std::max({0, dg + scheme.substitution(si, t[col - 1]),
+                             up + scheme.gap, lf + scheme.gap});
+    }
+  }
+
+  // Alignment retrieval: local-maxima end cells inside the REQUESTED region.
+  struct End {
+    std::int32_t score;
+    std::size_t r, c;  // 0-based within the computed grid
+  };
+  std::vector<End> ends;
+  for (std::size_t r = region.row_lo - res.computed.row_lo; r < R; ++r) {
+    for (std::size_t c = region.col_lo - res.computed.col_lo; c < C; ++c) {
+      const std::int32_t v = cell(r, c);
+      if (v < min_score) continue;
+      const bool extendable =
+          (r + 1 < R && cell(r + 1, c) > v) || (c + 1 < C && cell(r, c + 1) > v) ||
+          (r + 1 < R && c + 1 < C && cell(r + 1, c + 1) > v);
+      if (!extendable) ends.push_back(End{v, r, c});
+    }
+  }
+  std::sort(ends.begin(), ends.end(), [](const End& a, const End& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.r != b.r) return a.r < b.r;
+    return a.c < b.c;
+  });
+
+  for (const End& e : ends) {
+    if (res.alignments.size() >= max_alignments) break;
+    // Traceback within the computed grid; boundary cells act as walls (an
+    // alignment reaching them is reported from there — exact as long as the
+    // snapped region padded the true start, which the zero cells of a local
+    // alignment guarantee when min_score checkpoints ring the region).
+    std::size_t r = e.r, c = e.c;
+    std::vector<Op> rev;
+    while (true) {
+      const std::int32_t v = cell(r, c);
+      if (v == 0) break;
+      // Grid cell (r, c) is matrix cell (row_lo + r, col_lo + c), 1-based,
+      // i.e. characters s[row_lo + r - 1] and t[col_lo + c - 1].
+      if (r > 0 && c > 0 &&
+          v == cell(r - 1, c - 1) +
+                   scheme.substitution(s[res.computed.row_lo + r - 1],
+                                       t[res.computed.col_lo + c - 1])) {
+        rev.push_back(Op::Diag);
+        --r;
+        --c;
+        continue;
+      }
+      if (r > 0 && v == cell(r - 1, c) + scheme.gap) {
+        rev.push_back(Op::Up);
+        --r;
+        continue;
+      }
+      if (c > 0 && v == cell(r, c - 1) + scheme.gap) {
+        rev.push_back(Op::Left);
+        --c;
+        continue;
+      }
+      break;  // reached the region boundary
+    }
+    Alignment al;
+    al.score = e.score;
+    al.s_begin = res.computed.row_lo + r;  // 0-based first aligned char
+    al.t_begin = res.computed.col_lo + c;
+    al.ops.assign(rev.rbegin(), rev.rend());
+    const bool overlaps = std::any_of(
+        res.alignments.begin(), res.alignments.end(), [&](const Alignment& p) {
+          const bool s_disjoint = al.s_end() <= p.s_begin || p.s_end() <= al.s_begin;
+          const bool t_disjoint = al.t_end() <= p.t_begin || p.t_end() <= al.t_begin;
+          return !(s_disjoint || t_disjoint);
+        });
+    if (!overlaps) res.alignments.push_back(std::move(al));
+  }
+  return res;
+}
+
+}  // namespace gdsm::core

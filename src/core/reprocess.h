@@ -1,0 +1,71 @@
+// Exact re-processing of score-matrix subregions from the pre-process
+// strategy's checkpoints (Section 5).
+//
+// "Although little information is contained in the result matrix, it
+//  indicates interesting regions in the score matrix. [...] Knowing
+//  interesting areas of the matrix and having the boundary columns and rows
+//  allow one to reprocess these limited areas so as to retrieve the local
+//  alignments."
+//
+// Given the saved columns (every ip-th column, per-band fragments) and the
+// saved passage rows (each band's bottom row), any subregion anchored at a
+// saved column/row pair can be recomputed EXACTLY without touching the rest
+// of the matrix: the saved column provides the left boundary, the saved row
+// the top boundary, and the DP recurrence reproduces the interior
+// bit-for-bit.  Requested regions are snapped outward to the nearest
+// checkpoints automatically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sw/alignment.h"
+#include "sw/scoring.h"
+#include "util/sequence.h"
+
+namespace gdsm::core {
+
+/// Saved fragments keyed by (index, begin): for columns, index = column and
+/// begin = first row; for passage rows, index = row and begin = first
+/// column.  Both MemoryColumnStore::snapshot() and FileColumnStore::load()
+/// produce this type directly.
+using SavedFragments =
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<std::int32_t>>;
+
+/// 1-based inclusive cell rectangle of the score matrix.
+struct Subregion {
+  std::size_t row_lo = 1;
+  std::size_t row_hi = 1;
+  std::size_t col_lo = 1;
+  std::size_t col_hi = 1;
+};
+
+struct ReprocessResult {
+  /// The region actually recomputed, after snapping to checkpoints.
+  Subregion computed;
+  /// The recomputed score cells, row-major over `computed` (rows x cols).
+  std::vector<std::int32_t> scores;
+  /// Local alignments (score >= min_score) whose end cells lie inside the
+  /// REQUESTED region, best first, greedily non-overlapping.
+  std::vector<Alignment> alignments;
+
+  std::size_t rows() const noexcept { return computed.row_hi - computed.row_lo + 1; }
+  std::size_t cols() const noexcept { return computed.col_hi - computed.col_lo + 1; }
+  std::int32_t at(std::size_t row, std::size_t col) const {
+    return scores[(row - computed.row_lo) * cols() + (col - computed.col_lo)];
+  }
+};
+
+/// Recomputes `region` from the checkpoints.  `columns` must hold the
+/// per-band fragments of some column <= region.col_lo - 1 (or the region
+/// must touch column 1); `passage_rows` likewise for a row <= region.row_lo
+/// - 1.  Throws std::runtime_error when no usable checkpoint exists.
+ReprocessResult reprocess_region(const Sequence& s, const Sequence& t,
+                                 const SavedFragments& columns,
+                                 const SavedFragments& passage_rows,
+                                 const Subregion& region, int min_score,
+                                 const ScoreScheme& scheme = {},
+                                 std::size_t max_alignments = 8);
+
+}  // namespace gdsm::core

@@ -1,0 +1,160 @@
+#include "core/sim_hybrid.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/partition.h"
+
+namespace gdsm::core {
+namespace {
+
+using sim::Cat;
+using sim::ClusterSim;
+using sim::CostModel;
+
+double cluster_speed(const HybridSpec& spec, int cluster) {
+  if (spec.speeds.empty()) return 1.0;
+  return spec.speeds.at(static_cast<std::size_t>(cluster));
+}
+
+int cluster_of(const HybridSpec& spec, int node) {
+  return node / spec.nodes_per_cluster;
+}
+
+// Barrier over the federation: BARR/BARRGRANT to node 0, paying the
+// inter-cluster latency for remote sub-clusters.
+void hybrid_barrier(ClusterSim& cs, const HybridSpec& spec, Cat cat) {
+  const CostModel& cm = cs.cost();
+  auto latency = [&](int node) {
+    return cluster_of(spec, node) == 0 ? cm.msg_latency_s
+                                       : spec.inter_latency_s;
+  };
+  double all_done = 0;
+  for (int p = 0; p < cs.nodes(); ++p) {
+    cs.busy(p, cm.proto_op_s, cat);
+    const double arrival = cs.now(p) + latency(p);
+    all_done = std::max(all_done, cs.server_process(0, arrival));
+  }
+  for (int p = 0; p < cs.nodes(); ++p) {
+    cs.wait_until(p, all_done + (p == 0 ? 0.0 : latency(p)), cat);
+    cs.busy(p, cm.proto_op_s, cat);
+  }
+}
+
+}  // namespace
+
+std::vector<int> hybrid_band_owners(std::size_t bands, const HybridSpec& spec) {
+  const int N = spec.total_nodes();
+  if (N <= 0) throw std::invalid_argument("hybrid_band_owners: no nodes");
+  std::vector<int> owners(bands);
+  if (!spec.weighted_bands) {
+    for (std::size_t b = 0; b < bands; ++b) {
+      owners[b] = static_cast<int>(b % static_cast<std::size_t>(N));
+    }
+    return owners;
+  }
+  // Speed-weighted assignment: give the next band to the node whose virtual
+  // finish time (bands assigned / speed) is smallest, so every node ends
+  // with work proportional to its speed.
+  std::vector<double> assigned(static_cast<std::size_t>(N), 0.0);
+  for (std::size_t b = 0; b < bands; ++b) {
+    int best = 0;
+    double best_finish = 1e300;
+    for (int g = 0; g < N; ++g) {
+      const double speed = cluster_speed(spec, cluster_of(spec, g));
+      const double finish = (assigned[static_cast<std::size_t>(g)] + 1.0) / speed;
+      if (finish < best_finish - 1e-12) {
+        best_finish = finish;
+        best = g;
+      }
+    }
+    owners[b] = best;
+    assigned[static_cast<std::size_t>(best)] += 1.0;
+  }
+  return owners;
+}
+
+SimReport sim_hybrid_blocked(std::size_t m, std::size_t n,
+                             const HybridSpec& spec, const CostModel& cm) {
+  const int N = spec.total_nodes();
+  if (!spec.speeds.empty() &&
+      spec.speeds.size() != static_cast<std::size_t>(spec.clusters)) {
+    throw std::invalid_argument("sim_hybrid_blocked: speeds size mismatch");
+  }
+  const std::size_t bands =
+      spec.bands ? spec.bands : 5 * static_cast<std::size_t>(N);
+  const std::size_t blocks =
+      spec.blocks ? spec.blocks : 5 * static_cast<std::size_t>(N);
+  const BlockGrid grid = make_grid(m, n, bands, blocks);
+  const std::size_t B = grid.bands();
+  const std::size_t K = grid.blocks();
+  const std::vector<int> owners = hybrid_band_owners(B, spec);
+
+  ClusterSim cs(N, cm);
+  hybrid_barrier(cs, spec, Cat::kBarrier);
+
+  std::vector<std::vector<double>> signal_done(B, std::vector<double>(K, 0.0));
+
+  for (std::size_t b = 0; b < B; ++b) {
+    const int p = owners[b];
+    const int prev = b > 0 ? owners[b - 1] : 0;
+    const bool cross = b > 0 && cluster_of(spec, p) != cluster_of(spec, prev);
+    const std::size_t H = grid.band_height(b);
+    const double speed = cluster_speed(spec, cluster_of(spec, p));
+
+    for (std::size_t k = 0; k < K; ++k) {
+      const std::size_t W = grid.block_width(k);
+      const std::size_t boundary_bytes = W * cm.heuristic_cell_bytes;
+      if (b > 0) {
+        if (cross) {
+          // Inter-cluster: one eager message carries the whole boundary
+          // segment; no cv manager, no page faults.
+          const double arrival = signal_done[b - 1][k] + spec.inter_latency_s +
+                                 static_cast<double>(boundary_bytes) *
+                                     spec.inter_s_per_byte;
+          cs.wait_until(p, arrival, Cat::kComm);
+          cs.busy(p, cm.proto_op_s, Cat::kComm);
+        } else {
+          // Intra-cluster: the JIAJIA cv + page-fault path of Strategy 2.
+          cs.rpc(p, prev, 8, 16, Cat::kLockCv, signal_done[b - 1][k]);
+          const std::size_t pages =
+              std::max<std::size_t>(1, (boundary_bytes + cm.page_bytes - 1) /
+                                           cm.page_bytes);
+          for (std::size_t q = 0; q < pages; ++q) {
+            cs.rpc(p, prev, 8, cm.page_bytes, Cat::kComm);
+          }
+        }
+      }
+      const double cell =
+          cm.effective_cell(cm.cell_s_heuristic, 2 * W * cm.heuristic_cell_bytes) /
+          speed;
+      cs.busy(p, static_cast<double>(H) * static_cast<double>(W) * cell,
+              Cat::kCompute);
+      if (b + 1 < B) {
+        const bool next_cross =
+            cluster_of(spec, owners[b + 1]) != cluster_of(spec, p);
+        if (next_cross) {
+          // Send cost of the eager boundary message.
+          cs.busy(p, cm.proto_op_s + static_cast<double>(boundary_bytes) *
+                                         spec.inter_s_per_byte,
+                  Cat::kComm);
+          signal_done[b][k] = cs.now(p);
+        } else {
+          signal_done[b][k] = cs.send_async(p, p, 24, Cat::kLockCv);
+        }
+      }
+    }
+  }
+
+  hybrid_barrier(cs, spec, Cat::kBarrier);
+
+  SimReport rep;
+  rep.core_s = cs.makespan();
+  rep.total_s = rep.core_s + cm.init_time_s + cm.term_time_s;
+  rep.average = cs.average_breakdown();
+  rep.per_node.reserve(static_cast<std::size_t>(N));
+  for (int p = 0; p < N; ++p) rep.per_node.push_back(cs.breakdown(p));
+  return rep;
+}
+
+}  // namespace gdsm::core

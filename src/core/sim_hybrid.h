@@ -1,0 +1,61 @@
+// Future work of Section 7, realized as a simulation experiment:
+// "we intend to run this modified algorithm in order to compare very long
+//  DNA sequences (larger than 1 MBP) in a heterogeneous cluster.  In this
+//  case, message-passing will be used for inter-cluster communication and
+//  DSM will be used for communicating processes that belong to the same
+//  cluster."
+//
+// The model extends the blocked-strategy simulator to a federation of
+// sub-clusters: bands are distributed over ALL nodes; a band boundary that
+// crosses a sub-cluster edge travels as ONE eager message over the
+// inter-cluster link (higher latency, configurable bandwidth, no cv-manager
+// round trips), while intra-cluster boundaries use the JIAJIA cv + page
+// protocol as before.  Sub-clusters may have different CPU speeds
+// (heterogeneous hardware), and bands can be assigned round-robin or
+// speed-weighted.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/sim_strategies.h"
+#include "sim/cost_model.h"
+
+namespace gdsm::core {
+
+struct HybridSpec {
+  int clusters = 2;
+  int nodes_per_cluster = 8;
+
+  /// Inter-cluster link (campus backbone / metro): one-way latency and
+  /// per-byte time.  Intra-cluster costs come from the CostModel.
+  double inter_latency_s = 2e-3;
+  double inter_s_per_byte = 8.0e-8;  // 100 Mbps by default
+
+  /// Per-cluster CPU speed multiplier (1.0 = the Pentium II baseline;
+  /// 2.0 = twice as fast).  Sized `clusters`, or empty for all-1.0.
+  std::vector<double> speeds;
+
+  /// Assign bands proportionally to cluster speed instead of round-robin —
+  /// the simple static load balancing a heterogeneous federation needs.
+  bool weighted_bands = false;
+
+  /// Band/block decomposition; 0 means 5x5 multiplier on the total node
+  /// count, the Table 3 optimum.
+  std::size_t bands = 0;
+  std::size_t blocks = 0;
+
+  int total_nodes() const noexcept { return clusters * nodes_per_cluster; }
+};
+
+/// Owner of each band under the spec's assignment policy (exposed for
+/// tests).  Owners are global node ids; node g belongs to sub-cluster
+/// g / nodes_per_cluster.
+std::vector<int> hybrid_band_owners(std::size_t bands, const HybridSpec& spec);
+
+/// Blocked heuristic strategy on the federated cluster.
+SimReport sim_hybrid_blocked(std::size_t m, std::size_t n,
+                             const HybridSpec& spec,
+                             const sim::CostModel& cm = {});
+
+}  // namespace gdsm::core

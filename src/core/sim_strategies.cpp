@@ -1,0 +1,321 @@
+#include "core/sim_strategies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/partition.h"
+#include "util/rng.h"
+
+namespace gdsm::core {
+namespace {
+
+using sim::Cat;
+using sim::ClusterSim;
+using sim::CostModel;
+
+// jia_barrier (Fig. 6): every node sends BARR to the owner (node 0), which
+// serializes the write-notice bookkeeping and broadcasts BARRGRANT.
+void sim_barrier(ClusterSim& cs, Cat cat) {
+  const CostModel& cm = cs.cost();
+  const int P = cs.nodes();
+  double all_done = 0;
+  for (int p = 0; p < P; ++p) {
+    const double done = cs.send_async(p, 0, 64, cat);
+    all_done = std::max(all_done, done);
+  }
+  for (int p = 0; p < P; ++p) {
+    const double grant = p == 0 ? all_done : all_done + cm.msg_latency_s;
+    cs.wait_until(p, grant, cat);
+    cs.busy(p, cm.proto_op_s, cat);  // consume the grant, apply notices
+  }
+}
+
+// Fetching `bytes` of freshly-invalidated shared data from `home`: one
+// GETPAGE round trip per page, as the SVM faults them in.
+void sim_fetch(ClusterSim& cs, int node, int home, std::size_t bytes, Cat cat) {
+  const CostModel& cm = cs.cost();
+  const std::size_t pages = std::max<std::size_t>(1, (bytes + cm.page_bytes - 1) / cm.page_bytes);
+  for (std::size_t k = 0; k < pages; ++k) {
+    cs.rpc(node, home, 8, cm.page_bytes, cat);
+  }
+}
+
+SimReport finish(ClusterSim& cs, const CostModel& cm, bool with_dsm = true) {
+  SimReport rep;
+  rep.core_s = cs.makespan();
+  // Serial runs have no DSM environment to start or tear down.
+  rep.total_s = rep.core_s + (with_dsm ? cm.init_time_s + cm.term_time_s : 0.0);
+  rep.average = cs.average_breakdown();
+  rep.per_node.reserve(static_cast<std::size_t>(cs.nodes()));
+  for (int p = 0; p < cs.nodes(); ++p) rep.per_node.push_back(cs.breakdown(p));
+  return rep;
+}
+
+}  // namespace
+
+SimReport sim_wavefront(std::size_t m, std::size_t n, int P,
+                        const CostModel& cm) {
+  ClusterSim cs(P, cm);
+
+  if (P == 1) {
+    // Serial program: two linear arrays, no DSM at all.
+    const double cell =
+        cm.effective_cell(cm.cell_s_heuristic, 2 * n * cm.heuristic_cell_bytes);
+    cs.busy(0, static_cast<double>(m) * static_cast<double>(n) * cell,
+            Cat::kCompute);
+    return finish(cs, cm, /*with_dsm=*/false);
+  }
+
+  sim_barrier(cs, Cat::kBarrier);
+
+  std::vector<std::size_t> width(static_cast<std::size_t>(P));
+  std::vector<double> cell(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    width[static_cast<std::size_t>(p)] = column_range(n, P, p).width();
+    // Rows live in shared memory; every cell pays the DSM write-check and
+    // row-copy overhead on top of the locality-dependent base cost.
+    cell[static_cast<std::size_t>(p)] =
+        cm.effective_cell(cm.cell_s_heuristic,
+                          2 * width[static_cast<std::size_t>(p)] *
+                              cm.heuristic_cell_bytes) *
+        (1.0 + cm.dsm_write_factor);
+  }
+
+  // signal_done[p]: manager-side completion of the last data_ready signal of
+  // pair p; ack_done[p]: completion of the last slot_free ack of pair p.
+  std::vector<double> signal_done(static_cast<std::size_t>(P), 0.0);
+  std::vector<double> ack_done(static_cast<std::size_t>(P), 0.0);
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (int p = 0; p < P; ++p) {
+      const auto up = static_cast<std::size_t>(p);
+      if (p > 0) {
+        // waitcv(data_ready): cv of pair p-1 is managed by node p-1.
+        cs.rpc(p, p - 1, 8, 16, Cat::kLockCv, signal_done[up - 1]);
+        // The border page was invalidated by the signal's write notice;
+        // fault it back in from its home (the producer).
+        sim_fetch(cs, p, p - 1, sizeof(std::uint64_t) * 7, Cat::kComm);
+        // setcv(slot_free): release the one-cell buffer back to the writer.
+        ack_done[up - 1] = cs.send_async(p, p - 1, 16, Cat::kLockCv);
+      }
+      cs.busy(p, static_cast<double>(width[up]) * cell[up], Cat::kCompute);
+      if (p + 1 < P) {
+        if (i > 1) {
+          // waitcv(slot_free): managed locally (cv id == pair == this node).
+          cs.rpc(p, p, 8, 16, Cat::kLockCv, ack_done[up]);
+        }
+        // Border cell write is a home write; publishing happens via the
+        // signal, whose notice invalidates the reader's copy.
+        signal_done[up] = cs.send_async(p, p, 24, Cat::kLockCv);
+      }
+    }
+  }
+
+  sim_barrier(cs, Cat::kBarrier);
+  return finish(cs, cm);
+}
+
+SimReport sim_blocked(std::size_t m, std::size_t n, int P, std::size_t bands,
+                      std::size_t blocks, const CostModel& cm) {
+  ClusterSim cs(P, cm);
+  const BlockGrid grid = make_grid(m, n, bands, blocks);
+  const std::size_t B = grid.bands();
+  const std::size_t K = grid.blocks();
+
+  if (P > 1) sim_barrier(cs, Cat::kBarrier);
+
+  std::vector<std::vector<double>> signal_done(B, std::vector<double>(K, 0.0));
+
+  for (std::size_t b = 0; b < B; ++b) {
+    const int p = P > 1 ? grid.band_owner(b, P) : 0;
+    const int prev_owner = b > 0 ? (P > 1 ? grid.band_owner(b - 1, P) : 0) : 0;
+    const std::size_t H = grid.band_height(b);
+    for (std::size_t k = 0; k < K; ++k) {
+      const std::size_t W = grid.block_width(k);
+      if (b > 0 && P > 1) {
+        // waitcv on band b-1's cv (managed by its owner), then fault in the
+        // boundary segment.
+        cs.rpc(p, prev_owner, 8, 16, Cat::kLockCv, signal_done[b - 1][k]);
+        sim_fetch(cs, p, prev_owner, W * cm.heuristic_cell_bytes, Cat::kComm);
+      }
+      const double cell =
+          cm.effective_cell(cm.cell_s_heuristic, 2 * W * cm.heuristic_cell_bytes);
+      cs.busy(p, static_cast<double>(H) * static_cast<double>(W) * cell,
+              Cat::kCompute);
+      if (b + 1 < B && P > 1) {
+        // Publish the bottom row (home write) and signal band b's cv, which
+        // this node manages itself.
+        signal_done[b][k] = cs.send_async(p, p, 24, Cat::kLockCv);
+      }
+    }
+  }
+
+  if (P > 1) sim_barrier(cs, Cat::kBarrier);
+  return finish(cs, cm, /*with_dsm=*/P > 1);
+}
+
+SimReport sim_blocked_mp(std::size_t m, std::size_t n, int P,
+                         std::size_t bands, std::size_t blocks,
+                         const CostModel& cm) {
+  ClusterSim cs(P, cm);
+  const BlockGrid grid = make_grid(m, n, bands, blocks);
+  const std::size_t B = grid.bands();
+  const std::size_t K = grid.blocks();
+
+  if (P > 1) sim_barrier(cs, Cat::kBarrier);
+
+  std::vector<std::vector<double>> ready(B, std::vector<double>(K, 0.0));
+
+  for (std::size_t b = 0; b < B; ++b) {
+    const int p = P > 1 ? grid.band_owner(b, P) : 0;
+    const std::size_t H = grid.band_height(b);
+    for (std::size_t k = 0; k < K; ++k) {
+      const std::size_t W = grid.block_width(k);
+      if (b > 0 && P > 1) {
+        // Eager receive: block until the boundary message has arrived.
+        cs.wait_until(p, ready[b - 1][k], Cat::kComm);
+        cs.busy(p, cm.proto_op_s, Cat::kComm);  // recv-side copy
+      }
+      const double cell =
+          cm.effective_cell(cm.cell_s_heuristic, 2 * W * cm.heuristic_cell_bytes);
+      cs.busy(p, static_cast<double>(H) * static_cast<double>(W) * cell,
+              Cat::kCompute);
+      if (b + 1 < B && P > 1) {
+        // Send cost + wire time of one message carrying W cells.
+        const std::size_t bytes = W * cm.heuristic_cell_bytes;
+        cs.busy(p, cm.proto_op_s + bytes * cm.wire_s_per_byte, Cat::kComm);
+        ready[b][k] = cs.now(p) + cm.msg_latency_s;
+      }
+    }
+  }
+
+  if (P > 1) sim_barrier(cs, Cat::kBarrier);
+  return finish(cs, cm, /*with_dsm=*/P > 1);
+}
+
+SimReport sim_preprocess(std::size_t m, std::size_t n, int P,
+                         const SimPreprocessOptions& opt, const CostModel& cm) {
+  ClusterSim cs(P, cm);
+  const std::vector<std::size_t> rows = band_offsets(m, P, opt.band_scheme,
+                                                     opt.band_rows);
+  const std::vector<std::size_t> cols =
+      chunk_offsets(n, opt.chunk_cols, opt.chunk_growth);
+  const std::size_t B = rows.size() - 1;
+  const std::size_t C = cols.size() - 1;
+
+  if (P > 1) sim_barrier(cs, Cat::kBarrier);
+
+  std::vector<std::vector<double>> signal_done(B, std::vector<double>(C, 0.0));
+  std::vector<std::size_t> deferred_bytes(static_cast<std::size_t>(P), 0);
+
+  for (std::size_t b = 0; b < B; ++b) {
+    const int p = static_cast<int>(b % static_cast<std::size_t>(P));
+    const int prev_owner =
+        b > 0 ? static_cast<int>((b - 1) % static_cast<std::size_t>(P)) : 0;
+    const std::size_t H = rows[b + 1] - rows[b];
+    // Column-major processing: the working set is two column arrays.
+    const double cell =
+        cm.effective_cell(cm.cell_s_plain, 2 * H * cm.plain_cell_bytes);
+
+    for (std::size_t c = 0; c < C; ++c) {
+      const std::size_t W = cols[c + 1] - cols[c];
+      if (b > 0 && P > 1 && p != prev_owner) {
+        cs.rpc(p, prev_owner, 8, 16, Cat::kLockCv, signal_done[b - 1][c]);
+        sim_fetch(cs, p, prev_owner, W * cm.plain_cell_bytes, Cat::kComm);
+      } else if (b > 0 && P == 1) {
+        // Single node: the passage row is local; no protocol.
+      }
+      cs.busy(p, static_cast<double>(H) * static_cast<double>(W) * cell,
+              Cat::kCompute);
+
+      if (opt.save_interleave != 0 && opt.io_mode != IoMode::kNone) {
+        // Columns j in this chunk with j % ip == 0.
+        const std::size_t lo = cols[c] + 1, hi = cols[c + 1];
+        const std::size_t saved = hi / opt.save_interleave -
+                                  (lo - 1) / opt.save_interleave;
+        const std::size_t bytes = saved * H * cm.plain_cell_bytes;
+        if (opt.io_mode == IoMode::kImmediate && saved > 0) {
+          cs.busy(p, static_cast<double>(saved) * cm.disk_latency_s +
+                         static_cast<double>(bytes) * cm.disk_s_per_byte,
+                  Cat::kIo);
+        } else if (opt.io_mode == IoMode::kDeferred) {
+          deferred_bytes[static_cast<std::size_t>(p)] += bytes;
+        }
+      }
+
+      if (b + 1 < B && P > 1) {
+        signal_done[b][c] = cs.send_async(p, p, 24, Cat::kLockCv);
+      }
+    }
+  }
+
+  if (opt.io_mode == IoMode::kDeferred) {
+    // Deferred drains into the NFS buffer cache at memory speed (the actual
+    // disk write overlaps the termination phase).
+    for (int p = 0; p < P; ++p) {
+      const std::size_t bytes = deferred_bytes[static_cast<std::size_t>(p)];
+      if (bytes > 0) {
+        cs.busy(p, cm.disk_latency_s +
+                       static_cast<double>(bytes) * cm.buffer_cache_s_per_byte,
+                Cat::kIo);
+      }
+    }
+  }
+
+  if (P > 1) sim_barrier(cs, Cat::kBarrier);
+  return finish(cs, cm, /*with_dsm=*/P > 1);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> phase2_pair_sizes(
+    std::size_t count, std::size_t mean, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Sizes fluctuate around the mean; both members of a pair are similar
+    // lengths (they align to each other).
+    const std::size_t base = mean / 2 + rng.below(mean);
+    const std::size_t a = base + rng.below(std::max<std::size_t>(mean / 8, 1));
+    const std::size_t b = base + rng.below(std::max<std::size_t>(mean / 8, 1));
+    out.emplace_back(a, b);
+  }
+  return out;
+}
+
+SimReport sim_phase2(const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+                     int P, const CostModel& cm) {
+  ClusterSim cs(P, cm);
+  auto pair_cost = [&](const std::pair<std::size_t, std::size_t>& pr) {
+    return static_cast<double>(pr.first) * static_cast<double>(pr.second) *
+           cm.cell_s_nw;
+  };
+
+  if (P == 1) {
+    for (const auto& pr : pairs) cs.busy(0, pair_cost(pr), Cat::kCompute);
+    return finish(cs, cm, /*with_dsm=*/false);
+  }
+
+  sim_barrier(cs, Cat::kBarrier);
+
+  // The shared queue and result vector are read/written with scattered
+  // mapping; a node faults a queue page roughly every page/record pairs.
+  const double record_bytes = 24.0;
+  const double faults_per_pair =
+      record_bytes / static_cast<double>(cm.page_bytes);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const int p = static_cast<int>(i % static_cast<std::size_t>(P));
+    // Amortized queue page fetch from node 0 (its home).
+    cs.busy(p, faults_per_pair * (2 * cm.msg_latency_s + 2 * cm.proto_op_s +
+                                  cm.page_bytes * cm.wire_s_per_byte),
+            Cat::kComm);
+    cs.busy(p, pair_cost(pairs[i]), Cat::kCompute);
+    // Result slot write: twin + diff amortized over a page of records.
+    cs.busy(p, faults_per_pair * (2 * cm.proto_op_s + 2 * cm.msg_latency_s),
+            Cat::kComm);
+  }
+
+  sim_barrier(cs, Cat::kBarrier);
+  return finish(cs, cm);
+}
+
+}  // namespace gdsm::core

@@ -1,0 +1,21 @@
+// Common result type of the phase-1 parallel strategies.
+#pragma once
+
+#include <vector>
+
+#include "dsm/stats.h"
+#include "sw/alignment.h"
+
+namespace gdsm::core {
+
+struct StrategyResult {
+  /// The finalized queue of similarity regions (sorted by subsequence size,
+  /// repeats removed), 1-based inclusive coordinates.
+  std::vector<Candidate> candidates;
+  /// Protocol activity of the run (page faults, diffs, invalidations, ...).
+  dsm::DsmStats dsm_stats;
+  /// True if any node's shared result buffer overflowed (queue truncated).
+  bool overflow = false;
+};
+
+}  // namespace gdsm::core

@@ -1,0 +1,128 @@
+#include "core/wavefront.h"
+
+#include <atomic>
+#include <cassert>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/result_gather.h"
+#include "dsm/cluster.h"
+
+namespace gdsm::core {
+namespace {
+
+// Condition-variable identifiers for the pairwise handshakes.  Pair p is the
+// channel from processor p to processor p+1.
+int cv_data_ready(int pair) { return pair; }
+int cv_slot_free(int nprocs, int pair) { return nprocs + pair; }
+
+}  // namespace
+
+StrategyResult wavefront_align(const Sequence& s, const Sequence& t,
+                               const WavefrontConfig& cfg) {
+  const int P = cfg.nprocs;
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+
+  dsm::DsmConfig dsm_cfg = cfg.dsm;
+  dsm_cfg.n_cvs = std::max(dsm_cfg.n_cvs, 2 * P + 2);
+  dsm::Cluster cluster(P, dsm_cfg);
+
+  // One border slot per processor pair, each on its own page homed at the
+  // writer so publishing the cell is a local write.
+  std::vector<dsm::GlobalAddr> border(P > 1 ? static_cast<std::size_t>(P - 1) : 0);
+  for (int p = 0; p + 1 < P; ++p) {
+    border[static_cast<std::size_t>(p)] =
+        cluster.alloc(sizeof(CellInfo), /*home=*/p);
+  }
+  // Paper-literal mode: per-node shared reading/writing rows.
+  std::vector<dsm::SharedArray<CellInfo>> shared_reading, shared_writing;
+  if (cfg.rows_in_shared_memory) {
+    for (int p = 0; p < P; ++p) {
+      const std::size_t width = column_range(n, P, p).width();
+      const std::size_t bytes = std::max<std::size_t>(width, 1) * sizeof(CellInfo);
+      shared_reading.emplace_back(cluster.alloc(bytes, p), width);
+      shared_writing.emplace_back(cluster.alloc(bytes, p), width);
+    }
+  }
+  const CandidateGather gather(cluster, P, cfg.max_candidates_per_node);
+
+  const HeuristicKernel kernel(cfg.scheme, cfg.params);
+  std::atomic<bool> overflow{false};
+  std::vector<Candidate> merged;
+
+  cluster.run([&](dsm::Node& node) {
+    const int p = node.id();
+    node.barrier();  // start-of-computation barrier
+
+    const ColumnRange range = column_range(n, P, p);
+    const std::size_t width = range.width();
+    const std::span<const Base> t_cols =
+        width ? t.bases().subspan(range.begin - 1, width) : std::span<const Base>{};
+
+    CandidateSink sink(cfg.params);
+    std::vector<CellInfo> reading(width);  // previous row of this segment
+    std::vector<CellInfo> writing(width);
+    const CellInfo zero{};
+    CellInfo prev_border{};  // cell (i-1, range.begin-1) from the left pair
+
+    for (std::size_t i = 1; i <= m; ++i) {
+      CellInfo left{};
+      CellInfo diag{};
+      if (p > 0) {
+        node.waitcv(cv_data_ready(p - 1));
+        left = node.read<CellInfo>(border[static_cast<std::size_t>(p - 1)]);
+        node.setcv(cv_slot_free(P, p - 1));
+        diag = prev_border;
+        prev_border = left;
+      }
+      if (width > 0) {
+        if (cfg.rows_in_shared_memory) {
+          // Fetch the reading row from shared memory, compute, publish the
+          // writing row back — Section 4.2's literal data layout.
+          shared_reading[static_cast<std::size_t>(p)].get_range(node, 0, width,
+                                                                reading.data());
+        }
+        kernel.process_row_segment(s[i - 1], static_cast<std::uint32_t>(i),
+                                   t_cols, static_cast<std::uint32_t>(range.begin),
+                                   reading, p > 0 ? diag : zero,
+                                   p > 0 ? left : zero, writing, sink);
+        if (cfg.rows_in_shared_memory) {
+          shared_writing[static_cast<std::size_t>(p)].put_range(node, 0, width,
+                                                                writing.data());
+        }
+      }
+      if (p + 1 < P) {
+        if (i > 1) node.waitcv(cv_slot_free(P, p));
+        // Empty segments forward the value received from the left unchanged.
+        const CellInfo out = width > 0 ? writing.back() : left;
+        node.write(border[static_cast<std::size_t>(p)], out);
+        node.setcv(cv_data_ready(p));
+      }
+      if (cfg.rows_in_shared_memory && width > 0) {
+        // "When a processor finishes calculating a row, it copies this row
+        // to the reading row": a shared-to-shared copy through the node.
+        shared_writing[static_cast<std::size_t>(p)].get_range(node, 0, width,
+                                                              writing.data());
+        shared_reading[static_cast<std::size_t>(p)].put_range(node, 0, width,
+                                                              writing.data());
+      }
+      std::swap(reading, writing);
+    }
+    // Candidates still open on the bottom row of the matrix.
+    for (const CellInfo& cell : reading) sink.flush_open(cell);
+
+    std::vector<Candidate> local = std::move(sink.queue());
+    if (!gather.publish(node, local)) overflow.store(true);
+    node.barrier();  // end-of-computation barrier
+    if (p == 0) merged = gather.collect(node);
+  });
+
+  StrategyResult result;
+  result.candidates = std::move(merged);
+  result.dsm_stats = cluster.stats();
+  result.overflow = overflow.load();
+  return result;
+}
+
+}  // namespace gdsm::core

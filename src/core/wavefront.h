@@ -1,0 +1,46 @@
+// Strategy 1 (Section 4.2): parallel heuristic local alignment WITHOUT
+// blocking factors.
+//
+// Work is assigned on a column basis: each processor owns N/P contiguous
+// columns and keeps two private rows (reading/writing).  Parallelism follows
+// the wave-front: processor p+1 may compute row i of its columns only after
+// processor p has produced the border cell (i, last column of p).  Each
+// border cell is passed *individually* through a one-slot shared buffer with
+// a condition-variable handshake:
+//
+//   writer p:  [wait slot_free]  write border cell  signal data_ready
+//   reader p+1: wait data_ready  read border cell   signal slot_free
+//
+// Barriers are used only at the beginning and the end of the computation.
+#pragma once
+
+#include "core/strategy_result.h"
+#include "dsm/config.h"
+#include "sw/heuristic_scan.h"
+#include "util/sequence.h"
+
+namespace gdsm::core {
+
+struct WavefrontConfig {
+  int nprocs = 4;
+  ScoreScheme scheme{};
+  HeuristicParams params{};
+  /// Capacity of each node's shared result buffer.
+  std::size_t max_candidates_per_node = 1u << 16;
+  /// Paper-literal mode: the two linear arrays live in SHARED memory (homed
+  /// at their node) and the writing row is copied onto the reading row after
+  /// every row, exactly as Section 4.2 describes.  Functionally identical to
+  /// the default (which keeps the rows node-local and swaps buffers), but
+  /// every cell goes through the DSM write path — the overhead the
+  /// simulator's dsm_write_factor models.
+  bool rows_in_shared_memory = false;
+  dsm::DsmConfig dsm{};
+};
+
+/// Runs the non-blocked heuristic strategy on a threaded DSM cluster.
+/// The candidate queue is identical to heuristic_scan(s, t, ...) — the
+/// parallelization changes only who computes which cell.
+StrategyResult wavefront_align(const Sequence& s, const Sequence& t,
+                               const WavefrontConfig& cfg = {});
+
+}  // namespace gdsm::core

@@ -1,0 +1,302 @@
+#include "dsm/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "dsm/wire.h"
+
+namespace gdsm::dsm {
+
+Cluster::Cluster(int n_nodes, DsmConfig cfg)
+    : n_nodes_(n_nodes),
+      cfg_(cfg),
+      space_(n_nodes, cfg),
+      transport_(n_nodes) {
+  if (n_nodes <= 0) throw std::invalid_argument("Cluster: need >= 1 node");
+  reset_manager_state();
+}
+
+void Cluster::reset_manager_state() {
+  const int per_node_locks = (cfg_.n_locks + n_nodes_ - 1) / n_nodes_;
+  const int per_node_cvs = (cfg_.n_cvs + n_nodes_ - 1) / n_nodes_;
+  locks_.assign(static_cast<std::size_t>(n_nodes_), {});
+  cvs_.assign(static_cast<std::size_t>(n_nodes_), {});
+  for (int n = 0; n < n_nodes_; ++n) {
+    locks_[n].resize(static_cast<std::size_t>(per_node_locks));
+    for (auto& l : locks_[n]) l.last_seen.assign(static_cast<std::size_t>(n_nodes_), 0);
+    cvs_[n].resize(static_cast<std::size_t>(per_node_cvs));
+  }
+  barrier_ = BarrierState{};
+}
+
+void Cluster::grant_lock(int manager, int lock_id, int to) {
+  LockState& l = locks_[manager][static_cast<std::size_t>(lock_id / n_nodes_)];
+  l.held = true;
+  l.holder = to;
+  net::Message grant;
+  grant.src = manager;
+  grant.dst = to;
+  grant.type = net::MsgType::kAcquireGrant;
+  grant.to_reply_box = true;
+  grant.a = static_cast<std::uint64_t>(lock_id);
+  // Write notices this acquirer has not yet seen for this lock's scope.
+  std::vector<PageId> unseen(l.notice_log.begin() +
+                                 static_cast<std::ptrdiff_t>(l.last_seen[to]),
+                             l.notice_log.end());
+  l.last_seen[to] = l.notice_log.size();
+  grant.payload = wire::encode_pages(unseen);
+  transport_.send(std::move(grant));
+
+  // Garbage-collect the notice log: entries every node has seen can never
+  // be granted again, so drop the common prefix (bounds memory on
+  // long-running lock-heavy programs).
+  const std::size_t seen_by_all =
+      *std::min_element(l.last_seen.begin(), l.last_seen.end());
+  if (seen_by_all > 1024) {
+    l.notice_log.erase(l.notice_log.begin(),
+                       l.notice_log.begin() +
+                           static_cast<std::ptrdiff_t>(seen_by_all));
+    for (auto& seen : l.last_seen) seen -= seen_by_all;
+  }
+}
+
+void Cluster::handle_message(int node, net::Message msg) {
+  using net::MsgType;
+  switch (msg.type) {
+    case MsgType::kGetPage: {
+      const PageId p = msg.a;
+      assert(space_.home_of(p) == node);
+      net::Message reply;
+      reply.src = node;
+      reply.dst = msg.src;
+      reply.type = MsgType::kPageData;
+      reply.to_reply_box = true;
+      reply.a = p;
+      reply.payload.resize(space_.page_bytes());
+      {
+        const std::scoped_lock guard(space_.page_mutex(p));
+        std::memcpy(reply.payload.data(), space_.home_data(p),
+                    space_.page_bytes());
+      }
+      transport_.send(std::move(reply));
+      break;
+    }
+    case MsgType::kDiff: {
+      const PageId p = msg.a;
+      assert(space_.home_of(p) == node);
+      {
+        const std::scoped_lock guard(space_.page_mutex(p));
+        wire::apply_diff(space_.home_data(p), space_.page_bytes(), msg.payload);
+      }
+      net::Message ack;
+      ack.src = node;
+      ack.dst = msg.src;
+      ack.type = MsgType::kDiffAck;
+      ack.to_reply_box = true;
+      ack.a = p;
+      transport_.send(std::move(ack));
+      break;
+    }
+    case MsgType::kAcquire: {
+      const int lock_id = static_cast<int>(msg.a);
+      LockState& l = locks_[node][static_cast<std::size_t>(lock_id / n_nodes_)];
+      if (l.held) {
+        l.waiting.push_back(msg.src);
+      } else {
+        grant_lock(node, lock_id, msg.src);
+      }
+      break;
+    }
+    case MsgType::kRelease: {
+      const int lock_id = static_cast<int>(msg.a);
+      LockState& l = locks_[node][static_cast<std::size_t>(lock_id / n_nodes_)];
+      const std::vector<PageId> notices = wire::decode_pages(msg.payload);
+      l.notice_log.insert(l.notice_log.end(), notices.begin(), notices.end());
+      l.held = false;
+      l.holder = -1;
+      if (!l.waiting.empty()) {
+        const int next = l.waiting.front();
+        l.waiting.pop_front();
+        grant_lock(node, lock_id, next);
+      }
+      break;
+    }
+    case MsgType::kBarrier: {
+      assert(node == 0);
+      const std::vector<PageId> notices = wire::decode_pages(msg.payload);
+      barrier_.notices.insert(barrier_.notices.end(), notices.begin(),
+                              notices.end());
+      for (PageId p : notices) {
+        const auto [it, inserted] = barrier_.writers.emplace(p, msg.src);
+        if (!inserted && it->second != msg.src) it->second = -1;
+      }
+      if (++barrier_.arrived == n_nodes_) {
+        std::sort(barrier_.notices.begin(), barrier_.notices.end());
+        barrier_.notices.erase(
+            std::unique(barrier_.notices.begin(), barrier_.notices.end()),
+            barrier_.notices.end());
+
+        wire::BarrierGrant grant_body;
+        grant_body.notices = barrier_.notices;
+        if (cfg_.home_migration) {
+          // Home migration: a page written by exactly one node this interval
+          // migrates its home to that writer, so its future modifications
+          // need no diffs at all.
+          for (const auto& [page, writer] : barrier_.writers) {
+            if (writer >= 0 && writer != space_.home_of(page)) {
+              space_.set_home(page, writer);
+              grant_body.migrations.emplace_back(page, writer);
+              home_migrations_.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+        const std::vector<std::byte> payload =
+            wire::encode_barrier_grant(grant_body);
+        for (int dst = 0; dst < n_nodes_; ++dst) {
+          net::Message grant;
+          grant.src = node;
+          grant.dst = dst;
+          grant.type = MsgType::kBarrierGrant;
+          grant.to_reply_box = true;
+          grant.payload = payload;
+          transport_.send(std::move(grant));
+        }
+        barrier_ = BarrierState{};
+      }
+      break;
+    }
+    case MsgType::kSetCv: {
+      const int cv_id = static_cast<int>(msg.a);
+      CvState& cv = cvs_[node][static_cast<std::size_t>(cv_id / n_nodes_)];
+      const std::vector<PageId> notices = wire::decode_pages(msg.payload);
+      cv.pending_notices.insert(cv.pending_notices.end(), notices.begin(),
+                                notices.end());
+      if (!cv.waiters.empty()) {
+        const int waiter = cv.waiters.front();
+        cv.waiters.pop_front();
+        net::Message grant;
+        grant.src = node;
+        grant.dst = waiter;
+        grant.type = MsgType::kCvGrant;
+        grant.to_reply_box = true;
+        grant.a = static_cast<std::uint64_t>(cv_id);
+        grant.payload = wire::encode_pages(cv.pending_notices);
+        cv.pending_notices.clear();
+        transport_.send(std::move(grant));
+      } else {
+        ++cv.count;
+      }
+      break;
+    }
+    case MsgType::kWaitCv: {
+      const int cv_id = static_cast<int>(msg.a);
+      CvState& cv = cvs_[node][static_cast<std::size_t>(cv_id / n_nodes_)];
+      if (cv.count > 0) {
+        --cv.count;
+        net::Message grant;
+        grant.src = node;
+        grant.dst = msg.src;
+        grant.type = MsgType::kCvGrant;
+        grant.to_reply_box = true;
+        grant.a = static_cast<std::uint64_t>(cv_id);
+        grant.payload = wire::encode_pages(cv.pending_notices);
+        cv.pending_notices.clear();
+        transport_.send(std::move(grant));
+      } else {
+        cv.waiters.push_back(msg.src);
+      }
+      break;
+    }
+    case MsgType::kAllocate: {
+      assert(node == 0);
+      const auto bytes = static_cast<std::size_t>(msg.a);
+      const int home = static_cast<int>(static_cast<std::int64_t>(msg.b));
+      net::Message reply;
+      reply.src = node;
+      reply.dst = msg.src;
+      reply.type = MsgType::kAllocateReply;
+      reply.to_reply_box = true;
+      reply.a = space_.alloc(bytes, home);
+      transport_.send(std::move(reply));
+      break;
+    }
+    default:
+      throw std::logic_error("DSM service: unexpected message type");
+  }
+}
+
+void Cluster::service_loop(int node) {
+  while (auto msg = transport_.service_box(node).pop()) {
+    if (msg->type == net::MsgType::kStop) break;
+    handle_message(node, *std::move(msg));
+  }
+}
+
+void Cluster::run(const std::function<void(Node&)>& program) {
+  if (cfg_.load_balancing) {
+    throw std::runtime_error(
+        "DSM: load_balancing is accepted for jia_config parity but not "
+        "implemented in this reproduction (home_migration IS implemented)");
+  }
+  reset_manager_state();
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  nodes.reserve(static_cast<std::size_t>(n_nodes_));
+  for (int i = 0; i < n_nodes_; ++i) nodes.push_back(std::make_unique<Node>(*this, i));
+
+  std::vector<std::thread> service_threads;
+  service_threads.reserve(static_cast<std::size_t>(n_nodes_));
+  for (int i = 0; i < n_nodes_; ++i) {
+    service_threads.emplace_back([this, i] { service_loop(i); });
+  }
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::vector<std::thread> app_threads;
+  app_threads.reserve(static_cast<std::size_t>(n_nodes_));
+  for (int i = 0; i < n_nodes_; ++i) {
+    app_threads.emplace_back([&, i] {
+      try {
+        program(*nodes[static_cast<std::size_t>(i)]);
+      } catch (...) {
+        {
+          const std::scoped_lock guard(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Unblock peers stuck in barriers/cv waits so run() can unwind; the
+        // cluster is not reusable after a failed program.
+        transport_.shutdown();
+      }
+    });
+  }
+  for (auto& t : app_threads) t.join();
+
+  for (int i = 0; i < n_nodes_; ++i) {
+    net::Message stop;
+    stop.src = -1;
+    stop.dst = i;
+    stop.type = net::MsgType::kStop;
+    transport_.send(std::move(stop));
+  }
+  for (auto& t : service_threads) t.join();
+
+  last_run_stats_.clear();
+  for (const auto& n : nodes) last_run_stats_.push_back(n->stats());
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+DsmStats Cluster::stats() const {
+  DsmStats out;
+  out.node = last_run_stats_;
+  out.home_migrations = home_migrations_.load(std::memory_order_relaxed);
+  out.traffic.reserve(static_cast<std::size_t>(n_nodes_));
+  for (int i = 0; i < n_nodes_; ++i) out.traffic.push_back(transport_.counters(i));
+  return out;
+}
+
+}  // namespace gdsm::dsm

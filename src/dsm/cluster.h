@@ -1,0 +1,90 @@
+// The DSM cluster runner: SPMD programs over N simulated workstation nodes.
+//
+// Each node gets two threads: an *application* thread running the user's
+// program and a *service* thread standing in for JIAJIA's SIGIO handler,
+// serving page fetches, diffs and lock/barrier/cv management for the ids it
+// manages (id % n_nodes).
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "dsm/config.h"
+#include "dsm/global_space.h"
+#include "dsm/node.h"
+#include "dsm/stats.h"
+#include "net/transport.h"
+
+namespace gdsm::dsm {
+
+class Cluster {
+ public:
+  explicit Cluster(int n_nodes, DsmConfig cfg = {});
+
+  int nodes() const noexcept { return n_nodes_; }
+  const DsmConfig& config() const noexcept { return cfg_; }
+
+  /// Host-side allocation (before run()); same semantics as Node::alloc.
+  GlobalAddr alloc(std::size_t bytes, int home = -1) {
+    return space_.alloc(bytes, home);
+  }
+  GlobalAddr alloc_striped(std::size_t bytes) { return space_.alloc_striped(bytes); }
+
+  /// Runs `program` once on every node (SPMD) and joins.  May be called
+  /// multiple times; manager state is reset between runs, traffic counters
+  /// accumulate.  Exceptions thrown by any node program are rethrown here.
+  void run(const std::function<void(Node&)>& program);
+
+  /// Stats of the most recent run() (node counters) plus cumulative traffic.
+  DsmStats stats() const;
+
+  GlobalSpace& space() noexcept { return space_; }
+
+ private:
+  friend class Node;
+
+  // --- manager state; each element is touched only by the service thread
+  // of its managing node -----------------------------------------------
+  struct LockState {
+    bool held = false;
+    int holder = -1;
+    std::deque<int> waiting;
+    std::vector<PageId> notice_log;
+    std::vector<std::size_t> last_seen;  // per node, index into notice_log
+  };
+  struct CvState {
+    int count = 0;
+    std::deque<int> waiters;
+    std::vector<PageId> pending_notices;
+  };
+  struct BarrierState {
+    int arrived = 0;
+    std::vector<PageId> notices;
+    /// page -> single writer this interval, or -1 once multiple nodes wrote
+    /// it (used by the home-migration policy).
+    std::map<PageId, int> writers;
+  };
+
+  void reset_manager_state();
+  void service_loop(int node);
+  void handle_message(int node, net::Message msg);
+
+  void grant_lock(int manager, int lock_id, int to);
+
+  int n_nodes_;
+  DsmConfig cfg_;
+  GlobalSpace space_;
+  net::Transport transport_;
+
+  std::vector<std::vector<LockState>> locks_;  // [manager][lock_id / n]
+  std::vector<std::vector<CvState>> cvs_;      // [manager][cv_id / n]
+  BarrierState barrier_;                       // managed by node 0
+  std::atomic<std::uint64_t> home_migrations_{0};
+
+  std::vector<NodeStats> last_run_stats_;
+};
+
+}  // namespace gdsm::dsm

@@ -1,0 +1,36 @@
+// DSM system configuration, mirroring JIAJIA's tunables.
+#pragma once
+
+#include <cstddef>
+
+namespace gdsm::dsm {
+
+struct DsmConfig {
+  /// Shared page size.  JIAJIA used the host VM page (4 KiB on the paper's
+  /// Pentium II cluster).
+  std::size_t page_bytes = 4096;
+
+  /// Number of remote-page frames each node may cache ("there is a fixed
+  /// number of remote pages that can be placed at the memory of a remote
+  /// node; when this part of the memory is full, a replacement algorithm is
+  /// executed").
+  std::size_t cache_pages = 4096;
+
+  /// Lock and condition-variable identifier spaces.  Managers are assigned
+  /// id % n_nodes, as JIAJIA statically assigns each lock to a manager.
+  int n_locks = 256;
+  int n_cvs = 256;
+
+  /// jia_config-style optional features; both default OFF, as JIAJIA sets
+  /// all features at startup.
+  ///
+  /// home_migration: at each barrier, a page written by exactly one node in
+  /// the interval migrates its home to that writer, eliminating its future
+  /// diffs (implemented).
+  /// load_balancing: accepted for API parity only; turning it ON throws at
+  /// run() (computation migration is outside this reproduction's scope).
+  bool home_migration = false;
+  bool load_balancing = false;
+};
+
+}  // namespace gdsm::dsm

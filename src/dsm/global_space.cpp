@@ -1,0 +1,85 @@
+#include "dsm/global_space.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gdsm::dsm {
+
+GlobalSpace::GlobalSpace(int n_nodes, const DsmConfig& cfg)
+    : n_nodes_(n_nodes), page_bytes_(cfg.page_bytes) {
+  if (n_nodes <= 0) throw std::invalid_argument("GlobalSpace: need >= 1 node");
+  if (page_bytes_ < 64) throw std::invalid_argument("GlobalSpace: page too small");
+  // Reserve page 0 so that GlobalAddr 0 can serve as a null address.
+  const std::scoped_lock lock(alloc_mu_);
+  pages_.emplace_back();
+  pages_.back().home = 0;
+  pages_.back().data = std::make_unique<std::byte[]>(page_bytes_);
+}
+
+GlobalAddr GlobalSpace::alloc(std::size_t bytes, int home) {
+  if (bytes == 0) bytes = 1;
+  const std::size_t n_pages = (bytes + page_bytes_ - 1) / page_bytes_;
+  const std::scoped_lock lock(alloc_mu_);
+  if (home < 0) {
+    home = next_home_;
+    next_home_ = (next_home_ + 1) % n_nodes_;
+  }
+  if (home >= n_nodes_) throw std::invalid_argument("alloc: bad home node");
+  const GlobalAddr base = static_cast<GlobalAddr>(pages_.size()) * page_bytes_;
+  for (std::size_t k = 0; k < n_pages; ++k) {
+    pages_.emplace_back();
+    pages_.back().home = home;
+    pages_.back().data = std::make_unique<std::byte[]>(page_bytes_);
+    std::memset(pages_.back().data.get(), 0, page_bytes_);
+  }
+  return base;
+}
+
+GlobalAddr GlobalSpace::alloc_striped(std::size_t bytes, int first_home) {
+  if (bytes == 0) bytes = 1;
+  const std::size_t n_pages = (bytes + page_bytes_ - 1) / page_bytes_;
+  const std::scoped_lock lock(alloc_mu_);
+  const GlobalAddr base = static_cast<GlobalAddr>(pages_.size()) * page_bytes_;
+  for (std::size_t k = 0; k < n_pages; ++k) {
+    pages_.emplace_back();
+    pages_.back().home = static_cast<int>((first_home + k) % n_nodes_);
+    pages_.back().data = std::make_unique<std::byte[]>(page_bytes_);
+    std::memset(pages_.back().data.get(), 0, page_bytes_);
+  }
+  return base;
+}
+
+std::size_t GlobalSpace::num_pages() const {
+  const std::scoped_lock lock(alloc_mu_);
+  return pages_.size();
+}
+
+bool GlobalSpace::valid_page(PageId p) const {
+  const std::scoped_lock lock(alloc_mu_);
+  return p > 0 && p < pages_.size();
+}
+
+int GlobalSpace::home_of(PageId p) const {
+  const std::scoped_lock lock(alloc_mu_);
+  return pages_.at(p).home;
+}
+
+void GlobalSpace::set_home(PageId p, int home) {
+  const std::scoped_lock lock(alloc_mu_);
+  if (home < 0 || home >= n_nodes_) {
+    throw std::invalid_argument("set_home: bad node id");
+  }
+  pages_.at(p).home = home;
+}
+
+std::byte* GlobalSpace::home_data(PageId p) {
+  const std::scoped_lock lock(alloc_mu_);
+  return pages_.at(p).data.get();
+}
+
+std::mutex& GlobalSpace::page_mutex(PageId p) {
+  const std::scoped_lock lock(alloc_mu_);
+  return pages_.at(p).mu;
+}
+
+}  // namespace gdsm::dsm

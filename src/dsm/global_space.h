@@ -1,0 +1,71 @@
+// The cluster-wide shared address space: pages with home nodes.
+//
+// "Shared memory is distributed among the nodes on a NUMA-architecture
+// basis.  Each shared page has a home node.  A page is always present in its
+// home node" (Section 3.1).  The home copy lives here; remote nodes cache
+// copies in their PageCache.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dsm/config.h"
+
+namespace gdsm::dsm {
+
+/// Byte address in the shared space.  Address 0 is reserved as "null".
+using GlobalAddr = std::uint64_t;
+using PageId = std::uint64_t;
+
+class GlobalSpace {
+ public:
+  GlobalSpace(int n_nodes, const DsmConfig& cfg);
+
+  /// Allocates `bytes` rounded up to whole pages.  All pages of one call are
+  /// homed on the same node (JIAJIA's jia_alloc semantics): `home` if given,
+  /// otherwise the next node in a round-robin cycle.
+  GlobalAddr alloc(std::size_t bytes, int home = -1);
+
+  /// Allocates with pages homed round-robin page-by-page, the layout the
+  /// strategies use to spread border arrays over their writers.
+  GlobalAddr alloc_striped(std::size_t bytes, int first_home = 0);
+
+  std::size_t page_bytes() const noexcept { return page_bytes_; }
+  PageId page_of(GlobalAddr a) const noexcept { return a / page_bytes_; }
+  std::size_t offset_in_page(GlobalAddr a) const noexcept { return a % page_bytes_; }
+  std::size_t num_pages() const;
+
+  /// True when the page id maps to an allocated page.
+  bool valid_page(PageId p) const;
+
+  int home_of(PageId p) const;
+
+  /// Reassigns a page's home (home migration).  Only safe at a global
+  /// synchronization point where no application thread is touching shared
+  /// data (the barrier manager calls this between BARR and BARRGRANT).
+  void set_home(PageId p, int home);
+
+  /// Home storage of a page; callers must hold the page mutex while home
+  /// data can be concurrently touched (home application thread vs. diffs
+  /// arriving at the home's service thread).
+  std::byte* home_data(PageId p);
+  std::mutex& page_mutex(PageId p);
+
+ private:
+  struct Page {
+    int home;
+    std::unique_ptr<std::byte[]> data;
+    std::mutex mu;
+  };
+
+  int n_nodes_;
+  std::size_t page_bytes_;
+  mutable std::mutex alloc_mu_;
+  int next_home_ = 0;
+  std::deque<Page> pages_;  // deque: stable element addresses as it grows
+};
+
+}  // namespace gdsm::dsm

@@ -1,0 +1,331 @@
+#include "dsm/node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+#include <stdexcept>
+
+#include "dsm/cluster.h"
+#include "dsm/wire.h"
+
+namespace gdsm::dsm {
+
+namespace wire {
+
+std::vector<std::byte> encode_pages(const std::vector<PageId>& pages) {
+  std::vector<std::byte> out;
+  out.reserve(pages.size() * sizeof(PageId));
+  for (PageId p : pages) net::append_pod(out, p);
+  return out;
+}
+
+std::vector<PageId> decode_pages(const std::vector<std::byte>& payload) {
+  std::vector<PageId> out;
+  out.reserve(payload.size() / sizeof(PageId));
+  for (std::size_t off = 0; off + sizeof(PageId) <= payload.size();
+       off += sizeof(PageId)) {
+    out.push_back(net::read_pod<PageId>(payload, off));
+  }
+  return out;
+}
+
+std::vector<std::byte> encode_barrier_grant(const BarrierGrant& grant) {
+  std::vector<std::byte> out;
+  net::append_pod(out, static_cast<std::uint64_t>(grant.notices.size()));
+  for (PageId p : grant.notices) net::append_pod(out, p);
+  net::append_pod(out, static_cast<std::uint64_t>(grant.migrations.size()));
+  for (const auto& [p, home] : grant.migrations) {
+    net::append_pod(out, p);
+    net::append_pod(out, static_cast<std::uint64_t>(home));
+  }
+  return out;
+}
+
+BarrierGrant decode_barrier_grant(const std::vector<std::byte>& payload) {
+  BarrierGrant grant;
+  std::size_t off = 0;
+  const auto n_notices = net::read_pod<std::uint64_t>(payload, off);
+  off += 8;
+  grant.notices.reserve(n_notices);
+  for (std::uint64_t k = 0; k < n_notices; ++k, off += 8) {
+    grant.notices.push_back(net::read_pod<PageId>(payload, off));
+  }
+  const auto n_migr = net::read_pod<std::uint64_t>(payload, off);
+  off += 8;
+  for (std::uint64_t k = 0; k < n_migr; ++k, off += 16) {
+    grant.migrations.emplace_back(
+        net::read_pod<PageId>(payload, off),
+        static_cast<int>(net::read_pod<std::uint64_t>(payload, off + 8)));
+  }
+  return grant;
+}
+
+std::vector<std::byte> make_diff(const std::vector<std::byte>& twin,
+                                 const std::vector<std::byte>& data) {
+  assert(twin.size() == data.size());
+  std::vector<std::byte> out;
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+  while (i < n) {
+    if (twin[i] == data[i]) {
+      ++i;
+      continue;
+    }
+    // Start of a modified run; extend while differences are close together.
+    std::size_t end = i + 1;
+    std::size_t same = 0;
+    for (std::size_t k = end; k < n && same < 8; ++k) {
+      if (twin[k] == data[k]) {
+        ++same;
+      } else {
+        end = k + 1;
+        same = 0;
+      }
+    }
+    net::append_pod(out, static_cast<std::uint32_t>(i));
+    net::append_pod(out, static_cast<std::uint32_t>(end - i));
+    out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(i),
+               data.begin() + static_cast<std::ptrdiff_t>(end));
+    i = end;
+  }
+  return out;
+}
+
+void apply_diff(std::byte* dst, std::size_t dst_size,
+                const std::vector<std::byte>& payload) {
+  std::size_t off = 0;
+  while (off + 2 * sizeof(std::uint32_t) <= payload.size()) {
+    const auto start = net::read_pod<std::uint32_t>(payload, off);
+    const auto len = net::read_pod<std::uint32_t>(payload, off + 4);
+    off += 8;
+    if (start + len > dst_size || off + len > payload.size()) {
+      throw std::runtime_error("apply_diff: malformed diff record");
+    }
+    std::memcpy(dst + start, payload.data() + off, len);
+    off += len;
+  }
+}
+
+}  // namespace wire
+
+Node::Node(Cluster& cluster, int id)
+    : cluster_(cluster), id_(id), cache_(cluster.config().cache_pages) {}
+
+int Node::nodes() const noexcept { return cluster_.nodes(); }
+
+net::Message Node::request(net::Message msg) {
+  msg.src = id_;
+  cluster_.transport_.send(std::move(msg));
+  auto reply = cluster_.transport_.reply_box(id_).pop();
+  if (!reply) throw std::runtime_error("DSM node: reply box closed mid-request");
+  return *std::move(reply);
+}
+
+Frame* Node::ensure_cached(PageId p) {
+  if (Frame* f = cache_.lookup(p)) return f;
+  ++stats_.read_faults;
+  net::Message msg;
+  msg.dst = cluster_.space_.home_of(p);
+  msg.type = net::MsgType::kGetPage;
+  msg.a = p;
+  net::Message reply = request(std::move(msg));
+  PageCache::Evicted evicted;
+  Frame* f = cache_.insert(p, std::move(reply.payload), &evicted);
+  if (evicted.valid) {
+    ++stats_.evictions;
+    if (evicted.frame.dirty) {
+      flush_frame_diff(evicted.page, evicted.frame);
+      pending_notices_.push_back(evicted.page);
+    }
+  }
+  return f;
+}
+
+Frame* Node::ensure_writable_frame(PageId p) {
+  Frame* f = ensure_cached(p);
+  if (!f->dirty) {
+    f->twin = f->data;  // create the twin for the multiple-writer diff
+    f->dirty = true;
+    ++stats_.write_faults;
+  }
+  return f;
+}
+
+void Node::read_bytes(GlobalAddr a, std::byte* out, std::size_t n) {
+  GlobalSpace& space = cluster_.space_;
+  const std::size_t page_bytes = space.page_bytes();
+  while (n > 0) {
+    const PageId p = space.page_of(a);
+    const std::size_t off = space.offset_in_page(a);
+    const std::size_t chunk = std::min(n, page_bytes - off);
+    if (space.home_of(p) == id_) {
+      const std::scoped_lock guard(space.page_mutex(p));
+      std::memcpy(out, space.home_data(p) + off, chunk);
+    } else {
+      Frame* f = ensure_cached(p);
+      std::memcpy(out, f->data.data() + off, chunk);
+    }
+    a += chunk;
+    out += chunk;
+    n -= chunk;
+  }
+}
+
+void Node::write_bytes(GlobalAddr a, const std::byte* in, std::size_t n) {
+  GlobalSpace& space = cluster_.space_;
+  const std::size_t page_bytes = space.page_bytes();
+  while (n > 0) {
+    const PageId p = space.page_of(a);
+    const std::size_t off = space.offset_in_page(a);
+    const std::size_t chunk = std::min(n, page_bytes - off);
+    if (space.home_of(p) == id_) {
+      // The home copy is canonical: write through under the page mutex and
+      // remember the page for the next write-notice propagation.
+      {
+        const std::scoped_lock guard(space.page_mutex(p));
+        std::memcpy(space.home_data(p) + off, in, chunk);
+      }
+      home_written_.insert(p);
+    } else {
+      Frame* f = ensure_writable_frame(p);
+      std::memcpy(f->data.data() + off, in, chunk);
+    }
+    a += chunk;
+    in += chunk;
+    n -= chunk;
+  }
+}
+
+void Node::flush_frame_diff(PageId p, Frame& frame) {
+  std::vector<std::byte> diff = wire::make_diff(frame.twin, frame.data);
+  ++stats_.diffs_sent;
+  stats_.diff_bytes += diff.size();
+  net::Message msg;
+  msg.dst = cluster_.space_.home_of(p);
+  msg.type = net::MsgType::kDiff;
+  msg.a = p;
+  msg.payload = std::move(diff);
+  net::Message ack = request(std::move(msg));
+  assert(ack.type == net::MsgType::kDiffAck);
+  (void)ack;
+  frame.twin.clear();
+  frame.twin.shrink_to_fit();
+  frame.dirty = false;
+}
+
+void Node::flush_all_diffs() {
+  for (PageId p : cache_.dirty_pages()) {
+    Frame* f = cache_.lookup(p);
+    assert(f != nullptr && f->dirty);
+    flush_frame_diff(p, *f);
+    pending_notices_.push_back(p);
+  }
+}
+
+std::vector<std::byte> Node::take_notices() {
+  std::vector<PageId> notices = std::move(pending_notices_);
+  pending_notices_.clear();
+  notices.insert(notices.end(), home_written_.begin(), home_written_.end());
+  home_written_.clear();
+  std::sort(notices.begin(), notices.end());
+  notices.erase(std::unique(notices.begin(), notices.end()), notices.end());
+  return wire::encode_pages(notices);
+}
+
+void Node::apply_notices(const std::vector<std::byte>& payload) {
+  apply_notices(wire::decode_pages(payload));
+}
+
+void Node::apply_notices(const std::vector<PageId>& pages) {
+  for (PageId p : pages) {
+    if (cluster_.space_.home_of(p) == id_) continue;  // home copy stays valid
+    Frame* f = cache_.lookup(p);
+    if (f == nullptr) continue;
+    if (f->dirty) {
+      // Concurrent-writer case: merge our modifications home before
+      // dropping the stale copy, so no write is lost.
+      flush_frame_diff(p, *f);
+      pending_notices_.push_back(p);
+    }
+    cache_.erase(p);
+    ++stats_.invalidations;
+  }
+}
+
+void Node::lock(int lock_id) {
+  ++stats_.lock_acquires;
+  net::Message msg;
+  msg.dst = lock_id % nodes();
+  msg.type = net::MsgType::kAcquire;
+  msg.a = static_cast<std::uint64_t>(lock_id);
+  net::Message grant = request(std::move(msg));
+  assert(grant.type == net::MsgType::kAcquireGrant);
+  apply_notices(grant.payload);
+}
+
+void Node::unlock(int lock_id) {
+  ++stats_.lock_releases;
+  flush_all_diffs();
+  net::Message msg;
+  msg.src = id_;
+  msg.dst = lock_id % nodes();
+  msg.type = net::MsgType::kRelease;
+  msg.a = static_cast<std::uint64_t>(lock_id);
+  msg.payload = take_notices();
+  cluster_.transport_.send(std::move(msg));  // release needs no reply
+}
+
+void Node::barrier() {
+  ++stats_.barriers;
+  flush_all_diffs();
+  net::Message msg;
+  msg.dst = 0;  // barrier owner
+  msg.type = net::MsgType::kBarrier;
+  msg.payload = take_notices();
+  net::Message grant = request(std::move(msg));
+  assert(grant.type == net::MsgType::kBarrierGrant);
+  const wire::BarrierGrant decoded = wire::decode_barrier_grant(grant.payload);
+  apply_notices(decoded.notices);
+  for (const auto& [page, new_home] : decoded.migrations) {
+    // A page that migrated HERE is now served from the home copy directly;
+    // drop any stale cached frame so reads take the home path.
+    if (new_home == id_) cache_.erase(page);
+  }
+}
+
+void Node::setcv(int cv_id) {
+  ++stats_.cv_signals;
+  // Release semantics: make this node's writes visible to whoever wakes.
+  flush_all_diffs();
+  net::Message msg;
+  msg.src = id_;
+  msg.dst = cv_id % nodes();
+  msg.type = net::MsgType::kSetCv;
+  msg.a = static_cast<std::uint64_t>(cv_id);
+  msg.payload = take_notices();
+  cluster_.transport_.send(std::move(msg));  // signal needs no reply
+}
+
+void Node::waitcv(int cv_id) {
+  ++stats_.cv_waits;
+  net::Message msg;
+  msg.dst = cv_id % nodes();
+  msg.type = net::MsgType::kWaitCv;
+  msg.a = static_cast<std::uint64_t>(cv_id);
+  net::Message grant = request(std::move(msg));
+  assert(grant.type == net::MsgType::kCvGrant);
+  apply_notices(grant.payload);
+}
+
+GlobalAddr Node::alloc(std::size_t bytes, int home) {
+  net::Message msg;
+  msg.dst = 0;
+  msg.type = net::MsgType::kAllocate;
+  msg.a = bytes;
+  msg.b = static_cast<std::uint64_t>(static_cast<std::int64_t>(home));
+  net::Message reply = request(std::move(msg));
+  assert(reply.type == net::MsgType::kAllocateReply);
+  return reply.a;
+}
+
+}  // namespace gdsm::dsm

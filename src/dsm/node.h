@@ -1,0 +1,131 @@
+// The application-side DSM interface: one Node per cluster process.
+//
+// API parity with JIAJIA (Section 3.1):
+//   jiapid        -> id()
+//   jia_alloc     -> alloc()
+//   jia_lock      -> lock()
+//   jia_unlock    -> unlock()
+//   jia_barrier   -> barrier()
+//   jia_setcv     -> setcv()
+//   jia_waitcv    -> waitcv()
+//
+// Access to shared memory is API-mediated (read/write) rather than
+// SIGSEGV-trapped: per-node page protections cannot exist inside a single
+// OS process, but the protocol state machine is the same — fetch on read
+// fault, twin on first write, diffs to home nodes at release points, write
+// notices invalidating stale copies at acquire points (home-based
+// write-invalidate multiple-writer protocol under Scope Consistency).
+//
+// One deliberate extension: setcv() performs a release (diff flush + write
+// notices attached to the signal) and waitcv() performs the matching acquire
+// (invalidation of the noticed pages).  The paper's wave-front strategies
+// publish a border cell and then signal a condition variable; without
+// release/acquire semantics on the cv pair that publication would be
+// invisible under pure Scope Consistency.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <type_traits>
+#include <vector>
+
+#include "dsm/page_cache.h"
+#include "dsm/stats.h"
+#include "net/message.h"
+
+namespace gdsm::dsm {
+
+class Cluster;
+
+class Node {
+ public:
+  Node(Cluster& cluster, int id);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const noexcept { return id_; }   ///< JIAJIA's jiapid
+  int nodes() const noexcept;
+
+  // -- shared memory access ------------------------------------------------
+  template <typename T>
+  T read(GlobalAddr a) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    read_bytes(a, reinterpret_cast<std::byte*>(&v), sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void write(GlobalAddr a, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_bytes(a, reinterpret_cast<const std::byte*>(&v), sizeof(T));
+  }
+
+  void read_bytes(GlobalAddr a, std::byte* out, std::size_t n);
+  void write_bytes(GlobalAddr a, const std::byte* in, std::size_t n);
+
+  // -- synchronization -----------------------------------------------------
+  void lock(int lock_id);
+  void unlock(int lock_id);
+  void barrier();
+  void setcv(int cv_id);
+  void waitcv(int cv_id);
+
+  /// Collective-style allocation routed through node 0 (any node may call;
+  /// the caller is responsible for telling the other nodes the address).
+  GlobalAddr alloc(std::size_t bytes, int home = -1);
+
+  const NodeStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class Cluster;
+
+  Frame* ensure_cached(PageId p);             ///< read-fault path
+  Frame* ensure_writable_frame(PageId p);     ///< write-fault path (twin)
+  void flush_frame_diff(PageId p, Frame& frame);  ///< send one diff, await ack
+  void flush_all_diffs();                     ///< release-time diff propagation
+  std::vector<std::byte> take_notices();      ///< encode + clear pending notices
+  void apply_notices(const std::vector<std::byte>& payload);
+  void apply_notices(const std::vector<PageId>& pages);
+  net::Message request(net::Message msg);     ///< send, block on the reply box
+
+  Cluster& cluster_;
+  int id_;
+  PageCache cache_;
+  std::set<PageId> home_written_;     ///< modified home pages (no diff needed)
+  std::vector<PageId> pending_notices_;  ///< e.g. dirty evictions mid-interval
+  NodeStats stats_;
+};
+
+/// Typed view over a shared allocation; element i lives at
+/// base + i * sizeof(T).  Elements may straddle page boundaries; Node's
+/// byte-level access handles that.
+template <typename T>
+class SharedArray {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>);
+  SharedArray() = default;
+  SharedArray(GlobalAddr base, std::size_t count) : base_(base), count_(count) {}
+
+  GlobalAddr addr(std::size_t i) const noexcept { return base_ + i * sizeof(T); }
+  std::size_t size() const noexcept { return count_; }
+
+  T get(Node& node, std::size_t i) const { return node.read<T>(addr(i)); }
+  void put(Node& node, std::size_t i, const T& v) const { node.write(addr(i), v); }
+
+  /// Bulk helpers for contiguous ranges.
+  void get_range(Node& node, std::size_t first, std::size_t n, T* out) const {
+    node.read_bytes(addr(first), reinterpret_cast<std::byte*>(out), n * sizeof(T));
+  }
+  void put_range(Node& node, std::size_t first, std::size_t n, const T* in) const {
+    node.write_bytes(addr(first), reinterpret_cast<const std::byte*>(in),
+                     n * sizeof(T));
+  }
+
+ private:
+  GlobalAddr base_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace gdsm::dsm

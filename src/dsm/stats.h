@@ -1,0 +1,56 @@
+// Protocol activity counters, per node and cluster-wide.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace gdsm::dsm {
+
+struct NodeStats {
+  std::uint64_t read_faults = 0;    ///< remote page fetches
+  std::uint64_t write_faults = 0;   ///< twin creations (first write to a page)
+  std::uint64_t diffs_sent = 0;
+  std::uint64_t diff_bytes = 0;     ///< payload bytes of diffs
+  std::uint64_t invalidations = 0;  ///< pages dropped due to write notices
+  std::uint64_t evictions = 0;      ///< frames evicted by the replacement policy
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t lock_releases = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t cv_signals = 0;
+  std::uint64_t cv_waits = 0;
+
+  NodeStats& operator+=(const NodeStats& o) noexcept {
+    read_faults += o.read_faults;
+    write_faults += o.write_faults;
+    diffs_sent += o.diffs_sent;
+    diff_bytes += o.diff_bytes;
+    invalidations += o.invalidations;
+    evictions += o.evictions;
+    lock_acquires += o.lock_acquires;
+    lock_releases += o.lock_releases;
+    barriers += o.barriers;
+    cv_signals += o.cv_signals;
+    cv_waits += o.cv_waits;
+    return *this;
+  }
+};
+
+struct DsmStats {
+  std::vector<NodeStats> node;                   ///< per application node
+  std::vector<net::TrafficCounters> traffic;     ///< per node, messages sent
+  std::uint64_t home_migrations = 0;             ///< pages whose home moved
+  NodeStats total_node() const {
+    NodeStats t;
+    for (const auto& n : node) t += n;
+    return t;
+  }
+  net::TrafficCounters total_traffic() const {
+    net::TrafficCounters t;
+    for (const auto& c : traffic) t += c;
+    return t;
+  }
+};
+
+}  // namespace gdsm::dsm

@@ -1,0 +1,37 @@
+// Payload encodings shared by the node (producer) and service (consumer)
+// sides of the protocol: write-notice lists and page diffs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/global_space.h"
+#include "net/message.h"
+
+namespace gdsm::dsm::wire {
+
+/// Write notices: a flat array of page ids.
+std::vector<std::byte> encode_pages(const std::vector<PageId>& pages);
+std::vector<PageId> decode_pages(const std::vector<std::byte>& payload);
+
+/// Barrier grant payload: the union of the interval's write notices plus
+/// the home-migration decisions the manager took (empty unless the
+/// home_migration option is ON).
+struct BarrierGrant {
+  std::vector<PageId> notices;
+  std::vector<std::pair<PageId, int>> migrations;  ///< (page, new home)
+};
+
+std::vector<std::byte> encode_barrier_grant(const BarrierGrant& grant);
+BarrierGrant decode_barrier_grant(const std::vector<std::byte>& payload);
+
+/// Diff format: repeated records of (u32 offset, u32 length, bytes...).
+/// Produced by comparing a dirty page against its twin; runs closer than
+/// 8 identical bytes apart are merged to keep record overhead low, the same
+/// trade-off real diff-based DSMs make.
+std::vector<std::byte> make_diff(const std::vector<std::byte>& twin,
+                                 const std::vector<std::byte>& data);
+void apply_diff(std::byte* dst, std::size_t dst_size,
+                const std::vector<std::byte>& payload);
+
+}  // namespace gdsm::dsm::wire

@@ -1,0 +1,130 @@
+#include "mp/comm.h"
+
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace gdsm::mp {
+
+int Comm::size() const noexcept { return world_.transport_.nodes(); }
+
+void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
+  net::Message msg;
+  msg.src = rank_;
+  msg.dst = dst;
+  msg.type = net::MsgType::kUserData;
+  msg.a = static_cast<std::uint64_t>(static_cast<std::int64_t>(tag));
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  world_.transport_.send(std::move(msg));
+}
+
+std::vector<std::byte> Comm::recv(int src, int tag, int* actual_src,
+                                  int* actual_tag) {
+  auto matches = [&](const net::Message& m) {
+    const int m_tag = static_cast<int>(static_cast<std::int64_t>(m.a));
+    return (src == kAnySource || m.src == src) &&
+           (tag == kAnyTag || m_tag == tag);
+  };
+  // Out-of-order messages stashed by earlier recvs are matched first, in
+  // arrival order (MPI's non-overtaking rule per (source, tag) pair).
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (matches(*it)) {
+      net::Message msg = std::move(*it);
+      pending_.erase(it);
+      if (actual_src != nullptr) *actual_src = msg.src;
+      if (actual_tag != nullptr) {
+        *actual_tag = static_cast<int>(static_cast<std::int64_t>(msg.a));
+      }
+      return std::move(msg.payload);
+    }
+  }
+  while (true) {
+    auto msg = world_.transport_.service_box(rank_).pop();
+    if (!msg) throw std::runtime_error("mp::recv: world shut down mid-receive");
+    if (!matches(*msg)) {
+      pending_.push_back(*std::move(msg));
+      continue;
+    }
+    if (actual_src != nullptr) *actual_src = msg->src;
+    if (actual_tag != nullptr) {
+      *actual_tag = static_cast<int>(static_cast<std::int64_t>(msg->a));
+    }
+    return std::move(msg->payload);
+  }
+}
+
+void Comm::barrier() {
+  // Central coordinator: everyone checks in with rank 0, rank 0 releases.
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) (void)recv(r, kBarrierTag);
+    for (int r = 1; r < size(); ++r) send(r, kBarrierTag, nullptr, 0);
+  } else {
+    send(0, kBarrierTag, nullptr, 0);
+    (void)recv(0, kBarrierTag);
+  }
+}
+
+void Comm::bcast(int root, void* data, std::size_t bytes) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, kBcastTag, data, bytes);
+    }
+  } else {
+    const auto payload = recv(root, kBcastTag);
+    if (payload.size() != bytes) {
+      throw std::runtime_error("mp::bcast: size mismatch");
+    }
+    if (bytes > 0) std::memcpy(data, payload.data(), bytes);
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::gather(int root, const void* data,
+                                                 std::size_t bytes) {
+  std::vector<std::vector<std::byte>> out;
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)].resize(bytes);
+    if (bytes > 0) {
+      std::memcpy(out[static_cast<std::size_t>(root)].data(), data, bytes);
+    }
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      out[static_cast<std::size_t>(r)] = recv(r, kGatherTag);
+    }
+  } else {
+    send(root, kGatherTag, data, bytes);
+  }
+  return out;
+}
+
+World::World(int nprocs) : transport_(nprocs) {
+  if (nprocs <= 0) throw std::invalid_argument("mp::World: need >= 1 rank");
+}
+
+void World::run(const std::function<void(Comm&)>& program) {
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(*this, r);
+      try {
+        program(comm);
+      } catch (...) {
+        {
+          const std::scoped_lock guard(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        transport_.shutdown();  // unblock ranks stuck in recv
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gdsm::mp

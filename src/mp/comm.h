@@ -1,0 +1,152 @@
+// A small MPI-like message-passing layer over the in-process transport.
+//
+// The paper argues DSM "offers an easier programming model than its
+// message-passing counterpart" (Section 7) and plans message passing for
+// inter-cluster communication in future work.  This layer provides the
+// counterpart: blocking tagged send/recv with (source, tag) matching plus
+// the collectives the strategies need (barrier, broadcast, reduce, gather),
+// implemented with the classic rendezvous-free eager protocol.
+//
+// Usage mirrors the DSM cluster:
+//   mp::World world(8);
+//   world.run([](mp::Comm& comm) {
+//     if (comm.rank() == 0) comm.send_value(1, /*tag=*/0, 42);
+//     else if (comm.rank() == 1) int v = comm.recv_value<int>(0, 0);
+//   });
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <type_traits>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace gdsm::mp {
+
+/// Wildcard source for recv.
+inline constexpr int kAnySource = -1;
+/// Wildcard tag for recv.
+inline constexpr int kAnyTag = -1;
+
+class World;
+
+/// Per-rank communicator handle, valid inside World::run's program.
+class Comm {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  // -- point to point ------------------------------------------------------
+  void send(int dst, int tag, const void* data, std::size_t bytes);
+
+  /// Blocks until a message matching (src, tag) arrives (wildcards allowed).
+  /// Returns the payload; out parameters receive the actual source and tag.
+  std::vector<std::byte> recv(int src, int tag, int* actual_src = nullptr,
+                              int* actual_tag = nullptr);
+
+  /// Typed convenience wrappers.
+  template <typename T>
+  void send_value(int dst, int tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dst, tag, &v, sizeof(T));
+  }
+
+  template <typename T>
+  T recv_value(int src, int tag) {
+    const auto bytes = recv(src, tag);
+    T v;
+    if (bytes.size() != sizeof(T)) {
+      throw std::runtime_error("mp::recv_value: size mismatch");
+    }
+    std::memcpy(&v, bytes.data(), sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void send_span(int dst, int tag, const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dst, tag, data, count * sizeof(T));
+  }
+
+  template <typename T>
+  std::vector<T> recv_vector(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto bytes = recv(src, tag);
+    if (bytes.size() % sizeof(T) != 0) {
+      throw std::runtime_error("mp::recv_vector: size not a multiple of T");
+    }
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  // -- collectives (all ranks must participate, same order) -----------------
+  void barrier();
+
+  /// Root's buffer is broadcast into every rank's buffer.
+  void bcast(int root, void* data, std::size_t bytes);
+
+  template <typename T>
+  T bcast_value(int root, T v) {
+    bcast(root, &v, sizeof(T));
+    return v;
+  }
+
+  /// Sum-reduction to every rank.
+  template <typename T>
+  T all_reduce_sum(T value) {
+    static_assert(std::is_arithmetic_v<T>);
+    if (rank_ != 0) {
+      send_value(0, kReduceTag, value);
+      return bcast_value(0, T{});
+    }
+    T total = value;
+    for (int r = 1; r < size(); ++r) total += recv_value<T>(r, kReduceTag);
+    return bcast_value(0, total);
+  }
+
+  /// Gathers each rank's byte buffer to root (returned vector indexed by
+  /// rank at root; empty elsewhere).
+  std::vector<std::vector<std::byte>> gather(int root, const void* data,
+                                             std::size_t bytes);
+
+ private:
+  friend class World;
+  Comm(World& world, int rank) : world_(world), rank_(rank) {}
+
+  static constexpr int kBarrierTag = -1000;
+  static constexpr int kBcastTag = -1001;
+  static constexpr int kReduceTag = -1002;
+  static constexpr int kGatherTag = -1003;
+
+  World& world_;
+  int rank_;
+  std::list<net::Message> pending_;  ///< received but not yet matched
+};
+
+/// SPMD runner: one thread per rank.
+class World {
+ public:
+  explicit World(int nprocs);
+
+  int size() const noexcept { return transport_.nodes(); }
+
+  /// Runs `program` on every rank and joins; exceptions are rethrown.
+  void run(const std::function<void(Comm&)>& program);
+
+  /// Cumulative traffic (messages/bytes per source rank).
+  net::TrafficCounters counters(int rank) const {
+    return transport_.counters(rank);
+  }
+  net::TrafficCounters total_counters() const {
+    return transport_.total_counters();
+  }
+
+ private:
+  friend class Comm;
+  net::Transport transport_;
+};
+
+}  // namespace gdsm::mp

@@ -1,0 +1,57 @@
+// Blocking MPSC mailbox: the per-node message queue.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "net/message.h"
+
+namespace gdsm::net {
+
+/// Unbounded blocking queue of messages.  Multiple producers (any node's
+/// threads), one logical consumer (the owning node's service or application
+/// thread).  close() wakes the consumer, which then drains and sees
+/// std::nullopt.
+class Mailbox {
+ public:
+  void push(Message msg) {
+    {
+      const std::scoped_lock lock(mu_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a message arrives or the box is closed and drained.
+  std::optional<Message> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    Message msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+  void close() {
+    {
+      const std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    const std::scoped_lock lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace gdsm::net

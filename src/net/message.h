@@ -1,0 +1,73 @@
+// Protocol messages exchanged between DSM nodes.
+//
+// In the real JIAJIA system these are UDP datagrams serviced by a SIGIO
+// handler; here they are typed records moved between in-process mailboxes.
+// The modeled wire size (header + payload) feeds the traffic statistics that
+// the simulator's cost model consumes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace gdsm::net {
+
+enum class MsgType : std::uint8_t {
+  kGetPage,       ///< read fault: fetch a page from its home
+  kPageData,      ///< home -> faulting node: page contents
+  kDiff,          ///< release: run-length diff of a dirty page to its home
+  kDiffAck,       ///< home -> releaser: diff applied
+  kAcquire,       ///< lock acquire request to the lock manager
+  kAcquireGrant,  ///< manager -> acquirer: lock granted + write notices
+  kRelease,       ///< lock release notification + write notices
+  kBarrier,       ///< barrier arrival + write notices (Fig. 6 "BARR")
+  kBarrierGrant,  ///< barrier exit + union of write notices ("BARRGRANT")
+  kSetCv,         ///< condition signal + write notices
+  kWaitCv,        ///< condition wait request
+  kCvGrant,       ///< manager -> waiter: condition granted + write notices
+  kAllocate,      ///< collective allocation forwarded to node 0
+  kAllocateReply, ///< node 0 -> requester: base address
+  kUserData,      ///< message-passing layer payload (src/mp)
+  kStop,          ///< shuts a service loop down (not a protocol message)
+};
+
+inline constexpr int kNumMsgTypes = 16;
+
+const char* msg_type_name(MsgType t) noexcept;
+
+/// One protocol message.  `a`, `b`, `c` carry small scalar arguments whose
+/// meaning depends on the type (page id, lock id, sequence number, ...).
+struct Message {
+  int src = -1;
+  int dst = -1;
+  MsgType type = MsgType::kStop;
+  bool to_reply_box = false;  ///< replies go to the waiting application thread
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::vector<std::byte> payload;
+
+  /// Modeled on a UDP datagram: 28 bytes of IP+UDP header plus a small
+  /// fixed protocol header, as JIAJIA's messages carry.
+  std::size_t wire_size() const noexcept { return 40 + payload.size(); }
+};
+
+/// Helpers to move plain structs through payloads.
+template <typename T>
+void append_pod(std::vector<std::byte>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_pod(const std::vector<std::byte>& in, std::size_t offset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v;
+  std::memcpy(&v, in.data() + offset, sizeof(T));
+  return v;
+}
+
+}  // namespace gdsm::net

@@ -1,0 +1,89 @@
+#include "net/transport.h"
+
+#include <cassert>
+
+namespace gdsm::net {
+
+const char* msg_type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kGetPage: return "GETPAGE";
+    case MsgType::kPageData: return "PAGEDATA";
+    case MsgType::kDiff: return "DIFF";
+    case MsgType::kDiffAck: return "DIFFACK";
+    case MsgType::kAcquire: return "ACQ";
+    case MsgType::kAcquireGrant: return "ACQGRANT";
+    case MsgType::kRelease: return "REL";
+    case MsgType::kBarrier: return "BARR";
+    case MsgType::kBarrierGrant: return "BARRGRANT";
+    case MsgType::kSetCv: return "SETCV";
+    case MsgType::kWaitCv: return "WAITCV";
+    case MsgType::kCvGrant: return "CVGRANT";
+    case MsgType::kAllocate: return "ALLOC";
+    case MsgType::kAllocateReply: return "ALLOCREPLY";
+    case MsgType::kUserData: return "USERDATA";
+    case MsgType::kStop: return "STOP";
+  }
+  return "?";
+}
+
+std::uint64_t TrafficCounters::total_messages() const noexcept {
+  std::uint64_t total = 0;
+  for (auto v : messages) total += v;
+  return total;
+}
+
+std::uint64_t TrafficCounters::total_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (auto v : bytes) total += v;
+  return total;
+}
+
+TrafficCounters& TrafficCounters::operator+=(const TrafficCounters& other) noexcept {
+  for (int i = 0; i < kNumMsgTypes; ++i) {
+    messages[i] += other.messages[i];
+    bytes[i] += other.bytes[i];
+  }
+  return *this;
+}
+
+Transport::Transport(int n_nodes) : n_nodes_(n_nodes) {
+  boxes_.reserve(static_cast<std::size_t>(n_nodes));
+  for (int i = 0; i < n_nodes; ++i) boxes_.push_back(std::make_unique<NodeBoxes>());
+}
+
+void Transport::send(Message msg) {
+  assert(msg.dst >= 0 && msg.dst < n_nodes_);
+  if (msg.src >= 0 && msg.src != msg.dst) {
+    auto& from = *boxes_[msg.src];
+    const auto idx = static_cast<std::size_t>(msg.type);
+    from.sent_messages[idx].fetch_add(1, std::memory_order_relaxed);
+    from.sent_bytes[idx].fetch_add(msg.wire_size(), std::memory_order_relaxed);
+  }
+  auto& to = *boxes_[msg.dst];
+  (msg.to_reply_box ? to.reply : to.service).push(std::move(msg));
+}
+
+void Transport::shutdown() {
+  for (auto& b : boxes_) {
+    b->service.close();
+    b->reply.close();
+  }
+}
+
+TrafficCounters Transport::counters(int node) const {
+  TrafficCounters out;
+  const auto& b = *boxes_[node];
+  for (int i = 0; i < kNumMsgTypes; ++i) {
+    out.messages[i] = b.sent_messages[i].load(std::memory_order_relaxed);
+    out.bytes[i] = b.sent_bytes[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+TrafficCounters Transport::total_counters() const {
+  TrafficCounters out;
+  for (int n = 0; n < n_nodes_; ++n) out += counters(n);
+  return out;
+}
+
+}  // namespace gdsm::net

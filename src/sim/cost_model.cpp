@@ -1,0 +1,7 @@
+#include "sim/cost_model.h"
+
+// The cost model is header-only arithmetic; this translation unit exists so
+// the library has a stable archive member and a home for future non-inline
+// calibration helpers.
+
+namespace gdsm::sim {}

@@ -1,0 +1,99 @@
+// Deterministic timestamp-algebra cluster simulator.
+//
+// Each node has an *application* clock (the SPMD program) and a *service*
+// availability time (the SIGIO protocol handler).  Strategy simulators
+// replay the exact message sequence their threaded counterparts issue;
+// makespans and per-category breakdowns fall out of max/plus arithmetic, so
+// results are bit-reproducible and independent of the host machine.
+//
+// Time accounting categories match the paper's Fig. 10 breakdown
+// (computation / communication / lock+cv / barrier) plus disk I/O for the
+// pre-process strategy.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace gdsm::sim {
+
+enum class Cat : int {
+  kCompute = 0,
+  kComm,     ///< page fetches, diffs, data transfer
+  kLockCv,   ///< lock/cv protocol and the waiting they induce
+  kBarrier,  ///< barrier protocol and waiting
+  kIo,       ///< disk writes (pre-process strategy)
+  kCount
+};
+
+inline constexpr int kNumCats = static_cast<int>(Cat::kCount);
+
+const char* cat_name(Cat c) noexcept;
+
+/// Per-node accumulated seconds by category.
+struct Breakdown {
+  std::array<double, kNumCats> seconds{};
+
+  double total() const noexcept {
+    double t = 0;
+    for (double v : seconds) t += v;
+    return t;
+  }
+  double operator[](Cat c) const noexcept { return seconds[static_cast<int>(c)]; }
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(int n_nodes, const CostModel& cm);
+
+  int nodes() const noexcept { return n_; }
+  const CostModel& cost() const noexcept { return cm_; }
+
+  double now(int node) const { return clock_[static_cast<std::size_t>(node)]; }
+
+  /// Advances a node's application clock by busy work.
+  void busy(int node, double dt, Cat cat);
+
+  /// Blocks the node until absolute time `t` (no-op if already past);
+  /// the waiting time is attributed to `cat`.
+  void wait_until(int node, double t, Cat cat);
+
+  /// One-way message from the application thread of `src` to the service
+  /// thread of `dst`: send CPU is charged to src, handler occupancy to
+  /// dst's service timeline.  Returns the time the handler *finishes*
+  /// processing it (e.g. when a forwarded grant could be emitted).
+  double send_async(int src, int dst, std::size_t payload_bytes, Cat cat);
+
+  /// Request/response round trip (page fetch, lock acquire, cv wait,
+  /// barrier): charges send CPU, queues on the server, waits for the reply.
+  /// `extra_ready` (absolute time) optionally delays the server's reply
+  /// until some other event has happened (e.g. the matching signal).
+  void rpc(int src, int server, std::size_t request_bytes,
+           std::size_t reply_bytes, Cat cat, double extra_ready = 0.0);
+
+  /// Service-side processing of an event arriving at `arrival` (handler
+  /// dispatch cost, no queueing — see the implementation note).  Returns
+  /// completion time.
+  double server_process(int server, double arrival);
+
+  /// Convenience: the max application clock over all nodes.
+  double makespan() const;
+
+  const Breakdown& breakdown(int node) const {
+    return acc_[static_cast<std::size_t>(node)];
+  }
+
+  /// Aggregated over nodes (averaged), for Fig. 10-style relative shares.
+  Breakdown average_breakdown() const;
+
+ private:
+  int n_;
+  CostModel cm_;
+  std::vector<double> clock_;  ///< application thread time per node
+  std::vector<Breakdown> acc_;
+};
+
+}  // namespace gdsm::sim

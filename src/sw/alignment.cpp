@@ -1,0 +1,189 @@
+#include "sw/alignment.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace gdsm {
+
+std::size_t Alignment::s_length() const noexcept {
+  std::size_t n = 0;
+  for (Op op : ops) n += (op != Op::Left);
+  return n;
+}
+
+std::size_t Alignment::t_length() const noexcept {
+  std::size_t n = 0;
+  for (Op op : ops) n += (op != Op::Up);
+  return n;
+}
+
+int Alignment::compute_score(const Sequence& s, const Sequence& t,
+                             const ScoreScheme& scheme) const {
+  int total = 0;
+  std::size_t i = s_begin;
+  std::size_t j = t_begin;
+  for (Op op : ops) {
+    switch (op) {
+      case Op::Diag:
+        total += scheme.substitution(s[i], t[j]);
+        ++i;
+        ++j;
+        break;
+      case Op::Up:
+        total += scheme.gap;
+        ++i;
+        break;
+      case Op::Left:
+        total += scheme.gap;
+        ++j;
+        break;
+    }
+  }
+  return total;
+}
+
+std::array<std::string, 3> Alignment::render(const Sequence& s,
+                                             const Sequence& t) const {
+  std::array<std::string, 3> lines;
+  std::size_t i = s_begin;
+  std::size_t j = t_begin;
+  for (Op op : ops) {
+    switch (op) {
+      case Op::Diag:
+        lines[0].push_back(decode_base(s[i]));
+        lines[1].push_back(s[i] == t[j] && s[i] != kBaseN ? '|' : ' ');
+        lines[2].push_back(decode_base(t[j]));
+        ++i;
+        ++j;
+        break;
+      case Op::Up:
+        lines[0].push_back(decode_base(s[i]));
+        lines[1].push_back(' ');
+        lines[2].push_back('_');
+        ++i;
+        break;
+      case Op::Left:
+        lines[0].push_back('_');
+        lines[1].push_back(' ');
+        lines[2].push_back(decode_base(t[j]));
+        ++j;
+        break;
+    }
+  }
+  return lines;
+}
+
+std::string Alignment::to_record(const Sequence& s, const Sequence& t) const {
+  std::ostringstream out;
+  out << "initial_x: " << s_begin + 1 << " final_x: " << s_end() << "\n"
+      << "initial_y: " << t_begin + 1 << " final_y: " << t_end() << "\n"
+      << "similarity: " << score << "\n";
+  const auto lines = render(s, t);
+  out << "align_s: " << lines[0] << "\n"
+      << "align_t: " << lines[2] << "\n";
+  return out.str();
+}
+
+std::string Alignment::cigar() const {
+  std::string out;
+  std::size_t run = 0;
+  char code = 0;
+  auto flush = [&] {
+    if (run > 0) {
+      out += std::to_string(run);
+      out.push_back(code);
+    }
+  };
+  for (Op op : ops) {
+    const char c = op == Op::Diag ? 'M' : op == Op::Up ? 'I' : 'D';
+    if (c != code) {
+      flush();
+      code = c;
+      run = 0;
+    }
+    ++run;
+  }
+  flush();
+  return out;
+}
+
+std::vector<Op> parse_cigar(const std::string& text) {
+  std::vector<Op> ops;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+      throw std::invalid_argument("parse_cigar: expected a length at " +
+                                  std::to_string(i));
+    }
+    std::size_t run = 0;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      run = run * 10 + static_cast<std::size_t>(text[i] - '0');
+      ++i;
+    }
+    if (i >= text.size() || run == 0) {
+      throw std::invalid_argument("parse_cigar: truncated or zero-length run");
+    }
+    Op op;
+    switch (text[i]) {
+      case 'M':
+      case '=':
+      case 'X':
+        op = Op::Diag;
+        break;
+      case 'I':
+        op = Op::Up;
+        break;
+      case 'D':
+        op = Op::Left;
+        break;
+      default:
+        throw std::invalid_argument(std::string("parse_cigar: bad op '") +
+                                    text[i] + "'");
+    }
+    ops.insert(ops.end(), run, op);
+    ++i;
+  }
+  return ops;
+}
+
+void finalize_candidates(std::vector<Candidate>& queue) {
+  std::sort(queue.begin(), queue.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.size_key() != b.size_key()) return a.size_key() > b.size_key();
+              if (a.s_begin != b.s_begin) return a.s_begin < b.s_begin;
+              if (a.t_begin != b.t_begin) return a.t_begin < b.t_begin;
+              if (a.s_end != b.s_end) return a.s_end < b.s_end;
+              if (a.t_end != b.t_end) return a.t_end < b.t_end;
+              return a.score > b.score;
+            });
+  queue.erase(std::unique(queue.begin(), queue.end()), queue.end());
+}
+
+std::vector<Candidate> cull_overlapping_candidates(std::vector<Candidate> queue,
+                                                   std::size_t max_count) {
+  std::sort(queue.begin(), queue.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.size_key() != b.size_key()) return a.size_key() > b.size_key();
+              if (a.s_begin != b.s_begin) return a.s_begin < b.s_begin;
+              return a.t_begin < b.t_begin;
+            });
+  std::vector<Candidate> kept;
+  for (const Candidate& c : queue) {
+    if (kept.size() >= max_count) break;
+    const bool overlaps = std::any_of(
+        kept.begin(), kept.end(), [&](const Candidate& prev) {
+          const bool s_disjoint =
+              c.s_end < prev.s_begin || prev.s_end < c.s_begin;
+          const bool t_disjoint =
+              c.t_end < prev.t_begin || prev.t_end < c.t_begin;
+          return !(s_disjoint || t_disjoint);
+        });
+    if (!overlaps) kept.push_back(c);
+  }
+  return kept;
+}
+
+}  // namespace gdsm

@@ -1,0 +1,88 @@
+// Alignment value types: edit operations, alignments with coordinates, and
+// the candidate records produced by the heuristic linear-space scan.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sw/scoring.h"
+#include "util/sequence.h"
+
+namespace gdsm {
+
+/// One alignment column, named by the traceback arrow of Section 2.2:
+/// Diag  = north-west arrow, s[i] aligned to t[j];
+/// Up    = north arrow, s[i] aligned to a space in t;
+/// Left  = west arrow, a space in s aligned to t[j].
+enum class Op : std::uint8_t { Diag, Up, Left };
+
+/// An alignment between s[s_begin ..] and t[t_begin ..] described by its
+/// operation list (in left-to-right order).  Coordinates are 0-based.
+struct Alignment {
+  std::size_t s_begin = 0;
+  std::size_t t_begin = 0;
+  int score = 0;
+  std::vector<Op> ops;
+
+  /// Number of characters of s / t consumed by the operation list.
+  std::size_t s_length() const noexcept;
+  std::size_t t_length() const noexcept;
+  std::size_t s_end() const noexcept { return s_begin + s_length(); }  ///< exclusive
+  std::size_t t_end() const noexcept { return t_begin + t_length(); }  ///< exclusive
+
+  /// Recomputes the score from the operations — used by tests to validate
+  /// that `score` is consistent with the claimed path.
+  int compute_score(const Sequence& s, const Sequence& t,
+                    const ScoreScheme& scheme) const;
+
+  /// Renders the classic three-line view (s on top, '|' markers, t below),
+  /// as in the paper's Figs. 1 and 16.
+  std::array<std::string, 3> render(const Sequence& s, const Sequence& t) const;
+
+  /// Fig. 16-style record: coordinates, similarity and the two gapped rows.
+  std::string to_record(const Sequence& s, const Sequence& t) const;
+
+  /// SAM-style CIGAR with s as the query and t as the reference:
+  /// Diag -> M, Up (consumes s only) -> I, Left (consumes t only) -> D.
+  /// Example: "12M2D5M1I3M".  Empty ops yield "".
+  std::string cigar() const;
+};
+
+/// Inverse of Alignment::cigar().  Accepts M/=/X as Diag, I as Up, D as
+/// Left; throws std::invalid_argument on malformed input.
+std::vector<Op> parse_cigar(const std::string& text);
+
+/// A similarity region found by phase 1 (the heuristic scan).  Coordinates
+/// are 1-based inclusive, matching the paper's Table 2 presentation.
+struct Candidate {
+  std::int32_t score = 0;
+  std::uint32_t s_begin = 0;
+  std::uint32_t s_end = 0;
+  std::uint32_t t_begin = 0;
+  std::uint32_t t_end = 0;
+
+  std::uint32_t s_span() const noexcept { return s_end - s_begin + 1; }
+  std::uint32_t t_span() const noexcept { return t_end - t_begin + 1; }
+  /// Sorting key used for the paper's "sorted by subsequence size" queue.
+  std::uint64_t size_key() const noexcept {
+    return std::uint64_t(s_span()) + t_span();
+  }
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
+};
+
+/// Sorts by subsequence size (descending, then by coordinates for
+/// determinism) and removes exact repeats — the paper's end-of-phase-1
+/// post-processing of the queue `alignments`.
+void finalize_candidates(std::vector<Candidate>& queue);
+
+/// Greedy overlap culling: keeps the best-scoring candidates whose regions
+/// do not overlap an already-kept one (in both sequences), up to max_count.
+/// The heuristic scan closes the same alignment at many nearby cells, so
+/// reporting layers use this to reduce the queue to distinct regions.
+std::vector<Candidate> cull_overlapping_candidates(std::vector<Candidate> queue,
+                                                   std::size_t max_count = 64);
+
+}  // namespace gdsm

@@ -1,0 +1,170 @@
+#include "sw/banded.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+namespace gdsm {
+namespace {
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+// Row-windowed score storage: row i holds columns [lo(i), hi(i)].
+class BandMatrix {
+ public:
+  BandMatrix(std::size_t m, std::size_t n, int band, int center)
+      : n_(n), band_(band), center_(center), rows_(m + 1) {
+    for (std::size_t i = 0; i <= m; ++i) {
+      const auto ii = static_cast<long long>(i);
+      const long long lo = std::max<long long>(0, ii + center - band);
+      const long long hi =
+          std::min<long long>(static_cast<long long>(n), ii + center + band);
+      rows_[i].lo = lo;
+      if (hi >= lo) rows_[i].cells.assign(static_cast<std::size_t>(hi - lo + 1), kNegInf);
+    }
+  }
+
+  bool in_band(std::size_t i, std::size_t j) const {
+    const auto& r = rows_[i];
+    const auto jj = static_cast<long long>(j);
+    return jj >= r.lo && jj < r.lo + static_cast<long long>(r.cells.size());
+  }
+  int at(std::size_t i, std::size_t j) const {
+    if (!in_band(i, j)) return kNegInf;
+    return rows_[i].cells[static_cast<std::size_t>(static_cast<long long>(j) -
+                                                   rows_[i].lo)];
+  }
+  void set(std::size_t i, std::size_t j, int v) {
+    rows_[i].cells[static_cast<std::size_t>(static_cast<long long>(j) -
+                                            rows_[i].lo)] = v;
+  }
+  long long lo(std::size_t i) const { return rows_[i].lo; }
+  long long hi(std::size_t i) const {
+    return rows_[i].lo + static_cast<long long>(rows_[i].cells.size()) - 1;
+  }
+
+ private:
+  std::size_t n_;
+  int band_, center_;
+  struct Row {
+    long long lo = 0;
+    std::vector<int> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+Alignment band_traceback(const BandMatrix& a, const Sequence& s,
+                         const Sequence& t, const ScoreScheme& scheme,
+                         std::size_t i, std::size_t j, bool local) {
+  Alignment out;
+  out.score = a.at(i, j);
+  std::vector<Op> rev;
+  while (i > 0 || j > 0) {
+    const int v = a.at(i, j);
+    if (local && v == 0) break;
+    if (i > 0 && j > 0 &&
+        v == a.at(i - 1, j - 1) + scheme.substitution(s[i - 1], t[j - 1])) {
+      rev.push_back(Op::Diag);
+      --i;
+      --j;
+      continue;
+    }
+    if (i > 0 && a.at(i - 1, j) > kNegInf && v == a.at(i - 1, j) + scheme.gap) {
+      rev.push_back(Op::Up);
+      --i;
+      continue;
+    }
+    if (j > 0 && a.at(i, j - 1) > kNegInf && v == a.at(i, j - 1) + scheme.gap) {
+      rev.push_back(Op::Left);
+      --j;
+      continue;
+    }
+    break;  // local start, or the band's corner
+  }
+  out.s_begin = i;
+  out.t_begin = j;
+  out.ops.assign(rev.rbegin(), rev.rend());
+  return out;
+}
+
+}  // namespace
+
+std::optional<Alignment> banded_needleman_wunsch(const Sequence& s,
+                                                 const Sequence& t, int band,
+                                                 int center_diag,
+                                                 const ScoreScheme& scheme) {
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+  // The end cell's diagonal must lie inside the band.
+  if (std::llabs(static_cast<long long>(n) - static_cast<long long>(m) -
+                 center_diag) > band) {
+    return std::nullopt;
+  }
+  BandMatrix a(m, n, band, center_diag);
+  if (a.in_band(0, 0)) a.set(0, 0, 0);
+  for (std::size_t j = 1; j <= n && a.in_band(0, j); ++j) {
+    a.set(0, j, static_cast<int>(j) * scheme.gap);
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (long long j = std::max<long long>(a.lo(i), 0); j <= a.hi(i); ++j) {
+      const auto uj = static_cast<std::size_t>(j);
+      if (uj == 0) {
+        a.set(i, 0, static_cast<int>(i) * scheme.gap);
+        continue;
+      }
+      const int diag =
+          a.at(i - 1, uj - 1) == kNegInf
+              ? kNegInf
+              : a.at(i - 1, uj - 1) + scheme.substitution(s[i - 1], t[uj - 1]);
+      const int up = a.at(i - 1, uj) == kNegInf ? kNegInf
+                                                : a.at(i - 1, uj) + scheme.gap;
+      const int left = a.at(i, uj - 1) == kNegInf
+                           ? kNegInf
+                           : a.at(i, uj - 1) + scheme.gap;
+      a.set(i, uj, std::max({diag, up, left}));
+    }
+  }
+  if (a.at(m, n) <= kNegInf) return std::nullopt;
+  return band_traceback(a, s, t, scheme, m, n, /*local=*/false);
+}
+
+Alignment banded_smith_waterman(const Sequence& s, const Sequence& t, int band,
+                                int center_diag, const ScoreScheme& scheme) {
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+  BandMatrix a(m, n, band, center_diag);
+  if (a.in_band(0, 0)) a.set(0, 0, 0);
+  for (std::size_t j = 1; j <= n && a.in_band(0, j); ++j) a.set(0, j, 0);
+  int best = 0;
+  std::size_t bi = 0, bj = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (long long j = std::max<long long>(a.lo(i), 0); j <= a.hi(i); ++j) {
+      const auto uj = static_cast<std::size_t>(j);
+      if (uj == 0) {
+        a.set(i, 0, 0);
+        continue;
+      }
+      const int diag_in = a.at(i - 1, uj - 1);
+      const int up_in = a.at(i - 1, uj);
+      const int left_in = a.at(i, uj - 1);
+      const int v = std::max(
+          {0,
+           diag_in == kNegInf
+               ? kNegInf
+               : diag_in + scheme.substitution(s[i - 1], t[uj - 1]),
+           up_in == kNegInf ? kNegInf : up_in + scheme.gap,
+           left_in == kNegInf ? kNegInf : left_in + scheme.gap});
+      a.set(i, uj, v);
+      if (v > best) {
+        best = v;
+        bi = i;
+        bj = uj;
+      }
+    }
+  }
+  if (best == 0) return Alignment{};
+  return band_traceback(a, s, t, scheme, bi, bj, /*local=*/true);
+}
+
+}  // namespace gdsm

@@ -1,0 +1,33 @@
+// k-banded alignment: DP restricted to diagonals within `band` of a center
+// diagonal.  O((m+n) * band) time/space instead of O(mn).
+//
+// This is the classical gapped-extension kernel of seed-and-extend searches
+// (the mini-BlastN uses it): around a seed hit the optimal alignment rarely
+// strays more than a few gaps from the seed diagonal, so a narrow band
+// suffices and is orders of magnitude cheaper than the full matrix.
+#pragma once
+
+#include <optional>
+
+#include "sw/alignment.h"
+#include "sw/scoring.h"
+#include "util/sequence.h"
+
+namespace gdsm {
+
+/// Global alignment constrained to |(j - i) - center_diag| <= band.
+/// Returns std::nullopt when no path exists within the band (i.e. the band
+/// does not connect (0,0) to (m,n): |n - m - center_diag| > band).
+std::optional<Alignment> banded_needleman_wunsch(const Sequence& s,
+                                                 const Sequence& t, int band,
+                                                 int center_diag = 0,
+                                                 const ScoreScheme& scheme = {});
+
+/// Local alignment constrained to the same band, with traceback.  The band
+/// is measured around `center_diag` (j - i).  Cells outside the band are
+/// unreachable.  Returns an empty alignment when nothing scores > 0.
+Alignment banded_smith_waterman(const Sequence& s, const Sequence& t, int band,
+                                int center_diag = 0,
+                                const ScoreScheme& scheme = {});
+
+}  // namespace gdsm

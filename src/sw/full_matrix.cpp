@@ -1,0 +1,159 @@
+#include "sw/full_matrix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gdsm {
+
+DpMatrix sw_fill(const Sequence& s, const Sequence& t, const ScoreScheme& scheme,
+                 MatrixBest* best) {
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+  DpMatrix a(m, n);
+  MatrixBest b;
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      const int diag = a.at(i - 1, j - 1) + scheme.substitution(s[i - 1], t[j - 1]);
+      const int up = a.at(i - 1, j) + scheme.gap;
+      const int left = a.at(i, j - 1) + scheme.gap;
+      const int v = std::max({0, diag, up, left});
+      a.at(i, j) = v;
+      if (v > b.score) b = MatrixBest{v, i, j};
+    }
+  }
+  if (best != nullptr) *best = b;
+  return a;
+}
+
+DpMatrix nw_fill(const Sequence& s, const Sequence& t, const ScoreScheme& scheme) {
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+  DpMatrix a(m, n);
+  for (std::size_t i = 1; i <= m; ++i) a.at(i, 0) = static_cast<int>(i) * scheme.gap;
+  for (std::size_t j = 1; j <= n; ++j) a.at(0, j) = static_cast<int>(j) * scheme.gap;
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      const int diag = a.at(i - 1, j - 1) + scheme.substitution(s[i - 1], t[j - 1]);
+      const int up = a.at(i - 1, j) + scheme.gap;
+      const int left = a.at(i, j - 1) + scheme.gap;
+      a.at(i, j) = std::max({diag, up, left});
+    }
+  }
+  return a;
+}
+
+namespace {
+
+// Shared traceback walker: `local` selects SW (stop at zero cells / border)
+// versus NW (walk to the origin, first row/column are gap runs).
+Alignment traceback_impl(const DpMatrix& a, const Sequence& s, const Sequence& t,
+                         const ScoreScheme& scheme, std::size_t i, std::size_t j,
+                         bool local) {
+  Alignment out;
+  out.score = a.at(i, j);
+  std::vector<Op> rev_ops;
+  while (i > 0 || j > 0) {
+    const int v = a.at(i, j);
+    if (local && v == 0) break;
+    if (i > 0 && j > 0) {
+      const int diag = a.at(i - 1, j - 1) + scheme.substitution(s[i - 1], t[j - 1]);
+      if (v == diag) {
+        rev_ops.push_back(Op::Diag);
+        --i;
+        --j;
+        continue;
+      }
+    }
+    if (i > 0 && v == a.at(i - 1, j) + scheme.gap) {
+      rev_ops.push_back(Op::Up);
+      --i;
+      continue;
+    }
+    if (j > 0 && v == a.at(i, j - 1) + scheme.gap) {
+      rev_ops.push_back(Op::Left);
+      --j;
+      continue;
+    }
+    if (local) break;  // reached a cell with no arrow
+    throw std::logic_error("traceback: inconsistent matrix");
+  }
+  out.s_begin = i;
+  out.t_begin = j;
+  out.ops.assign(rev_ops.rbegin(), rev_ops.rend());
+  return out;
+}
+
+}  // namespace
+
+Alignment sw_traceback(const DpMatrix& a, const Sequence& s, const Sequence& t,
+                       const ScoreScheme& scheme, std::size_t i, std::size_t j) {
+  return traceback_impl(a, s, t, scheme, i, j, /*local=*/true);
+}
+
+Alignment nw_traceback(const DpMatrix& a, const Sequence& s, const Sequence& t,
+                       const ScoreScheme& scheme) {
+  return traceback_impl(a, s, t, scheme, a.rows() - 1, a.cols() - 1,
+                        /*local=*/false);
+}
+
+Alignment smith_waterman(const Sequence& s, const Sequence& t,
+                         const ScoreScheme& scheme) {
+  MatrixBest best;
+  const DpMatrix a = sw_fill(s, t, scheme, &best);
+  if (best.score == 0) return Alignment{};  // no positive-scoring alignment
+  return sw_traceback(a, s, t, scheme, best.i, best.j);
+}
+
+Alignment needleman_wunsch(const Sequence& s, const Sequence& t,
+                           const ScoreScheme& scheme) {
+  const DpMatrix a = nw_fill(s, t, scheme);
+  return nw_traceback(a, s, t, scheme);
+}
+
+std::vector<Alignment> sw_all_alignments(const Sequence& s, const Sequence& t,
+                                         const ScoreScheme& scheme, int min_score,
+                                         std::size_t max_count) {
+  const DpMatrix a = sw_fill(s, t, scheme, nullptr);
+
+  // Collect end cells that are local maxima of the score landscape.
+  struct End {
+    int score;
+    std::size_t i, j;
+  };
+  std::vector<End> ends;
+  for (std::size_t i = 1; i < a.rows(); ++i) {
+    for (std::size_t j = 1; j < a.cols(); ++j) {
+      const int v = a.at(i, j);
+      if (v < min_score) continue;
+      // A cell is an alignment end if no neighbour extends it profitably.
+      const bool extendable =
+          (i + 1 < a.rows() && a.at(i + 1, j) > v) ||
+          (j + 1 < a.cols() && a.at(i, j + 1) > v) ||
+          (i + 1 < a.rows() && j + 1 < a.cols() && a.at(i + 1, j + 1) > v);
+      if (!extendable) ends.push_back(End{v, i, j});
+    }
+  }
+  std::sort(ends.begin(), ends.end(), [](const End& x, const End& y) {
+    if (x.score != y.score) return x.score > y.score;
+    if (x.i != y.i) return x.i < y.i;
+    return x.j < y.j;
+  });
+
+  std::vector<Alignment> out;
+  for (const End& e : ends) {
+    if (out.size() >= max_count) break;
+    Alignment al = sw_traceback(a, s, t, scheme, e.i, e.j);
+    const bool overlaps = std::any_of(
+        out.begin(), out.end(), [&](const Alignment& prev) {
+          const bool s_disjoint =
+              al.s_end() <= prev.s_begin || prev.s_end() <= al.s_begin;
+          const bool t_disjoint =
+              al.t_end() <= prev.t_begin || prev.t_end() <= al.t_begin;
+          return !(s_disjoint || t_disjoint);
+        });
+    if (!overlaps) out.push_back(std::move(al));
+  }
+  return out;
+}
+
+}  // namespace gdsm

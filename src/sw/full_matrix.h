@@ -1,0 +1,78 @@
+// Full-matrix dynamic programming (Section 2): the textbook Smith–Waterman
+// similarity array with traceback, and the Needleman–Wunsch global variant.
+//
+// These are O(mn) space and intended for worked examples, tests, phase-2
+// global alignment of similar regions (~300 bp) and the Section 6 rebuild of
+// small subregions.  Long sequences use the linear-space scans instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sw/alignment.h"
+#include "sw/scoring.h"
+#include "util/sequence.h"
+
+namespace gdsm {
+
+/// The similarity array A of Section 2.1, (m+1) x (n+1), row-major, where
+/// m = |s| indexes rows and n = |t| indexes columns.
+class DpMatrix {
+ public:
+  DpMatrix(std::size_t m, std::size_t n)
+      : rows_(m + 1), cols_(n + 1), cells_(rows_ * cols_, 0) {}
+
+  int& at(std::size_t i, std::size_t j) { return cells_[i * cols_ + j]; }
+  int at(std::size_t i, std::size_t j) const { return cells_[i * cols_ + j]; }
+
+  std::size_t rows() const noexcept { return rows_; }  ///< m + 1
+  std::size_t cols() const noexcept { return cols_; }  ///< n + 1
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<int> cells_;
+};
+
+struct MatrixBest {
+  int score = 0;
+  std::size_t i = 0;  ///< 1-based row of the best cell
+  std::size_t j = 0;  ///< 1-based column of the best cell
+};
+
+/// Fills the local-alignment array per Eq. (1) (first row/column zero, zero
+/// floor).  Returns the matrix; `best` receives the maximal cell (first in
+/// row-major order on ties).
+DpMatrix sw_fill(const Sequence& s, const Sequence& t, const ScoreScheme& scheme,
+                 MatrixBest* best = nullptr);
+
+/// Fills the global-alignment array of Section 2.3 (first row/column get gap
+/// penalties, no zero floor).
+DpMatrix nw_fill(const Sequence& s, const Sequence& t, const ScoreScheme& scheme);
+
+/// Traceback of a local alignment from cell (i, j) of a sw_fill matrix,
+/// following arrows until a zero cell (Section 2.2).  Arrow preference on
+/// ties is diagonal, then up, then left (compact alignments).
+Alignment sw_traceback(const DpMatrix& a, const Sequence& s, const Sequence& t,
+                       const ScoreScheme& scheme, std::size_t i, std::size_t j);
+
+/// Traceback of the global alignment from the bottom-right corner of an
+/// nw_fill matrix.
+Alignment nw_traceback(const DpMatrix& a, const Sequence& s, const Sequence& t,
+                       const ScoreScheme& scheme);
+
+/// Convenience: the best local alignment between s and t.
+Alignment smith_waterman(const Sequence& s, const Sequence& t,
+                         const ScoreScheme& scheme = {});
+
+/// Convenience: the global alignment between s and t.
+Alignment needleman_wunsch(const Sequence& s, const Sequence& t,
+                           const ScoreScheme& scheme = {});
+
+/// All local alignments with score >= min_score whose end cells are local
+/// maxima, greedily made non-overlapping (best first).  Used as ground truth
+/// for the heuristic strategies on small inputs.
+std::vector<Alignment> sw_all_alignments(const Sequence& s, const Sequence& t,
+                                         const ScoreScheme& scheme, int min_score,
+                                         std::size_t max_count = 64);
+
+}  // namespace gdsm

@@ -1,0 +1,136 @@
+// The heuristic linear-space Smith–Waterman variant of Section 4.1
+// (Martins et al.'s candidate-alignment tracking).
+//
+// Instead of retaining the O(n^2) similarity array, every DP cell carries a
+// small record (current/max/min score, candidate coordinates, gap and
+// match/mismatch counters, an "open candidate" flag).  Candidate alignments
+// are *opened* when the score rises `open_threshold` above the running
+// minimum and *closed* (pushed to the queue) when it falls `close_drop`
+// below the running maximum.  When several predecessors tie for the cell
+// score, the origin whose counters maximize 2*matches + 2*mismatches + gaps
+// wins; remaining ties prefer the horizontal, then vertical, then diagonal
+// arrow (keeping gap runs together, per the paper).
+//
+// The row-segment kernel below is shared verbatim by the serial scan and by
+// the two parallel heuristic strategies: a parallel worker owns a column
+// range and feeds the kernel the border cells received from its left
+// neighbour, which is exactly the information the paper passes between
+// processors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "sw/alignment.h"
+#include "sw/scoring.h"
+#include "util/sequence.h"
+
+namespace gdsm {
+
+/// Tunable thresholds of the Section 4.1 heuristics.
+struct HeuristicParams {
+  int open_threshold = 6;   ///< rise above the running minimum that opens a candidate
+  int close_drop = 4;       ///< fall below the running maximum that closes it
+  int min_report_score = 10;///< candidates below this score are discarded
+};
+
+/// Per-cell record of the heuristic scan.  This is the value transmitted
+/// between processors at partition borders, so it is kept trivially
+/// copyable and fixed-size.
+struct CellInfo {
+  std::int32_t score = 0;      ///< sim(s[1..i], t[1..j])
+  std::int32_t max_score = 0;  ///< running maximum along the inherited path
+  std::int32_t min_score = 0;  ///< running minimum along the inherited path
+  std::uint32_t begin_i = 0;   ///< candidate start row (1-based), valid when open
+  std::uint32_t begin_j = 0;   ///< candidate start column (1-based)
+  std::uint32_t max_i = 0;     ///< cell where max_score was reached
+  std::uint32_t max_j = 0;
+  std::uint32_t gaps = 0;      ///< gap counter (never reset; see paper)
+  std::uint32_t matches = 0;   ///< match counter
+  std::uint32_t mismatches = 0;///< mismatch counter
+  std::uint8_t flag = 0;       ///< 1 while a candidate alignment is open
+
+  /// Tie-break weight: gaps are penalized relative to aligned columns.
+  std::int64_t tie_weight() const noexcept {
+    return 2 * std::int64_t(matches) + 2 * std::int64_t(mismatches) + gaps;
+  }
+
+  friend bool operator==(const CellInfo&, const CellInfo&) = default;
+};
+
+static_assert(std::is_trivially_copyable_v<CellInfo>,
+              "CellInfo crosses DSM borders as raw bytes");
+
+/// Streaming sink for closed candidates.
+class CandidateSink {
+ public:
+  explicit CandidateSink(const HeuristicParams& params) : params_(params) {}
+
+  /// Closes the candidate recorded in `cell` if it clears the report bar.
+  void close(const CellInfo& cell) {
+    if (cell.max_score >= params_.min_report_score) {
+      queue_.push_back(Candidate{cell.max_score, cell.begin_i, cell.max_i,
+                                 cell.begin_j, cell.max_j});
+    }
+  }
+
+  /// Flushes a still-open candidate at the end of the scan.
+  void flush_open(const CellInfo& cell) {
+    if (cell.flag) close(cell);
+  }
+
+  std::vector<Candidate>& queue() { return queue_; }
+  const std::vector<Candidate>& queue() const { return queue_; }
+
+ private:
+  HeuristicParams params_;
+  std::vector<Candidate> queue_;
+};
+
+/// The row-segment kernel.  Stateless apart from its parameters, so one
+/// instance can be shared by all workers.
+class HeuristicKernel {
+ public:
+  HeuristicKernel(const ScoreScheme& scheme, const HeuristicParams& params)
+      : scheme_(scheme), params_(params) {}
+
+  const HeuristicParams& params() const noexcept { return params_; }
+  const ScoreScheme& scheme() const noexcept { return scheme_; }
+
+  /// Computes cells (row, col_begin .. col_begin+len-1), 1-based matrix
+  /// coordinates, of the similarity array.
+  ///
+  ///  - `prev` holds the previous row over the same columns;
+  ///  - `diag_left` is cell (row-1, col_begin-1);
+  ///  - `left` is cell (row, col_begin-1) — at a partition border these two
+  ///    are the values received from the left neighbour;
+  ///  - `out` receives the new row segment (may alias `prev` only if the
+  ///    caller copies, so it must NOT alias here);
+  ///  - closed candidates stream into `sink`.
+  void process_row_segment(Base s_char, std::uint32_t row,
+                           std::span<const Base> t_cols, std::uint32_t col_begin,
+                           std::span<const CellInfo> prev, const CellInfo& diag_left,
+                           const CellInfo& left, std::span<CellInfo> out,
+                           CandidateSink& sink) const;
+
+  /// Single-cell update, exposed for exhaustive unit testing.
+  CellInfo update_cell(Base s_char, Base t_char, std::uint32_t row,
+                       std::uint32_t col, const CellInfo& diag, const CellInfo& up,
+                       const CellInfo& left, CandidateSink& sink) const;
+
+ private:
+  ScoreScheme scheme_;
+  HeuristicParams params_;
+};
+
+/// Serial phase-1 driver: scans the whole matrix with two rows of CellInfo
+/// and returns the finalized candidate queue (sorted by subsequence size,
+/// repeats removed).  This is the reference the parallel strategies must
+/// reproduce exactly.
+std::vector<Candidate> heuristic_scan(const Sequence& s, const Sequence& t,
+                                      const ScoreScheme& scheme = {},
+                                      const HeuristicParams& params = {});
+
+}  // namespace gdsm

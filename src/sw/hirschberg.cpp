@@ -1,0 +1,66 @@
+#include "sw/hirschberg.h"
+
+#include <algorithm>
+
+#include "sw/full_matrix.h"
+#include "sw/linear_score.h"
+
+namespace gdsm {
+namespace {
+
+// Appends the global alignment ops of s[s_lo..s_hi) x t[t_lo..t_hi) to out.
+void solve(const Sequence& s, const Sequence& t, const ScoreScheme& scheme,
+           std::size_t s_lo, std::size_t s_hi, std::size_t t_lo, std::size_t t_hi,
+           std::vector<Op>& out) {
+  const std::size_t m = s_hi - s_lo;
+  const std::size_t n = t_hi - t_lo;
+  if (m == 0) {
+    out.insert(out.end(), n, Op::Left);
+    return;
+  }
+  if (n == 0) {
+    out.insert(out.end(), m, Op::Up);
+    return;
+  }
+  if (m == 1) {
+    // Base case: align the single character with full DP (tiny).
+    const Alignment al =
+        needleman_wunsch(s.slice(s_lo, s_hi), t.slice(t_lo, t_hi), scheme);
+    out.insert(out.end(), al.ops.begin(), al.ops.end());
+    return;
+  }
+
+  const std::size_t mid = s_lo + m / 2;
+  // Forward scores: s[s_lo..mid) against prefixes of t[t_lo..t_hi).
+  const std::vector<int> fwd =
+      nw_last_row(s.slice(s_lo, mid), t.slice(t_lo, t_hi), scheme);
+  // Backward scores: reversed s[mid..s_hi) against reversed suffixes.
+  const std::vector<int> bwd = nw_last_row(s.slice(mid, s_hi).reversed(),
+                                           t.slice(t_lo, t_hi).reversed(), scheme);
+
+  std::size_t split = 0;
+  int best = fwd[0] + bwd[n];
+  for (std::size_t j = 1; j <= n; ++j) {
+    const int v = fwd[j] + bwd[n - j];
+    if (v > best) {
+      best = v;
+      split = j;
+    }
+  }
+  solve(s, t, scheme, s_lo, mid, t_lo, t_lo + split, out);
+  solve(s, t, scheme, mid, s_hi, t_lo + split, t_hi, out);
+}
+
+}  // namespace
+
+Alignment hirschberg(const Sequence& s, const Sequence& t,
+                     const ScoreScheme& scheme) {
+  Alignment out;
+  out.s_begin = 0;
+  out.t_begin = 0;
+  solve(s, t, scheme, 0, s.size(), 0, t.size(), out.ops);
+  out.score = out.compute_score(s, t, scheme);
+  return out;
+}
+
+}  // namespace gdsm

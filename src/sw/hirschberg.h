@@ -1,0 +1,18 @@
+// Hirschberg's linear-space global alignment [Hirschberg 1977], referenced by
+// Section 6 as the method of choice once an alignment's subregion is known
+// but too large to hold a full DP matrix in memory.
+#pragma once
+
+#include "sw/alignment.h"
+#include "sw/scoring.h"
+#include "util/sequence.h"
+
+namespace gdsm {
+
+/// Global alignment of s and t in O(min(m,n)) space and O(mn) time (the
+/// divide-and-conquer at most doubles the work).  Produces the same score as
+/// needleman_wunsch; the operation path may differ among co-optimal paths.
+Alignment hirschberg(const Sequence& s, const Sequence& t,
+                     const ScoreScheme& scheme = {});
+
+}  // namespace gdsm

@@ -1,0 +1,89 @@
+#include "sw/linear_score.h"
+
+#include <algorithm>
+
+namespace gdsm {
+namespace {
+
+BestLocal scan_rows(const Sequence& rows, const Sequence& cols,
+                    const ScoreScheme& scheme) {
+  const std::size_t m = rows.size();
+  const std::size_t n = cols.size();
+  std::vector<int> prev(n + 1, 0);
+  std::vector<int> cur(n + 1, 0);
+  BestLocal best;
+  for (std::size_t i = 1; i <= m; ++i) {
+    cur[0] = 0;
+    const Base si = rows[i - 1];
+    for (std::size_t j = 1; j <= n; ++j) {
+      const int diag = prev[j - 1] + scheme.substitution(si, cols[j - 1]);
+      const int up = prev[j] + scheme.gap;
+      const int left = cur[j - 1] + scheme.gap;
+      const int v = std::max({0, diag, up, left});
+      cur[j] = v;
+      if (v > best.score) best = BestLocal{v, i, j};
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+}  // namespace
+
+BestLocal sw_best_score_linear(const Sequence& s, const Sequence& t,
+                               const ScoreScheme& scheme) {
+  if (t.size() <= s.size()) {
+    return scan_rows(s, t, scheme);
+  }
+  // Transpose: scan with the shorter word on columns, then swap coordinates.
+  // Row-major-first tie-breaking differs across the transposition, so pick
+  // the transposed winner; scores are identical either way.
+  BestLocal b = scan_rows(t, s, scheme);
+  std::swap(b.end_i, b.end_j);
+  return b;
+}
+
+void sw_scan_hits(const Sequence& s, const Sequence& t, const ScoreScheme& scheme,
+                  int threshold,
+                  const std::function<void(std::size_t, std::size_t, int)>& hit) {
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+  std::vector<int> prev(n + 1, 0);
+  std::vector<int> cur(n + 1, 0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    cur[0] = 0;
+    const Base si = s[i - 1];
+    for (std::size_t j = 1; j <= n; ++j) {
+      const int diag = prev[j - 1] + scheme.substitution(si, t[j - 1]);
+      const int up = prev[j] + scheme.gap;
+      const int left = cur[j - 1] + scheme.gap;
+      const int v = std::max({0, diag, up, left});
+      cur[j] = v;
+      if (v >= threshold) hit(i, j, v);
+    }
+    std::swap(prev, cur);
+  }
+}
+
+std::vector<int> nw_last_row(const Sequence& s, const Sequence& t,
+                             const ScoreScheme& scheme) {
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+  std::vector<int> prev(n + 1);
+  std::vector<int> cur(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) prev[j] = static_cast<int>(j) * scheme.gap;
+  for (std::size_t i = 1; i <= m; ++i) {
+    cur[0] = static_cast<int>(i) * scheme.gap;
+    const Base si = s[i - 1];
+    for (std::size_t j = 1; j <= n; ++j) {
+      const int diag = prev[j - 1] + scheme.substitution(si, t[j - 1]);
+      const int up = prev[j] + scheme.gap;
+      const int left = cur[j - 1] + scheme.gap;
+      cur[j] = std::max({diag, up, left});
+    }
+    std::swap(prev, cur);
+  }
+  return prev;
+}
+
+}  // namespace gdsm

@@ -1,0 +1,281 @@
+#include "sw/protein.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <stdexcept>
+
+namespace gdsm {
+namespace {
+
+constexpr std::string_view kResidues = "ARNDCQEGHILKMFPSTWYV";
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+// BLOSUM62, rows/columns in ARNDCQEGHILKMFPSTWYV order.
+constexpr std::int8_t kBlosum62[20][20] = {
+    /*A*/ {4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0},
+    /*R*/ {-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3},
+    /*N*/ {-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3},
+    /*D*/ {-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3},
+    /*C*/ {0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},
+    /*Q*/ {-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2},
+    /*E*/ {-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2},
+    /*G*/ {0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3},
+    /*H*/ {-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3},
+    /*I*/ {-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3},
+    /*L*/ {-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1},
+    /*K*/ {-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2},
+    /*M*/ {-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1},
+    /*F*/ {-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1},
+    /*P*/ {-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2},
+    /*S*/ {1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2},
+    /*T*/ {0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0},
+    /*W*/ {-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3},
+    /*Y*/ {-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1},
+    /*V*/ {0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4},
+};
+
+// Gotoh over protein codes; `local` floors at zero.
+Alignment gotoh_protein(const ProteinSequence& s, const ProteinSequence& t,
+                        const SubstitutionMatrix& mx, const ProteinGaps& gaps,
+                        bool local) {
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+  const std::size_t cols = n + 1;
+  std::vector<int> h((m + 1) * cols, 0), e((m + 1) * cols, kNegInf),
+      f((m + 1) * cols, kNegInf);
+  auto H = [&](std::size_t i, std::size_t j) -> int& { return h[i * cols + j]; };
+  auto E = [&](std::size_t i, std::size_t j) -> int& { return e[i * cols + j]; };
+  auto F = [&](std::size_t i, std::size_t j) -> int& { return f[i * cols + j]; };
+
+  if (!local) {
+    for (std::size_t i = 1; i <= m; ++i) {
+      H(i, 0) = gaps.open + static_cast<int>(i) * gaps.extend;
+    }
+    for (std::size_t j = 1; j <= n; ++j) {
+      H(0, j) = gaps.open + static_cast<int>(j) * gaps.extend;
+    }
+  }
+  int best = 0;
+  std::size_t bi = 0, bj = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      E(i, j) = std::max(H(i, j - 1) + gaps.open + gaps.extend,
+                         E(i, j - 1) + gaps.extend);
+      F(i, j) = std::max(H(i - 1, j) + gaps.open + gaps.extend,
+                         F(i - 1, j) + gaps.extend);
+      int v = std::max({H(i - 1, j - 1) + mx.score(s[i - 1], t[j - 1]),
+                        E(i, j), F(i, j)});
+      if (local) v = std::max(v, 0);
+      H(i, j) = v;
+      if (v > best) {
+        best = v;
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+
+  std::size_t i = local ? bi : m;
+  std::size_t j = local ? bj : n;
+  if (local && best == 0) return Alignment{};
+
+  Alignment out;
+  out.score = H(i, j);
+  std::vector<Op> rev;
+  enum State { kH, kE, kF };
+  State state = kH;
+  while (i > 0 || j > 0) {
+    if (state == kH) {
+      const int v = H(i, j);
+      if (local && v == 0) break;
+      if (i > 0 && j > 0 &&
+          v == H(i - 1, j - 1) + mx.score(s[i - 1], t[j - 1])) {
+        rev.push_back(Op::Diag);
+        --i;
+        --j;
+        continue;
+      }
+      if (j > 0 && v == E(i, j)) {
+        state = kE;
+        continue;
+      }
+      if (i > 0 && v == F(i, j)) {
+        state = kF;
+        continue;
+      }
+      if (local) break;
+      if (i == 0 && j > 0) {
+        rev.push_back(Op::Left);
+        --j;
+        continue;
+      }
+      if (j == 0 && i > 0) {
+        rev.push_back(Op::Up);
+        --i;
+        continue;
+      }
+      throw std::logic_error("gotoh_protein: inconsistent matrix");
+    }
+    if (state == kE) {
+      rev.push_back(Op::Left);
+      if (j > 1 && E(i, j) == E(i, j - 1) + gaps.extend) {
+        --j;
+        continue;
+      }
+      --j;
+      state = kH;
+      continue;
+    }
+    rev.push_back(Op::Up);
+    if (i > 1 && F(i, j) == F(i - 1, j) + gaps.extend) {
+      --i;
+      continue;
+    }
+    --i;
+    state = kH;
+  }
+  out.s_begin = i;
+  out.t_begin = j;
+  out.ops.assign(rev.rbegin(), rev.rend());
+  return out;
+}
+
+}  // namespace
+
+AminoAcid encode_amino_acid(char c) noexcept {
+  const char upper = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  const auto pos = kResidues.find(upper);
+  return pos == std::string_view::npos ? kAaX : static_cast<AminoAcid>(pos);
+}
+
+char decode_amino_acid(AminoAcid a) noexcept {
+  return a < 20 ? kResidues[a] : 'X';
+}
+
+ProteinSequence::ProteinSequence(std::string name, std::string_view text)
+    : name_(std::move(name)) {
+  codes_.reserve(text.size());
+  for (char c : text) codes_.push_back(encode_amino_acid(c));
+}
+
+std::string ProteinSequence::text() const {
+  std::string out;
+  out.reserve(codes_.size());
+  for (AminoAcid a : codes_) out.push_back(decode_amino_acid(a));
+  return out;
+}
+
+ProteinSequence ProteinSequence::slice(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > codes_.size()) {
+    throw std::out_of_range("ProteinSequence::slice: invalid range");
+  }
+  ProteinSequence out;
+  out.name_ = name_ + "[" + std::to_string(begin) + ".." + std::to_string(end) + ")";
+  out.codes_.assign(codes_.begin() + static_cast<std::ptrdiff_t>(begin),
+                    codes_.begin() + static_cast<std::ptrdiff_t>(end));
+  return out;
+}
+
+const SubstitutionMatrix& SubstitutionMatrix::blosum62() {
+  static const SubstitutionMatrix instance = [] {
+    std::array<std::array<std::int8_t, kProteinAlphabetSize>,
+               kProteinAlphabetSize>
+        cells{};
+    for (int a = 0; a < kProteinAlphabetSize; ++a) {
+      for (int b = 0; b < kProteinAlphabetSize; ++b) {
+        cells[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+            (a < 20 && b < 20) ? kBlosum62[a][b] : -1;  // X vs anything: -1
+      }
+    }
+    return SubstitutionMatrix(cells);
+  }();
+  return instance;
+}
+
+Alignment protein_smith_waterman(const ProteinSequence& s,
+                                 const ProteinSequence& t,
+                                 const SubstitutionMatrix& matrix,
+                                 const ProteinGaps& gaps) {
+  return gotoh_protein(s, t, matrix, gaps, /*local=*/true);
+}
+
+Alignment protein_needleman_wunsch(const ProteinSequence& s,
+                                   const ProteinSequence& t,
+                                   const SubstitutionMatrix& matrix,
+                                   const ProteinGaps& gaps) {
+  return gotoh_protein(s, t, matrix, gaps, /*local=*/false);
+}
+
+int protein_alignment_score(const Alignment& al, const ProteinSequence& s,
+                            const ProteinSequence& t,
+                            const SubstitutionMatrix& matrix,
+                            const ProteinGaps& gaps) {
+  int total = 0;
+  std::size_t i = al.s_begin;
+  std::size_t j = al.t_begin;
+  Op prev = Op::Diag;
+  bool first = true;
+  for (Op op : al.ops) {
+    switch (op) {
+      case Op::Diag:
+        total += matrix.score(s[i], t[j]);
+        ++i;
+        ++j;
+        break;
+      case Op::Up:
+        if (first || prev != Op::Up) total += gaps.open;
+        total += gaps.extend;
+        ++i;
+        break;
+      case Op::Left:
+        if (first || prev != Op::Left) total += gaps.open;
+        total += gaps.extend;
+        ++j;
+        break;
+    }
+    prev = op;
+    first = false;
+  }
+  return total;
+}
+
+std::array<std::string, 3> render_protein_alignment(
+    const Alignment& al, const ProteinSequence& s, const ProteinSequence& t,
+    const SubstitutionMatrix& matrix) {
+  std::array<std::string, 3> lines;
+  std::size_t i = al.s_begin;
+  std::size_t j = al.t_begin;
+  for (Op op : al.ops) {
+    switch (op) {
+      case Op::Diag: {
+        const char a = decode_amino_acid(s[i]);
+        const char b = decode_amino_acid(t[j]);
+        lines[0].push_back(a);
+        lines[1].push_back(a == b            ? a
+                           : matrix.score(s[i], t[j]) > 0 ? '+'
+                                                          : ' ');
+        lines[2].push_back(b);
+        ++i;
+        ++j;
+        break;
+      }
+      case Op::Up:
+        lines[0].push_back(decode_amino_acid(s[i]));
+        lines[1].push_back(' ');
+        lines[2].push_back('-');
+        ++i;
+        break;
+      case Op::Left:
+        lines[0].push_back('-');
+        lines[1].push_back(' ');
+        lines[2].push_back(decode_amino_acid(t[j]));
+        ++j;
+        break;
+    }
+  }
+  return lines;
+}
+
+}  // namespace gdsm

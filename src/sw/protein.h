@@ -1,0 +1,101 @@
+// Protein alignment: 20-letter amino-acid alphabet, substitution matrices
+// (BLOSUM62 built in), and Gotoh affine-gap local/global alignment.
+//
+// The paper is DNA-only, but the SW/NW/Gotoh machinery is residue-agnostic;
+// this module provides the protein surface a production alignment library
+// is expected to have.  Alignments reuse the same Op/Alignment types, so
+// rendering, CIGAR and coordinate handling carry over.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sw/alignment.h"
+
+namespace gdsm {
+
+/// Amino-acid code: the 20 standard residues in "ARNDCQEGHILKMFPSTWYV"
+/// order (the BLOSUM row order), plus kAaX for anything else.
+using AminoAcid = std::uint8_t;
+inline constexpr AminoAcid kAaX = 20;
+inline constexpr int kProteinAlphabetSize = 21;
+
+AminoAcid encode_amino_acid(char c) noexcept;
+char decode_amino_acid(AminoAcid a) noexcept;
+
+/// A protein sequence (name + residue codes).
+class ProteinSequence {
+ public:
+  ProteinSequence() = default;
+  ProteinSequence(std::string name, std::string_view text);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return codes_.size(); }
+  AminoAcid operator[](std::size_t i) const noexcept { return codes_[i]; }
+  std::string text() const;
+
+  ProteinSequence slice(std::size_t begin, std::size_t end) const;
+
+ private:
+  std::string name_;
+  std::vector<AminoAcid> codes_;
+};
+
+/// Symmetric residue substitution matrix.
+class SubstitutionMatrix {
+ public:
+  /// The BLOSUM62 matrix (Henikoff & Henikoff 1992), X scored as the
+  /// standard -1 against everything.
+  static const SubstitutionMatrix& blosum62();
+
+  int score(AminoAcid a, AminoAcid b) const noexcept {
+    return cells_[a][b];
+  }
+
+  explicit SubstitutionMatrix(
+      const std::array<std::array<std::int8_t, kProteinAlphabetSize>,
+                       kProteinAlphabetSize>& cells)
+      : cells_(cells) {}
+
+ private:
+  std::array<std::array<std::int8_t, kProteinAlphabetSize>,
+             kProteinAlphabetSize>
+      cells_;
+};
+
+/// Affine-gap protein alignment parameters (BLAST defaults: 11/1).
+struct ProteinGaps {
+  int open = -11;
+  int extend = -1;
+};
+
+/// Best local alignment (Gotoh) with traceback.
+Alignment protein_smith_waterman(const ProteinSequence& s,
+                                 const ProteinSequence& t,
+                                 const SubstitutionMatrix& matrix =
+                                     SubstitutionMatrix::blosum62(),
+                                 const ProteinGaps& gaps = {});
+
+/// Global alignment (Gotoh) with traceback.
+Alignment protein_needleman_wunsch(const ProteinSequence& s,
+                                   const ProteinSequence& t,
+                                   const SubstitutionMatrix& matrix =
+                                       SubstitutionMatrix::blosum62(),
+                                   const ProteinGaps& gaps = {});
+
+/// Score of an explicit alignment under (matrix, gaps); used by tests.
+int protein_alignment_score(const Alignment& al, const ProteinSequence& s,
+                            const ProteinSequence& t,
+                            const SubstitutionMatrix& matrix,
+                            const ProteinGaps& gaps);
+
+/// Three-line rendering analogous to Alignment::render (with '+' marking
+/// positive-scoring substitutions, the classic BLAST midline).
+std::array<std::string, 3> render_protein_alignment(
+    const Alignment& al, const ProteinSequence& s, const ProteinSequence& t,
+    const SubstitutionMatrix& matrix = SubstitutionMatrix::blosum62());
+
+}  // namespace gdsm

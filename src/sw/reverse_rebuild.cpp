@@ -1,0 +1,221 @@
+#include "sw/reverse_rebuild.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "sw/full_matrix.h"
+#include "sw/hirschberg.h"
+#include "sw/linear_score.h"
+
+namespace gdsm {
+namespace {
+
+constexpr int kNoPath = std::numeric_limits<int>::min() / 2;
+
+// A row of the pruned reverse DP: scores over the window [lo, hi] (1-based
+// reverse columns); cells outside the window are pruned (Theorem 6.2 — their
+// paths would pass through an intermediate zero).
+struct PrunedRow {
+  std::size_t lo = 1;
+  std::vector<int> scores;  // scores[c - lo], kNoPath when not useful
+
+  int at(std::size_t c) const {
+    if (c < lo || c >= lo + scores.size()) return kNoPath;
+    return scores[c - lo];
+  }
+  bool useful(std::size_t c) const { return at(c) > 0; }
+  std::size_t hi() const { return lo + scores.size() - 1; }
+  bool empty() const { return scores.empty(); }
+};
+
+}  // namespace
+
+StartCoords find_alignment_start(const Sequence& s, const Sequence& t,
+                                 const ScoreScheme& scheme, std::size_t end_i,
+                                 std::size_t end_j, int score) {
+  if (score <= 0 || end_i == 0 || end_j == 0 || end_i > s.size() ||
+      end_j > t.size()) {
+    throw std::logic_error("find_alignment_start: invalid end cell or score");
+  }
+  // Reversed prefixes, addressed without materializing them:
+  // sr[r] = s[end_i - r], tr[c] = t[end_j - c] (1-based r, c).
+  auto sr = [&](std::size_t r) { return s[end_i - r]; };
+  auto tr = [&](std::size_t c) { return t[end_j - c]; };
+
+  StartCoords out;
+  PrunedRow prev;  // starts empty: row 0 has no useful cells (the (0,0)
+                   // anchor is handled specially for cell (1,1))
+
+  std::size_t max_hi = 0;
+  for (std::size_t r = 1; r <= end_i; ++r) {
+    PrunedRow cur;
+    cur.lo = prev.empty() ? 1 : prev.lo;
+    if (r == 1) cur.lo = 1;
+
+    std::size_t c = cur.lo;
+    const std::size_t soft_hi = prev.empty() ? 1 : prev.hi() + 1;
+    bool last_useful = false;
+    while (c <= end_j && (c <= soft_hi || last_useful)) {
+      int from_diag = kNoPath;
+      if (r == 1 && c == 1) {
+        from_diag = scheme.substitution(sr(1), tr(1));  // anchored at (0,0)
+      } else if (prev.useful(c - 1)) {
+        from_diag = prev.at(c - 1) + scheme.substitution(sr(r), tr(c));
+      }
+      const int from_up = prev.useful(c) ? prev.at(c) + scheme.gap : kNoPath;
+      const int from_left =
+          (c > cur.lo && cur.useful(c - 1)) ? cur.at(c - 1) + scheme.gap : kNoPath;
+
+      const int best = std::max({from_diag, from_up, from_left});
+      ++out.stats.computed_cells;
+      const int value = best > 0 ? best : 0;
+      cur.scores.push_back(value > 0 ? value : kNoPath);
+      last_useful = value > 0;
+
+      if (value >= score) {
+        out.stats.rows_used = r;
+        max_hi = std::max(max_hi, c);
+        out.stats.rect_area = r * max_hi;
+        out.i = end_i - r + 1;
+        out.j = end_j - c + 1;
+        return out;
+      }
+      ++c;
+    }
+    // Trim non-useful cells from both ends of the window.
+    while (!cur.scores.empty() && cur.scores.front() == kNoPath) {
+      cur.scores.erase(cur.scores.begin());
+      ++cur.lo;
+    }
+    while (!cur.scores.empty() && cur.scores.back() == kNoPath) {
+      cur.scores.pop_back();
+    }
+    if (cur.scores.empty()) {
+      throw std::logic_error(
+          "find_alignment_start: useful region died before reaching the score");
+    }
+    max_hi = std::max(max_hi, cur.hi());
+    out.stats.rows_used = r;
+    prev = std::move(cur);
+  }
+  throw std::logic_error("find_alignment_start: score never reached");
+}
+
+std::vector<RebuildResult> rebuild_top_alignments(const Sequence& s,
+                                                  const Sequence& t,
+                                                  int min_score,
+                                                  std::size_t max_count,
+                                                  const ScoreScheme& scheme,
+                                                  bool use_hirschberg) {
+  if (min_score <= 0) {
+    throw std::invalid_argument("rebuild_top_alignments: min_score must be > 0");
+  }
+  struct Hit {
+    int score;
+    std::size_t i, j;
+  };
+  std::vector<Hit> hits;
+  sw_scan_hits(s, t, scheme, min_score,
+               [&](std::size_t i, std::size_t j, int score) {
+                 hits.push_back(Hit{score, i, j});
+               });
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.i != b.i) return a.i < b.i;
+    return a.j < b.j;
+  });
+
+  std::vector<RebuildResult> out;
+  for (const Hit& h : hits) {
+    if (out.size() >= max_count) break;
+    // Skip cells belonging to an already-rebuilt alignment or its decay
+    // trail (scores fade down/right of the true region).
+    const bool covered = std::any_of(
+        out.begin(), out.end(), [&](const RebuildResult& r) {
+          const Alignment& al = r.alignment;
+          const std::size_t trail_s = 2 * al.s_length();
+          const std::size_t trail_t = 2 * al.t_length();
+          return h.i + 1 > al.s_begin && h.i <= al.s_end() + trail_s &&
+                 h.j + 1 > al.t_begin && h.j <= al.t_end() + trail_t;
+        });
+    if (covered) continue;
+
+    Alignment al;
+    RebuildStats stats;
+    try {
+      const StartCoords start =
+          find_alignment_start(s, t, scheme, h.i, h.j, h.score);
+      const Sequence sub_s = s.slice(start.i - 1, h.i);
+      const Sequence sub_t = t.slice(start.j - 1, h.j);
+      al = use_hirschberg ? hirschberg(sub_s, sub_t, scheme)
+                          : needleman_wunsch(sub_s, sub_t, scheme);
+      al.s_begin = start.i - 1;
+      al.t_begin = start.j - 1;
+      stats = start.stats;
+    } catch (const std::logic_error&) {
+      // Theorem 6.2's pruning is exact for the GLOBAL maximum, but a
+      // non-peak cell's alignment may have a non-positive reverse prefix
+      // (e.g. its last column is a gap, or an equal-score crest occurred
+      // earlier on its path), which the pruned pass rightfully cuts.
+      // Fall back to a windowed full-matrix traceback ending at the cell.
+      const std::size_t window =
+          std::min<std::size_t>(8 * static_cast<std::size_t>(h.score) + 64,
+                                std::max(h.i, h.j));
+      const std::size_t s_lo = h.i > window ? h.i - window : 0;
+      const std::size_t t_lo = h.j > window ? h.j - window : 0;
+      const Sequence sub_s = s.slice(s_lo, h.i);
+      const Sequence sub_t = t.slice(t_lo, h.j);
+      const DpMatrix grid = sw_fill(sub_s, sub_t, scheme, nullptr);
+      al = sw_traceback(grid, sub_s, sub_t, scheme, sub_s.size(), sub_t.size());
+      al.s_begin += s_lo;
+      al.t_begin += t_lo;
+      stats.computed_cells = (sub_s.size() + 1) * (sub_t.size() + 1);
+      stats.rect_area = stats.computed_cells;
+      stats.rows_used = sub_s.size();
+    }
+    // Overlap cull against kept alignments (a weaker alignment sharing a
+    // region with a stronger one is a shadow, not a distinct discovery).
+    const bool overlaps = std::any_of(
+        out.begin(), out.end(), [&](const RebuildResult& r) {
+          const Alignment& prev = r.alignment;
+          const bool s_disjoint =
+              al.s_end() <= prev.s_begin || prev.s_end() <= al.s_begin;
+          const bool t_disjoint =
+              al.t_end() <= prev.t_begin || prev.t_end() <= al.t_begin;
+          return !(s_disjoint || t_disjoint);
+        });
+    if (overlaps) continue;
+    out.push_back(RebuildResult{std::move(al), stats});
+  }
+  return out;
+}
+
+RebuildResult rebuild_best_local_alignment(const Sequence& s, const Sequence& t,
+                                           const ScoreScheme& scheme,
+                                           bool use_hirschberg) {
+  RebuildResult out;
+  const BestLocal best = sw_best_score_linear(s, t, scheme);
+  if (best.score <= 0) return out;  // empty alignment
+
+  const StartCoords start = find_alignment_start(s, t, scheme, best.end_i,
+                                                 best.end_j, best.score);
+  out.stats = start.stats;
+
+  const Sequence sub_s = s.slice(start.i - 1, best.end_i);
+  const Sequence sub_t = t.slice(start.j - 1, best.end_j);
+  Alignment al = use_hirschberg ? hirschberg(sub_s, sub_t, scheme)
+                                : needleman_wunsch(sub_s, sub_t, scheme);
+  if (al.score != best.score) {
+    throw std::logic_error(
+        "rebuild: global alignment of the identified subwords does not "
+        "reproduce the detected score");
+  }
+  al.s_begin = start.i - 1;
+  al.t_begin = start.j - 1;
+  out.alignment = std::move(al);
+  return out;
+}
+
+}  // namespace gdsm

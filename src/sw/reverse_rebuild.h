@@ -1,0 +1,73 @@
+// Section 6: retrieving exact local alignments in O(min(n,m) + n'^2) space
+// without storing intermediate columns.
+//
+// Step 1: a linear-space SW pass finds the best score k and its end cell
+// (i, j).  Step 2 (Observation 6.1): an alignment of score k *ending* at
+// (i, j) corresponds to one of the same score *starting* at the beginnings
+// of the reversed prefixes s[1..i]^rev, t[1..j]^rev; running the zero-floored
+// DP over the reverses until score k first appears yields the start cell,
+// and (Theorem 6.2) every cell whose path passes through an intermediate
+// zero can be pruned, which the paper shows leaves only ~30% of the n'xn'
+// area in the worst case.  Step 3: the actual alignment is a global
+// alignment of the now-known subwords (Needleman–Wunsch, or Hirschberg when
+// n' is large).
+#pragma once
+
+#include <cstddef>
+
+#include "sw/alignment.h"
+#include "sw/scoring.h"
+#include "util/sequence.h"
+
+namespace gdsm {
+
+/// Cell-count accounting of the pruned reverse pass, used to validate the
+/// paper's ~30% necessary-area bound (Eq. 3).
+struct RebuildStats {
+  std::size_t rows_used = 0;       ///< rows of the reverse DP actually touched
+  std::size_t rect_area = 0;       ///< bounding rectangle rows_used x max row width
+  std::size_t computed_cells = 0;  ///< cells actually evaluated
+};
+
+/// Start cell of the minimal-length alignment of score `score` that ends at
+/// (end_i, end_j) (all coordinates 1-based, per the paper's presentation).
+struct StartCoords {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  RebuildStats stats;
+};
+
+/// Runs the pruned DP over the reversed prefixes.  Requires score > 0 and
+/// that some alignment of exactly `score` ends at (end_i, end_j) — both are
+/// guaranteed when the inputs come from sw_best_score_linear.  Throws
+/// std::logic_error if the score is never reached (inconsistent inputs).
+StartCoords find_alignment_start(const Sequence& s, const Sequence& t,
+                                 const ScoreScheme& scheme, std::size_t end_i,
+                                 std::size_t end_j, int score);
+
+struct RebuildResult {
+  Alignment alignment;
+  RebuildStats stats;
+};
+
+/// The full Algorithm 1 driver: linear scan for (k, i, j), reverse pass for
+/// the start, then a global alignment of the identified subwords.  With
+/// `use_hirschberg` the final step runs in linear space as well, making the
+/// whole procedure O(min(n,m) + n') space at the cost of ~2x time in the
+/// rebuild region.
+RebuildResult rebuild_best_local_alignment(const Sequence& s, const Sequence& t,
+                                           const ScoreScheme& scheme = {},
+                                           bool use_hirschberg = false);
+
+/// Extension of Algorithm 1 to ALL significant alignments: the linear pass
+/// records every cell scoring >= min_score; candidates are processed best
+/// first, each rebuilt exactly via the reverse pass, and cells lying inside
+/// an already-rebuilt alignment's region (its decay trail) are skipped.
+/// Returns at most max_count exact, pairwise non-overlapping alignments,
+/// best first.  Space stays O(min(n,m) + candidates + n'^2).
+std::vector<RebuildResult> rebuild_top_alignments(
+    const Sequence& s, const Sequence& t, int min_score,
+    std::size_t max_count = 16, const ScoreScheme& scheme = {},
+    bool use_hirschberg = false);
+
+}  // namespace gdsm

@@ -1,0 +1,23 @@
+// Scoring scheme of the paper (Section 2): +1 match, -1 mismatch, -2 space.
+#pragma once
+
+#include "util/alphabet.h"
+
+namespace gdsm {
+
+/// Column scores for alignments.  The paper fixes (+1, -1, -2); the fields
+/// are configurable so tests can probe other regimes, but gap must stay
+/// negative and match positive for the local-alignment theory to hold.
+struct ScoreScheme {
+  int match = 1;
+  int mismatch = -1;
+  int gap = -2;
+
+  /// Substitution score for a pair of bases.  'N' never matches, not even
+  /// itself, so ambiguity codes cannot fabricate similarity.
+  constexpr int substitution(Base a, Base b) const noexcept {
+    return (a == b && a != kBaseN) ? match : mismatch;
+  }
+};
+
+}  // namespace gdsm

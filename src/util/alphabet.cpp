@@ -1,0 +1,59 @@
+#include "util/alphabet.h"
+
+#include <array>
+
+namespace gdsm {
+namespace {
+
+constexpr std::array<Base, 256> make_encode_table() {
+  std::array<Base, 256> t{};
+  for (auto& v : t) v = kBaseN;
+  t['a'] = t['A'] = kBaseA;
+  t['c'] = t['C'] = kBaseC;
+  t['g'] = t['G'] = kBaseG;
+  t['t'] = t['T'] = kBaseT;
+  return t;
+}
+
+constexpr std::array<Base, 256> kEncode = make_encode_table();
+constexpr char kDecode[kAlphabetSize] = {'A', 'C', 'G', 'T', 'N'};
+
+}  // namespace
+
+Base encode_base(char c) noexcept {
+  return kEncode[static_cast<unsigned char>(c)];
+}
+
+char decode_base(Base b) noexcept {
+  return b < kAlphabetSize ? kDecode[b] : '?';
+}
+
+bool is_strict_base(char c) noexcept {
+  return kEncode[static_cast<unsigned char>(c)] != kBaseN;
+}
+
+Base complement(Base b) noexcept {
+  switch (b) {
+    case kBaseA: return kBaseT;
+    case kBaseT: return kBaseA;
+    case kBaseC: return kBaseG;
+    case kBaseG: return kBaseC;
+    default: return kBaseN;
+  }
+}
+
+std::basic_string<Base> encode_string(std::string_view text) {
+  std::basic_string<Base> out;
+  out.reserve(text.size());
+  for (char c : text) out.push_back(encode_base(c));
+  return out;
+}
+
+std::string decode_string(std::basic_string_view<Base> bases) {
+  std::string out;
+  out.reserve(bases.size());
+  for (Base b : bases) out.push_back(decode_base(b));
+  return out;
+}
+
+}  // namespace gdsm

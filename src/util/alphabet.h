@@ -1,0 +1,43 @@
+// DNA alphabet: 2-bit base codes, validation and conversion helpers.
+//
+// The paper aligns genomic DNA (A, C, G, T).  Unknown/ambiguity codes (N,
+// IUPAC letters) are accepted on input and mapped to a distinguished code so
+// the scoring layer can treat them as universal mismatches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gdsm {
+
+/// Numeric code of a DNA base.  A/C/G/T map to 0..3; anything else maps to
+/// kBaseN (scored as mismatch-against-everything, including itself).
+using Base = std::uint8_t;
+
+inline constexpr Base kBaseA = 0;
+inline constexpr Base kBaseC = 1;
+inline constexpr Base kBaseG = 2;
+inline constexpr Base kBaseT = 3;
+inline constexpr Base kBaseN = 4;
+inline constexpr int kAlphabetSize = 5;
+
+/// Maps an ASCII character to a base code (case-insensitive).
+Base encode_base(char c) noexcept;
+
+/// Maps a base code back to its canonical upper-case character.
+char decode_base(Base b) noexcept;
+
+/// True if `c` is one of acgtACGT.
+bool is_strict_base(char c) noexcept;
+
+/// Watson–Crick complement (N maps to N).
+Base complement(Base b) noexcept;
+
+/// Encodes a whole string; invalid characters become kBaseN.
+std::basic_string<Base> encode_string(std::string_view text);
+
+/// Decodes a whole base-code string back to ASCII.
+std::string decode_string(std::basic_string_view<Base> bases);
+
+}  // namespace gdsm

@@ -1,0 +1,69 @@
+#include "util/args.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gdsm {
+
+Args::Args(int argc, const char* const* argv,
+           const std::vector<std::string>& known_value_keys) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      std::string key = arg.substr(0, eq);
+      std::string value = arg.substr(eq + 1);
+      kv_[std::move(key)] = std::move(value);
+      continue;
+    }
+    // "--key value" only when key is declared as value-taking, else a flag.
+    const bool takes_value =
+        std::find(known_value_keys.begin(), known_value_keys.end(), arg) !=
+        known_value_keys.end();
+    if (takes_value && i + 1 < argc) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "1";
+    }
+  }
+}
+
+std::string Args::get(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Args::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second != "0" && it->second != "false" && it->second != "off";
+}
+
+std::vector<std::string> Args::unknown_keys(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    if (std::find(known.begin(), known.end(), k) == known.end()) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace gdsm

@@ -1,0 +1,35 @@
+// Tiny --key=value / --flag command-line parser for examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gdsm {
+
+/// Parses `--key=value`, `--key value` and bare `--flag` arguments.
+/// Positional arguments are collected in order.  Unknown keys are kept (the
+/// caller decides whether to reject them via `unknown_keys`).
+class Args {
+ public:
+  Args(int argc, const char* const* argv,
+       const std::vector<std::string>& known_value_keys = {});
+
+  bool has(const std::string& key) const { return kv_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& def = "") const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  std::vector<std::string> unknown_keys(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gdsm

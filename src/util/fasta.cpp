@@ -1,0 +1,71 @@
+#include "util/fasta.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gdsm {
+
+std::vector<Sequence> read_fasta(std::istream& in) {
+  std::vector<Sequence> out;
+  std::string line;
+  std::string name;
+  std::basic_string<Base> bases;
+  bool have_record = false;
+
+  auto flush = [&] {
+    if (have_record) {
+      out.emplace_back(name, std::move(bases));
+      bases.clear();
+    }
+  };
+
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      have_record = true;
+      const auto ws = line.find_first_of(" \t", 1);
+      name = line.substr(1, ws == std::string::npos ? std::string::npos : ws - 1);
+    } else if (line[0] == ';') {
+      continue;  // classic FASTA comment line
+    } else {
+      if (!have_record) {
+        throw std::runtime_error("FASTA: sequence data before any '>' header");
+      }
+      for (char c : line) {
+        if (c == ' ' || c == '\t') continue;
+        bases.push_back(encode_base(c));
+      }
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open FASTA file: " + path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs,
+                 std::size_t width) {
+  for (const auto& s : seqs) {
+    out << '>' << s.name() << '\n';
+    const std::string text = s.text();
+    for (std::size_t i = 0; i < text.size(); i += width) {
+      out << text.substr(i, width) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const std::vector<Sequence>& seqs,
+                      std::size_t width) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write FASTA file: " + path);
+  write_fasta(out, seqs, width);
+}
+
+}  // namespace gdsm

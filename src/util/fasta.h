@@ -1,0 +1,28 @@
+// Minimal FASTA reader/writer for the example programs and tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/sequence.h"
+
+namespace gdsm {
+
+/// Parses every record of a FASTA stream.  Lines are concatenated; the
+/// header text after '>' up to the first whitespace becomes the name.
+/// Throws std::runtime_error on malformed input (content before a header).
+std::vector<Sequence> read_fasta(std::istream& in);
+
+/// Convenience: read a FASTA file from disk.
+std::vector<Sequence> read_fasta_file(const std::string& path);
+
+/// Writes records wrapped at `width` columns.
+void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs,
+                 std::size_t width = 70);
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& seqs,
+                      std::size_t width = 70);
+
+}  // namespace gdsm

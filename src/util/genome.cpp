@@ -1,0 +1,106 @@
+#include "util/genome.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gdsm {
+namespace {
+
+// Picks `count` non-overlapping interval starts of length `len` inside
+// [0, total), separated by at least `gap` bases, uniformly-ish by spacing
+// them over equal buckets with random jitter.  Keeps generation O(count).
+std::vector<std::size_t> pick_offsets(std::size_t total, std::size_t len,
+                                      std::size_t count, std::size_t gap,
+                                      Rng& rng) {
+  if (count == 0) return {};
+  const std::size_t slot = total / count;
+  if (slot < len + gap) {
+    throw std::invalid_argument(
+        "genome: sequence too short to plant the requested regions");
+  }
+  std::vector<std::size_t> offsets;
+  offsets.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t jitter = rng.below(slot - len - gap + 1);
+    offsets.push_back(k * slot + jitter);
+  }
+  return offsets;
+}
+
+}  // namespace
+
+Sequence random_dna(std::size_t length, Rng& rng, std::string name) {
+  std::basic_string<Base> bases;
+  bases.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    bases.push_back(static_cast<Base>(rng.below(4)));
+  }
+  return Sequence(std::move(name), std::move(bases));
+}
+
+Sequence mutate(const Sequence& src, double substitution_rate, double indel_rate,
+                Rng& rng) {
+  std::basic_string<Base> out;
+  out.reserve(src.size() + src.size() / 16);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (rng.chance(indel_rate)) {
+      if (rng.chance(0.5)) {
+        continue;  // deletion
+      }
+      out.push_back(static_cast<Base>(rng.below(4)));  // insertion, keep base
+    }
+    Base b = src[i];
+    if (rng.chance(substitution_rate)) {
+      // Substitute with one of the three *other* bases so the rate is exact.
+      b = static_cast<Base>((b + 1 + rng.below(3)) % 4);
+    }
+    out.push_back(b);
+  }
+  return Sequence(src.name() + ".mut", std::move(out));
+}
+
+HomologousPair make_homologous_pair(const HomologousPairSpec& spec) {
+  Rng rng(spec.seed);
+  HomologousPair pair;
+  pair.s = random_dna(spec.length_s, rng, "synthetic_s");
+  pair.t = random_dna(spec.length_t, rng, "synthetic_t");
+
+  if (spec.n_regions == 0) return pair;
+
+  const std::size_t max_len = spec.region_len_mean + spec.region_len_spread;
+  // Positions in s and t are drawn independently, so matched regions land at
+  // unrelated coordinates, as between real genomes.
+  const auto s_offsets =
+      pick_offsets(spec.length_s, max_len, spec.n_regions, /*gap=*/16, rng);
+  auto t_offsets =
+      pick_offsets(spec.length_t, max_len, spec.n_regions, /*gap=*/16, rng);
+
+  std::basic_string<Base> s_bases(pair.s.bases().begin(), pair.s.bases().end());
+  std::basic_string<Base> t_bases(pair.t.bases().begin(), pair.t.bases().end());
+
+  for (std::size_t k = 0; k < spec.n_regions; ++k) {
+    const std::size_t spread = spec.region_len_spread;
+    const std::size_t len = spec.region_len_mean - spread + rng.below(2 * spread + 1);
+
+    // The shared ancestral segment.
+    const Sequence ancestor = random_dna(len, rng, "anc");
+    const Sequence copy_s =
+        mutate(ancestor, spec.substitution_rate / 2, spec.indel_rate / 2, rng);
+    const Sequence copy_t =
+        mutate(ancestor, spec.substitution_rate / 2, spec.indel_rate / 2, rng);
+
+    const std::size_t so = s_offsets[k];
+    const std::size_t to = t_offsets[k];
+    std::copy(copy_s.bases().begin(), copy_s.bases().end(), s_bases.begin() + so);
+    std::copy(copy_t.bases().begin(), copy_t.bases().end(), t_bases.begin() + to);
+
+    pair.regions.push_back(PlantedRegion{so, so + copy_s.size(),
+                                         to, to + copy_t.size()});
+  }
+
+  pair.s = Sequence("synthetic_s", std::move(s_bases));
+  pair.t = Sequence("synthetic_t", std::move(t_bases));
+  return pair;
+}
+
+}  // namespace gdsm

@@ -1,0 +1,31 @@
+#include "util/sequence.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gdsm {
+
+Sequence Sequence::slice(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > bases_.size()) {
+    throw std::out_of_range("Sequence::slice: invalid range");
+  }
+  return Sequence(name_ + "[" + std::to_string(begin) + ".." +
+                      std::to_string(end) + ")",
+                  bases_.substr(begin, end - begin));
+}
+
+Sequence Sequence::reversed() const {
+  std::basic_string<Base> rev(bases_.rbegin(), bases_.rend());
+  return Sequence(name_ + ".rev", std::move(rev));
+}
+
+Sequence Sequence::reverse_complement() const {
+  std::basic_string<Base> rc;
+  rc.reserve(bases_.size());
+  for (auto it = bases_.rbegin(); it != bases_.rend(); ++it) {
+    rc.push_back(complement(*it));
+  }
+  return Sequence(name_ + ".rc", std::move(rc));
+}
+
+}  // namespace gdsm

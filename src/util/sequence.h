@@ -1,0 +1,59 @@
+// A named DNA sequence stored as 2-bit-style base codes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/alphabet.h"
+
+namespace gdsm {
+
+/// A biological sequence: a display name plus encoded bases.
+///
+/// Bases are stored encoded (see alphabet.h) so the alignment kernels can
+/// index substitution tables directly.  Positions are 0-based internally; the
+/// reporting layer converts to the paper's 1-based coordinates.
+class Sequence {
+ public:
+  Sequence() = default;
+  Sequence(std::string name, std::string_view text)
+      : name_(std::move(name)), bases_(encode_string(text)) {}
+  Sequence(std::string name, std::basic_string<Base> bases)
+      : name_(std::move(name)), bases_(std::move(bases)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return bases_.size(); }
+  bool empty() const noexcept { return bases_.empty(); }
+
+  Base operator[](std::size_t i) const noexcept { return bases_[i]; }
+  const Base* data() const noexcept { return bases_.data(); }
+  std::span<const Base> bases() const noexcept { return {bases_.data(), bases_.size()}; }
+
+  /// Decoded ASCII text (A/C/G/T/N).
+  std::string text() const { return decode_string({bases_.data(), bases_.size()}); }
+
+  /// Subsequence [begin, end) as a new (unnamed-suffix) sequence.
+  Sequence slice(std::size_t begin, std::size_t end) const;
+
+  /// The reversed sequence (used by the Section 6 rebuild over reverses).
+  Sequence reversed() const;
+
+  /// The reverse complement.
+  Sequence reverse_complement() const;
+
+  void append(Base b) { bases_.push_back(b); }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  bool operator==(const Sequence& other) const noexcept {
+    return bases_ == other.bases_;
+  }
+
+ private:
+  std::string name_;
+  std::basic_string<Base> bases_;
+};
+
+}  // namespace gdsm

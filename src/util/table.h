@@ -1,0 +1,38 @@
+// Plain-text table rendering for the benchmark harness: every bench binary
+// prints rows/series in the same layout the paper's tables and figures use.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gdsm {
+
+/// Column-aligned text table with a title, header row and string cells.
+/// Numeric helpers format with a fixed precision, matching the paper's style
+/// ("3461", "1107.02", "7.29", ...).
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with box-drawing-free ASCII so output diffs cleanly.
+  void print(std::ostream& out) const;
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-point formatting helper (e.g. fmt_f(1107.019, 2) -> "1107.02").
+std::string fmt_f(double v, int precision = 2);
+
+/// Thousands-style integer seconds like the paper's Table 1 ("175,295").
+std::string fmt_sec(double seconds);
+
+}  // namespace gdsm

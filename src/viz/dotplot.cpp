@@ -1,0 +1,117 @@
+#include "viz/dotplot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace gdsm::viz {
+namespace {
+
+// Walks the diagonal of a region in normalized [0,1) plot space, invoking
+// put(x_cell, y_cell) for each step.
+template <typename Put>
+void stroke(const gdsm::Candidate& r, std::size_t s_len, std::size_t t_len,
+            std::size_t w, std::size_t h, Put put) {
+  if (s_len == 0 || t_len == 0) return;
+  const std::size_t steps = std::max<std::size_t>(
+      {r.s_span(), r.t_span(), 1});
+  for (std::size_t k = 0; k <= steps; ++k) {
+    const double fs = (r.s_begin - 1 + (double(r.s_span()) * k) / steps) / s_len;
+    const double ft = (r.t_begin - 1 + (double(r.t_span()) * k) / steps) / t_len;
+    const std::size_t x = std::min(w - 1, static_cast<std::size_t>(fs * w));
+    const std::size_t y = std::min(h - 1, static_cast<std::size_t>(ft * h));
+    put(x, y);
+  }
+}
+
+}  // namespace
+
+std::string render_dotplot(const std::vector<Candidate>& regions,
+                           std::size_t s_len, std::size_t t_len,
+                           const DotPlotOptions& opt) {
+  const std::size_t w = std::max<std::size_t>(opt.columns, 2);
+  const std::size_t h = std::max<std::size_t>(opt.rows, 2);
+  std::vector<std::string> grid(h, std::string(w, opt.empty));
+  for (const Candidate& r : regions) {
+    stroke(r, s_len, t_len, w, h,
+           [&](std::size_t x, std::size_t y) { grid[y][x] = opt.mark; });
+  }
+  std::ostringstream out;
+  out << "dot plot: x = s (1.." << s_len << "), y = t (1.." << t_len << "), "
+      << regions.size() << " similarity regions\n";
+  out << '+' << std::string(w, '-') << "+\n";
+  for (const auto& row : grid) out << '|' << row << "|\n";
+  out << '+' << std::string(w, '-') << "+\n";
+  return out.str();
+}
+
+std::size_t write_dotplot_ppm(const std::string& path,
+                              const std::vector<Candidate>& regions,
+                              std::size_t s_len, std::size_t t_len,
+                              std::size_t width, std::size_t height) {
+  std::vector<unsigned char> pixels(width * height * 3, 255);
+  for (const Candidate& r : regions) {
+    stroke(r, s_len, t_len, width, height, [&](std::size_t x, std::size_t y) {
+      unsigned char* px = &pixels[(y * width + x) * 3];
+      px[0] = 180;
+      px[1] = 0;
+      px[2] = 0;
+    });
+  }
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("write_dotplot_ppm: cannot open " + path);
+  std::fprintf(f, "P6\n%zu %zu\n255\n", width, height);
+  std::fwrite(pixels.data(), 1, pixels.size(), f);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return static_cast<std::size_t>(size);
+}
+
+std::string format_alignment_report(const Sequence& s, const Sequence& t,
+                                    const std::vector<Alignment>& alignments,
+                                    std::size_t wrap) {
+  std::ostringstream out;
+  for (const Alignment& al : alignments) {
+    out << "initial_x: " << al.s_begin + 1 << " final_x: " << al.s_end() << "\n"
+        << "initial_y: " << al.t_begin + 1 << " final_y: " << al.t_end() << "\n"
+        << "similarity: " << al.score << "\n";
+    const auto lines = al.render(s, t);
+    for (std::size_t off = 0; off < lines[0].size(); off += wrap) {
+      out << "align_s: " << lines[0].substr(off, wrap) << "\n"
+          << "         " << lines[1].substr(off, wrap) << "\n"
+          << "align_t: " << lines[2].substr(off, wrap) << "\n";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string render_heatmap(
+    const std::vector<std::vector<std::uint64_t>>& matrix,
+    const std::string& title) {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  constexpr int kLevels = 10;
+  std::uint64_t peak = 0;
+  for (const auto& row : matrix) {
+    for (const auto v : row) peak = std::max(peak, v);
+  }
+  std::ostringstream out;
+  out << title << " (peak " << peak << " hits)\n";
+  for (std::size_t b = 0; b < matrix.size(); ++b) {
+    out << "band ";
+    out.width(3);
+    out << b << " |";
+    for (const auto v : matrix[b]) {
+      int level = 0;
+      if (peak > 0 && v > 0) {
+        level = 1 + static_cast<int>((v * (kLevels - 2)) / peak);
+      }
+      out << kShades[level];
+    }
+    out << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace gdsm::viz

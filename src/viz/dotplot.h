@@ -1,0 +1,48 @@
+// Visualization of similarity regions (the paper's Fig. 14 tool, rendered
+// as text or a PPM image instead of an X11 window) and Fig. 16-style
+// alignment records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sw/alignment.h"
+#include "util/sequence.h"
+
+namespace gdsm::viz {
+
+struct DotPlotOptions {
+  std::size_t columns = 72;  ///< text grid width
+  std::size_t rows = 36;     ///< text grid height
+  char mark = '*';
+  char empty = '.';
+};
+
+/// ASCII dot plot: axis x = position in s, axis y = position in t; every
+/// similarity region paints the cells its diagonal crosses.
+std::string render_dotplot(const std::vector<Candidate>& regions,
+                           std::size_t s_len, std::size_t t_len,
+                           const DotPlotOptions& opt = {});
+
+/// Binary PPM (P6) image of the same plot, one pixel per cell, regions drawn
+/// as diagonal strokes.  Returns the file size written.
+std::size_t write_dotplot_ppm(const std::string& path,
+                              const std::vector<Candidate>& regions,
+                              std::size_t s_len, std::size_t t_len,
+                              std::size_t width = 512, std::size_t height = 512);
+
+/// Fig. 16-style record of a batch of alignments, with the gapped rows
+/// wrapped at `wrap` columns.
+std::string format_alignment_report(const Sequence& s, const Sequence& t,
+                                    const std::vector<Alignment>& alignments,
+                                    std::size_t wrap = 60);
+
+/// ASCII heat map of the pre-process strategy's result matrix (hit counts
+/// per band x column-group): density rendered with " .:-=+*#%@" scaled to
+/// the hottest cell.
+std::string render_heatmap(
+    const std::vector<std::vector<std::uint64_t>>& matrix,
+    const std::string& title = "result matrix");
+
+}  // namespace gdsm::viz

@@ -1,0 +1,141 @@
+// Affine-gap (Gotoh) alignment tests.
+#include <gtest/gtest.h>
+
+#include "sw/affine.h"
+#include "sw/full_matrix.h"
+#include "util/genome.h"
+#include "util/rng.h"
+
+namespace gdsm {
+namespace {
+
+TEST(Affine, DegeneratesToLinearWhenOpenIsZero) {
+  Rng rng(901);
+  for (int round = 0; round < 8; ++round) {
+    const Sequence s = random_dna(60 + rng.below(60), rng, "s");
+    const Sequence t = random_dna(60 + rng.below(60), rng, "t");
+    const AffineScheme affine{1, -1, 0, -2};
+    const ScoreScheme linear{1, -1, -2};
+    EXPECT_EQ(smith_waterman_affine(s, t, affine).score,
+              smith_waterman(s, t, linear).score);
+    EXPECT_EQ(needleman_wunsch_affine(s, t, affine).score,
+              needleman_wunsch(s, t, linear).score);
+  }
+}
+
+TEST(Affine, LinearSpaceMatchesFullMatrix) {
+  Rng rng(902);
+  for (int round = 0; round < 8; ++round) {
+    const Sequence s = random_dna(50 + rng.below(100), rng, "s");
+    const Sequence t = random_dna(50 + rng.below(100), rng, "t");
+    const AffineScheme scheme{2, -2, -4, -1};
+    const Alignment full = smith_waterman_affine(s, t, scheme);
+    const BestLocal lin = sw_best_score_affine_linear(s, t, scheme);
+    EXPECT_EQ(lin.score, full.score);
+  }
+}
+
+TEST(Affine, TracebackScoreConsistent) {
+  Rng rng(903);
+  HomologousPairSpec spec;
+  spec.length_s = 400;
+  spec.length_t = 400;
+  spec.n_regions = 1;
+  spec.region_len_mean = 120;
+  spec.region_len_spread = 20;
+  spec.indel_rate = 0.05;  // gappy homology: affine structure matters
+  spec.seed = 903;
+  const HomologousPair pair = make_homologous_pair(spec);
+  const AffineScheme scheme{1, -1, -3, -1};
+  const Alignment local = smith_waterman_affine(pair.s, pair.t, scheme);
+  EXPECT_GT(local.score, 0);
+  EXPECT_EQ(affine_alignment_score(local, pair.s, pair.t, scheme), local.score);
+
+  const Alignment global = needleman_wunsch_affine(pair.s, pair.t, scheme);
+  EXPECT_EQ(affine_alignment_score(global, pair.s, pair.t, scheme),
+            global.score);
+  EXPECT_EQ(global.s_length(), pair.s.size());
+  EXPECT_EQ(global.t_length(), pair.t.size());
+}
+
+TEST(Affine, OneGapCheaperThanTwoUnderAffine) {
+  // s aligns to t with either one 2-gap or two 1-gaps; affine must prefer
+  // the single opening.  s = ACGTACGT, t = ACGGGTACGT (GG inserted).
+  const Sequence s("s", "ACGTTTACGT");
+  const Sequence t("t", "ACGTTTAAGGCGT");  // needs a 3-length gap region
+  const AffineScheme scheme{1, -2, -3, -1};
+  const Alignment al = needleman_wunsch_affine(s, t, scheme);
+  EXPECT_EQ(affine_alignment_score(al, s, t, scheme), al.score);
+  // Count gap openings: maximal runs of Up/Left.
+  int openings = 0;
+  Op prev = Op::Diag;
+  bool first = true;
+  for (Op op : al.ops) {
+    if (op != Op::Diag && (first || prev != op)) ++openings;
+    prev = op;
+    first = false;
+  }
+  EXPECT_LE(openings, 1) << "affine gaps should coalesce into one run";
+}
+
+TEST(Affine, GapRunsCoalesceComparedToLinear) {
+  // Under a strong opening penalty the number of gap runs must not exceed
+  // the linear-gap alignment's count.
+  Rng rng(905);
+  HomologousPairSpec spec;
+  spec.length_s = 300;
+  spec.length_t = 300;
+  spec.n_regions = 1;
+  spec.region_len_mean = 150;
+  spec.region_len_spread = 10;
+  spec.indel_rate = 0.08;
+  spec.seed = 905;
+  const HomologousPair pair = make_homologous_pair(spec);
+
+  auto count_runs = [](const Alignment& al) {
+    int runs = 0;
+    Op prev = Op::Diag;
+    bool first = true;
+    for (Op op : al.ops) {
+      if (op != Op::Diag && (first || prev != op)) ++runs;
+      prev = op;
+      first = false;
+    }
+    return runs;
+  };
+  const Alignment linear = smith_waterman(pair.s, pair.t, ScoreScheme{1, -1, -2});
+  const Alignment affine =
+      smith_waterman_affine(pair.s, pair.t, AffineScheme{1, -1, -6, -1});
+  EXPECT_LE(count_runs(affine), count_runs(linear) + 1);
+}
+
+TEST(Affine, ScoreSymmetricUnderSwap) {
+  Rng rng(906);
+  const Sequence s = random_dna(120, rng, "s");
+  const Sequence t = random_dna(140, rng, "t");
+  const AffineScheme scheme{1, -1, -4, -1};
+  EXPECT_EQ(sw_best_score_affine_linear(s, t, scheme).score,
+            sw_best_score_affine_linear(t, s, scheme).score);
+}
+
+TEST(Affine, EmptyInputs) {
+  const Sequence e("e", "");
+  const Sequence s("s", "ACGT");
+  const AffineScheme scheme;
+  EXPECT_EQ(smith_waterman_affine(e, s, scheme).score, 0);
+  EXPECT_EQ(sw_best_score_affine_linear(s, e, scheme).score, 0);
+  // Global: one gap of length 4 = open + 4 * extend.
+  EXPECT_EQ(needleman_wunsch_affine(e, s, scheme).score,
+            scheme.gap_open + 4 * scheme.gap_extend);
+}
+
+TEST(Affine, IdenticalStrings) {
+  const Sequence s("s", "ACGTACGTACGT");
+  const AffineScheme scheme;
+  const Alignment al = smith_waterman_affine(s, s, scheme);
+  EXPECT_EQ(al.score, 12);
+  for (Op op : al.ops) EXPECT_EQ(op, Op::Diag);
+}
+
+}  // namespace
+}  // namespace gdsm

@@ -1,0 +1,98 @@
+// Banded alignment and CIGAR round-trip tests.
+#include <gtest/gtest.h>
+
+#include "sw/banded.h"
+#include "sw/full_matrix.h"
+#include "util/genome.h"
+#include "util/rng.h"
+
+namespace gdsm {
+namespace {
+
+TEST(Banded, WideBandEqualsFullNeedlemanWunsch) {
+  Rng rng(911);
+  for (int round = 0; round < 6; ++round) {
+    const Sequence s = random_dna(40 + rng.below(60), rng, "s");
+    const Sequence t = random_dna(40 + rng.below(60), rng, "t");
+    const int band = static_cast<int>(std::max(s.size(), t.size()));
+    const auto banded = banded_needleman_wunsch(s, t, band);
+    ASSERT_TRUE(banded.has_value());
+    EXPECT_EQ(banded->score, needleman_wunsch(s, t).score);
+    EXPECT_EQ(banded->compute_score(s, t, ScoreScheme{}), banded->score);
+  }
+}
+
+TEST(Banded, WideBandEqualsFullSmithWaterman) {
+  Rng rng(912);
+  HomologousPairSpec spec;
+  spec.length_s = 300;
+  spec.length_t = 300;
+  spec.n_regions = 1;
+  spec.region_len_mean = 80;
+  spec.region_len_spread = 10;
+  spec.seed = 912;
+  const HomologousPair pair = make_homologous_pair(spec);
+  const Alignment banded = banded_smith_waterman(pair.s, pair.t, 300);
+  EXPECT_EQ(banded.score, smith_waterman(pair.s, pair.t).score);
+}
+
+TEST(Banded, NarrowBandOnDiagonalHomologyStillFindsIt) {
+  // A nearly-diagonal alignment fits inside a narrow band at a fraction of
+  // the full-matrix cost.
+  Rng rng(913);
+  const Sequence shared = random_dna(150, rng, "shared");
+  const Sequence s = shared;
+  const Sequence t = mutate(shared, 0.05, 0.0, rng);  // no indels: on-diagonal
+  const Alignment banded = banded_smith_waterman(s, t, /*band=*/3);
+  const Alignment full = smith_waterman(s, t);
+  EXPECT_EQ(banded.score, full.score);
+}
+
+TEST(Banded, BandTooNarrowForOffsetReturnsNullopt) {
+  const Sequence s("s", "ACGTACGT");           // 8
+  const Sequence t("t", "ACGTACGTACGTACGTAC");  // 18: offset 10 > band 4
+  EXPECT_FALSE(banded_needleman_wunsch(s, t, 4).has_value());
+  EXPECT_TRUE(banded_needleman_wunsch(s, t, 10).has_value());
+}
+
+TEST(Banded, CenterDiagonalShiftsTheBand) {
+  // The shared block sits 100 columns to the right: reachable only when the
+  // band is centered near diagonal +100.
+  Rng rng(914);
+  const Sequence shared = random_dna(60, rng, "shared");
+  const Sequence s("s", shared.text() + random_dna(100, rng).text());
+  const Sequence t("t", random_dna(100, rng).text() + shared.text());
+  const Alignment centered = banded_smith_waterman(s, t, 8, /*center=*/100);
+  EXPECT_GE(centered.score, 50);
+  const Alignment wrong = banded_smith_waterman(s, t, 8, /*center=*/0);
+  EXPECT_LT(wrong.score, centered.score);
+}
+
+TEST(Cigar, RoundTrip) {
+  Rng rng(915);
+  const Sequence s = random_dna(120, rng, "s");
+  const Sequence t = random_dna(110, rng, "t");
+  const Alignment al = needleman_wunsch(s, t);
+  const std::string cig = al.cigar();
+  EXPECT_FALSE(cig.empty());
+  EXPECT_EQ(parse_cigar(cig), al.ops);
+}
+
+TEST(Cigar, KnownString) {
+  Alignment al;
+  al.ops = {Op::Diag, Op::Diag, Op::Left, Op::Left, Op::Diag, Op::Up};
+  EXPECT_EQ(al.cigar(), "2M2D1M1I");
+  EXPECT_EQ(parse_cigar("2M2D1M1I"), al.ops);
+  EXPECT_EQ(parse_cigar("1=1X"), (std::vector<Op>{Op::Diag, Op::Diag}));
+}
+
+TEST(Cigar, RejectsMalformed) {
+  EXPECT_THROW(parse_cigar("M"), std::invalid_argument);
+  EXPECT_THROW(parse_cigar("3"), std::invalid_argument);
+  EXPECT_THROW(parse_cigar("0M"), std::invalid_argument);
+  EXPECT_THROW(parse_cigar("2Q"), std::invalid_argument);
+  EXPECT_TRUE(parse_cigar("").empty());
+}
+
+}  // namespace
+}  // namespace gdsm

@@ -1,0 +1,71 @@
+// Karlin–Altschul statistics tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blast/blastn.h"
+#include "blast/statistics.h"
+#include "util/genome.h"
+#include "util/rng.h"
+
+namespace gdsm::blast {
+namespace {
+
+TEST(KarlinAltschul, LambdaMatchesPublishedBlastnValues) {
+  // NCBI BLASTN tables (ungapped, uniform composition):
+  //   +1/-3: lambda = 1.374, K = 0.711
+  //   +1/-2: lambda = 1.28,  K = 0.46
+  const KarlinParams p13 = karlin_altschul(1, -3);
+  EXPECT_NEAR(p13.lambda, 1.374, 0.005);
+  EXPECT_NEAR(p13.k, 0.711, 1e-9);
+  // +1/-2's exact uniform-composition root is 1.3327 (NCBI quotes 1.28,
+  // which includes edge-effect corrections); check the exact root.
+  const KarlinParams p12 = karlin_altschul(1, -2);
+  EXPECT_NEAR(p12.lambda, 1.3327, 0.001);
+  EXPECT_NEAR(p12.k, 0.46, 1e-9);
+}
+
+TEST(KarlinAltschul, LambdaSolvesTheDefiningEquation) {
+  const KarlinParams p = karlin_altschul(2, -3);
+  const double sum =
+      0.25 * std::exp(p.lambda * 2) + 0.75 * std::exp(p.lambda * -3);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(p.h, 0);
+}
+
+TEST(KarlinAltschul, RejectsNonNegativeExpectation) {
+  EXPECT_THROW(karlin_altschul(1, 0), std::invalid_argument);
+  EXPECT_THROW(karlin_altschul(3, -1), std::invalid_argument);
+  EXPECT_THROW(karlin_altschul(0, -1), std::invalid_argument);
+}
+
+TEST(KarlinAltschul, EvalueScalesWithSearchSpaceAndScore) {
+  const KarlinParams p = karlin_altschul(1, -3);
+  const double e1 = evalue(30, 10'000, 10'000, p);
+  EXPECT_GT(evalue(30, 20'000, 10'000, p), e1 * 1.99);
+  EXPECT_LT(evalue(40, 10'000, 10'000, p), e1);
+  EXPECT_GT(bit_score(40, p), bit_score(30, p));
+}
+
+TEST(BlastnEvalues, RealHitsAreSignificantNoiseIsNot) {
+  HomologousPairSpec spec;
+  spec.length_s = 5'000;
+  spec.length_t = 5'000;
+  spec.n_regions = 2;
+  spec.region_len_mean = 300;
+  spec.region_len_spread = 30;
+  spec.seed = 921;
+  const HomologousPair pair = make_homologous_pair(spec);
+  const auto hits = blastn(pair.s, pair.t);
+  ASSERT_FALSE(hits.empty());
+  // A 300 bp ~95% identity hit is overwhelmingly significant.
+  EXPECT_LT(hits[0].evalue, 1e-20);
+  EXPECT_GT(hits[0].bit_score, 50);
+  // E-values are monotone against raw scores.
+  for (std::size_t k = 1; k < hits.size(); ++k) {
+    EXPECT_GE(hits[k].evalue, hits[k - 1].evalue * 0.999);
+  }
+}
+
+}  // namespace
+}  // namespace gdsm::blast

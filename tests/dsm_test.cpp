@@ -1,0 +1,353 @@
+// JIAJIA-like DSM substrate tests: shared memory semantics under the scope
+// consistency protocol, locks, condition variables, barriers, replacement.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "dsm/cluster.h"
+
+namespace gdsm::dsm {
+namespace {
+
+TEST(GlobalSpace, AllocRoundsToPagesAndAssignsHomes) {
+  DsmConfig cfg;
+  cfg.page_bytes = 256;
+  GlobalSpace space(4, cfg);
+  const GlobalAddr a = space.alloc(300, 2);  // 2 pages
+  const GlobalAddr b = space.alloc(1, 3);
+  EXPECT_EQ(space.offset_in_page(a), 0u);
+  EXPECT_EQ(space.home_of(space.page_of(a)), 2);
+  EXPECT_EQ(space.home_of(space.page_of(a) + 1), 2);
+  EXPECT_EQ(space.home_of(space.page_of(b)), 3);
+  EXPECT_EQ(b, a + 2 * 256);
+}
+
+TEST(GlobalSpace, StripedAllocCyclesHomes) {
+  DsmConfig cfg;
+  cfg.page_bytes = 128;
+  GlobalSpace space(3, cfg);
+  const GlobalAddr a = space.alloc_striped(128 * 6);
+  for (std::size_t k = 0; k < 6; ++k) {
+    EXPECT_EQ(space.home_of(space.page_of(a) + k), static_cast<int>(k % 3));
+  }
+}
+
+TEST(PageCache, LruEviction) {
+  PageCache cache(2);
+  PageCache::Evicted ev;
+  cache.insert(1, std::vector<std::byte>(8), &ev);
+  EXPECT_FALSE(ev.valid);
+  cache.insert(2, std::vector<std::byte>(8), &ev);
+  EXPECT_FALSE(ev.valid);
+  ASSERT_NE(cache.lookup(1), nullptr);  // touch 1 -> 2 becomes LRU
+  cache.insert(3, std::vector<std::byte>(8), &ev);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.page, 2u);
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+}
+
+TEST(PageCache, DirtyTracking) {
+  PageCache cache(4);
+  Frame* f = cache.insert(5, std::vector<std::byte>(8), nullptr);
+  EXPECT_TRUE(cache.dirty_pages().empty());
+  f->dirty = true;
+  const auto dirty = cache.dirty_pages();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], 5u);
+  cache.erase(5);
+  EXPECT_TRUE(cache.dirty_pages().empty());
+}
+
+TEST(Cluster, HomeWritesVisibleAfterBarrier) {
+  Cluster cluster(4);
+  const GlobalAddr arr = cluster.alloc(4 * sizeof(int), /*home=*/0);
+  std::array<std::atomic<int>, 4> seen{};
+  cluster.run([&](Node& node) {
+    if (node.id() == 0) {
+      for (int i = 0; i < 4; ++i) node.write<int>(arr + i * sizeof(int), 100 + i);
+    }
+    node.barrier();
+    seen[static_cast<std::size_t>(node.id())] =
+        node.read<int>(arr + node.id() * sizeof(int));
+  });
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], 100 + i);
+}
+
+TEST(Cluster, RemoteWritesReachHomeViaDiffs) {
+  Cluster cluster(3);
+  const GlobalAddr arr = cluster.alloc(3 * sizeof(int), /*home=*/0);
+  std::atomic<int> sum{0};
+  cluster.run([&](Node& node) {
+    // Every node writes its own slot (disjoint offsets of the SAME page):
+    // the multiple-writer protocol must merge all three at the home.
+    node.write<int>(arr + node.id() * sizeof(int), node.id() + 1);
+    node.barrier();
+    if (node.id() == 2) {
+      int total = 0;
+      for (int i = 0; i < 3; ++i) total += node.read<int>(arr + i * sizeof(int));
+      sum = total;
+    }
+  });
+  EXPECT_EQ(sum, 6);
+  const DsmStats stats = cluster.stats();
+  EXPECT_GE(stats.total_node().diffs_sent, 2u);  // nodes 1 and 2 diffed
+}
+
+TEST(Cluster, LockProvidesMutualExclusionAndCoherence) {
+  Cluster cluster(4);
+  const GlobalAddr counter = cluster.alloc(sizeof(int), /*home=*/3);
+  constexpr int kIters = 25;
+  cluster.run([&](Node& node) {
+    for (int k = 0; k < kIters; ++k) {
+      node.lock(7);
+      const int v = node.read<int>(counter);
+      node.write<int>(counter, v + 1);
+      node.unlock(7);
+    }
+    node.barrier();
+  });
+  // Verify via a second program on the same cluster (state persists).
+  int final_value = 0;
+  cluster.run([&](Node& node) {
+    if (node.id() == 0) final_value = node.read<int>(counter);
+  });
+  EXPECT_EQ(final_value, 4 * kIters);
+}
+
+TEST(Cluster, ConditionVariablePassesValue) {
+  Cluster cluster(2);
+  const GlobalAddr slot = cluster.alloc(sizeof(int), /*home=*/0);
+  std::atomic<int> got{-1};
+  cluster.run([&](Node& node) {
+    if (node.id() == 0) {
+      node.write<int>(slot, 4242);
+      node.setcv(1);  // release semantics: flush + notices ride the signal
+    } else {
+      node.waitcv(1);  // acquire: invalidate noticed pages
+      got = node.read<int>(slot);
+    }
+  });
+  EXPECT_EQ(got, 4242);
+}
+
+TEST(Cluster, ConditionVariableCountsSignals) {
+  Cluster cluster(2);
+  std::atomic<int> woken{0};
+  cluster.run([&](Node& node) {
+    if (node.id() == 0) {
+      for (int i = 0; i < 5; ++i) node.setcv(3);
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        node.waitcv(3);
+        ++woken;
+      }
+    }
+  });
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(Cluster, ProducerConsumerChainThroughSharedMemory) {
+  // A mini wave-front: each node increments the value and hands it on, ten
+  // rounds, exactly the Strategy-1 border-cell pattern.
+  constexpr int P = 4;
+  constexpr int kRounds = 10;
+  Cluster cluster(P);
+  std::vector<GlobalAddr> slots;
+  for (int p = 0; p + 1 < P; ++p) slots.push_back(cluster.alloc(sizeof(int), p));
+  std::atomic<int> last{-1};
+  cluster.run([&](Node& node) {
+    const int p = node.id();
+    for (int r = 0; r < kRounds; ++r) {
+      int value = r;
+      if (p > 0) {
+        node.waitcv(p - 1);
+        value = node.read<int>(slots[static_cast<std::size_t>(p - 1)]);
+        node.setcv(P + p - 1);  // slot free
+      }
+      ++value;
+      if (p + 1 < P) {
+        if (r > 0) node.waitcv(P + p);
+        node.write<int>(slots[static_cast<std::size_t>(p)], value);
+        node.setcv(p);
+      } else if (r == kRounds - 1) {
+        last = value;
+      }
+    }
+    node.barrier();
+  });
+  EXPECT_EQ(last, kRounds - 1 + P);
+}
+
+TEST(Cluster, ReplacementKeepsSemantics) {
+  // A cache of 2 remote frames forces constant eviction, including dirty
+  // victims that must be flushed home.
+  DsmConfig cfg;
+  cfg.page_bytes = 256;
+  cfg.cache_pages = 2;
+  Cluster cluster(2, cfg);
+  constexpr int kPages = 10;
+  const GlobalAddr arr = cluster.alloc(kPages * 256, /*home=*/0);
+  std::atomic<long> total{0};
+  cluster.run([&](Node& node) {
+    if (node.id() == 1) {
+      for (int k = 0; k < kPages; ++k) {
+        node.write<int>(arr + static_cast<GlobalAddr>(k) * 256, k * 11);
+      }
+    }
+    node.barrier();
+    if (node.id() == 0) {
+      long sum = 0;
+      for (int k = 0; k < kPages; ++k) {
+        sum += node.read<int>(arr + static_cast<GlobalAddr>(k) * 256);
+      }
+      total = sum;
+    }
+  });
+  EXPECT_EQ(total, 11L * (kPages - 1) * kPages / 2);
+  EXPECT_GT(cluster.stats().node[1].evictions, 0u);
+}
+
+TEST(Cluster, AllocInsideProgram) {
+  Cluster cluster(3);
+  const GlobalAddr mailbox = cluster.alloc(sizeof(GlobalAddr), 0);
+  std::atomic<int> readback{0};
+  cluster.run([&](Node& node) {
+    if (node.id() == 1) {
+      const GlobalAddr fresh = node.alloc(sizeof(int), 2);
+      node.write<int>(fresh, 777);
+      node.write<GlobalAddr>(mailbox, fresh);
+    }
+    node.barrier();
+    if (node.id() == 2) {
+      const GlobalAddr fresh = node.read<GlobalAddr>(mailbox);
+      readback = node.read<int>(fresh);
+    }
+  });
+  EXPECT_EQ(readback, 777);
+}
+
+TEST(Cluster, StatsAccountProtocolActivity) {
+  Cluster cluster(2);
+  const GlobalAddr x = cluster.alloc(sizeof(int), 0);
+  cluster.run([&](Node& node) {
+    node.barrier();
+    if (node.id() == 1) {
+      node.lock(0);
+      node.write<int>(x, 5);
+      node.unlock(0);
+    }
+    node.barrier();
+    if (node.id() == 0) (void)node.read<int>(x);
+  });
+  const DsmStats stats = cluster.stats();
+  EXPECT_EQ(stats.node[1].lock_acquires, 1u);
+  EXPECT_EQ(stats.node[1].lock_releases, 1u);
+  EXPECT_GE(stats.node[1].read_faults, 1u);   // faulted the page in to write
+  EXPECT_GE(stats.node[1].write_faults, 1u);  // twin created
+  EXPECT_GE(stats.node[1].diffs_sent, 1u);
+  EXPECT_EQ(stats.node[0].barriers, 2u);
+  EXPECT_GT(stats.total_traffic().total_messages(), 0u);
+}
+
+TEST(Cluster, UnimplementedJiaConfigOptionsThrow) {
+  DsmConfig cfg;
+  cfg.load_balancing = true;
+  Cluster cluster(2, cfg);
+  EXPECT_THROW(cluster.run([](Node&) {}), std::runtime_error);
+}
+
+TEST(HomeMigration, SingleWriterPageMigrates) {
+  DsmConfig cfg;
+  cfg.home_migration = true;
+  Cluster cluster(2, cfg);
+  // Page homed at node 0, but written only by node 1.
+  const GlobalAddr x = cluster.alloc(sizeof(int), /*home=*/0);
+  const PageId page = cluster.space().page_of(x);
+  cluster.run([&](Node& node) {
+    if (node.id() == 1) node.write<int>(x, 1);
+    node.barrier();  // writer is unique: page migrates to node 1
+  });
+  EXPECT_EQ(cluster.space().home_of(page), 1);
+  EXPECT_EQ(cluster.stats().home_migrations, 1u);
+}
+
+TEST(HomeMigration, MigrationStopsDiffTraffic) {
+  auto run_rounds = [](bool migrate) {
+    DsmConfig cfg;
+    cfg.home_migration = migrate;
+    Cluster cluster(2, cfg);
+    const GlobalAddr x = cluster.alloc(sizeof(int) * 64, /*home=*/0);
+    cluster.run([&](Node& node) {
+      for (int round = 0; round < 10; ++round) {
+        if (node.id() == 1) node.write<int>(x + 4 * round, round);
+        node.barrier();
+      }
+    });
+    return cluster.stats().node[1].diffs_sent;
+  };
+  const auto diffs_without = run_rounds(false);
+  const auto diffs_with = run_rounds(true);
+  EXPECT_EQ(diffs_without, 10u);  // one diff per interval, forever
+  EXPECT_EQ(diffs_with, 1u);      // home writes need no diffs after migration
+}
+
+TEST(HomeMigration, MultiWriterPageStaysPut) {
+  DsmConfig cfg;
+  cfg.home_migration = true;
+  Cluster cluster(3, cfg);
+  const GlobalAddr arr = cluster.alloc(3 * sizeof(int), /*home=*/0);
+  const PageId page = cluster.space().page_of(arr);
+  cluster.run([&](Node& node) {
+    node.write<int>(arr + node.id() * sizeof(int), node.id());
+    node.barrier();
+  });
+  EXPECT_EQ(cluster.space().home_of(page), 0);
+  EXPECT_EQ(cluster.stats().home_migrations, 0u);
+}
+
+TEST(HomeMigration, DataStaysCoherentAcrossMigration) {
+  DsmConfig cfg;
+  cfg.home_migration = true;
+  Cluster cluster(4, cfg);
+  const GlobalAddr x = cluster.alloc(sizeof(long), /*home=*/0);
+  std::atomic<long> seen{-1};
+  cluster.run([&](Node& node) {
+    // Round 1: node 3 writes (page migrates to 3).
+    if (node.id() == 3) node.write<long>(x, 111);
+    node.barrier();
+    // Round 2: node 2 writes the migrated page (migrates to 2).
+    if (node.id() == 2) node.write<long>(x, node.read<long>(x) + 222);
+    node.barrier();
+    // Everyone must see both updates.
+    if (node.id() == 1) seen = node.read<long>(x);
+    node.barrier();
+  });
+  EXPECT_EQ(seen, 333);
+  EXPECT_EQ(cluster.stats().home_migrations, 2u);
+}
+
+TEST(Cluster, SpmdProgramSeesOwnRank) {
+  Cluster cluster(5);
+  std::array<std::atomic<int>, 5> ranks{};
+  cluster.run([&](Node& node) {
+    ranks[static_cast<std::size_t>(node.id())] = node.id();
+    EXPECT_EQ(node.nodes(), 5);
+  });
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ranks[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Cluster, ProgramExceptionPropagates) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([](Node& node) {
+    if (node.id() == 1) throw std::runtime_error("boom");
+    // Node 0 would block forever at this barrier without error unwinding.
+    node.barrier();
+  }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gdsm::dsm

@@ -1,0 +1,111 @@
+// Parallel exact alignment (Section 6 score pass distributed over message
+// passing) must reproduce the serial Algorithm 1 exactly.
+#include <gtest/gtest.h>
+
+#include "core/exact_parallel.h"
+#include "sw/full_matrix.h"
+#include "util/genome.h"
+#include "util/rng.h"
+
+namespace gdsm::core {
+namespace {
+
+struct ExactCase {
+  int nprocs;
+  std::size_t bands, blocks;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<ExactCase>& info) {
+  return "p" + std::to_string(info.param.nprocs) + "_b" +
+         std::to_string(info.param.bands) + "x" +
+         std::to_string(info.param.blocks) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+class ExactParallel : public testing::TestWithParam<ExactCase> {};
+
+TEST_P(ExactParallel, MatchesSerialAlgorithm1) {
+  const auto& prm = GetParam();
+  HomologousPairSpec spec;
+  spec.length_s = 600;
+  spec.length_t = 600;
+  spec.n_regions = 2;
+  spec.region_len_mean = 90;
+  spec.region_len_spread = 15;
+  spec.seed = prm.seed;
+  const HomologousPair pair = make_homologous_pair(spec);
+
+  const BestLocal serial_best = sw_best_score_linear(pair.s, pair.t);
+  const RebuildResult serial = rebuild_best_local_alignment(pair.s, pair.t);
+
+  ExactParallelConfig cfg;
+  cfg.nprocs = prm.nprocs;
+  cfg.bands = prm.bands;
+  cfg.blocks = prm.blocks;
+  const ExactParallelResult par = exact_align_parallel(pair.s, pair.t, cfg);
+
+  EXPECT_EQ(par.best.score, serial_best.score);
+  EXPECT_EQ(par.best.end_i, serial_best.end_i);
+  EXPECT_EQ(par.best.end_j, serial_best.end_j);
+  EXPECT_EQ(par.rebuilt.alignment.score, serial.alignment.score);
+  EXPECT_EQ(par.rebuilt.alignment.s_begin, serial.alignment.s_begin);
+  EXPECT_EQ(par.rebuilt.alignment.t_begin, serial.alignment.t_begin);
+  EXPECT_EQ(par.rebuilt.alignment.compute_score(pair.s, pair.t, ScoreScheme{}),
+            par.rebuilt.alignment.score);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactParallel,
+    testing::Values(ExactCase{1, 4, 4, 821}, ExactCase{2, 8, 8, 821},
+                    ExactCase{4, 16, 16, 822}, ExactCase{8, 16, 7, 823},
+                    ExactCase{3, 11, 13, 824}, ExactCase{4, 600, 1, 825},
+                    ExactCase{4, 1, 600, 825}),
+    case_name);
+
+TEST(ExactParallelEdge, RandomInputTieBreaksLikeSerial) {
+  // Random DNA has many equal-score cells: the reduction's lexicographic
+  // tie-break must reproduce the serial scan's first-in-row-major choice.
+  Rng rng(826);
+  const Sequence s = random_dna(400, rng, "s");
+  const Sequence t = random_dna(400, rng, "t");
+  const BestLocal serial = sw_best_score_linear(s, t);
+  ExactParallelConfig cfg;
+  cfg.nprocs = 4;
+  const ExactParallelResult par = exact_align_parallel(s, t, cfg);
+  EXPECT_EQ(par.best.score, serial.score);
+  EXPECT_EQ(par.best.end_i, serial.end_i);
+  EXPECT_EQ(par.best.end_j, serial.end_j);
+}
+
+TEST(ExactParallelEdge, EmptyAndUnrelatedInputs) {
+  const Sequence e("e", "");
+  const Sequence a("a", "AAAAAAAA");
+  const Sequence c("c", "CCCCCCCC");
+  ExactParallelConfig cfg;
+  cfg.nprocs = 2;
+  EXPECT_EQ(exact_align_parallel(e, a, cfg).best.score, 0);
+  EXPECT_EQ(exact_align_parallel(a, c, cfg).best.score, 0);
+  EXPECT_TRUE(exact_align_parallel(a, c, cfg).rebuilt.alignment.ops.empty());
+}
+
+TEST(ExactParallelEdge, HirschbergVariant) {
+  HomologousPairSpec spec;
+  spec.length_s = 500;
+  spec.length_t = 500;
+  spec.n_regions = 1;
+  spec.region_len_mean = 120;
+  spec.region_len_spread = 10;
+  spec.seed = 827;
+  const HomologousPair pair = make_homologous_pair(spec);
+  ExactParallelConfig cfg;
+  cfg.nprocs = 4;
+  cfg.use_hirschberg = true;
+  const ExactParallelResult par = exact_align_parallel(pair.s, pair.t, cfg);
+  EXPECT_EQ(par.best.score, sw_best_score_linear(pair.s, pair.t).score);
+  EXPECT_EQ(par.rebuilt.alignment.compute_score(pair.s, pair.t, ScoreScheme{}),
+            par.best.score);
+}
+
+}  // namespace
+}  // namespace gdsm::core

@@ -1,0 +1,101 @@
+// Tests of the Section-7 future-work experiment: hybrid MP/DSM federation
+// of (possibly heterogeneous) sub-clusters.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/sim_hybrid.h"
+#include "core/sim_strategies.h"
+
+namespace gdsm::core {
+namespace {
+
+TEST(HybridOwners, RoundRobinByDefault) {
+  HybridSpec spec;
+  spec.clusters = 2;
+  spec.nodes_per_cluster = 2;
+  const auto owners = hybrid_band_owners(8, spec);
+  EXPECT_EQ(owners, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(HybridOwners, WeightedGivesFastNodesMoreBands) {
+  HybridSpec spec;
+  spec.clusters = 2;
+  spec.nodes_per_cluster = 2;
+  spec.speeds = {1.0, 2.0};  // cluster 1 is twice as fast
+  spec.weighted_bands = true;
+  const auto owners = hybrid_band_owners(60, spec);
+  std::array<int, 4> count{};
+  for (int g : owners) ++count[static_cast<std::size_t>(g)];
+  // Nodes 2 and 3 (cluster 1) should get ~twice the bands of nodes 0 and 1.
+  EXPECT_GT(count[2], count[0] * 3 / 2);
+  EXPECT_GT(count[3], count[1] * 3 / 2);
+  EXPECT_EQ(count[0] + count[1] + count[2] + count[3], 60);
+}
+
+TEST(Hybrid, Deterministic) {
+  HybridSpec spec;
+  const auto a = sim_hybrid_blocked(50'000, 50'000, spec);
+  const auto b = sim_hybrid_blocked(50'000, 50'000, spec);
+  EXPECT_DOUBLE_EQ(a.total_s, b.total_s);
+}
+
+TEST(Hybrid, SingleClusterTracksPlainBlocked) {
+  // One sub-cluster = the plain blocked strategy (same decomposition).
+  HybridSpec spec;
+  spec.clusters = 1;
+  spec.nodes_per_cluster = 8;
+  const auto hybrid = sim_hybrid_blocked(50'000, 50'000, spec);
+  const auto plain = sim_blocked(50'000, 50'000, 8, 40, 40);
+  EXPECT_NEAR(hybrid.total_s, plain.total_s, plain.total_s * 0.02);
+}
+
+TEST(Hybrid, TwoClustersBeatOne) {
+  // Doubling the nodes across a second cluster must help at 400K, even
+  // paying the inter-cluster link.
+  HybridSpec one;
+  one.clusters = 1;
+  one.nodes_per_cluster = 8;
+  HybridSpec two;
+  two.clusters = 2;
+  two.nodes_per_cluster = 8;
+  const auto t1 = sim_hybrid_blocked(400'000, 400'000, one);
+  const auto t2 = sim_hybrid_blocked(400'000, 400'000, two);
+  EXPECT_LT(t2.total_s, t1.total_s * 0.65);
+}
+
+TEST(Hybrid, SlowerInterconnectCostsTime) {
+  HybridSpec fast;
+  fast.inter_latency_s = 1e-3;
+  HybridSpec slow;
+  slow.inter_latency_s = 50e-3;
+  const auto tf = sim_hybrid_blocked(100'000, 100'000, fast);
+  const auto ts = sim_hybrid_blocked(100'000, 100'000, slow);
+  EXPECT_GT(ts.total_s, tf.total_s);
+}
+
+TEST(Hybrid, WeightedBandsFixHeterogeneousImbalance) {
+  // Cluster 1 is 2x faster.  Round-robin leaves the fast nodes waiting on
+  // the slow ones; weighted assignment must recover most of the loss.
+  HybridSpec base;
+  base.clusters = 2;
+  base.nodes_per_cluster = 4;
+  base.speeds = {1.0, 2.0};
+
+  HybridSpec weighted = base;
+  weighted.weighted_bands = true;
+
+  const auto rr = sim_hybrid_blocked(200'000, 200'000, base);
+  const auto wt = sim_hybrid_blocked(200'000, 200'000, weighted);
+  EXPECT_LT(wt.total_s, rr.total_s * 0.90);
+}
+
+TEST(Hybrid, ValidatesSpeedsSize) {
+  HybridSpec spec;
+  spec.clusters = 2;
+  spec.speeds = {1.0};  // wrong size
+  EXPECT_THROW(sim_hybrid_blocked(10'000, 10'000, spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gdsm::core

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/mailbox.h"
+#include "net/transport.h"
+
+namespace gdsm::net {
+namespace {
+
+TEST(Mailbox, FifoOrder) {
+  Mailbox box;
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.a = static_cast<std::uint64_t>(i);
+    box.push(std::move(m));
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto m = box.pop();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->a, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(Mailbox, CloseWakesBlockedConsumer) {
+  Mailbox box;
+  std::thread consumer([&] {
+    const auto m = box.pop();
+    EXPECT_FALSE(m.has_value());
+  });
+  box.close();
+  consumer.join();
+}
+
+TEST(Mailbox, DrainsQueuedMessagesAfterClose) {
+  Mailbox box;
+  Message m;
+  m.a = 7;
+  box.push(std::move(m));
+  box.close();
+  const auto got = box.pop();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->a, 7u);
+  EXPECT_FALSE(box.pop().has_value());
+}
+
+TEST(Mailbox, CrossThreadDelivery) {
+  Mailbox box;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) {
+      Message m;
+      m.a = static_cast<std::uint64_t>(i);
+      box.push(std::move(m));
+    }
+  });
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto m = box.pop();
+    ASSERT_TRUE(m.has_value());
+    sum += m->a;
+  }
+  producer.join();
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(Transport, RoutesToServiceAndReplyBoxes) {
+  Transport tp(3);
+  Message m;
+  m.src = 0;
+  m.dst = 2;
+  m.type = MsgType::kGetPage;
+  tp.send(std::move(m));
+  Message r;
+  r.src = 2;
+  r.dst = 0;
+  r.type = MsgType::kPageData;
+  r.to_reply_box = true;
+  tp.send(std::move(r));
+
+  EXPECT_EQ(tp.service_box(2).size(), 1u);
+  EXPECT_EQ(tp.reply_box(0).size(), 1u);
+  EXPECT_EQ(tp.service_box(0).size(), 0u);
+}
+
+TEST(Transport, CountsTrafficPerSourceAndType) {
+  Transport tp(2);
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.type = MsgType::kDiff;
+    m.payload.resize(100);
+    tp.send(std::move(m));
+  }
+  const TrafficCounters c = tp.counters(0);
+  EXPECT_EQ(c.messages[static_cast<int>(MsgType::kDiff)], 3u);
+  EXPECT_EQ(c.bytes[static_cast<int>(MsgType::kDiff)], 3 * (40u + 100u));
+  EXPECT_EQ(c.total_messages(), 3u);
+  EXPECT_EQ(tp.counters(1).total_messages(), 0u);
+}
+
+TEST(Transport, SelfMessagesAreNotCountedAsTraffic) {
+  Transport tp(2);
+  Message m;
+  m.src = 1;
+  m.dst = 1;
+  m.type = MsgType::kSetCv;
+  tp.send(std::move(m));
+  EXPECT_EQ(tp.counters(1).total_messages(), 0u);  // loopback, no wire
+  EXPECT_EQ(tp.service_box(1).size(), 1u);         // still delivered
+}
+
+TEST(Transport, MessageTypeNames) {
+  EXPECT_STREQ(msg_type_name(MsgType::kBarrier), "BARR");
+  EXPECT_STREQ(msg_type_name(MsgType::kBarrierGrant), "BARRGRANT");
+  EXPECT_STREQ(msg_type_name(MsgType::kAcquire), "ACQ");
+}
+
+}  // namespace
+}  // namespace gdsm::net

@@ -1,0 +1,98 @@
+// Exhaustive-oracle cross-validation of the DP kernels on tiny inputs:
+//   * a brute-force recursive enumerator of ALL global alignments validates
+//     needleman_wunsch;
+//   * local alignment is validated as the maximum NW score over every
+//     substring pair (its defining property).
+// Slow by design, kept to tiny strings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "sw/affine.h"
+#include "sw/full_matrix.h"
+#include "sw/linear_score.h"
+#include "util/genome.h"
+#include "util/rng.h"
+
+namespace gdsm {
+namespace {
+
+// Enumerates every global alignment path and returns the best score.
+int brute_force_global(const Sequence& s, const Sequence& t,
+                       const ScoreScheme& scheme, std::size_t i, std::size_t j) {
+  if (i == s.size() && j == t.size()) return 0;
+  int best = std::numeric_limits<int>::min() / 2;
+  if (i < s.size() && j < t.size()) {
+    best = std::max(best, scheme.substitution(s[i], t[j]) +
+                              brute_force_global(s, t, scheme, i + 1, j + 1));
+  }
+  if (i < s.size()) {
+    best = std::max(best,
+                    scheme.gap + brute_force_global(s, t, scheme, i + 1, j));
+  }
+  if (j < t.size()) {
+    best = std::max(best,
+                    scheme.gap + brute_force_global(s, t, scheme, i, j + 1));
+  }
+  return best;
+}
+
+// Local score by definition: best global score over all substring pairs
+// (floored at zero by the empty alignment).
+int brute_force_local(const Sequence& s, const Sequence& t,
+                      const ScoreScheme& scheme) {
+  int best = 0;
+  for (std::size_t i0 = 0; i0 <= s.size(); ++i0) {
+    for (std::size_t i1 = i0; i1 <= s.size(); ++i1) {
+      for (std::size_t j0 = 0; j0 <= t.size(); ++j0) {
+        for (std::size_t j1 = j0; j1 <= t.size(); ++j1) {
+          best = std::max(best, needleman_wunsch(s.slice(i0, i1),
+                                                 t.slice(j0, j1), scheme)
+                                    .score);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+TEST(Oracle, GlobalMatchesBruteForceEnumeration) {
+  Rng rng(961);
+  for (int round = 0; round < 20; ++round) {
+    const Sequence s = random_dna(1 + rng.below(6), rng, "s");
+    const Sequence t = random_dna(1 + rng.below(6), rng, "t");
+    for (const ScoreScheme scheme :
+         {ScoreScheme{}, ScoreScheme{2, -1, -3}, ScoreScheme{1, -2, -1}}) {
+      EXPECT_EQ(needleman_wunsch(s, t, scheme).score,
+                brute_force_global(s, t, scheme, 0, 0))
+          << "s=" << s.text() << " t=" << t.text();
+    }
+  }
+}
+
+TEST(Oracle, LocalMatchesBestSubstringGlobal) {
+  Rng rng(962);
+  for (int round = 0; round < 10; ++round) {
+    const Sequence s = random_dna(2 + rng.below(7), rng, "s");
+    const Sequence t = random_dna(2 + rng.below(7), rng, "t");
+    const int oracle = brute_force_local(s, t, ScoreScheme{});
+    EXPECT_EQ(smith_waterman(s, t).score, oracle)
+        << "s=" << s.text() << " t=" << t.text();
+    EXPECT_EQ(sw_best_score_linear(s, t).score, oracle);
+  }
+}
+
+TEST(Oracle, AffineReducesToLinearOracleWhenOpenIsZero) {
+  Rng rng(963);
+  for (int round = 0; round < 10; ++round) {
+    const Sequence s = random_dna(2 + rng.below(6), rng, "s");
+    const Sequence t = random_dna(2 + rng.below(6), rng, "t");
+    const AffineScheme affine{1, -1, 0, -2};
+    EXPECT_EQ(needleman_wunsch_affine(s, t, affine).score,
+              brute_force_global(s, t, ScoreScheme{1, -1, -2}, 0, 0));
+  }
+}
+
+}  // namespace
+}  // namespace gdsm

@@ -1,0 +1,162 @@
+// Phase-2 tests: scattered-mapping global alignment of similarity regions.
+#include <gtest/gtest.h>
+
+#include "core/phase2.h"
+#include "core/wavefront.h"
+#include "sw/full_matrix.h"
+#include "sw/heuristic_scan.h"
+#include "util/genome.h"
+#include "util/rng.h"
+
+namespace gdsm::core {
+namespace {
+
+std::vector<Candidate> synthetic_queue(std::size_t count, std::size_t seq_len,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Candidate> queue;
+  queue.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::uint32_t len = 20 + static_cast<std::uint32_t>(rng.below(80));
+    const auto max_start = static_cast<std::uint32_t>(seq_len - len - 1);
+    const std::uint32_t sb = 1 + static_cast<std::uint32_t>(rng.below(max_start));
+    const std::uint32_t tb = 1 + static_cast<std::uint32_t>(rng.below(max_start));
+    queue.push_back(Candidate{0, sb, sb + len - 1, tb, tb + len - 1});
+  }
+  return queue;
+}
+
+TEST(Phase2, ParallelEqualsSerial) {
+  Rng rng(101);
+  const Sequence s = random_dna(2000, rng, "s");
+  const Sequence t = random_dna(2000, rng, "t");
+  const auto queue = synthetic_queue(37, 2000, 102);
+
+  const auto serial = phase2_serial(s, t, queue);
+  for (int procs : {1, 2, 4, 8}) {
+    Phase2Config cfg;
+    cfg.nprocs = procs;
+    const Phase2Result par = phase2_align(s, t, queue, cfg);
+    EXPECT_EQ(par.alignments, serial) << procs << " processors";
+  }
+}
+
+TEST(Phase2, ScoresMatchDirectNeedlemanWunsch) {
+  Rng rng(103);
+  const Sequence s = random_dna(500, rng, "s");
+  const Sequence t = random_dna(500, rng, "t");
+  const auto queue = synthetic_queue(5, 500, 104);
+  const auto results = phase2_serial(s, t, queue);
+  ASSERT_EQ(results.size(), queue.size());
+  for (std::size_t k = 0; k < queue.size(); ++k) {
+    const Candidate& c = queue[k];
+    const Alignment al = needleman_wunsch(s.slice(c.s_begin - 1, c.s_end),
+                                          t.slice(c.t_begin - 1, c.t_end));
+    EXPECT_EQ(results[k].global_score, al.score);
+    EXPECT_EQ(results[k].region, c);
+  }
+}
+
+TEST(Phase2, EmptyQueue) {
+  Rng rng(105);
+  const Sequence s = random_dna(100, rng, "s");
+  Phase2Config cfg;
+  cfg.nprocs = 4;
+  const Phase2Result res = phase2_align(s, s, {}, cfg);
+  EXPECT_TRUE(res.alignments.empty());
+}
+
+TEST(Phase2, NoLocksUsed) {
+  // The scattered mapping eliminates lock/cv synchronization entirely
+  // (Section 4.4); only the start/end barriers remain.
+  Rng rng(106);
+  const Sequence s = random_dna(800, rng, "s");
+  const Sequence t = random_dna(800, rng, "t");
+  Phase2Config cfg;
+  cfg.nprocs = 4;
+  const Phase2Result res = phase2_align(s, t, synthetic_queue(16, 800, 107), cfg);
+  const auto total = res.dsm_stats.total_node();
+  EXPECT_EQ(total.lock_acquires, 0u);
+  EXPECT_EQ(total.cv_signals, 0u);
+  EXPECT_EQ(total.cv_waits, 0u);
+  EXPECT_EQ(total.barriers, 8u);  // 2 barriers x 4 nodes
+}
+
+TEST(Phase2, AlignRegionMapsCoordinatesBack) {
+  Rng rng(108);
+  const Sequence shared = random_dna(60, rng, "shared");
+  const Sequence s("s", random_dna(100, rng).text() + shared.text() +
+                            random_dna(50, rng).text());
+  const Sequence t("t", random_dna(30, rng).text() + shared.text() +
+                            random_dna(120, rng).text());
+  const Candidate c{60, 101, 160, 31, 90};
+  const Alignment al = align_region(s, t, c);
+  EXPECT_EQ(al.s_begin, 100u);
+  EXPECT_EQ(al.t_begin, 30u);
+  EXPECT_EQ(al.score, 60);
+  EXPECT_EQ(al.compute_score(s, t, ScoreScheme{}), 60);
+}
+
+TEST(Phase2, AlignRegionLocalRecoversTrailingStart) {
+  // The heuristic opens candidates late: a region whose begin coordinate
+  // trails the true alignment start must be recovered by the padded local
+  // re-alignment.
+  Rng rng(110);
+  const Sequence shared = random_dna(80, rng, "shared");
+  const Sequence s("s", random_dna(60, rng).text() + shared.text() +
+                            random_dna(40, rng).text());
+  const Sequence t("t", random_dna(90, rng).text() + shared.text() +
+                            random_dna(30, rng).text());
+  // Candidate starting 10 bp INSIDE the true 80 bp region (1-based coords:
+  // region is s[61..140] x t[91..170]).
+  const Candidate late{60, 71, 140, 101, 170};
+  const Alignment padded = align_region_local(s, t, late, /*margin=*/16);
+  EXPECT_LE(padded.s_begin, 60u);  // recovered the real start
+  EXPECT_LE(padded.t_begin, 90u);
+  EXPECT_EQ(padded.score, 80);     // the full planted block
+  EXPECT_EQ(padded.compute_score(s, t, ScoreScheme{}), padded.score);
+  // The unpadded global alignment of the late region scores less.
+  EXPECT_LT(align_region(s, t, late).score, padded.score);
+}
+
+TEST(Phase2, AlignRegionRejectsBadCoords) {
+  const Sequence s("s", "ACGTACGT");
+  EXPECT_THROW(align_region(s, s, Candidate{0, 0, 4, 1, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(align_region(s, s, Candidate{0, 1, 100, 1, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(align_region(s, s, Candidate{0, 5, 4, 1, 4}),
+               std::invalid_argument);
+}
+
+TEST(Phase2, EndToEndWithPhase1) {
+  // The full pipeline of the paper: heuristic phase 1 finds regions, phase 2
+  // aligns them globally; planted homologies must come out with high scores.
+  HomologousPairSpec spec;
+  spec.length_s = 1500;
+  spec.length_t = 1500;
+  spec.n_regions = 2;
+  spec.region_len_mean = 150;
+  spec.region_len_spread = 20;
+  spec.seed = 109;
+  const HomologousPair pair = make_homologous_pair(spec);
+
+  HeuristicParams params;
+  params.min_report_score = 40;
+  WavefrontConfig wf;
+  wf.nprocs = 4;
+  wf.params = params;
+  const StrategyResult phase1 = wavefront_align(pair.s, pair.t, wf);
+  ASSERT_FALSE(phase1.candidates.empty());
+
+  Phase2Config cfg;
+  cfg.nprocs = 4;
+  const Phase2Result phase2 = phase2_align(pair.s, pair.t, phase1.candidates, cfg);
+  ASSERT_EQ(phase2.alignments.size(), phase1.candidates.size());
+  int best = 0;
+  for (const auto& r : phase2.alignments) best = std::max(best, r.global_score);
+  EXPECT_GT(best, 60);
+}
+
+}  // namespace
+}  // namespace gdsm::core

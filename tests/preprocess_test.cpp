@@ -1,0 +1,257 @@
+// Strategy 3 tests: band sizing schemes, chunk schedules, the result-matrix
+// scoreboard against a serial recount, and the column stores.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/preprocess.h"
+#include "sw/full_matrix.h"
+#include "sw/linear_score.h"
+#include "util/genome.h"
+#include "util/rng.h"
+
+namespace gdsm::core {
+namespace {
+
+TEST(BandOffsets, FixedScheme) {
+  const auto offs = band_offsets(1000, 4, BandScheme::kFixed, 300);
+  ASSERT_EQ(offs.size(), 5u);  // 300+300+300+100
+  EXPECT_EQ(offs.front(), 0u);
+  EXPECT_EQ(offs.back(), 1000u);
+  EXPECT_EQ(offs[1], 300u);
+}
+
+TEST(BandOffsets, EvenSchemeOneBandPerNode) {
+  const auto offs = band_offsets(1000, 4, BandScheme::kEven, 0);
+  ASSERT_EQ(offs.size(), 5u);  // 4 bands of 250
+  for (std::size_t b = 0; b + 1 < offs.size(); ++b) {
+    EXPECT_EQ(offs[b + 1] - offs[b], 250u);
+  }
+}
+
+TEST(BandOffsets, BalancedGivesEqualBandCountPerNode) {
+  // m=1000, request 300-row bands over 4 nodes: ceil(ceil(1000/300)/4)=1
+  // band per node -> heights near 250.
+  const auto offs = band_offsets(1000, 4, BandScheme::kBalanced, 300);
+  const std::size_t bands = offs.size() - 1;
+  EXPECT_EQ(bands % 4, 0u);
+  // All bands but the last are equal.
+  for (std::size_t b = 1; b + 1 < bands; ++b) {
+    EXPECT_EQ(offs[b + 1] - offs[b], offs[1] - offs[0]);
+  }
+}
+
+TEST(BandOffsets, DegenerateInputs) {
+  EXPECT_EQ(band_offsets(0, 4, BandScheme::kFixed, 100).size(), 1u);
+  const auto one = band_offsets(5, 8, BandScheme::kFixed, 100);
+  ASSERT_EQ(one.size(), 2u);  // single band of 5 rows
+  EXPECT_EQ(one.back(), 5u);
+}
+
+TEST(ChunkOffsets, FixedArithmeticGeometric) {
+  const auto fixed = chunk_offsets(100, 30, ChunkGrowth::kFixed);
+  EXPECT_EQ(fixed, (std::vector<std::size_t>{0, 30, 60, 90, 100}));
+  const auto arith = chunk_offsets(200, 20, ChunkGrowth::kArithmetic);
+  EXPECT_EQ(arith, (std::vector<std::size_t>{0, 20, 60, 120, 200}));
+  const auto geom = chunk_offsets(200, 20, ChunkGrowth::kGeometric);
+  EXPECT_EQ(geom, (std::vector<std::size_t>{0, 20, 60, 140, 200}));
+}
+
+// Serial recount of the result matrix via the linear hit scan.
+std::vector<std::vector<std::uint64_t>> reference_matrix(
+    const Sequence& s, const Sequence& t, int threshold,
+    const std::vector<std::size_t>& rows, std::size_t ipr) {
+  const std::size_t groups = (t.size() + ipr - 1) / ipr;
+  std::vector<std::vector<std::uint64_t>> ref(rows.size() - 1,
+                                              std::vector<std::uint64_t>(groups));
+  sw_scan_hits(s, t, ScoreScheme{}, threshold,
+               [&](std::size_t i, std::size_t j, int) {
+                 const auto band =
+                     static_cast<std::size_t>(
+                         std::upper_bound(rows.begin(), rows.end(), i - 1) -
+                         rows.begin()) - 1;
+                 ++ref[band][(j - 1) / ipr];
+               });
+  return ref;
+}
+
+struct PreCase {
+  int nprocs;
+  BandScheme scheme;
+  std::size_t band_rows;
+  std::size_t chunk;
+  ChunkGrowth growth;
+};
+
+std::string pre_name(const testing::TestParamInfo<PreCase>& info) {
+  const auto& p = info.param;
+  return "p" + std::to_string(p.nprocs) + "_" +
+         std::string(band_scheme_name(p.scheme)) + "_h" +
+         std::to_string(p.band_rows) + "_c" + std::to_string(p.chunk) + "_" +
+         chunk_growth_name(p.growth);
+}
+
+class PreprocessSweep : public testing::TestWithParam<PreCase> {};
+
+TEST_P(PreprocessSweep, ResultMatrixMatchesSerialRecount) {
+  const auto& prm = GetParam();
+  HomologousPairSpec spec;
+  spec.length_s = 500;
+  spec.length_t = 600;
+  spec.n_regions = 2;
+  spec.region_len_mean = 120;
+  spec.region_len_spread = 20;
+  spec.seed = 91;
+  const HomologousPair pair = make_homologous_pair(spec);
+
+  PreProcessConfig cfg;
+  cfg.nprocs = prm.nprocs;
+  cfg.threshold = 20;
+  cfg.band_scheme = prm.scheme;
+  cfg.band_rows = prm.band_rows;
+  cfg.chunk_cols = prm.chunk;
+  cfg.chunk_growth = prm.growth;
+  cfg.result_interleave = 64;
+
+  const PreProcessResult res = preprocess_align(pair.s, pair.t, cfg);
+  const auto ref = reference_matrix(pair.s, pair.t, cfg.threshold,
+                                    res.row_offsets, res.result_interleave);
+  EXPECT_EQ(res.result_matrix, ref);
+  EXPECT_GT(res.total_hits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PreprocessSweep,
+    testing::Values(
+        PreCase{1, BandScheme::kFixed, 100, 64, ChunkGrowth::kFixed},
+        PreCase{2, BandScheme::kFixed, 100, 64, ChunkGrowth::kFixed},
+        PreCase{4, BandScheme::kFixed, 50, 32, ChunkGrowth::kFixed},
+        PreCase{8, BandScheme::kFixed, 37, 41, ChunkGrowth::kFixed},
+        PreCase{4, BandScheme::kEven, 0, 64, ChunkGrowth::kFixed},
+        PreCase{4, BandScheme::kBalanced, 80, 64, ChunkGrowth::kFixed},
+        PreCase{4, BandScheme::kFixed, 100, 16, ChunkGrowth::kArithmetic},
+        PreCase{4, BandScheme::kFixed, 100, 16, ChunkGrowth::kGeometric},
+        PreCase{3, BandScheme::kBalanced, 64, 25, ChunkGrowth::kGeometric}),
+    pre_name);
+
+TEST(PreprocessStore, SavedColumnsMatchFullMatrix) {
+  Rng rng(92);
+  const Sequence s = random_dna(300, rng, "s");
+  const Sequence t = random_dna(300, rng, "t");
+
+  MemoryColumnStore store;
+  PreProcessConfig cfg;
+  cfg.nprocs = 4;
+  cfg.band_rows = 64;
+  cfg.save_interleave = 50;
+  cfg.io_mode = IoMode::kImmediate;
+  cfg.store = &store;
+  preprocess_align(s, t, cfg);
+
+  const DpMatrix a = sw_fill(s, t, ScoreScheme{}, nullptr);
+  const auto saved = store.snapshot();
+  EXPECT_FALSE(saved.empty());
+  // Every 50th column must be present, fragmented by band, and exact.
+  for (const auto& [key, values] : saved) {
+    const auto [col, row_begin] = key;
+    EXPECT_EQ(col % 50, 0u);
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      EXPECT_EQ(values[k], a.at(row_begin + k, col))
+          << "col " << col << " row " << row_begin + k;
+    }
+  }
+  // 300/50 = 6 saved columns, each split over ceil(300/64)=5 bands.
+  EXPECT_EQ(store.fragments(), 6u * 5u);
+  EXPECT_EQ(store.total_cells(), 6u * 300u);
+}
+
+TEST(PreprocessStore, FileStoreRoundTrip) {
+  Rng rng(93);
+  const Sequence s = random_dna(200, rng, "s");
+  const Sequence t = random_dna(200, rng, "t");
+
+  const std::string path = testing::TempDir() + "/gdsm_columns.bin";
+  MemoryColumnStore reference;
+  for (IoMode mode : {IoMode::kImmediate, IoMode::kDeferred}) {
+    FileColumnStore file(path, mode);
+    PreProcessConfig cfg;
+    cfg.nprocs = 2;
+    cfg.band_rows = 80;
+    cfg.save_interleave = 64;
+    cfg.io_mode = mode;
+    cfg.store = &file;
+    preprocess_align(s, t, cfg);
+    file.flush();
+
+    const auto loaded = FileColumnStore::load(path);
+    EXPECT_FALSE(loaded.empty());
+
+    MemoryColumnStore mem;
+    cfg.store = &mem;
+    preprocess_align(s, t, cfg);
+    EXPECT_EQ(loaded, mem.snapshot()) << io_mode_name(mode);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Preprocess, NoStoreRequiredWithoutIo) {
+  Rng rng(94);
+  const Sequence s = random_dna(100, rng, "s");
+  const Sequence t = random_dna(100, rng, "t");
+  PreProcessConfig cfg;
+  cfg.nprocs = 2;
+  cfg.band_rows = 40;
+  EXPECT_NO_THROW(preprocess_align(s, t, cfg));
+  cfg.io_mode = IoMode::kImmediate;
+  EXPECT_THROW(preprocess_align(s, t, cfg), std::invalid_argument);
+}
+
+TEST(Preprocess, HitCountsLocateThePlantedRegion) {
+  // The scoreboard's whole purpose: the hottest result cell points at the
+  // similar region.
+  HomologousPairSpec spec;
+  spec.length_s = 800;
+  spec.length_t = 800;
+  spec.n_regions = 1;
+  spec.region_len_mean = 200;
+  spec.region_len_spread = 10;
+  spec.seed = 95;
+  const HomologousPair pair = make_homologous_pair(spec);
+
+  PreProcessConfig cfg;
+  cfg.nprocs = 4;
+  cfg.threshold = 30;
+  cfg.band_rows = 100;
+  cfg.result_interleave = 100;
+  const PreProcessResult res = preprocess_align(pair.s, pair.t, cfg);
+
+  std::size_t best_band = 0, best_group = 0;
+  std::uint64_t best = 0;
+  for (std::size_t b = 0; b < res.result_matrix.size(); ++b) {
+    for (std::size_t g = 0; g < res.result_matrix[b].size(); ++g) {
+      if (res.result_matrix[b][g] > best) {
+        best = res.result_matrix[b][g];
+        best_band = b;
+        best_group = g;
+      }
+    }
+  }
+  ASSERT_GT(best, 0u);
+  const auto& r = pair.regions[0];
+  // The hottest cell must sit on the region's diagonal trail.  Note that
+  // high scores DECAY slowly after the region ends (random DNA loses only
+  // ~0.5 per column at this scoring), so the trail extends well past the
+  // region in the down/right direction but never precedes it.
+  const std::size_t band_lo = res.row_offsets[best_band];
+  const std::size_t band_hi = res.row_offsets[best_band + 1];
+  const std::size_t col_lo = best_group * cfg.result_interleave;
+  const std::size_t col_hi = col_lo + cfg.result_interleave;
+  const std::size_t trail = 2 * (r.s_end - r.s_begin);  // decay length bound
+  EXPECT_GE(band_hi, r.s_begin);             // not before the region
+  EXPECT_LE(band_lo, r.s_end + trail);       // not past the decayed trail
+  EXPECT_GE(col_hi, r.t_begin);
+  EXPECT_LE(col_lo, r.t_end + trail);
+}
+
+}  // namespace
+}  // namespace gdsm::core

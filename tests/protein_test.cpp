@@ -1,0 +1,125 @@
+// Protein alignment tests: alphabet, BLOSUM62 ground truths, Gotoh local
+// and global behaviour.
+#include <gtest/gtest.h>
+
+#include "sw/protein.h"
+
+namespace gdsm {
+namespace {
+
+TEST(ProteinAlphabet, EncodeDecodeRoundTrip) {
+  const std::string residues = "ARNDCQEGHILKMFPSTWYV";
+  for (char c : residues) {
+    EXPECT_EQ(decode_amino_acid(encode_amino_acid(c)), c);
+  }
+  EXPECT_EQ(encode_amino_acid('a'), encode_amino_acid('A'));
+  EXPECT_EQ(encode_amino_acid('B'), kAaX);
+  EXPECT_EQ(encode_amino_acid('Z'), kAaX);
+  EXPECT_EQ(decode_amino_acid(kAaX), 'X');
+}
+
+TEST(Blosum62, KnownEntries) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  auto sc = [&](char a, char b) {
+    return m.score(encode_amino_acid(a), encode_amino_acid(b));
+  };
+  EXPECT_EQ(sc('W', 'W'), 11);  // tryptophan self-score, the matrix maximum
+  EXPECT_EQ(sc('A', 'A'), 4);
+  EXPECT_EQ(sc('W', 'A'), -3);
+  EXPECT_EQ(sc('I', 'L'), 2);  // conservative hydrophobic substitution
+  EXPECT_EQ(sc('D', 'E'), 2);  // conservative acidic substitution
+  EXPECT_EQ(sc('C', 'C'), 9);
+  EXPECT_EQ(sc('G', 'W'), -2);
+  EXPECT_EQ(sc('X', 'W'), -1);  // unknown residue
+}
+
+TEST(Blosum62, Symmetric) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  for (int a = 0; a < kProteinAlphabetSize; ++a) {
+    for (int b = 0; b < kProteinAlphabetSize; ++b) {
+      EXPECT_EQ(m.score(static_cast<AminoAcid>(a), static_cast<AminoAcid>(b)),
+                m.score(static_cast<AminoAcid>(b), static_cast<AminoAcid>(a)));
+    }
+  }
+}
+
+TEST(ProteinAlign, SelfAlignmentSumsDiagonal) {
+  const ProteinSequence p("p", "MKTAYIAKQR");
+  const Alignment al = protein_smith_waterman(p, p);
+  int expected = 0;
+  const auto& m = SubstitutionMatrix::blosum62();
+  for (std::size_t k = 0; k < p.size(); ++k) expected += m.score(p[k], p[k]);
+  EXPECT_EQ(al.score, expected);
+  EXPECT_EQ(al.ops.size(), p.size());
+}
+
+TEST(ProteinAlign, LocalFindsConservedCore) {
+  // Two proteins sharing a conserved core with different flanks.
+  const ProteinSequence a("a", "GGGGGWWCDEHKWWGGGGG");
+  const ProteinSequence b("b", "PPPWWCDEHKWWPPP");
+  const Alignment al = protein_smith_waterman(a, b);
+  EXPECT_GT(al.score, 40);  // W-rich core scores very high under BLOSUM62
+  const auto lines = render_protein_alignment(al, a, b);
+  EXPECT_NE(lines[1].find('W'), std::string::npos);  // identity midline
+}
+
+TEST(ProteinAlign, GlobalConsumesBothSequences) {
+  const ProteinSequence a("a", "MKTAYIAK");
+  const ProteinSequence b("b", "MKTAYK");
+  const Alignment al = protein_needleman_wunsch(a, b);
+  EXPECT_EQ(al.s_length(), a.size());
+  EXPECT_EQ(al.t_length(), b.size());
+  EXPECT_EQ(protein_alignment_score(al, a, b, SubstitutionMatrix::blosum62(),
+                                    ProteinGaps{}),
+            al.score);
+}
+
+TEST(ProteinAlign, AffineGapsCoalesce) {
+  // A 3-residue deletion should cost one opening, not three.
+  const ProteinSequence a("a", "MKTAYIAKQRQISFVK");
+  const ProteinSequence b("b", "MKTAYIQRQISFVK");  // AK.. 2-residue deletion
+  const Alignment al = protein_needleman_wunsch(a, b);
+  int openings = 0;
+  Op prev = Op::Diag;
+  bool first = true;
+  for (Op op : al.ops) {
+    if (op != Op::Diag && (first || prev != op)) ++openings;
+    prev = op;
+    first = false;
+  }
+  EXPECT_EQ(openings, 1);
+  EXPECT_EQ(protein_alignment_score(al, a, b, SubstitutionMatrix::blosum62(),
+                                    ProteinGaps{}),
+            al.score);
+}
+
+TEST(ProteinAlign, ConservativeSubstitutionBeatsGap) {
+  // I<->L scores +2: the aligner must substitute, not gap around it.
+  const ProteinSequence a("a", "WWWIWWW");
+  const ProteinSequence b("b", "WWWLWWW");
+  const Alignment al = protein_smith_waterman(a, b);
+  EXPECT_EQ(al.ops.size(), 7u);
+  for (Op op : al.ops) EXPECT_EQ(op, Op::Diag);
+  const auto lines = render_protein_alignment(al, a, b);
+  EXPECT_EQ(lines[1][3], '+');  // positive non-identity midline marker
+}
+
+TEST(ProteinAlign, EmptyAndUnrelated) {
+  const ProteinSequence e("e", "");
+  const ProteinSequence p("p", "WWWW");
+  EXPECT_EQ(protein_smith_waterman(e, p).score, 0);
+  EXPECT_EQ(protein_smith_waterman(p, e).score, 0);
+  // Global of empty vs p: one gap run.
+  const Alignment g = protein_needleman_wunsch(e, p);
+  EXPECT_EQ(g.score, ProteinGaps{}.open + 4 * ProteinGaps{}.extend);
+}
+
+TEST(ProteinSequenceType, SliceAndText) {
+  const ProteinSequence p("p", "MKTAYIAKQR");
+  EXPECT_EQ(p.text(), "MKTAYIAKQR");
+  EXPECT_EQ(p.slice(2, 6).text(), "TAYI");
+  EXPECT_THROW(p.slice(8, 4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gdsm

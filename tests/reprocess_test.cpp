@@ -1,0 +1,185 @@
+// Section 5 checkpoint/re-process tests: saved columns + passage rows must
+// allow bit-exact recomputation of any anchored subregion.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/preprocess.h"
+#include "core/reprocess.h"
+#include "sw/full_matrix.h"
+#include "util/genome.h"
+#include "util/rng.h"
+
+namespace gdsm::core {
+namespace {
+
+struct Checkpoints {
+  MemoryColumnStore columns;
+  MemoryColumnStore rows;
+  PreProcessResult run;
+};
+
+// Runs the pre-process strategy with both checkpoint stores enabled.
+void run_with_checkpoints(const Sequence& s, const Sequence& t,
+                          std::size_t band_rows, std::size_t save_ip,
+                          Checkpoints& out, int procs = 4) {
+  PreProcessConfig cfg;
+  cfg.nprocs = procs;
+  cfg.threshold = 25;
+  cfg.band_rows = band_rows;
+  cfg.result_interleave = band_rows;
+  cfg.save_interleave = save_ip;
+  cfg.io_mode = IoMode::kImmediate;
+  cfg.store = &out.columns;
+  cfg.row_store = &out.rows;
+  out.run = preprocess_align(s, t, cfg);
+}
+
+TEST(Reprocess, SubregionMatchesFullMatrixExactly) {
+  Rng rng(941);
+  const Sequence s = random_dna(400, rng, "s");
+  const Sequence t = random_dna(400, rng, "t");
+  Checkpoints cp;
+  run_with_checkpoints(s, t, /*band_rows=*/100, /*save_ip=*/64, cp);
+
+  const DpMatrix full = sw_fill(s, t, ScoreScheme{}, nullptr);
+  const Subregion region{150, 320, 200, 380};
+  const ReprocessResult res = reprocess_region(
+      s, t, cp.columns.snapshot(), cp.rows.snapshot(), region, /*min_score=*/20);
+
+  // Snapped to the nearest checkpoints at or before the request.
+  EXPECT_LE(res.computed.row_lo, region.row_lo);
+  EXPECT_LE(res.computed.col_lo, region.col_lo);
+  EXPECT_EQ((res.computed.row_lo - 1) % 100, 0u);  // a band bottom
+  EXPECT_EQ((res.computed.col_lo - 1) % 64, 0u);   // a saved column
+
+  for (std::size_t i = res.computed.row_lo; i <= res.computed.row_hi; ++i) {
+    for (std::size_t j = res.computed.col_lo; j <= res.computed.col_hi; ++j) {
+      ASSERT_EQ(res.at(i, j), full.at(i, j)) << "cell " << i << "," << j;
+    }
+  }
+}
+
+TEST(Reprocess, RegionTouchingOriginNeedsNoCheckpoints) {
+  Rng rng(942);
+  const Sequence s = random_dna(120, rng, "s");
+  const Sequence t = random_dna(120, rng, "t");
+  const DpMatrix full = sw_fill(s, t, ScoreScheme{}, nullptr);
+  const ReprocessResult res =
+      reprocess_region(s, t, {}, {}, Subregion{1, 120, 1, 120}, 10);
+  for (std::size_t i = 1; i <= 120; ++i) {
+    for (std::size_t j = 1; j <= 120; ++j) {
+      ASSERT_EQ(res.at(i, j), full.at(i, j));
+    }
+  }
+}
+
+TEST(Reprocess, RecoversPlantedAlignmentFromHotRegion) {
+  HomologousPairSpec spec;
+  spec.length_s = 900;
+  spec.length_t = 900;
+  spec.n_regions = 1;
+  spec.region_len_mean = 150;
+  spec.region_len_spread = 10;
+  spec.seed = 943;
+  const HomologousPair pair = make_homologous_pair(spec);
+  Checkpoints cp;
+  run_with_checkpoints(pair.s, pair.t, /*band_rows=*/128, /*save_ip=*/128, cp);
+
+  // Find the hottest result cell and re-process a padded region around it.
+  std::size_t hot_band = 0, hot_group = 0;
+  std::uint64_t hot = 0;
+  for (std::size_t b = 0; b < cp.run.result_matrix.size(); ++b) {
+    for (std::size_t g = 0; g < cp.run.result_matrix[b].size(); ++g) {
+      if (cp.run.result_matrix[b][g] > hot) {
+        hot = cp.run.result_matrix[b][g];
+        hot_band = b;
+        hot_group = g;
+      }
+    }
+  }
+  ASSERT_GT(hot, 0u);
+  const std::size_t pad = 384;
+  Subregion region;
+  region.row_lo = cp.run.row_offsets[hot_band] > pad
+                      ? cp.run.row_offsets[hot_band] - pad + 1
+                      : 1;
+  region.row_hi = std::min(pair.s.size(), cp.run.row_offsets[hot_band + 1] + pad);
+  const std::size_t col_group_lo = hot_group * cp.run.result_interleave;
+  region.col_lo = col_group_lo > pad ? col_group_lo - pad + 1 : 1;
+  region.col_hi = std::min(pair.t.size(),
+                           (hot_group + 1) * cp.run.result_interleave + pad);
+
+  const ReprocessResult res = reprocess_region(
+      pair.s, pair.t, cp.columns.snapshot(), cp.rows.snapshot(), region, 60);
+  ASSERT_FALSE(res.alignments.empty());
+  const Alignment& best = res.alignments[0];
+  // The recovered alignment must match the planted region and carry a score
+  // consistent with its own path.
+  EXPECT_EQ(best.compute_score(pair.s, pair.t, ScoreScheme{}), best.score);
+  const PlantedRegion& r = pair.regions[0];
+  EXPECT_LT(best.s_begin, r.s_end);
+  EXPECT_GT(best.s_end(), r.s_begin);
+  EXPECT_GT(best.score, 100);
+}
+
+TEST(Reprocess, MissingCoverageThrows) {
+  Rng rng(944);
+  const Sequence s = random_dna(200, rng, "s");
+  const Sequence t = random_dna(200, rng, "t");
+  // A column checkpoint that covers only rows 1..50 cannot anchor a region
+  // reaching row 150.
+  SavedFragments cols;
+  cols[{100u, 1u}] = std::vector<std::int32_t>(50, 0);
+  EXPECT_THROW(reprocess_region(s, t, cols, {}, Subregion{120, 150, 120, 180},
+                                10),
+               std::runtime_error);
+}
+
+TEST(Reprocess, RejectsBadRegions) {
+  Rng rng(945);
+  const Sequence s = random_dna(50, rng, "s");
+  EXPECT_THROW(reprocess_region(s, s, {}, {}, Subregion{0, 10, 1, 10}, 5),
+               std::invalid_argument);
+  EXPECT_THROW(reprocess_region(s, s, {}, {}, Subregion{10, 5, 1, 10}, 5),
+               std::invalid_argument);
+  EXPECT_THROW(reprocess_region(s, s, {}, {}, Subregion{1, 10, 1, 100}, 5),
+               std::invalid_argument);
+}
+
+TEST(Reprocess, FileStoreCheckpointsRoundTrip) {
+  Rng rng(946);
+  const Sequence s = random_dna(300, rng, "s");
+  const Sequence t = random_dna(300, rng, "t");
+  const std::string cpath = testing::TempDir() + "/gdsm_cols.bin";
+  const std::string rpath = testing::TempDir() + "/gdsm_rows.bin";
+  {
+    FileColumnStore cols(cpath, IoMode::kImmediate);
+    FileColumnStore rows(rpath, IoMode::kImmediate);
+    PreProcessConfig cfg;
+    cfg.nprocs = 2;
+    cfg.band_rows = 75;
+    cfg.save_interleave = 60;
+    cfg.io_mode = IoMode::kImmediate;
+    cfg.store = &cols;
+    cfg.row_store = &rows;
+    preprocess_align(s, t, cfg);
+    cols.flush();
+    rows.flush();
+  }
+  const DpMatrix full = sw_fill(s, t, ScoreScheme{}, nullptr);
+  const ReprocessResult res =
+      reprocess_region(s, t, FileColumnStore::load(cpath),
+                       FileColumnStore::load(rpath), Subregion{100, 280, 100, 290},
+                       10);
+  for (std::size_t i = res.computed.row_lo; i <= res.computed.row_hi; ++i) {
+    for (std::size_t j = res.computed.col_lo; j <= res.computed.col_hi; ++j) {
+      ASSERT_EQ(res.at(i, j), full.at(i, j));
+    }
+  }
+  std::remove(cpath.c_str());
+  std::remove(rpath.c_str());
+}
+
+}  // namespace
+}  // namespace gdsm::core

@@ -1,0 +1,222 @@
+// Discrete-event engine and strategy-simulator tests: determinism, category
+// accounting, and the qualitative shapes the paper's evaluation reports.
+#include <gtest/gtest.h>
+
+#include "core/sim_strategies.h"
+#include "sim/engine.h"
+
+namespace gdsm {
+namespace {
+
+using core::SimReport;
+using sim::Cat;
+using sim::ClusterSim;
+using sim::CostModel;
+
+TEST(Engine, BusyAdvancesClockAndAccounts) {
+  ClusterSim cs(2, CostModel{});
+  cs.busy(0, 1.5, Cat::kCompute);
+  cs.busy(0, 0.5, Cat::kIo);
+  EXPECT_DOUBLE_EQ(cs.now(0), 2.0);
+  EXPECT_DOUBLE_EQ(cs.breakdown(0)[Cat::kCompute], 1.5);
+  EXPECT_DOUBLE_EQ(cs.breakdown(0)[Cat::kIo], 0.5);
+  EXPECT_DOUBLE_EQ(cs.now(1), 0.0);
+  EXPECT_DOUBLE_EQ(cs.makespan(), 2.0);
+}
+
+TEST(Engine, WaitUntilAttributesIdleTime) {
+  ClusterSim cs(1, CostModel{});
+  cs.wait_until(0, 3.0, Cat::kBarrier);
+  cs.wait_until(0, 1.0, Cat::kBarrier);  // already past: no-op
+  EXPECT_DOUBLE_EQ(cs.now(0), 3.0);
+  EXPECT_DOUBLE_EQ(cs.breakdown(0)[Cat::kBarrier], 3.0);
+}
+
+TEST(Engine, BreakdownSumsToClock) {
+  CostModel cm;
+  ClusterSim cs(3, cm);
+  cs.busy(1, 2.0, Cat::kCompute);
+  cs.rpc(0, 1, 64, 4096, Cat::kComm);
+  cs.rpc(2, 1, 8, 16, Cat::kLockCv, /*extra_ready=*/1.0);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_NEAR(cs.breakdown(p).total(), cs.now(p), 1e-12) << "node " << p;
+  }
+}
+
+TEST(Engine, ServerChargesHandlerCost) {
+  CostModel cm;
+  ClusterSim cs(3, cm);
+  // A round trip costs at least two latencies plus handler dispatch.
+  cs.rpc(1, 0, 8, 8, Cat::kLockCv);
+  EXPECT_GT(cs.now(1), 2 * cm.msg_latency_s + cm.proto_op_s);
+}
+
+TEST(Engine, SelfMessagesSkipTheWire) {
+  CostModel cm;
+  ClusterSim a(2, cm), b(2, cm);
+  a.rpc(0, 0, 8, 8, Cat::kLockCv);
+  b.rpc(0, 1, 8, 8, Cat::kLockCv);
+  EXPECT_LT(a.now(0), b.now(0));
+}
+
+TEST(SimWavefront, Deterministic) {
+  const SimReport a = core::sim_wavefront(5000, 5000, 4);
+  const SimReport b = core::sim_wavefront(5000, 5000, 4);
+  EXPECT_DOUBLE_EQ(a.total_s, b.total_s);
+  EXPECT_DOUBLE_EQ(a.core_s, b.core_s);
+}
+
+TEST(SimWavefront, SerialMatchesClosedForm) {
+  CostModel cm;
+  const std::size_t n = 50000;
+  const SimReport rep = core::sim_wavefront(n, n, 1, cm);
+  const double cell = cm.effective_cell(cm.cell_s_heuristic,
+                                        2 * n * cm.heuristic_cell_bytes);
+  EXPECT_NEAR(rep.total_s, double(n) * double(n) * cell, 1e-6);
+}
+
+TEST(SimWavefront, LargeInputsSpeedUpSmallOnesDoNot) {
+  // The paper's central Figure 9 shape: 15 kBP speeds up poorly; 400 kBP
+  // reaches ~4.5x on 8 processors.
+  const SimReport s15 = core::sim_wavefront(15000, 15000, 1);
+  const SimReport p15 = core::sim_wavefront(15000, 15000, 8);
+  const double sp15 = s15.total_s / p15.total_s;
+  EXPECT_GT(sp15, 1.0);
+  EXPECT_LT(sp15, 3.5);
+
+  const SimReport s400 = core::sim_wavefront(400000, 400000, 1);
+  const SimReport p400 = core::sim_wavefront(400000, 400000, 8);
+  const double sp400 = s400.total_s / p400.total_s;
+  EXPECT_GT(sp400, 3.5);
+  EXPECT_LT(sp400, 6.5);
+  EXPECT_GT(sp400, sp15);
+}
+
+TEST(SimWavefront, ComputationShareGrowsWithSize) {
+  // Fig. 10: the relative time spent computing grows with sequence size.
+  auto compute_share = [](const SimReport& r) {
+    const double total = r.average.total();
+    return r.average[Cat::kCompute] / total;
+  };
+  const SimReport small = core::sim_wavefront(15000, 15000, 8);
+  const SimReport big = core::sim_wavefront(150000, 150000, 8);
+  EXPECT_GT(compute_share(big), compute_share(small));
+}
+
+TEST(SimBlocked, BeatsNonBlockedAtFiftyK) {
+  // Fig. 13: with 8 processors on 50 kBP, blocking wins by a large factor.
+  const SimReport noblock = core::sim_wavefront(50000, 50000, 8);
+  const SimReport block = core::sim_blocked(50000, 50000, 8, 40, 40);
+  EXPECT_LT(block.total_s, noblock.total_s / 2.0);
+}
+
+TEST(SimBlocked, OneByOneMultiplierIsWorst) {
+  // Table 3: the 1x1 blocking multiplier is by far the worst.
+  const std::size_t n = 50000;
+  const SimReport m11 = core::sim_blocked(n, n, 8, 8, 8);
+  const SimReport m33 = core::sim_blocked(n, n, 8, 24, 24);
+  const SimReport m55 = core::sim_blocked(n, n, 8, 40, 40);
+  EXPECT_GT(m11.total_s, m33.total_s);
+  EXPECT_GT(m33.total_s, m55.total_s * 0.99);
+}
+
+TEST(SimBlocked, GoodSpeedupAtFifteenK) {
+  // Table 4: 15 kBP with 40x40 reaches very good speed-ups (paper: 7.29).
+  const SimReport serial = core::sim_blocked(15000, 15000, 1, 40, 40);
+  const SimReport p8 = core::sim_blocked(15000, 15000, 8, 40, 40);
+  const double sp = serial.total_s / p8.total_s;
+  EXPECT_GT(sp, 5.0);
+  EXPECT_LE(sp, 8.0);
+}
+
+TEST(SimBlockedMp, LeanerThanDsmAndDeterministic) {
+  // The MP twin ships one eager message per boundary instead of the cv +
+  // page-fault protocol: it must never be slower, and both are exact.
+  const SimReport a = core::sim_blocked_mp(50'000, 50'000, 8, 40, 40);
+  const SimReport b = core::sim_blocked_mp(50'000, 50'000, 8, 40, 40);
+  EXPECT_DOUBLE_EQ(a.total_s, b.total_s);
+  const SimReport dsm = core::sim_blocked(50'000, 50'000, 8, 40, 40);
+  EXPECT_LE(a.total_s, dsm.total_s);
+  // Still dominated by the same compute: within ~10% of the DSM run.
+  EXPECT_GT(a.total_s, dsm.total_s * 0.90);
+}
+
+TEST(SimBlockedMp, SerialMatchesDsmSerial) {
+  const SimReport mp = core::sim_blocked_mp(15'000, 15'000, 1, 40, 40);
+  const SimReport dsm = core::sim_blocked(15'000, 15'000, 1, 40, 40);
+  EXPECT_DOUBLE_EQ(mp.total_s, dsm.total_s);
+}
+
+TEST(SimPreprocess, SpeedupNearThreeQuartersLinear) {
+  // Fig. 18: speed-ups roughly 75-80% of linear.
+  core::SimPreprocessOptions opt;
+  opt.band_rows = 1024;
+  const SimReport serial = core::sim_preprocess(40960, 40960, 1, opt);
+  const SimReport p8 = core::sim_preprocess(40960, 40960, 8, opt);
+  const double sp = serial.core_s / p8.core_s;
+  EXPECT_GT(sp, 5.0);
+  EXPECT_LT(sp, 8.0);
+}
+
+TEST(SimPreprocess, EvenBandsHurtSequentially) {
+  // Fig. 19: "even" blocking is ~20% worse than fixed 1K bands on one node
+  // for large sequences (the band is the whole sequence: L2 spill).
+  core::SimPreprocessOptions fixed;
+  fixed.band_scheme = core::BandScheme::kFixed;
+  fixed.band_rows = 1024;
+  core::SimPreprocessOptions even;
+  even.band_scheme = core::BandScheme::kEven;
+  const SimReport f = core::sim_preprocess(81920, 81920, 1, fixed);
+  const SimReport e = core::sim_preprocess(81920, 81920, 1, even);
+  EXPECT_GT(e.core_s, f.core_s * 1.1);
+}
+
+TEST(SimPreprocess, IoModesBarelyMatter) {
+  // Fig. 20: saving columns at the 1K interleave has little effect, and
+  // deferred is no better than immediate.
+  core::SimPreprocessOptions none;
+  none.band_rows = 1024;
+  core::SimPreprocessOptions immediate = none;
+  immediate.save_interleave = 1024;
+  immediate.io_mode = core::IoMode::kImmediate;
+  core::SimPreprocessOptions deferred = immediate;
+  deferred.io_mode = core::IoMode::kDeferred;
+
+  const SimReport r_none = core::sim_preprocess(40960, 40960, 4, none);
+  const SimReport r_imm = core::sim_preprocess(40960, 40960, 4, immediate);
+  const SimReport r_def = core::sim_preprocess(40960, 40960, 4, deferred);
+  EXPECT_GE(r_imm.core_s, r_none.core_s);
+  EXPECT_LT(r_imm.core_s, r_none.core_s * 1.10);
+  EXPECT_LE(r_def.core_s, r_imm.core_s * 1.01);
+}
+
+TEST(SimPhase2, SpeedupShapeAcrossQueueSizes) {
+  // Fig. 15: ~5.3x at 100 pairs and >7x around 1000 pairs on 8 processors.
+  const auto pairs100 = core::phase2_pair_sizes(100);
+  const auto pairs1000 = core::phase2_pair_sizes(1000);
+  const SimReport s100 = core::sim_phase2(pairs100, 1);
+  const SimReport p100 = core::sim_phase2(pairs100, 8);
+  const SimReport s1000 = core::sim_phase2(pairs1000, 1);
+  const SimReport p1000 = core::sim_phase2(pairs1000, 8);
+  // Fig. 15 reports the phase-2 processing speed-up (the DSM environment
+  // is already up after phase 1), so core time is the right basis.
+  const double sp100 = s100.core_s / p100.core_s;
+  const double sp1000 = s1000.core_s / p1000.core_s;
+  EXPECT_GT(sp100, 3.0);
+  EXPECT_LT(sp100, 7.0);
+  EXPECT_GT(sp1000, sp100);
+  EXPECT_LT(sp1000, 8.0);
+}
+
+TEST(SimPhase2, PairSizesDeterministicAroundMean) {
+  const auto a = core::phase2_pair_sizes(500, 253, 7);
+  const auto b = core::phase2_pair_sizes(500, 253, 7);
+  EXPECT_EQ(a, b);
+  double mean = 0;
+  for (const auto& [x, y] : a) mean += double(x + y) / 2.0;
+  mean /= 500;
+  EXPECT_NEAR(mean, 253.0, 40.0);
+}
+
+}  // namespace
+}  // namespace gdsm

@@ -1,0 +1,206 @@
+// Ground-truth tests of the DP kernels, anchored on the paper's worked
+// examples (Figs. 1, 3, 4).
+#include <gtest/gtest.h>
+
+#include "sw/full_matrix.h"
+#include "sw/hirschberg.h"
+#include "sw/linear_score.h"
+#include "util/sequence.h"
+
+namespace gdsm {
+namespace {
+
+const ScoreScheme kScheme{};  // +1 / -1 / -2 as in Section 2
+
+// Fig. 1: the global alignment of GACGGATTAG and GATCGGAATAG scores 6
+// (nine identities, one mismatch, one space: 9 - 1 - 2 = 6).
+TEST(NeedlemanWunsch, PaperFig1Score) {
+  const Sequence s("s", "GACGGATTAG");
+  const Sequence t("t", "GATCGGAATAG");
+  const Alignment al = needleman_wunsch(s, t, kScheme);
+  EXPECT_EQ(al.score, 6);
+  EXPECT_EQ(al.compute_score(s, t, kScheme), al.score);
+  // Global alignment consumes both sequences entirely.
+  EXPECT_EQ(al.s_begin, 0u);
+  EXPECT_EQ(al.t_begin, 0u);
+  EXPECT_EQ(al.s_end(), s.size());
+  EXPECT_EQ(al.t_end(), t.size());
+}
+
+// Fig. 4: the NW array of ATAGCT x GATATGCA.  Spot-check the border
+// initialization (gap penalties) and the corner value.
+TEST(NeedlemanWunsch, PaperFig4Borders) {
+  const Sequence s("s", "ATAGCT");
+  const Sequence t("t", "GATATGCA");
+  const DpMatrix a = nw_fill(s, t, kScheme);
+  EXPECT_EQ(a.at(0, 0), 0);
+  EXPECT_EQ(a.at(0, 1), -2);
+  EXPECT_EQ(a.at(0, 8), -16);
+  EXPECT_EQ(a.at(1, 0), -2);
+  EXPECT_EQ(a.at(6, 0), -12);
+}
+
+// Fig. 3: the SW array of the same pair has zero first row and column and
+// no negative entries anywhere.
+TEST(SmithWaterman, PaperFig3ZeroBordersAndFloor) {
+  const Sequence s("s", "ATAGCT");
+  const Sequence t("t", "GATATGCA");
+  MatrixBest best;
+  const DpMatrix a = sw_fill(s, t, kScheme, &best);
+  for (std::size_t j = 0; j < a.cols(); ++j) EXPECT_EQ(a.at(0, j), 0);
+  for (std::size_t i = 0; i < a.rows(); ++i) EXPECT_EQ(a.at(i, 0), 0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) EXPECT_GE(a.at(i, j), 0);
+  }
+  EXPECT_GT(best.score, 0);
+  EXPECT_EQ(a.at(best.i, best.j), best.score);
+}
+
+TEST(SmithWaterman, IdenticalStrings) {
+  const Sequence s("s", "ACGTACGTAC");
+  const Alignment al = smith_waterman(s, s, kScheme);
+  EXPECT_EQ(al.score, static_cast<int>(s.size()));
+  EXPECT_EQ(al.ops.size(), s.size());
+  for (Op op : al.ops) EXPECT_EQ(op, Op::Diag);
+}
+
+TEST(SmithWaterman, DisjointAlphabetsHaveNoAlignment) {
+  const Sequence s("s", "AAAAAAAA");
+  const Sequence t("t", "CCCCCCCC");
+  const Alignment al = smith_waterman(s, t, kScheme);
+  EXPECT_EQ(al.score, 0);
+  EXPECT_TRUE(al.ops.empty());
+}
+
+TEST(SmithWaterman, FindsEmbeddedMatch) {
+  // t contains an exact copy of the middle of s.
+  const Sequence s("s", "TTTTTACGTACGTACGTTTTTT");
+  const Sequence t("t", "GGGGACGTACGTACGTGGGG");
+  const Alignment al = smith_waterman(s, t, kScheme);
+  EXPECT_GE(al.score, 12);
+  EXPECT_EQ(al.compute_score(s, t, kScheme), al.score);
+}
+
+TEST(SmithWaterman, EmptyInputs) {
+  const Sequence e("e", "");
+  const Sequence s("s", "ACGT");
+  EXPECT_EQ(smith_waterman(e, s, kScheme).score, 0);
+  EXPECT_EQ(smith_waterman(s, e, kScheme).score, 0);
+  EXPECT_EQ(smith_waterman(e, e, kScheme).score, 0);
+}
+
+TEST(SmithWaterman, NNeverMatches) {
+  const Sequence s("s", "NNNNNNNN");
+  EXPECT_EQ(smith_waterman(s, s, kScheme).score, 0);
+}
+
+TEST(LinearScore, MatchesFullMatrixBest) {
+  const Sequence s("s", "GATCGGAATAGCTACGGATCG");
+  const Sequence t("t", "TTACGGATCGATCGGAATAGC");
+  MatrixBest best;
+  sw_fill(s, t, kScheme, &best);
+  const BestLocal lin = sw_best_score_linear(s, t, kScheme);
+  EXPECT_EQ(lin.score, best.score);
+  // The end cell must actually hold that score.
+  const DpMatrix a = sw_fill(s, t, kScheme, nullptr);
+  EXPECT_EQ(a.at(lin.end_i, lin.end_j), lin.score);
+}
+
+TEST(LinearScore, ScanHitsCountsThreshold) {
+  const Sequence s("s", "ACGTACGTACGT");
+  const Sequence t("t", "ACGTACGTACGT");
+  const DpMatrix a = sw_fill(s, t, kScheme, nullptr);
+  std::size_t expected = 0;
+  for (std::size_t i = 1; i < a.rows(); ++i) {
+    for (std::size_t j = 1; j < a.cols(); ++j) expected += (a.at(i, j) >= 4);
+  }
+  std::size_t got = 0;
+  sw_scan_hits(s, t, kScheme, 4,
+               [&](std::size_t, std::size_t, int) { ++got; });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Hirschberg, MatchesNeedlemanWunschScore) {
+  const Sequence s("s", "GACGGATTAG");
+  const Sequence t("t", "GATCGGAATAG");
+  const Alignment h = hirschberg(s, t, kScheme);
+  const Alignment nw = needleman_wunsch(s, t, kScheme);
+  EXPECT_EQ(h.score, nw.score);
+  EXPECT_EQ(h.compute_score(s, t, kScheme), h.score);
+  EXPECT_EQ(h.s_end(), s.size());
+  EXPECT_EQ(h.t_end(), t.size());
+}
+
+TEST(Hirschberg, DegenerateShapes) {
+  const Sequence e("e", "");
+  const Sequence s("s", "ACGT");
+  EXPECT_EQ(hirschberg(e, s, kScheme).score, -8);   // 4 gaps
+  EXPECT_EQ(hirschberg(s, e, kScheme).score, -8);
+  EXPECT_EQ(hirschberg(s, s, kScheme).score, 4);
+  EXPECT_EQ(hirschberg(e, e, kScheme).score, 0);
+}
+
+TEST(Alignment, RenderShowsGapsAndBars) {
+  const Sequence s("s", "ACGT");
+  const Sequence t("t", "AGT");
+  const Alignment al = needleman_wunsch(s, t, kScheme);
+  const auto lines = al.render(s, t);
+  EXPECT_EQ(lines[0].size(), lines[2].size());
+  EXPECT_NE(lines[2].find('_'), std::string::npos);  // a gap in t
+  EXPECT_NE(lines[1].find('|'), std::string::npos);  // some identity
+}
+
+TEST(Alignment, ToRecordHasOneBasedCoords) {
+  const Sequence s("s", "ACGT");
+  const Alignment al = smith_waterman(s, s, kScheme);
+  const std::string rec = al.to_record(s, s);
+  EXPECT_NE(rec.find("initial_x: 1"), std::string::npos);
+  EXPECT_NE(rec.find("final_x: 4"), std::string::npos);
+  EXPECT_NE(rec.find("similarity: 4"), std::string::npos);
+}
+
+TEST(AllAlignments, FindsTwoSeparateRegions) {
+  // Two distinct shared blocks separated by unrelated sequence.
+  const Sequence s("s", "ACGTACGTACGTTTTTTTTTTTTGGCCGGCCGGCC");
+  const Sequence t("t", "AAAAAACGTACGTACGTAAAAAAAGGCCGGCCGGCC");
+  const auto als = sw_all_alignments(s, t, kScheme, /*min_score=*/8);
+  ASSERT_GE(als.size(), 2u);
+  for (const auto& al : als) {
+    EXPECT_GE(al.score, 8);
+    EXPECT_EQ(al.compute_score(s, t, kScheme), al.score);
+  }
+}
+
+TEST(Candidates, CullKeepsBestDisjointRegions) {
+  std::vector<Candidate> q{
+      {50, 100, 200, 100, 200},  // region A, best
+      {45, 150, 250, 150, 250},  // overlaps A: culled
+      {40, 500, 600, 500, 600},  // region B, kept
+      {35, 90, 110, 400, 420},   // s overlaps A but t disjoint: kept
+      {30, 505, 595, 505, 595},  // inside B: culled
+  };
+  const auto kept = cull_overlapping_candidates(q, 10);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].score, 50);
+  EXPECT_EQ(kept[1].score, 40);
+  EXPECT_EQ(kept[2].score, 35);
+  // max_count cap applies after sorting by score.
+  EXPECT_EQ(cull_overlapping_candidates(q, 1).size(), 1u);
+  EXPECT_EQ(cull_overlapping_candidates(q, 1)[0].score, 50);
+  EXPECT_TRUE(cull_overlapping_candidates({}, 4).empty());
+}
+
+TEST(Candidates, FinalizeSortsBySizeAndDedupes) {
+  std::vector<Candidate> q{
+      {10, 5, 9, 5, 9},    // spans 5+5
+      {12, 1, 20, 1, 20},  // spans 20+20 (largest)
+      {10, 5, 9, 5, 9},    // duplicate
+  };
+  finalize_candidates(q);
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q[0].s_begin, 1u);  // largest first
+  EXPECT_EQ(q[1].s_begin, 5u);
+}
+
+}  // namespace
+}  // namespace gdsm

@@ -1,0 +1,127 @@
+// Property-based sweeps over random inputs: the algebraic invariants the DP
+// kernels must satisfy for any sequences and (sane) scoring schemes.
+#include <gtest/gtest.h>
+
+#include "sw/full_matrix.h"
+#include "sw/hirschberg.h"
+#include "sw/linear_score.h"
+#include "util/genome.h"
+#include "util/rng.h"
+
+namespace gdsm {
+namespace {
+
+struct PropCase {
+  std::uint64_t seed;
+  std::size_t len_s;
+  std::size_t len_t;
+  ScoreScheme scheme;
+};
+
+std::string prop_name(const testing::TestParamInfo<PropCase>& info) {
+  const auto& p = info.param;
+  return "seed" + std::to_string(p.seed) + "_s" + std::to_string(p.len_s) +
+         "_t" + std::to_string(p.len_t) + "_m" + std::to_string(p.scheme.match) +
+         "_x" + std::to_string(-p.scheme.mismatch) + "_g" +
+         std::to_string(-p.scheme.gap);
+}
+
+class SwProperty : public testing::TestWithParam<PropCase> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam().seed);
+    s_ = random_dna(GetParam().len_s, rng, "s");
+    t_ = random_dna(GetParam().len_t, rng, "t");
+  }
+  Sequence s_, t_;
+};
+
+TEST_P(SwProperty, LocalScoreIsSymmetric) {
+  const auto& scheme = GetParam().scheme;
+  EXPECT_EQ(sw_best_score_linear(s_, t_, scheme).score,
+            sw_best_score_linear(t_, s_, scheme).score);
+}
+
+TEST_P(SwProperty, LinearEqualsFullMatrix) {
+  const auto& scheme = GetParam().scheme;
+  MatrixBest best;
+  sw_fill(s_, t_, scheme, &best);
+  EXPECT_EQ(sw_best_score_linear(s_, t_, scheme).score, best.score);
+}
+
+TEST_P(SwProperty, ReverseInvariance) {
+  // Observation 6.1: alignments of the reverses mirror the originals, so the
+  // best local score is invariant under reversing both sequences.
+  const auto& scheme = GetParam().scheme;
+  EXPECT_EQ(sw_best_score_linear(s_, t_, scheme).score,
+            sw_best_score_linear(s_.reversed(), t_.reversed(), scheme).score);
+}
+
+TEST_P(SwProperty, LocalDominatesGlobal) {
+  const auto& scheme = GetParam().scheme;
+  const Alignment local = smith_waterman(s_, t_, scheme);
+  const Alignment global = needleman_wunsch(s_, t_, scheme);
+  EXPECT_GE(local.score, 0);
+  EXPECT_GE(local.score, global.score);
+}
+
+TEST_P(SwProperty, TracebackScoreConsistent) {
+  const auto& scheme = GetParam().scheme;
+  const Alignment local = smith_waterman(s_, t_, scheme);
+  EXPECT_EQ(local.compute_score(s_, t_, scheme), local.score);
+  EXPECT_LE(local.s_end(), s_.size());
+  EXPECT_LE(local.t_end(), t_.size());
+}
+
+TEST_P(SwProperty, HirschbergEqualsNeedlemanWunsch) {
+  const auto& scheme = GetParam().scheme;
+  const Alignment h = hirschberg(s_, t_, scheme);
+  const Alignment nw = needleman_wunsch(s_, t_, scheme);
+  EXPECT_EQ(h.score, nw.score);
+  EXPECT_EQ(h.compute_score(s_, t_, scheme), h.score);
+}
+
+TEST_P(SwProperty, NwLastRowMatchesMatrix) {
+  const auto& scheme = GetParam().scheme;
+  const DpMatrix a = nw_fill(s_, t_, scheme);
+  const std::vector<int> last = nw_last_row(s_, t_, scheme);
+  ASSERT_EQ(last.size(), a.cols());
+  for (std::size_t j = 0; j < last.size(); ++j) {
+    EXPECT_EQ(last[j], a.at(a.rows() - 1, j));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, SwProperty,
+    testing::Values(
+        PropCase{11, 40, 40, ScoreScheme{}},
+        PropCase{12, 64, 32, ScoreScheme{}},
+        PropCase{13, 33, 65, ScoreScheme{}},
+        PropCase{14, 100, 100, ScoreScheme{}},
+        PropCase{15, 1, 50, ScoreScheme{}},
+        PropCase{16, 50, 1, ScoreScheme{}},
+        PropCase{17, 128, 120, ScoreScheme{2, -1, -3}},
+        PropCase{18, 77, 90, ScoreScheme{1, -2, -1}},
+        PropCase{19, 90, 77, ScoreScheme{3, -2, -4}},
+        PropCase{20, 200, 150, ScoreScheme{}},
+        PropCase{21, 150, 200, ScoreScheme{1, -3, -5}}),
+    prop_name);
+
+// Homologous (planted) pairs must carry a strong local signal.
+TEST(SwPlanted, PlantedRegionScoresHigh) {
+  HomologousPairSpec spec;
+  spec.length_s = 2000;
+  spec.length_t = 2000;
+  spec.n_regions = 2;
+  spec.region_len_mean = 200;
+  spec.region_len_spread = 20;
+  spec.seed = 31;
+  const HomologousPair pair = make_homologous_pair(spec);
+  const BestLocal best = sw_best_score_linear(pair.s, pair.t);
+  // A ~200 bp region at ~95% identity scores far above random background
+  // (random DNA of this size stays below ~30).
+  EXPECT_GT(best.score, 100);
+}
+
+}  // namespace
+}  // namespace gdsm

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sw/full_matrix.h"
+#include "util/args.h"
+#include "util/fasta.h"
+#include "util/genome.h"
+#include "util/rng.h"
+#include "util/sequence.h"
+#include "util/table.h"
+
+namespace gdsm {
+namespace {
+
+TEST(Alphabet, EncodeDecodeRoundTrip) {
+  for (char c : std::string("ACGT")) {
+    EXPECT_EQ(decode_base(encode_base(c)), c);
+  }
+  EXPECT_EQ(encode_base('a'), kBaseA);
+  EXPECT_EQ(encode_base('t'), kBaseT);
+  EXPECT_EQ(encode_base('N'), kBaseN);
+  EXPECT_EQ(encode_base('X'), kBaseN);
+  EXPECT_EQ(decode_base(kBaseN), 'N');
+}
+
+TEST(Alphabet, Complement) {
+  EXPECT_EQ(complement(kBaseA), kBaseT);
+  EXPECT_EQ(complement(kBaseT), kBaseA);
+  EXPECT_EQ(complement(kBaseC), kBaseG);
+  EXPECT_EQ(complement(kBaseG), kBaseC);
+  EXPECT_EQ(complement(kBaseN), kBaseN);
+}
+
+TEST(Alphabet, StrictBase) {
+  EXPECT_TRUE(is_strict_base('A'));
+  EXPECT_TRUE(is_strict_base('g'));
+  EXPECT_FALSE(is_strict_base('N'));
+  EXPECT_FALSE(is_strict_base('-'));
+}
+
+TEST(Sequence, BasicAccessors) {
+  const Sequence s("seq1", "ACGTN");
+  EXPECT_EQ(s.name(), "seq1");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[0], kBaseA);
+  EXPECT_EQ(s[4], kBaseN);
+  EXPECT_EQ(s.text(), "ACGTN");
+}
+
+TEST(Sequence, SliceAndReverse) {
+  const Sequence s("x", "ACGTACGT");
+  EXPECT_EQ(s.slice(2, 6).text(), "GTAC");
+  EXPECT_EQ(s.reversed().text(), "TGCATGCA");
+  EXPECT_EQ(s.reverse_complement().text(), "ACGTACGT");
+  EXPECT_THROW(s.slice(5, 3), std::out_of_range);
+  EXPECT_THROW(s.slice(0, 9), std::out_of_range);
+}
+
+TEST(Sequence, EqualityIgnoresName) {
+  EXPECT_EQ(Sequence("a", "ACGT"), Sequence("b", "ACGT"));
+  EXPECT_FALSE(Sequence("a", "ACGT") == Sequence("a", "ACGA"));
+}
+
+TEST(Fasta, RoundTrip) {
+  std::vector<Sequence> seqs{Sequence("alpha", "ACGTACGTACGT"),
+                             Sequence("beta", "TTTTGGGGCCCCAAAA")};
+  std::ostringstream out;
+  write_fasta(out, seqs, /*width=*/5);
+  std::istringstream in(out.str());
+  const auto back = read_fasta(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name(), "alpha");
+  EXPECT_EQ(back[0].text(), "ACGTACGTACGT");
+  EXPECT_EQ(back[1].name(), "beta");
+  EXPECT_EQ(back[1].text(), "TTTTGGGGCCCCAAAA");
+}
+
+TEST(Fasta, HeaderNameStopsAtWhitespace) {
+  std::istringstream in(">chr1 homo sapiens\nACGT\n");
+  const auto seqs = read_fasta(in);
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].name(), "chr1");
+}
+
+TEST(Fasta, RejectsDataBeforeHeader) {
+  std::istringstream in("ACGT\n>late\nACGT\n");
+  EXPECT_THROW(read_fasta(in), std::runtime_error);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Rng a(1), b(1), c(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Rng a2(1);
+  for (int i = 0; i < 10; ++i) differs |= (a2() != c());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(4);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Genome, RandomDnaHasOnlyStrictBases) {
+  Rng rng(5);
+  const Sequence s = random_dna(1000, rng);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_LT(s[i], 4);
+}
+
+TEST(Genome, MutateRates) {
+  Rng rng(6);
+  const Sequence src = random_dna(20000, rng);
+  const Sequence mut = mutate(src, 0.1, 0.0, rng);
+  ASSERT_EQ(mut.size(), src.size());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < src.size(); ++i) diffs += (src[i] != mut[i]);
+  EXPECT_NEAR(static_cast<double>(diffs) / src.size(), 0.1, 0.02);
+}
+
+TEST(Genome, PlantedRegionsAreWhereClaimed) {
+  HomologousPairSpec spec;
+  spec.length_s = 20000;
+  spec.length_t = 20000;
+  spec.n_regions = 8;
+  spec.seed = 99;
+  const HomologousPair pair = make_homologous_pair(spec);
+  ASSERT_EQ(pair.regions.size(), 8u);
+  for (const auto& r : pair.regions) {
+    ASSERT_LT(r.s_begin, r.s_end);
+    ASSERT_LE(r.s_end, pair.s.size());
+    ASSERT_LT(r.t_begin, r.t_end);
+    ASSERT_LE(r.t_end, pair.t.size());
+    // The two copies descend from one ancestor with ~5% total divergence.
+    // Indels shift positions, so homology is checked by alignment score,
+    // not positional identity: a global alignment of the two copies must
+    // score far above what unrelated DNA achieves (which is negative at
+    // +1/-1/-2 scoring).
+    const std::size_t len = std::min(r.s_end - r.s_begin, r.t_end - r.t_begin);
+    const int score = needleman_wunsch(pair.s.slice(r.s_begin, r.s_end),
+                                       pair.t.slice(r.t_begin, r.t_end))
+                          .score;
+    EXPECT_GT(score, static_cast<int>(len) / 2)
+        << "planted region does not look homologous";
+  }
+}
+
+TEST(Genome, Deterministic) {
+  HomologousPairSpec spec;
+  spec.length_s = 5000;
+  spec.length_t = 5000;
+  spec.n_regions = 3;
+  spec.seed = 1234;
+  const auto a = make_homologous_pair(spec);
+  const auto b = make_homologous_pair(spec);
+  EXPECT_EQ(a.s, b.s);
+  EXPECT_EQ(a.t, b.t);
+}
+
+TEST(Args, ParsesForms) {
+  const char* argv[] = {"prog", "--size=50000", "--procs", "8",
+                        "--verbose", "input.fa"};
+  const Args args(6, argv, {"procs"});
+  EXPECT_EQ(args.get_int("size", 0), 50000);
+  EXPECT_EQ(args.get_int("procs", 0), 8);
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_FALSE(args.get_bool("quiet"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.fa");
+}
+
+TEST(Args, UnknownKeys) {
+  const char* argv[] = {"prog", "--foo=1", "--bar=2"};
+  const Args args(3, argv);
+  const auto unknown = args.unknown_keys({"foo"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "bar");
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt_f(1107.019, 2), "1107.02");
+  EXPECT_EQ(fmt_f(7.287, 2), "7.29");
+  EXPECT_EQ(fmt_sec(175295.4), "175,295");
+  EXPECT_EQ(fmt_sec(296), "296");
+}
+
+TEST(Table, PrintAligned) {
+  TextTable t("Demo");
+  t.set_header({"Size", "Serial", "8 proc"});
+  t.add_row({"50K x 50K", "3461", "1107.02"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== Demo =="), std::string::npos);
+  EXPECT_NE(text.find("1107.02"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdsm

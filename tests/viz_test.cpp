@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "sw/full_matrix.h"
+#include "viz/dotplot.h"
+
+namespace gdsm::viz {
+namespace {
+
+TEST(DotPlot, MarksRegions) {
+  const std::vector<Candidate> regions{{50, 100, 200, 100, 200},
+                                       {40, 700, 760, 300, 360}};
+  const std::string plot = render_dotplot(regions, 1000, 1000);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("2 similarity regions"), std::string::npos);
+  // Region 1 sits near 10-20% of both axes: the mark must appear in the
+  // upper-left quadrant (first rows of the grid).
+  const auto first_star = plot.find('*');
+  const auto plot_start = plot.find('+');
+  EXPECT_LT(first_star - plot_start, plot.size() / 2);
+}
+
+TEST(DotPlot, EmptyRegionsStillRenders) {
+  const std::string plot = render_dotplot({}, 100, 100);
+  EXPECT_EQ(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("0 similarity regions"), std::string::npos);
+}
+
+TEST(DotPlot, PpmFileHasHeaderAndPixels) {
+  const std::string path = testing::TempDir() + "/gdsm_plot.ppm";
+  const std::vector<Candidate> regions{{10, 1, 50, 1, 50}};
+  const std::size_t size = write_dotplot_ppm(path, regions, 100, 100, 64, 64);
+  EXPECT_GT(size, 64u * 64u * 3u);       // pixels plus the "P6 ..." header
+  EXPECT_LT(size, 64u * 64u * 3u + 32u);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+  std::remove(path.c_str());
+}
+
+TEST(Heatmap, ShadesScaleWithDensity) {
+  const std::vector<std::vector<std::uint64_t>> matrix{
+      {0, 0, 100}, {0, 50, 0}, {10, 0, 0}};
+  const std::string map = render_heatmap(matrix, "demo");
+  EXPECT_NE(map.find("demo"), std::string::npos);
+  EXPECT_NE(map.find("peak 100"), std::string::npos);
+  // Three band rows, each 3 cells wide between pipes.
+  EXPECT_EQ(std::count(map.begin(), map.end(), '\n'), 4);
+  // The hottest cell renders with the densest shade present.
+  const auto first_pipe = map.find('|');
+  ASSERT_NE(first_pipe, std::string::npos);
+  EXPECT_EQ(map[first_pipe + 3], '@');  // 100/100 -> top shade
+}
+
+TEST(Heatmap, EmptyMatrixRendersCleanly) {
+  const std::string map = render_heatmap({{0, 0}, {0, 0}}, "flat");
+  EXPECT_NE(map.find("peak 0"), std::string::npos);
+  EXPECT_EQ(map.find('@'), std::string::npos);
+}
+
+TEST(Report, Fig16StyleFields) {
+  const Sequence s("s", "ACGTACGTACGT");
+  const Alignment al = smith_waterman(s, s);
+  const std::string rep = format_alignment_report(s, s, {al}, /*wrap=*/8);
+  EXPECT_NE(rep.find("initial_x: 1"), std::string::npos);
+  EXPECT_NE(rep.find("similarity: 12"), std::string::npos);
+  EXPECT_NE(rep.find("align_s: ACGTACGT"), std::string::npos);  // wrapped
+  EXPECT_NE(rep.find("align_t: ACGTACGT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdsm::viz
