@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mp_vs_dsm"
+  "../bench/ablation_mp_vs_dsm.pdb"
+  "CMakeFiles/ablation_mp_vs_dsm.dir/ablation_mp_vs_dsm.cpp.o"
+  "CMakeFiles/ablation_mp_vs_dsm.dir/ablation_mp_vs_dsm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mp_vs_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_mp_vs_dsm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pagesize"
+  "../bench/ablation_pagesize.pdb"
+  "CMakeFiles/ablation_pagesize.dir/ablation_pagesize.cpp.o"
+  "CMakeFiles/ablation_pagesize.dir/ablation_pagesize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_block_vs_noblock"
+  "../bench/fig13_block_vs_noblock.pdb"
+  "CMakeFiles/fig13_block_vs_noblock.dir/fig13_block_vs_noblock.cpp.o"
+  "CMakeFiles/fig13_block_vs_noblock.dir/fig13_block_vs_noblock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_block_vs_noblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_block_vs_noblock.
+# This may be replaced when dependencies are built.

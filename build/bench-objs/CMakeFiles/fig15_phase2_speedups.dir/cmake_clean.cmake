@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_phase2_speedups"
+  "../bench/fig15_phase2_speedups.pdb"
+  "CMakeFiles/fig15_phase2_speedups.dir/fig15_phase2_speedups.cpp.o"
+  "CMakeFiles/fig15_phase2_speedups.dir/fig15_phase2_speedups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_phase2_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_preprocess_speedups"
+  "../bench/fig18_preprocess_speedups.pdb"
+  "CMakeFiles/fig18_preprocess_speedups.dir/fig18_preprocess_speedups.cpp.o"
+  "CMakeFiles/fig18_preprocess_speedups.dir/fig18_preprocess_speedups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_preprocess_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_preprocess_blocking"
+  "../bench/fig19_preprocess_blocking.pdb"
+  "CMakeFiles/fig19_preprocess_blocking.dir/fig19_preprocess_blocking.cpp.o"
+  "CMakeFiles/fig19_preprocess_blocking.dir/fig19_preprocess_blocking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_preprocess_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_preprocess_io"
+  "../bench/fig20_preprocess_io.pdb"
+  "CMakeFiles/fig20_preprocess_io.dir/fig20_preprocess_io.cpp.o"
+  "CMakeFiles/fig20_preprocess_io.dir/fig20_preprocess_io.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_preprocess_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

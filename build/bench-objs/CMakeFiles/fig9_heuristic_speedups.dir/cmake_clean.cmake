@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_heuristic_speedups"
+  "../bench/fig9_heuristic_speedups.pdb"
+  "CMakeFiles/fig9_heuristic_speedups.dir/fig9_heuristic_speedups.cpp.o"
+  "CMakeFiles/fig9_heuristic_speedups.dir/fig9_heuristic_speedups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_heuristic_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/future_hybrid_1mbp"
+  "../bench/future_hybrid_1mbp.pdb"
+  "CMakeFiles/future_hybrid_1mbp.dir/future_hybrid_1mbp.cpp.o"
+  "CMakeFiles/future_hybrid_1mbp.dir/future_hybrid_1mbp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_hybrid_1mbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/kernels_dsm"
+  "../bench/kernels_dsm.pdb"
+  "CMakeFiles/kernels_dsm.dir/kernels_dsm.cpp.o"
+  "CMakeFiles/kernels_dsm.dir/kernels_dsm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

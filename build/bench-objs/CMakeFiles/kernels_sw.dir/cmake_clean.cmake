@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/kernels_sw"
+  "../bench/kernels_sw.pdb"
+  "CMakeFiles/kernels_sw.dir/kernels_sw.cpp.o"
+  "CMakeFiles/kernels_sw.dir/kernels_sw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/section6_reverse_space"
+  "../bench/section6_reverse_space.pdb"
+  "CMakeFiles/section6_reverse_space.dir/section6_reverse_space.cpp.o"
+  "CMakeFiles/section6_reverse_space.dir/section6_reverse_space.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section6_reverse_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

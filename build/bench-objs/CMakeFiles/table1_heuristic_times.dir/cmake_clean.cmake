@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_heuristic_times"
+  "../bench/table1_heuristic_times.pdb"
+  "CMakeFiles/table1_heuristic_times.dir/table1_heuristic_times.cpp.o"
+  "CMakeFiles/table1_heuristic_times.dir/table1_heuristic_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_heuristic_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

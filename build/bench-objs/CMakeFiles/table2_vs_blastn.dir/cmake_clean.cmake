@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_vs_blastn"
+  "../bench/table2_vs_blastn.pdb"
+  "CMakeFiles/table2_vs_blastn.dir/table2_vs_blastn.cpp.o"
+  "CMakeFiles/table2_vs_blastn.dir/table2_vs_blastn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_vs_blastn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

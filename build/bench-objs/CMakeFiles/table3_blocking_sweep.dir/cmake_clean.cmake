@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_blocking_sweep"
+  "../bench/table3_blocking_sweep.pdb"
+  "CMakeFiles/table3_blocking_sweep.dir/table3_blocking_sweep.cpp.o"
+  "CMakeFiles/table3_blocking_sweep.dir/table3_blocking_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_blocking_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_playground.dir/dsm_playground.cpp.o"
+  "CMakeFiles/dsm_playground.dir/dsm_playground.cpp.o.d"
+  "dsm_playground"
+  "dsm_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_pipeline.dir/exact_pipeline.cpp.o"
+  "CMakeFiles/exact_pipeline.dir/exact_pipeline.cpp.o.d"
+  "exact_pipeline"
+  "exact_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

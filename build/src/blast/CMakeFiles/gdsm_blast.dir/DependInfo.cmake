@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blast/blastn.cpp" "src/blast/CMakeFiles/gdsm_blast.dir/blastn.cpp.o" "gcc" "src/blast/CMakeFiles/gdsm_blast.dir/blastn.cpp.o.d"
+  "/root/repo/src/blast/statistics.cpp" "src/blast/CMakeFiles/gdsm_blast.dir/statistics.cpp.o" "gcc" "src/blast/CMakeFiles/gdsm_blast.dir/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sw/CMakeFiles/gdsm_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gdsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

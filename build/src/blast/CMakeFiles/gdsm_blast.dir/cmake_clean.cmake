@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdsm_blast.dir/blastn.cpp.o"
+  "CMakeFiles/gdsm_blast.dir/blastn.cpp.o.d"
+  "CMakeFiles/gdsm_blast.dir/statistics.cpp.o"
+  "CMakeFiles/gdsm_blast.dir/statistics.cpp.o.d"
+  "libgdsm_blast.a"
+  "libgdsm_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdsm_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

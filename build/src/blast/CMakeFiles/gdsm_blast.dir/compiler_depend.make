@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gdsm_blast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/blocked.cpp" "src/core/CMakeFiles/gdsm_core.dir/blocked.cpp.o" "gcc" "src/core/CMakeFiles/gdsm_core.dir/blocked.cpp.o.d"
+  "/root/repo/src/core/blocked_mp.cpp" "src/core/CMakeFiles/gdsm_core.dir/blocked_mp.cpp.o" "gcc" "src/core/CMakeFiles/gdsm_core.dir/blocked_mp.cpp.o.d"
+  "/root/repo/src/core/column_store.cpp" "src/core/CMakeFiles/gdsm_core.dir/column_store.cpp.o" "gcc" "src/core/CMakeFiles/gdsm_core.dir/column_store.cpp.o.d"
+  "/root/repo/src/core/exact_parallel.cpp" "src/core/CMakeFiles/gdsm_core.dir/exact_parallel.cpp.o" "gcc" "src/core/CMakeFiles/gdsm_core.dir/exact_parallel.cpp.o.d"
+  "/root/repo/src/core/phase2.cpp" "src/core/CMakeFiles/gdsm_core.dir/phase2.cpp.o" "gcc" "src/core/CMakeFiles/gdsm_core.dir/phase2.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/core/CMakeFiles/gdsm_core.dir/preprocess.cpp.o" "gcc" "src/core/CMakeFiles/gdsm_core.dir/preprocess.cpp.o.d"
+  "/root/repo/src/core/reprocess.cpp" "src/core/CMakeFiles/gdsm_core.dir/reprocess.cpp.o" "gcc" "src/core/CMakeFiles/gdsm_core.dir/reprocess.cpp.o.d"
+  "/root/repo/src/core/sim_hybrid.cpp" "src/core/CMakeFiles/gdsm_core.dir/sim_hybrid.cpp.o" "gcc" "src/core/CMakeFiles/gdsm_core.dir/sim_hybrid.cpp.o.d"
+  "/root/repo/src/core/sim_strategies.cpp" "src/core/CMakeFiles/gdsm_core.dir/sim_strategies.cpp.o" "gcc" "src/core/CMakeFiles/gdsm_core.dir/sim_strategies.cpp.o.d"
+  "/root/repo/src/core/wavefront.cpp" "src/core/CMakeFiles/gdsm_core.dir/wavefront.cpp.o" "gcc" "src/core/CMakeFiles/gdsm_core.dir/wavefront.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sw/CMakeFiles/gdsm_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/gdsm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/gdsm_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gdsm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gdsm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdsm_core.dir/blocked.cpp.o"
+  "CMakeFiles/gdsm_core.dir/blocked.cpp.o.d"
+  "CMakeFiles/gdsm_core.dir/blocked_mp.cpp.o"
+  "CMakeFiles/gdsm_core.dir/blocked_mp.cpp.o.d"
+  "CMakeFiles/gdsm_core.dir/column_store.cpp.o"
+  "CMakeFiles/gdsm_core.dir/column_store.cpp.o.d"
+  "CMakeFiles/gdsm_core.dir/exact_parallel.cpp.o"
+  "CMakeFiles/gdsm_core.dir/exact_parallel.cpp.o.d"
+  "CMakeFiles/gdsm_core.dir/phase2.cpp.o"
+  "CMakeFiles/gdsm_core.dir/phase2.cpp.o.d"
+  "CMakeFiles/gdsm_core.dir/preprocess.cpp.o"
+  "CMakeFiles/gdsm_core.dir/preprocess.cpp.o.d"
+  "CMakeFiles/gdsm_core.dir/reprocess.cpp.o"
+  "CMakeFiles/gdsm_core.dir/reprocess.cpp.o.d"
+  "CMakeFiles/gdsm_core.dir/sim_hybrid.cpp.o"
+  "CMakeFiles/gdsm_core.dir/sim_hybrid.cpp.o.d"
+  "CMakeFiles/gdsm_core.dir/sim_strategies.cpp.o"
+  "CMakeFiles/gdsm_core.dir/sim_strategies.cpp.o.d"
+  "CMakeFiles/gdsm_core.dir/wavefront.cpp.o"
+  "CMakeFiles/gdsm_core.dir/wavefront.cpp.o.d"
+  "libgdsm_core.a"
+  "libgdsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdsm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

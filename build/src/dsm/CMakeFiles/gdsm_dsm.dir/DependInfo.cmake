@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/cluster.cpp" "src/dsm/CMakeFiles/gdsm_dsm.dir/cluster.cpp.o" "gcc" "src/dsm/CMakeFiles/gdsm_dsm.dir/cluster.cpp.o.d"
+  "/root/repo/src/dsm/global_space.cpp" "src/dsm/CMakeFiles/gdsm_dsm.dir/global_space.cpp.o" "gcc" "src/dsm/CMakeFiles/gdsm_dsm.dir/global_space.cpp.o.d"
+  "/root/repo/src/dsm/node.cpp" "src/dsm/CMakeFiles/gdsm_dsm.dir/node.cpp.o" "gcc" "src/dsm/CMakeFiles/gdsm_dsm.dir/node.cpp.o.d"
+  "/root/repo/src/dsm/page_cache.cpp" "src/dsm/CMakeFiles/gdsm_dsm.dir/page_cache.cpp.o" "gcc" "src/dsm/CMakeFiles/gdsm_dsm.dir/page_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/gdsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gdsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdsm_dsm.dir/cluster.cpp.o"
+  "CMakeFiles/gdsm_dsm.dir/cluster.cpp.o.d"
+  "CMakeFiles/gdsm_dsm.dir/global_space.cpp.o"
+  "CMakeFiles/gdsm_dsm.dir/global_space.cpp.o.d"
+  "CMakeFiles/gdsm_dsm.dir/node.cpp.o"
+  "CMakeFiles/gdsm_dsm.dir/node.cpp.o.d"
+  "CMakeFiles/gdsm_dsm.dir/page_cache.cpp.o"
+  "CMakeFiles/gdsm_dsm.dir/page_cache.cpp.o.d"
+  "libgdsm_dsm.a"
+  "libgdsm_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdsm_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdsm_mp.dir/comm.cpp.o"
+  "CMakeFiles/gdsm_mp.dir/comm.cpp.o.d"
+  "libgdsm_mp.a"
+  "libgdsm_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdsm_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdsm_net.dir/transport.cpp.o"
+  "CMakeFiles/gdsm_net.dir/transport.cpp.o.d"
+  "libgdsm_net.a"
+  "libgdsm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdsm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdsm_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/gdsm_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/gdsm_sim.dir/engine.cpp.o"
+  "CMakeFiles/gdsm_sim.dir/engine.cpp.o.d"
+  "libgdsm_sim.a"
+  "libgdsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdsm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sw/affine.cpp" "src/sw/CMakeFiles/gdsm_sw.dir/affine.cpp.o" "gcc" "src/sw/CMakeFiles/gdsm_sw.dir/affine.cpp.o.d"
+  "/root/repo/src/sw/alignment.cpp" "src/sw/CMakeFiles/gdsm_sw.dir/alignment.cpp.o" "gcc" "src/sw/CMakeFiles/gdsm_sw.dir/alignment.cpp.o.d"
+  "/root/repo/src/sw/banded.cpp" "src/sw/CMakeFiles/gdsm_sw.dir/banded.cpp.o" "gcc" "src/sw/CMakeFiles/gdsm_sw.dir/banded.cpp.o.d"
+  "/root/repo/src/sw/full_matrix.cpp" "src/sw/CMakeFiles/gdsm_sw.dir/full_matrix.cpp.o" "gcc" "src/sw/CMakeFiles/gdsm_sw.dir/full_matrix.cpp.o.d"
+  "/root/repo/src/sw/heuristic_scan.cpp" "src/sw/CMakeFiles/gdsm_sw.dir/heuristic_scan.cpp.o" "gcc" "src/sw/CMakeFiles/gdsm_sw.dir/heuristic_scan.cpp.o.d"
+  "/root/repo/src/sw/hirschberg.cpp" "src/sw/CMakeFiles/gdsm_sw.dir/hirschberg.cpp.o" "gcc" "src/sw/CMakeFiles/gdsm_sw.dir/hirschberg.cpp.o.d"
+  "/root/repo/src/sw/linear_score.cpp" "src/sw/CMakeFiles/gdsm_sw.dir/linear_score.cpp.o" "gcc" "src/sw/CMakeFiles/gdsm_sw.dir/linear_score.cpp.o.d"
+  "/root/repo/src/sw/protein.cpp" "src/sw/CMakeFiles/gdsm_sw.dir/protein.cpp.o" "gcc" "src/sw/CMakeFiles/gdsm_sw.dir/protein.cpp.o.d"
+  "/root/repo/src/sw/reverse_rebuild.cpp" "src/sw/CMakeFiles/gdsm_sw.dir/reverse_rebuild.cpp.o" "gcc" "src/sw/CMakeFiles/gdsm_sw.dir/reverse_rebuild.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gdsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

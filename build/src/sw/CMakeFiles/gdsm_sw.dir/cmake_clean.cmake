@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdsm_sw.dir/affine.cpp.o"
+  "CMakeFiles/gdsm_sw.dir/affine.cpp.o.d"
+  "CMakeFiles/gdsm_sw.dir/alignment.cpp.o"
+  "CMakeFiles/gdsm_sw.dir/alignment.cpp.o.d"
+  "CMakeFiles/gdsm_sw.dir/banded.cpp.o"
+  "CMakeFiles/gdsm_sw.dir/banded.cpp.o.d"
+  "CMakeFiles/gdsm_sw.dir/full_matrix.cpp.o"
+  "CMakeFiles/gdsm_sw.dir/full_matrix.cpp.o.d"
+  "CMakeFiles/gdsm_sw.dir/heuristic_scan.cpp.o"
+  "CMakeFiles/gdsm_sw.dir/heuristic_scan.cpp.o.d"
+  "CMakeFiles/gdsm_sw.dir/hirschberg.cpp.o"
+  "CMakeFiles/gdsm_sw.dir/hirschberg.cpp.o.d"
+  "CMakeFiles/gdsm_sw.dir/linear_score.cpp.o"
+  "CMakeFiles/gdsm_sw.dir/linear_score.cpp.o.d"
+  "CMakeFiles/gdsm_sw.dir/protein.cpp.o"
+  "CMakeFiles/gdsm_sw.dir/protein.cpp.o.d"
+  "CMakeFiles/gdsm_sw.dir/reverse_rebuild.cpp.o"
+  "CMakeFiles/gdsm_sw.dir/reverse_rebuild.cpp.o.d"
+  "libgdsm_sw.a"
+  "libgdsm_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdsm_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/alphabet.cpp" "src/util/CMakeFiles/gdsm_util.dir/alphabet.cpp.o" "gcc" "src/util/CMakeFiles/gdsm_util.dir/alphabet.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/util/CMakeFiles/gdsm_util.dir/args.cpp.o" "gcc" "src/util/CMakeFiles/gdsm_util.dir/args.cpp.o.d"
+  "/root/repo/src/util/fasta.cpp" "src/util/CMakeFiles/gdsm_util.dir/fasta.cpp.o" "gcc" "src/util/CMakeFiles/gdsm_util.dir/fasta.cpp.o.d"
+  "/root/repo/src/util/genome.cpp" "src/util/CMakeFiles/gdsm_util.dir/genome.cpp.o" "gcc" "src/util/CMakeFiles/gdsm_util.dir/genome.cpp.o.d"
+  "/root/repo/src/util/sequence.cpp" "src/util/CMakeFiles/gdsm_util.dir/sequence.cpp.o" "gcc" "src/util/CMakeFiles/gdsm_util.dir/sequence.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/gdsm_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/gdsm_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdsm_util.dir/alphabet.cpp.o"
+  "CMakeFiles/gdsm_util.dir/alphabet.cpp.o.d"
+  "CMakeFiles/gdsm_util.dir/args.cpp.o"
+  "CMakeFiles/gdsm_util.dir/args.cpp.o.d"
+  "CMakeFiles/gdsm_util.dir/fasta.cpp.o"
+  "CMakeFiles/gdsm_util.dir/fasta.cpp.o.d"
+  "CMakeFiles/gdsm_util.dir/genome.cpp.o"
+  "CMakeFiles/gdsm_util.dir/genome.cpp.o.d"
+  "CMakeFiles/gdsm_util.dir/sequence.cpp.o"
+  "CMakeFiles/gdsm_util.dir/sequence.cpp.o.d"
+  "CMakeFiles/gdsm_util.dir/table.cpp.o"
+  "CMakeFiles/gdsm_util.dir/table.cpp.o.d"
+  "libgdsm_util.a"
+  "libgdsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdsm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdsm_viz.dir/dotplot.cpp.o"
+  "CMakeFiles/gdsm_viz.dir/dotplot.cpp.o.d"
+  "libgdsm_viz.a"
+  "libgdsm_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdsm_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

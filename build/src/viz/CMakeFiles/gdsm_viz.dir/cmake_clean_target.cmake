@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgdsm_viz.a"
+)

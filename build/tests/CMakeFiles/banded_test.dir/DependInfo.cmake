@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/banded_test.cpp" "tests/CMakeFiles/banded_test.dir/banded_test.cpp.o" "gcc" "tests/CMakeFiles/banded_test.dir/banded_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gdsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/gdsm_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/blast/CMakeFiles/gdsm_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/gdsm_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/gdsm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gdsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/gdsm_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gdsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

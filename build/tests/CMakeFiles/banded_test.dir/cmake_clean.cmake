@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banded_test.dir/banded_test.cpp.o"
+  "CMakeFiles/banded_test.dir/banded_test.cpp.o.d"
+  "banded_test"
+  "banded_test.pdb"
+  "banded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

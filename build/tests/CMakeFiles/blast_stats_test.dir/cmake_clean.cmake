@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_stats_test.dir/blast_stats_test.cpp.o"
+  "CMakeFiles/blast_stats_test.dir/blast_stats_test.cpp.o.d"
+  "blast_stats_test"
+  "blast_stats_test.pdb"
+  "blast_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

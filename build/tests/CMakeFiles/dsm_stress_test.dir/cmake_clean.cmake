@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_stress_test.dir/dsm_stress_test.cpp.o"
+  "CMakeFiles/dsm_stress_test.dir/dsm_stress_test.cpp.o.d"
+  "dsm_stress_test"
+  "dsm_stress_test.pdb"
+  "dsm_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_parallel_test.dir/exact_parallel_test.cpp.o"
+  "CMakeFiles/exact_parallel_test.dir/exact_parallel_test.cpp.o.d"
+  "exact_parallel_test"
+  "exact_parallel_test.pdb"
+  "exact_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

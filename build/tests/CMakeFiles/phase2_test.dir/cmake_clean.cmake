@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase2_test.dir/phase2_test.cpp.o"
+  "CMakeFiles/phase2_test.dir/phase2_test.cpp.o.d"
+  "phase2_test"
+  "phase2_test.pdb"
+  "phase2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

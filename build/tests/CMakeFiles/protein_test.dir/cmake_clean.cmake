@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_test.dir/protein_test.cpp.o"
+  "CMakeFiles/protein_test.dir/protein_test.cpp.o.d"
+  "protein_test"
+  "protein_test.pdb"
+  "protein_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reprocess_test.dir/reprocess_test.cpp.o"
+  "CMakeFiles/reprocess_test.dir/reprocess_test.cpp.o.d"
+  "reprocess_test"
+  "reprocess_test.pdb"
+  "reprocess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

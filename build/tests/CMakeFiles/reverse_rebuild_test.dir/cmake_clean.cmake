@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_rebuild_test.dir/reverse_rebuild_test.cpp.o"
+  "CMakeFiles/reverse_rebuild_test.dir/reverse_rebuild_test.cpp.o.d"
+  "reverse_rebuild_test"
+  "reverse_rebuild_test.pdb"
+  "reverse_rebuild_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_rebuild_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_basic_test.dir/sw_basic_test.cpp.o"
+  "CMakeFiles/sw_basic_test.dir/sw_basic_test.cpp.o.d"
+  "sw_basic_test"
+  "sw_basic_test.pdb"
+  "sw_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_property_test.dir/sw_property_test.cpp.o"
+  "CMakeFiles/sw_property_test.dir/sw_property_test.cpp.o.d"
+  "sw_property_test"
+  "sw_property_test.pdb"
+  "sw_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sw_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/sw_property_test[1]_include.cmake")
+include("/root/repo/build/tests/affine_test[1]_include.cmake")
+include("/root/repo/build/tests/banded_test[1]_include.cmake")
+include("/root/repo/build/tests/protein_test[1]_include.cmake")
+include("/root/repo/build/tests/heuristic_test[1]_include.cmake")
+include("/root/repo/build/tests/reverse_rebuild_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_test[1]_include.cmake")
+include("/root/repo/build/tests/dsm_test[1]_include.cmake")
+include("/root/repo/build/tests/dsm_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/strategy_test[1]_include.cmake")
+include("/root/repo/build/tests/preprocess_test[1]_include.cmake")
+include("/root/repo/build/tests/reprocess_test[1]_include.cmake")
+include("/root/repo/build/tests/phase2_test[1]_include.cmake")
+include("/root/repo/build/tests/blast_test[1]_include.cmake")
+include("/root/repo/build/tests/blast_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/viz_test[1]_include.cmake")
