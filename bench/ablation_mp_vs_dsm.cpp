@@ -1,29 +1,43 @@
 // Ablation: DSM vs message passing for the blocked strategy (real threaded
 // runs).  The paper picked DSM for its easier programming model (Section 7);
 // this quantifies what that convenience costs on the wire.
+//
+// Default pair size is 4 kBP; pass --size= to change it (the bench_smoke
+// tests run a smaller pair).
 #include <iostream>
 
 #include "bench_common.h"
 #include "core/blocked.h"
 #include "core/blocked_mp.h"
+#include "core/report_io.h"
 #include "core/sim_strategies.h"
+#include "obs/snapshots.h"
 #include "util/genome.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdsm;
+  const Args args(argc, argv);
+  const auto size = static_cast<std::size_t>(args.get_int("size", 4'000));
   bench::banner("Ablation — DSM vs message passing",
                 "Blocked strategy on both substrates: identical results, "
-                "different wire traffic (real threaded runs, 4 kBP pair)");
+                "different wire traffic (real threaded runs, " +
+                    std::to_string(size / 1000) + " kBP pair)");
 
   HomologousPairSpec spec;
-  spec.length_s = 4'000;
-  spec.length_t = 4'000;
+  spec.length_s = size;
+  spec.length_t = size;
   spec.n_regions = 4;
   spec.region_len_mean = 200;
   spec.region_len_spread = 40;
   spec.seed = 1905;
   const HomologousPair pair = make_homologous_pair(spec);
+
+  obs::RunReport report("ablation_mp_vs_dsm",
+                        "Ablation — DSM vs message passing, blocked strategy");
+  report.set_param("size", size);
+  report.set_param("mult_w", 2);
+  report.set_param("mult_h", 2);
 
   TextTable table("DSM vs MP, blocked strategy (2x2 multiplier)");
   table.set_header({"procs", "results equal", "DSM msgs", "DSM KiB", "MP msgs",
@@ -51,6 +65,16 @@ int main() {
                    static_cast<double>(mp_run.traffic.total_bytes()),
                2) +
              "x"});
+
+    obs::Json rec = obs::Json::object();
+    rec.set("procs", procs);
+    rec.set("results_equal", dsm_run.candidates == mp_run.candidates);
+    rec.set("dsm", core::strategy_result_json(dsm_run));
+    rec.set("mp_traffic", obs::to_json(mp_run.traffic));
+    rec.set("traffic_ratio",
+            static_cast<double>(dsm_traffic.total_bytes()) /
+                static_cast<double>(mp_run.traffic.total_bytes()));
+    report.add_row("substrates", std::move(rec));
   }
   table.print(std::cout);
 
@@ -60,12 +84,26 @@ int main() {
                         "DSM overhead"});
   for (int procs : {2, 4, 8}) {
     const auto bands = static_cast<std::size_t>(5 * procs);
-    const double dsm_t =
-        core::sim_blocked(50'000, 50'000, procs, bands, bands).total_s;
-    const double mp_t =
-        core::sim_blocked_mp(50'000, 50'000, procs, bands, bands).total_s;
-    sim_table.add_row({std::to_string(procs), fmt_f(dsm_t, 1), fmt_f(mp_t, 1),
-                       "+" + fmt_f(100.0 * (dsm_t / mp_t - 1.0), 1) + "%"});
+    const core::SimReport dsm_rep =
+        core::sim_blocked(50'000, 50'000, procs, bands, bands);
+    const core::SimReport mp_rep =
+        core::sim_blocked_mp(50'000, 50'000, procs, bands, bands);
+    sim_table.add_row({std::to_string(procs), fmt_f(dsm_rep.total_s, 1),
+                       fmt_f(mp_rep.total_s, 1),
+                       "+" + fmt_f(100.0 * (dsm_rep.total_s / mp_rep.total_s -
+                                            1.0),
+                                   1) +
+                           "%"});
+
+    obs::Json rec = obs::Json::object();
+    rec.set("procs", procs);
+    rec.set("size", 50'000);
+    rec.set("dsm_total_s", dsm_rep.total_s);
+    rec.set("mp_total_s", mp_rep.total_s);
+    rec.set("dsm_overhead", dsm_rep.total_s / mp_rep.total_s - 1.0);
+    rec.set("dsm_sim", core::sim_report_json(dsm_rep));
+    rec.set("mp_sim", core::sim_report_json(mp_rep));
+    report.add_row("simulated_times", std::move(rec));
   }
   sim_table.print(std::cout);
 
@@ -75,5 +113,5 @@ int main() {
          "messages where message passing ships exactly the boundary cells —\n"
          "the price of the shared-memory abstraction the paper found easier\n"
          "to program.\n";
-  return 0;
+  return bench::emit_report(report, args);
 }

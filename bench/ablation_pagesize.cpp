@@ -5,11 +5,18 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "core/report_io.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdsm;
+  const Args args(argc, argv);
   bench::banner("Ablation — DSM page size",
                 "Page size vs strategy run time (50K sequences, 8 procs)");
+
+  obs::RunReport report("ablation_pagesize",
+                        "Ablation — DSM page size vs strategy run time");
+  report.set_param("size", 50'000);
+  report.set_param("procs", 8);
 
   TextTable table("Page size sweep");
   table.set_header({"page bytes", "no-block total (s)", "blocked 5x5 (s)"});
@@ -17,10 +24,19 @@ int main() {
        std::vector<std::size_t>{1024, 2048, 4096, 8192, 16384}) {
     sim::CostModel cm;
     cm.page_bytes = page;
-    const double noblock = core::sim_wavefront(50'000, 50'000, 8, cm).total_s;
-    const double blocked =
-        core::sim_blocked(50'000, 50'000, 8, 40, 40, cm).total_s;
-    table.add_row({std::to_string(page), fmt_f(noblock, 1), fmt_f(blocked, 1)});
+    const core::SimReport noblock = core::sim_wavefront(50'000, 50'000, 8, cm);
+    const core::SimReport blocked =
+        core::sim_blocked(50'000, 50'000, 8, 40, 40, cm);
+    table.add_row({std::to_string(page), fmt_f(noblock.total_s, 1),
+                   fmt_f(blocked.total_s, 1)});
+
+    obs::Json rec = obs::Json::object();
+    rec.set("page_bytes", page);
+    rec.set("noblock_total_s", noblock.total_s);
+    rec.set("blocked_total_s", blocked.total_s);
+    rec.set("noblock_sim", core::sim_report_json(noblock));
+    rec.set("blocked_sim", core::sim_report_json(blocked));
+    report.add_row("sweep", std::move(rec));
   }
   table.print(std::cout);
   std::cout
@@ -28,5 +44,5 @@ int main() {
          "so larger pages only add wire time; the blocked strategy ships a\n"
          "whole block row, so larger pages amortize the per-page fault round\n"
          "trips and help until wire time dominates.\n";
-  return 0;
+  return bench::emit_report(report, args);
 }

@@ -1,22 +1,35 @@
 // Shared helpers for the table/figure reproduction binaries.
+//
+// Every bench prints its human-readable tables AND (with --json=<path>)
+// writes the machine-readable obs::RunReport counterpart; the schema is
+// documented in docs/METRICS.md and the per-bench files are aggregated into
+// BENCH_baseline.json by bench/run_all.sh + tools/merge_reports.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/sim_strategies.h"
+#include "obs/report.h"
+#include "util/args.h"
 #include "util/table.h"
 
 namespace gdsm::bench {
 
 /// Standard header each bench prints, naming the experiment it regenerates.
+/// The build line carries the git describe and report schema version so a
+/// human transcript can be correlated with the JSON reports it ran next to.
 inline void banner(const std::string& experiment, const std::string& what) {
   std::cout << "############################################################\n"
             << "# " << experiment << "\n"
             << "# " << what << "\n"
             << "# platform model: 8x Pentium II 350 MHz / 100 Mbps Ethernet /\n"
             << "# JIAJIA DSM (calibrated simulator; see EXPERIMENTS.md)\n"
+            << "# build " << obs::build_version() << " · report schema "
+            << obs::kReportSchema << " v" << obs::kSchemaVersion << "\n"
             << "############################################################\n";
 }
 
@@ -26,5 +39,40 @@ inline std::string with_paper(double measured, double paper, int precision = 2) 
 }
 
 inline std::string pct(double x) { return fmt_f(100.0 * x, 0) + "%"; }
+
+/// Writes `report` to the path given by --json=<path>, if any.  Returns the
+/// process exit code: 0 on success (or when no --json was requested), 1 when
+/// the file could not be written.  Call as the bench's final statement:
+///   return bench::emit_report(report, args);
+inline int emit_report(const obs::RunReport& report, const Args& args) {
+  const std::string path = args.get("json");
+  if (path.empty()) return 0;
+  if (!report.write_file(path)) return 1;
+  std::cout << "[report] wrote " << path << " (" << report.experiment()
+            << ", schema v" << obs::kSchemaVersion << ")\n";
+  return 0;
+}
+
+/// Parses a --key=a,b,c comma-separated size list, with a default.
+inline std::vector<std::size_t> size_list(const Args& args,
+                                          const std::string& key,
+                                          std::vector<std::size_t> def) {
+  if (!args.has(key)) return def;
+  std::vector<std::size_t> out;
+  std::stringstream ss(args.get(key));
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) continue;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || v == 0) {
+      std::cerr << "warning: ignoring bad --" << key << " entry '" << tok
+                << "'\n";
+      continue;
+    }
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  return out.empty() ? def : out;
+}
 
 }  // namespace gdsm::bench

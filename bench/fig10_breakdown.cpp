@@ -1,32 +1,62 @@
 // Fig. 10: execution-time breakdown (computation / communication / lock+cv /
 // barrier) of the non-blocked heuristic strategy on 8 processors.
+//
+// --sizes=a,b,c overrides the sequence-size sweep (the bench_smoke ctest
+// runs tiny sizes); --json=<path> writes the machine-readable report.
 #include <iostream>
 
 #include "bench_common.h"
+#include "core/report_io.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdsm;
   using sim::Cat;
+  const Args args(argc, argv);
   bench::banner("Figure 10",
                 "Execution time breakdown for 5 sequence sizes (relative time "
                 "in computation, communication, lock+cv, barrier), 8 procs");
 
+  const std::vector<std::size_t> sizes = bench::size_list(
+      args, "sizes", {15'000, 50'000, 80'000, 150'000, 400'000});
+  constexpr int kProcs = 8;
+
+  obs::RunReport report("fig10_breakdown",
+                        "Figure 10 — per-node average execution-time "
+                        "breakdown, 8 processors");
+  {
+    obs::Json sj = obs::Json::array();
+    for (const std::size_t n : sizes) sj.push(n);
+    report.set_param("sizes", std::move(sj));
+    report.set_param("procs", kProcs);
+  }
+
   TextTable table("Figure 10 — per-node average breakdown (% of total)");
   table.set_header({"Size", "computation", "communication", "lock+cv",
                     "barrier"});
-  for (const std::size_t n : std::vector<std::size_t>{15'000, 50'000, 80'000,
-                                                      150'000, 400'000}) {
-    const core::SimReport rep = core::sim_wavefront(n, n, 8);
+  for (const std::size_t n : sizes) {
+    const core::SimReport rep = core::sim_wavefront(n, n, kProcs);
     const double total = rep.average.total();
     table.add_row({std::to_string(n / 1000) + "K",
                    bench::pct(rep.average[Cat::kCompute] / total),
                    bench::pct(rep.average[Cat::kComm] / total),
                    bench::pct(rep.average[Cat::kLockCv] / total),
                    bench::pct(rep.average[Cat::kBarrier] / total)});
+
+    obs::Json row = obs::Json::object();
+    row.set("size", n);
+    row.set("procs", kProcs);
+    obs::Json shares = obs::Json::object();
+    shares.set("computation", rep.average[Cat::kCompute] / total);
+    shares.set("communication", rep.average[Cat::kComm] / total);
+    shares.set("lock_cv", rep.average[Cat::kLockCv] / total);
+    shares.set("barrier", rep.average[Cat::kBarrier] / total);
+    row.set("shares", std::move(shares));
+    row.set("sim", core::sim_report_json(rep, /*per_node=*/true));
+    report.add_row("breakdowns", std::move(row));
   }
   table.print(std::cout);
   std::cout << "Shape checks: computation share grows with sequence size;\n"
                "the lock+cv handshake is the dominant overhead at small sizes\n"
                "(the per-row border communication of Section 4.2).\n";
-  return 0;
+  return bench::emit_report(report, args);
 }

@@ -3,9 +3,11 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "core/report_io.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdsm;
+  const Args args(argc, argv);
   bench::banner("Figure 13",
                 "Execution times for 8 processors with the blocking and "
                 "non-blocking strategies");
@@ -21,6 +23,10 @@ int main() {
       {50'000, 3461, 1107.02, 363.13},
   };
 
+  obs::RunReport report("fig13_block_vs_noblock",
+                        "Figure 13 — blocked vs non-blocked strategy, "
+                        "8 processors");
+
   TextTable table("Figure 13 — measured (paper)");
   table.set_header({"Size", "serial (no block)", "8 proc (no block)",
                     "8 proc (block)"});
@@ -34,9 +40,26 @@ int main() {
                    bench::with_paper(serial.total_s, row.paper_serial, 0),
                    bench::with_paper(noblock.total_s, row.paper_noblock),
                    bench::with_paper(block.total_s, row.paper_block)});
+
+    const struct {
+      const char* variant;
+      const core::SimReport& rep;
+      double paper;
+    } recs[] = {{"serial", serial, row.paper_serial},
+                {"noblock_8p", noblock, row.paper_noblock},
+                {"blocked_8p", block, row.paper_block}};
+    for (const auto& rec : recs) {
+      obs::Json jrow = obs::Json::object();
+      jrow.set("size", row.n);
+      jrow.set("variant", rec.variant);
+      jrow.set("total_s", rec.rep.total_s);
+      jrow.set("paper_s", rec.paper);
+      jrow.set("sim", core::sim_report_json(rec.rep));
+      report.add_row("times", std::move(jrow));
+    }
   }
   table.print(std::cout);
   std::cout << "Shape check: the blocked strategy beats the non-blocked one\n"
                "by ~3-5x at 8 processors (paper: 1107 s -> 363 s at 50K).\n";
-  return 0;
+  return bench::emit_report(report, args);
 }

@@ -3,9 +3,11 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "core/report_io.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdsm;
+  const Args args(argc, argv);
   bench::banner("Figure 15",
                 "Speed-ups obtained in phase 2 for a varying number of "
                 "subsequence comparisons (scattered mapping, Section 4.4); "
@@ -18,6 +20,10 @@ int main() {
   const Row rows[] = {{100, 5.33}, {1000, 7.57}, {2000, 7.2},
                       {3000, 7.0},  {4000, 6.9},  {5000, 6.80}};
 
+  obs::RunReport report("fig15_phase2_speedups",
+                        "Figure 15 — phase-2 speed-ups, scattered mapping");
+  report.set_param("mean_pair_size", 253);
+
   TextTable table("Figure 15 — phase-2 speed-ups (8-proc paper value shown)");
   table.set_header({"Comparisons", "2 proc", "4 proc", "8 proc"});
   for (const Row& row : rows) {
@@ -29,6 +35,15 @@ int main() {
       const double sp = serial.core_s / par.core_s;
       cells.push_back(p == 8 ? bench::with_paper(sp, row.paper8)
                              : fmt_f(sp, 2));
+
+      obs::Json rec = obs::Json::object();
+      rec.set("pairs", row.pairs);
+      rec.set("procs", p);
+      rec.set("speedup", sp);
+      if (p == 8) rec.set("paper_speedup", row.paper8);
+      rec.set("serial_core_s", serial.core_s);
+      rec.set("sim", core::sim_report_json(par));
+      report.add_row("speedups", std::move(rec));
     }
     table.add_row(std::move(cells));
   }
@@ -37,5 +52,5 @@ int main() {
                "1.91-2.0 and 3.76-4.0) independent of queue size; 8-proc\n"
                "speed-up is lowest at 100 pairs (startup amortizes poorly)\n"
                "and exceeds 7x around 1000+ pairs.\n";
-  return 0;
+  return bench::emit_report(report, args);
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/report_io.h"
 
 namespace {
 
@@ -28,8 +29,9 @@ std::vector<gdsm::core::SimPreprocessOptions> config_set() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdsm;
+  const Args args(argc, argv);
   bench::banner("Figure 18",
                 "Speed-up of the pre-process strategy on the average core "
                 "time (all blocking configurations) and on the best core "
@@ -37,6 +39,11 @@ int main() {
 
   const std::size_t sizes[] = {16'384, 40'960, 81'920};
   const auto configs = config_set();
+
+  obs::RunReport report("fig18_preprocess_speedups",
+                        "Figure 18 — pre-process strategy speed-ups on "
+                        "average and best core times");
+  report.set_param("configurations", configs.size());
 
   TextTable avg("Figure 18 (left) — speed-up on the AVERAGE core time");
   avg.set_header({"Size", "2 proc", "4 proc", "8 proc"});
@@ -61,6 +68,17 @@ int main() {
       const auto [avgp, bestp] = stats(p);
       arow.push_back(fmt_f(avg1 / avgp, 2));
       brow.push_back(fmt_f(best1 / bestp, 2));
+
+      obs::Json rec = obs::Json::object();
+      rec.set("size", n);
+      rec.set("procs", p);
+      rec.set("avg_speedup", avg1 / avgp);
+      rec.set("best_speedup", best1 / bestp);
+      rec.set("avg_core_s", avgp);
+      rec.set("best_core_s", bestp);
+      rec.set("serial_avg_core_s", avg1);
+      rec.set("serial_best_core_s", best1);
+      report.add_row("speedups", std::move(rec));
     }
     avg.add_row(std::move(arow));
     best.add_row(std::move(brow));
@@ -73,5 +91,5 @@ int main() {
          "the 4K-band configurations leave processors idle (only 4 bands);\n"
          "2-node speed-ups are slightly worse since the serial run has no\n"
          "DSM overhead at all.\n";
-  return 0;
+  return bench::emit_report(report, args);
 }

@@ -4,26 +4,33 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "core/report_io.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdsm;
   using core::BandScheme;
+  const Args args(argc, argv);
   bench::banner("Figure 19",
                 "Effect of different blocking options on run times "
                 "(pre-process strategy, no I/O)");
 
   struct Config {
     const char* label;
+    const char* scheme_name;
     BandScheme scheme;
     std::size_t rows;
   };
   const Config configs[] = {
-      {"Bal. 1K blks, no IO", BandScheme::kBalanced, 1024},
-      {"Equal blks, no IO", BandScheme::kEven, 0},
-      {"1K blks, no IO", BandScheme::kFixed, 1024},
-      {"Bal. 4K blks, no IO", BandScheme::kBalanced, 4096},
-      {"4K blks, no IO", BandScheme::kFixed, 4096},
+      {"Bal. 1K blks, no IO", "balanced", BandScheme::kBalanced, 1024},
+      {"Equal blks, no IO", "even", BandScheme::kEven, 0},
+      {"1K blks, no IO", "fixed", BandScheme::kFixed, 1024},
+      {"Bal. 4K blks, no IO", "balanced", BandScheme::kBalanced, 4096},
+      {"4K blks, no IO", "fixed", BandScheme::kFixed, 4096},
   };
+
+  obs::RunReport report("fig19_preprocess_blocking",
+                        "Figure 19 — pre-process core times by blocking "
+                        "option (no I/O)");
 
   TextTable table("Figure 19 — core times (s)");
   std::vector<std::string> header{"procs/size"};
@@ -38,7 +45,17 @@ int main() {
         core::SimPreprocessOptions opt;
         opt.band_scheme = c.scheme;
         opt.band_rows = c.rows;
-        row.push_back(fmt_f(core::sim_preprocess(n, n, procs, opt).core_s, 1));
+        const core::SimReport rep = core::sim_preprocess(n, n, procs, opt);
+        row.push_back(fmt_f(rep.core_s, 1));
+
+        obs::Json rec = obs::Json::object();
+        rec.set("procs", procs);
+        rec.set("size", n);
+        rec.set("config", c.label);
+        rec.set("band_scheme", c.scheme_name);
+        rec.set("band_rows", c.rows);
+        rec.set("core_s", rep.core_s);
+        report.add_row("core_times", std::move(rec));
       }
       table.add_row(std::move(row));
     }
@@ -50,5 +67,5 @@ int main() {
          "sequence and spills the CPU cache; as nodes are added the even\n"
          "division shrinks the bands and catches up.  Balanced and fixed\n"
          "produce similar times (fixed makes output files easier to read).\n";
-  return 0;
+  return bench::emit_report(report, args);
 }

@@ -4,19 +4,27 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "core/report_io.h"
 #include "core/sim_hybrid.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdsm;
+  const Args args(argc, argv);
   bench::banner("Future work (Section 7)",
                 "1 MBP x 1 MBP comparison on a hybrid MP/DSM federation of "
                 "workstation clusters (blocked heuristic strategy)");
 
   constexpr std::size_t n = 1'000'000;
 
+  obs::RunReport report("future_hybrid_1mbp",
+                        "Section 7 projection — 1 MBP pair on hybrid MP/DSM "
+                        "cluster federations");
+  report.set_param("size", n);
+
   const core::SimReport serial = core::sim_blocked(n, n, 1, 80, 80);
   std::cout << "Serial reference (one Pentium II): " << fmt_f(serial.total_s, 0)
             << " s = " << fmt_f(serial.total_s / 86400.0, 1) << " days\n\n";
+  report.metrics().set("serial_total_s", serial.total_s);
 
   TextTable table("Hybrid federation configurations");
   table.set_header({"configuration", "time (s)", "hours", "speedup",
@@ -24,9 +32,22 @@ int main() {
   auto add = [&](const std::string& label, const core::HybridSpec& spec,
                  double weight_capacity) {
     const core::SimReport rep = core::sim_hybrid_blocked(n, n, spec);
+    const double speedup = serial.total_s / rep.total_s;
     table.add_row({label, fmt_f(rep.total_s, 0), fmt_f(rep.total_s / 3600, 1),
-                   fmt_f(serial.total_s / rep.total_s, 2),
-                   bench::pct(serial.total_s / rep.total_s / weight_capacity)});
+                   fmt_f(speedup, 2), bench::pct(speedup / weight_capacity)});
+
+    obs::Json rec = obs::Json::object();
+    rec.set("configuration", label);
+    rec.set("clusters", spec.clusters);
+    rec.set("nodes_per_cluster", spec.nodes_per_cluster);
+    rec.set("inter_latency_s", spec.inter_latency_s);
+    rec.set("weighted_bands", spec.weighted_bands);
+    rec.set("total_s", rep.total_s);
+    rec.set("speedup", speedup);
+    rec.set("capacity", weight_capacity);
+    rec.set("efficiency", speedup / weight_capacity);
+    rec.set("sim", core::sim_report_json(rep));
+    report.add_row("configurations", std::move(rec));
   };
 
   {
@@ -80,5 +101,5 @@ int main() {
          "heterogeneous hardware, naive round-robin band assignment wastes\n"
          "the fast cluster, and speed-weighted assignment recovers it.\n"
          "Efficiency is speedup / total capacity (node-speed-weighted).\n";
-  return 0;
+  return bench::emit_report(report, args);
 }

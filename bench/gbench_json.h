@@ -1,0 +1,83 @@
+// --json support for the google-benchmark micro-bench binaries: a drop-in
+// replacement for BENCHMARK_MAIN() that also emits the obs::RunReport
+// counterpart of the console output (series "benchmarks", one row per run;
+// see docs/METRICS.md).  The --json=<path> flag is stripped from argv before
+// benchmark::Initialize sees it (google-benchmark rejects unknown flags).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace gdsm::bench {
+
+namespace detail {
+
+/// Console output plus a side collection of every finished run.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) collected.push_back(run);
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Run> collected;
+};
+
+}  // namespace detail
+
+/// Runs the registered google benchmarks; with --json=<path>, also writes a
+/// RunReport whose "benchmarks" series carries per-run timings (host wall
+/// clock, NOT the simulated 1998 platform) and user counters.
+inline int gbench_main(int argc, char** argv, const std::string& experiment,
+                       const std::string& title) {
+  const Args args(argc, argv);
+
+  // Rebuild argv without --json for benchmark::Initialize.
+  std::vector<char*> filtered;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0 ||
+        std::strcmp(argv[i], "--json") == 0) {
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  filtered.push_back(nullptr);
+
+  banner(experiment, title + " (host-machine micro-benchmarks)");
+
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  detail::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  obs::RunReport report(experiment, title);
+  report.set_param("host_clock", true);  // times are this machine's, not 1998's
+  for (const auto& run : reporter.collected) {
+    if (run.error_occurred || run.run_type != benchmark::BenchmarkReporter::Run::RT_Iteration) {
+      continue;
+    }
+    obs::Json row = obs::Json::object();
+    row.set("name", run.benchmark_name());
+    row.set("iterations", static_cast<std::int64_t>(run.iterations));
+    row.set("real_time", run.GetAdjustedRealTime());
+    row.set("cpu_time", run.GetAdjustedCPUTime());
+    row.set("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+    if (!run.counters.empty()) {
+      obs::Json counters = obs::Json::object();
+      for (const auto& [name, counter] : run.counters) {
+        counters.set(name, static_cast<double>(counter));
+      }
+      row.set("counters", std::move(counters));
+    }
+    report.add_row("benchmarks", std::move(row));
+  }
+  return emit_report(report, args);
+}
+
+}  // namespace gdsm::bench

@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "dsm/cluster.h"
+#include "gbench_json.h"
 
 namespace {
 
@@ -87,4 +88,8 @@ BENCHMARK(BM_BarrierWithDiffs)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return gdsm::bench::gbench_main(
+      argc, argv, "kernels_dsm",
+      "Microbenchmarks — threaded DSM primitives on the build host");
+}

@@ -1,6 +1,7 @@
 // google-benchmark micro-benchmarks of the DP kernels on the build host.
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.h"
 #include "sw/full_matrix.h"
 #include "sw/heuristic_scan.h"
 #include "sw/hirschberg.h"
@@ -81,4 +82,8 @@ BENCHMARK(BM_ReverseRebuild)->Arg(128)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return gdsm::bench::gbench_main(
+      argc, argv, "kernels_sw",
+      "Microbenchmarks — DP kernels on the build host");
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Run every bench binary with --json, validate each report, and merge them
+# into one baseline document (BENCH_baseline.json by default).
+#
+#   bench/run_all.sh [build-dir] [output.json]
+#
+# The human-readable tables go to <out-dir>/<bench>.log; the JSON reports to
+# <out-dir>/BENCH_<bench>.json.  See docs/METRICS.md for the schema and
+# EXPERIMENTS.md for what each bench reproduces.
+set -euo pipefail
+
+build_dir=${1:-build}
+baseline=${2:-BENCH_baseline.json}
+out_dir=${BENCH_OUT_DIR:-"$build_dir/reports"}
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "run_all.sh: $build_dir/bench not found — build first:" >&2
+  echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 2
+fi
+
+mkdir -p "$out_dir"
+reports=()
+failed=0
+for bin in "$build_dir"/bench/*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  json="$out_dir/BENCH_$name.json"
+  echo "== $name"
+  if ! "$bin" --json="$json" > "$out_dir/$name.log" 2>&1; then
+    echo "   FAILED (see $out_dir/$name.log)" >&2
+    failed=1
+    continue
+  fi
+  if [ -x "$build_dir/tools/validate_report" ]; then
+    "$build_dir/tools/validate_report" "$json" >/dev/null
+  fi
+  reports+=("$json")
+done
+
+if [ "$failed" -ne 0 ]; then
+  echo "run_all.sh: one or more benches failed; not writing $baseline" >&2
+  exit 1
+fi
+if [ "${#reports[@]}" -eq 0 ]; then
+  echo "run_all.sh: no reports produced" >&2
+  exit 1
+fi
+
+"$build_dir/tools/merge_reports" -o "$baseline" "${reports[@]}"
+echo "run_all.sh: ${#reports[@]} benches -> $baseline"

@@ -3,9 +3,11 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "core/report_io.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdsm;
+  const Args args(argc, argv);
   bench::banner("Table 4 / Figure 12",
                 "Execution times (s) and speed-ups for 3 sequence sizes, "
                 "heuristic strategy with blocking factors (Section 4.3)");
@@ -23,6 +25,10 @@ int main() {
   };
   const int procs[] = {1, 2, 4, 8};
 
+  obs::RunReport report("table4_blocked_times",
+                        "Table 4 / Figure 12 — blocked heuristic strategy "
+                        "times and speed-ups");
+
   TextTable times("Table 4 — execution times (s), measured (paper)");
   times.set_header({"Size", "Bands", "Serial", "2 proc", "4 proc", "8 proc"});
   TextTable speedups("Figure 12 — speed-ups, measured (paper)");
@@ -39,9 +45,26 @@ int main() {
           core::sim_blocked(row.n, row.n, procs[k], row.bands, row.blocks);
       if (k == 0) serial = rep.total_s;
       tcells.push_back(bench::with_paper(rep.total_s, row.paper_time[k]));
+
+      obs::Json rec = obs::Json::object();
+      rec.set("size", row.n);
+      rec.set("bands", row.bands);
+      rec.set("blocks", row.blocks);
+      rec.set("procs", procs[k]);
+      rec.set("total_s", rep.total_s);
+      rec.set("paper_s", row.paper_time[k]);
+      rec.set("sim", core::sim_report_json(rep));
+      report.add_row("times", std::move(rec));
+
       if (k > 0) {
-        scells.push_back(bench::with_paper(serial / rep.total_s,
-                                           row.paper_speedup[k - 1]));
+        const double sp = serial / rep.total_s;
+        scells.push_back(bench::with_paper(sp, row.paper_speedup[k - 1]));
+        obs::Json srec = obs::Json::object();
+        srec.set("size", row.n);
+        srec.set("procs", procs[k]);
+        srec.set("speedup", sp);
+        srec.set("paper_speedup", row.paper_speedup[k - 1]);
+        report.add_row("speedups", std::move(srec));
       }
     }
     times.add_row(std::move(tcells));
@@ -51,5 +74,5 @@ int main() {
   speedups.print(std::cout);
   std::cout << "Shape checks: 8K gains modestly (short pipeline); 15K and 50K\n"
                "reach very good speed-ups (paper: 7.29 and 7.21 at 8 procs).\n";
-  return 0;
+  return bench::emit_report(report, args);
 }

@@ -1,0 +1,53 @@
+#include "core/report_io.h"
+
+#include <algorithm>
+
+#include "obs/snapshots.h"
+
+namespace gdsm::core {
+
+obs::Json sim_report_json(const SimReport& rep, bool per_node) {
+  obs::Json j = obs::Json::object();
+  j.set("core_s", rep.core_s);
+  j.set("total_s", rep.total_s);
+  j.set("breakdown", obs::to_json(rep.average));
+  if (per_node) {
+    obs::Json nodes = obs::Json::array();
+    for (const sim::Breakdown& bd : rep.per_node) nodes.push(obs::to_json(bd));
+    j.set("per_node", std::move(nodes));
+  }
+  return j;
+}
+
+obs::Json strategy_result_json(const StrategyResult& r) {
+  obs::Json j = obs::Json::object();
+  obs::Json cand = obs::Json::object();
+  cand.set("count", r.candidates.size());
+  int best = 0;
+  std::uint64_t largest = 0;
+  for (const Candidate& c : r.candidates) {
+    best = std::max(best, static_cast<int>(c.score));
+    largest = std::max(largest, c.size_key());
+  }
+  cand.set("best_score", best);
+  cand.set("largest_size_key", largest);
+  j.set("candidates", std::move(cand));
+  j.set("overflow", r.overflow);
+  j.set("dsm", obs::to_json(r.dsm_stats));
+  return j;
+}
+
+obs::Json exact_result_json(const ExactParallelResult& r) {
+  obs::Json j = obs::Json::object();
+  j.set("score", r.best.score);
+  const Alignment& a = r.rebuilt.alignment;
+  j.set("s_begin", a.s_begin);
+  j.set("s_end", a.s_end());
+  j.set("t_begin", a.t_begin);
+  j.set("t_end", a.t_end());
+  j.set("computed_cells", r.rebuilt.stats.computed_cells);
+  j.set("traffic", obs::to_json(r.traffic));
+  return j;
+}
+
+}  // namespace gdsm::core

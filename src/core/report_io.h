@@ -1,0 +1,30 @@
+// Json views of the strategy-level result types, for the run reports the
+// bench binaries emit (docs/METRICS.md).
+//
+// SimReport carries the paper's Fig. 10 phase breakdown (computation /
+// communication / lock+cv / barrier / io); StrategyResult and
+// ExactParallelResult carry the real threaded runs' DSM / wire counters.
+#pragma once
+
+#include "core/exact_parallel.h"
+#include "core/sim_strategies.h"
+#include "core/strategy_result.h"
+#include "obs/json.h"
+
+namespace gdsm::core {
+
+/// {core_s, total_s, breakdown: {...}, per_node?: [breakdown...]}.
+/// `per_node` (one breakdown per simulated node) is included on request —
+/// most tables only need the per-node average the paper plots.
+obs::Json sim_report_json(const SimReport& rep, bool per_node = false);
+
+/// {candidates, overflow, dsm: <DsmStats snapshot>} of a threaded phase-1
+/// strategy run.  Candidate coordinates are summarized, not dumped: reports
+/// capture performance shape, alignments stay in the program output.
+obs::Json strategy_result_json(const StrategyResult& r);
+
+/// {score, s_begin, s_end, t_begin, t_end, computed_cells, traffic} of a
+/// distributed Section 6 exact retrieval.
+obs::Json exact_result_json(const ExactParallelResult& r);
+
+}  // namespace gdsm::core

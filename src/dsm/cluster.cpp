@@ -294,8 +294,7 @@ DsmStats Cluster::stats() const {
   DsmStats out;
   out.node = last_run_stats_;
   out.home_migrations = home_migrations_.load(std::memory_order_relaxed);
-  out.traffic.reserve(static_cast<std::size_t>(n_nodes_));
-  for (int i = 0; i < n_nodes_; ++i) out.traffic.push_back(transport_.counters(i));
+  out.traffic = transport_.per_node_counters();
   return out;
 }
 

@@ -41,6 +41,12 @@ class Cluster {
   /// Stats of the most recent run() (node counters) plus cumulative traffic.
   DsmStats stats() const;
 
+  /// Cumulative per-node wire traffic (the src/obs report hook; cheaper
+  /// than stats() when only the transport picture is wanted).
+  std::vector<net::TrafficCounters> traffic_snapshot() const {
+    return transport_.per_node_counters();
+  }
+
   GlobalSpace& space() noexcept { return space_; }
 
  private:

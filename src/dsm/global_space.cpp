@@ -54,6 +54,15 @@ std::size_t GlobalSpace::num_pages() const {
   return pages_.size();
 }
 
+std::vector<std::size_t> GlobalSpace::pages_per_node() const {
+  std::vector<std::size_t> out(static_cast<std::size_t>(n_nodes_), 0);
+  const std::scoped_lock lock(alloc_mu_);
+  for (const Page& p : pages_) {
+    if (p.home >= 0) ++out[static_cast<std::size_t>(p.home)];
+  }
+  return out;
+}
+
 bool GlobalSpace::valid_page(PageId p) const {
   const std::scoped_lock lock(alloc_mu_);
   return p > 0 && p < pages_.size();

@@ -38,6 +38,10 @@ class GlobalSpace {
   std::size_t offset_in_page(GlobalAddr a) const noexcept { return a % page_bytes_; }
   std::size_t num_pages() const;
 
+  /// Snapshot of the home-page distribution: element i = pages currently
+  /// homed on node i (reflects home migration; src/obs report hook).
+  std::vector<std::size_t> pages_per_node() const;
+
   /// True when the page id maps to an allocated page.
   bool valid_page(PageId p) const;
 

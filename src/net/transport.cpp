@@ -86,4 +86,11 @@ TrafficCounters Transport::total_counters() const {
   return out;
 }
 
+std::vector<TrafficCounters> Transport::per_node_counters() const {
+  std::vector<TrafficCounters> out;
+  out.reserve(static_cast<std::size_t>(n_nodes_));
+  for (int n = 0; n < n_nodes_; ++n) out.push_back(counters(n));
+  return out;
+}
+
 }  // namespace gdsm::net

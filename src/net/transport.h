@@ -48,6 +48,9 @@ class Transport {
   /// Per-source-node traffic snapshot.
   TrafficCounters counters(int node) const;
   TrafficCounters total_counters() const;
+  /// Snapshot of every node's counters at once (index = source node) — the
+  /// hook the observability layer (src/obs) serializes into run reports.
+  std::vector<TrafficCounters> per_node_counters() const;
 
  private:
   struct NodeBoxes {

@@ -1,0 +1,472 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace gdsm::obs {
+
+JsonParseError::JsonParseError(const std::string& msg, std::size_t offset)
+    : std::runtime_error(msg + " at offset " + std::to_string(offset)),
+      offset_(offset) {}
+
+double Json::as_double() const {
+  switch (kind()) {
+    case Kind::kInt: return static_cast<double>(std::get<std::int64_t>(v_));
+    case Kind::kUint: return static_cast<double>(std::get<std::uint64_t>(v_));
+    case Kind::kDouble: return std::get<double>(v_);
+    default: throw std::runtime_error("Json::as_double: not a number");
+  }
+}
+
+std::int64_t Json::as_int() const {
+  if (kind() == Kind::kInt) return std::get<std::int64_t>(v_);
+  if (kind() == Kind::kUint) {
+    const auto u = std::get<std::uint64_t>(v_);
+    if (u > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+      throw std::runtime_error("Json::as_int: value exceeds int64");
+    }
+    return static_cast<std::int64_t>(u);
+  }
+  throw std::runtime_error("Json::as_int: not an integer");
+}
+
+std::uint64_t Json::as_uint() const {
+  if (kind() == Kind::kUint) return std::get<std::uint64_t>(v_);
+  if (kind() == Kind::kInt) {
+    const auto i = std::get<std::int64_t>(v_);
+    if (i < 0) throw std::runtime_error("Json::as_uint: negative value");
+    return static_cast<std::uint64_t>(i);
+  }
+  throw std::runtime_error("Json::as_uint: not an integer");
+}
+
+Json& Json::push(Json v) {
+  if (!is_array()) throw std::runtime_error("Json::push: not an array");
+  std::get<Array>(v_).push_back(std::move(v));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return std::get<Array>(v_).size();
+  if (is_object()) return std::get<Object>(v_).size();
+  throw std::runtime_error("Json::size: not a container");
+}
+
+Json& Json::set(std::string key, Json v) {
+  if (!is_object()) throw std::runtime_error("Json::set: not an object");
+  auto& obj = std::get<Object>(v_);
+  for (auto& [k, old] : obj) {
+    if (k == key) {
+      old = std::move(v);
+      return *this;
+    }
+  }
+  obj.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+bool Json::has(std::string_view key) const { return find(key) != nullptr; }
+
+const Json& Json::at(std::string_view key) const {
+  if (const Json* p = find(key)) return *p;
+  throw std::out_of_range("Json::at: missing key '" + std::string(key) + "'");
+}
+
+Json& Json::operator[](std::string key) {
+  if (!is_object()) throw std::runtime_error("Json::operator[]: not an object");
+  auto& obj = std::get<Object>(v_);
+  for (auto& [k, v] : obj) {
+    if (k == key) return v;
+  }
+  obj.emplace_back(std::move(key), Json());
+  return obj.back().second;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(v_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;  // UTF-8 bytes pass through unescaped
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_double(std::ostream& out, double d) {
+  if (!std::isfinite(d)) {
+    out << "null";  // JSON has no NaN/Inf; documented in docs/METRICS.md
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);
+  std::string_view text(buf, static_cast<std::size_t>(res.ptr - buf));
+  out << text;
+  // Keep doubles recognizably doubles ("3" -> "3e0" would be ugly; emit
+  // "3.0") so a round trip preserves the numeric kind.
+  if (text.find('.') == std::string_view::npos &&
+      text.find('e') == std::string_view::npos &&
+      text.find("inf") == std::string_view::npos) {
+    out << ".0";
+  }
+}
+
+}  // namespace
+
+void Json::write_impl(std::ostream& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (kind()) {
+    case Kind::kNull: out << "null"; break;
+    case Kind::kBool: out << (std::get<bool>(v_) ? "true" : "false"); break;
+    case Kind::kInt: out << std::get<std::int64_t>(v_); break;
+    case Kind::kUint: out << std::get<std::uint64_t>(v_); break;
+    case Kind::kDouble: write_double(out, std::get<double>(v_)); break;
+    case Kind::kString: out << '"' << json_escape(std::get<std::string>(v_)) << '"'; break;
+    case Kind::kArray: {
+      const auto& arr = std::get<Array>(v_);
+      if (arr.empty()) {
+        out << "[]";
+        break;
+      }
+      out << '[' << nl;
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        out << pad;
+        arr[i].write_impl(out, indent, depth + 1);
+        if (i + 1 < arr.size()) out << ',';
+        out << nl;
+      }
+      out << close_pad << ']';
+      break;
+    }
+    case Kind::kObject: {
+      const auto& obj = std::get<Object>(v_);
+      if (obj.empty()) {
+        out << "{}";
+        break;
+      }
+      out << '{' << nl;
+      for (std::size_t i = 0; i < obj.size(); ++i) {
+        out << pad << '"' << json_escape(obj[i].first) << "\":";
+        if (indent > 0) out << ' ';
+        obj[i].second.write_impl(out, indent, depth + 1);
+        if (i + 1 < obj.size()) out << ',';
+        out << nl;
+      }
+      out << close_pad << '}';
+      break;
+    }
+  }
+}
+
+void Json::write(std::ostream& out, int indent) const {
+  write_impl(out, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream out;
+  write(out, indent);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw JsonParseError(msg, pos_);
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      const char sep = take();
+      if (sep == '}') return obj;
+      if (sep != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push(parse_value());
+      skip_ws();
+      const char sep = take();
+      if (sep == ']') return arr;
+      if (sep != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_codepoint(out); break;
+        default:
+          --pos_;
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      cp <<= 4;
+      if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+      else {
+        --pos_;
+        fail("invalid \\u escape digit");
+      }
+    }
+    return cp;
+  }
+
+  void append_codepoint(std::string& out) {
+    unsigned cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need the pair
+      if (pos_ + 1 < text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+        pos_ += 2;
+        const unsigned lo = parse_hex4();
+        if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+        cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+      } else {
+        fail("unpaired high surrogate");
+      }
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired low surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") fail("invalid number");
+    if (integral) {
+      if (tok[0] == '-') {
+        std::int64_t i = 0;
+        const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+        if (res.ec == std::errc() && res.ptr == tok.data() + tok.size()) return Json(i);
+      } else {
+        std::uint64_t u = 0;
+        const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), u);
+        if (res.ec == std::errc() && res.ptr == tok.data() + tok.size()) {
+          // Small non-negative integers read back as kInt, matching how the
+          // report builders construct them; kUint is reserved for the range
+          // only uint64 can hold.
+          if (u <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+            return Json(static_cast<std::int64_t>(u));
+          }
+          return Json(u);
+        }
+      }
+      // Integral-looking but out of 64-bit range: fall through to double.
+    }
+    double d = 0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (res.ec != std::errc() || res.ptr != tok.data() + tok.size()) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+bool Json::operator==(const Json& other) const {
+  const bool a_int = kind() == Kind::kInt || kind() == Kind::kUint;
+  const bool b_int = other.kind() == Kind::kInt || other.kind() == Kind::kUint;
+  if (a_int && b_int) {
+    const bool a_neg = kind() == Kind::kInt && std::get<std::int64_t>(v_) < 0;
+    const bool b_neg =
+        other.kind() == Kind::kInt && std::get<std::int64_t>(other.v_) < 0;
+    if (a_neg != b_neg) return false;
+    if (a_neg) {
+      return std::get<std::int64_t>(v_) == std::get<std::int64_t>(other.v_);
+    }
+    return as_uint() == other.as_uint();
+  }
+  return v_ == other.v_;
+}
+
+}  // namespace gdsm::obs

@@ -1,0 +1,124 @@
+// Dependency-free JSON document model: a small value type with a
+// deterministic writer and a strict parser.
+//
+// This is the serialization substrate of the observability layer (see
+// docs/METRICS.md): every bench binary emits a schema-versioned RunReport
+// through it, and tools/merge_reports + tools/validate_report read those
+// files back.  Design points that matter for metrics files:
+//
+//  * objects preserve insertion order, so reports diff cleanly run-to-run;
+//  * 64-bit integers survive a round trip exactly (protocol counters can
+//    exceed 2^53, where doubles lose precision);
+//  * doubles are written with std::to_chars shortest-round-trip form;
+//  * non-finite doubles serialize as null (JSON has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace gdsm::obs {
+
+/// Thrown by Json::parse on malformed input; `what()` includes the byte
+/// offset of the error.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& msg, std::size_t offset);
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered; `set` replaces in place on duplicate keys.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(long i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(long long i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(unsigned u) : v_(static_cast<std::uint64_t>(u)) {}
+  Json(unsigned long u) : v_(static_cast<std::uint64_t>(u)) {}
+  Json(unsigned long long u) : v_(static_cast<std::uint64_t>(u)) {}
+  Json(double d) : v_(d) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(std::string_view s) : v_(std::string(s)) {}
+
+  static Json array() { Json j; j.v_ = Array{}; return j; }
+  static Json object() { Json j; j.v_ = Object{}; return j; }
+
+  Kind kind() const noexcept { return static_cast<Kind>(v_.index()); }
+  bool is_null() const noexcept { return kind() == Kind::kNull; }
+  bool is_bool() const noexcept { return kind() == Kind::kBool; }
+  bool is_number() const noexcept {
+    return kind() == Kind::kInt || kind() == Kind::kUint || kind() == Kind::kDouble;
+  }
+  bool is_string() const noexcept { return kind() == Kind::kString; }
+  bool is_array() const noexcept { return kind() == Kind::kArray; }
+  bool is_object() const noexcept { return kind() == Kind::kObject; }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  /// Any numeric alternative, widened to double.
+  double as_double() const;
+  /// Exact only for kInt/kUint in range; throws otherwise.
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  // -- array ----------------------------------------------------------------
+  Json& push(Json v);
+  const Array& items() const { return std::get<Array>(v_); }
+  std::size_t size() const;
+
+  // -- object ---------------------------------------------------------------
+  /// Sets (or replaces) `key`; returns *this for chaining.
+  Json& set(std::string key, Json v);
+  bool has(std::string_view key) const;
+  /// Member lookup; throws std::out_of_range when absent.
+  const Json& at(std::string_view key) const;
+  /// Member lookup returning nullptr when absent (or not an object).
+  const Json* find(std::string_view key) const noexcept;
+  /// Mutable member access, inserting a null member when absent.
+  Json& operator[](std::string key);
+  const Object& members() const { return std::get<Object>(v_); }
+
+  // -- io -------------------------------------------------------------------
+  /// Pretty-prints with `indent` spaces per level (0 = compact one-liner).
+  std::string dump(int indent = 2) const;
+  void write(std::ostream& out, int indent = 2) const;
+
+  /// Strict parser (no comments, no trailing commas, UTF-8 passed through).
+  /// Throws JsonParseError on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+  /// Structural equality; integral numbers compare by value across the
+  /// int/uint alternatives (a uint64 counter parses back as kInt when it
+  /// fits, and must still compare equal).
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+ private:
+  void write_impl(std::ostream& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
+      v_;
+};
+
+/// JSON string escaping of `s` (without the surrounding quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace gdsm::obs

@@ -1,0 +1,75 @@
+#include "obs/report.h"
+
+#include <fstream>
+#include <iostream>
+
+namespace gdsm::obs {
+
+#ifndef GDSM_GIT_DESCRIBE
+#define GDSM_GIT_DESCRIBE "unknown"
+#endif
+
+const char* build_version() noexcept { return GDSM_GIT_DESCRIBE; }
+
+void MetricsRegistry::set(const std::string& name, Json value) {
+  values_.set(name, std::move(value));
+}
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  const Json* existing = values_.find(name);
+  const double base = existing && existing->is_number() ? existing->as_double() : 0.0;
+  values_.set(name, Json(base + delta));
+}
+
+RunReport::RunReport(std::string experiment, std::string title)
+    : experiment_(std::move(experiment)), title_(std::move(title)) {}
+
+void RunReport::set_param(const std::string& key, Json value) {
+  params_.set(key, std::move(value));
+}
+
+void RunReport::add_row(const std::string& series, Json row) {
+  if (!row.is_object()) {
+    throw std::runtime_error("RunReport::add_row: rows must be objects");
+  }
+  Json& arr = series_[series];
+  if (arr.is_null()) arr = Json::array();
+  arr.push(std::move(row));
+}
+
+void RunReport::set_section(const std::string& name, Json value) {
+  sections_.set(name, std::move(value));
+}
+
+Json RunReport::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", kReportSchema);
+  doc.set("schema_version", kSchemaVersion);
+  doc.set("experiment", experiment_);
+  doc.set("title", title_);
+  Json build = Json::object();
+  build.set("git", build_version());
+  doc.set("build", std::move(build));
+  doc.set("params", params_);
+  doc.set("metrics", metrics_.to_json());
+  doc.set("series", series_);
+  if (sections_.size() > 0) doc.set("sections", sections_);
+  return doc;
+}
+
+void RunReport::write(std::ostream& out) const {
+  to_json().write(out, 2);
+  out << "\n";
+}
+
+bool RunReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "RunReport: cannot open '" << path << "' for writing\n";
+    return false;
+  }
+  write(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace gdsm::obs

@@ -1,0 +1,84 @@
+// Machine-readable run reports: the JSON counterpart of the ASCII tables
+// every bench binary prints.
+//
+// A RunReport is one experiment execution: identity (experiment id, title),
+// build provenance (git describe), the parameters the run was invoked with,
+// flat scalar metrics, and named row series mirroring the human tables.
+// The full schema is documented in docs/METRICS.md; kSchemaVersion is bumped
+// whenever a field changes meaning, so downstream consumers (the perf
+// trajectory in BENCH_baseline.json) can detect incompatible files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/json.h"
+
+namespace gdsm::obs {
+
+/// Identifies the document layout described in docs/METRICS.md.
+inline constexpr const char* kReportSchema = "gdsm.run_report";
+inline constexpr int kSchemaVersion = 1;
+
+/// Schema of the merged baseline produced by tools/merge_reports.
+inline constexpr const char* kBaselineSchema = "gdsm.baseline";
+
+/// `git describe --always --dirty` of the tree this binary was configured
+/// from ("unknown" outside a git checkout).  Captured at CMake configure
+/// time; re-run cmake after committing to refresh it.
+const char* build_version() noexcept;
+
+/// Flat name -> scalar metric store.  Names use dotted lower_snake paths
+/// ("phase1.total_s"); units are part of the name suffix (docs/METRICS.md).
+class MetricsRegistry {
+ public:
+  void set(const std::string& name, Json value);
+  /// Accumulates onto an existing numeric metric (0 if absent).
+  void add(const std::string& name, double delta);
+  bool has(const std::string& name) const { return values_.has(name); }
+
+  /// Insertion-ordered {name: value} object.
+  const Json& to_json() const { return values_; }
+
+ private:
+  Json values_ = Json::object();
+};
+
+class RunReport {
+ public:
+  /// `experiment` is the stable machine id (the bench binary's name);
+  /// `title` is the human table caption.
+  RunReport(std::string experiment, std::string title);
+
+  const std::string& experiment() const noexcept { return experiment_; }
+
+  /// Invocation parameter (sequence size, processor counts, ...).
+  void set_param(const std::string& key, Json value);
+
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Appends one row to the named series (creating it on first use).
+  /// Rows must be objects; series mirror the bench's printed tables.
+  void add_row(const std::string& series, Json row);
+
+  /// Attaches a named free-form section (environment snapshots, notes).
+  void set_section(const std::string& name, Json value);
+
+  /// The full schema-versioned document.
+  Json to_json() const;
+
+  void write(std::ostream& out) const;
+  /// Writes the document to `path`; returns false (and reports on stderr)
+  /// when the file cannot be written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::string experiment_;
+  std::string title_;
+  Json params_ = Json::object();
+  MetricsRegistry metrics_;
+  Json series_ = Json::object();
+  Json sections_ = Json::object();
+};
+
+}  // namespace gdsm::obs

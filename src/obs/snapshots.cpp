@@ -1,0 +1,79 @@
+#include "obs/snapshots.h"
+
+#include "net/message.h"
+
+namespace gdsm::obs {
+
+Json to_json(const net::TrafficCounters& tc) {
+  Json j = Json::object();
+  j.set("messages", tc.total_messages());
+  j.set("bytes", tc.total_bytes());
+  Json by_type = Json::object();
+  for (int i = 0; i < net::kNumMsgTypes; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (tc.messages[idx] == 0 && tc.bytes[idx] == 0) continue;
+    Json entry = Json::object();
+    entry.set("messages", tc.messages[idx]);
+    entry.set("bytes", tc.bytes[idx]);
+    by_type.set(net::msg_type_name(static_cast<net::MsgType>(i)), std::move(entry));
+  }
+  j.set("by_type", std::move(by_type));
+  return j;
+}
+
+Json to_json(const dsm::NodeStats& ns) {
+  Json j = Json::object();
+  j.set("read_faults", ns.read_faults);
+  j.set("write_faults", ns.write_faults);
+  j.set("diffs_sent", ns.diffs_sent);
+  j.set("diff_bytes", ns.diff_bytes);
+  j.set("invalidations", ns.invalidations);
+  j.set("evictions", ns.evictions);
+  j.set("lock_acquires", ns.lock_acquires);
+  j.set("lock_releases", ns.lock_releases);
+  j.set("barriers", ns.barriers);
+  j.set("cv_signals", ns.cv_signals);
+  j.set("cv_waits", ns.cv_waits);
+  return j;
+}
+
+Json to_json(const dsm::DsmStats& stats) {
+  Json j = Json::object();
+  Json nodes = Json::array();
+  for (const auto& n : stats.node) nodes.push(to_json(n));
+  j.set("nodes", std::move(nodes));
+  Json traffic = Json::array();
+  for (const auto& t : stats.traffic) traffic.push(to_json(t));
+  j.set("traffic", std::move(traffic));
+  Json totals = Json::object();
+  totals.set("node", to_json(stats.total_node()));
+  totals.set("traffic", to_json(stats.total_traffic()));
+  j.set("totals", std::move(totals));
+  j.set("home_migrations", stats.home_migrations);
+  return j;
+}
+
+Json to_json(const sim::Breakdown& bd) {
+  Json j = Json::object();
+  j.set("computation_s", bd[sim::Cat::kCompute]);
+  j.set("communication_s", bd[sim::Cat::kComm]);
+  j.set("lock_cv_s", bd[sim::Cat::kLockCv]);
+  j.set("barrier_s", bd[sim::Cat::kBarrier]);
+  j.set("io_s", bd[sim::Cat::kIo]);
+  j.set("total_s", bd.total());
+  return j;
+}
+
+Json space_usage_json(const dsm::GlobalSpace& space) {
+  Json j = Json::object();
+  const std::size_t pages = space.num_pages();
+  j.set("pages", pages);
+  j.set("bytes", pages * space.page_bytes());
+  j.set("page_bytes", space.page_bytes());
+  Json per_node = Json::array();
+  for (const std::size_t n : space.pages_per_node()) per_node.push(n);
+  j.set("pages_per_node", std::move(per_node));
+  return j;
+}
+
+}  // namespace gdsm::obs

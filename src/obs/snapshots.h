@@ -1,0 +1,37 @@
+// Json snapshots of the runtime counters the rest of the system already
+// keeps: DSM protocol activity (dsm::NodeStats/DsmStats), per-message-type
+// wire traffic (net::TrafficCounters), simulator time breakdowns
+// (sim::Breakdown), and shared-space usage (dsm::GlobalSpace).
+//
+// Field names and units are part of the report schema — see docs/METRICS.md
+// before renaming anything here.
+#pragma once
+
+#include "dsm/global_space.h"
+#include "dsm/stats.h"
+#include "net/transport.h"
+#include "obs/json.h"
+#include "sim/engine.h"
+
+namespace gdsm::obs {
+
+/// {messages, bytes, by_type: {GETPAGE: {messages, bytes}, ...}}.
+/// Message types with zero traffic are omitted from by_type.
+Json to_json(const net::TrafficCounters& tc);
+
+/// Every NodeStats counter, verbatim (read_faults, write_faults, ...).
+Json to_json(const dsm::NodeStats& ns);
+
+/// {nodes: [NodeStats...], traffic: [TrafficCounters...], totals: {...},
+///  home_migrations} — the per-node protocol picture of one Cluster run.
+Json to_json(const dsm::DsmStats& stats);
+
+/// {computation_s, communication_s, lock_cv_s, barrier_s, io_s, total_s} —
+/// the Fig. 10 categories, in simulated seconds.
+Json to_json(const sim::Breakdown& bd);
+
+/// {pages, bytes, page_bytes, pages_per_node} of the cluster-wide shared
+/// address space (home distribution reflects migration).
+Json space_usage_json(const dsm::GlobalSpace& space);
+
+}  // namespace gdsm::obs

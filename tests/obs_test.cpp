@@ -1,0 +1,214 @@
+// Tests for the observability layer: the JSON document model (writer,
+// parser, round-trips), the RunReport schema, and the DSM/sim snapshot
+// conversions (docs/METRICS.md).
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report_io.h"
+#include "core/sim_strategies.h"
+#include "dsm/cluster.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "obs/snapshots.h"
+
+namespace gdsm::obs {
+namespace {
+
+TEST(JsonEscape, ControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("line\nfeed"), "line\\nfeed");
+  EXPECT_EQ(json_escape(std::string_view("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(json_escape("\x01\x1f"), "\\u0001\\u001f");
+  // UTF-8 passes through unescaped.
+  EXPECT_EQ(json_escape("séquence"), "séquence");
+}
+
+TEST(JsonWriter, ScalarForms) {
+  EXPECT_EQ(Json().dump(0), "null");
+  EXPECT_EQ(Json(true).dump(0), "true");
+  EXPECT_EQ(Json(false).dump(0), "false");
+  EXPECT_EQ(Json(42).dump(0), "42");
+  EXPECT_EQ(Json(-7).dump(0), "-7");
+  EXPECT_EQ(Json(1.5).dump(0), "1.5");
+  // Whole doubles keep a trailing .0 so the type survives a round trip.
+  EXPECT_EQ(Json(3.0).dump(0), "3.0");
+  EXPECT_EQ(Json("hi").dump(0), "\"hi\"");
+  // Non-finite doubles have no JSON form; they serialize as null.
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(0), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(0), "null");
+}
+
+TEST(JsonWriter, ObjectsPreserveInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  EXPECT_EQ(obj.dump(0), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  // set() on an existing key replaces in place, keeping the position.
+  obj.set("alpha", 9);
+  EXPECT_EQ(obj.dump(0), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(JsonRoundTrip, Integers64Bit) {
+  const std::int64_t int_min = std::numeric_limits<std::int64_t>::min();
+  const std::uint64_t uint_max = std::numeric_limits<std::uint64_t>::max();
+  Json doc = Json::object();
+  doc.set("int_min", int_min);
+  doc.set("uint_max", uint_max);
+  doc.set("big_counter", std::uint64_t{9'007'199'254'740'993u});  // 2^53 + 1
+
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back.at("int_min").as_int(), int_min);
+  EXPECT_EQ(back.at("uint_max").as_uint(), uint_max);
+  // 2^53 + 1 is NOT representable as a double; exact integer round-trip is
+  // the point of keeping separate int/uint alternatives.
+  EXPECT_EQ(back.at("big_counter").as_uint(), 9'007'199'254'740'993u);
+  EXPECT_EQ(back, doc);
+}
+
+TEST(JsonRoundTrip, NestedDocument) {
+  Json doc = Json::object();
+  doc.set("title", "escaped \"quotes\" and\nnewlines\t\\");
+  doc.set("pi", 3.14159);
+  doc.set("flag", true);
+  doc.set("nothing", nullptr);
+  Json arr = Json::array();
+  arr.push(1);
+  arr.push("two");
+  Json inner = Json::object();
+  inner.set("deep", -12.5);
+  arr.push(std::move(inner));
+  doc.set("items", std::move(arr));
+
+  for (const int indent : {0, 2, 4}) {
+    const Json back = Json::parse(doc.dump(indent));
+    EXPECT_EQ(back, doc) << "indent=" << indent;
+  }
+}
+
+TEST(JsonParser, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "é");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(), "\U0001F600");
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), JsonParseError);
+  EXPECT_THROW(Json::parse("{"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonParseError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), JsonParseError);
+  EXPECT_THROW(Json::parse("{'a':1}"), JsonParseError);
+  EXPECT_THROW(Json::parse("nul"), JsonParseError);
+  EXPECT_THROW(Json::parse("1 2"), JsonParseError);  // trailing garbage
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(Json::parse("\"\\ud83d\""), JsonParseError);  // lone surrogate
+  try {
+    Json::parse("[1, oops]");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_GT(e.offset(), 0u);
+  }
+}
+
+TEST(MetricsRegistryTest, SetAddAndSerialize) {
+  MetricsRegistry metrics;
+  metrics.set("runs", 1);
+  metrics.add("runs", 2);
+  metrics.add("fresh_counter", 5);
+  metrics.set("ratio", 0.5);
+  EXPECT_TRUE(metrics.has("runs"));
+  EXPECT_FALSE(metrics.has("absent"));
+
+  const Json j = metrics.to_json();
+  EXPECT_DOUBLE_EQ(j.at("runs").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(j.at("fresh_counter").as_double(), 5.0);
+  EXPECT_DOUBLE_EQ(j.at("ratio").as_double(), 0.5);
+}
+
+TEST(RunReportTest, SchemaFieldsPresent) {
+  RunReport report("unit_test_experiment", "A unit-test report");
+  report.set_param("size", 128);
+  report.metrics().set("elapsed_s", 1.25);
+  Json row = Json::object();
+  row.set("x", 1);
+  report.add_row("points", std::move(row));
+
+  const Json doc = report.to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), kReportSchema);
+  EXPECT_EQ(doc.at("schema_version").as_int(), kSchemaVersion);
+  EXPECT_EQ(doc.at("experiment").as_string(), "unit_test_experiment");
+  EXPECT_EQ(doc.at("title").as_string(), "A unit-test report");
+  EXPECT_FALSE(doc.at("build").at("git").as_string().empty());
+  EXPECT_EQ(doc.at("params").at("size").as_int(), 128);
+  EXPECT_EQ(doc.at("series").at("points").items().size(), 1u);
+
+  // The document survives a serialize/parse cycle intact.
+  std::ostringstream out;
+  report.write(out);
+  EXPECT_EQ(Json::parse(out.str()), doc);
+}
+
+TEST(RunReportTest, AddRowRequiresObjects) {
+  RunReport report("x", "y");
+  EXPECT_THROW(report.add_row("series", Json(1)), std::runtime_error);
+}
+
+TEST(SnapshotsTest, DsmStatsFromRealClusterRun) {
+  dsm::Cluster cluster(2);
+  const dsm::GlobalAddr arr = cluster.alloc(16 * 1024, 0);
+  cluster.run([&](dsm::Node& node) {
+    if (node.id() == 0) {
+      for (std::size_t i = 0; i < 16 * 1024 / sizeof(int); ++i) {
+        node.write<int>(arr + i * sizeof(int), static_cast<int>(i));
+      }
+    }
+    node.barrier();
+    if (node.id() == 1) {
+      long sum = 0;
+      for (std::size_t i = 0; i < 16 * 1024 / sizeof(int); ++i) {
+        sum += node.read<int>(arr + i * sizeof(int));
+      }
+      EXPECT_GT(sum, 0);
+    }
+    node.barrier();
+  });
+
+  const dsm::DsmStats stats = cluster.stats();
+  const Json j = to_json(stats);
+  // Round-trip through text, as a bench report would.
+  const Json back = Json::parse(j.dump());
+  ASSERT_EQ(back.at("nodes").items().size(), 2u);
+  EXPECT_GT(back.at("totals").at("node").at("read_faults").as_uint(), 0u);
+  EXPECT_GT(back.at("totals").at("node").at("barriers").as_uint(), 0u);
+  EXPECT_GT(back.at("totals").at("traffic").at("messages").as_uint(), 0u);
+  EXPECT_GT(back.at("totals").at("traffic").at("bytes").as_uint(), 0u);
+  // Every NodeStats counter is present on each per-node entry.
+  for (const char* key :
+       {"read_faults", "write_faults", "diffs_sent", "diff_bytes",
+        "invalidations", "evictions", "lock_acquires", "lock_releases",
+        "barriers", "cv_signals", "cv_waits"}) {
+    EXPECT_TRUE(back.at("nodes").items()[0].has(key)) << key;
+  }
+}
+
+TEST(SnapshotsTest, SimReportJson) {
+  const core::SimReport rep = core::sim_wavefront(2'000, 2'000, 4);
+  const Json j = core::sim_report_json(rep, /*per_node=*/true);
+  EXPECT_GT(j.at("total_s").as_double(), 0.0);
+  const Json& bd = j.at("breakdown");
+  for (const char* key : {"computation_s", "communication_s", "lock_cv_s",
+                          "barrier_s", "io_s", "total_s"}) {
+    EXPECT_TRUE(bd.has(key)) << key;
+  }
+  EXPECT_EQ(j.at("per_node").items().size(), 4u);
+}
+
+}  // namespace
+}  // namespace gdsm::obs

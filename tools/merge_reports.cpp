@@ -1,0 +1,100 @@
+// merge_reports: combine per-bench run-report JSON files (written by the
+// benches' --json= flag) into one baseline document keyed by experiment id.
+//
+//   merge_reports -o BENCH_baseline.json out/BENCH_*.json
+//
+// The output schema is "gdsm.baseline" (see docs/METRICS.md).  Inputs that
+// fail to parse or carry the wrong schema abort the merge — a baseline with
+// silently missing benches is worse than no baseline.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: merge_reports -o <output.json> <report.json>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using gdsm::obs::Json;
+
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o") {
+      if (i + 1 >= argc) return usage();
+      out_path = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (out_path.empty() || inputs.empty()) return usage();
+
+  Json reports = Json::object();
+  std::string git;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "merge_reports: cannot open " << path << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    Json doc;
+    try {
+      doc = Json::parse(buf.str());
+    } catch (const gdsm::obs::JsonParseError& e) {
+      std::cerr << "merge_reports: " << path << ": " << e.what() << "\n";
+      return 1;
+    }
+    if (!doc.is_object() || !doc.has("schema") ||
+        doc.at("schema").as_string() != gdsm::obs::kReportSchema) {
+      std::cerr << "merge_reports: " << path << ": not a "
+                << gdsm::obs::kReportSchema << " document\n";
+      return 1;
+    }
+    const std::string experiment = doc.at("experiment").as_string();
+    if (reports.has(experiment)) {
+      std::cerr << "merge_reports: duplicate experiment '" << experiment
+                << "' (from " << path << ")\n";
+      return 1;
+    }
+    if (git.empty() && doc.has("build") && doc.at("build").has("git")) {
+      git = doc.at("build").at("git").as_string();
+    }
+    reports.set(experiment, std::move(doc));
+  }
+
+  Json baseline = Json::object();
+  baseline.set("schema", gdsm::obs::kBaselineSchema);
+  baseline.set("schema_version", gdsm::obs::kSchemaVersion);
+  Json build = Json::object();
+  build.set("git", git.empty() ? gdsm::obs::build_version() : git);
+  baseline.set("build", std::move(build));
+  baseline.set("report_count", reports.size());
+  baseline.set("reports", std::move(reports));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "merge_reports: cannot write " << out_path << "\n";
+    return 1;
+  }
+  baseline.write(out);
+  out << "\n";
+  std::cout << "merge_reports: wrote " << out_path << " ("
+            << baseline.at("report_count").as_uint() << " reports)\n";
+  return out ? 0 : 1;
+}

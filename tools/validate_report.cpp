@@ -1,0 +1,129 @@
+// validate_report: check that a JSON file is a well-formed gdsm.run_report
+// document (see docs/METRICS.md).  Used by the bench_smoke ctest label to
+// fail loudly when a bench stops emitting a required key.
+//
+//   validate_report <report.json> [--require-read-faults]
+//
+// --require-read-faults additionally demands that some "read_faults"
+// counter anywhere in the document is > 0 — i.e. the bench really drove
+// the DSM, not just the simulator.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace {
+
+using gdsm::obs::Json;
+
+int fail(const std::string& path, const std::string& why) {
+  std::cerr << "validate_report: " << path << ": " << why << "\n";
+  return 1;
+}
+
+bool any_positive_read_faults(const Json& j) {
+  switch (j.kind()) {
+    case Json::Kind::kObject:
+      for (const auto& [key, value] : j.members()) {
+        if (key == "read_faults" && value.is_number() &&
+            value.as_double() > 0) {
+          return true;
+        }
+        if (any_positive_read_faults(value)) return true;
+      }
+      return false;
+    case Json::Kind::kArray:
+      for (const Json& item : j.items()) {
+        if (any_positive_read_faults(item)) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool require_read_faults = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-read-faults") {
+      require_read_faults = true;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "usage: validate_report <report.json> "
+                   "[--require-read-faults]\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: validate_report <report.json> "
+                 "[--require-read-faults]\n";
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) return fail(path, "cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  Json doc;
+  try {
+    doc = Json::parse(buf.str());
+  } catch (const gdsm::obs::JsonParseError& e) {
+    return fail(path, e.what());
+  }
+  if (!doc.is_object()) return fail(path, "top level is not an object");
+
+  for (const char* key : {"schema", "schema_version", "experiment", "title",
+                          "build", "params", "metrics", "series"}) {
+    if (!doc.has(key)) return fail(path, std::string("missing key '") + key +
+                                             "'");
+  }
+  if (doc.at("schema").as_string() != gdsm::obs::kReportSchema) {
+    return fail(path, "schema is not " +
+                          std::string(gdsm::obs::kReportSchema));
+  }
+  if (!doc.at("schema_version").is_number() ||
+      doc.at("schema_version").as_int() != gdsm::obs::kSchemaVersion) {
+    return fail(path, "schema_version != " +
+                          std::to_string(gdsm::obs::kSchemaVersion));
+  }
+  if (doc.at("experiment").as_string().empty()) {
+    return fail(path, "empty experiment id");
+  }
+  if (!doc.at("build").is_object() || !doc.at("build").has("git") ||
+      doc.at("build").at("git").as_string().empty()) {
+    return fail(path, "missing build.git provenance");
+  }
+  const Json& series = doc.at("series");
+  if (!series.is_object()) return fail(path, "series is not an object");
+  if (series.members().empty()) return fail(path, "series is empty");
+  for (const auto& [name, arr] : series.members()) {
+    if (!arr.is_array() || arr.items().empty()) {
+      return fail(path, "series '" + name + "' is not a non-empty array");
+    }
+    for (std::size_t r = 0; r < arr.items().size(); ++r) {
+      if (!arr.items()[r].is_object()) {
+        return fail(path, "series '" + name + "' row " + std::to_string(r) +
+                              " is not an object");
+      }
+    }
+  }
+
+  if (require_read_faults && !any_positive_read_faults(doc)) {
+    return fail(path, "no positive read_faults counter found "
+                      "(--require-read-faults)");
+  }
+
+  std::cout << "validate_report: " << path << ": OK ("
+            << doc.at("experiment").as_string() << ", " << series.size()
+            << " series)\n";
+  return 0;
+}
