@@ -34,7 +34,7 @@ MpStrategyResult blocked_align_mp(const Sequence& s, const Sequence& t,
   const std::size_t K = grid.blocks();
 
   const HeuristicKernel kernel(cfg.scheme, cfg.params);
-  mp::World world(P);
+  mp::World world(P, cfg.dsm.faults);
   std::vector<Candidate> merged;
 
   world.run([&](mp::Comm& comm) {
@@ -85,6 +85,7 @@ MpStrategyResult blocked_align_mp(const Sequence& s, const Sequence& t,
 
   result.candidates = std::move(merged);
   result.traffic = world.total_counters();
+  result.faults = world.fault_counters();
   return result;
 }
 

@@ -20,10 +20,13 @@ namespace gdsm::core {
 struct MpStrategyResult {
   std::vector<Candidate> candidates;
   net::TrafficCounters traffic;  ///< messages/bytes the ranks exchanged
+  net::FaultCounters faults;     ///< injected-fault activity (net/fault.h)
 };
 
 /// Message-passing twin of blocked_align (uses BlockedConfig's nprocs,
-/// multipliers/explicit grid, scheme and params; the dsm member is ignored).
+/// multipliers/explicit grid, scheme and params; of the dsm member only the
+/// fault plan applies — it drives the mp transport, the DSM protocol knobs
+/// have no message-passing equivalent).
 MpStrategyResult blocked_align_mp(const Sequence& s, const Sequence& t,
                                   const BlockedConfig& cfg = {});
 

@@ -42,7 +42,7 @@ ExactParallelResult exact_align_parallel(const Sequence& s, const Sequence& t,
   const std::size_t B = grid.bands();
   const std::size_t K = grid.blocks();
 
-  mp::World world(P);
+  mp::World world(P, cfg.faults);
   BestLocal global_best;
 
   world.run([&](mp::Comm& comm) {
@@ -126,6 +126,7 @@ ExactParallelResult exact_align_parallel(const Sequence& s, const Sequence& t,
 
   result.best = global_best;
   result.traffic = world.total_counters();
+  result.faults = world.fault_counters();
   if (global_best.score > 0) {
     const StartCoords start = find_alignment_start(
         s, t, cfg.scheme, global_best.end_i, global_best.end_j,

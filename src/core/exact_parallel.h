@@ -26,12 +26,15 @@ struct ExactParallelConfig {
   std::size_t bands = 0;   ///< explicit override
   std::size_t blocks = 0;  ///< explicit override
   bool use_hirschberg = false;
+  /// Simulated interconnect misbehaviour for the score pass (net/fault.h).
+  net::FaultPlan faults{};
 };
 
 struct ExactParallelResult {
   BestLocal best;             ///< best score + end cell (1-based)
   RebuildResult rebuilt;      ///< the exact alignment (empty if score 0)
   net::TrafficCounters traffic;
+  net::FaultCounters faults;  ///< injected-fault activity of the run
 };
 
 /// Finds the best local score in parallel over a message-passing cluster,

@@ -47,6 +47,7 @@ obs::Json exact_result_json(const ExactParallelResult& r) {
   j.set("t_end", a.t_end());
   j.set("computed_cells", r.rebuilt.stats.computed_cells);
   j.set("traffic", obs::to_json(r.traffic));
+  j.set("faults", obs::to_json(r.faults));
   return j;
 }
 

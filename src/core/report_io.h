@@ -23,8 +23,8 @@ obs::Json sim_report_json(const SimReport& rep, bool per_node = false);
 /// capture performance shape, alignments stay in the program output.
 obs::Json strategy_result_json(const StrategyResult& r);
 
-/// {score, s_begin, s_end, t_begin, t_end, computed_cells, traffic} of a
-/// distributed Section 6 exact retrieval.
+/// {score, s_begin, s_end, t_begin, t_end, computed_cells, traffic, faults}
+/// of a distributed Section 6 exact retrieval.
 obs::Json exact_result_json(const ExactParallelResult& r);
 
 }  // namespace gdsm::core

@@ -5,7 +5,9 @@
 #include <exception>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "dsm/wire.h"
 
@@ -15,7 +17,7 @@ Cluster::Cluster(int n_nodes, DsmConfig cfg)
     : n_nodes_(n_nodes),
       cfg_(cfg),
       space_(n_nodes, cfg),
-      transport_(n_nodes) {
+      transport_(n_nodes, cfg.faults) {
   if (n_nodes <= 0) throw std::invalid_argument("Cluster: need >= 1 node");
   reset_manager_state();
 }
@@ -33,21 +35,22 @@ void Cluster::reset_manager_state() {
   barrier_ = BarrierState{};
 }
 
-void Cluster::grant_lock(int manager, int lock_id, int to) {
+void Cluster::grant_lock(int manager, int lock_id, const Waiter& to) {
   LockState& l = locks_[manager][static_cast<std::size_t>(lock_id / n_nodes_)];
   l.held = true;
-  l.holder = to;
+  l.holder = to.node;
   net::Message grant;
   grant.src = manager;
-  grant.dst = to;
+  grant.dst = to.node;
   grant.type = net::MsgType::kAcquireGrant;
   grant.to_reply_box = true;
   grant.a = static_cast<std::uint64_t>(lock_id);
+  grant.c = to.req_id;
   // Write notices this acquirer has not yet seen for this lock's scope.
-  std::vector<PageId> unseen(l.notice_log.begin() +
-                                 static_cast<std::ptrdiff_t>(l.last_seen[to]),
-                             l.notice_log.end());
-  l.last_seen[to] = l.notice_log.size();
+  std::vector<PageId> unseen(
+      l.notice_log.begin() + static_cast<std::ptrdiff_t>(l.last_seen[to.node]),
+      l.notice_log.end());
+  l.last_seen[to.node] = l.notice_log.size();
   grant.payload = wire::encode_pages(unseen);
   transport_.send(std::move(grant));
 
@@ -76,6 +79,7 @@ void Cluster::handle_message(int node, net::Message msg) {
       reply.type = MsgType::kPageData;
       reply.to_reply_box = true;
       reply.a = p;
+      reply.c = msg.c;
       reply.payload.resize(space_.page_bytes());
       {
         const std::scoped_lock guard(space_.page_mutex(p));
@@ -98,6 +102,7 @@ void Cluster::handle_message(int node, net::Message msg) {
       ack.type = MsgType::kDiffAck;
       ack.to_reply_box = true;
       ack.a = p;
+      ack.c = msg.c;
       transport_.send(std::move(ack));
       break;
     }
@@ -105,9 +110,9 @@ void Cluster::handle_message(int node, net::Message msg) {
       const int lock_id = static_cast<int>(msg.a);
       LockState& l = locks_[node][static_cast<std::size_t>(lock_id / n_nodes_)];
       if (l.held) {
-        l.waiting.push_back(msg.src);
+        l.waiting.push_back(Waiter{msg.src, msg.c});
       } else {
-        grant_lock(node, lock_id, msg.src);
+        grant_lock(node, lock_id, Waiter{msg.src, msg.c});
       }
       break;
     }
@@ -119,7 +124,7 @@ void Cluster::handle_message(int node, net::Message msg) {
       l.held = false;
       l.holder = -1;
       if (!l.waiting.empty()) {
-        const int next = l.waiting.front();
+        const Waiter next = l.waiting.front();
         l.waiting.pop_front();
         grant_lock(node, lock_id, next);
       }
@@ -127,6 +132,10 @@ void Cluster::handle_message(int node, net::Message msg) {
     }
     case MsgType::kBarrier: {
       assert(node == 0);
+      if (barrier_.arrival_req.empty()) {
+        barrier_.arrival_req.assign(static_cast<std::size_t>(n_nodes_), 0);
+      }
+      barrier_.arrival_req[static_cast<std::size_t>(msg.src)] = msg.c;
       const std::vector<PageId> notices = wire::decode_pages(msg.payload);
       barrier_.notices.insert(barrier_.notices.end(), notices.begin(),
                               notices.end());
@@ -162,6 +171,7 @@ void Cluster::handle_message(int node, net::Message msg) {
           grant.dst = dst;
           grant.type = MsgType::kBarrierGrant;
           grant.to_reply_box = true;
+          grant.c = barrier_.arrival_req[static_cast<std::size_t>(dst)];
           grant.payload = payload;
           transport_.send(std::move(grant));
         }
@@ -176,14 +186,15 @@ void Cluster::handle_message(int node, net::Message msg) {
       cv.pending_notices.insert(cv.pending_notices.end(), notices.begin(),
                                 notices.end());
       if (!cv.waiters.empty()) {
-        const int waiter = cv.waiters.front();
+        const Waiter waiter = cv.waiters.front();
         cv.waiters.pop_front();
         net::Message grant;
         grant.src = node;
-        grant.dst = waiter;
+        grant.dst = waiter.node;
         grant.type = MsgType::kCvGrant;
         grant.to_reply_box = true;
         grant.a = static_cast<std::uint64_t>(cv_id);
+        grant.c = waiter.req_id;
         grant.payload = wire::encode_pages(cv.pending_notices);
         cv.pending_notices.clear();
         transport_.send(std::move(grant));
@@ -203,11 +214,12 @@ void Cluster::handle_message(int node, net::Message msg) {
         grant.type = MsgType::kCvGrant;
         grant.to_reply_box = true;
         grant.a = static_cast<std::uint64_t>(cv_id);
+        grant.c = msg.c;
         grant.payload = wire::encode_pages(cv.pending_notices);
         cv.pending_notices.clear();
         transport_.send(std::move(grant));
       } else {
-        cv.waiters.push_back(msg.src);
+        cv.waiters.push_back(Waiter{msg.src, msg.c});
       }
       break;
     }
@@ -221,6 +233,7 @@ void Cluster::handle_message(int node, net::Message msg) {
       reply.type = MsgType::kAllocateReply;
       reply.to_reply_box = true;
       reply.a = space_.alloc(bytes, home);
+      reply.c = msg.c;
       transport_.send(std::move(reply));
       break;
     }
@@ -254,8 +267,11 @@ void Cluster::run(const std::function<void(Node&)>& program) {
     service_threads.emplace_back([this, i] { service_loop(i); });
   }
 
+  // Failures are collected per node so a multi-node crash reports every
+  // culprit, not just whichever thread lost the race to store its exception.
   std::mutex error_mu;
   std::exception_ptr first_error;
+  std::vector<std::pair<int, std::string>> failures;
   std::vector<std::thread> app_threads;
   app_threads.reserve(static_cast<std::size_t>(n_nodes_));
   for (int i = 0; i < n_nodes_; ++i) {
@@ -263,9 +279,17 @@ void Cluster::run(const std::function<void(Node&)>& program) {
       try {
         program(*nodes[static_cast<std::size_t>(i)]);
       } catch (...) {
+        std::string what = "unknown exception";
+        try {
+          throw;
+        } catch (const std::exception& e) {
+          what = e.what();
+        } catch (...) {
+        }
         {
           const std::scoped_lock guard(error_mu);
           if (!first_error) first_error = std::current_exception();
+          failures.emplace_back(i, std::move(what));
         }
         // Unblock peers stuck in barriers/cv waits so run() can unwind; the
         // cluster is not reusable after a failed program.
@@ -274,6 +298,11 @@ void Cluster::run(const std::function<void(Node&)>& program) {
     });
   }
   for (auto& t : app_threads) t.join();
+
+  // Let any fault-delayed messages land before stopping the service threads:
+  // a straggling fire-and-forget release/signal from this run must not leak
+  // into the next run's freshly reset manager state.
+  transport_.quiesce();
 
   for (int i = 0; i < n_nodes_; ++i) {
     net::Message stop;
@@ -287,7 +316,16 @@ void Cluster::run(const std::function<void(Node&)>& program) {
   last_run_stats_.clear();
   for (const auto& n : nodes) last_run_stats_.push_back(n->stats());
 
-  if (first_error) std::rethrow_exception(first_error);
+  if (!failures.empty()) {
+    if (failures.size() == 1) std::rethrow_exception(first_error);
+    std::sort(failures.begin(), failures.end());
+    std::string combined = "DSM: " + std::to_string(failures.size()) +
+                           " node programs failed:";
+    for (const auto& [node, what] : failures) {
+      combined += "\n  node " + std::to_string(node) + ": " + what;
+    }
+    throw std::runtime_error(combined);
+  }
 }
 
 DsmStats Cluster::stats() const {
@@ -295,6 +333,7 @@ DsmStats Cluster::stats() const {
   out.node = last_run_stats_;
   out.home_migrations = home_migrations_.load(std::memory_order_relaxed);
   out.traffic = transport_.per_node_counters();
+  out.faults = transport_.fault_counters();
   return out;
 }
 

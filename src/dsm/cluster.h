@@ -54,20 +54,28 @@ class Cluster {
 
   // --- manager state; each element is touched only by the service thread
   // of its managing node -----------------------------------------------
+  /// A node blocked in a request, remembered with the request id its grant
+  /// must echo (replies are matched by id on the requester side, so retried
+  /// requests cannot be satisfied by a stale reply).
+  struct Waiter {
+    int node = -1;
+    std::uint64_t req_id = 0;
+  };
   struct LockState {
     bool held = false;
     int holder = -1;
-    std::deque<int> waiting;
+    std::deque<Waiter> waiting;
     std::vector<PageId> notice_log;
     std::vector<std::size_t> last_seen;  // per node, index into notice_log
   };
   struct CvState {
     int count = 0;
-    std::deque<int> waiters;
+    std::deque<Waiter> waiters;
     std::vector<PageId> pending_notices;
   };
   struct BarrierState {
     int arrived = 0;
+    std::vector<std::uint64_t> arrival_req;  // per node, echoed in the grant
     std::vector<PageId> notices;
     /// page -> single writer this interval, or -1 once multiple nodes wrote
     /// it (used by the home-migration policy).
@@ -78,7 +86,7 @@ class Cluster {
   void service_loop(int node);
   void handle_message(int node, net::Message msg);
 
-  void grant_lock(int manager, int lock_id, int to);
+  void grant_lock(int manager, int lock_id, const Waiter& to);
 
   int n_nodes_;
   DsmConfig cfg_;
@@ -89,6 +97,9 @@ class Cluster {
   std::vector<std::vector<CvState>> cvs_;      // [manager][cv_id / n]
   BarrierState barrier_;                       // managed by node 0
   std::atomic<std::uint64_t> home_migrations_{0};
+  /// Cluster-wide request-id source: ids stay unique across nodes AND
+  /// across run() calls, so a stale reply can never match a later request.
+  std::atomic<std::uint64_t> request_ids_{0};
 
   std::vector<NodeStats> last_run_stats_;
 };

@@ -2,8 +2,24 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+
+#include "net/fault.h"
 
 namespace gdsm::dsm {
+
+/// Timeout/retry policy for a node's blocking protocol requests, the DSM
+/// side of fault tolerance: when a reply does not arrive within the timeout,
+/// idempotent requests (page fetch, diff) are retransmitted with linear
+/// backoff; non-idempotent requests (locks, barriers, cvs, allocation) keep
+/// waiting — the transport guarantees eventual delivery, the retry layer
+/// only shortcuts *slow* paths.  Stale replies from superseded attempts are
+/// matched by request id and dropped (NodeStats::stale_replies).
+struct RetryPolicy {
+  std::uint32_t timeout_us = 0;  ///< 0 = wait forever (retry layer off)
+  std::uint32_t max_retries = 3; ///< resends per request before waiting it out
+  std::uint32_t backoff_us = 200;///< timeout grows by this much per attempt
+};
 
 struct DsmConfig {
   /// Shared page size.  JIAJIA used the host VM page (4 KiB on the paper's
@@ -31,6 +47,13 @@ struct DsmConfig {
   /// run() (computation migration is outside this reproduction's scope).
   bool home_migration = false;
   bool load_balancing = false;
+
+  /// Reply timeout/retry policy of the nodes (off by default).
+  RetryPolicy retry{};
+
+  /// Simulated network misbehaviour of the cluster interconnect
+  /// (net/fault.h); a default plan injects nothing.
+  net::FaultPlan faults{};
 };
 
 }  // namespace gdsm::dsm

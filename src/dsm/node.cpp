@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <mutex>
 #include <stdexcept>
 
@@ -115,10 +116,60 @@ int Node::nodes() const noexcept { return cluster_.nodes(); }
 
 net::Message Node::request(net::Message msg) {
   msg.src = id_;
+  msg.c = cluster_.request_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t id = msg.c;
+  const RetryPolicy& retry = cluster_.config().retry;
+  // Only idempotent requests may be retransmitted: fetching a page twice or
+  // applying the same diff twice is harmless, but a duplicated acquire /
+  // barrier / cv / alloc would corrupt manager state.
+  const bool retryable =
+      retry.timeout_us > 0 && (msg.type == net::MsgType::kGetPage ||
+                               msg.type == net::MsgType::kDiff);
+  net::Message resend;  // copy kept only while retransmission is possible
+  if (retryable) resend = msg;
   cluster_.transport_.send(std::move(msg));
-  auto reply = cluster_.transport_.reply_box(id_).pop();
-  if (!reply) throw std::runtime_error("DSM node: reply box closed mid-request");
-  return *std::move(reply);
+
+  auto& box = cluster_.transport_.reply_box(id_);
+  if (retry.timeout_us == 0) {
+    for (;;) {
+      auto reply = box.pop();
+      if (!reply) {
+        throw std::runtime_error("DSM node: reply box closed mid-request");
+      }
+      if (reply->c != id) {  // leftover reply of a superseded attempt
+        ++stats_.stale_replies;
+        continue;
+      }
+      return *std::move(reply);
+    }
+  }
+  std::uint32_t attempts = 0;
+  for (;;) {
+    const auto wait = std::chrono::microseconds(
+        retry.timeout_us +
+        static_cast<std::uint64_t>(attempts) * retry.backoff_us);
+    bool closed = false;
+    auto reply = box.pop_for(wait, &closed);
+    if (reply) {
+      if (reply->c != id) {
+        ++stats_.stale_replies;
+        continue;
+      }
+      return *std::move(reply);
+    }
+    if (closed) {
+      throw std::runtime_error("DSM node: reply box closed mid-request");
+    }
+    ++stats_.request_timeouts;
+    if (retryable && attempts < retry.max_retries) {
+      ++attempts;
+      ++stats_.request_retries;
+      net::Message again = resend;  // same request id: replies stay matchable
+      cluster_.transport_.send(std::move(again));
+    }
+    // Non-idempotent requests (and exhausted retries) simply keep waiting;
+    // the transport is reliable underneath, so the reply will come.
+  }
 }
 
 Frame* Node::ensure_cached(PageId p) {

@@ -20,6 +20,9 @@ struct NodeStats {
   std::uint64_t barriers = 0;
   std::uint64_t cv_signals = 0;
   std::uint64_t cv_waits = 0;
+  std::uint64_t request_timeouts = 0;  ///< reply waits that hit the timeout
+  std::uint64_t request_retries = 0;   ///< idempotent requests retransmitted
+  std::uint64_t stale_replies = 0;     ///< superseded replies dropped by id
 
   NodeStats& operator+=(const NodeStats& o) noexcept {
     read_faults += o.read_faults;
@@ -33,6 +36,9 @@ struct NodeStats {
     barriers += o.barriers;
     cv_signals += o.cv_signals;
     cv_waits += o.cv_waits;
+    request_timeouts += o.request_timeouts;
+    request_retries += o.request_retries;
+    stale_replies += o.stale_replies;
     return *this;
   }
 };
@@ -41,6 +47,7 @@ struct DsmStats {
   std::vector<NodeStats> node;                   ///< per application node
   std::vector<net::TrafficCounters> traffic;     ///< per node, messages sent
   std::uint64_t home_migrations = 0;             ///< pages whose home moved
+  net::FaultCounters faults;                     ///< injected-fault activity
   NodeStats total_node() const {
     NodeStats t;
     for (const auto& n : node) t += n;

@@ -100,7 +100,8 @@ std::vector<std::vector<std::byte>> Comm::gather(int root, const void* data,
   return out;
 }
 
-World::World(int nprocs) : transport_(nprocs) {
+World::World(int nprocs, net::FaultPlan faults)
+    : transport_(nprocs, faults) {
   if (nprocs <= 0) throw std::invalid_argument("mp::World: need >= 1 rank");
 }
 
@@ -124,6 +125,9 @@ void World::run(const std::function<void(Comm&)>& program) {
     });
   }
   for (auto& t : threads) t.join();
+  // Flush any fault-delayed stragglers so a later run() (or counters read)
+  // never observes messages from this program.
+  transport_.quiesce();
   if (first_error) std::rethrow_exception(first_error);
 }
 

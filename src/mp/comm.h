@@ -129,7 +129,7 @@ class Comm {
 /// SPMD runner: one thread per rank.
 class World {
  public:
-  explicit World(int nprocs);
+  explicit World(int nprocs, net::FaultPlan faults = {});
 
   int size() const noexcept { return transport_.nodes(); }
 
@@ -142,6 +142,12 @@ class World {
   }
   net::TrafficCounters total_counters() const {
     return transport_.total_counters();
+  }
+
+  /// Injected-fault activity of the underlying transport (all zero when the
+  /// world was built without a fault plan).
+  net::FaultCounters fault_counters() const {
+    return transport_.fault_counters();
   }
 
  private:

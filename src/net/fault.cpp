@@ -1,0 +1,339 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gdsm::net {
+namespace {
+
+// SplitMix64: the decision stream.  Every fault class draws from its own
+// step of the chain so enabling one fault never shifts another's draws.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double parse_rate(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double rate = 0;
+  try {
+    rate = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || !(rate >= 0.0) || rate > 1.0) {
+    throw std::invalid_argument("FaultPlan: bad rate for '" + key +
+                                "': " + value);
+  }
+  return rate;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (value.empty() || pos != value.size()) {
+    throw std::invalid_argument("FaultPlan: bad integer for '" + key +
+                                "': " + value);
+  }
+  return v;
+}
+
+void format_rate(std::ostringstream& out, double rate) {
+  // Shortest representation that std::stod parses back exactly enough:
+  // rates are user-specified decimals, print up to 6 significant digits.
+  std::ostringstream tmp;
+  tmp << rate;
+  out << tmp.str();
+}
+
+}  // namespace
+
+bool FaultPlan::enabled() const noexcept {
+  return drop_rate > 0 || delay_rate > 0 || reorder_rate > 0 ||
+         duplicate_rate > 0 || !partitions.empty();
+}
+
+std::string FaultPlan::to_string() const {
+  if (!enabled()) return "none";
+  std::ostringstream out;
+  const char* sep = "";
+  auto field = [&](const char* key) -> std::ostringstream& {
+    out << sep << key << '=';
+    sep = ",";
+    return out;
+  };
+  out << "seed=" << seed;
+  sep = ",";
+  if (drop_rate > 0) {
+    format_rate(field("drop"), drop_rate);
+    if (drop_retries != FaultPlan{}.drop_retries) field("retries") << drop_retries;
+    if (retry_backoff_us != FaultPlan{}.retry_backoff_us) {
+      field("backoff_us") << retry_backoff_us;
+    }
+  }
+  if (delay_rate > 0) {
+    format_rate(field("delay"), delay_rate);
+    if (delay_max_us != FaultPlan{}.delay_max_us) field("delay_max_us") << delay_max_us;
+  }
+  if (reorder_rate > 0) {
+    format_rate(field("reorder"), reorder_rate);
+    if (reorder_hold_us != FaultPlan{}.reorder_hold_us) {
+      field("hold_us") << reorder_hold_us;
+    }
+  }
+  if (duplicate_rate > 0) format_rate(field("dup"), duplicate_rate);
+  for (const PartitionWindow& w : partitions) {
+    field("part") << w.node << '@' << w.from_ms << '-' << w.to_ms;
+  }
+  return out.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty() || spec == "none") return plan;
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("FaultPlan: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = parse_u64(key, value);
+    } else if (key == "drop") {
+      plan.drop_rate = parse_rate(key, value);
+    } else if (key == "retries") {
+      plan.drop_retries = static_cast<std::uint32_t>(parse_u64(key, value));
+      if (plan.drop_retries == 0) {
+        throw std::invalid_argument("FaultPlan: retries must be >= 1");
+      }
+    } else if (key == "backoff_us") {
+      plan.retry_backoff_us = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "delay") {
+      plan.delay_rate = parse_rate(key, value);
+    } else if (key == "delay_max_us") {
+      plan.delay_max_us = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "reorder") {
+      plan.reorder_rate = parse_rate(key, value);
+    } else if (key == "hold_us") {
+      plan.reorder_hold_us = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "dup") {
+      plan.duplicate_rate = parse_rate(key, value);
+    } else if (key == "part") {
+      const std::size_t at = value.find('@');
+      const std::size_t dash = value.find('-', at == std::string::npos ? 0 : at);
+      if (at == std::string::npos || dash == std::string::npos || dash < at) {
+        throw std::invalid_argument(
+            "FaultPlan: partition must be node@from_ms-to_ms, got '" + value +
+            "'");
+      }
+      PartitionWindow w;
+      w.node = static_cast<int>(parse_u64(key, value.substr(0, at)));
+      w.from_ms = parse_u64(key, value.substr(at + 1, dash - at - 1));
+      w.to_ms = parse_u64(key, value.substr(dash + 1));
+      if (w.to_ms <= w.from_ms) {
+        throw std::invalid_argument("FaultPlan: empty partition window '" +
+                                    value + "'");
+      }
+      plan.partitions.push_back(w);
+    } else {
+      throw std::invalid_argument("FaultPlan: unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+FaultCounters& FaultCounters::operator+=(const FaultCounters& o) noexcept {
+  faulted_messages += o.faulted_messages;
+  drops += o.drops;
+  retransmits += o.retransmits;
+  delays += o.delays;
+  reorder_holds += o.reorder_holds;
+  duplicates_suppressed += o.duplicates_suppressed;
+  partition_stalls += o.partition_stalls;
+  return *this;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int n_nodes,
+                             std::function<void(Message)> deliver)
+    : plan_(std::move(plan)),
+      n_nodes_(n_nodes),
+      deliver_(std::move(deliver)),
+      epoch_(std::chrono::steady_clock::now()),
+      src_seq_(static_cast<std::size_t>(n_nodes)) {
+  thread_ = std::thread([this] { delivery_loop(); });
+}
+
+FaultInjector::~FaultInjector() { flush_and_stop(); }
+
+std::uint64_t FaultInjector::decide_delay_us(const Message& msg,
+                                             std::uint64_t src_seq) {
+  // One decision chain per message, keyed by (seed, src, dst, type, seq):
+  // the same source-program send sequence replays the same faults.
+  std::uint64_t x = plan_.seed;
+  x ^= 0x517cc1b727220a95ull * (static_cast<std::uint64_t>(msg.src) + 1);
+  x ^= 0x2545f4914f6cdd1dull * (static_cast<std::uint64_t>(msg.dst) + 1);
+  x ^= 0xd6e8feb86659fd93ull * (static_cast<std::uint64_t>(msg.type) + 1);
+  x ^= 0x94d049bb133111ebull * (src_seq + 1);
+
+  std::uint64_t delay_us = 0;
+  FaultCounters local;
+  if (const std::uint64_t h = splitmix64(x);
+      plan_.drop_rate > 0 && to_unit(h) < plan_.drop_rate) {
+    const std::uint32_t resends =
+        1 + static_cast<std::uint32_t>(splitmix64(x) % plan_.drop_retries);
+    ++local.drops;
+    local.retransmits += resends;
+    delay_us += std::uint64_t{resends} * plan_.retry_backoff_us;
+  } else {
+    (void)splitmix64(x);  // keep the chain aligned
+  }
+  if (const std::uint64_t h = splitmix64(x);
+      plan_.delay_rate > 0 && to_unit(h) < plan_.delay_rate) {
+    ++local.delays;
+    delay_us += splitmix64(x) % (std::uint64_t{plan_.delay_max_us} + 1);
+  } else {
+    (void)splitmix64(x);
+  }
+  if (const std::uint64_t h = splitmix64(x);
+      plan_.reorder_rate > 0 && to_unit(h) < plan_.reorder_rate) {
+    ++local.reorder_holds;
+    delay_us += plan_.reorder_hold_us;
+  }
+  if (const std::uint64_t h = splitmix64(x);
+      plan_.duplicate_rate > 0 && to_unit(h) < plan_.duplicate_rate) {
+    // The dup datagram dies at the sequence-number dedupe edge; only the
+    // counter observes it.
+    ++local.duplicates_suppressed;
+  }
+  if (!plan_.partitions.empty()) {
+    const auto now_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+    for (const PartitionWindow& w : plan_.partitions) {
+      if ((w.node == msg.src || w.node == msg.dst) && now_ms >= w.from_ms &&
+          now_ms < w.to_ms) {
+        ++local.partition_stalls;
+        delay_us = std::max(delay_us, (w.to_ms - now_ms) * 1000);
+      }
+    }
+  }
+  if (local.total() > 0) {
+    ++local.faulted_messages;
+    const std::scoped_lock lock(mu_);
+    counters_ += local;
+  }
+  return delay_us;
+}
+
+bool FaultInjector::submit(Message& msg) {
+  const std::uint64_t seq = src_seq_[static_cast<std::size_t>(msg.src)]
+                                .fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t delay_us = decide_delay_us(msg, seq);
+  const std::uint64_t flow =
+      static_cast<std::uint64_t>(msg.src) *
+          static_cast<std::uint64_t>(n_nodes_) +
+      static_cast<std::uint64_t>(msg.dst);
+
+  std::unique_lock lock(mu_);
+  if (stopped_) return false;
+  auto it = flows_.find(flow);
+  const bool flow_pending = it != flows_.end() && it->second.first > 0;
+  if (delay_us == 0 && !flow_pending) return false;  // fast path: in order
+
+  const auto now = std::chrono::steady_clock::now();
+  auto when = now + std::chrono::microseconds(delay_us);
+  if (it == flows_.end()) it = flows_.emplace(flow, std::make_pair(0u, now)).first;
+  // FIFO within the flow: never deliver before the previously scheduled
+  // message of the same flow.
+  when = std::max(when, it->second.second);
+  it->second.first += 1;
+  it->second.second = when;
+  heap_.push(Pending{when, next_order_++, std::move(msg)});
+  lock.unlock();
+  cv_.notify_one();
+  return true;
+}
+
+void FaultInjector::delivery_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (heap_.empty()) {
+      if (flows_.empty()) drained_cv_.notify_all();
+      if (stopped_) return;
+      // An empty heap satisfies drain()'s predicate already, so block even
+      // while draining_ — waking here with nothing to deliver would spin
+      // without ever releasing mu_, starving drain() forever.
+      cv_.wait(lock, [&] { return stopped_ || !heap_.empty(); });
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const auto when = heap_.top().when;
+    if (!stopped_ && !draining_ && when > now) {
+      cv_.wait_until(lock, when);
+      continue;
+    }
+    // stopped_/draining_: deliver immediately regardless of deadlines
+    // (still in (when, order) order, preserving flow FIFO).
+    Message msg = std::move(const_cast<Pending&>(heap_.top()).msg);
+    heap_.pop();
+    const std::uint64_t flow =
+        static_cast<std::uint64_t>(msg.src) *
+            static_cast<std::uint64_t>(n_nodes_) +
+        static_cast<std::uint64_t>(msg.dst);
+    lock.unlock();
+    deliver_(std::move(msg));
+    lock.lock();
+    // Decrement only after delivery completed: a concurrent submit() on the
+    // same flow must keep scheduling (not deliver inline) until the mailbox
+    // push above is done, or it could overtake us inside the flow.
+    auto it = flows_.find(flow);
+    if (it != flows_.end() && --it->second.first == 0) flows_.erase(it);
+    if (heap_.empty() && flows_.empty()) drained_cv_.notify_all();
+  }
+}
+
+void FaultInjector::drain() {
+  std::unique_lock lock(mu_);
+  if (stopped_) return;
+  draining_ = true;
+  cv_.notify_all();
+  drained_cv_.wait(lock, [&] { return heap_.empty() && flows_.empty(); });
+  draining_ = false;
+}
+
+FaultCounters FaultInjector::counters() const {
+  const std::scoped_lock lock(mu_);
+  return counters_;
+}
+
+void FaultInjector::flush_and_stop() {
+  {
+    const std::scoped_lock lock(mu_);
+    if (stopped_ && !thread_.joinable()) return;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace gdsm::net

@@ -1,0 +1,180 @@
+// Deterministic fault injection for the in-process interconnect.
+//
+// The real cluster of the paper ran JIAJIA over UDP: messages were lost,
+// delayed, reordered and duplicated by the network, and a sequenced
+// retransmission layer underneath the DSM protocol hid all of it.  The
+// in-process Transport is that reliable layer, so fault injection lives
+// inside it: a FaultPlan describes the misbehaviour of the simulated wire
+// (drop-with-retransmit, extra latency, reorder holds, duplicates, per-node
+// partition windows) and the transport absorbs it exactly as JIAJIA's comm
+// layer would — every message is still delivered exactly once and per
+// (src, dst) flows stay FIFO, but delivery *timing* across flows is
+// perturbed and every absorbed fault is counted.
+//
+// All decisions derive from a single uint64 seed and a per-source message
+// sequence number, so a (seed, plan) pair replays the same fault pressure;
+// tools/fuzz_align prints exactly that pair when a divergence is found.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.h"
+
+namespace gdsm::net {
+
+/// Messages to or from `node` whose send falls inside [from_ms, to_ms)
+/// (milliseconds since the transport started) are held until the window
+/// closes — the in-process stand-in for a workstation dropping off the
+/// switch and the retransmission layer covering the gap.
+struct PartitionWindow {
+  int node = -1;
+  std::uint64_t from_ms = 0;
+  std::uint64_t to_ms = 0;
+
+  friend bool operator==(const PartitionWindow&, const PartitionWindow&) = default;
+};
+
+/// A seeded description of simulated network misbehaviour.  Rates are
+/// per-message probabilities in [0, 1]; a default-constructed plan injects
+/// nothing and costs nothing.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// Datagram loss: the message is "dropped" and retransmitted by the
+  /// reliable layer.  Each loss costs 1..drop_retries simulated
+  /// retransmissions of retry_backoff_us each before delivery.
+  double drop_rate = 0.0;
+  std::uint32_t drop_retries = 3;
+  std::uint32_t retry_backoff_us = 150;
+
+  /// Plain extra latency, uniform in [0, delay_max_us].
+  double delay_rate = 0.0;
+  std::uint32_t delay_max_us = 400;
+
+  /// Reorder hold: the message is parked long enough for traffic on *other*
+  /// flows to overtake it (per-flow FIFO is preserved, as the sequenced
+  /// delivery layer guarantees).
+  double reorder_rate = 0.0;
+  std::uint32_t reorder_hold_us = 600;
+
+  /// Spurious duplicate datagrams, discarded by the sequence-number dedupe
+  /// edge (counted, never delivered twice).
+  double duplicate_rate = 0.0;
+
+  /// Per-node partition windows (see PartitionWindow).
+  std::vector<PartitionWindow> partitions;
+
+  /// True when any fault can actually fire.
+  bool enabled() const noexcept;
+
+  /// Canonical "drop=0.05,retries=3,delay=0.2,part=1@5-25" spec; parse()
+  /// round-trips it.  A default plan renders as "none".
+  std::string to_string() const;
+
+  /// Parses a spec produced by to_string() (or written by hand — see
+  /// docs/TESTING.md for the grammar).  Throws std::invalid_argument on
+  /// malformed input.  "none" and "" yield the default plan.
+  static FaultPlan parse(const std::string& spec);
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Snapshot of everything the injection layer absorbed.
+struct FaultCounters {
+  std::uint64_t faulted_messages = 0;   ///< messages that hit >= 1 fault
+  std::uint64_t drops = 0;              ///< simulated datagram losses
+  std::uint64_t retransmits = 0;        ///< simulated retransmissions
+  std::uint64_t delays = 0;             ///< plain latency injections
+  std::uint64_t reorder_holds = 0;      ///< messages parked for overtaking
+  std::uint64_t duplicates_suppressed = 0;  ///< dup datagrams deduped
+  std::uint64_t partition_stalls = 0;   ///< messages held by a partition
+
+  std::uint64_t total() const noexcept {
+    return drops + retransmits + delays + reorder_holds +
+           duplicates_suppressed + partition_stalls;
+  }
+  FaultCounters& operator+=(const FaultCounters& o) noexcept;
+
+  friend bool operator==(const FaultCounters&, const FaultCounters&) = default;
+};
+
+/// The injection engine the Transport drives.  submit() either schedules the
+/// message on the internal delivery thread (returning true) or declines
+/// (returning false: the caller delivers inline, the fast path).  Per
+/// (src, dst) flows are delivered in submission order no matter what delays
+/// individual messages picked up.
+class FaultInjector {
+ public:
+  /// `deliver` is invoked (on the injector's delivery thread) for every
+  /// scheduled message once its delay elapses.
+  FaultInjector(FaultPlan plan, int n_nodes,
+                std::function<void(Message)> deliver);
+  ~FaultInjector();
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Decides this message's fate.  Returns false when the message suffered
+  /// no delay AND its flow has nothing pending (caller delivers inline).
+  bool submit(Message& msg);
+
+  FaultCounters counters() const;
+
+  /// Blocks until everything currently pending has been delivered (early,
+  /// ignoring remaining deadlines).  Used between SPMD runs so a delayed
+  /// message from one run can never leak into the next.
+  void drain();
+
+  /// Delivers everything still pending immediately and joins the delivery
+  /// thread.  Idempotent; submit() afterwards always returns false.
+  void flush_and_stop();
+
+ private:
+  struct Pending {
+    std::chrono::steady_clock::time_point when;
+    std::uint64_t order;  ///< global submission tick: FIFO tie-break
+    Message msg;
+  };
+  struct Later {
+    bool operator()(const Pending& a, const Pending& b) const {
+      return a.when != b.when ? a.when > b.when : a.order > b.order;
+    }
+  };
+
+  std::uint64_t decide_delay_us(const Message& msg, std::uint64_t src_seq);
+  void delivery_loop();
+
+  FaultPlan plan_;
+  int n_nodes_;
+  std::function<void(Message)> deliver_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::vector<std::atomic<std::uint64_t>> src_seq_;  ///< per-source counter
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::priority_queue<Pending, std::vector<Pending>, Later> heap_;
+  /// Flow key -> (pending message count, earliest next deliver time).  A
+  /// flow with pending messages forces later messages onto the heap too, so
+  /// FIFO within the flow survives any mix of per-message delays.
+  std::unordered_map<std::uint64_t, std::pair<std::size_t,
+      std::chrono::steady_clock::time_point>> flows_;
+  std::uint64_t next_order_ = 0;
+  bool stopped_ = false;
+  bool draining_ = false;
+
+  FaultCounters counters_;  ///< guarded by mu_
+  std::thread thread_;
+};
+
+}  // namespace gdsm::net

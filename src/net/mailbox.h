@@ -1,6 +1,7 @@
 // Blocking MPSC mailbox: the per-node message queue.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -29,6 +30,25 @@ class Mailbox {
     std::unique_lock lock(mu_);
     cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
     if (queue_.empty()) return std::nullopt;
+    Message msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+  /// Like pop(), but gives up after `timeout`.  Returns nullopt on timeout
+  /// with *closed untouched, or on close-and-drained with *closed set true —
+  /// the DSM retry layer needs to tell the two apart.
+  std::optional<Message> pop_for(std::chrono::microseconds timeout,
+                                 bool* closed) {
+    std::unique_lock lock(mu_);
+    if (!cv_.wait_for(lock, timeout,
+                      [&] { return !queue_.empty() || closed_; })) {
+      return std::nullopt;  // timed out
+    }
+    if (queue_.empty()) {
+      if (closed != nullptr) *closed = true;
+      return std::nullopt;
+    }
     Message msg = std::move(queue_.front());
     queue_.pop_front();
     return msg;

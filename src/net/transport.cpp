@@ -46,9 +46,23 @@ TrafficCounters& TrafficCounters::operator+=(const TrafficCounters& other) noexc
   return *this;
 }
 
-Transport::Transport(int n_nodes) : n_nodes_(n_nodes) {
+Transport::Transport(int n_nodes, FaultPlan faults)
+    : n_nodes_(n_nodes), fault_plan_(std::move(faults)) {
   boxes_.reserve(static_cast<std::size_t>(n_nodes));
   for (int i = 0; i < n_nodes; ++i) boxes_.push_back(std::make_unique<NodeBoxes>());
+  if (fault_plan_.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(
+        fault_plan_, n_nodes, [this](Message msg) { deliver(std::move(msg)); });
+  }
+}
+
+Transport::~Transport() {
+  if (injector_) injector_->flush_and_stop();
+}
+
+void Transport::deliver(Message msg) {
+  auto& to = *boxes_[msg.dst];
+  (msg.to_reply_box ? to.reply : to.service).push(std::move(msg));
 }
 
 void Transport::send(Message msg) {
@@ -59,11 +73,27 @@ void Transport::send(Message msg) {
     from.sent_messages[idx].fetch_add(1, std::memory_order_relaxed);
     from.sent_bytes[idx].fetch_add(msg.wire_size(), std::memory_order_relaxed);
   }
-  auto& to = *boxes_[msg.dst];
-  (msg.to_reply_box ? to.reply : to.service).push(std::move(msg));
+  // Control messages (kStop, src -1) bypass injection; everything else may
+  // be scheduled onto the injector's delivery thread.
+  if (injector_ && msg.src >= 0 && msg.type != MsgType::kStop &&
+      injector_->submit(msg)) {
+    return;
+  }
+  deliver(std::move(msg));
+}
+
+FaultCounters Transport::fault_counters() const {
+  return injector_ ? injector_->counters() : FaultCounters{};
+}
+
+void Transport::quiesce() {
+  if (injector_) injector_->drain();
 }
 
 void Transport::shutdown() {
+  // Flush pending (delayed) deliveries before closing, so no message is
+  // lost even when a partition window outlives the program.
+  if (injector_) injector_->flush_and_stop();
   for (auto& b : boxes_) {
     b->service.close();
     b->reply.close();

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/mailbox.h"
 #include "net/message.h"
 
@@ -31,13 +32,28 @@ struct TrafficCounters {
 
 class Transport {
  public:
-  explicit Transport(int n_nodes);
+  /// A transport with an enabled `faults` plan simulates the plan's network
+  /// misbehaviour (see net/fault.h) while still guaranteeing exactly-once,
+  /// per-flow-FIFO delivery; a default plan adds zero overhead.
+  explicit Transport(int n_nodes, FaultPlan faults = {});
+  ~Transport();
 
   int nodes() const noexcept { return n_nodes_; }
 
   /// Routes `msg` to the destination's service or reply box and records the
-  /// traffic against the *source* node.
+  /// traffic against the *source* node.  Under an enabled fault plan the
+  /// delivery may be delayed/reordered across flows by the injector.
   void send(Message msg);
+
+  const FaultPlan& fault_plan() const noexcept { return fault_plan_; }
+
+  /// Everything the fault layer absorbed so far (all zeros when disabled).
+  FaultCounters fault_counters() const;
+
+  /// Blocks until every in-flight (delayed) message has been delivered.
+  /// SPMD runners call this after joining their program threads so no
+  /// delayed fire-and-forget message can leak into a later run.
+  void quiesce();
 
   Mailbox& service_box(int node) { return boxes_[node]->service; }
   Mailbox& reply_box(int node) { return boxes_[node]->reply; }
@@ -59,8 +75,12 @@ class Transport {
     std::array<std::atomic<std::uint64_t>, kNumMsgTypes> sent_messages{};
     std::array<std::atomic<std::uint64_t>, kNumMsgTypes> sent_bytes{};
   };
+  void deliver(Message msg);  ///< the actual mailbox push
+
   int n_nodes_;
+  FaultPlan fault_plan_;
   std::vector<std::unique_ptr<NodeBoxes>> boxes_;
+  std::unique_ptr<FaultInjector> injector_;  ///< null when the plan is off
 };
 
 }  // namespace gdsm::net

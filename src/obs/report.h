@@ -18,7 +18,10 @@ namespace gdsm::obs {
 
 /// Identifies the document layout described in docs/METRICS.md.
 inline constexpr const char* kReportSchema = "gdsm.run_report";
-inline constexpr int kSchemaVersion = 1;
+/// v2: NodeStats gained the retry-layer counters (request_timeouts,
+/// request_retries, stale_replies) and DsmStats/strategy snapshots gained
+/// the injected-fault block ("faults": drops, retransmits, delays, ...).
+inline constexpr int kSchemaVersion = 2;
 
 /// Schema of the merged baseline produced by tools/merge_reports.
 inline constexpr const char* kBaselineSchema = "gdsm.baseline";

@@ -21,6 +21,18 @@ Json to_json(const net::TrafficCounters& tc) {
   return j;
 }
 
+Json to_json(const net::FaultCounters& fc) {
+  Json j = Json::object();
+  j.set("faulted_messages", fc.faulted_messages);
+  j.set("drops", fc.drops);
+  j.set("retransmits", fc.retransmits);
+  j.set("delays", fc.delays);
+  j.set("reorder_holds", fc.reorder_holds);
+  j.set("duplicates_suppressed", fc.duplicates_suppressed);
+  j.set("partition_stalls", fc.partition_stalls);
+  return j;
+}
+
 Json to_json(const dsm::NodeStats& ns) {
   Json j = Json::object();
   j.set("read_faults", ns.read_faults);
@@ -34,6 +46,9 @@ Json to_json(const dsm::NodeStats& ns) {
   j.set("barriers", ns.barriers);
   j.set("cv_signals", ns.cv_signals);
   j.set("cv_waits", ns.cv_waits);
+  j.set("request_timeouts", ns.request_timeouts);
+  j.set("request_retries", ns.request_retries);
+  j.set("stale_replies", ns.stale_replies);
   return j;
 }
 
@@ -50,6 +65,7 @@ Json to_json(const dsm::DsmStats& stats) {
   totals.set("traffic", to_json(stats.total_traffic()));
   j.set("totals", std::move(totals));
   j.set("home_migrations", stats.home_migrations);
+  j.set("faults", to_json(stats.faults));
   return j;
 }
 

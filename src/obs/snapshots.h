@@ -19,6 +19,9 @@ namespace gdsm::obs {
 /// Message types with zero traffic are omitted from by_type.
 Json to_json(const net::TrafficCounters& tc);
 
+/// Every FaultCounters counter, verbatim (faulted_messages, drops, ...).
+Json to_json(const net::FaultCounters& fc);
+
 /// Every NodeStats counter, verbatim (read_faults, write_faults, ...).
 Json to_json(const dsm::NodeStats& ns);
 

@@ -5,6 +5,7 @@
 #include "sw/full_matrix.h"
 #include "sw/hirschberg.h"
 #include "sw/linear_score.h"
+#include "testing/oracle.h"
 #include "util/genome.h"
 #include "util/rng.h"
 
@@ -18,7 +19,7 @@ struct PropCase {
   ScoreScheme scheme;
 };
 
-std::string prop_name(const testing::TestParamInfo<PropCase>& info) {
+std::string prop_name(const ::testing::TestParamInfo<PropCase>& info) {
   const auto& p = info.param;
   return "seed" + std::to_string(p.seed) + "_s" + std::to_string(p.len_s) +
          "_t" + std::to_string(p.len_t) + "_m" + std::to_string(p.scheme.match) +
@@ -26,7 +27,7 @@ std::string prop_name(const testing::TestParamInfo<PropCase>& info) {
          std::to_string(-p.scheme.gap);
 }
 
-class SwProperty : public testing::TestWithParam<PropCase> {
+class SwProperty : public ::testing::TestWithParam<PropCase> {
  protected:
   void SetUp() override {
     Rng rng(GetParam().seed);
@@ -81,6 +82,32 @@ TEST_P(SwProperty, HirschbergEqualsNeedlemanWunsch) {
   EXPECT_EQ(h.compute_score(s_, t_, scheme), h.score);
 }
 
+TEST_P(SwProperty, SubstringScoreIsMonotone) {
+  // Any local alignment inside a substring of s exists unchanged in s, so
+  // extending a sequence can only keep or raise the best local score.
+  const auto& scheme = GetParam().scheme;
+  const int full = sw_best_score_linear(s_, t_, scheme).score;
+  for (const double frac : {0.25, 0.5, 0.75}) {
+    const auto cut = static_cast<std::size_t>(
+        static_cast<double>(s_.size()) * frac);
+    EXPECT_LE(sw_best_score_linear(s_.slice(0, cut), t_, scheme).score, full);
+    EXPECT_LE(sw_best_score_linear(s_.slice(cut, s_.size()), t_, scheme).score,
+              full);
+  }
+}
+
+TEST_P(SwProperty, ConcatenationIsLowerBoundedByParts) {
+  // s_ and t_ both survive intact inside s_ + t_, so aligning the
+  // concatenation against either part scores at least as well as the best
+  // of the parts against it.
+  const auto& scheme = GetParam().scheme;
+  Sequence cat = s_;
+  for (std::size_t i = 0; i < t_.size(); ++i) cat.append(t_[i]);
+  const int parts = std::max(sw_best_score_linear(s_, t_, scheme).score,
+                             sw_best_score_linear(t_, t_, scheme).score);
+  EXPECT_GE(sw_best_score_linear(cat, t_, scheme).score, parts);
+}
+
 TEST_P(SwProperty, NwLastRowMatchesMatrix) {
   const auto& scheme = GetParam().scheme;
   const DpMatrix a = nw_fill(s_, t_, scheme);
@@ -93,7 +120,7 @@ TEST_P(SwProperty, NwLastRowMatchesMatrix) {
 
 INSTANTIATE_TEST_SUITE_P(
     RandomSweep, SwProperty,
-    testing::Values(
+    ::testing::Values(
         PropCase{11, 40, 40, ScoreScheme{}},
         PropCase{12, 64, 32, ScoreScheme{}},
         PropCase{13, 33, 65, ScoreScheme{}},
@@ -121,6 +148,24 @@ TEST(SwPlanted, PlantedRegionScoresHigh) {
   // A ~200 bp region at ~95% identity scores far above random background
   // (random DNA of this size stays below ~30).
   EXPECT_GT(best.score, 100);
+}
+
+// The differential oracle's seeded case generation must be deterministic
+// and its two serial exact references must agree — the preconditions for
+// the fault-matrix suite (tests/differential_oracle_test.cpp) to mean
+// anything.  Mask 0 runs only the serial cross-check.
+TEST(SwPlanted, OracleCaseIsDeterministicAndSelfConsistent) {
+  testing::OracleCase c;
+  c.seed = 23;
+  c.length_s = c.length_t = 500;
+  const HomologousPair a = c.make_pair();
+  const HomologousPair b = c.make_pair();
+  EXPECT_EQ(a.s, b.s);
+  EXPECT_EQ(a.t, b.t);
+  const testing::OracleVerdict v = run_differential(c, /*mask=*/0);
+  EXPECT_TRUE(v.ok) << v.summary();
+  EXPECT_GT(v.serial_best, 0);
+  EXPECT_GT(v.serial_candidates, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# The repository's CI gate, runnable locally or from any CI provider:
+#
+#   tools/ci.sh            # configure + build + tier1 + bench_smoke + fuzz
+#   tools/ci.sh --tsan     # additionally build the tsan preset and run the
+#                          # concurrency suites under ThreadSanitizer
+#
+# Stages:
+#   1. configure + build (Release, build/)
+#   2. ctest -L tier1          -- the correctness gate (see ROADMAP.md)
+#   3. ctest -L bench_smoke    -- tiny benches, schema-validated reports
+#   4. fuzz_align, 30 s budget -- differential fuzz over the fault matrix
+#   5. (--tsan) TSan build + the dsm/fault/oracle suites raced under TSan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+RUN_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) RUN_TSAN=1 ;;
+    *) echo "usage: tools/ci.sh [--tsan]" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> configure + build (Release)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "==> ctest -L tier1"
+ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
+
+echo "==> ctest -L bench_smoke"
+ctest --test-dir build -L bench_smoke --output-on-failure
+
+echo "==> fuzz_align (30 s budget)"
+build/tools/fuzz_align --budget-s=30 --quiet
+
+if [ "$RUN_TSAN" -eq 1 ]; then
+  echo "==> TSan build + concurrency suites"
+  cmake -B build-tsan -S . -DGDSM_TSAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target \
+    dsm_stress_test fault_injection_test differential_oracle_test mp_test dsm_test
+  for t in dsm_stress_test fault_injection_test differential_oracle_test \
+           mp_test dsm_test; do
+    echo "---- $t (tsan)"
+    TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
+  done
+fi
+
+echo "==> CI OK"

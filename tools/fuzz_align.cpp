@@ -1,0 +1,182 @@
+// fuzz_align: differential fuzzer over (genome seed, fault plan) pairs.
+//
+// Replay one exact case (the line a previous run printed):
+//   fuzz_align --seed=7 --faults="drop=0.2,retries=3,backoff_us=80"
+//
+// Fuzz for a time budget over the standard fault-plan matrix:
+//   fuzz_align --budget-s=30
+//
+// Every case runs the cross-strategy differential oracle (src/testing): the
+// serial references judge wavefront, blocked, blocked_mp and exact_parallel
+// on the same seeded genome pair under the same fault plan.  On divergence
+// the case is minimized and the exact `--seed=... --faults=...` repro line
+// is printed; the exit code is 1.  `--report=<path>` additionally writes a
+// gdsm.run_report JSON document (docs/METRICS.md).
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "obs/report.h"
+#include "obs/snapshots.h"
+#include "testing/oracle.h"
+#include "util/args.h"
+
+namespace {
+
+using gdsm::obs::Json;
+
+constexpr const char* kUsage =
+    "usage: fuzz_align [--seed=N] [--faults=SPEC] [--budget-s=S]\n"
+    "                  [--len=N] [--procs=P] [--regions=R]\n"
+    "                  [--strategies=MASK] [--report=PATH] [--quiet]\n"
+    "  --seed + --faults  replay one case and exit (0 = match, 1 = diverged)\n"
+    "  --budget-s         fuzz new (seed, plan) pairs for S seconds\n"
+    "  --faults           fault-plan spec, e.g. \"drop=0.2,retries=3\" or "
+    "\"none\"\n";
+
+gdsm::testing::OracleCase base_case(const gdsm::Args& args) {
+  gdsm::testing::OracleCase c;
+  c.length_s = c.length_t =
+      static_cast<std::size_t>(args.get_int("len", 600));
+  c.nprocs = static_cast<int>(args.get_int("procs", 4));
+  c.n_regions = static_cast<std::size_t>(args.get_int("regions", 4));
+  // A tight reply timeout keeps the retry layer exercised whenever the plan
+  // delays traffic; harmless (zero counters) when the plan is empty.
+  c.retry.timeout_us = 2000;
+  return c;
+}
+
+Json case_row(const gdsm::testing::OracleCase& c,
+              const gdsm::testing::OracleVerdict& v) {
+  Json row = Json::object();
+  row.set("seed", c.seed);
+  row.set("faults", c.faults.to_string());
+  row.set("ok", v.ok);
+  row.set("serial_best", v.serial_best);
+  row.set("serial_candidates", v.serial_candidates);
+  Json outcomes = Json::array();
+  for (const auto& o : v.outcomes) {
+    if (!o.ran) continue;
+    Json oj = Json::object();
+    oj.set("strategy", o.name);
+    oj.set("ok", o.ok());
+    oj.set("best_score", o.best_score);
+    oj.set("faults", gdsm::obs::to_json(o.faults));
+    outcomes.push(std::move(oj));
+  }
+  row.set("outcomes", std::move(outcomes));
+  return row;
+}
+
+void report_divergence(const gdsm::testing::OracleCase& failing,
+                       const gdsm::testing::OracleVerdict& verdict,
+                       unsigned mask) {
+  std::cout << "DIVERGENCE (" << failing.to_string() << ")\n"
+            << verdict.summary();
+  const gdsm::testing::OracleCase small =
+      gdsm::testing::minimize(failing, mask);
+  std::cout << "minimized repro:\n"
+            << "  fuzz_align --seed=" << small.seed << " --len="
+            << small.length_s << " --procs=" << small.nprocs << " --regions="
+            << small.n_regions << " --faults=\"" << small.faults.to_string()
+            << "\"\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gdsm::Args args(argc, argv,
+                        {"seed", "faults", "budget-s", "len", "procs",
+                         "regions", "strategies", "report"});
+  const auto unknown = args.unknown_keys({"seed", "faults", "budget-s", "len",
+                                          "procs", "regions", "strategies",
+                                          "report", "quiet"});
+  if (!unknown.empty()) {
+    std::cerr << "fuzz_align: unknown option --" << unknown.front() << "\n"
+              << kUsage;
+    return 2;
+  }
+  const bool quiet = args.get_bool("quiet", false);
+  const auto mask =
+      static_cast<unsigned>(args.get_int("strategies",
+                                         gdsm::testing::kAllStrategies));
+
+  gdsm::obs::RunReport report("fuzz_align",
+                              "Cross-strategy differential fuzzing");
+  report.set_param("len", args.get_int("len", 600));
+  report.set_param("procs", args.get_int("procs", 4));
+  report.set_param("regions", args.get_int("regions", 4));
+  // Verdicts and scores replay deterministically, but the embedded fault
+  // counters depend on live thread interleaving (how many retransmissions a
+  // retry window catches varies run-to-run) — flag the report accordingly.
+  report.set_param("host_clock", true);
+
+  int divergences = 0;
+  std::size_t cases = 0;
+
+  const auto run_case = [&](gdsm::testing::OracleCase c) {
+    const gdsm::testing::OracleVerdict v =
+        gdsm::testing::run_differential(c, mask);
+    ++cases;
+    report.add_row("cases", case_row(c, v));
+    if (v.ok) {
+      if (!quiet) {
+        std::cout << "ok: " << c.to_string() << " (serial best "
+                  << v.serial_best << ", " << v.serial_candidates
+                  << " candidates)\n";
+      }
+    } else {
+      ++divergences;
+      report_divergence(c, v, mask);
+    }
+    return v.ok;
+  };
+
+  if (args.has("seed")) {
+    // Replay mode: one exact (seed, plan) case.
+    gdsm::testing::OracleCase c = base_case(args);
+    c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    try {
+      c.faults = gdsm::net::FaultPlan::parse(args.get("faults", "none"));
+    } catch (const std::exception& e) {
+      std::cerr << "fuzz_align: bad --faults spec: " << e.what() << "\n";
+      return 2;
+    }
+    run_case(c);
+  } else {
+    // Fuzz mode: sweep seeds over the standard plan matrix until the budget
+    // runs out.  Plans are re-derived per seed so their decision chains
+    // differ between iterations too.
+    const double budget_s = args.get_double("budget-s", 10.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto elapsed_s = [&] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
+    };
+    report.set_param("budget_s", budget_s);
+    std::uint64_t seed = 1;
+    while (elapsed_s() < budget_s) {
+      gdsm::testing::OracleCase c = base_case(args);
+      c.seed = seed;
+      c.faults = gdsm::net::FaultPlan{};  // baseline: no faults
+      if (!run_case(c) && elapsed_s() >= budget_s) break;
+      for (gdsm::net::FaultPlan& plan :
+           gdsm::testing::standard_fault_plans(seed * 1000)) {
+        if (elapsed_s() >= budget_s) break;
+        c.faults = plan;
+        run_case(c);
+      }
+      ++seed;
+    }
+    report.set_param("seeds_swept", seed - 1);
+  }
+
+  report.metrics().set("cases", cases);
+  report.metrics().set("divergences", divergences);
+  if (args.has("report") && !report.write_file(args.get("report"))) return 2;
+
+  std::cout << "fuzz_align: " << cases << " case(s), " << divergences
+            << " divergence(s)\n";
+  return divergences == 0 ? 0 : 1;
+}
