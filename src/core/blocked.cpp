@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/band_compute.h"
@@ -26,9 +29,29 @@ StrategyResult blocked_align(const Sequence& s, const Sequence& t,
           : grid_from_multiplier(m, n, P, cfg.mult_w, cfg.mult_h);
   const std::size_t B = grid.bands();
 
-  dsm::DsmConfig dsm_cfg = cfg.dsm;
-  dsm_cfg.n_cvs = std::max<int>(dsm_cfg.n_cvs, static_cast<int>(B) + 1);
-  dsm::Cluster cluster(P, dsm_cfg);
+  std::unique_ptr<dsm::Cluster> owned;
+  dsm::Cluster* cl = cfg.cluster;
+  if (cl == nullptr) {
+    dsm::DsmConfig dsm_cfg = cfg.dsm;
+    dsm_cfg.n_cvs = std::max<int>(dsm_cfg.n_cvs, static_cast<int>(B) + 1);
+    owned = std::make_unique<dsm::Cluster>(P, dsm_cfg);
+    cl = owned.get();
+  } else {
+    if (cl->nodes() != P) {
+      throw std::invalid_argument(
+          "blocked_align: external cluster size != nprocs");
+    }
+    if (cl->config().n_cvs < static_cast<int>(B) + 1) {
+      throw std::invalid_argument(
+          "blocked_align: external cluster has too few cvs for " +
+          std::to_string(B) + " bands");
+    }
+  }
+  if (cfg.resident_t_size != 0 && cfg.resident_t_size != n) {
+    throw std::invalid_argument(
+        "blocked_align: resident subject size != t.size()");
+  }
+  dsm::Cluster& cluster = *cl;
 
   // Bottom-row boundary of every band, homed at the band's owner so the
   // producer writes locally and the consumer page-faults it in per block.
@@ -44,16 +67,31 @@ StrategyResult blocked_align(const Sequence& s, const Sequence& t,
   std::atomic<bool> overflow{false};
   std::vector<Candidate> merged;
 
-  cluster.run([&](dsm::Node& node) {
+  // submit/await (rather than run + stats()) so the per-job node counters
+  // cannot be confused with a neighbouring job's on a shared service cluster.
+  const dsm::Cluster::Ticket ticket = cluster.submit([&](dsm::Node& node) {
     const int p = node.id();
     node.barrier();
+
+    // When the service keeps the subject resident in global memory, each
+    // node pulls its own copy through the DSM (cold = page faults, warm =
+    // local cache hits) instead of reading host memory.
+    Sequence t_resident;
+    if (cfg.resident_t_size != 0) {
+      std::basic_string<Base> bases(n, Base{});
+      node.read_bytes(cfg.resident_t_addr,
+                      reinterpret_cast<std::byte*>(bases.data()),
+                      n * sizeof(Base));
+      t_resident = Sequence(t.name(), std::move(bases));
+    }
+    const Sequence& t_local = cfg.resident_t_size != 0 ? t_resident : t;
 
     CandidateSink sink(cfg.params);
 
     for (std::size_t b = static_cast<std::size_t>(p); b < B;
          b += static_cast<std::size_t>(P)) {
       compute_band(
-          kernel, s, t, grid, b, sink,
+          kernel, s, t_local, grid, b, sink,
           // Top boundary: wait for the producer's signal, then fault the
           // shared segment in.
           [&](std::size_t k, std::span<CellInfo> out) {
@@ -75,8 +113,8 @@ StrategyResult blocked_align(const Sequence& s, const Sequence& t,
     if (p == 0) merged = gather.collect(node);
   });
 
+  result.dsm_stats = cluster.await(ticket);
   result.candidates = std::move(merged);
-  result.dsm_stats = cluster.stats();
   result.overflow = overflow.load();
   return result;
 }

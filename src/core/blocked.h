@@ -17,8 +17,13 @@
 
 #include "core/strategy_result.h"
 #include "dsm/config.h"
+#include "dsm/global_space.h"
 #include "sw/heuristic_scan.h"
 #include "util/sequence.h"
+
+namespace gdsm::dsm {
+class Cluster;
+}
 
 namespace gdsm::core {
 
@@ -35,6 +40,17 @@ struct BlockedConfig {
   HeuristicParams params{};
   std::size_t max_candidates_per_node = 1u << 16;
   dsm::DsmConfig dsm{};
+  /// Caller-owned persistent cluster to run on (the alignment service's
+  /// node pool).  Must have exactly `nprocs` nodes and a config with
+  /// n_cvs >= bands + 1.  When null, a private cluster is built from
+  /// `dsm` and torn down with the call.
+  dsm::Cluster* cluster = nullptr;
+  /// Subject residency: when `resident_t_size` is nonzero (it must then
+  /// equal t.size()), each node fetches the whole subject through the DSM
+  /// from `resident_t_addr` before computing — cold queries page-fault it
+  /// in, warm ones hit the local cache.
+  dsm::GlobalAddr resident_t_addr = 0;
+  std::size_t resident_t_size = 0;
 };
 
 /// Runs the blocked heuristic strategy on a threaded DSM cluster.  Produces

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cassert>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/partition.h"
@@ -24,9 +26,28 @@ StrategyResult wavefront_align(const Sequence& s, const Sequence& t,
   const std::size_t m = s.size();
   const std::size_t n = t.size();
 
-  dsm::DsmConfig dsm_cfg = cfg.dsm;
-  dsm_cfg.n_cvs = std::max(dsm_cfg.n_cvs, 2 * P + 2);
-  dsm::Cluster cluster(P, dsm_cfg);
+  std::unique_ptr<dsm::Cluster> owned;
+  dsm::Cluster* cl = cfg.cluster;
+  if (cl == nullptr) {
+    dsm::DsmConfig dsm_cfg = cfg.dsm;
+    dsm_cfg.n_cvs = std::max(dsm_cfg.n_cvs, 2 * P + 2);
+    owned = std::make_unique<dsm::Cluster>(P, dsm_cfg);
+    cl = owned.get();
+  } else {
+    if (cl->nodes() != P) {
+      throw std::invalid_argument(
+          "wavefront_align: external cluster size != nprocs");
+    }
+    if (cl->config().n_cvs < 2 * P + 2) {
+      throw std::invalid_argument(
+          "wavefront_align: external cluster has too few cvs");
+    }
+  }
+  if (cfg.resident_t_size != 0 && cfg.resident_t_size != n) {
+    throw std::invalid_argument(
+        "wavefront_align: resident subject size != t.size()");
+  }
+  dsm::Cluster& cluster = *cl;
 
   // One border slot per processor pair, each on its own page homed at the
   // writer so publishing the cell is a local write.
@@ -51,14 +72,30 @@ StrategyResult wavefront_align(const Sequence& s, const Sequence& t,
   std::atomic<bool> overflow{false};
   std::vector<Candidate> merged;
 
-  cluster.run([&](dsm::Node& node) {
+  // submit/await (rather than run + stats()) so the per-job node counters
+  // cannot be confused with a neighbouring job's on a shared service cluster.
+  const dsm::Cluster::Ticket ticket = cluster.submit([&](dsm::Node& node) {
     const int p = node.id();
     node.barrier();  // start-of-computation barrier
 
     const ColumnRange range = column_range(n, P, p);
     const std::size_t width = range.width();
-    const std::span<const Base> t_cols =
-        width ? t.bases().subspan(range.begin - 1, width) : std::span<const Base>{};
+    // Subject columns for this node: from the resident copy in global
+    // memory when the service keeps one (cold = page faults, warm = cache
+    // hits), otherwise straight from host memory as before.
+    std::vector<Base> t_resident;
+    std::span<const Base> t_cols;
+    if (width > 0) {
+      if (cfg.resident_t_size != 0) {
+        t_resident.resize(width);
+        node.read_bytes(cfg.resident_t_addr + (range.begin - 1) * sizeof(Base),
+                        reinterpret_cast<std::byte*>(t_resident.data()),
+                        width * sizeof(Base));
+        t_cols = t_resident;
+      } else {
+        t_cols = t.bases().subspan(range.begin - 1, width);
+      }
+    }
 
     CandidateSink sink(cfg.params);
     std::vector<CellInfo> reading(width);  // previous row of this segment
@@ -119,8 +156,8 @@ StrategyResult wavefront_align(const Sequence& s, const Sequence& t,
   });
 
   StrategyResult result;
+  result.dsm_stats = cluster.await(ticket);
   result.candidates = std::move(merged);
-  result.dsm_stats = cluster.stats();
   result.overflow = overflow.load();
   return result;
 }

@@ -16,8 +16,13 @@
 
 #include "core/strategy_result.h"
 #include "dsm/config.h"
+#include "dsm/global_space.h"
 #include "sw/heuristic_scan.h"
 #include "util/sequence.h"
+
+namespace gdsm::dsm {
+class Cluster;
+}
 
 namespace gdsm::core {
 
@@ -35,6 +40,18 @@ struct WavefrontConfig {
   /// simulator's dsm_write_factor models.
   bool rows_in_shared_memory = false;
   dsm::DsmConfig dsm{};
+  /// Caller-owned persistent cluster to run on (the alignment service's
+  /// node pool).  Must have exactly `nprocs` nodes and a config with
+  /// n_cvs >= 2*nprocs + 2.  When null, a private cluster is built from
+  /// `dsm` and torn down with the call.
+  dsm::Cluster* cluster = nullptr;
+  /// Subject residency: when `resident_t_size` is nonzero (it must then
+  /// equal t.size()), the subject lives in the cluster's global space at
+  /// `resident_t_addr` (seeded with Cluster::host_write, kept warm with
+  /// retain_range) and each node fetches its column slice through the DSM
+  /// — cold queries page-fault it in, warm ones hit the local cache.
+  dsm::GlobalAddr resident_t_addr = 0;
+  std::size_t resident_t_size = 0;
 };
 
 /// Runs the non-blocked heuristic strategy on a threaded DSM cluster.

@@ -2,11 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <exception>
-#include <mutex>
+#include <cstring>
 #include <stdexcept>
-#include <string>
-#include <thread>
 #include <utility>
 
 #include "dsm/wire.h"
@@ -21,6 +18,8 @@ Cluster::Cluster(int n_nodes, DsmConfig cfg)
   if (n_nodes <= 0) throw std::invalid_argument("Cluster: need >= 1 node");
   reset_manager_state();
 }
+
+Cluster::~Cluster() { stop(); }
 
 void Cluster::reset_manager_state() {
   const int per_node_locks = (cfg_.n_locks + n_nodes_ - 1) / n_nodes_;
@@ -244,91 +243,245 @@ void Cluster::handle_message(int node, net::Message msg) {
 
 void Cluster::service_loop(int node) {
   while (auto msg = transport_.service_box(node).pop()) {
-    if (msg->type == net::MsgType::kStop) break;
+    if (msg->type == net::MsgType::kStop) {
+      if (msg->a == 0) break;
+      // Drain marker (a == 1): everything queued before it has now been
+      // fully handled; acknowledge so the finalizer may reset manager state.
+      {
+        const std::scoped_lock guard(sync_mu_);
+        ++sync_acks_;
+      }
+      sync_cv_.notify_all();
+      continue;
+    }
     handle_message(node, *std::move(msg));
   }
 }
 
-void Cluster::run(const std::function<void(Node&)>& program) {
+void Cluster::sync_service_threads() {
+  {
+    const std::scoped_lock guard(sync_mu_);
+    sync_acks_ = 0;
+  }
+  for (int i = 0; i < n_nodes_; ++i) {
+    net::Message marker;
+    marker.src = -1;  // control: bypasses the fault injector
+    marker.dst = i;
+    marker.type = net::MsgType::kStop;
+    marker.a = 1;
+    transport_.send(std::move(marker));
+  }
+  std::unique_lock<std::mutex> lk(sync_mu_);
+  sync_cv_.wait(lk, [&] { return sync_acks_ == n_nodes_; });
+}
+
+void Cluster::ensure_started_locked() {
+  if (engine_running_) return;
+  nodes_.clear();
+  nodes_.reserve(static_cast<std::size_t>(n_nodes_));
+  for (int i = 0; i < n_nodes_; ++i) {
+    nodes_.push_back(std::make_unique<Node>(*this, i));
+  }
+  reset_manager_state();
+  service_threads_.reserve(static_cast<std::size_t>(n_nodes_));
+  engine_threads_.reserve(static_cast<std::size_t>(n_nodes_));
+  for (int i = 0; i < n_nodes_; ++i) {
+    service_threads_.emplace_back([this, i] { service_loop(i); });
+    engine_threads_.emplace_back([this, i] { engine_loop(i); });
+  }
+  engine_running_ = true;
+}
+
+void Cluster::engine_loop(int node) {
+  std::unique_lock<std::mutex> lk(jobs_mu_);
+  for (;;) {
+    jobs_cv_.wait(lk, [&] {
+      return (current_ &&
+              !current_->started[static_cast<std::size_t>(node)]) ||
+             (stopping_ && !current_);
+    });
+    if (!current_) return;  // stopping, queue drained
+    const std::shared_ptr<Job> job = current_;
+    job->started[static_cast<std::size_t>(node)] = 1;
+    lk.unlock();
+    try {
+      job->program(*nodes_[static_cast<std::size_t>(node)]);
+    } catch (...) {
+      // Failures are collected per node so a multi-node crash reports every
+      // culprit, not just whichever thread lost the race to store its
+      // exception.
+      std::string what = "unknown exception";
+      try {
+        throw;
+      } catch (const std::exception& e) {
+        what = e.what();
+      } catch (...) {
+      }
+      {
+        const std::scoped_lock guard(jobs_mu_);
+        if (!job->first_error) job->first_error = std::current_exception();
+        job->failures.emplace_back(node, std::move(what));
+      }
+      // Unblock peers stuck in barriers/cv waits so the job can unwind.
+      // Only the reply boxes close: the service threads stay alive, and
+      // finalize_job() re-arms the boxes before the next job is admitted.
+      transport_.abort_requests();
+    }
+    lk.lock();
+    if (++job->finished == n_nodes_) finalize_job(*job);
+  }
+}
+
+void Cluster::finalize_job(Job& job) {
+  // All engine threads are done with this job; only service threads are
+  // still active.  Let fault-delayed messages land, then force every
+  // service thread through a drain marker so queued protocol work (stray
+  // releases/signals of this job) is applied before the manager reset.
+  transport_.quiesce();
+  sync_service_threads();
+  transport_.quiesce();  // replies emitted during the drain settle too
+
+  const bool failed = !job.failures.empty();
+  if (failed) {
+    // Unwound requesters saw closed reply boxes; drop any reply that raced
+    // the abort (ids are never reused, so a survivor could only ever be
+    // dropped as stale) and re-arm the boxes for the next job.
+    transport_.reset_reply_boxes();
+  }
+  // Sweep every cache.  A failed job forfeits even the retained pages
+  // (cold restart — the range stays marked and re-warms on next touch);
+  // a clean job keeps resident data warm.
+  const std::set<PageId> keep = failed ? std::set<PageId>{} : retained_pages_;
+  job.stats.clear();
+  for (auto& n : nodes_) job.stats.push_back(n->end_of_job(keep));
+  reset_manager_state();
+  last_run_stats_ = job.stats;
+  job.done = true;
+
+  if (queued_.empty()) {
+    current_ = nullptr;
+  } else {
+    current_ = queued_.front();
+    queued_.pop_front();
+  }
+  jobs_cv_.notify_all();
+  done_cv_.notify_all();
+}
+
+Cluster::Ticket Cluster::submit(std::function<void(Node&)> program) {
   if (cfg_.load_balancing) {
     throw std::runtime_error(
         "DSM: load_balancing is accepted for jia_config parity but not "
         "implemented in this reproduction (home_migration IS implemented)");
   }
-  reset_manager_state();
-
-  std::vector<std::unique_ptr<Node>> nodes;
-  nodes.reserve(static_cast<std::size_t>(n_nodes_));
-  for (int i = 0; i < n_nodes_; ++i) nodes.push_back(std::make_unique<Node>(*this, i));
-
-  std::vector<std::thread> service_threads;
-  service_threads.reserve(static_cast<std::size_t>(n_nodes_));
-  for (int i = 0; i < n_nodes_; ++i) {
-    service_threads.emplace_back([this, i] { service_loop(i); });
+  const std::scoped_lock guard(jobs_mu_);
+  if (stopping_) throw std::logic_error("Cluster: submit during stop()");
+  ensure_started_locked();
+  auto job = std::make_shared<Job>();
+  job->program = std::move(program);
+  job->started.assign(static_cast<std::size_t>(n_nodes_), 0);
+  if (current_) {
+    queued_.push_back(job);
+  } else {
+    current_ = job;
   }
+  jobs_cv_.notify_all();
+  Ticket t;
+  t.job_ = std::move(job);
+  return t;
+}
 
-  // Failures are collected per node so a multi-node crash reports every
-  // culprit, not just whichever thread lost the race to store its exception.
-  std::mutex error_mu;
-  std::exception_ptr first_error;
-  std::vector<std::pair<int, std::string>> failures;
-  std::vector<std::thread> app_threads;
-  app_threads.reserve(static_cast<std::size_t>(n_nodes_));
-  for (int i = 0; i < n_nodes_; ++i) {
-    app_threads.emplace_back([&, i] {
-      try {
-        program(*nodes[static_cast<std::size_t>(i)]);
-      } catch (...) {
-        std::string what = "unknown exception";
-        try {
-          throw;
-        } catch (const std::exception& e) {
-          what = e.what();
-        } catch (...) {
-        }
-        {
-          const std::scoped_lock guard(error_mu);
-          if (!first_error) first_error = std::current_exception();
-          failures.emplace_back(i, std::move(what));
-        }
-        // Unblock peers stuck in barriers/cv waits so run() can unwind; the
-        // cluster is not reusable after a failed program.
-        transport_.shutdown();
-      }
-    });
+void Cluster::throw_failures(const Job& job) {
+  if (job.failures.size() == 1) std::rethrow_exception(job.first_error);
+  auto failures = job.failures;
+  std::sort(failures.begin(), failures.end());
+  std::string combined = "DSM: " + std::to_string(failures.size()) +
+                         " node programs failed:";
+  for (const auto& [node, what] : failures) {
+    combined += "\n  node " + std::to_string(node) + ": " + what;
   }
-  for (auto& t : app_threads) t.join();
+  throw std::runtime_error(combined);
+}
 
-  // Let any fault-delayed messages land before stopping the service threads:
-  // a straggling fire-and-forget release/signal from this run must not leak
-  // into the next run's freshly reset manager state.
-  transport_.quiesce();
+DsmStats Cluster::await(const Ticket& ticket) {
+  if (!ticket.job_) throw std::logic_error("Cluster: await on empty ticket");
+  std::unique_lock<std::mutex> lk(jobs_mu_);
+  done_cv_.wait(lk, [&] { return ticket.job_->done; });
+  const Job& job = *ticket.job_;
+  if (!job.failures.empty()) throw_failures(job);
+  DsmStats out;
+  out.node = job.stats;
+  out.home_migrations = home_migrations_.load(std::memory_order_relaxed);
+  out.traffic = transport_.per_node_counters();
+  out.faults = transport_.fault_counters();
+  return out;
+}
 
-  for (int i = 0; i < n_nodes_; ++i) {
-    net::Message stop;
-    stop.src = -1;
-    stop.dst = i;
-    stop.type = net::MsgType::kStop;
-    transport_.send(std::move(stop));
-  }
-  for (auto& t : service_threads) t.join();
+void Cluster::run(const std::function<void(Node&)>& program) {
+  await(submit(program));
+}
 
-  last_run_stats_.clear();
-  for (const auto& n : nodes) last_run_stats_.push_back(n->stats());
+void Cluster::retain_range(GlobalAddr addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const std::scoped_lock guard(jobs_mu_);
+  const PageId first = space_.page_of(addr);
+  const PageId last = space_.page_of(addr + bytes - 1);
+  for (PageId p = first; p <= last; ++p) retained_pages_.insert(p);
+}
 
-  if (!failures.empty()) {
-    if (failures.size() == 1) std::rethrow_exception(first_error);
-    std::sort(failures.begin(), failures.end());
-    std::string combined = "DSM: " + std::to_string(failures.size()) +
-                           " node programs failed:";
-    for (const auto& [node, what] : failures) {
-      combined += "\n  node " + std::to_string(node) + ": " + what;
+void Cluster::clear_retained() {
+  const std::scoped_lock guard(jobs_mu_);
+  retained_pages_.clear();
+}
+
+void Cluster::host_write(GlobalAddr addr, const void* data, std::size_t bytes) {
+  const auto* in = static_cast<const std::byte*>(data);
+  const std::size_t page_bytes = space_.page_bytes();
+  while (bytes > 0) {
+    const PageId p = space_.page_of(addr);
+    const std::size_t off = space_.offset_in_page(addr);
+    const std::size_t chunk = std::min(bytes, page_bytes - off);
+    {
+      const std::scoped_lock guard(space_.page_mutex(p));
+      std::memcpy(space_.home_data(p) + off, in, chunk);
     }
-    throw std::runtime_error(combined);
+    addr += chunk;
+    in += chunk;
+    bytes -= chunk;
   }
 }
 
+void Cluster::stop() {
+  std::unique_lock<std::mutex> lk(jobs_mu_);
+  if (!engine_running_) return;
+  stopping_ = true;
+  jobs_cv_.notify_all();
+  // finalize_job() keeps promoting queued jobs while we wait, so the queue
+  // drains before the engine threads see (stopping_ && !current_) and exit.
+  done_cv_.wait(lk, [&] { return current_ == nullptr; });
+  std::vector<std::thread> engines = std::move(engine_threads_);
+  std::vector<std::thread> services = std::move(service_threads_);
+  engine_threads_.clear();
+  service_threads_.clear();
+  lk.unlock();
+  for (auto& t : engines) t.join();
+  for (int i = 0; i < n_nodes_; ++i) {
+    net::Message halt;
+    halt.src = -1;
+    halt.dst = i;
+    halt.type = net::MsgType::kStop;
+    halt.a = 0;
+    transport_.send(std::move(halt));
+  }
+  for (auto& t : services) t.join();
+  lk.lock();
+  nodes_.clear();
+  stopping_ = false;
+  engine_running_ = false;
+}
+
 DsmStats Cluster::stats() const {
+  const std::scoped_lock guard(jobs_mu_);
   DsmStats out;
   out.node = last_run_stats_;
   out.home_migrations = home_migrations_.load(std::memory_order_relaxed);

@@ -1,15 +1,34 @@
 // The DSM cluster runner: SPMD programs over N simulated workstation nodes.
 //
-// Each node gets two threads: an *application* thread running the user's
-// program and a *service* thread standing in for JIAJIA's SIGIO handler,
-// serving page fetches, diffs and lock/barrier/cv management for the ids it
-// manages (id % n_nodes).
+// Each node gets two threads: an *application* (engine) thread running the
+// user's programs and a *service* thread standing in for JIAJIA's SIGIO
+// handler, serving page fetches, diffs and lock/barrier/cv management for
+// the ids it manages (id % n_nodes).
+//
+// The cluster is *persistent*: nodes and their threads are created once and
+// survive across programs.  Programs ("jobs") are admitted one at a time
+// through submit()/await(); between jobs the manager state is reset and
+// each node's page cache is swept down to the clean frames of explicitly
+// retained pages (retain_range), so a long-lived alignment service can keep
+// a subject genome warm while every other page reverts to the cold-cache
+// semantics of a fresh node.  A job that throws does not poison the pool:
+// its peers are unwound by closing the reply boxes only, the boxes are
+// drained and re-armed, and the next job is admitted as if the failure
+// never happened (request ids are never reused, so a reply that raced the
+// abort can only ever be dropped as stale).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "dsm/config.h"
@@ -21,24 +40,75 @@
 namespace gdsm::dsm {
 
 class Cluster {
+  struct Job;  // defined privately below; Ticket only carries a handle
+
  public:
   explicit Cluster(int n_nodes, DsmConfig cfg = {});
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   int nodes() const noexcept { return n_nodes_; }
   const DsmConfig& config() const noexcept { return cfg_; }
 
-  /// Host-side allocation (before run()); same semantics as Node::alloc.
+  /// Host-side allocation (between jobs); same semantics as Node::alloc.
   GlobalAddr alloc(std::size_t bytes, int home = -1) {
     return space_.alloc(bytes, home);
   }
   GlobalAddr alloc_striped(std::size_t bytes) { return space_.alloc_striped(bytes); }
 
-  /// Runs `program` once on every node (SPMD) and joins.  May be called
-  /// multiple times; manager state is reset between runs, traffic counters
-  /// accumulate.  Exceptions thrown by any node program are rethrown here.
+  /// Opaque handle to a submitted job; await() redeems it.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit operator bool() const noexcept { return job_ != nullptr; }
+
+   private:
+    friend class Cluster;
+    std::shared_ptr<Job> job_;
+  };
+
+  /// Enqueues `program` to run once on every node (SPMD).  Jobs execute
+  /// strictly one at a time in submission order; the persistent node pool
+  /// (threads, warm retained pages, cumulative traffic counters) carries
+  /// over between them.  Lazily starts the engine on first use.
+  Ticket submit(std::function<void(Node&)> program);
+
+  /// Blocks until the ticket's job has finished and returns that job's
+  /// stats (per-node counters are per-job; traffic/fault counters are
+  /// cumulative).  Exceptions thrown by node programs are rethrown here:
+  /// a single failure rethrows the original exception, multiple failures
+  /// throw one aggregate std::runtime_error listing every culprit.  May be
+  /// called at most once per ticket and from one thread.
+  DsmStats await(const Ticket& ticket);
+
+  /// submit() + await(): runs `program` once on every node and joins.  May
+  /// be called multiple times; manager state is reset between runs, traffic
+  /// counters accumulate.  Exceptions thrown by any node program are
+  /// rethrown here.
   void run(const std::function<void(Node&)>& program);
 
-  /// Stats of the most recent run() (node counters) plus cumulative traffic.
+  /// Marks every page overlapping [addr, addr+bytes) as *resident*: the
+  /// end-of-job sweep keeps their clean cached frames, so read-only data
+  /// (an alignment service's subject genome) stays warm across jobs.
+  /// After a failed job the frames are dropped anyway (cold restart) but
+  /// the range stays marked and re-warms on the next touch.
+  void retain_range(GlobalAddr addr, std::size_t bytes);
+
+  /// Un-marks every retained page; frames are reclaimed at the next job end.
+  void clear_retained();
+
+  /// Host-side write straight into the home copies (no coherence traffic).
+  /// Only legal between jobs and only for ranges no node has cached — i.e.
+  /// freshly allocated regions being seeded with service data.
+  void host_write(GlobalAddr addr, const void* data, std::size_t bytes);
+
+  /// Stops the engine after draining all queued jobs and joins every
+  /// thread.  Idempotent; also run by the destructor.  submit() after
+  /// stop() restarts the engine.
+  void stop();
+
+  /// Stats of the most recent job (node counters) plus cumulative traffic.
   DsmStats stats() const;
 
   /// Cumulative per-node wire traffic (the src/obs report hook; cheaper
@@ -82,11 +152,29 @@ class Cluster {
     std::map<PageId, int> writers;
   };
 
+  /// One SPMD program moving through the engine.  All fields are guarded
+  /// by jobs_mu_ except `program`, which is only read by engine threads
+  /// after they claim the job.
+  struct Job {
+    std::function<void(Node&)> program;
+    std::vector<char> started;  ///< per node: engine thread claimed it
+    int finished = 0;           ///< engine threads done (success or failure)
+    bool done = false;          ///< finalized; stats valid, safe to await
+    std::exception_ptr first_error;
+    std::vector<std::pair<int, std::string>> failures;  ///< (node, what)
+    std::vector<NodeStats> stats;  ///< per-job node counters (take-and-zero)
+  };
+
   void reset_manager_state();
   void service_loop(int node);
   void handle_message(int node, net::Message msg);
-
   void grant_lock(int manager, int lock_id, const Waiter& to);
+
+  void ensure_started_locked();   ///< spawns threads; jobs_mu_ held
+  void engine_loop(int node);     ///< persistent application thread
+  void finalize_job(Job& job);    ///< last finisher; jobs_mu_ held
+  void sync_service_threads();    ///< barrier: service boxes fully drained
+  [[noreturn]] static void throw_failures(const Job& job);
 
   int n_nodes_;
   DsmConfig cfg_;
@@ -98,8 +186,25 @@ class Cluster {
   BarrierState barrier_;                       // managed by node 0
   std::atomic<std::uint64_t> home_migrations_{0};
   /// Cluster-wide request-id source: ids stay unique across nodes AND
-  /// across run() calls, so a stale reply can never match a later request.
+  /// across jobs, so a stale reply can never match a later request.
   std::atomic<std::uint64_t> request_ids_{0};
+
+  // --- persistent engine ----------------------------------------------
+  mutable std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;  ///< engine threads: new job / stopping
+  std::condition_variable done_cv_;  ///< awaiters and stop(): job finalized
+  bool engine_running_ = false;
+  bool stopping_ = false;
+  std::shared_ptr<Job> current_;            ///< job being executed, if any
+  std::deque<std::shared_ptr<Job>> queued_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::thread> service_threads_;
+  std::vector<std::thread> engine_threads_;
+  std::set<PageId> retained_pages_;  ///< survive the end-of-job cache sweep
+
+  std::mutex sync_mu_;  ///< service-drain barrier (leaf lock)
+  std::condition_variable sync_cv_;
+  int sync_acks_ = 0;
 
   std::vector<NodeStats> last_run_stats_;
 };

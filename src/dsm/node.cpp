@@ -173,7 +173,10 @@ net::Message Node::request(net::Message msg) {
 }
 
 Frame* Node::ensure_cached(PageId p) {
-  if (Frame* f = cache_.lookup(p)) return f;
+  if (Frame* f = cache_.lookup(p)) {
+    ++stats_.cache_hits;
+    return f;
+  }
   ++stats_.read_faults;
   net::Message msg;
   msg.dst = cluster_.space_.home_of(p);
@@ -366,6 +369,18 @@ void Node::waitcv(int cv_id) {
   net::Message grant = request(std::move(msg));
   assert(grant.type == net::MsgType::kCvGrant);
   apply_notices(grant.payload);
+}
+
+NodeStats Node::end_of_job(const std::set<PageId>& retained) {
+  // Dirty frames of a finished (or failed) program must never survive into
+  // the next job: their write notices died with the manager state.  Clean
+  // frames of retained pages are immutable service data and stay warm.
+  cache_.retain_only(retained);
+  home_written_.clear();
+  pending_notices_.clear();
+  NodeStats out = stats_;
+  stats_ = NodeStats{};
+  return out;
 }
 
 GlobalAddr Node::alloc(std::size_t bytes, int home) {

@@ -90,6 +90,11 @@ class Node {
   void apply_notices(const std::vector<PageId>& pages);
   net::Message request(net::Message msg);     ///< send, block on the reply box
 
+  /// Per-job teardown for the persistent cluster: sweeps the cache keeping
+  /// only clean frames of `retained` pages, clears per-interval write
+  /// tracking, and returns-and-zeroes this node's counters.
+  NodeStats end_of_job(const std::set<PageId>& retained);
+
   Cluster& cluster_;
   int id_;
   PageCache cache_;

@@ -44,6 +44,15 @@ bool PageCache::erase(PageId p) {
   return true;
 }
 
+std::size_t PageCache::retain_only(const std::set<PageId>& keep) {
+  std::vector<PageId> drop;
+  for (const auto& [p, entry] : map_) {
+    if (entry.frame.dirty || keep.count(p) == 0) drop.push_back(p);
+  }
+  for (PageId p : drop) erase(p);
+  return drop.size();
+}
+
 std::vector<PageId> PageCache::dirty_pages() const {
   std::vector<PageId> out;
   for (const auto& [p, entry] : map_) {

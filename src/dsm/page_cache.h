@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <list>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -43,6 +44,12 @@ class PageCache {
 
   /// Drops a page (invalidation).  Returns true if it was present.
   bool erase(PageId p);
+
+  /// Drops every frame except *clean* frames of pages in `keep` (the
+  /// persistent cluster's end-of-job sweep: resident read-only data stays
+  /// warm, everything else reverts to the cold-cache semantics of a fresh
+  /// node).  Returns the number of frames dropped.
+  std::size_t retain_only(const std::set<PageId>& keep);
 
   /// All dirty page ids, in no particular order.
   std::vector<PageId> dirty_pages() const;

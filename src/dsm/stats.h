@@ -10,6 +10,9 @@ namespace gdsm::dsm {
 
 struct NodeStats {
   std::uint64_t read_faults = 0;    ///< remote page fetches
+  std::uint64_t cache_hits = 0;     ///< remote-page accesses served from the
+                                    ///< local page cache (v3; the residency
+                                    ///< signal of the alignment service)
   std::uint64_t write_faults = 0;   ///< twin creations (first write to a page)
   std::uint64_t diffs_sent = 0;
   std::uint64_t diff_bytes = 0;     ///< payload bytes of diffs
@@ -26,6 +29,7 @@ struct NodeStats {
 
   NodeStats& operator+=(const NodeStats& o) noexcept {
     read_faults += o.read_faults;
+    cache_hits += o.cache_hits;
     write_faults += o.write_faults;
     diffs_sent += o.diffs_sent;
     diff_bytes += o.diff_bytes;

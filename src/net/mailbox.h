@@ -62,6 +62,22 @@ class Mailbox {
     cv_.notify_all();
   }
 
+  /// Re-arms a closed box so pop() blocks again.  Part of the cluster's
+  /// failed-program recovery: reply boxes are closed to unwind blocked
+  /// requesters, then reopened before the next program is admitted.
+  void reopen() {
+    const std::scoped_lock lock(mu_);
+    closed_ = false;
+  }
+
+  /// Discards every queued message; returns how many were dropped.
+  std::size_t drain() {
+    const std::scoped_lock lock(mu_);
+    const std::size_t n = queue_.size();
+    queue_.clear();
+    return n;
+  }
+
   std::size_t size() const {
     const std::scoped_lock lock(mu_);
     return queue_.size();

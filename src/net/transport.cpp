@@ -100,6 +100,17 @@ void Transport::shutdown() {
   }
 }
 
+void Transport::abort_requests() {
+  for (auto& b : boxes_) b->reply.close();
+}
+
+void Transport::reset_reply_boxes() {
+  for (auto& b : boxes_) {
+    b->reply.drain();
+    b->reply.reopen();
+  }
+}
+
 TrafficCounters Transport::counters(int node) const {
   TrafficCounters out;
   const auto& b = *boxes_[node];

@@ -61,6 +61,17 @@ class Transport {
   /// Closes every mailbox (service loops see nullopt and exit).
   void shutdown();
 
+  /// Closes every *reply* box only: application threads blocked in a
+  /// request see the close and throw, while the service threads (which
+  /// drain the service boxes) keep running.  This is how a failed SPMD
+  /// program unwinds its peers without poisoning a persistent cluster.
+  void abort_requests();
+
+  /// Undoes abort_requests(): discards any reply that raced the abort
+  /// (request ids are never reused, so a survivor could only ever be
+  /// dropped as stale) and re-arms the reply boxes for the next program.
+  void reset_reply_boxes();
+
   /// Per-source-node traffic snapshot.
   TrafficCounters counters(int node) const;
   TrafficCounters total_counters() const;

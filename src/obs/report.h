@@ -21,7 +21,10 @@ inline constexpr const char* kReportSchema = "gdsm.run_report";
 /// v2: NodeStats gained the retry-layer counters (request_timeouts,
 /// request_retries, stale_replies) and DsmStats/strategy snapshots gained
 /// the injected-fault block ("faults": drops, retransmits, delays, ...).
-inline constexpr int kSchemaVersion = 2;
+/// v3: NodeStats gained cache_hits (page-cache residency) and service
+/// reports emit the "service" section (admission, batching, latency
+/// histograms — docs/SERVICE.md).
+inline constexpr int kSchemaVersion = 3;
 
 /// Schema of the merged baseline produced by tools/merge_reports.
 inline constexpr const char* kBaselineSchema = "gdsm.baseline";

@@ -36,6 +36,7 @@ Json to_json(const net::FaultCounters& fc) {
 Json to_json(const dsm::NodeStats& ns) {
   Json j = Json::object();
   j.set("read_faults", ns.read_faults);
+  j.set("cache_hits", ns.cache_hits);
   j.set("write_faults", ns.write_faults);
   j.set("diffs_sent", ns.diffs_sent);
   j.set("diff_bytes", ns.diff_bytes);

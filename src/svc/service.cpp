@@ -1,0 +1,375 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/blocked.h"
+#include "core/blocked_mp.h"
+#include "core/exact_parallel.h"
+#include "core/wavefront.h"
+
+namespace gdsm::svc {
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+ServiceConfig AlignService::normalize(ServiceConfig cfg) {
+  if (cfg.nprocs < 1) cfg.nprocs = 1;
+  if (cfg.workers < 1) cfg.workers = 1;
+  if (cfg.queue_capacity == 0) cfg.queue_capacity = 1;
+  if (cfg.max_batch == 0) cfg.max_batch = 1;
+  if (cfg.mult_w == 0) cfg.mult_w = 1;
+  if (cfg.mult_h == 0) cfg.mult_h = 1;
+  return cfg;
+}
+
+dsm::DsmConfig AlignService::cluster_config() const {
+  dsm::DsmConfig d = cfg_.dsm;
+  // Wavefront needs 2P+2 cvs, blocked needs bands+1 = mult_h*P + 1; size
+  // the shared pool once for whichever strategy any query may pick.
+  const int p = cfg_.nprocs;
+  const int need = std::max(2 * p + 2,
+                            static_cast<int>(cfg_.mult_h) * p + 1);
+  d.n_cvs = std::max(d.n_cvs, need);
+  return d;
+}
+
+AlignService::AlignService(ServiceConfig cfg)
+    : cfg_(normalize(std::move(cfg))),
+      cluster_(cfg_.nprocs, cluster_config()),
+      scheduler_(cfg_.cost, cfg_.nprocs, cfg_.mult_w, cfg_.mult_h),
+      queue_(cfg_.queue_capacity) {
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AlignService::~AlignService() { shutdown(); }
+
+void AlignService::load_subject(const Sequence& subject) {
+  if (subject.name().empty()) {
+    throw std::invalid_argument("AlignService: subject sequence needs a name");
+  }
+  if (subject.empty()) {
+    throw std::invalid_argument("AlignService: subject sequence is empty");
+  }
+  {
+    const std::scoped_lock lk(mu_);
+    if (subjects_.count(subject.name()) != 0) {
+      throw std::invalid_argument("AlignService: subject already loaded: " +
+                                  subject.name());
+    }
+  }
+  Subject s;
+  s.seq = subject;
+  const std::size_t bytes = subject.size() * sizeof(Base);
+  s.addr = cluster_.alloc_striped(bytes);
+  cluster_.host_write(s.addr, subject.data(), bytes);
+  cluster_.retain_range(s.addr, bytes);
+  const std::scoped_lock lk(mu_);
+  if (!subjects_.emplace(subject.name(), std::move(s)).second) {
+    throw std::invalid_argument("AlignService: subject already loaded: " +
+                                subject.name());
+  }
+}
+
+bool AlignService::has_subject(const std::string& name) const {
+  const std::scoped_lock lk(mu_);
+  return subjects_.count(name) != 0;
+}
+
+AlignService::Admission AlignService::submit(QuerySpec spec) {
+  Admission out;
+  out.ticket = std::make_shared<QueryTicket>();
+  PendingQuery q;
+  q.spec = std::move(spec);
+  q.admitted_at = std::chrono::steady_clock::now();
+  q.ticket = out.ticket;
+  {
+    const std::scoped_lock lk(mu_);
+    q.id = ++next_id_;
+    ++pending_;  // before the push: a worker may resolve it immediately
+  }
+  const QueryQueue::Reject r = queue_.try_push(std::move(q));
+  const std::scoped_lock lk(mu_);
+  if (r == QueryQueue::Reject::kNone) {
+    ++stats_.admitted;
+    const auto depth = static_cast<std::uint64_t>(queue_.depth());
+    ++stats_.depth_samples;
+    stats_.depth_sum += depth;
+    stats_.depth_max = std::max(stats_.depth_max, depth);
+  } else {
+    if (--pending_ == 0) idle_cv_.notify_all();
+    out.reject = QueryQueue::reject_reason(r);
+    if (r == QueryQueue::Reject::kFull) {
+      ++stats_.rejected_full;
+    } else {
+      ++stats_.rejected_closed;
+    }
+    QueryOutcome o;
+    o.error = out.reject;
+    out.ticket->fulfill(std::move(o));
+  }
+  return out;
+}
+
+bool AlignService::batchable(const QuerySpec& spec) {
+  // Exact queries own their dispatch (different result type, message
+  // passing); injected failures must not drag neighbours down with them.
+  return spec.strategy != StrategyKind::kExact && spec.inject_failure_node < 0;
+}
+
+void AlignService::worker_loop() {
+  for (;;) {
+    std::optional<PendingQuery> head = queue_.pop();
+    if (!head) return;
+    std::vector<PendingQuery> batch;
+    batch.push_back(std::move(*head));
+    if (batchable(batch.front().spec) && cfg_.max_batch > 1) {
+      const std::string& subject = batch.front().spec.subject;
+      std::vector<PendingQuery> more = queue_.take_matching(
+          [&](const PendingQuery& p) {
+            return batchable(p.spec) && p.spec.subject == subject;
+          },
+          cfg_.max_batch - 1);
+      for (auto& p : more) batch.push_back(std::move(p));
+    }
+    {
+      const std::scoped_lock lk(mu_);
+      ++stats_.batches;
+      if (batch.size() > 1) {
+        stats_.batched_queries += batch.size();
+        stats_.max_batch =
+            std::max<std::uint64_t>(stats_.max_batch, batch.size());
+      }
+    }
+    for (auto& q : batch) execute_one(q, batch.size());
+  }
+}
+
+void AlignService::execute_one(PendingQuery& q, std::size_t batch_size) {
+  const auto dispatched = std::chrono::steady_clock::now();
+  QueryOutcome out;
+  out.result.id = q.id;
+  out.result.batch_size = batch_size;
+  out.result.wait_s = seconds_between(q.admitted_at, dispatched);
+
+  bool deadline_reject = false;
+  bool cluster_failed = false;
+  const Subject* subj = nullptr;
+  bool warm = false;
+  bool resident_used = false;
+  StrategyKind chosen = q.spec.strategy;
+
+  if (q.spec.deadline_s > 0 && out.result.wait_s > q.spec.deadline_s) {
+    deadline_reject = true;
+    out.error = "deadline expired before dispatch";
+  } else {
+    const std::scoped_lock lk(mu_);
+    const auto it = subjects_.find(q.spec.subject);
+    if (it == subjects_.end()) {
+      out.error = "unknown subject: " + q.spec.subject;
+    } else {
+      subj = &it->second;
+      warm = subj->warm;
+    }
+  }
+
+  if (subj != nullptr) {
+    if (chosen == StrategyKind::kAuto) {
+      chosen = scheduler_
+                   .choose({q.spec.query.size(), subj->seq.size(), warm})
+                   .strategy;
+    }
+    out.result.strategy = chosen;
+    out.result.warm = warm;
+    try {
+      if (q.spec.inject_failure_node >= 0) {
+        const int bad = q.spec.inject_failure_node % cfg_.nprocs;
+        cluster_.run([bad](dsm::Node& node) {
+          if (node.id() == bad) {
+            throw std::runtime_error("injected query failure");
+          }
+        });
+        cluster_failed = true;  // run() above always throws
+        out.error = "injected query failure";
+      } else {
+        switch (chosen) {
+          case StrategyKind::kWavefront: {
+            core::WavefrontConfig wc;
+            wc.nprocs = cfg_.nprocs;
+            wc.scheme = q.spec.scheme;
+            wc.params = q.spec.params;
+            wc.cluster = &cluster_;
+            wc.resident_t_addr = subj->addr;
+            wc.resident_t_size = subj->seq.size();
+            resident_used = true;
+            core::StrategyResult r =
+                core::wavefront_align(q.spec.query, subj->seq, wc);
+            out.result.candidates = std::move(r.candidates);
+            out.result.overflow = r.overflow;
+            const dsm::NodeStats tot = r.dsm_stats.total_node();
+            out.result.cache_hits = tot.cache_hits;
+            out.result.read_faults = tot.read_faults;
+            out.ok = true;
+            break;
+          }
+          case StrategyKind::kBlocked: {
+            core::BlockedConfig bc;
+            bc.nprocs = cfg_.nprocs;
+            bc.mult_w = cfg_.mult_w;
+            bc.mult_h = cfg_.mult_h;
+            bc.scheme = q.spec.scheme;
+            bc.params = q.spec.params;
+            bc.cluster = &cluster_;
+            bc.resident_t_addr = subj->addr;
+            bc.resident_t_size = subj->seq.size();
+            resident_used = true;
+            core::StrategyResult r =
+                core::blocked_align(q.spec.query, subj->seq, bc);
+            out.result.candidates = std::move(r.candidates);
+            out.result.overflow = r.overflow;
+            const dsm::NodeStats tot = r.dsm_stats.total_node();
+            out.result.cache_hits = tot.cache_hits;
+            out.result.read_faults = tot.read_faults;
+            out.ok = true;
+            break;
+          }
+          case StrategyKind::kBlockedMp: {
+            core::BlockedConfig bc;
+            bc.nprocs = cfg_.nprocs;
+            bc.mult_w = cfg_.mult_w;
+            bc.mult_h = cfg_.mult_h;
+            bc.scheme = q.spec.scheme;
+            bc.params = q.spec.params;
+            bc.dsm = cfg_.dsm;  // mp uses only the fault plan
+            core::MpStrategyResult r =
+                core::blocked_align_mp(q.spec.query, subj->seq, bc);
+            out.result.candidates = std::move(r.candidates);
+            out.ok = true;
+            break;
+          }
+          case StrategyKind::kExact: {
+            core::ExactParallelConfig ec;
+            ec.nprocs = cfg_.nprocs;
+            ec.scheme = q.spec.scheme;
+            ec.mult_w = cfg_.mult_w;
+            ec.mult_h = cfg_.mult_h;
+            ec.faults = cfg_.dsm.faults;
+            core::ExactParallelResult r =
+                core::exact_align_parallel(q.spec.query, subj->seq, ec);
+            out.result.best = r.best;
+            out.result.rebuilt = std::move(r.rebuilt);
+            out.ok = true;
+            break;
+          }
+          case StrategyKind::kAuto:
+            out.error = "internal: auto strategy not resolved";
+            break;
+        }
+      }
+    } catch (const std::exception& e) {
+      out.ok = false;
+      out.error = e.what();
+      if (resident_used || q.spec.inject_failure_node >= 0) {
+        cluster_failed = true;
+      }
+    }
+
+    if (out.ok && cfg_.verify) {
+      if (chosen == StrategyKind::kExact) {
+        const BestLocal ref =
+            sw_best_score_linear(q.spec.query, subj->seq, q.spec.scheme);
+        if (ref.score != out.result.best.score ||
+            ref.end_i != out.result.best.end_i ||
+            ref.end_j != out.result.best.end_j) {
+          out.ok = false;
+          out.error =
+              "service divergence: exact best != sw_best_score_linear";
+        }
+      } else {
+        const std::vector<Candidate> ref = heuristic_scan(
+            q.spec.query, subj->seq, q.spec.scheme, q.spec.params);
+        if (ref != out.result.candidates) {
+          out.ok = false;
+          out.error =
+              "service divergence: candidate queue != heuristic_scan";
+        }
+      }
+    }
+  }
+
+  const auto ended = std::chrono::steady_clock::now();
+  out.result.run_s = seconds_between(dispatched, ended);
+  out.result.total_s = seconds_between(q.admitted_at, ended);
+
+  {
+    const std::scoped_lock lk(mu_);
+    if (deadline_reject) {
+      ++stats_.rejected_deadline;
+    } else if (out.ok) {
+      ++stats_.completed;
+      ++stats_.by_strategy[static_cast<std::size_t>(chosen)];
+      if (warm) {
+        ++stats_.warm_queries;
+      } else {
+        ++stats_.cold_queries;
+      }
+      stats_.cache_hits += out.result.cache_hits;
+      stats_.read_faults += out.result.read_faults;
+      stats_.total_latency.record(out.result.total_s);
+      stats_.run_latency.record(out.result.run_s);
+      if (resident_used) {
+        // This dispatch pulled the subject into the node caches; the next
+        // same-subject DSM query runs warm.
+        const auto it = subjects_.find(q.spec.subject);
+        if (it != subjects_.end()) it->second.warm = true;
+      }
+    } else {
+      ++stats_.failed;
+      if (cluster_failed) {
+        // The cluster absorbed a failed job by cold-restarting the node
+        // caches: the pool keeps accepting work, but every subject must
+        // re-warm on its next touch.
+        ++stats_.recoveries;
+        for (auto& [name, s] : subjects_) s.warm = false;
+      }
+    }
+  }
+
+  q.ticket->fulfill(std::move(out));
+  const std::scoped_lock lk(mu_);
+  if (--pending_ == 0) idle_cv_.notify_all();
+}
+
+void AlignService::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return pending_ == 0; });
+}
+
+void AlignService::shutdown() {
+  {
+    const std::scoped_lock lk(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_.close();  // pop() drains the remainder, then workers exit
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  cluster_.stop();
+}
+
+ServiceStats AlignService::stats() const {
+  const std::scoped_lock lk(mu_);
+  return stats_;
+}
+
+}  // namespace gdsm::svc

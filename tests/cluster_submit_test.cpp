@@ -1,0 +1,215 @@
+// Persistent-cluster engine tests: submit/await job tickets, per-job stats,
+// subject residency (host_write + retain_range), and — the regression the
+// alignment service depends on — a failed job NOT poisoning the node pool.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dsm/cluster.h"
+
+namespace gdsm::dsm {
+namespace {
+
+TEST(ClusterSubmit, AwaitReturnsThatJobsStats) {
+  Cluster cluster(3);
+  const GlobalAddr a = cluster.alloc(64, /*home=*/0);
+  const Cluster::Ticket t1 = cluster.submit([&](Node& node) {
+    if (node.id() == 0) node.write<int>(a, 7);
+    node.barrier();
+  });
+  const Cluster::Ticket t2 = cluster.submit([](Node& node) { node.barrier(); });
+  const DsmStats s1 = cluster.await(t1);
+  const DsmStats s2 = cluster.await(t2);
+  ASSERT_EQ(s1.node.size(), 3u);
+  ASSERT_EQ(s2.node.size(), 3u);
+  // Each job sees only its own activity: both barriered once per node.
+  EXPECT_EQ(s1.total_node().barriers, 3u);
+  EXPECT_EQ(s2.total_node().barriers, 3u);
+  EXPECT_EQ(s2.total_node().write_faults, 0u);
+}
+
+TEST(ClusterSubmit, JobsAreSerializedInSubmissionOrder) {
+  Cluster cluster(2);
+  std::atomic<int> order{0};
+  std::vector<int> first_seen(3, -1);
+  std::vector<Cluster::Ticket> tickets;
+  for (int j = 0; j < 3; ++j) {
+    tickets.push_back(cluster.submit([&, j](Node& node) {
+      node.barrier();
+      if (node.id() == 0) first_seen[static_cast<std::size_t>(j)] = order++;
+    }));
+  }
+  for (const auto& t : tickets) cluster.await(t);
+  EXPECT_EQ(first_seen, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ClusterSubmit, RunIsSubmitPlusAwait) {
+  Cluster cluster(2);
+  std::atomic<int> hits{0};
+  cluster.run([&](Node& node) {
+    node.barrier();
+    ++hits;
+  });
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(ClusterSubmit, FailedJobDoesNotPoisonThePool) {
+  Cluster cluster(4);
+  EXPECT_THROW(
+      cluster.run([](Node& node) {
+        if (node.id() == 2) throw std::runtime_error("boom on 2");
+      }),
+      std::runtime_error);
+  // The pool must come back: the same nodes run the next job to completion,
+  // including full protocol traffic (writes, barrier, remote reads).
+  const GlobalAddr a = cluster.alloc(4 * sizeof(int), /*home=*/1);
+  std::array<std::atomic<int>, 4> seen{};
+  cluster.run([&](Node& node) {
+    if (node.id() == 1) {
+      for (int i = 0; i < 4; ++i) {
+        node.write<int>(a + i * sizeof(int), 40 + i);
+      }
+    }
+    node.barrier();
+    seen[static_cast<std::size_t>(node.id())] =
+        node.read<int>(a + node.id() * sizeof(int));
+  });
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], 40 + i);
+  }
+}
+
+TEST(ClusterSubmit, FailureAggregatesEveryFailingNode) {
+  Cluster cluster(3);
+  try {
+    cluster.run([](Node& node) {
+      if (node.id() != 0) {
+        throw std::runtime_error("fail " + std::to_string(node.id()));
+      }
+    });
+    FAIL() << "expected the job to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    // Either both programs failed (aggregate message) or one failed and the
+    // other unwound through the recovery abort; node 1 is always reported.
+    EXPECT_NE(what.find("fail 1"), std::string::npos) << what;
+  }
+  cluster.run([](Node& node) { node.barrier(); });  // pool still accepts work
+}
+
+TEST(ClusterSubmit, QueuedJobsStillRunAfterAFailedJob) {
+  Cluster cluster(2);
+  const Cluster::Ticket bad = cluster.submit([](Node& node) {
+    if (node.id() == 0) throw std::runtime_error("bad job");
+  });
+  std::atomic<int> ran{0};
+  const Cluster::Ticket good = cluster.submit([&](Node& node) {
+    node.barrier();
+    ++ran;
+  });
+  EXPECT_THROW(cluster.await(bad), std::runtime_error);
+  cluster.await(good);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(ClusterSubmit, HostWriteSeedsHomePages) {
+  Cluster cluster(3);
+  std::vector<std::byte> pattern(3 * 4096 + 100);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  const GlobalAddr a = cluster.alloc_striped(pattern.size());
+  cluster.host_write(a, pattern.data(), pattern.size());
+  std::atomic<int> ok{0};
+  cluster.run([&](Node& node) {
+    std::vector<std::byte> got(pattern.size());
+    node.read_bytes(a, got.data(), got.size());
+    if (got == pattern) ++ok;
+  });
+  EXPECT_EQ(ok, 3);
+}
+
+TEST(ClusterSubmit, RetainRangeKeepsPagesWarmAcrossJobs) {
+  Cluster cluster(2);
+  const std::size_t bytes = 4 * 4096;
+  const GlobalAddr a = cluster.alloc_striped(bytes);
+  std::vector<std::byte> seed(bytes, std::byte{0x5a});
+  cluster.host_write(a, seed.data(), bytes);
+  cluster.retain_range(a, bytes);
+
+  const auto touch_all = [&](Node& node) {
+    std::vector<std::byte> got(bytes);
+    node.read_bytes(a, got.data(), got.size());
+  };
+  const DsmStats cold = cluster.await(cluster.submit(touch_all));
+  const DsmStats warm = cluster.await(cluster.submit(touch_all));
+  // Cold: every node faults in the pages it is not home for.  Warm: the
+  // retained frames survived the end-of-job sweep, so the same reads hit
+  // the local page cache instead.
+  EXPECT_GT(cold.total_node().read_faults, 0u);
+  EXPECT_EQ(warm.total_node().read_faults, 0u);
+  EXPECT_GT(warm.total_node().cache_hits, 0u);
+}
+
+TEST(ClusterSubmit, WithoutRetainRangePagesGoColdEachJob) {
+  Cluster cluster(2);
+  const std::size_t bytes = 2 * 4096;
+  const GlobalAddr a = cluster.alloc_striped(bytes);
+  std::vector<std::byte> seed(bytes, std::byte{0x11});
+  cluster.host_write(a, seed.data(), bytes);
+
+  const auto touch_all = [&](Node& node) {
+    std::vector<std::byte> got(bytes);
+    node.read_bytes(a, got.data(), got.size());
+  };
+  const DsmStats first = cluster.await(cluster.submit(touch_all));
+  const DsmStats second = cluster.await(cluster.submit(touch_all));
+  EXPECT_GT(first.total_node().read_faults, 0u);
+  EXPECT_EQ(second.total_node().read_faults,
+            first.total_node().read_faults);
+}
+
+TEST(ClusterSubmit, FailedJobColdRestartsRetainedPagesThenRewarms) {
+  Cluster cluster(2);
+  const std::size_t bytes = 2 * 4096;
+  const GlobalAddr a = cluster.alloc_striped(bytes);
+  std::vector<std::byte> seed(bytes, std::byte{0x77});
+  cluster.host_write(a, seed.data(), bytes);
+  cluster.retain_range(a, bytes);
+
+  const auto touch_all = [&](Node& node) {
+    std::vector<std::byte> got(bytes);
+    node.read_bytes(a, got.data(), got.size());
+  };
+  cluster.await(cluster.submit(touch_all));  // warm the caches
+  EXPECT_THROW(cluster.run([](Node& node) {
+                 if (node.id() == 0) throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  // A failed job cold-restarts the caches, but the retained marking stays:
+  // the next touch faults the pages back in, the one after runs warm again.
+  const DsmStats rewarm = cluster.await(cluster.submit(touch_all));
+  const DsmStats warm = cluster.await(cluster.submit(touch_all));
+  EXPECT_GT(rewarm.total_node().read_faults, 0u);
+  EXPECT_EQ(warm.total_node().read_faults, 0u);
+  EXPECT_GT(warm.total_node().cache_hits, 0u);
+}
+
+TEST(ClusterSubmit, StopIsIdempotentAndTheEngineRestarts) {
+  Cluster cluster(2);
+  cluster.run([](Node& node) { node.barrier(); });
+  cluster.stop();
+  // stop() is idempotent and the engine restarts on the next submit.
+  cluster.stop();
+  std::atomic<int> ran{0};
+  cluster.run([&](Node&) { ++ran; });
+  EXPECT_EQ(ran, 2);
+}
+
+}  // namespace
+}  // namespace gdsm::dsm

@@ -38,10 +38,10 @@ core::StrategyResult faulted_blocked_run() {
   return core::blocked_align(pair.s, pair.t, cfg);
 }
 
-TEST(ReportIoTest, SchemaVersionIsBumpedToTwo) {
-  // The fault/retry counters are an additive change with new meaning, so
-  // docs/METRICS.md pins them to schema version 2.
-  EXPECT_EQ(obs::kSchemaVersion, 2);
+TEST(ReportIoTest, SchemaVersionIsBumpedToThree) {
+  // v3 added NodeStats.cache_hits and the service section, so
+  // docs/METRICS.md pins the layout to schema version 3.
+  EXPECT_EQ(obs::kSchemaVersion, 3);
 }
 
 TEST(ReportIoTest, NodeStatsJsonCarriesRetryCounters) {
@@ -115,7 +115,7 @@ TEST(ReportIoTest, RunReportRoundTripsThroughDiskAtVersionTwo) {
   std::remove(path.c_str());
 
   EXPECT_EQ(doc.at("schema").as_string(), obs::kReportSchema);
-  EXPECT_EQ(doc.at("schema_version").as_int(), 2);
+  EXPECT_EQ(doc.at("schema_version").as_int(), 3);
   const Json& parsed_run =
       doc.at("series").at("runs").items().at(0).at("result");
   // The v2 additions survive serialization: the fault block and the

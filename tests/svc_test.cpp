@@ -1,0 +1,408 @@
+// Alignment-service tests: admission backpressure, deadline rejection,
+// same-subject batching over the resident genome (DSM cache hits rising on
+// the second query), failed-query recovery, and strategy answers matching
+// the serial references through the whole service path.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/queue.h"
+#include "svc/scheduler.h"
+#include "svc/service.h"
+#include "svc/stats.h"
+#include "sw/heuristic_scan.h"
+#include "sw/linear_score.h"
+#include "util/genome.h"
+#include "util/rng.h"
+
+namespace gdsm::svc {
+namespace {
+
+Sequence make_subject(std::size_t len, std::uint64_t seed,
+                      const std::string& name) {
+  Rng rng(seed);
+  return random_dna(len, rng, name);
+}
+
+Sequence make_probe(const Sequence& subject, std::size_t begin,
+                    std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  Sequence probe =
+      mutate(subject.slice(begin, begin + len), 0.05, 0.01, rng);
+  probe.set_name("probe");
+  return probe;
+}
+
+// ---------------------------------------------------------------- queue --
+
+TEST(QueryQueue, BackpressureAndClose) {
+  QueryQueue q(2);
+  EXPECT_EQ(q.try_push({}), QueryQueue::Reject::kNone);
+  EXPECT_EQ(q.try_push({}), QueryQueue::Reject::kNone);
+  EXPECT_EQ(q.try_push({}), QueryQueue::Reject::kFull);
+  EXPECT_EQ(q.depth(), 2u);
+  q.close();
+  EXPECT_EQ(q.try_push({}), QueryQueue::Reject::kClosed);
+  // close() drains the remainder before pop() reports end-of-stream.
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(QueryQueue, TakeMatchingRemovesInAdmissionOrder) {
+  QueryQueue q(8);
+  for (int i = 0; i < 5; ++i) {
+    PendingQuery p;
+    p.id = static_cast<std::uint64_t>(i);
+    p.spec.subject = (i % 2 == 0) ? "even" : "odd";
+    ASSERT_EQ(q.try_push(std::move(p)), QueryQueue::Reject::kNone);
+  }
+  const auto taken = q.take_matching(
+      [](const PendingQuery& p) { return p.spec.subject == "even"; }, 2);
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].id, 0u);
+  EXPECT_EQ(taken[1].id, 2u);
+  // The rest keeps its order: 1, 3, 4.
+  EXPECT_EQ(q.depth(), 3u);
+  EXPECT_EQ(q.pop()->id, 1u);
+  EXPECT_EQ(q.pop()->id, 3u);
+  EXPECT_EQ(q.pop()->id, 4u);
+}
+
+// ------------------------------------------------------------ scheduler --
+
+TEST(Scheduler, WavefrontWinsShortProbesBlockedMpWinsColdLongOnes) {
+  const Scheduler sched(sim::CostModel{}, 4, 2, 2);
+  const ScheduleDecision short_probe = sched.choose({8, 4000, false});
+  EXPECT_EQ(short_probe.strategy, StrategyKind::kWavefront);
+  const ScheduleDecision long_cold = sched.choose({2000, 4000, false});
+  EXPECT_EQ(long_cold.strategy, StrategyKind::kBlockedMp);
+  // The chosen estimate is the argmin of the three published ones.
+  for (const auto& d : {short_probe, long_cold}) {
+    EXPECT_LE(d.est_s, d.est_wavefront_s);
+    EXPECT_LE(d.est_s, d.est_blocked_s);
+    EXPECT_LE(d.est_s, d.est_blocked_mp_s);
+  }
+}
+
+TEST(Scheduler, WarmSubjectCheapensDsmStrategiesOnly) {
+  const Scheduler sched(sim::CostModel{}, 4, 2, 2);
+  EXPECT_LT(sched.wavefront_estimate(500, 4000, true),
+            sched.wavefront_estimate(500, 4000, false));
+  EXPECT_LT(sched.blocked_estimate(500, 4000, true),
+            sched.blocked_estimate(500, 4000, false));
+  EXPECT_EQ(sched.blocked_mp_estimate(500, 4000),
+            sched.blocked_mp_estimate(500, 4000));
+}
+
+// ---------------------------------------------------------------- stats --
+
+TEST(LatencyHistogram, QuantilesLandInTheRightBucket) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(1e-3);   // ~1 ms
+  for (int i = 0; i < 10; ++i) h.record(0.5);    // ~500 ms
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_LT(h.quantile(0.5), 0.01);
+  EXPECT_GT(h.quantile(0.99), 0.1);
+  EXPECT_DOUBLE_EQ(h.max_s, 0.5);
+  const obs::Json j = h.to_json();
+  EXPECT_EQ(j.at("count").as_int(), 100);
+}
+
+TEST(ServiceStats, ToJsonCarriesEverySection) {
+  ServiceStats s;
+  s.admitted = 3;
+  s.by_strategy[static_cast<std::size_t>(StrategyKind::kBlocked)] = 2;
+  const obs::Json j = s.to_json();
+  EXPECT_EQ(j.at("admission").at("admitted").as_int(), 3);
+  EXPECT_EQ(j.at("dispatch_by_strategy").at("blocked").as_int(), 2);
+  for (const char* key : {"completion", "residency", "batching", "queue",
+                          "latency_total", "latency_run"}) {
+    EXPECT_TRUE(j.has(key)) << key;
+  }
+}
+
+// -------------------------------------------------------------- service --
+
+TEST(AlignService, AnswersMatchTheSerialReferencePerStrategy) {
+  const Sequence subject = make_subject(2500, 11, "chr");
+  const Sequence probe = make_probe(subject, 400, 300, 12);
+  const std::vector<Candidate> ref = heuristic_scan(probe, subject);
+
+  ServiceConfig cfg;
+  cfg.nprocs = 4;
+  cfg.verify = true;  // the in-service oracle must agree too
+  AlignService service(cfg);
+  service.load_subject(subject);
+  EXPECT_TRUE(service.has_subject("chr"));
+
+  for (const StrategyKind k : {StrategyKind::kWavefront,
+                               StrategyKind::kBlocked,
+                               StrategyKind::kBlockedMp}) {
+    QuerySpec spec;
+    spec.subject = "chr";
+    spec.query = probe;
+    spec.strategy = k;
+    const auto adm = service.submit(std::move(spec));
+    ASSERT_TRUE(adm.admitted());
+    const QueryOutcome& out = adm.ticket->wait();
+    ASSERT_TRUE(out.ok) << strategy_name(k) << ": " << out.error;
+    EXPECT_EQ(out.result.candidates, ref) << strategy_name(k);
+  }
+
+  QuerySpec exact;
+  exact.subject = "chr";
+  exact.query = probe;
+  exact.strategy = StrategyKind::kExact;
+  const auto adm = service.submit(std::move(exact));
+  const QueryOutcome& out = adm.ticket->wait();
+  ASSERT_TRUE(out.ok) << out.error;
+  const BestLocal ref_best = sw_best_score_linear(probe, subject);
+  EXPECT_EQ(out.result.best.score, ref_best.score);
+  EXPECT_EQ(out.result.best.end_i, ref_best.end_i);
+  EXPECT_EQ(out.result.best.end_j, ref_best.end_j);
+}
+
+TEST(AlignService, SecondQueryOnSameSubjectRunsWarm) {
+  const Sequence subject = make_subject(9000, 21, "chr");
+  const Sequence probe = make_probe(subject, 1000, 250, 22);
+
+  ServiceConfig cfg;
+  cfg.nprocs = 2;
+  AlignService service(cfg);
+  service.load_subject(subject);
+
+  const auto run_one = [&] {
+    QuerySpec spec;
+    spec.subject = "chr";
+    spec.query = probe;
+    spec.strategy = StrategyKind::kBlocked;  // DSM path with residency
+    const auto adm = service.submit(std::move(spec));
+    const QueryOutcome& out = adm.ticket->wait();
+    EXPECT_TRUE(out.ok) << out.error;
+    return out.result;
+  };
+  const QueryResult cold = run_one();
+  const QueryResult warm = run_one();
+  EXPECT_FALSE(cold.warm);
+  EXPECT_TRUE(warm.warm);
+  // The resident subject pages survived the job boundary: the second query
+  // hits the node page caches instead of re-faulting the genome in.
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_LT(warm.read_faults, cold.read_faults);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.warm_queries, 1u);
+  EXPECT_EQ(stats.cold_queries, 1u);
+}
+
+TEST(AlignService, SameSubjectQueriesBatchMixedSubjectsDoNot) {
+  const Sequence big = make_subject(6000, 31, "big");
+  const Sequence other = make_subject(1500, 32, "other");
+  const Sequence big_probe = make_probe(big, 500, 1200, 33);
+  const Sequence small_probe = make_probe(other, 100, 150, 34);
+
+  ServiceConfig cfg;
+  cfg.nprocs = 2;
+  cfg.workers = 1;  // deterministic: one dispatcher drains the queue
+  AlignService service(cfg);
+  service.load_subject(big);
+  service.load_subject(other);
+
+  const auto submit = [&](const std::string& subject, const Sequence& probe) {
+    QuerySpec spec;
+    spec.subject = subject;
+    spec.query = probe;
+    const auto adm = service.submit(std::move(spec));
+    EXPECT_TRUE(adm.admitted());
+    return adm.ticket;
+  };
+
+  // The long query occupies the only worker; once its dispatch group is
+  // recorded (batches == 1) the worker is inside the alignment, so
+  // everything submitted now waits in the queue for the next dispatch.
+  const TicketPtr head = submit("big", big_probe);
+  while (service.stats().batches == 0) std::this_thread::yield();
+  const TicketPtr a1 = submit("other", small_probe);
+  const TicketPtr a2 = submit("other", small_probe);
+  const TicketPtr a3 = submit("other", small_probe);
+  const TicketPtr b = submit("big", big_probe);
+
+  EXPECT_EQ(a1->wait().result.batch_size, 3u);
+  EXPECT_EQ(a2->wait().result.batch_size, 3u);
+  EXPECT_EQ(a3->wait().result.batch_size, 3u);
+  EXPECT_EQ(b->wait().result.batch_size, 1u);  // different subject: alone
+  service.drain();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.max_batch, 3u);
+  EXPECT_EQ(stats.batched_queries, 3u);
+}
+
+TEST(AlignService, DeadlineExpiredQueriesAreRejectedBeforeDispatch) {
+  const Sequence subject = make_subject(4000, 41, "chr");
+  const Sequence big_probe = make_probe(subject, 0, 1500, 42);
+  const Sequence probe = make_probe(subject, 200, 200, 43);
+
+  ServiceConfig cfg;
+  cfg.nprocs = 2;
+  cfg.workers = 1;
+  AlignService service(cfg);
+  service.load_subject(subject);
+
+  QuerySpec head;  // keeps the worker busy so the next query queues
+  head.subject = "chr";
+  head.query = big_probe;
+  const auto head_adm = service.submit(std::move(head));
+
+  QuerySpec doomed;
+  doomed.subject = "chr";
+  doomed.query = probe;
+  doomed.strategy = StrategyKind::kExact;  // not batchable with the head
+  doomed.deadline_s = 1e-9;                // expires while queued
+  const auto adm = service.submit(std::move(doomed));
+  ASSERT_TRUE(adm.admitted());  // admission succeeded; dispatch rejects
+  const QueryOutcome& out = adm.ticket->wait();
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, "deadline expired before dispatch");
+  EXPECT_TRUE(head_adm.ticket->wait().ok);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected_deadline, 1u);
+  EXPECT_EQ(stats.failed, 0u);  // a deadline reject is not a failure
+}
+
+TEST(AlignService, FullQueueRejectsWithBackpressure) {
+  const Sequence subject = make_subject(2500, 51, "chr");
+  const Sequence big_probe = make_probe(subject, 0, 800, 52);
+
+  ServiceConfig cfg;
+  cfg.nprocs = 2;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  AlignService service(cfg);
+  service.load_subject(subject);
+
+  int rejects = 0;
+  std::string reason;
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 4; ++i) {
+    QuerySpec spec;
+    spec.subject = "chr";
+    spec.query = big_probe;
+    spec.strategy = StrategyKind::kExact;  // not batchable: queue stays full
+    const auto adm = service.submit(std::move(spec));
+    tickets.push_back(adm.ticket);
+    if (!adm.admitted()) {
+      ++rejects;
+      reason = adm.reject;
+      // A rejected ticket is resolved immediately with the reason.
+      EXPECT_TRUE(adm.ticket->ready());
+      EXPECT_FALSE(adm.ticket->wait().ok);
+    }
+  }
+  EXPECT_GT(rejects, 0);
+  EXPECT_EQ(reason, "queue full");
+  EXPECT_GT(service.stats().rejected_full, 0u);
+  for (const auto& t : tickets) t->wait();
+}
+
+TEST(AlignService, InjectedFailureIsAbsorbedAndThePoolKeepsServing) {
+  const Sequence subject = make_subject(3000, 61, "chr");
+  const Sequence probe = make_probe(subject, 300, 250, 62);
+
+  ServiceConfig cfg;
+  cfg.nprocs = 2;
+  AlignService service(cfg);
+  service.load_subject(subject);
+
+  // Warm the subject first so the recovery's cold restart is observable.
+  QuerySpec warmup;
+  warmup.subject = "chr";
+  warmup.query = probe;
+  warmup.strategy = StrategyKind::kBlocked;
+  EXPECT_TRUE(service.submit(std::move(warmup)).ticket->wait().ok);
+
+  QuerySpec poison;
+  poison.subject = "chr";
+  poison.query = probe;
+  poison.inject_failure_node = 1;
+  const TicketPtr poison_ticket = service.submit(std::move(poison)).ticket;
+  const QueryOutcome& failed = poison_ticket->wait();
+  EXPECT_FALSE(failed.ok);
+  EXPECT_NE(failed.error.find("injected query failure"), std::string::npos)
+      << failed.error;
+
+  // The node pool is back: the same service answers the next query, cold
+  // again (the failed job dropped every cached frame).
+  QuerySpec after;
+  after.subject = "chr";
+  after.query = probe;
+  after.strategy = StrategyKind::kBlocked;
+  const TicketPtr after_ticket = service.submit(std::move(after)).ticket;
+  const QueryOutcome& out = after_ticket->wait();
+  ASSERT_TRUE(out.ok) << out.error;
+  EXPECT_FALSE(out.result.warm);
+  EXPECT_EQ(out.result.candidates, heuristic_scan(probe, subject));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+}
+
+TEST(AlignService, UnknownSubjectFailsTheQueryNotTheService) {
+  ServiceConfig cfg;
+  cfg.nprocs = 2;
+  AlignService service(cfg);
+  service.load_subject(make_subject(2000, 71, "known"));
+
+  QuerySpec spec;
+  spec.subject = "missing";
+  spec.query = make_subject(100, 72, "probe");
+  const TicketPtr ticket = service.submit(std::move(spec)).ticket;
+  const QueryOutcome& out = ticket->wait();
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("unknown subject"), std::string::npos);
+  EXPECT_EQ(service.stats().failed, 1u);
+}
+
+TEST(AlignService, LoadSubjectRejectsDuplicatesAndAnonymous) {
+  ServiceConfig cfg;
+  cfg.nprocs = 2;
+  AlignService service(cfg);
+  service.load_subject(make_subject(1000, 81, "chr"));
+  EXPECT_THROW(service.load_subject(make_subject(1000, 82, "chr")),
+               std::invalid_argument);
+  Sequence anonymous = make_subject(1000, 83, "x");
+  anonymous.set_name("");
+  EXPECT_THROW(service.load_subject(anonymous), std::invalid_argument);
+}
+
+TEST(AlignService, ShutdownRejectsNewQueriesAndDrains) {
+  const Sequence subject = make_subject(2000, 91, "chr");
+  const Sequence probe = make_probe(subject, 100, 200, 92);
+
+  ServiceConfig cfg;
+  cfg.nprocs = 2;
+  AlignService service(cfg);
+  service.load_subject(subject);
+  QuerySpec spec;
+  spec.subject = "chr";
+  spec.query = probe;
+  const auto adm = service.submit(std::move(spec));
+  service.shutdown();
+  EXPECT_TRUE(adm.ticket->ready());  // admitted work was drained first
+  QuerySpec late;
+  late.subject = "chr";
+  late.query = probe;
+  const auto rejected = service.submit(std::move(late));
+  EXPECT_FALSE(rejected.admitted());
+  EXPECT_EQ(rejected.reject, "service shutting down");
+  EXPECT_FALSE(rejected.ticket->wait().ok);
+}
+
+}  // namespace
+}  // namespace gdsm::svc

@@ -10,7 +10,10 @@
 #   2. ctest -L tier1          -- the correctness gate (see ROADMAP.md)
 #   3. ctest -L bench_smoke    -- tiny benches, schema-validated reports
 #   4. fuzz_align, 30 s budget -- differential fuzz over the fault matrix
-#   5. (--tsan) TSan build + the dsm/fault/oracle suites raced under TSan
+#   5. service_smoke           -- 5 s oracle-verified loadgen burst against
+#                                 the alignment service (docs/SERVICE.md)
+#   6. (--tsan) TSan build + the dsm/fault/oracle/service suites raced
+#      under ThreadSanitizer (admission must stay deadlock-free)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,17 +39,28 @@ ctest --test-dir build -L bench_smoke --output-on-failure
 echo "==> fuzz_align (30 s budget)"
 build/tools/fuzz_align --budget-s=30 --quiet
 
+echo "==> service_smoke (5 s oracle-verified loadgen)"
+build/tools/loadgen --rate=120 --duration-s=5 --subjects=2 \
+  --subject-len=2000 --query-len=250 --queue-cap=512 --min-in-flight=4 \
+  --quiet
+
 if [ "$RUN_TSAN" -eq 1 ]; then
   echo "==> TSan build + concurrency suites"
   cmake -B build-tsan -S . -DGDSM_TSAN=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "$JOBS" --target \
-    dsm_stress_test fault_injection_test differential_oracle_test mp_test dsm_test
+    dsm_stress_test fault_injection_test differential_oracle_test mp_test \
+    dsm_test cluster_submit_test svc_test loadgen
   for t in dsm_stress_test fault_injection_test differential_oracle_test \
-           mp_test dsm_test; do
+           mp_test dsm_test cluster_submit_test svc_test; do
     echo "---- $t (tsan)"
     TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
   done
+  # Admission under load must be deadlock-free: a short raced loadgen burst.
+  echo "---- loadgen (tsan)"
+  TSAN_OPTIONS="halt_on_error=1" build-tsan/tools/loadgen --rate=200 \
+    --duration-s=2 --subjects=2 --subject-len=1500 --query-len=200 \
+    --queue-cap=256 --quiet
 fi
 
 echo "==> CI OK"

@@ -12,12 +12,15 @@
 // the case is minimized and the exact `--seed=... --faults=...` repro line
 // is printed; the exit code is 1.  `--report=<path>` additionally writes a
 // gdsm.run_report JSON document (docs/METRICS.md).
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "obs/report.h"
 #include "obs/snapshots.h"
+#include "svc/service.h"
 #include "testing/oracle.h"
 #include "util/args.h"
 
@@ -28,11 +31,15 @@ using gdsm::obs::Json;
 constexpr const char* kUsage =
     "usage: fuzz_align [--seed=N] [--faults=SPEC] [--budget-s=S]\n"
     "                  [--len=N] [--procs=P] [--regions=R]\n"
-    "                  [--strategies=MASK] [--report=PATH] [--quiet]\n"
+    "                  [--strategies=MASK] [--service] [--report=PATH]\n"
+    "                  [--quiet]\n"
     "  --seed + --faults  replay one case and exit (0 = match, 1 = diverged)\n"
     "  --budget-s         fuzz new (seed, plan) pairs for S seconds\n"
     "  --faults           fault-plan spec, e.g. \"drop=0.2,retries=3\" or "
-    "\"none\"\n";
+    "\"none\"\n"
+    "  --service          run each case through the alignment service\n"
+    "                     (admission + scheduler + persistent cluster)\n"
+    "                     instead of calling the strategies directly\n";
 
 gdsm::testing::OracleCase base_case(const gdsm::Args& args) {
   gdsm::testing::OracleCase c;
@@ -68,11 +75,125 @@ Json case_row(const gdsm::testing::OracleCase& c,
   return row;
 }
 
+/// The service-path twin of testing::run_differential: the case's genome
+/// pair is replayed through admission, the scheduler and the persistent
+/// cluster (one submit per unmasked strategy, all in flight together so
+/// batching engages), and every answer is judged against the serial
+/// references.  The fault plan rides on the service cluster's transport.
+gdsm::testing::OracleVerdict run_service_case(
+    const gdsm::testing::OracleCase& c, unsigned mask) {
+  namespace svc = gdsm::svc;
+  gdsm::testing::OracleVerdict v;
+
+  const gdsm::HomologousPair pair = c.make_pair();
+  gdsm::Sequence subject = pair.t;
+  subject.set_name("t");
+
+  const std::vector<gdsm::Candidate> ref_candidates =
+      gdsm::heuristic_scan(pair.s, subject, c.scheme, c.params);
+  const gdsm::BestLocal ref_best =
+      gdsm::sw_best_score_linear(pair.s, subject, c.scheme);
+  v.serial_best = ref_best.score;
+  v.serial_candidates = ref_candidates.size();
+  if (!ref_candidates.empty()) {
+    for (const auto& cand : ref_candidates) {
+      v.serial_heuristic_best = std::max(v.serial_heuristic_best, cand.score);
+    }
+  }
+
+  svc::ServiceConfig scfg;
+  scfg.nprocs = c.nprocs;
+  scfg.dsm.retry = c.retry;
+  scfg.dsm.faults = c.faults;
+  svc::AlignService service(scfg);
+  service.load_subject(subject);
+
+  struct Probe {
+    unsigned bit;
+    svc::StrategyKind kind;
+    const char* name;
+  };
+  const Probe probes[] = {
+      {gdsm::testing::kWavefront, svc::StrategyKind::kWavefront, "wavefront"},
+      {gdsm::testing::kBlocked, svc::StrategyKind::kBlocked, "blocked"},
+      {gdsm::testing::kBlockedMp, svc::StrategyKind::kBlockedMp, "blocked_mp"},
+      {gdsm::testing::kExactParallel, svc::StrategyKind::kExact, "exact"},
+  };
+
+  std::vector<std::pair<const Probe*, svc::TicketPtr>> in_flight;
+  for (const Probe& p : probes) {
+    gdsm::testing::StrategyOutcome o;
+    o.name = std::string("service.") + p.name;
+    o.ran = (mask & p.bit) != 0;
+    v.outcomes.push_back(std::move(o));
+    if ((mask & p.bit) == 0) continue;
+    svc::QuerySpec spec;
+    spec.subject = subject.name();
+    spec.query = pair.s;
+    spec.strategy = p.kind;
+    spec.scheme = c.scheme;
+    spec.params = c.params;
+    svc::AlignService::Admission adm = service.submit(std::move(spec));
+    if (!adm.admitted()) {
+      v.outcomes.back().score_ok = false;
+      v.outcomes.back().detail = "admission rejected: " + adm.reject;
+      continue;
+    }
+    in_flight.emplace_back(&p, std::move(adm.ticket));
+  }
+
+  for (auto& [p, ticket] : in_flight) {
+    const svc::QueryOutcome& out = ticket->wait();
+    gdsm::testing::StrategyOutcome* o = nullptr;
+    for (auto& candidate_o : v.outcomes) {
+      if (candidate_o.name == std::string("service.") + p->name) {
+        o = &candidate_o;
+      }
+    }
+    if (!out.ok) {
+      o->score_ok = false;
+      o->detail = "query failed: " + out.error;
+      continue;
+    }
+    if (p->kind == svc::StrategyKind::kExact) {
+      o->best_score = out.result.best.score;
+      if (out.result.best.score != ref_best.score ||
+          out.result.best.end_i != ref_best.end_i ||
+          out.result.best.end_j != ref_best.end_j) {
+        o->score_ok = false;
+        o->detail = "exact best != sw_best_score_linear";
+      }
+    } else {
+      for (const auto& cand : out.result.candidates) {
+        o->best_score = std::max(o->best_score, cand.score);
+      }
+      if (out.result.candidates != ref_candidates) {
+        o->regions_ok = false;
+        o->detail = "candidate queue != heuristic_scan";
+      }
+    }
+  }
+  service.shutdown();
+
+  for (const auto& o : v.outcomes) v.ok = v.ok && o.ok();
+  return v;
+}
+
 void report_divergence(const gdsm::testing::OracleCase& failing,
                        const gdsm::testing::OracleVerdict& verdict,
-                       unsigned mask) {
+                       unsigned mask, bool service) {
   std::cout << "DIVERGENCE (" << failing.to_string() << ")\n"
             << verdict.summary();
+  if (service) {
+    // The minimizer replays through the direct strategy calls, which a
+    // service-path divergence may not reproduce — print the case verbatim.
+    std::cout << "repro:\n"
+              << "  fuzz_align --service --seed=" << failing.seed << " --len="
+              << failing.length_s << " --procs=" << failing.nprocs
+              << " --regions=" << failing.n_regions << " --faults=\""
+              << failing.faults.to_string() << "\"\n";
+    return;
+  }
   const gdsm::testing::OracleCase small =
       gdsm::testing::minimize(failing, mask);
   std::cout << "minimized repro:\n"
@@ -90,19 +211,21 @@ int main(int argc, char** argv) {
                          "regions", "strategies", "report"});
   const auto unknown = args.unknown_keys({"seed", "faults", "budget-s", "len",
                                           "procs", "regions", "strategies",
-                                          "report", "quiet"});
+                                          "service", "report", "quiet"});
   if (!unknown.empty()) {
     std::cerr << "fuzz_align: unknown option --" << unknown.front() << "\n"
               << kUsage;
     return 2;
   }
   const bool quiet = args.get_bool("quiet", false);
+  const bool service = args.get_bool("service", false);
   const auto mask =
       static_cast<unsigned>(args.get_int("strategies",
                                          gdsm::testing::kAllStrategies));
 
   gdsm::obs::RunReport report("fuzz_align",
                               "Cross-strategy differential fuzzing");
+  report.set_param("service", service);
   report.set_param("len", args.get_int("len", 600));
   report.set_param("procs", args.get_int("procs", 4));
   report.set_param("regions", args.get_int("regions", 4));
@@ -116,7 +239,8 @@ int main(int argc, char** argv) {
 
   const auto run_case = [&](gdsm::testing::OracleCase c) {
     const gdsm::testing::OracleVerdict v =
-        gdsm::testing::run_differential(c, mask);
+        service ? run_service_case(c, mask)
+                : gdsm::testing::run_differential(c, mask);
     ++cases;
     report.add_row("cases", case_row(c, v));
     if (v.ok) {
@@ -127,7 +251,7 @@ int main(int argc, char** argv) {
       }
     } else {
       ++divergences;
-      report_divergence(c, v, mask);
+      report_divergence(c, v, mask, service);
     }
     return v.ok;
   };

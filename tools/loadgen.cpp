@@ -1,0 +1,257 @@
+// loadgen: seeded open-loop load generator for the alignment service.
+//
+// Arrivals are generated on a fixed seeded schedule (exponential
+// inter-arrival times at `--rate` queries/s) regardless of how fast the
+// service drains them — the open-loop discipline that actually exposes
+// queueing: when the service falls behind, the admission queue fills and
+// try_push rejects with backpressure instead of the generator slowing down.
+//
+// Every completed query is verified against its single-query serial
+// reference (heuristic_scan / sw_best_score_linear) computed independently
+// here; any mismatch fails the run.  `--report=<path>` writes a
+// gdsm.run_report v3 document with throughput, latency and the full
+// "service" section.
+//
+//   loadgen --rate=40 --duration-s=5 --verify-all --report=loadgen.json
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/report.h"
+#include "svc/service.h"
+#include "sw/heuristic_scan.h"
+#include "sw/linear_score.h"
+#include "util/args.h"
+#include "util/genome.h"
+#include "util/rng.h"
+
+namespace {
+
+using gdsm::obs::Json;
+using gdsm::svc::StrategyKind;
+
+constexpr const char* kUsage =
+    "usage: loadgen [--rate=QPS] [--duration-s=S] [--subjects=K]\n"
+    "               [--subject-len=L] [--query-len=L] [--seed=S] [--procs=P]\n"
+    "               [--workers=W] [--queue-cap=C] [--max-batch=B]\n"
+    "               [--deadline-s=D] [--exact-every=N] [--no-verify]\n"
+    "               [--min-in-flight=N] [--report=PATH] [--quiet]\n"
+    "  open-loop: arrivals follow the seeded schedule even when the service\n"
+    "  falls behind; backpressure rejects are counted, not retried.\n"
+    "  --exact-every=N    every Nth query runs the exact strategy (0 = never)\n"
+    "  --min-in-flight=N  fail unless N queries were ever in flight at once\n";
+
+struct Flight {
+  std::size_t subject_idx = 0;
+  gdsm::Sequence query;
+  StrategyKind strategy = StrategyKind::kAuto;
+  gdsm::svc::TicketPtr ticket;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gdsm::Args args(argc, argv,
+                        {"rate", "duration-s", "subjects", "subject-len",
+                         "query-len", "seed", "procs", "workers", "queue-cap",
+                         "max-batch", "deadline-s", "exact-every",
+                         "min-in-flight", "report"});
+  const auto unknown = args.unknown_keys(
+      {"rate", "duration-s", "subjects", "subject-len", "query-len", "seed",
+       "procs", "workers", "queue-cap", "max-batch", "deadline-s",
+       "exact-every", "min-in-flight", "no-verify", "report", "quiet",
+       "help"});
+  if (!unknown.empty() || args.get_bool("help")) {
+    std::cerr << kUsage;
+    return unknown.empty() ? 0 : 2;
+  }
+
+  const double rate = args.get_double("rate", 20.0);
+  const double duration_s = args.get_double("duration-s", 5.0);
+  const auto n_subjects = static_cast<std::size_t>(args.get_int("subjects", 2));
+  const auto subject_len =
+      static_cast<std::size_t>(args.get_int("subject-len", 3000));
+  const auto query_len =
+      static_cast<std::size_t>(args.get_int("query-len", 300));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto exact_every =
+      static_cast<std::size_t>(args.get_int("exact-every", 0));
+  const bool verify = !args.get_bool("no-verify");
+  const bool quiet = args.get_bool("quiet");
+  if (rate <= 0 || duration_s <= 0) {
+    std::cerr << "loadgen: --rate and --duration-s must be positive\n";
+    return 2;
+  }
+
+  gdsm::svc::ServiceConfig cfg;
+  cfg.nprocs = static_cast<int>(args.get_int("procs", 4));
+  cfg.workers = static_cast<int>(args.get_int("workers", 2));
+  cfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 64));
+  cfg.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 8));
+  gdsm::svc::AlignService service(cfg);
+
+  gdsm::Rng rng(seed);
+  std::vector<gdsm::Sequence> subjects;
+  for (std::size_t k = 0; k < n_subjects; ++k) {
+    gdsm::Sequence subject =
+        gdsm::random_dna(subject_len, rng, "subject" + std::to_string(k));
+    service.load_subject(subject);
+    subjects.push_back(std::move(subject));
+  }
+
+  // Open loop: the whole arrival schedule is derived from the seed before
+  // any query runs, so two loadgen runs offer identical traffic.
+  std::vector<double> arrival_s;
+  for (double t = 0;;) {
+    const double u =
+        (static_cast<double>(rng() >> 11) + 0.5) * 0x1p-53;  // (0, 1)
+    t += -std::log(u) / rate;  // exponential inter-arrival
+    if (t >= duration_s) break;
+    arrival_s.push_back(t);
+  }
+
+  std::vector<Flight> flights;
+  flights.reserve(arrival_s.size());
+  std::uint64_t offered = 0, rejected = 0;
+  std::size_t max_in_flight = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const double at : arrival_s) {
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(at)));
+    Flight f;
+    f.subject_idx = rng() % subjects.size();
+    const gdsm::Sequence& subject = subjects[f.subject_idx];
+    const std::size_t len = std::min(query_len, subject.size());
+    const std::size_t begin =
+        len < subject.size() ? rng() % (subject.size() - len) : 0;
+    f.query = gdsm::mutate(subject.slice(begin, begin + len), 0.05, 0.01, rng);
+    f.query.set_name("probe" + std::to_string(offered));
+    if (exact_every != 0 && (offered + 1) % exact_every == 0) {
+      f.strategy = StrategyKind::kExact;
+    }
+    gdsm::svc::QuerySpec spec;
+    spec.subject = subject.name();
+    spec.query = f.query;
+    spec.strategy = f.strategy;
+    spec.deadline_s = args.get_double("deadline-s", 0.0);
+    gdsm::svc::AlignService::Admission adm = service.submit(std::move(spec));
+    ++offered;
+    if (!adm.admitted()) {
+      ++rejected;
+      continue;
+    }
+    f.ticket = std::move(adm.ticket);
+    flights.push_back(std::move(f));
+    std::size_t in_flight = 0;
+    for (const Flight& fl : flights) {
+      if (!fl.ticket->ready()) ++in_flight;
+    }
+    max_in_flight = std::max(max_in_flight, in_flight);
+  }
+
+  service.drain();
+
+  // Judge every admitted query against its independently computed
+  // single-query reference.
+  std::uint64_t completed = 0, failed = 0, mismatches = 0;
+  std::vector<Json> rows;
+  rows.reserve(flights.size());
+  for (const Flight& f : flights) {
+    const gdsm::svc::QueryOutcome& out = f.ticket->wait();
+    Json row = Json::object();
+    row.set("id", out.result.id);
+    row.set("ok", out.ok);
+    if (out.ok) {
+      row.set("strategy", gdsm::svc::strategy_name(out.result.strategy));
+      row.set("warm", out.result.warm);
+      row.set("batch_size", out.result.batch_size);
+      row.set("wait_s", out.result.wait_s);
+      row.set("total_s", out.result.total_s);
+    } else {
+      row.set("error", out.error);
+    }
+    rows.push_back(std::move(row));
+    if (!out.ok) {
+      ++failed;
+      if (!quiet) std::cout << "loadgen: query failed: " << out.error << "\n";
+      continue;
+    }
+    ++completed;
+    if (!verify) continue;
+    const gdsm::Sequence& subject = subjects[f.subject_idx];
+    if (out.result.strategy == StrategyKind::kExact) {
+      const gdsm::BestLocal ref = gdsm::sw_best_score_linear(f.query, subject);
+      if (ref.score != out.result.best.score ||
+          ref.end_i != out.result.best.end_i ||
+          ref.end_j != out.result.best.end_j) {
+        ++mismatches;
+        std::cout << "loadgen: ORACLE MISMATCH (exact) on query "
+                  << out.result.id << "\n";
+      }
+    } else if (gdsm::heuristic_scan(f.query, subject) !=
+               out.result.candidates) {
+      ++mismatches;
+      std::cout << "loadgen: ORACLE MISMATCH (candidates) on query "
+                << out.result.id << " via "
+                << gdsm::svc::strategy_name(out.result.strategy) << "\n";
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const gdsm::svc::ServiceStats stats = service.stats();
+  service.shutdown();
+
+  const double throughput =
+      wall_s > 0 ? static_cast<double>(completed) / wall_s : 0;
+  if (!quiet) {
+    std::cout << "loadgen: offered " << offered << ", completed " << completed
+              << ", rejected " << rejected << ", failed " << failed
+              << ", mismatches " << mismatches << "\n"
+              << "  throughput " << throughput << " q/s, max in-flight "
+              << max_in_flight << ", p50 "
+              << stats.total_latency.quantile(0.5) * 1e3 << " ms, p99 "
+              << stats.total_latency.quantile(0.99) * 1e3 << " ms\n";
+  }
+
+  if (args.has("report")) {
+    gdsm::obs::RunReport report("loadgen",
+                                "Open-loop service load generation");
+    report.set_param("rate_qps", rate);
+    report.set_param("duration_s", duration_s);
+    report.set_param("subjects", args.get_int("subjects", 2));
+    report.set_param("subject_len", args.get_int("subject-len", 3000));
+    report.set_param("query_len", args.get_int("query-len", 300));
+    report.set_param("seed", args.get_int("seed", 42));
+    report.set_param("procs", args.get_int("procs", 4));
+    report.set_param("workers", args.get_int("workers", 2));
+    report.set_param("verify", verify);
+    report.set_param("host_clock", true);  // wall-clock arrivals + latencies
+    report.metrics().set("offered", offered);
+    report.metrics().set("completed", completed);
+    report.metrics().set("rejected", rejected);
+    report.metrics().set("failed", failed);
+    report.metrics().set("mismatches", mismatches);
+    report.metrics().set("throughput_qps", throughput);
+    report.metrics().set("max_in_flight", max_in_flight);
+    report.metrics().set("latency.p50_s", stats.total_latency.quantile(0.5));
+    report.metrics().set("latency.p99_s", stats.total_latency.quantile(0.99));
+    for (Json& row : rows) report.add_row("queries", std::move(row));
+    report.set_section("service", stats.to_json());
+    if (!report.write_file(args.get("report"))) return 2;
+  }
+  const auto min_in_flight =
+      static_cast<std::size_t>(args.get_int("min-in-flight", 0));
+  if (max_in_flight < min_in_flight) {
+    std::cout << "loadgen: max in-flight " << max_in_flight << " < required "
+              << min_in_flight << " (raise --rate or lower --workers)\n";
+    return 1;
+  }
+  return mismatches == 0 && failed == 0 ? 0 : 1;
+}
