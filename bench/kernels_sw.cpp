@@ -1,7 +1,11 @@
 // google-benchmark micro-benchmarks of the DP kernels on the build host.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+
 #include "gbench_json.h"
+#include "simd/dispatch.h"
 #include "sw/full_matrix.h"
 #include "sw/heuristic_scan.h"
 #include "sw/hirschberg.h"
@@ -19,6 +23,31 @@ std::pair<Sequence, Sequence> inputs(std::size_t n) {
   return {random_dna(n, rng, "s"), random_dna(n, rng, "t")};
 }
 
+// items_per_second and the explicit cells_per_second counter both report DP
+// cell updates (m*n per iteration), so GCUPS reads straight off the report.
+void set_cell_rate(benchmark::State& state) {
+  const double cells = static_cast<double>(state.range(0)) *
+                       static_cast<double>(state.range(0));
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0));
+  state.counters["cells_per_second"] =
+      benchmark::Counter(cells, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// Pins the dispatch to `backend` for the run (the unsuffixed benchmarks use
+// whatever the dispatch auto-picked, i.e. the numbers a user actually gets).
+class ForcedBackend {
+ public:
+  explicit ForcedBackend(simd::Backend b) : prev_(simd::active_backend()) {
+    ok_ = simd::force_backend(b) == b;
+  }
+  ~ForcedBackend() { simd::force_backend(prev_); }
+  bool ok() const { return ok_; }
+
+ private:
+  simd::Backend prev_;
+  bool ok_ = false;
+};
+
 void BM_FullMatrixSW(benchmark::State& state) {
   const auto [s, t] = inputs(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
@@ -34,9 +63,50 @@ void BM_LinearScoreSW(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(sw_best_score_linear(s, t));
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0));
+  set_cell_rate(state);
 }
 BENCHMARK(BM_LinearScoreSW)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_LinearScoreSWBackend(benchmark::State& state, simd::Backend backend) {
+  ForcedBackend forced(backend);
+  if (!forced.ok()) {
+    state.SkipWithError("backend unavailable on this host");
+    return;
+  }
+  const auto [s, t] = inputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw_best_score_linear(s, t));
+  }
+  set_cell_rate(state);
+}
+
+void BM_ScanHits(benchmark::State& state) {
+  const auto [s, t] = inputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    sw_scan_hits(s, t, ScoreScheme{}, /*threshold=*/25,
+                 [&](std::size_t, std::size_t, int) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+  set_cell_rate(state);
+}
+BENCHMARK(BM_ScanHits)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ScanHitsBackend(benchmark::State& state, simd::Backend backend) {
+  ForcedBackend forced(backend);
+  if (!forced.ok()) {
+    state.SkipWithError("backend unavailable on this host");
+    return;
+  }
+  const auto [s, t] = inputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    sw_scan_hits(s, t, ScoreScheme{}, /*threshold=*/25,
+                 [&](std::size_t, std::size_t, int) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+  set_cell_rate(state);
+}
 
 void BM_HeuristicScan(benchmark::State& state) {
   const auto [s, t] = inputs(static_cast<std::size_t>(state.range(0)));
@@ -83,6 +153,21 @@ BENCHMARK(BM_ReverseRebuild)->Arg(128)->Arg(512);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // One suffixed variant per backend this host can run, next to the
+  // unsuffixed (auto-dispatched) benchmarks registered above.
+  for (const gdsm::simd::Backend b : gdsm::simd::available_backends()) {
+    const std::string suffix = gdsm::simd::backend_name(b);
+    benchmark::RegisterBenchmark(("BM_LinearScoreSW_" + suffix).c_str(),
+                                 BM_LinearScoreSWBackend, b)
+        ->Arg(256)
+        ->Arg(1024)
+        ->Arg(4096);
+    benchmark::RegisterBenchmark(("BM_ScanHits_" + suffix).c_str(),
+                                 BM_ScanHitsBackend, b)
+        ->Arg(256)
+        ->Arg(1024)
+        ->Arg(4096);
+  }
   return gdsm::bench::gbench_main(
       argc, argv, "kernels_sw",
       "Microbenchmarks — DP kernels on the build host");

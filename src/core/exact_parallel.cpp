@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "mp/comm.h"
+#include "simd/dispatch.h"
 #include "sw/full_matrix.h"
 #include "sw/hirschberg.h"
 
@@ -44,12 +45,14 @@ ExactParallelResult exact_align_parallel(const Sequence& s, const Sequence& t,
 
   mp::World world(P, cfg.faults);
   BestLocal global_best;
+  const simd::ScoreParams kernel_params{cfg.scheme.match, cfg.scheme.mismatch,
+                                        cfg.scheme.gap};
 
   world.run([&](mp::Comm& comm) {
     const int p = comm.rank();
     BestLocal local;
 
-    std::vector<std::int32_t> top_row, prev_row, cur_row;
+    std::vector<std::int32_t> top_row, bottom_row;
     for (std::size_t b = static_cast<std::size_t>(p); b < B;
          b += static_cast<std::size_t>(P)) {
       const std::size_t row_lo = grid.row_offsets[b];
@@ -72,35 +75,32 @@ ExactParallelResult exact_align_parallel(const Sequence& s, const Sequence& t,
           top_row = comm.recv_vector<std::int32_t>(prev_rank,
                                                    boundary_tag(b - 1, K, k));
         }
-        prev_row = top_row;
-        cur_row.assign(W, 0);
+        bottom_row.resize(W);
         std::vector<std::int32_t> new_edge(H + 1, 0);
         new_edge[0] = top_row.back();
 
-        for (std::size_t r = 1; r <= H; ++r) {
-          const std::size_t row = row_lo + r;  // 1-based
-          const Base si = s[row - 1];
-          std::int32_t diag = left_edge[r - 1];
-          std::int32_t left = left_edge[r];
-          for (std::size_t w = 0; w < W; ++w) {
-            const std::size_t col = col_lo + w + 1;  // 1-based
-            const std::int32_t up = prev_row[w];
-            const std::int32_t v = std::max(
-                {0, diag + cfg.scheme.substitution(si, t[col - 1]),
-                 up + cfg.scheme.gap, left + cfg.scheme.gap});
-            diag = up;
-            left = v;
-            cur_row[w] = v;
-            if (v >= local.score) consider(local, v, row, col);
-          }
-          new_edge[r] = cur_row[W - 1];
-          std::swap(prev_row, cur_row);
+        // One dispatched kernel call per block: columns on the lanes, rows
+        // on the sweep, so the kernel's (b, a) tie-break is exactly the
+        // (row, col) rule consider() enforces across ranks.
+        simd::DiagBlock blk;
+        blk.a_seq = t.data() + col_lo;
+        blk.a_len = W;
+        blk.b_seq = s.data() + row_lo;
+        blk.b_len = H;
+        blk.bound_a = top_row.data();
+        blk.bound_b = left_edge.data() + 1;
+        blk.corner = left_edge[0];
+        blk.out_last_b = bottom_row.data();
+        blk.out_last_a = new_edge.data() + 1;
+        const simd::BestCell bc = simd::block_best(blk, kernel_params);
+        if (bc.score > 0) {
+          consider(local, bc.score, row_lo + bc.b + 1, col_lo + bc.a + 1);
         }
         left_edge = std::move(new_edge);
 
         if (b + 1 < B) {
-          comm.send_span(next_rank, boundary_tag(b, K, k), prev_row.data(),
-                         prev_row.size());
+          comm.send_span(next_rank, boundary_tag(b, K, k), bottom_row.data(),
+                         bottom_row.size());
         }
       }
     }

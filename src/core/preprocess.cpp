@@ -7,6 +7,7 @@
 
 #include "core/partition.h"
 #include "dsm/cluster.h"
+#include "simd/dispatch.h"
 
 namespace gdsm::core {
 
@@ -149,6 +150,16 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
     std::vector<std::int32_t> top_in;       // incoming passage chunk
     std::vector<std::int32_t> bottom_out;   // outgoing passage chunk
     std::vector<std::uint64_t> hits(groups);
+    std::vector<std::uint64_t> col_hits;    // per-column counts from the kernel
+
+    // Column checkpoints snapshot interior columns the block kernel never
+    // materializes, so those runs keep the scalar column sweep; everything
+    // else goes through the dispatched block kernel, one band×chunk block
+    // per call.
+    const bool column_checkpoints =
+        cfg.save_interleave != 0 && cfg.io_mode != IoMode::kNone;
+    const simd::ScoreParams kernel_params{cfg.scheme.match, cfg.scheme.mismatch,
+                                          cfg.scheme.gap};
 
     for (std::size_t b = static_cast<std::size_t>(p); b < B;
          b += static_cast<std::size_t>(P)) {
@@ -171,30 +182,52 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
         }
         bottom_out.resize(W);
 
-        for (std::size_t w = 0; w < W; ++w) {
-          const std::size_t j = col_lo + w + 1;  // 1-based matrix column
-          const Base tj = t[j - 1];
-          const std::int32_t top = top_in[w];
-          for (std::size_t r = 1; r <= H; ++r) {
-            const std::size_t row = row_lo + r;  // 1-based matrix row
-            const std::int32_t up = r == 1 ? top : cur_col[r - 2];
-            const std::int32_t dg = r == 1 ? prev_top : prev_col[r - 2];
-            const std::int32_t lf = prev_col[r - 1];
-            const std::int32_t v = std::max(
-                {0, dg + cfg.scheme.substitution(s[row - 1], tj),
-                 up + cfg.scheme.gap, lf + cfg.scheme.gap});
-            cur_col[r - 1] = v;
-            if (v >= cfg.threshold) ++hits[(j - 1) / ipr];
+        if (!column_checkpoints) {
+          simd::DiagBlock blk;
+          blk.a_seq = t.data() + col_lo;     // chunk columns on the lanes
+          blk.a_len = W;
+          blk.b_seq = s.data() + row_lo;     // band rows on the sweep
+          blk.b_len = H;
+          blk.bound_a = top_in.data();       // passage row above the band
+          blk.bound_b = prev_col.data();     // last column of the prior chunk
+          blk.corner = prev_top;
+          blk.out_last_b = bottom_out.data();
+          // out_last_a must not alias bound_b (the reference backend streams
+          // columns in place), so land it in cur_col and swap afterwards.
+          blk.out_last_a = cur_col.data();
+          col_hits.assign(W, 0);
+          simd::block_count(blk, kernel_params, cfg.threshold, col_hits.data());
+          for (std::size_t w = 0; w < W; ++w) {
+            hits[(col_lo + w) / ipr] += col_hits[w];
           }
-          if (cfg.save_interleave != 0 && j % cfg.save_interleave == 0 &&
-              cfg.io_mode != IoMode::kNone) {
-            cfg.store->save(static_cast<std::uint32_t>(j),
-                            static_cast<std::uint32_t>(row_lo + 1), cur_col);
-          }
-          bottom_out[w] = cur_col[H - 1];
-          prev_top = top;
+          prev_top = top_in[W - 1];
           std::swap(prev_col, cur_col);
+        } else {
+          for (std::size_t w = 0; w < W; ++w) {
+            const std::size_t j = col_lo + w + 1;  // 1-based matrix column
+            const Base tj = t[j - 1];
+            const std::int32_t top = top_in[w];
+            for (std::size_t r = 1; r <= H; ++r) {
+              const std::size_t row = row_lo + r;  // 1-based matrix row
+              const std::int32_t up = r == 1 ? top : cur_col[r - 2];
+              const std::int32_t dg = r == 1 ? prev_top : prev_col[r - 2];
+              const std::int32_t lf = prev_col[r - 1];
+              const std::int32_t v = std::max(
+                  {0, dg + cfg.scheme.substitution(s[row - 1], tj),
+                   up + cfg.scheme.gap, lf + cfg.scheme.gap});
+              cur_col[r - 1] = v;
+              if (v >= cfg.threshold) ++hits[(j - 1) / ipr];
+            }
+            if (j % cfg.save_interleave == 0) {
+              cfg.store->save(static_cast<std::uint32_t>(j),
+                              static_cast<std::uint32_t>(row_lo + 1), cur_col);
+            }
+            bottom_out[w] = cur_col[H - 1];
+            prev_top = top;
+            std::swap(prev_col, cur_col);
+          }
         }
+        node.add_dp_cells(static_cast<std::uint64_t>(W) * H);
 
         if (cfg.row_store != nullptr) {
           // Passage-band checkpoint: this band's bottom row (global row

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "simd/dispatch.h"
+
 namespace gdsm::core {
 namespace {
 
@@ -88,6 +90,22 @@ ReprocessResult reprocess_region(const Sequence& s, const Sequence& t,
     }
   }
 
+  // Score-only prescreen through the dispatched kernel: the snapped block's
+  // boundaries are exactly a DiagBlock (columns on the lanes, rows on the
+  // sweep), so one vectorized best-score pass tells whether any cell can
+  // reach min_score before the scalar refill — whose full grid the traceback
+  // (and the scores contract) still needs — decides about retrieval.
+  simd::DiagBlock blk;
+  blk.a_seq = t.data() + (res.computed.col_lo - 1);
+  blk.a_len = C;
+  blk.b_seq = s.data() + (res.computed.row_lo - 1);
+  blk.b_len = R;
+  blk.bound_a = top_row.data();
+  blk.bound_b = left_col.data();
+  blk.corner = corner;
+  const simd::ScoreParams sp{scheme.match, scheme.mismatch, scheme.gap};
+  const bool any_candidate = simd::block_best(blk, sp).score >= min_score;
+
   // Exact DP refill of the subregion.
   res.scores.assign(R * C, 0);
   auto cell = [&](std::size_t r, std::size_t c) -> std::int32_t& {
@@ -116,6 +134,7 @@ ReprocessResult reprocess_region(const Sequence& s, const Sequence& t,
     std::size_t r, c;  // 0-based within the computed grid
   };
   std::vector<End> ends;
+  if (!any_candidate) return res;
   for (std::size_t r = region.row_lo - res.computed.row_lo; r < R; ++r) {
     for (std::size_t c = region.col_lo - res.computed.col_lo; c < C; ++c) {
       const std::int32_t v = cell(r, c);

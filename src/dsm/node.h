@@ -78,6 +78,10 @@ class Node {
 
   const NodeStats& stats() const noexcept { return stats_; }
 
+  /// Attributes `cells` DP cell updates to this node (strategy loops call
+  /// this next to their simd kernel dispatches; see dsm_stats.dp_cells).
+  void add_dp_cells(std::uint64_t cells) noexcept { stats_.dp_cells += cells; }
+
  private:
   friend class Cluster;
 

@@ -26,6 +26,9 @@ struct NodeStats {
   std::uint64_t request_timeouts = 0;  ///< reply waits that hit the timeout
   std::uint64_t request_retries = 0;   ///< idempotent requests retransmitted
   std::uint64_t stale_replies = 0;     ///< superseded replies dropped by id
+  std::uint64_t dp_cells = 0;  ///< DP cell updates this node pushed through
+                               ///< the dispatched kernels (v4; attributes
+                               ///< compute volume to the strategy loops)
 
   NodeStats& operator+=(const NodeStats& o) noexcept {
     read_faults += o.read_faults;
@@ -43,6 +46,7 @@ struct NodeStats {
     request_timeouts += o.request_timeouts;
     request_retries += o.request_retries;
     stale_replies += o.stale_replies;
+    dp_cells += o.dp_cells;
     return *this;
   }
 };

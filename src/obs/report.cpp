@@ -3,6 +3,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/snapshots.h"
+
 namespace gdsm::obs {
 
 #ifndef GDSM_GIT_DESCRIBE
@@ -53,7 +55,16 @@ Json RunReport::to_json() const {
   doc.set("params", params_);
   doc.set("metrics", metrics_.to_json());
   doc.set("series", series_);
-  if (sections_.size() > 0) doc.set("sections", sections_);
+  Json sections = sections_;
+  if (sections.find("kernel") == nullptr) {
+    // v4: every report names the dispatched backend and its cell counters;
+    // wall-clock-derived throughput only where params.host_clock says the
+    // numbers are this machine's.
+    const Json* hc = params_.find("host_clock");
+    sections.set("kernel",
+                 kernel_stats_json(hc != nullptr && hc->is_bool() && hc->as_bool()));
+  }
+  doc.set("sections", std::move(sections));
   return doc;
 }
 

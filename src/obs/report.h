@@ -24,7 +24,13 @@ inline constexpr const char* kReportSchema = "gdsm.run_report";
 /// v3: NodeStats gained cache_hits (page-cache residency) and service
 /// reports emit the "service" section (admission, batching, latency
 /// histograms — docs/SERVICE.md).
-inline constexpr int kSchemaVersion = 3;
+/// v4: every report carries the "kernel" section (active SIMD backend plus
+/// per-kernel call/cell counters; throughput only under params.host_clock)
+/// and NodeStats gained dp_cells — docs/KERNELS.md.
+inline constexpr int kSchemaVersion = 4;
+/// Oldest schema version tools still accept (v3 files predate the kernel
+/// section but are otherwise field-compatible).
+inline constexpr int kSchemaVersionMin = 3;
 
 /// Schema of the merged baseline produced by tools/merge_reports.
 inline constexpr const char* kBaselineSchema = "gdsm.baseline";

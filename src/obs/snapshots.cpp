@@ -1,6 +1,7 @@
 #include "obs/snapshots.h"
 
 #include "net/message.h"
+#include "simd/dispatch.h"
 
 namespace gdsm::obs {
 
@@ -50,6 +51,7 @@ Json to_json(const dsm::NodeStats& ns) {
   j.set("request_timeouts", ns.request_timeouts);
   j.set("request_retries", ns.request_retries);
   j.set("stale_replies", ns.stale_replies);
+  j.set("dp_cells", ns.dp_cells);
   return j;
 }
 
@@ -90,6 +92,32 @@ Json space_usage_json(const dsm::GlobalSpace& space) {
   Json per_node = Json::array();
   for (const std::size_t n : space.pages_per_node()) per_node.push(n);
   j.set("pages_per_node", std::move(per_node));
+  return j;
+}
+
+namespace {
+
+Json kernel_counters_json(const simd::KernelCounters& kc, bool host_clock) {
+  Json j = Json::object();
+  j.set("calls", kc.calls);
+  j.set("cells", kc.cells);
+  if (host_clock) {
+    j.set("seconds", kc.seconds);
+    j.set("cells_per_second", kc.seconds > 0.0 ? kc.cells / kc.seconds : 0.0);
+  }
+  return j;
+}
+
+}  // namespace
+
+Json kernel_stats_json(bool host_clock) {
+  const simd::KernelStats ks = simd::kernel_stats();
+  Json j = Json::object();
+  j.set("backend", ks.backend);
+  j.set("best", kernel_counters_json(ks.best, host_clock));
+  j.set("count", kernel_counters_json(ks.count, host_clock));
+  j.set("hits", kernel_counters_json(ks.hits, host_clock));
+  j.set("nw", kernel_counters_json(ks.nw, host_clock));
   return j;
 }
 

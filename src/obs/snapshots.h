@@ -37,4 +37,11 @@ Json to_json(const sim::Breakdown& bd);
 /// address space (home distribution reflects migration).
 Json space_usage_json(const dsm::GlobalSpace& space);
 
+/// {backend, best: {calls, cells[, seconds, cells_per_second]}, count: ...,
+/// hits: ..., nw: ...} — the dispatched-kernel counters since process start
+/// (simd::kernel_stats()).  Timing fields are emitted only when
+/// `host_clock` is true: call counts and cell totals replay
+/// deterministically, wall-clock inside the kernels does not.
+Json kernel_stats_json(bool host_clock);
+
 }  // namespace gdsm::obs

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string_view>
 
 namespace gdsm::sim {
 
@@ -54,6 +55,33 @@ struct CostModel {
   /// Wire time of one message with `payload` bytes (headers included).
   double message_time(std::size_t payload) const {
     return msg_latency_s + (payload + msg_header_bytes) * wire_s_per_byte;
+  }
+
+  // -- SIMD kernel backends (v4) ----------------------------------------
+  // Measured single-node speedups of the dispatched score-only kernels over
+  // the scalar reference (bench/kernels_sw on the dev host; docs/KERNELS.md).
+  // The Pentium II calibration above stays the scalar baseline; these scale
+  // it so strategy selection sees the machine the run will actually use.
+  double simd_speedup_sse41 = 4.0;
+  double simd_speedup_avx2 = 7.0;
+
+  /// Speedup of the named backend ("scalar" / "sse41" / "avx2"; unknown
+  /// names are conservatively scalar).
+  double kernel_speedup(std::string_view backend) const {
+    if (backend == "sse41") return simd_speedup_sse41;
+    if (backend == "avx2") return simd_speedup_avx2;
+    return 1.0;
+  }
+
+  /// Pre-process counting cell on the named kernel backend.
+  double plain_cell_s(std::string_view backend) const {
+    return cell_s_plain / kernel_speedup(backend);
+  }
+
+  /// Phase-2 NW cell on the named kernel backend (the traceback share does
+  /// not vectorize, but the last-row sweeps dominate).
+  double nw_cell_s(std::string_view backend) const {
+    return cell_s_nw / kernel_speedup(backend);
   }
 
   /// Effective per-cell cost given the strategy's base cost and the working

@@ -1,0 +1,86 @@
+// SSE4.1 lane engines for the anti-diagonal sweep (diag_kernel_inl.h).
+// Include only from a translation unit compiled with -msse4.1.
+#pragma once
+
+#include <smmintrin.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/alphabet.h"
+
+namespace gdsm::simd::detail {
+
+struct EngineSse16 {
+  using V = __m128i;
+  using Lane = std::int16_t;
+  static constexpr int kLanes = 8;
+  static constexpr int kSegSteps = 30000;   // keeps step stamps/counters exact
+  static constexpr int kMaskBitsPerLane = 2;
+  static V zero() { return _mm_setzero_si128(); }
+  static V bcast(int x) { return _mm_set1_epi16(static_cast<short>(x)); }
+  static V loadu(const void* p) {
+    return _mm_loadu_si128(static_cast<const __m128i*>(p));
+  }
+  static void storeu(void* p, V v) {
+    _mm_storeu_si128(static_cast<__m128i*>(p), v);
+  }
+  static V load_chars(const Base* p) {
+    return _mm_cvtepu8_epi16(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+  }
+  static V load_bound(const std::int32_t* p) {
+    // Values are within the 16-bit routing limits, so the pack cannot clip.
+    return _mm_packs_epi32(loadu(p), loadu(p + 4));
+  }
+  static V add(V a, V b) { return _mm_adds_epi16(a, b); }  // saturating
+  static V sub(V a, V b) { return _mm_sub_epi16(a, b); }
+  static V max(V a, V b) { return _mm_max_epi16(a, b); }
+  static V cmpeq(V a, V b) { return _mm_cmpeq_epi16(a, b); }
+  static V cmpgt(V a, V b) { return _mm_cmpgt_epi16(a, b); }
+  static V blend(V a, V b, V m) { return _mm_blendv_epi8(a, b, m); }
+  static V and_(V a, V b) { return _mm_and_si128(a, b); }
+  static V andnot(V m, V a) { return _mm_andnot_si128(m, a); }
+  static V shift_in(V v, std::int32_t x) {  // lane 0 <- x, lane l <- v[l-1]
+    // The byte shift zeroes lane 0; OR the incoming value in from a zeroing
+    // movd, keeping the serial-dependency-chain op count minimal.
+    return _mm_or_si128(_mm_slli_si128(v, 2), _mm_cvtsi32_si128(x & 0xFFFF));
+  }
+  static int movemask(V m) { return _mm_movemask_epi8(m); }
+};
+
+struct EngineSse32 {
+  using V = __m128i;
+  using Lane = std::int32_t;
+  static constexpr int kLanes = 4;
+  static constexpr int kSegSteps = 1 << 28;
+  static constexpr int kMaskBitsPerLane = 4;
+  static V zero() { return _mm_setzero_si128(); }
+  static V bcast(int x) { return _mm_set1_epi32(x); }
+  static V loadu(const void* p) {
+    return _mm_loadu_si128(static_cast<const __m128i*>(p));
+  }
+  static void storeu(void* p, V v) {
+    _mm_storeu_si128(static_cast<__m128i*>(p), v);
+  }
+  static V load_chars(const Base* p) {
+    std::uint32_t word;
+    std::memcpy(&word, p, sizeof word);
+    return _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(word)));
+  }
+  static V load_bound(const std::int32_t* p) { return loadu(p); }
+  static V add(V a, V b) { return _mm_add_epi32(a, b); }
+  static V sub(V a, V b) { return _mm_sub_epi32(a, b); }
+  static V max(V a, V b) { return _mm_max_epi32(a, b); }
+  static V cmpeq(V a, V b) { return _mm_cmpeq_epi32(a, b); }
+  static V cmpgt(V a, V b) { return _mm_cmpgt_epi32(a, b); }
+  static V blend(V a, V b, V m) { return _mm_blendv_epi8(a, b, m); }
+  static V and_(V a, V b) { return _mm_and_si128(a, b); }
+  static V andnot(V m, V a) { return _mm_andnot_si128(m, a); }
+  static V shift_in(V v, std::int32_t x) {
+    return _mm_or_si128(_mm_slli_si128(v, 4), _mm_cvtsi32_si128(x));
+  }
+  static int movemask(V m) { return _mm_movemask_epi8(m); }
+};
+
+}  // namespace gdsm::simd::detail

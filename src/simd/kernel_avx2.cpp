@@ -1,0 +1,43 @@
+// AVX2 backend: instantiates the shared anti-diagonal sweep over the 256-bit
+// engines.  This file is compiled with -mavx2 (see CMakeLists.txt); the
+// binary stays runnable on baseline x86-64 because dispatch.cpp only calls
+// in here after a CPUID check.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include "simd/engine_avx2.h"
+#include "simd/diag_kernel_inl.h"
+
+namespace gdsm::simd::avx2 {
+
+using detail::EngineAvx16;
+using detail::EngineAvx32;
+using detail::Mode;
+
+BestCell block_best(const DiagBlock& blk, const ScoreParams& sp) {
+  BestCell best;
+  detail::run_local<EngineAvx16, EngineAvx32, Mode::kBest>(
+      blk, sp, 0, &best, nullptr, nullptr);
+  return best;
+}
+
+void block_count(const DiagBlock& blk, const ScoreParams& sp,
+                 std::int32_t threshold, std::uint64_t* count_by_a) {
+  detail::run_local<EngineAvx16, EngineAvx32, Mode::kCount>(
+      blk, sp, threshold, nullptr, count_by_a, nullptr);
+}
+
+void block_hits(const DiagBlock& blk, const ScoreParams& sp,
+                std::int32_t threshold, const HitSink& sink) {
+  detail::run_local<EngineAvx16, EngineAvx32, Mode::kHits>(
+      blk, sp, threshold, nullptr, nullptr, &sink);
+}
+
+void nw_last_row(const Base* a_seq, std::size_t a_len, const Base* b_seq,
+                 std::size_t b_len, const ScoreParams& sp,
+                 std::int32_t* out_by_a) {
+  detail::run_nw<EngineAvx32>(a_seq, a_len, b_seq, b_len, sp, out_by_a);
+}
+
+}  // namespace gdsm::simd::avx2
+
+#endif  // x86

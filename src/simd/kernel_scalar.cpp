@@ -1,0 +1,113 @@
+// Scalar reference backend.  The behavioural contract every vector backend
+// is held to (tests/simd_kernel_test.cpp): same scores, same edges, same
+// tie-breaks.  Sweeps b-major so the strict `v > best` update yields the
+// first maximum in (b, a) lexicographic order.
+#include "simd/kernels.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gdsm::simd::scalar {
+namespace {
+
+inline std::int32_t sub_score(Base x, Base y, const ScoreParams& sp) {
+  return (x == y && x != kBaseN) ? sp.match : sp.mismatch;
+}
+
+// Degenerate blocks: an empty dimension still defines the requested edges
+// (they are just the boundary values).
+inline bool handle_empty(const DiagBlock& blk) {
+  if (blk.a_len != 0 && blk.b_len != 0) return false;
+  if (blk.a_len == 0 && blk.out_last_a != nullptr) {
+    for (std::size_t b = 0; b < blk.b_len; ++b)
+      blk.out_last_a[b] = blk.bound_b ? blk.bound_b[b] : 0;
+  }
+  if (blk.b_len == 0 && blk.out_last_b != nullptr) {
+    for (std::size_t a = 0; a < blk.a_len; ++a)
+      blk.out_last_b[a] = blk.bound_a ? blk.bound_a[a] : 0;
+  }
+  return true;
+}
+
+// Shared b-major sweep; Visit sees every cell as (a, b, v).
+template <class Visit>
+void sweep(const DiagBlock& blk, const ScoreParams& sp, Visit&& visit) {
+  const std::size_t A = blk.a_len;
+  const std::size_t B = blk.b_len;
+  std::vector<std::int32_t> prev(A);  // column b-1
+  std::vector<std::int32_t> cur(A);   // column b
+  for (std::size_t b = 0; b < B; ++b) {
+    const Base cb = blk.b_seq[b];
+    const std::int32_t left_bound = blk.bound_b ? blk.bound_b[b] : 0;
+    for (std::size_t a = 0; a < A; ++a) {
+      const std::int32_t up =
+          b ? prev[a] : (blk.bound_a ? blk.bound_a[a] : 0);  // v(a, b-1)
+      const std::int32_t diag =
+          a ? (b ? prev[a - 1] : (blk.bound_a ? blk.bound_a[a - 1] : 0))
+            : (b ? (blk.bound_b ? blk.bound_b[b - 1] : 0) : blk.corner);
+      const std::int32_t left = a ? cur[a - 1] : left_bound;  // v(a-1, b)
+      const std::int32_t v =
+          std::max({std::int32_t{0}, diag + sub_score(blk.a_seq[a], cb, sp),
+                    up + sp.gap, left + sp.gap});
+      cur[a] = v;
+      visit(a, b, v);
+    }
+    if (blk.out_last_a != nullptr) blk.out_last_a[b] = cur[A - 1];
+    std::swap(prev, cur);
+  }
+  if (blk.out_last_b != nullptr)
+    std::copy(prev.begin(), prev.end(), blk.out_last_b);
+}
+
+}  // namespace
+
+BestCell block_best(const DiagBlock& blk, const ScoreParams& sp) {
+  BestCell best;
+  if (handle_empty(blk)) return best;
+  sweep(blk, sp, [&](std::size_t a, std::size_t b, std::int32_t v) {
+    if (v > best.score) best = BestCell{v, a, b};
+  });
+  return best;
+}
+
+void block_count(const DiagBlock& blk, const ScoreParams& sp,
+                 std::int32_t threshold, std::uint64_t* count_by_a) {
+  if (handle_empty(blk)) return;
+  sweep(blk, sp, [&](std::size_t a, std::size_t, std::int32_t v) {
+    if (v >= threshold) ++count_by_a[a];
+  });
+}
+
+void block_hits(const DiagBlock& blk, const ScoreParams& sp,
+                std::int32_t threshold, const HitSink& sink) {
+  if (handle_empty(blk)) return;
+  sweep(blk, sp, [&](std::size_t a, std::size_t b, std::int32_t v) {
+    if (v >= threshold) sink(a, b, v);
+  });
+}
+
+void nw_last_row(const Base* a_seq, std::size_t a_len, const Base* b_seq,
+                 std::size_t b_len, const ScoreParams& sp,
+                 std::int32_t* out_by_a) {
+  const std::int32_t gap = sp.gap;
+  std::vector<std::int32_t> prev(a_len);
+  std::vector<std::int32_t> cur(a_len);
+  for (std::size_t a = 0; a < a_len; ++a)
+    prev[a] = static_cast<std::int32_t>(a + 1) * gap;  // v(a, -1)
+  for (std::size_t b = 0; b < b_len; ++b) {
+    const Base cb = b_seq[b];
+    std::int32_t left = static_cast<std::int32_t>(b + 1) * gap;  // v(-1, b)
+    for (std::size_t a = 0; a < a_len; ++a) {
+      const std::int32_t diag =
+          a ? prev[a - 1] : static_cast<std::int32_t>(b) * gap;
+      const std::int32_t v = std::max(
+          {diag + sub_score(a_seq[a], cb, sp), prev[a] + gap, left + gap});
+      cur[a] = v;
+      left = v;
+    }
+    std::swap(prev, cur);
+  }
+  std::copy(prev.begin(), prev.end(), out_by_a);
+}
+
+}  // namespace gdsm::simd::scalar

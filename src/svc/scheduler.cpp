@@ -1,6 +1,9 @@
 #include "svc/scheduler.h"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "simd/dispatch.h"
 
 namespace gdsm::svc {
 
@@ -20,7 +23,8 @@ Scheduler::Scheduler(sim::CostModel model, int nprocs, std::size_t mult_w,
     : model_(model),
       nprocs_(nprocs > 0 ? nprocs : 1),
       mult_w_(mult_w ? mult_w : 1),
-      mult_h_(mult_h ? mult_h : 1) {}
+      mult_h_(mult_h ? mult_h : 1),
+      kernel_backend_(simd::active_backend_name()) {}
 
 double Scheduler::compute_s(std::size_t m, std::size_t n) const {
   const double cells =
@@ -105,8 +109,28 @@ double Scheduler::blocked_mp_estimate(std::size_t m, std::size_t n) const {
   return est;
 }
 
+double Scheduler::exact_estimate(std::size_t m, std::size_t n) const {
+  const double cells =
+      static_cast<double>(m) * static_cast<double>(n) / nprocs_;
+  // The counting pass streams two int32 column arrays per chunk.
+  const std::size_t row_bytes =
+      2 * (n / static_cast<std::size_t>(nprocs_)) * model_.plain_cell_bytes;
+  double est = cells * model_.effective_cell(
+                           model_.plain_cell_s(kernel_backend_), row_bytes);
+  if (nprocs_ > 1) {
+    // Each band publishes its bottom passage row home; the next band's
+    // owner page-faults it back in.
+    const std::size_t bands = std::max<std::size_t>(
+        1, std::min(m, static_cast<std::size_t>(nprocs_)));
+    est += static_cast<double>(bands) *
+           dsm_fetch_s(n * sizeof(std::int32_t)) / nprocs_;
+  }
+  return est;
+}
+
 ScheduleDecision Scheduler::choose(const ScheduleInput& in) const {
   ScheduleDecision d;
+  d.kernel_backend = kernel_backend_;
   d.est_wavefront_s =
       wavefront_estimate(in.query_len, in.subject_len, in.subject_warm);
   d.est_blocked_s =

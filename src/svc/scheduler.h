@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <string_view>
 
 #include "sim/cost_model.h"
 #include "svc/query.h"
@@ -36,6 +38,7 @@ struct ScheduleDecision {
   double est_wavefront_s = 0;
   double est_blocked_s = 0;
   double est_blocked_mp_s = 0;
+  std::string kernel_backend;  ///< SIMD backend the estimates priced in
 };
 
 class Scheduler {
@@ -53,6 +56,18 @@ class Scheduler {
   double blocked_estimate(std::size_t m, std::size_t n, bool warm) const;
   double blocked_mp_estimate(std::size_t m, std::size_t n) const;
 
+  /// Score-only exact-mode pass (the §5 counting sweep) priced with the
+  /// per-backend plain cell cost — the estimate that tracks the dispatched
+  /// kernels rather than the 1998 calibration.
+  double exact_estimate(std::size_t m, std::size_t n) const;
+
+  /// SIMD backend the estimates assume.  Defaults to the dispatch table's
+  /// active backend; tests pin it to compare machines.
+  const std::string& kernel_backend() const noexcept { return kernel_backend_; }
+  void set_kernel_backend(std::string_view backend) {
+    kernel_backend_.assign(backend);
+  }
+
   const sim::CostModel& model() const noexcept { return model_; }
 
  private:
@@ -65,6 +80,7 @@ class Scheduler {
   int nprocs_;
   std::size_t mult_w_;
   std::size_t mult_h_;
+  std::string kernel_backend_;
 };
 
 }  // namespace gdsm::svc

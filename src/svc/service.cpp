@@ -45,6 +45,7 @@ AlignService::AlignService(ServiceConfig cfg)
       cluster_(cfg_.nprocs, cluster_config()),
       scheduler_(cfg_.cost, cfg_.nprocs, cfg_.mult_w, cfg_.mult_h),
       queue_(cfg_.queue_capacity) {
+  stats_.kernel_backend = scheduler_.kernel_backend();
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

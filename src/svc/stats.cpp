@@ -99,6 +99,7 @@ obs::Json ServiceStats::to_json() const {
                    by_strategy[static_cast<std::size_t>(k)]);
   }
   j.set("dispatch_by_strategy", std::move(strategies));
+  j.set("kernel_backend", kernel_backend);
 
   j.set("latency_total", total_latency.to_json());
   j.set("latency_run", run_latency.to_json());

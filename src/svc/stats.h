@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "obs/json.h"
 #include "svc/query.h"
@@ -58,6 +59,8 @@ struct ServiceStats {
   std::uint64_t depth_max = 0;
   // -- per-strategy dispatch counts (index = StrategyKind) ---------------
   std::array<std::uint64_t, kNumStrategies> by_strategy{};
+  // -- kernel (v4) -------------------------------------------------------
+  std::string kernel_backend;  ///< SIMD backend the scheduler priced in
 
   LatencyHistogram total_latency;  ///< admission -> completion
   LatencyHistogram run_latency;    ///< dispatch -> completion

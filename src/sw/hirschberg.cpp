@@ -1,17 +1,30 @@
 #include "sw/hirschberg.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
+#include "simd/dispatch.h"
 #include "sw/full_matrix.h"
 #include "sw/linear_score.h"
 
 namespace gdsm {
 namespace {
 
+// Both last-row passes of a split go straight to the dispatched NW kernel on
+// raw subranges, with the reversal staged into reusable buffers — the old
+// slice()/reversed() Sequence copies allocated four strings per recursion
+// level.  The buffers are safe to share down the recursion because each
+// level consumes fwd/bwd fully (split choice) before recursing.
+struct SplitScratch {
+  std::vector<Base> rev_s, rev_t;
+  std::vector<std::int32_t> fwd, bwd;
+};
+
 // Appends the global alignment ops of s[s_lo..s_hi) x t[t_lo..t_hi) to out.
 void solve(const Sequence& s, const Sequence& t, const ScoreScheme& scheme,
            std::size_t s_lo, std::size_t s_hi, std::size_t t_lo, std::size_t t_hi,
-           std::vector<Op>& out) {
+           SplitScratch& scr, std::vector<Op>& out) {
   const std::size_t m = s_hi - s_lo;
   const std::size_t n = t_hi - t_lo;
   if (m == 0) {
@@ -30,25 +43,34 @@ void solve(const Sequence& s, const Sequence& t, const ScoreScheme& scheme,
     return;
   }
 
+  const simd::ScoreParams sp{scheme.match, scheme.mismatch, scheme.gap};
   const std::size_t mid = s_lo + m / 2;
   // Forward scores: s[s_lo..mid) against prefixes of t[t_lo..t_hi).
-  const std::vector<int> fwd =
-      nw_last_row(s.slice(s_lo, mid), t.slice(t_lo, t_hi), scheme);
+  scr.fwd.resize(n + 1);
+  scr.fwd[0] = static_cast<std::int32_t>(mid - s_lo) * scheme.gap;
+  simd::nw_last_row(t.data() + t_lo, n, s.data() + s_lo, mid - s_lo, sp,
+                    scr.fwd.data() + 1);
   // Backward scores: reversed s[mid..s_hi) against reversed suffixes.
-  const std::vector<int> bwd = nw_last_row(s.slice(mid, s_hi).reversed(),
-                                           t.slice(t_lo, t_hi).reversed(), scheme);
+  scr.rev_s.assign(s.data() + mid, s.data() + s_hi);
+  std::reverse(scr.rev_s.begin(), scr.rev_s.end());
+  scr.rev_t.assign(t.data() + t_lo, t.data() + t_hi);
+  std::reverse(scr.rev_t.begin(), scr.rev_t.end());
+  scr.bwd.resize(n + 1);
+  scr.bwd[0] = static_cast<std::int32_t>(s_hi - mid) * scheme.gap;
+  simd::nw_last_row(scr.rev_t.data(), n, scr.rev_s.data(), s_hi - mid, sp,
+                    scr.bwd.data() + 1);
 
   std::size_t split = 0;
-  int best = fwd[0] + bwd[n];
+  std::int32_t best = scr.fwd[0] + scr.bwd[n];
   for (std::size_t j = 1; j <= n; ++j) {
-    const int v = fwd[j] + bwd[n - j];
+    const std::int32_t v = scr.fwd[j] + scr.bwd[n - j];
     if (v > best) {
       best = v;
       split = j;
     }
   }
-  solve(s, t, scheme, s_lo, mid, t_lo, t_lo + split, out);
-  solve(s, t, scheme, mid, s_hi, t_lo + split, t_hi, out);
+  solve(s, t, scheme, s_lo, mid, t_lo, t_lo + split, scr, out);
+  solve(s, t, scheme, mid, s_hi, t_lo + split, t_hi, scr, out);
 }
 
 }  // namespace
@@ -58,7 +80,8 @@ Alignment hirschberg(const Sequence& s, const Sequence& t,
   Alignment out;
   out.s_begin = 0;
   out.t_begin = 0;
-  solve(s, t, scheme, 0, s.size(), 0, t.size(), out.ops);
+  SplitScratch scr;
+  solve(s, t, scheme, 0, s.size(), 0, t.size(), scr, out.ops);
   out.score = out.compute_score(s, t, scheme);
   return out;
 }

@@ -1,89 +1,68 @@
+// Thin orientation adapters over the runtime-dispatched block kernels
+// (src/simd): rows of the scan map onto the kernel's sweep dimension `b`,
+// which makes the kernel's (b, a)-lexicographic tie-break exactly this
+// layer's documented row-major rule.  The scalar loops that used to live
+// here are now simd::scalar::* — the reference backend of the dispatch.
 #include "sw/linear_score.h"
 
-#include <algorithm>
+#include "simd/dispatch.h"
 
 namespace gdsm {
 namespace {
 
-BestLocal scan_rows(const Sequence& rows, const Sequence& cols,
-                    const ScoreScheme& scheme) {
-  const std::size_t m = rows.size();
-  const std::size_t n = cols.size();
-  std::vector<int> prev(n + 1, 0);
-  std::vector<int> cur(n + 1, 0);
-  BestLocal best;
-  for (std::size_t i = 1; i <= m; ++i) {
-    cur[0] = 0;
-    const Base si = rows[i - 1];
-    for (std::size_t j = 1; j <= n; ++j) {
-      const int diag = prev[j - 1] + scheme.substitution(si, cols[j - 1]);
-      const int up = prev[j] + scheme.gap;
-      const int left = cur[j - 1] + scheme.gap;
-      const int v = std::max({0, diag, up, left});
-      cur[j] = v;
-      if (v > best.score) best = BestLocal{v, i, j};
-    }
-    std::swap(prev, cur);
-  }
-  return best;
+simd::ScoreParams to_params(const ScoreScheme& scheme) {
+  return simd::ScoreParams{scheme.match, scheme.mismatch, scheme.gap};
 }
 
 }  // namespace
 
 BestLocal sw_best_score_linear(const Sequence& s, const Sequence& t,
                                const ScoreScheme& scheme) {
-  if (t.size() <= s.size()) {
-    return scan_rows(s, t, scheme);
+  // Keep the shorter word on the lane dimension (the "shorter input string
+  // will index the rows" remark of Section 6); the tie-break follows the
+  // scanned orientation, as before.
+  const bool transpose = t.size() > s.size();
+  const Sequence& rows = transpose ? t : s;
+  const Sequence& cols = transpose ? s : t;
+  simd::DiagBlock blk;
+  blk.a_seq = cols.data();
+  blk.a_len = cols.size();
+  blk.b_seq = rows.data();
+  blk.b_len = rows.size();
+  const simd::BestCell bc = simd::block_best(blk, to_params(scheme));
+  BestLocal best;
+  if (bc.score > 0) {
+    best.score = bc.score;
+    best.end_i = transpose ? bc.a + 1 : bc.b + 1;
+    best.end_j = transpose ? bc.b + 1 : bc.a + 1;
   }
-  // Transpose: scan with the shorter word on columns, then swap coordinates.
-  // Row-major-first tie-breaking differs across the transposition, so pick
-  // the transposed winner; scores are identical either way.
-  BestLocal b = scan_rows(t, s, scheme);
-  std::swap(b.end_i, b.end_j);
-  return b;
+  return best;
 }
 
 void sw_scan_hits(const Sequence& s, const Sequence& t, const ScoreScheme& scheme,
                   int threshold,
                   const std::function<void(std::size_t, std::size_t, int)>& hit) {
-  const std::size_t m = s.size();
-  const std::size_t n = t.size();
-  std::vector<int> prev(n + 1, 0);
-  std::vector<int> cur(n + 1, 0);
-  for (std::size_t i = 1; i <= m; ++i) {
-    cur[0] = 0;
-    const Base si = s[i - 1];
-    for (std::size_t j = 1; j <= n; ++j) {
-      const int diag = prev[j - 1] + scheme.substitution(si, t[j - 1]);
-      const int up = prev[j] + scheme.gap;
-      const int left = cur[j - 1] + scheme.gap;
-      const int v = std::max({0, diag, up, left});
-      cur[j] = v;
-      if (v >= threshold) hit(i, j, v);
-    }
-    std::swap(prev, cur);
-  }
+  simd::DiagBlock blk;
+  blk.a_seq = t.data();
+  blk.a_len = t.size();
+  blk.b_seq = s.data();
+  blk.b_len = s.size();
+  simd::block_hits(blk, to_params(scheme), threshold,
+                   [&](std::size_t a, std::size_t b, std::int32_t v) {
+                     hit(b + 1, a + 1, v);
+                   });
 }
 
 std::vector<int> nw_last_row(const Sequence& s, const Sequence& t,
                              const ScoreScheme& scheme) {
+  static_assert(sizeof(int) == sizeof(std::int32_t));
   const std::size_t m = s.size();
   const std::size_t n = t.size();
-  std::vector<int> prev(n + 1);
-  std::vector<int> cur(n + 1);
-  for (std::size_t j = 0; j <= n; ++j) prev[j] = static_cast<int>(j) * scheme.gap;
-  for (std::size_t i = 1; i <= m; ++i) {
-    cur[0] = static_cast<int>(i) * scheme.gap;
-    const Base si = s[i - 1];
-    for (std::size_t j = 1; j <= n; ++j) {
-      const int diag = prev[j - 1] + scheme.substitution(si, t[j - 1]);
-      const int up = prev[j] + scheme.gap;
-      const int left = cur[j - 1] + scheme.gap;
-      cur[j] = std::max({diag, up, left});
-    }
-    std::swap(prev, cur);
-  }
-  return prev;
+  std::vector<int> row(n + 1);
+  row[0] = static_cast<int>(m) * scheme.gap;
+  simd::nw_last_row(t.data(), n, s.data(), m, to_params(scheme),
+                    reinterpret_cast<std::int32_t*>(row.data() + 1));
+  return row;
 }
 
 }  // namespace gdsm

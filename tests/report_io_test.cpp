@@ -38,10 +38,12 @@ core::StrategyResult faulted_blocked_run() {
   return core::blocked_align(pair.s, pair.t, cfg);
 }
 
-TEST(ReportIoTest, SchemaVersionIsBumpedToThree) {
-  // v3 added NodeStats.cache_hits and the service section, so
-  // docs/METRICS.md pins the layout to schema version 3.
-  EXPECT_EQ(obs::kSchemaVersion, 3);
+TEST(ReportIoTest, SchemaVersionIsBumpedToFour) {
+  // v4 added the kernel section (dispatched SIMD backend + per-kernel cell
+  // counters) and NodeStats.dp_cells; docs/METRICS.md pins the layout to
+  // schema version 4, with v3 files still accepted by the tools.
+  EXPECT_EQ(obs::kSchemaVersion, 4);
+  EXPECT_EQ(obs::kSchemaVersionMin, 3);
 }
 
 TEST(ReportIoTest, NodeStatsJsonCarriesRetryCounters) {
@@ -115,7 +117,13 @@ TEST(ReportIoTest, RunReportRoundTripsThroughDiskAtVersionTwo) {
   std::remove(path.c_str());
 
   EXPECT_EQ(doc.at("schema").as_string(), obs::kReportSchema);
-  EXPECT_EQ(doc.at("schema_version").as_int(), 3);
+  EXPECT_EQ(doc.at("schema_version").as_int(), 4);
+  // v4: every report auto-attaches the kernel section; this run had no
+  // host_clock param, so only the deterministic counters appear.
+  const Json& kernel = doc.at("sections").at("kernel");
+  EXPECT_FALSE(kernel.at("backend").as_string().empty());
+  EXPECT_TRUE(kernel.at("best").has("calls"));
+  EXPECT_FALSE(kernel.at("best").has("seconds"));
   const Json& parsed_run =
       doc.at("series").at("runs").items().at(0).at("result");
   // The v2 additions survive serialization: the fault block and the

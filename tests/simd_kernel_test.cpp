@@ -1,0 +1,313 @@
+// Differential suite for the SIMD kernel layer (src/simd).
+//
+// Every compiled backend is held to the scalar reference, cell for cell:
+// same best score, same end cell on ties, same per-column hit counts, the
+// same hit multiset, the same NW last rows — across a fuzz corpus that
+// covers the shapes the fuzzer cares about (empty, 1-char, degenerate
+// alphabet, N runs, boundary-loaded blocks) plus inputs sized to force both
+// the 16-bit saturating path and the 32-bit overflow fallback.  A final
+// group pins the GDSM_KERNEL forcing logic so CI can exercise the scalar
+// fallback on wide hosts.
+#include "simd/dispatch.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sw/linear_score.h"
+#include "util/sequence.h"
+
+namespace gdsm::simd {
+namespace {
+
+using Hit = std::tuple<std::size_t, std::size_t, std::int32_t>;
+
+struct BackendFns {
+  const char* name;
+  BestCell (*block_best)(const DiagBlock&, const ScoreParams&);
+  void (*block_count)(const DiagBlock&, const ScoreParams&, std::int32_t,
+                      std::uint64_t*);
+  void (*block_hits)(const DiagBlock&, const ScoreParams&, std::int32_t,
+                     const HitSink&);
+  void (*nw_last_row)(const Base*, std::size_t, const Base*, std::size_t,
+                      const ScoreParams&, std::int32_t*);
+};
+
+std::vector<BackendFns> vector_backends() {
+  std::vector<BackendFns> out;
+#if GDSM_SIMD_SSE41
+  if (std::find(available_backends().begin(), available_backends().end(),
+                Backend::kSse41) != available_backends().end())
+    out.push_back({"sse41", sse41::block_best, sse41::block_count,
+                   sse41::block_hits, sse41::nw_last_row});
+#endif
+#if GDSM_SIMD_AVX2
+  if (std::find(available_backends().begin(), available_backends().end(),
+                Backend::kAvx2) != available_backends().end())
+    out.push_back({"avx2", avx2::block_best, avx2::block_count,
+                   avx2::block_hits, avx2::nw_last_row});
+#endif
+  return out;
+}
+
+std::vector<Base> random_bases(std::size_t n, std::mt19937& rng,
+                               int alphabet = 4) {
+  std::uniform_int_distribution<int> d(0, alphabet - 1);
+  std::vector<Base> out(n);
+  for (auto& b : out) b = static_cast<Base>(d(rng));
+  return out;
+}
+
+struct Case {
+  std::string label;
+  DiagBlock blk;
+  ScoreParams sp;
+  std::int32_t threshold = 1;
+  // Owning storage behind the block's borrowed pointers.
+  std::vector<Base> a, b;
+  std::vector<std::int32_t> ba, bb;
+};
+
+// The corpus: (a_len, b_len) shapes crossing strip-width boundaries, the
+// fuzzer's degenerate shapes, schemes that overflow 16-bit lanes, and
+// boundary-loaded blocks as the preprocess/exact strategies produce them.
+std::vector<Case> corpus() {
+  std::vector<Case> cases;
+  std::mt19937 rng(20260805);
+  auto add = [&](std::string label, std::size_t A, std::size_t B,
+                 ScoreParams sp, std::int32_t thr, int alphabet,
+                 bool with_bounds, std::int32_t bound_scale) {
+    Case c;
+    c.label = std::move(label);
+    c.sp = sp;
+    c.threshold = thr;
+    c.a = random_bases(A, rng, alphabet);
+    c.b = random_bases(B, rng, alphabet);
+    c.blk.a_seq = c.a.data();
+    c.blk.a_len = A;
+    c.blk.b_seq = c.b.data();
+    c.blk.b_len = B;
+    if (with_bounds) {
+      std::uniform_int_distribution<std::int32_t> d(0, bound_scale);
+      c.ba.resize(A);
+      c.bb.resize(B);
+      for (auto& v : c.ba) v = d(rng);
+      for (auto& v : c.bb) v = d(rng);
+      c.blk.bound_a = c.ba.data();
+      c.blk.bound_b = c.bb.data();
+      c.blk.corner = d(rng);
+    }
+    cases.push_back(std::move(c));
+  };
+
+  const ScoreParams plain{1, -1, -2};
+  const ScoreParams rich{5, -4, -7};
+  const ScoreParams big{1000, -900, -1100};  // forces the 32-bit fallback
+  // Shapes straddling every lane-count boundary (4/8/16) and the scalar
+  // small-block fallback threshold.
+  for (std::size_t A : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                        std::size_t{8}, std::size_t{15}, std::size_t{16},
+                        std::size_t{17}, std::size_t{33}, std::size_t{100}})
+    for (std::size_t B : {std::size_t{1}, std::size_t{7}, std::size_t{31},
+                          std::size_t{64}, std::size_t{65}, std::size_t{200}})
+      add("shape_" + std::to_string(A) + "x" + std::to_string(B), A, B, plain,
+          2, 4, false, 0);
+  // Empty dimensions (with edges requested: the boundary-copy contract).
+  add("empty_a", 0, 50, plain, 1, 4, true, 9);
+  add("empty_b", 40, 0, plain, 1, 4, true, 9);
+  add("empty_both", 0, 0, plain, 1, 4, false, 0);
+  // Degenerate alphabet: all-same chars (dense matches => dense hits) and
+  // all-N (nothing ever matches, scores pinned at 0).
+  add("all_same", 70, 300, plain, 3, 1, false, 0);
+  add("rich_same", 40, 150, rich, 10, 1, false, 0);
+  for (auto alphabet_n : {5}) {
+    add("with_n", 50, 260, plain, 2, alphabet_n, false, 0);
+    add("with_n_bounds", 33, 140, plain, 2, alphabet_n, true, 40);
+  }
+  // Score overflow: long same-char runs under big match scores blow through
+  // 16-bit lanes; boundary-loaded variants push the start value up too.
+  add("overflow_scheme", 64, 400, big, 5000, 1, false, 0);
+  add("overflow_bounds", 48, 300, big, 5000, 1, true, 2000000);
+  add("overflow_run", 80, 40000, ScoreParams{1, -1, -2}, 32100, 1, false, 0);
+  // Boundary-loaded blocks shaped like the exact strategy's grid cells.
+  add("block_grid", 128, 256, plain, 4, 4, true, 60);
+  add("block_grid_rich", 96, 320, rich, 12, 4, true, 200);
+  // Long thin blocks exercise the segment-flush cadence cheaply … and one
+  // seam case where b_len sits just above/below the 2*lanes fallback line.
+  add("thin", 4, 3000, plain, 3, 4, false, 0);
+  add("seam_15", 20, 15, plain, 2, 4, false, 0);
+  add("seam_16", 20, 16, plain, 2, 4, false, 0);
+  add("seam_17", 20, 17, plain, 2, 4, false, 0);
+  return cases;
+}
+
+std::vector<Hit> collect_hits(
+    void (*fn)(const DiagBlock&, const ScoreParams&, std::int32_t,
+               const HitSink&),
+    const DiagBlock& blk, const ScoreParams& sp, std::int32_t thr) {
+  std::vector<Hit> hits;
+  fn(blk, sp, thr, [&](std::size_t a, std::size_t b, std::int32_t v) {
+    hits.emplace_back(a, b, v);
+  });
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+TEST(SimdKernelDifferential, AllBackendsMatchScalarOnCorpus) {
+  const auto backends = vector_backends();
+  if (backends.empty()) GTEST_SKIP() << "no vector backend on this host";
+  for (auto& c : corpus()) {
+    // Scalar reference, with edge outputs.
+    std::vector<std::int32_t> ref_last_b(c.blk.a_len),
+        ref_last_a(c.blk.b_len);
+    DiagBlock ref_blk = c.blk;
+    ref_blk.out_last_b = ref_last_b.data();
+    ref_blk.out_last_a = ref_last_a.data();
+    const BestCell ref_best = scalar::block_best(ref_blk, c.sp);
+    std::vector<std::uint64_t> ref_counts(c.blk.a_len, 0);
+    scalar::block_count(c.blk, c.sp, c.threshold, ref_counts.data());
+    const auto ref_hits =
+        collect_hits(scalar::block_hits, c.blk, c.sp, c.threshold);
+
+    for (const auto& be : backends) {
+      SCOPED_TRACE(c.label + " on " + be.name);
+      std::vector<std::int32_t> last_b(c.blk.a_len), last_a(c.blk.b_len);
+      DiagBlock blk = c.blk;
+      blk.out_last_b = last_b.data();
+      blk.out_last_a = last_a.data();
+      const BestCell best = be.block_best(blk, c.sp);
+      EXPECT_EQ(best.score, ref_best.score);
+      if (ref_best.score > 0) {
+        EXPECT_EQ(best.a, ref_best.a);
+        EXPECT_EQ(best.b, ref_best.b);
+      }
+      EXPECT_EQ(last_b, ref_last_b);
+      EXPECT_EQ(last_a, ref_last_a);
+      std::vector<std::uint64_t> counts(c.blk.a_len, 0);
+      be.block_count(c.blk, c.sp, c.threshold, counts.data());
+      EXPECT_EQ(counts, ref_counts);
+      EXPECT_EQ(collect_hits(be.block_hits, c.blk, c.sp, c.threshold),
+                ref_hits);
+    }
+  }
+}
+
+TEST(SimdKernelDifferential, NwLastRowMatchesScalar) {
+  const auto backends = vector_backends();
+  if (backends.empty()) GTEST_SKIP() << "no vector backend on this host";
+  std::mt19937 rng(7);
+  const ScoreParams sp{1, -1, -2};
+  for (auto [A, B] : {std::pair<std::size_t, std::size_t>{1, 1},
+                      {5, 3},
+                      {16, 64},
+                      {33, 200},
+                      {200, 33},
+                      {301, 1000},
+                      {64, 0},
+                      {0, 64}}) {
+    const auto a = random_bases(A, rng, 5);
+    const auto b = random_bases(B, rng, 5);
+    std::vector<std::int32_t> ref(A, -12345);
+    scalar::nw_last_row(a.data(), A, b.data(), B, sp, ref.data());
+    for (const auto& be : backends) {
+      SCOPED_TRACE(std::string(be.name) + " " + std::to_string(A) + "x" +
+                   std::to_string(B));
+      std::vector<std::int32_t> got(A, -54321);
+      be.nw_last_row(a.data(), A, b.data(), B, sp, got.data());
+      EXPECT_EQ(got, ref);
+    }
+  }
+}
+
+// Tie-break parity on adversarial inputs: uniform sequences produce massive
+// score ties; every backend must land on the scalar scan's first-in-(b, a)
+// cell, which is what keeps sw_best_score_linear's documented row-major
+// tie-break backend-independent.
+TEST(SimdKernelDifferential, TieBreaksMatchScalar) {
+  const auto backends = vector_backends();
+  if (backends.empty()) GTEST_SKIP() << "no vector backend on this host";
+  const ScoreParams sp{1, -1, -2};
+  for (std::size_t A : {17u, 40u})
+    for (std::size_t B : {64u, 130u}) {
+      std::vector<Base> a(A, kBaseA), b(B, kBaseA);
+      DiagBlock blk{a.data(), A, b.data(), B, nullptr, nullptr, 0, nullptr,
+                    nullptr};
+      const BestCell ref = scalar::block_best(blk, sp);
+      ASSERT_GT(ref.score, 0);
+      for (const auto& be : backends) {
+        SCOPED_TRACE(be.name);
+        const BestCell got = be.block_best(blk, sp);
+        EXPECT_EQ(got.score, ref.score);
+        EXPECT_EQ(got.a, ref.a);
+        EXPECT_EQ(got.b, ref.b);
+      }
+    }
+}
+
+// The public entry points (sw_best_score_linear & co.) must give identical
+// results whichever backend dispatch pins — this is what `tools/ci.sh` runs
+// once per GDSM_KERNEL value.
+TEST(SimdKernelDispatch, ForcingIsObeyedAndConsistent) {
+  const Backend saved = active_backend();
+  struct Restore {
+    Backend b;
+    ~Restore() { force_backend(b); }
+  } restore{saved};
+
+  // Forcing an available backend activates it; GDSM_KERNEL uses the same
+  // vocabulary (dispatch reads the env once at startup, so the test drives
+  // the programmatic path the env handler shares).
+  for (Backend b : available_backends()) {
+    EXPECT_EQ(force_backend(b), b);
+    EXPECT_EQ(active_backend(), b);
+    EXPECT_EQ(force_backend(backend_name(b)), b) << backend_name(b);
+  }
+  // Unknown names keep the current choice.
+  const Backend cur = active_backend();
+  EXPECT_EQ(force_backend("no-such-kernel"), cur);
+
+  // Same answers through the full sw_* wrappers under every forcing.
+  std::mt19937 rng(99);
+  auto make_seq = [&](std::size_t n) {
+    const auto v = random_bases(n, rng, 5);
+    return Sequence("seq", std::basic_string<Base>(v.begin(), v.end()));
+  };
+  const Sequence s = make_seq(300);
+  const Sequence t = make_seq(180);
+  force_backend(Backend::kScalar);
+  const BestLocal ref = sw_best_score_linear(s, t);
+  const std::vector<int> ref_row = nw_last_row(s, t, ScoreScheme{});
+  for (Backend b : available_backends()) {
+    force_backend(b);
+    const BestLocal got = sw_best_score_linear(s, t);
+    EXPECT_EQ(got.score, ref.score) << backend_name(b);
+    EXPECT_EQ(got.end_i, ref.end_i) << backend_name(b);
+    EXPECT_EQ(got.end_j, ref.end_j) << backend_name(b);
+    EXPECT_EQ(nw_last_row(s, t, ScoreScheme{}), ref_row) << backend_name(b);
+  }
+}
+
+TEST(SimdKernelDispatch, StatsAccumulateCellsAndBackendName) {
+  reset_kernel_stats();
+  std::mt19937 rng(5);
+  const auto a = random_bases(120, rng);
+  const auto b = random_bases(400, rng);
+  DiagBlock blk{a.data(), a.size(), b.data(), b.size(),
+                nullptr,  nullptr,  0,        nullptr,  nullptr};
+  (void)block_best(blk, ScoreParams{});
+  const KernelStats st = kernel_stats();
+  EXPECT_STREQ(st.backend, active_backend_name());
+  EXPECT_EQ(st.best.calls, 1u);
+  EXPECT_EQ(st.best.cells, 120u * 400u);
+  EXPECT_EQ(st.count.calls, 0u);
+  reset_kernel_stats();
+  EXPECT_EQ(kernel_stats().best.calls, 0u);
+}
+
+}  // namespace
+}  // namespace gdsm::simd

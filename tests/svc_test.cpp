@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "simd/dispatch.h"
 #include "svc/queue.h"
 #include "svc/scheduler.h"
 #include "svc/service.h"
@@ -98,6 +99,30 @@ TEST(Scheduler, WarmSubjectCheapensDsmStrategiesOnly) {
             sched.blocked_mp_estimate(500, 4000));
 }
 
+TEST(Scheduler, PricesExactWorkWithThePerBackendCellCost) {
+  Scheduler sched(sim::CostModel{}, 4, 2, 2);
+  // The scheduler prices against whatever kernel the dispatch picked.
+  EXPECT_EQ(sched.kernel_backend(), simd::active_backend_name());
+  const ScheduleDecision d = sched.choose({200, 4000, false});
+  EXPECT_EQ(d.kernel_backend, sched.kernel_backend());
+  // A wider backend makes the same exact job cheaper, never dearer.
+  sched.set_kernel_backend("scalar");
+  const double scalar_s = sched.exact_estimate(2000, 4000);
+  sched.set_kernel_backend("avx2");
+  const double avx2_s = sched.exact_estimate(2000, 4000);
+  EXPECT_GT(scalar_s, 0.0);
+  EXPECT_LT(avx2_s, scalar_s);
+  // The speedup the model applies is the CostModel's, exactly.
+  const sim::CostModel cm;
+  EXPECT_DOUBLE_EQ(cm.plain_cell_s("scalar"), cm.cell_s_plain);
+  EXPECT_DOUBLE_EQ(cm.plain_cell_s("avx2"),
+                   cm.cell_s_plain / cm.simd_speedup_avx2);
+  EXPECT_DOUBLE_EQ(cm.nw_cell_s("sse41"),
+                   cm.cell_s_nw / cm.simd_speedup_sse41);
+  // Unknown names price conservatively at the scalar rate.
+  EXPECT_DOUBLE_EQ(cm.plain_cell_s("altivec"), cm.cell_s_plain);
+}
+
 // ---------------------------------------------------------------- stats --
 
 TEST(LatencyHistogram, QuantilesLandInTheRightBucket) {
@@ -120,7 +145,7 @@ TEST(ServiceStats, ToJsonCarriesEverySection) {
   EXPECT_EQ(j.at("admission").at("admitted").as_int(), 3);
   EXPECT_EQ(j.at("dispatch_by_strategy").at("blocked").as_int(), 2);
   for (const char* key : {"completion", "residency", "batching", "queue",
-                          "latency_total", "latency_run"}) {
+                          "latency_total", "latency_run", "kernel_backend"}) {
     EXPECT_TRUE(j.has(key)) << key;
   }
 }

@@ -8,12 +8,16 @@
 # Stages:
 #   1. configure + build (Release, build/)
 #   2. ctest -L tier1          -- the correctness gate (see ROADMAP.md)
-#   3. ctest -L bench_smoke    -- tiny benches, schema-validated reports
-#   4. fuzz_align, 30 s budget -- differential fuzz over the fault matrix
-#   5. service_smoke           -- 5 s oracle-verified loadgen burst against
+#   3. kernel dispatch         -- tier1 re-run once per SIMD backend this
+#                                 host supports (GDSM_KERNEL=scalar|sse41|
+#                                 avx2; docs/KERNELS.md)
+#   4. ctest -L bench_smoke    -- tiny benches, schema-validated reports
+#   5. fuzz_align, 30 s budget -- differential fuzz over the fault matrix
+#   6. service_smoke           -- 5 s oracle-verified loadgen burst against
 #                                 the alignment service (docs/SERVICE.md)
-#   6. (--tsan) TSan build + the dsm/fault/oracle/service suites raced
-#      under ThreadSanitizer (admission must stay deadlock-free)
+#   7. (--tsan) TSan build + the dsm/fault/oracle/service suites raced
+#      under ThreadSanitizer (admission must stay deadlock-free; the preset
+#      builds the same SSE4.1/AVX2 kernel objects as the Release build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +36,17 @@ cmake --build build -j "$JOBS"
 
 echo "==> ctest -L tier1"
 ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
+
+# The default pass above ran on the auto-picked (widest) backend; repeat the
+# gate with dispatch pinned to every other backend this host can run, so the
+# scalar reference and each vector path stay release-gated even on AVX2 hosts.
+ACTIVE_BACKEND="$(build/tools/kernel_info --active)"
+for backend in $(build/tools/kernel_info); do
+  [ "$backend" = "$ACTIVE_BACKEND" ] && continue
+  echo "==> ctest -L tier1 (GDSM_KERNEL=$backend)"
+  GDSM_KERNEL="$backend" ctest --test-dir build -L tier1 \
+    --output-on-failure -j "$JOBS"
+done
 
 echo "==> ctest -L bench_smoke"
 ctest --test-dir build -L bench_smoke --output-on-failure

@@ -91,9 +91,11 @@ int main(int argc, char** argv) {
                           std::string(gdsm::obs::kReportSchema));
   }
   if (!doc.at("schema_version").is_number() ||
-      doc.at("schema_version").as_int() != gdsm::obs::kSchemaVersion) {
-    return fail(path, "schema_version != " +
-                          std::to_string(gdsm::obs::kSchemaVersion));
+      doc.at("schema_version").as_int() < gdsm::obs::kSchemaVersionMin ||
+      doc.at("schema_version").as_int() > gdsm::obs::kSchemaVersion) {
+    return fail(path, "schema_version outside [" +
+                          std::to_string(gdsm::obs::kSchemaVersionMin) + ", " +
+                          std::to_string(gdsm::obs::kSchemaVersion) + "]");
   }
   if (doc.at("experiment").as_string().empty()) {
     return fail(path, "empty experiment id");
@@ -113,6 +115,30 @@ int main(int argc, char** argv) {
       if (!arr.items()[r].is_object()) {
         return fail(path, "series '" + name + "' row " + std::to_string(r) +
                               " is not an object");
+      }
+    }
+  }
+
+  if (doc.at("schema_version").as_int() >= 4) {
+    // v4: the kernel section names the dispatched backend and carries the
+    // four per-kernel counter blocks.
+    const Json* sections = doc.find("sections");
+    const Json* kernel = sections ? sections->find("kernel") : nullptr;
+    if (kernel == nullptr || !kernel->is_object()) {
+      return fail(path, "v4 report without sections.kernel");
+    }
+    const Json* backend = kernel->find("backend");
+    if (backend == nullptr || !backend->is_string() ||
+        backend->as_string().empty()) {
+      return fail(path, "sections.kernel.backend missing or empty");
+    }
+    for (const char* k : {"best", "count", "hits", "nw"}) {
+      const Json* counters = kernel->find(k);
+      if (counters == nullptr || !counters->is_object() ||
+          counters->find("calls") == nullptr ||
+          counters->find("cells") == nullptr) {
+        return fail(path, std::string("sections.kernel.") + k +
+                              " missing calls/cells");
       }
     }
   }
