@@ -105,6 +105,50 @@ void Cluster::handle_message(int node, net::Message msg) {
       transport_.send(std::move(ack));
       break;
     }
+    case MsgType::kDiffBatch: {
+      // Coalesced release: every framed page's diff is applied under its own
+      // page mutex, then one ack covers the whole batch.  Re-applying a
+      // retransmitted batch is harmless (diffs are idempotent), and the
+      // releaser drops the duplicate ack as stale by id.
+      for (const wire::DiffBatchSpan& span :
+           wire::decode_diff_batch(msg.payload)) {
+        assert(space_.home_of(span.page) == node);
+        const std::scoped_lock guard(space_.page_mutex(span.page));
+        wire::apply_diff(space_.home_data(span.page), space_.page_bytes(),
+                         msg.payload.data() + span.offset, span.len);
+      }
+      net::Message ack;
+      ack.src = node;
+      ack.dst = msg.src;
+      ack.type = MsgType::kDiffBatchAck;
+      ack.to_reply_box = true;
+      ack.a = msg.a;  // pages applied, echoed for the releaser's assert
+      ack.c = msg.c;
+      transport_.send(std::move(ack));
+      break;
+    }
+    case MsgType::kGetPages: {
+      // Bulk fetch (demand prefault or read-ahead): one reply carries every
+      // requested page's contents, each copied under its page mutex.
+      const std::vector<PageId> pages = wire::decode_pages(msg.payload);
+      net::Message reply;
+      reply.src = node;
+      reply.dst = msg.src;
+      reply.type = MsgType::kPagesData;
+      reply.to_reply_box = true;
+      reply.a = pages.size();
+      reply.c = msg.c;
+      reply.payload.reserve(pages.size() *
+                            (sizeof(PageId) + space_.page_bytes()));
+      for (PageId p : pages) {
+        assert(space_.home_of(p) == node);
+        const std::scoped_lock guard(space_.page_mutex(p));
+        wire::append_page_data(reply.payload, p, space_.home_data(p),
+                               space_.page_bytes());
+      }
+      transport_.send(std::move(reply));
+      break;
+    }
     case MsgType::kAcquire: {
       const int lock_id = static_cast<int>(msg.a);
       LockState& l = locks_[node][static_cast<std::size_t>(lock_id / n_nodes_)];

@@ -11,103 +11,12 @@
 
 namespace gdsm::dsm {
 
-namespace wire {
+namespace {
 
-std::vector<std::byte> encode_pages(const std::vector<PageId>& pages) {
-  std::vector<std::byte> out;
-  out.reserve(pages.size() * sizeof(PageId));
-  for (PageId p : pages) net::append_pod(out, p);
-  return out;
-}
+/// Payload bytes of a diff-batch frame header (u64 page + u32 record_bytes).
+constexpr std::size_t kBatchFrameHeader = sizeof(PageId) + sizeof(std::uint32_t);
 
-std::vector<PageId> decode_pages(const std::vector<std::byte>& payload) {
-  std::vector<PageId> out;
-  out.reserve(payload.size() / sizeof(PageId));
-  for (std::size_t off = 0; off + sizeof(PageId) <= payload.size();
-       off += sizeof(PageId)) {
-    out.push_back(net::read_pod<PageId>(payload, off));
-  }
-  return out;
-}
-
-std::vector<std::byte> encode_barrier_grant(const BarrierGrant& grant) {
-  std::vector<std::byte> out;
-  net::append_pod(out, static_cast<std::uint64_t>(grant.notices.size()));
-  for (PageId p : grant.notices) net::append_pod(out, p);
-  net::append_pod(out, static_cast<std::uint64_t>(grant.migrations.size()));
-  for (const auto& [p, home] : grant.migrations) {
-    net::append_pod(out, p);
-    net::append_pod(out, static_cast<std::uint64_t>(home));
-  }
-  return out;
-}
-
-BarrierGrant decode_barrier_grant(const std::vector<std::byte>& payload) {
-  BarrierGrant grant;
-  std::size_t off = 0;
-  const auto n_notices = net::read_pod<std::uint64_t>(payload, off);
-  off += 8;
-  grant.notices.reserve(n_notices);
-  for (std::uint64_t k = 0; k < n_notices; ++k, off += 8) {
-    grant.notices.push_back(net::read_pod<PageId>(payload, off));
-  }
-  const auto n_migr = net::read_pod<std::uint64_t>(payload, off);
-  off += 8;
-  for (std::uint64_t k = 0; k < n_migr; ++k, off += 16) {
-    grant.migrations.emplace_back(
-        net::read_pod<PageId>(payload, off),
-        static_cast<int>(net::read_pod<std::uint64_t>(payload, off + 8)));
-  }
-  return grant;
-}
-
-std::vector<std::byte> make_diff(const std::vector<std::byte>& twin,
-                                 const std::vector<std::byte>& data) {
-  assert(twin.size() == data.size());
-  std::vector<std::byte> out;
-  std::size_t i = 0;
-  const std::size_t n = data.size();
-  while (i < n) {
-    if (twin[i] == data[i]) {
-      ++i;
-      continue;
-    }
-    // Start of a modified run; extend while differences are close together.
-    std::size_t end = i + 1;
-    std::size_t same = 0;
-    for (std::size_t k = end; k < n && same < 8; ++k) {
-      if (twin[k] == data[k]) {
-        ++same;
-      } else {
-        end = k + 1;
-        same = 0;
-      }
-    }
-    net::append_pod(out, static_cast<std::uint32_t>(i));
-    net::append_pod(out, static_cast<std::uint32_t>(end - i));
-    out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(i),
-               data.begin() + static_cast<std::ptrdiff_t>(end));
-    i = end;
-  }
-  return out;
-}
-
-void apply_diff(std::byte* dst, std::size_t dst_size,
-                const std::vector<std::byte>& payload) {
-  std::size_t off = 0;
-  while (off + 2 * sizeof(std::uint32_t) <= payload.size()) {
-    const auto start = net::read_pod<std::uint32_t>(payload, off);
-    const auto len = net::read_pod<std::uint32_t>(payload, off + 4);
-    off += 8;
-    if (start + len > dst_size || off + len > payload.size()) {
-      throw std::runtime_error("apply_diff: malformed diff record");
-    }
-    std::memcpy(dst + start, payload.data() + off, len);
-    off += len;
-  }
-}
-
-}  // namespace wire
+}  // namespace
 
 Node::Node(Cluster& cluster, int id)
     : cluster_(cluster), id_(id), cache_(cluster.config().cache_pages) {}
@@ -124,7 +33,9 @@ net::Message Node::request(net::Message msg) {
   // barrier / cv / alloc would corrupt manager state.
   const bool retryable =
       retry.timeout_us > 0 && (msg.type == net::MsgType::kGetPage ||
-                               msg.type == net::MsgType::kDiff);
+                               msg.type == net::MsgType::kDiff ||
+                               msg.type == net::MsgType::kGetPages ||
+                               msg.type == net::MsgType::kDiffBatch);
   net::Message resend;  // copy kept only while retransmission is possible
   if (retryable) resend = msg;
   cluster_.transport_.send(std::move(msg));
@@ -136,8 +47,14 @@ net::Message Node::request(net::Message msg) {
       if (!reply) {
         throw std::runtime_error("DSM node: reply box closed mid-request");
       }
-      if (reply->c != id) {  // leftover reply of a superseded attempt
-        ++stats_.stale_replies;
+      if (reply->c != id) {
+        // A read-ahead reply sharing the box is kept for the next safe
+        // point; anything else is a leftover of a superseded attempt.
+        if (prefetch_inflight_.count(reply->c) != 0) {
+          deferred_prefetch_.push_back(*std::move(reply));
+        } else {
+          ++stats_.stale_replies;
+        }
         continue;
       }
       return *std::move(reply);
@@ -152,7 +69,11 @@ net::Message Node::request(net::Message msg) {
     auto reply = box.pop_for(wait, &closed);
     if (reply) {
       if (reply->c != id) {
-        ++stats_.stale_replies;
+        if (prefetch_inflight_.count(reply->c) != 0) {
+          deferred_prefetch_.push_back(*std::move(reply));
+        } else {
+          ++stats_.stale_replies;
+        }
         continue;
       }
       return *std::move(reply);
@@ -172,25 +93,262 @@ net::Message Node::request(net::Message msg) {
   }
 }
 
-Frame* Node::ensure_cached(PageId p) {
-  if (Frame* f = cache_.lookup(p)) {
-    ++stats_.cache_hits;
-    return f;
+void Node::request_all(std::vector<net::Message> msgs,
+                       void (Node::*on_reply)(net::Message)) {
+  const CommConfig& comm = cluster_.config().comm;
+  const RetryPolicy& retry = cluster_.config().retry;
+  const std::size_t window = comm.max_outstanding > 0 ? comm.max_outstanding : 1;
+
+  struct Outstanding {
+    net::Message resend;
+    std::uint32_t attempts = 0;
+  };
+  std::map<std::uint64_t, Outstanding> outstanding;
+  std::size_t next = 0;
+  auto send_next = [&] {
+    net::Message msg = std::move(msgs[next++]);
+    msg.src = id_;
+    msg.c = cluster_.request_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+    Outstanding o;
+    if (retry.timeout_us > 0) o.resend = msg;  // all request_all types are
+                                               // idempotent by construction
+    outstanding.emplace(msg.c, std::move(o));
+    cluster_.transport_.send(std::move(msg));
+  };
+  while (next < msgs.size() && outstanding.size() < window) send_next();
+
+  auto& box = cluster_.transport_.reply_box(id_);
+  while (!outstanding.empty()) {
+    std::optional<net::Message> reply;
+    if (retry.timeout_us == 0) {
+      reply = box.pop();
+      if (!reply) {
+        throw std::runtime_error("DSM node: reply box closed mid-request");
+      }
+    } else {
+      bool closed = false;
+      reply = box.pop_for(std::chrono::microseconds(retry.timeout_us), &closed);
+      if (!reply) {
+        if (closed) {
+          throw std::runtime_error("DSM node: reply box closed mid-request");
+        }
+        ++stats_.request_timeouts;
+        for (auto& [id, o] : outstanding) {
+          if (o.attempts < retry.max_retries) {
+            ++o.attempts;
+            ++stats_.request_retries;
+            net::Message again = o.resend;
+            cluster_.transport_.send(std::move(again));
+          }
+        }
+        continue;
+      }
+    }
+    const auto it = outstanding.find(reply->c);
+    if (it == outstanding.end()) {
+      if (prefetch_inflight_.count(reply->c) != 0) {
+        deferred_prefetch_.push_back(*std::move(reply));
+      } else {
+        ++stats_.stale_replies;
+      }
+      continue;
+    }
+    outstanding.erase(it);
+    (this->*on_reply)(*std::move(reply));
+    if (next < msgs.size()) send_next();
   }
-  ++stats_.read_faults;
-  net::Message msg;
-  msg.dst = cluster_.space_.home_of(p);
-  msg.type = net::MsgType::kGetPage;
-  msg.a = p;
-  net::Message reply = request(std::move(msg));
+}
+
+void Node::on_batch_ack(net::Message reply) {
+  assert(reply.type == net::MsgType::kDiffBatchAck);
+  (void)reply;
+}
+
+void Node::on_pages_data(net::Message reply) {
+  assert(reply.type == net::MsgType::kPagesData);
+  const std::size_t page_bytes = cluster_.space_.page_bytes();
+  for (const wire::PageDataSpan& span :
+       wire::decode_pages_data(reply.payload, page_bytes)) {
+    if (cache_.contains(span.page)) continue;  // e.g. duplicate retransmit
+    std::vector<std::byte> data(
+        reply.payload.begin() + static_cast<std::ptrdiff_t>(span.offset),
+        reply.payload.begin() +
+            static_cast<std::ptrdiff_t>(span.offset + page_bytes));
+    insert_fetched(span.page, std::move(data), /*prefetched=*/false);
+  }
+}
+
+Frame* Node::insert_fetched(PageId p, std::vector<std::byte> data,
+                            bool prefetched) {
   PageCache::Evicted evicted;
-  Frame* f = cache_.insert(p, std::move(reply.payload), &evicted);
+  Frame* f = cache_.insert(p, std::move(data), &evicted);
+  f->prefetched = prefetched;
   if (evicted.valid) {
     ++stats_.evictions;
+    if (evicted.frame.prefetched) ++stats_.prefetch_wasted;
     if (evicted.frame.dirty) {
-      flush_frame_diff(evicted.page, evicted.frame);
-      pending_notices_.push_back(evicted.page);
+      // The victim's diff needs a blocking round-trip, which must not run
+      // while this insert happens inside request_all()/absorb paths with
+      // other replies pending on the shared box — flush at the next safe
+      // point instead.
+      deferred_dirty_.emplace_back(evicted.page, std::move(evicted.frame));
     }
+  }
+  return f;
+}
+
+void Node::flush_deferred_dirty() {
+  while (!deferred_dirty_.empty()) {
+    auto [page, frame] = std::move(deferred_dirty_.back());
+    deferred_dirty_.pop_back();
+    if (flush_frame_diff(page, frame)) pending_notices_.push_back(page);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sequential read-ahead.
+
+void Node::maybe_prefetch(PageId p) {
+  const CommConfig& comm = cluster_.config().comm;
+  GlobalSpace& space = cluster_.space_;
+  // Leave headroom: read-ahead must never thrash a small cache into
+  // evicting the pages the application is actually using.
+  if (cache_.size() + prefetch_pending_.size() + comm.prefetch_pages + 1 >
+      cache_.capacity()) {
+    return;
+  }
+  std::map<int, std::vector<PageId>> by_home;
+  for (std::uint32_t k = 1; k <= comm.prefetch_pages; ++k) {
+    const PageId q = p + k;
+    if (!space.valid_page(q)) break;
+    if (space.home_of(q) == id_) continue;
+    if (cache_.contains(q)) continue;
+    if (prefetch_pending_.count(q) != 0) continue;
+    by_home[space.home_of(q)].push_back(q);
+  }
+  for (auto& [home, pages] : by_home) {
+    net::Message msg;
+    msg.src = id_;
+    msg.dst = home;
+    msg.type = net::MsgType::kGetPages;
+    msg.a = pages.size();
+    msg.c = cluster_.request_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+    msg.payload = wire::encode_pages(pages);
+    stats_.prefetch_issued += pages.size();
+    for (PageId q : pages) prefetch_pending_.insert(q);
+    prefetch_inflight_.emplace(msg.c, std::move(pages));
+    cluster_.transport_.send(std::move(msg));  // async: reply absorbed later
+  }
+}
+
+void Node::absorb_prefetch(net::Message reply) {
+  const auto it = prefetch_inflight_.find(reply.c);
+  assert(it != prefetch_inflight_.end());
+  const std::vector<PageId> wanted = std::move(it->second);
+  prefetch_inflight_.erase(it);
+  const std::size_t page_bytes = cluster_.space_.page_bytes();
+  for (const wire::PageDataSpan& span :
+       wire::decode_pages_data(reply.payload, page_bytes)) {
+    // Pages cancelled by a write notice between issue and arrival are
+    // dropped: their contents predate the release we just synchronized with.
+    if (std::find(wanted.begin(), wanted.end(), span.page) == wanted.end()) {
+      continue;
+    }
+    prefetch_pending_.erase(span.page);
+    if (cache_.contains(span.page)) continue;
+    std::vector<std::byte> data(
+        reply.payload.begin() + static_cast<std::ptrdiff_t>(span.offset),
+        reply.payload.begin() +
+            static_cast<std::ptrdiff_t>(span.offset + page_bytes));
+    insert_fetched(span.page, std::move(data), /*prefetched=*/true);
+  }
+}
+
+void Node::absorb_prefetch_replies() {
+  if (!deferred_prefetch_.empty()) {
+    std::vector<net::Message> deferred = std::move(deferred_prefetch_);
+    deferred_prefetch_.clear();
+    for (auto& msg : deferred) absorb_prefetch(std::move(msg));
+  }
+  if (!prefetch_inflight_.empty()) {
+    auto& box = cluster_.transport_.reply_box(id_);
+    while (auto msg = box.try_pop()) {
+      if (prefetch_inflight_.count(msg->c) != 0) {
+        absorb_prefetch(*std::move(msg));
+      } else {
+        ++stats_.stale_replies;
+      }
+    }
+  }
+  flush_deferred_dirty();
+}
+
+Frame* Node::await_prefetch(PageId p) {
+  if (prefetch_pending_.count(p) == 0) return nullptr;
+  auto& box = cluster_.transport_.reply_box(id_);
+  while (prefetch_pending_.count(p) != 0) {
+    auto msg = box.pop();
+    if (!msg) {
+      throw std::runtime_error("DSM node: reply box closed mid-request");
+    }
+    if (prefetch_inflight_.count(msg->c) != 0) {
+      absorb_prefetch(*std::move(msg));
+    } else {
+      ++stats_.stale_replies;
+    }
+  }
+  flush_deferred_dirty();
+  // Usually a hit; may be null when a tiny cache evicted `p` again while
+  // later pages of the same reply were inserted — the caller then falls
+  // through to a plain demand fault.
+  return cache_.lookup(p);
+}
+
+void Node::cancel_prefetch(PageId p) {
+  if (prefetch_pending_.erase(p) == 0) return;
+  ++stats_.prefetch_wasted;
+  for (auto& [id, pages] : prefetch_inflight_) {
+    const auto it = std::find(pages.begin(), pages.end(), p);
+    if (it != pages.end()) {
+      pages.erase(it);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Access paths.
+
+Frame* Node::ensure_cached(PageId p) {
+  if (!prefetch_inflight_.empty() || !deferred_prefetch_.empty()) {
+    absorb_prefetch_replies();
+  }
+  Frame* f = cache_.lookup(p);
+  if (f == nullptr && prefetch_pending_.count(p) != 0) f = await_prefetch(p);
+  if (f != nullptr) {
+    ++stats_.cache_hits;
+    if (f->prefetched) {
+      f->prefetched = false;
+      ++stats_.prefetch_hits;
+    }
+  } else {
+    ++stats_.read_faults;
+    net::Message msg;
+    msg.dst = cluster_.space_.home_of(p);
+    msg.type = net::MsgType::kGetPage;
+    msg.a = p;
+    net::Message reply = request(std::move(msg));
+    f = insert_fetched(p, std::move(reply.payload), /*prefetched=*/false);
+    flush_deferred_dirty();
+    f = cache_.lookup(p);  // re-resolve: the deferred flush may touch the map
+    assert(f != nullptr);
+  }
+  // Sequential-scan detector: a touch extending the previous one by exactly
+  // one page keeps the read-ahead window sliding in front of the scan.
+  const bool sequential = p == last_faulted_page_ + 1;
+  last_faulted_page_ = p;
+  if (sequential && cluster_.config().comm.prefetch_pages > 0) {
+    maybe_prefetch(p);
   }
   return f;
 }
@@ -205,9 +363,62 @@ Frame* Node::ensure_writable_frame(PageId p) {
   return f;
 }
 
+void Node::prefault_range(GlobalAddr a, std::size_t n) {
+  GlobalSpace& space = cluster_.space_;
+  const CommConfig& comm = cluster_.config().comm;
+  if (!prefetch_inflight_.empty() || !deferred_prefetch_.empty()) {
+    absorb_prefetch_replies();
+  }
+  const PageId first = space.page_of(a);
+  const PageId last = space.page_of(a + n - 1);
+  // Never bulk-fetch more than half the cache in one go: the tail of a huge
+  // span would evict its own head before the copy loop reads it.
+  std::size_t budget = cache_.capacity() / 2;
+  std::map<int, std::vector<PageId>> by_home;
+  for (PageId p = first; p <= last && budget > 0; ++p) {
+    if (space.home_of(p) == id_) continue;
+    if (cache_.contains(p)) continue;
+    if (prefetch_pending_.count(p) != 0) continue;  // awaited by the main loop
+    by_home[space.home_of(p)].push_back(p);
+    --budget;
+  }
+  std::vector<net::Message> msgs;
+  for (auto& [home, pages] : by_home) {
+    if (pages.size() < 2) continue;  // one page = one round-trip either way
+    const std::size_t max_chunk =
+        comm.max_batch_pages > 0 ? comm.max_batch_pages : pages.size();
+    for (std::size_t i = 0; i < pages.size(); i += max_chunk) {
+      const std::size_t count = std::min(max_chunk, pages.size() - i);
+      const std::vector<PageId> chunk(
+          pages.begin() + static_cast<std::ptrdiff_t>(i),
+          pages.begin() + static_cast<std::ptrdiff_t>(i + count));
+      net::Message msg;
+      msg.dst = home;
+      msg.type = net::MsgType::kGetPages;
+      msg.a = count;
+      msg.payload = wire::encode_pages(chunk);
+      msgs.push_back(std::move(msg));
+      // Per-page fetch accounting is kept (read_faults counts remote
+      // fetches regardless of how they were transported).
+      stats_.read_faults += count;
+      ++stats_.bulk_fetches;
+      stats_.bulk_pages_fetched += count;
+    }
+  }
+  if (!msgs.empty()) {
+    request_all(std::move(msgs), &Node::on_pages_data);
+    flush_deferred_dirty();
+  }
+}
+
 void Node::read_bytes(GlobalAddr a, std::byte* out, std::size_t n) {
+  if (n == 0) return;
   GlobalSpace& space = cluster_.space_;
   const std::size_t page_bytes = space.page_bytes();
+  if (cluster_.config().comm.bulk_fetch &&
+      space.page_of(a) != space.page_of(a + n - 1)) {
+    prefault_range(a, n);
+  }
   while (n > 0) {
     const PageId p = space.page_of(a);
     const std::size_t off = space.offset_in_page(a);
@@ -250,31 +461,93 @@ void Node::write_bytes(GlobalAddr a, const std::byte* in, std::size_t n) {
   }
 }
 
-void Node::flush_frame_diff(PageId p, Frame& frame) {
-  std::vector<std::byte> diff = wire::make_diff(frame.twin, frame.data);
+// ---------------------------------------------------------------------------
+// Release-time diff propagation.
+
+bool Node::flush_frame_diff(PageId p, Frame& frame) {
+  diff_scratch_.clear();
+  wire::append_diff(diff_scratch_, frame.twin, frame.data);
+  frame.twin.clear();
+  frame.twin.shrink_to_fit();
+  frame.dirty = false;
+  if (diff_scratch_.empty()) {
+    // The page was rewritten with identical bytes: the home copy is already
+    // current, so the whole round-trip (and the write notice) is dropped.
+    ++stats_.empty_diffs_suppressed;
+    return false;
+  }
   ++stats_.diffs_sent;
-  stats_.diff_bytes += diff.size();
+  stats_.diff_bytes += diff_scratch_.size();
   net::Message msg;
   msg.dst = cluster_.space_.home_of(p);
   msg.type = net::MsgType::kDiff;
   msg.a = p;
-  msg.payload = std::move(diff);
+  msg.payload.assign(diff_scratch_.begin(), diff_scratch_.end());
   net::Message ack = request(std::move(msg));
   assert(ack.type == net::MsgType::kDiffAck);
   (void)ack;
-  frame.twin.clear();
-  frame.twin.shrink_to_fit();
-  frame.dirty = false;
+  return true;
 }
 
 void Node::flush_all_diffs() {
-  for (PageId p : cache_.dirty_pages()) {
+  std::vector<PageId> dirty = cache_.dirty_pages();
+  if (dirty.empty()) return;
+  std::sort(dirty.begin(), dirty.end());  // deterministic wire layout
+  if (cluster_.config().comm.batch_diffs && dirty.size() > 1) {
+    flush_diffs_batched(std::move(dirty));
+    return;
+  }
+  for (PageId p : dirty) {
     Frame* f = cache_.lookup(p);
     assert(f != nullptr && f->dirty);
-    flush_frame_diff(p, *f);
-    pending_notices_.push_back(p);
+    if (flush_frame_diff(p, *f)) pending_notices_.push_back(p);
   }
 }
+
+void Node::flush_diffs_batched(std::vector<PageId> dirty) {
+  const CommConfig& comm = cluster_.config().comm;
+  const std::size_t max_batch =
+      comm.max_batch_pages > 0 ? comm.max_batch_pages : dirty.size();
+  std::map<int, std::vector<PageId>> by_home;
+  for (PageId p : dirty) by_home[cluster_.space_.home_of(p)].push_back(p);
+  std::vector<net::Message> msgs;
+  for (auto& [home, pages] : by_home) {
+    std::size_t i = 0;
+    while (i < pages.size()) {
+      net::Message msg;
+      msg.dst = home;
+      msg.type = net::MsgType::kDiffBatch;
+      std::uint64_t in_batch = 0;
+      for (; i < pages.size() && in_batch < max_batch; ++i) {
+        const PageId p = pages[i];
+        Frame* f = cache_.lookup(p);
+        assert(f != nullptr && f->dirty);
+        const std::size_t before = msg.payload.size();
+        if (wire::append_diff_batch_page(msg.payload, p, f->twin, f->data)) {
+          ++in_batch;
+          ++stats_.diffs_sent;  // per-page accounting, same as the serial path
+          stats_.diff_bytes += msg.payload.size() - before - kBatchFrameHeader;
+          pending_notices_.push_back(p);
+        } else {
+          ++stats_.empty_diffs_suppressed;
+        }
+        f->twin.clear();
+        f->twin.shrink_to_fit();
+        f->dirty = false;
+      }
+      if (in_batch > 0) {
+        msg.a = in_batch;
+        ++stats_.diff_batches_sent;
+        stats_.diff_pages_batched += in_batch;
+        msgs.push_back(std::move(msg));
+      }
+    }
+  }
+  if (!msgs.empty()) request_all(std::move(msgs), &Node::on_batch_ack);
+}
+
+// ---------------------------------------------------------------------------
+// Write notices.
 
 std::vector<std::byte> Node::take_notices() {
   std::vector<PageId> notices = std::move(pending_notices_);
@@ -293,18 +566,24 @@ void Node::apply_notices(const std::vector<std::byte>& payload) {
 void Node::apply_notices(const std::vector<PageId>& pages) {
   for (PageId p : pages) {
     if (cluster_.space_.home_of(p) == id_) continue;  // home copy stays valid
+    // A read-ahead of a noticed page would deliver pre-release bytes: drop
+    // it from the in-flight set before its reply can be absorbed.
+    cancel_prefetch(p);
     Frame* f = cache_.lookup(p);
     if (f == nullptr) continue;
+    if (f->prefetched) ++stats_.prefetch_wasted;  // invalidated before use
     if (f->dirty) {
       // Concurrent-writer case: merge our modifications home before
       // dropping the stale copy, so no write is lost.
-      flush_frame_diff(p, *f);
-      pending_notices_.push_back(p);
+      if (flush_frame_diff(p, *f)) pending_notices_.push_back(p);
     }
     cache_.erase(p);
     ++stats_.invalidations;
   }
 }
+
+// ---------------------------------------------------------------------------
+// Synchronization.
 
 void Node::lock(int lock_id) {
   ++stats_.lock_acquires;
@@ -342,8 +621,16 @@ void Node::barrier() {
   apply_notices(decoded.notices);
   for (const auto& [page, new_home] : decoded.migrations) {
     // A page that migrated HERE is now served from the home copy directly;
-    // drop any stale cached frame so reads take the home path.
-    if (new_home == id_) cache_.erase(page);
+    // drop any stale cached frame so reads take the home path.  An
+    // in-flight read-ahead of it (issued before the barrier) would carry
+    // the OLD home's copy — cancel it too.
+    if (new_home == id_) {
+      cancel_prefetch(page);
+      if (Frame* f = cache_.lookup(page); f != nullptr && f->prefetched) {
+        ++stats_.prefetch_wasted;
+      }
+      cache_.erase(page);
+    }
   }
 }
 
@@ -378,8 +665,18 @@ NodeStats Node::end_of_job(const std::set<PageId>& retained) {
   cache_.retain_only(retained);
   home_written_.clear();
   pending_notices_.clear();
+  // Read-ahead state dies with the job: replies still in flight will be
+  // dropped as stale by their never-reused ids, and the unconsumed pages
+  // count as wasted.
+  stats_.prefetch_wasted += prefetch_pending_.size();
+  prefetch_inflight_.clear();
+  prefetch_pending_.clear();
+  deferred_prefetch_.clear();
+  deferred_dirty_.clear();
+  last_faulted_page_ = ~PageId{0};
   NodeStats out = stats_;
   stats_ = NodeStats{};
+  account_comm_totals(out);
   return out;
 }
 

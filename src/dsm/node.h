@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <map>
 #include <set>
 #include <type_traits>
 #include <vector>
@@ -87,16 +88,68 @@ class Node {
 
   Frame* ensure_cached(PageId p);             ///< read-fault path
   Frame* ensure_writable_frame(PageId p);     ///< write-fault path (twin)
-  void flush_frame_diff(PageId p, Frame& frame);  ///< send one diff, await ack
+
+  /// Sends one page's diff to its home and awaits the ack.  Returns false —
+  /// and skips the round-trip entirely — when the page's bytes match the
+  /// twin (rewritten with identical data); either way the twin is dropped
+  /// and the frame is clean afterwards.  Callers record a write notice only
+  /// on true.
+  bool flush_frame_diff(PageId p, Frame& frame);
   void flush_all_diffs();                     ///< release-time diff propagation
+  void flush_diffs_batched(std::vector<PageId> dirty);  ///< kDiffBatch path
   std::vector<std::byte> take_notices();      ///< encode + clear pending notices
   void apply_notices(const std::vector<std::byte>& payload);
   void apply_notices(const std::vector<PageId>& pages);
   net::Message request(net::Message msg);     ///< send, block on the reply box
 
+  /// Windowed multi-request engine for the batched plane: sends up to
+  /// comm.max_outstanding of `msgs` (all idempotent: kDiffBatch/kGetPages)
+  /// before the first reply must arrive, refills the window as replies are
+  /// matched by id, and feeds each matched reply to `on_reply`.  Honours the
+  /// retry policy per outstanding request; absorbs prefetch replies that
+  /// share the reply box.
+  void request_all(std::vector<net::Message> msgs,
+                   void (Node::*on_reply)(net::Message));
+
+  void on_batch_ack(net::Message reply);      ///< kDiffBatchAck (no-op check)
+  void on_pages_data(net::Message reply);     ///< insert bulk-fetched pages
+
+  /// Bulk-fetch pre-pass of a multi-page read: collects the span's uncached
+  /// remote pages, groups them by home, and fetches each group of >= 2 with
+  /// one kGetPages instead of per-page faults (singles fall through to the
+  /// normal fault path).
+  void prefault_range(GlobalAddr a, std::size_t n);
+  Frame* insert_fetched(PageId p, std::vector<std::byte> data,
+                        bool prefetched);     ///< cache insert + victim flush
+
+  // -- sequential read-ahead ----------------------------------------------
+  /// Called on a read fault at `p`: when the fault extends a forward scan,
+  /// asynchronously requests the next comm.prefetch_pages pages (grouped by
+  /// home, skipping local/cached/in-flight pages).
+  void maybe_prefetch(PageId p);
+  /// Safe-point drain: applies deferred prefetch replies, then non-blockingly
+  /// absorbs any read-ahead replies already sitting in the reply box.  Must
+  /// only run while no blocking request is outstanding.
+  void absorb_prefetch_replies();
+  /// If `p` is covered by an in-flight prefetch, blocks until that reply
+  /// lands (absorbing unrelated prefetch replies meanwhile) and returns the
+  /// frame; nullptr when no prefetch covers `p`.
+  Frame* await_prefetch(PageId p);
+  /// Handles a kPagesData reply whose id is in prefetch_inflight_.
+  void absorb_prefetch(net::Message reply);
+  /// Drops `p` from any in-flight prefetch so a stale copy is never
+  /// inserted (write-notice invalidation, home migration to this node).
+  void cancel_prefetch(PageId p);
+
+  /// Flushes dirty frames evicted while a blocking request was in flight
+  /// (their kDiff round-trip could not run re-entrantly); called at the
+  /// same safe points as absorb_prefetch_replies.
+  void flush_deferred_dirty();
+
   /// Per-job teardown for the persistent cluster: sweeps the cache keeping
   /// only clean frames of `retained` pages, clears per-interval write
-  /// tracking, and returns-and-zeroes this node's counters.
+  /// tracking, folds the counters into the process-wide comm totals, and
+  /// returns-and-zeroes this node's counters.
   NodeStats end_of_job(const std::set<PageId>& retained);
 
   Cluster& cluster_;
@@ -105,6 +158,20 @@ class Node {
   std::set<PageId> home_written_;     ///< modified home pages (no diff needed)
   std::vector<PageId> pending_notices_;  ///< e.g. dirty evictions mid-interval
   NodeStats stats_;
+
+  // -- batched data plane ---------------------------------------------------
+  std::vector<std::byte> diff_scratch_;  ///< reused diff-encode buffer
+  /// In-flight read-ahead requests: request id -> pages still wanted from
+  /// that reply (notices may cancel individual pages before it lands).
+  std::map<std::uint64_t, std::vector<PageId>> prefetch_inflight_;
+  /// Pages covered by prefetch_inflight_, for O(log n) membership tests.
+  std::set<PageId> prefetch_pending_;
+  /// Read-ahead replies that arrived while a blocking request was waiting
+  /// on the shared reply box; applied at the next safe point.
+  std::vector<net::Message> deferred_prefetch_;
+  /// Dirty frames evicted mid-request, awaiting their diff flush.
+  std::vector<std::pair<PageId, Frame>> deferred_dirty_;
+  PageId last_faulted_page_ = ~PageId{0};  ///< sequential-scan detector state
 };
 
 /// Typed view over a shared allocation; element i lives at

@@ -22,6 +22,9 @@ struct Frame {
   std::vector<std::byte> data;
   std::vector<std::byte> twin;  ///< empty while the frame is clean
   bool dirty = false;
+  bool prefetched = false;  ///< filled by read-ahead, not yet touched by the
+                            ///< application (cleared at first use; still set
+                            ///< at invalidation = the prefetch was wasted)
 };
 
 class PageCache {
@@ -31,6 +34,10 @@ class PageCache {
 
   /// Returns the frame for `p`, or nullptr on a miss.  Refreshes LRU order.
   Frame* lookup(PageId p);
+
+  /// Membership test that does NOT refresh LRU order (the batched data
+  /// plane probes candidate pages without marking them recently used).
+  bool contains(PageId p) const { return map_.count(p) != 0; }
 
   /// Inserts a page (must not be present).  If at capacity, evicts the least
   /// recently used frame first and reports it via `evicted` so the caller

@@ -30,6 +30,16 @@ struct NodeStats {
                                ///< the dispatched kernels (v4; attributes
                                ///< compute volume to the strategy loops)
 
+  // -- batched data plane (v5; see docs/METRICS.md "comm" section) ---------
+  std::uint64_t diff_batches_sent = 0;   ///< kDiffBatch messages sent
+  std::uint64_t diff_pages_batched = 0;  ///< dirty pages carried by batches
+  std::uint64_t bulk_fetches = 0;        ///< kGetPages demand requests sent
+  std::uint64_t bulk_pages_fetched = 0;  ///< pages carried by bulk fetches
+  std::uint64_t prefetch_issued = 0;     ///< pages requested by read-ahead
+  std::uint64_t prefetch_hits = 0;       ///< faults served by a prefetch
+  std::uint64_t prefetch_wasted = 0;     ///< prefetched pages never used
+  std::uint64_t empty_diffs_suppressed = 0;  ///< no-op diff round-trips skipped
+
   NodeStats& operator+=(const NodeStats& o) noexcept {
     read_faults += o.read_faults;
     cache_hits += o.cache_hits;
@@ -47,7 +57,28 @@ struct NodeStats {
     request_retries += o.request_retries;
     stale_replies += o.stale_replies;
     dp_cells += o.dp_cells;
+    diff_batches_sent += o.diff_batches_sent;
+    diff_pages_batched += o.diff_pages_batched;
+    bulk_fetches += o.bulk_fetches;
+    bulk_pages_fetched += o.bulk_pages_fetched;
+    prefetch_issued += o.prefetch_issued;
+    prefetch_hits += o.prefetch_hits;
+    prefetch_wasted += o.prefetch_wasted;
+    empty_diffs_suppressed += o.empty_diffs_suppressed;
     return *this;
+  }
+
+  /// Round-trips the batched plane eliminated relative to the serial plane:
+  /// extra pages riding an already-paid batch/bulk exchange, suppressed
+  /// empty diffs, and faults absorbed by read-ahead.
+  std::uint64_t round_trips_saved() const noexcept {
+    const std::uint64_t diff_saved =
+        diff_pages_batched > diff_batches_sent
+            ? diff_pages_batched - diff_batches_sent : 0;
+    const std::uint64_t bulk_saved =
+        bulk_pages_fetched > bulk_fetches
+            ? bulk_pages_fetched - bulk_fetches : 0;
+    return diff_saved + bulk_saved + empty_diffs_suppressed + prefetch_hits;
   }
 };
 
@@ -67,5 +98,13 @@ struct DsmStats {
     return t;
   }
 };
+
+/// Process-wide accumulation of the data-plane counters, mirroring the
+/// simd kernel meters: every Node folds its per-job counters in at
+/// end_of_job, and the run-report "comm" section snapshots the totals
+/// (obs::comm_stats_json).  All functions are thread-safe.
+void account_comm_totals(const NodeStats& per_job) noexcept;
+NodeStats comm_totals() noexcept;
+void reset_comm_totals() noexcept;
 
 }  // namespace gdsm::dsm

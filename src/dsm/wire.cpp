@@ -1,0 +1,177 @@
+// Payload codec implementations (see wire.h).  Moved out of node.cpp when
+// the batched data plane grew the codec surface: both the node (producer)
+// and the cluster service loop (consumer) now depend on these symmetrically.
+#include "dsm/wire.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace gdsm::dsm::wire {
+
+std::vector<std::byte> encode_pages(const std::vector<PageId>& pages) {
+  std::vector<std::byte> out;
+  out.reserve(pages.size() * sizeof(PageId));
+  for (PageId p : pages) net::append_pod(out, p);
+  return out;
+}
+
+std::vector<PageId> decode_pages(const std::vector<std::byte>& payload) {
+  std::vector<PageId> out;
+  out.reserve(payload.size() / sizeof(PageId));
+  for (std::size_t off = 0; off + sizeof(PageId) <= payload.size();
+       off += sizeof(PageId)) {
+    out.push_back(net::read_pod<PageId>(payload, off));
+  }
+  return out;
+}
+
+std::vector<std::byte> encode_barrier_grant(const BarrierGrant& grant) {
+  std::vector<std::byte> out;
+  net::append_pod(out, static_cast<std::uint64_t>(grant.notices.size()));
+  for (PageId p : grant.notices) net::append_pod(out, p);
+  net::append_pod(out, static_cast<std::uint64_t>(grant.migrations.size()));
+  for (const auto& [p, home] : grant.migrations) {
+    net::append_pod(out, p);
+    net::append_pod(out, static_cast<std::uint64_t>(home));
+  }
+  return out;
+}
+
+BarrierGrant decode_barrier_grant(const std::vector<std::byte>& payload) {
+  BarrierGrant grant;
+  std::size_t off = 0;
+  const auto n_notices = net::read_pod<std::uint64_t>(payload, off);
+  off += 8;
+  grant.notices.reserve(n_notices);
+  for (std::uint64_t k = 0; k < n_notices; ++k, off += 8) {
+    grant.notices.push_back(net::read_pod<PageId>(payload, off));
+  }
+  const auto n_migr = net::read_pod<std::uint64_t>(payload, off);
+  off += 8;
+  for (std::uint64_t k = 0; k < n_migr; ++k, off += 16) {
+    grant.migrations.emplace_back(
+        net::read_pod<PageId>(payload, off),
+        static_cast<int>(net::read_pod<std::uint64_t>(payload, off + 8)));
+  }
+  return grant;
+}
+
+std::size_t append_diff(std::vector<std::byte>& out,
+                        const std::vector<std::byte>& twin,
+                        const std::vector<std::byte>& data) {
+  assert(twin.size() == data.size());
+  const std::size_t start_size = out.size();
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+  while (i < n) {
+    if (twin[i] == data[i]) {
+      ++i;
+      continue;
+    }
+    // Start of a modified run; extend while differences are close together.
+    std::size_t end = i + 1;
+    std::size_t same = 0;
+    for (std::size_t k = end; k < n && same < 8; ++k) {
+      if (twin[k] == data[k]) {
+        ++same;
+      } else {
+        end = k + 1;
+        same = 0;
+      }
+    }
+    net::append_pod(out, static_cast<std::uint32_t>(i));
+    net::append_pod(out, static_cast<std::uint32_t>(end - i));
+    out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(i),
+               data.begin() + static_cast<std::ptrdiff_t>(end));
+    i = end;
+  }
+  return out.size() - start_size;
+}
+
+std::vector<std::byte> make_diff(const std::vector<std::byte>& twin,
+                                 const std::vector<std::byte>& data) {
+  std::vector<std::byte> out;
+  append_diff(out, twin, data);
+  return out;
+}
+
+void apply_diff(std::byte* dst, std::size_t dst_size, const std::byte* records,
+                std::size_t len) {
+  std::size_t off = 0;
+  while (off + 2 * sizeof(std::uint32_t) <= len) {
+    std::uint32_t start;
+    std::uint32_t run;
+    std::memcpy(&start, records + off, sizeof(start));
+    std::memcpy(&run, records + off + 4, sizeof(run));
+    off += 8;
+    if (start + run > dst_size || off + run > len) {
+      throw std::runtime_error("apply_diff: malformed diff record");
+    }
+    std::memcpy(dst + start, records + off, run);
+    off += run;
+  }
+}
+
+void apply_diff(std::byte* dst, std::size_t dst_size,
+                const std::vector<std::byte>& payload) {
+  apply_diff(dst, dst_size, payload.data(), payload.size());
+}
+
+bool append_diff_batch_page(std::vector<std::byte>& out, PageId page,
+                            const std::vector<std::byte>& twin,
+                            const std::vector<std::byte>& data) {
+  const std::size_t frame_start = out.size();
+  net::append_pod(out, page);
+  net::append_pod(out, std::uint32_t{0});  // record_bytes, patched below
+  const std::size_t record_bytes = append_diff(out, twin, data);
+  if (record_bytes == 0) {
+    out.resize(frame_start);  // unchanged page: suppress the whole frame
+    return false;
+  }
+  const auto len = static_cast<std::uint32_t>(record_bytes);
+  std::memcpy(out.data() + frame_start + sizeof(PageId), &len, sizeof(len));
+  return true;
+}
+
+std::vector<DiffBatchSpan> decode_diff_batch(
+    const std::vector<std::byte>& payload) {
+  std::vector<DiffBatchSpan> out;
+  std::size_t off = 0;
+  while (off + sizeof(PageId) + sizeof(std::uint32_t) <= payload.size()) {
+    DiffBatchSpan span;
+    span.page = net::read_pod<PageId>(payload, off);
+    span.len = net::read_pod<std::uint32_t>(payload, off + sizeof(PageId));
+    off += sizeof(PageId) + sizeof(std::uint32_t);
+    if (off + span.len > payload.size()) {
+      throw std::runtime_error("decode_diff_batch: truncated batch frame");
+    }
+    span.offset = off;
+    off += span.len;
+    out.push_back(span);
+  }
+  return out;
+}
+
+void append_page_data(std::vector<std::byte>& out, PageId page,
+                      const std::byte* data, std::size_t page_bytes) {
+  net::append_pod(out, page);
+  out.insert(out.end(), data, data + page_bytes);
+}
+
+std::vector<PageDataSpan> decode_pages_data(
+    const std::vector<std::byte>& payload, std::size_t page_bytes) {
+  std::vector<PageDataSpan> out;
+  const std::size_t frame = sizeof(PageId) + page_bytes;
+  if (payload.size() % frame != 0) {
+    throw std::runtime_error("decode_pages_data: truncated page frame");
+  }
+  out.reserve(payload.size() / frame);
+  for (std::size_t off = 0; off + frame <= payload.size(); off += frame) {
+    out.push_back(PageDataSpan{net::read_pod<PageId>(payload, off),
+                               off + sizeof(PageId)});
+  }
+  return out;
+}
+
+}  // namespace gdsm::dsm::wire

@@ -34,4 +34,50 @@ std::vector<std::byte> make_diff(const std::vector<std::byte>& twin,
 void apply_diff(std::byte* dst, std::size_t dst_size,
                 const std::vector<std::byte>& payload);
 
+/// Appends the diff records of (twin, data) to `out` without clearing it;
+/// returns the number of bytes appended (0 = the page did not change).
+/// This is the allocation-free workhorse behind make_diff: the release path
+/// encodes straight into a reused scratch buffer or a batch payload.
+std::size_t append_diff(std::vector<std::byte>& out,
+                        const std::vector<std::byte>& twin,
+                        const std::vector<std::byte>& data);
+
+/// Record-level apply for batched payloads: `records`/`len` delimit one
+/// page's diff records inside a larger buffer.
+void apply_diff(std::byte* dst, std::size_t dst_size, const std::byte* records,
+                std::size_t len);
+
+/// Diff batch payload (kDiffBatch): repeated framed records of
+/// (u64 page, u32 record_bytes, diff records...).  Appends one page's frame
+/// to `out`; returns false (and appends nothing) when the page's diff is
+/// empty — the caller counts it as a suppressed no-op diff.
+bool append_diff_batch_page(std::vector<std::byte>& out, PageId page,
+                            const std::vector<std::byte>& twin,
+                            const std::vector<std::byte>& data);
+
+/// One page's slice of a diff-batch payload: `offset`/`len` delimit the
+/// page's diff records inside the payload buffer.
+struct DiffBatchSpan {
+  PageId page = 0;
+  std::size_t offset = 0;
+  std::size_t len = 0;
+};
+
+std::vector<DiffBatchSpan> decode_diff_batch(
+    const std::vector<std::byte>& payload);
+
+/// Bulk page-data payload (kPagesData): repeated (u64 page, page_bytes of
+/// contents) frames; `page_bytes` is fixed cluster-wide so no length field
+/// is carried.
+void append_page_data(std::vector<std::byte>& out, PageId page,
+                      const std::byte* data, std::size_t page_bytes);
+
+struct PageDataSpan {
+  PageId page = 0;
+  std::size_t offset = 0;  ///< start of the page contents inside the payload
+};
+
+std::vector<PageDataSpan> decode_pages_data(
+    const std::vector<std::byte>& payload, std::size_t page_bytes);
+
 }  // namespace gdsm::dsm::wire

@@ -31,9 +31,14 @@ enum class MsgType : std::uint8_t {
   kAllocateReply, ///< node 0 -> requester: base address
   kUserData,      ///< message-passing layer payload (src/mp)
   kStop,          ///< shuts a service loop down (not a protocol message)
+  // -- batched data plane (appended so earlier numeric values stay stable) --
+  kDiffBatch,     ///< release: coalesced diffs of several pages to one home
+  kDiffBatchAck,  ///< home -> releaser: every diff of the batch applied
+  kGetPages,      ///< read fault: bulk-fetch several pages from one home
+  kPagesData,     ///< home -> faulting node: the requested pages' contents
 };
 
-inline constexpr int kNumMsgTypes = 16;
+inline constexpr int kNumMsgTypes = 20;
 
 const char* msg_type_name(MsgType t) noexcept;
 

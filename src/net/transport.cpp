@@ -22,6 +22,10 @@ const char* msg_type_name(MsgType t) noexcept {
     case MsgType::kAllocateReply: return "ALLOCREPLY";
     case MsgType::kUserData: return "USERDATA";
     case MsgType::kStop: return "STOP";
+    case MsgType::kDiffBatch: return "DIFFBATCH";
+    case MsgType::kDiffBatchAck: return "DIFFBATCHACK";
+    case MsgType::kGetPages: return "GETPAGES";
+    case MsgType::kPagesData: return "PAGESDATA";
   }
   return "?";
 }

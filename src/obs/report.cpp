@@ -64,6 +64,11 @@ Json RunReport::to_json() const {
     sections.set("kernel",
                  kernel_stats_json(hc != nullptr && hc->is_bool() && hc->as_bool()));
   }
+  if (sections.find("comm") == nullptr) {
+    // v5: every report names the DSM data-plane mode and its aggregation
+    // counters (process-wide totals, like the kernel section).
+    sections.set("comm", comm_stats_json());
+  }
   doc.set("sections", std::move(sections));
   return doc;
 }

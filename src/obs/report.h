@@ -27,9 +27,13 @@ inline constexpr const char* kReportSchema = "gdsm.run_report";
 /// v4: every report carries the "kernel" section (active SIMD backend plus
 /// per-kernel call/cell counters; throughput only under params.host_clock)
 /// and NodeStats gained dp_cells — docs/KERNELS.md.
-inline constexpr int kSchemaVersion = 4;
+/// v5: every report carries the "comm" section (data-plane mode plus the
+/// batched-plane counters: diff batches, bulk fetches, prefetch hits/wasted,
+/// suppressed empty diffs, round_trips_saved) and NodeStats gained the same
+/// per-node counters — docs/METRICS.md "comm".
+inline constexpr int kSchemaVersion = 5;
 /// Oldest schema version tools still accept (v3 files predate the kernel
-/// section but are otherwise field-compatible).
+/// and comm sections but are otherwise field-compatible).
 inline constexpr int kSchemaVersionMin = 3;
 
 /// Schema of the merged baseline produced by tools/merge_reports.

@@ -52,6 +52,14 @@ Json to_json(const dsm::NodeStats& ns) {
   j.set("request_retries", ns.request_retries);
   j.set("stale_replies", ns.stale_replies);
   j.set("dp_cells", ns.dp_cells);
+  j.set("diff_batches_sent", ns.diff_batches_sent);
+  j.set("diff_pages_batched", ns.diff_pages_batched);
+  j.set("bulk_fetches", ns.bulk_fetches);
+  j.set("bulk_pages_fetched", ns.bulk_pages_fetched);
+  j.set("prefetch_issued", ns.prefetch_issued);
+  j.set("prefetch_hits", ns.prefetch_hits);
+  j.set("prefetch_wasted", ns.prefetch_wasted);
+  j.set("empty_diffs_suppressed", ns.empty_diffs_suppressed);
   return j;
 }
 
@@ -118,6 +126,22 @@ Json kernel_stats_json(bool host_clock) {
   j.set("count", kernel_counters_json(ks.count, host_clock));
   j.set("hits", kernel_counters_json(ks.hits, host_clock));
   j.set("nw", kernel_counters_json(ks.nw, host_clock));
+  return j;
+}
+
+Json comm_stats_json() {
+  const dsm::NodeStats totals = dsm::comm_totals();
+  Json j = Json::object();
+  j.set("mode", dsm::comm_mode_name(dsm::default_comm()));
+  j.set("diff_batches_sent", totals.diff_batches_sent);
+  j.set("diff_pages_batched", totals.diff_pages_batched);
+  j.set("bulk_fetches", totals.bulk_fetches);
+  j.set("bulk_pages_fetched", totals.bulk_pages_fetched);
+  j.set("prefetch_issued", totals.prefetch_issued);
+  j.set("prefetch_hits", totals.prefetch_hits);
+  j.set("prefetch_wasted", totals.prefetch_wasted);
+  j.set("empty_diffs_suppressed", totals.empty_diffs_suppressed);
+  j.set("round_trips_saved", totals.round_trips_saved());
   return j;
 }
 

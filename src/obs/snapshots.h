@@ -44,4 +44,11 @@ Json space_usage_json(const dsm::GlobalSpace& space);
 /// deterministically, wall-clock inside the kernels does not.
 Json kernel_stats_json(bool host_clock);
 
+/// {mode, diff_batches_sent, diff_pages_batched, bulk_fetches,
+/// bulk_pages_fetched, prefetch_issued, prefetch_hits, prefetch_wasted,
+/// empty_diffs_suppressed, round_trips_saved} — the DSM data-plane mode the
+/// process defaults to (GDSM_COMM) plus the batched-plane totals since
+/// process start (dsm::comm_totals()).
+Json comm_stats_json();
+
 }  // namespace gdsm::obs

@@ -68,6 +68,7 @@ std::string OracleCase::to_string() const {
   std::ostringstream os;
   os << "seed=" << seed << " len=" << length_s << "x" << length_t
      << " regions=" << n_regions << " procs=" << nprocs
+     << " comm=" << dsm::comm_mode_name(comm)
      << " faults=" << faults.to_string();
   return os.str();
 }
@@ -131,6 +132,7 @@ OracleVerdict run_differential(const OracleCase& c, unsigned mask) {
     cfg.scheme = c.scheme;
     cfg.params = c.params;
     cfg.dsm.retry = c.retry;
+    cfg.dsm.comm = c.comm;
     cfg.dsm.faults = c.faults;
     const core::StrategyResult r = core::wavefront_align(pair.s, pair.t, cfg);
     judge_heuristic(o, reference, r.candidates);
@@ -145,6 +147,7 @@ OracleVerdict run_differential(const OracleCase& c, unsigned mask) {
     cfg.scheme = c.scheme;
     cfg.params = c.params;
     cfg.dsm.retry = c.retry;
+    cfg.dsm.comm = c.comm;
     cfg.dsm.faults = c.faults;
     const core::StrategyResult r = core::blocked_align(pair.s, pair.t, cfg);
     judge_heuristic(o, reference, r.candidates);

@@ -43,12 +43,14 @@ struct OracleCase {
   ScoreScheme scheme{};
   HeuristicParams params{};
   dsm::RetryPolicy retry{};    ///< DSM reply timeout/retransmit policy
+  dsm::CommConfig comm{};      ///< data-plane aggregation knobs under test
   net::FaultPlan faults{};     ///< simulated interconnect misbehaviour
 
   /// The deterministic genome pair of this case.
   HomologousPair make_pair() const;
 
-  /// "seed=N len=AxB regions=R procs=P faults=<plan>" (the repro line).
+  /// "seed=N len=AxB regions=R procs=P comm=<mode> faults=<plan>" (the
+  /// repro line).
   std::string to_string() const;
 };
 

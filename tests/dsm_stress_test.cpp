@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "dsm/cluster.h"
 #include "util/rng.h"
@@ -218,6 +221,96 @@ INSTANTIATE_TEST_SUITE_P(
                     StressCase{4, 128, 2}, StressCase{8, 1024, 16},
                     StressCase{5, 64, 1}, StressCase{6, 512, 3}),
     stress_name);
+
+struct CommCase {
+  const char* name;
+  bool batch_diffs;
+  bool bulk_fetch;
+  std::uint32_t prefetch_pages;
+};
+
+std::string comm_name(const testing::TestParamInfo<CommCase>& info) {
+  return info.param.name;
+}
+
+class CommModeSweep : public testing::TestWithParam<CommCase> {};
+
+// The same torture workload through every data-plane mode: multi-writer
+// release diffs (batch path), whole-array read_bytes validation (bulk-fetch
+// path) and forward per-page scans (read-ahead path) must all produce the
+// exact values the legacy serial plane produces.
+TEST_P(CommModeSweep, MultiWriterScansStayCoherentInEveryMode) {
+  const CommCase& prm = GetParam();
+  constexpr int P = 4;
+  // 2048 u32 slots over 256-byte pages = 32 pages, 8 homed per node: every
+  // reader faces 3 multi-page remote home groups, so bulk fetch engages.
+  constexpr int kSlots = 2048;
+  constexpr int kRounds = 4;
+  DsmConfig cfg;
+  cfg.page_bytes = 256;
+  cfg.comm.batch_diffs = prm.batch_diffs;
+  cfg.comm.bulk_fetch = prm.bulk_fetch;
+  cfg.comm.prefetch_pages = prm.prefetch_pages;
+  Cluster cluster(P, cfg);
+  const GlobalAddr arr = cluster.alloc_striped(kSlots * sizeof(std::uint32_t));
+
+  std::atomic<int> mismatches{0};
+  cluster.run([&](Node& node) {
+    node.barrier();
+    for (int round = 0; round < kRounds; ++round) {
+      for (int k = node.id(); k < kSlots; k += P) {
+        node.write<std::uint32_t>(
+            arr + static_cast<GlobalAddr>(k) * sizeof(std::uint32_t),
+            static_cast<std::uint32_t>(round * 100'000 + k));
+      }
+      node.barrier();
+      // One multi-page read_bytes sweep plus per-slot sequential reads.
+      std::vector<std::uint32_t> snap(kSlots);
+      node.read_bytes(arr, reinterpret_cast<std::byte*>(snap.data()),
+                      kSlots * sizeof(std::uint32_t));
+      for (int k = 0; k < kSlots; ++k) {
+        const auto want = static_cast<std::uint32_t>(round * 100'000 + k);
+        if (snap[static_cast<std::size_t>(k)] != want) ++mismatches;
+        if (node.read<std::uint32_t>(
+                arr + static_cast<GlobalAddr>(k) * sizeof(std::uint32_t)) !=
+            want) {
+          ++mismatches;
+        }
+      }
+      node.barrier();
+    }
+  });
+  EXPECT_EQ(mismatches, 0);
+
+  const NodeStats totals = cluster.stats().total_node();
+  if (prm.batch_diffs) {
+    EXPECT_GT(totals.diff_batches_sent, 0u);
+  } else {
+    EXPECT_EQ(totals.diff_batches_sent, 0u);
+  }
+  if (prm.bulk_fetch) {
+    EXPECT_GT(totals.bulk_fetches, 0u);
+  } else {
+    EXPECT_EQ(totals.bulk_fetches, 0u);
+    if (prm.prefetch_pages > 0) {
+      // With bulk fetch off the read_bytes sweep faults page by page, so
+      // the sequential detector must kick in and save round trips.
+      EXPECT_GT(totals.prefetch_issued, 0u);
+      EXPECT_GT(totals.prefetch_hits, 0u);
+    }
+  }
+  if (prm.prefetch_pages == 0) {
+    EXPECT_EQ(totals.prefetch_issued, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CommModeSweep,
+    testing::Values(CommCase{"legacy", false, false, 0},
+                    CommCase{"batched", true, true, 0},
+                    CommCase{"batched_prefetch", true, true, 4},
+                    CommCase{"prefetch_only", false, false, 4}),
+    comm_name);
 
 }  // namespace
 }  // namespace gdsm::dsm

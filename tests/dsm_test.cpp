@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <vector>
 
 #include "dsm/cluster.h"
 
@@ -286,12 +287,20 @@ TEST(HomeMigration, MigrationStopsDiffTraffic) {
         node.barrier();
       }
     });
-    return cluster.stats().node[1].diffs_sent;
+    const auto& stats = cluster.stats().node[1];
+    return std::pair(stats.diffs_sent, stats.empty_diffs_suppressed);
   };
-  const auto diffs_without = run_rounds(false);
-  const auto diffs_with = run_rounds(true);
-  EXPECT_EQ(diffs_without, 10u);  // one diff per interval, forever
-  EXPECT_EQ(diffs_with, 1u);      // home writes need no diffs after migration
+  const auto [diffs_without, suppressed_without] = run_rounds(false);
+  const auto [diffs_with, suppressed_with] = run_rounds(true);
+  // Round 0 writes the int value 0 over freshly zeroed memory, so its diff
+  // is empty and the round-trip is suppressed; rounds 1..9 each ship one
+  // real diff per interval, forever.
+  EXPECT_EQ(diffs_without, 9u);
+  EXPECT_EQ(suppressed_without, 1u);
+  // With migration the suppressed round 0 produces no write notice, so the
+  // page migrates after round 1's diff — the one and only diff sent.
+  EXPECT_EQ(diffs_with, 1u);
+  EXPECT_EQ(suppressed_with, 1u);
 }
 
 TEST(HomeMigration, MultiWriterPageStaysPut) {
@@ -327,6 +336,159 @@ TEST(HomeMigration, DataStaysCoherentAcrossMigration) {
   });
   EXPECT_EQ(seen, 333);
   EXPECT_EQ(cluster.stats().home_migrations, 2u);
+}
+
+CommConfig legacy_comm_cfg() {
+  CommConfig c;
+  c.batch_diffs = false;
+  c.bulk_fetch = false;
+  c.prefetch_pages = 0;
+  return c;
+}
+
+TEST(CommPlane, BulkFetchCoalescesMultiPageReads) {
+  // A read_bytes spanning 8 uncached remote pages must cost one kGetPages
+  // exchange, not 8 serial faults; accounting stays per-page (read_faults).
+  constexpr int kPages = 8;
+  DsmConfig cfg;
+  cfg.page_bytes = 128;
+  cfg.comm = CommConfig{};  // pin batched mode regardless of GDSM_COMM
+  Cluster cluster(2, cfg);
+  const GlobalAddr arr = cluster.alloc(kPages * 128, /*home=*/0);
+  cluster.run([&](Node& node) {
+    if (node.id() == 0) {
+      for (int pgi = 0; pgi < kPages; ++pgi) {
+        node.write<int>(arr + static_cast<GlobalAddr>(pgi) * 128, pgi + 1);
+      }
+    }
+    node.barrier();
+    if (node.id() == 1) {
+      std::vector<int> buf(kPages * 128 / sizeof(int));
+      node.read_bytes(arr, reinterpret_cast<std::byte*>(buf.data()),
+                      kPages * 128);
+      for (int pgi = 0; pgi < kPages; ++pgi) {
+        EXPECT_EQ(buf[static_cast<std::size_t>(pgi) * (128 / sizeof(int))],
+                  pgi + 1);
+      }
+    }
+    node.barrier();
+  });
+  const NodeStats& reader = cluster.stats().node[1];
+  EXPECT_EQ(reader.bulk_fetches, 1u);
+  EXPECT_EQ(reader.bulk_pages_fetched, static_cast<std::uint64_t>(kPages));
+  EXPECT_EQ(reader.read_faults, static_cast<std::uint64_t>(kPages));
+  EXPECT_GE(reader.round_trips_saved(), static_cast<std::uint64_t>(kPages - 1));
+}
+
+TEST(CommPlane, LegacyModeNeverBulksOrBatches) {
+  DsmConfig cfg;
+  cfg.page_bytes = 128;
+  cfg.comm = legacy_comm_cfg();
+  Cluster cluster(2, cfg);
+  const GlobalAddr arr = cluster.alloc(6 * 128, /*home=*/0);
+  cluster.run([&](Node& node) {
+    if (node.id() == 1) {
+      std::vector<int> buf(6 * 128 / sizeof(int));
+      node.read_bytes(arr, reinterpret_cast<std::byte*>(buf.data()), 6 * 128);
+      for (int pgi = 0; pgi < 6; ++pgi) {
+        node.write<int>(arr + static_cast<GlobalAddr>(pgi) * 128, pgi);
+      }
+    }
+    node.barrier();
+  });
+  const NodeStats& n1 = cluster.stats().node[1];
+  EXPECT_EQ(n1.bulk_fetches, 0u);
+  EXPECT_EQ(n1.diff_batches_sent, 0u);
+  EXPECT_EQ(n1.prefetch_issued, 0u);
+  EXPECT_EQ(n1.read_faults, 6u);  // one serial fault per page
+}
+
+TEST(CommPlane, SequentialScanPrefetchesAhead) {
+  // A forward per-page scan must trip the sequential detector: later pages
+  // arrive through async kGetPages read-ahead and count as prefetch hits,
+  // not read faults.
+  constexpr int kPages = 16;
+  DsmConfig cfg;
+  cfg.page_bytes = 128;
+  cfg.comm = CommConfig{};      // pin the mode regardless of GDSM_COMM
+  cfg.comm.bulk_fetch = false;  // isolate the read-ahead path
+  cfg.comm.prefetch_pages = 4;
+  Cluster cluster(2, cfg);
+  const GlobalAddr arr = cluster.alloc(kPages * 128, /*home=*/0);
+  cluster.run([&](Node& node) {
+    if (node.id() == 0) {
+      for (int pgi = 0; pgi < kPages; ++pgi) {
+        node.write<int>(arr + static_cast<GlobalAddr>(pgi) * 128, 10 * pgi);
+      }
+    }
+    node.barrier();
+    if (node.id() == 1) {
+      for (int pgi = 0; pgi < kPages; ++pgi) {
+        EXPECT_EQ(node.read<int>(arr + static_cast<GlobalAddr>(pgi) * 128),
+                  10 * pgi);
+      }
+    }
+    node.barrier();
+  });
+  const NodeStats& reader = cluster.stats().node[1];
+  EXPECT_GT(reader.prefetch_issued, 0u);
+  EXPECT_GT(reader.prefetch_hits, 0u);
+  EXPECT_LT(reader.read_faults, static_cast<std::uint64_t>(kPages));
+}
+
+TEST(CommPlane, EmptyDiffsSuppressedInEveryMode) {
+  // Writing the value already in place yields a zero-record diff; shipping
+  // it would be a pure round-trip, so every mode suppresses it.
+  for (const bool batched : {false, true}) {
+    DsmConfig cfg;
+    cfg.page_bytes = 128;
+    cfg.comm = batched ? CommConfig{} : legacy_comm_cfg();
+    Cluster cluster(2, cfg);
+    const GlobalAddr x = cluster.alloc(sizeof(int), /*home=*/0);
+    cluster.run([&](Node& node) {
+      if (node.id() == 1) node.write<int>(x, 0);  // no-op over zeroed memory
+      node.barrier();
+    });
+    const NodeStats& writer = cluster.stats().node[1];
+    EXPECT_EQ(writer.diffs_sent, 0u) << "batched=" << batched;
+    EXPECT_EQ(writer.empty_diffs_suppressed, 1u) << "batched=" << batched;
+  }
+}
+
+TEST(CommPlane, ReleaseDiffsCoalescePerHome) {
+  // Six dirty pages with the same home leave as ONE kDiffBatch; per-page
+  // diff accounting (diffs_sent) matches the legacy plane exactly.
+  constexpr int kPages = 6;
+  auto diffs_for = [](CommConfig comm) {
+    DsmConfig cfg;
+    cfg.page_bytes = 128;
+    cfg.comm = comm;
+    Cluster cluster(2, cfg);
+    const GlobalAddr arr = cluster.alloc(kPages * 128, /*home=*/0);
+    cluster.run([&](Node& node) {
+      if (node.id() == 1) {
+        for (int pgi = 0; pgi < kPages; ++pgi) {
+          node.write<int>(arr + static_cast<GlobalAddr>(pgi) * 128, pgi + 1);
+        }
+      }
+      node.barrier();
+      if (node.id() == 0) {
+        for (int pgi = 0; pgi < kPages; ++pgi) {
+          EXPECT_EQ(node.read<int>(arr + static_cast<GlobalAddr>(pgi) * 128),
+                    pgi + 1);
+        }
+      }
+      node.barrier();
+    });
+    return cluster.stats().node[1];
+  };
+  const NodeStats batched = diffs_for(CommConfig{});
+  const NodeStats legacy = diffs_for(legacy_comm_cfg());
+  EXPECT_EQ(batched.diff_batches_sent, 1u);
+  EXPECT_EQ(batched.diff_pages_batched, static_cast<std::uint64_t>(kPages));
+  EXPECT_EQ(batched.diffs_sent, legacy.diffs_sent);
+  EXPECT_EQ(legacy.diff_batches_sent, 0u);
+  EXPECT_GE(batched.round_trips_saved(), static_cast<std::uint64_t>(kPages - 1));
 }
 
 TEST(Cluster, SpmdProgramSeesOwnRank) {

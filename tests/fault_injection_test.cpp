@@ -13,6 +13,7 @@
 #include "dsm/cluster.h"
 #include "net/fault.h"
 #include "net/transport.h"
+#include "testing/oracle.h"
 
 namespace gdsm {
 namespace {
@@ -226,6 +227,80 @@ TEST(FaultInjectionTest, RetryLayerRetransmitsIdempotentRequests) {
   const dsm::NodeStats totals = cluster.stats().total_node();
   EXPECT_GT(totals.request_timeouts, 0u);
   EXPECT_GT(totals.request_retries, 0u);
+}
+
+TEST(FaultInjectionTest, BatchedPlaneSurvivesChaosWithCountersLive) {
+  // The full coalesced data plane (diff batches, bulk fetches, read-ahead)
+  // under drops/delays/reorders/duplicates: kDiffBatch and kGetPages are
+  // idempotent, so retransmits and duplicate replies must be harmless.
+  dsm::DsmConfig cfg;
+  cfg.page_bytes = 128;
+  cfg.comm = dsm::CommConfig{};
+  cfg.comm.prefetch_pages = 4;
+  cfg.faults = chaos_plan(9);
+  cfg.retry.timeout_us = 1500;
+  constexpr int kPages = 12;
+  dsm::Cluster cluster(2, cfg);
+  const dsm::GlobalAddr arr = cluster.alloc(kPages * 128, /*home=*/0);
+
+  std::atomic<int> mismatches{0};
+  cluster.run([&](dsm::Node& node) {
+    if (node.id() == 1) {
+      // Dirty every page so the release ships one multi-page diff batch.
+      for (int pgi = 0; pgi < kPages; ++pgi) {
+        node.write<int>(arr + static_cast<dsm::GlobalAddr>(pgi) * 128,
+                        pgi + 1);
+      }
+    }
+    node.barrier();
+    // Sequential scans on both nodes drive bulk fetch and read-ahead.
+    for (int pgi = 0; pgi < kPages; ++pgi) {
+      if (node.read<int>(arr + static_cast<dsm::GlobalAddr>(pgi) * 128) !=
+          pgi + 1) {
+        ++mismatches;
+      }
+    }
+    node.barrier();
+  });
+  EXPECT_EQ(mismatches, 0);
+  const dsm::DsmStats stats = cluster.stats();
+  EXPECT_GT(stats.node[1].diff_batches_sent, 0u);
+  EXPECT_GT(stats.faults.total(), 0u) << "no faults fired; raise the rates";
+}
+
+TEST(FaultInjectionTest, OracleMatchesUnderEveryPlanWithBatchingOnAndOff) {
+  // The acceptance matrix of the data plane: every standard fault plan
+  // (drop/retry, reorder, delay, chaos+partition) plus a duplicate-heavy
+  // plan, each run with the legacy plane and with batching+prefetch.  The
+  // DSM-backed strategies must reproduce serial SW bit-for-bit either way.
+  dsm::CommConfig legacy;
+  legacy.batch_diffs = false;
+  legacy.bulk_fetch = false;
+  legacy.prefetch_pages = 0;
+  dsm::CommConfig batched;  // defaults: batch + bulk fetch
+  batched.prefetch_pages = 2;
+
+  std::vector<net::FaultPlan> plans = testing::standard_fault_plans(31);
+  net::FaultPlan duplicates;
+  duplicates.seed = 35;
+  duplicates.duplicate_rate = 0.4;
+  plans.push_back(duplicates);
+
+  for (const dsm::CommConfig& comm : {legacy, batched}) {
+    for (const net::FaultPlan& plan : plans) {
+      testing::OracleCase c;
+      c.seed = 23;
+      c.length_s = c.length_t = 256;
+      c.n_regions = 2;
+      c.nprocs = 2;
+      c.retry.timeout_us = 2000;
+      c.comm = comm;
+      c.faults = plan;
+      const testing::OracleVerdict v = testing::run_differential(
+          c, testing::kWavefront | testing::kBlocked);
+      EXPECT_TRUE(v.ok) << c.to_string() << "\n" << v.summary();
+    }
+  }
 }
 
 TEST(ClusterFailureTest, SingleNodeFailureRethrowsOriginalType) {

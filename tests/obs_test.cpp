@@ -193,7 +193,10 @@ TEST(SnapshotsTest, DsmStatsFromRealClusterRun) {
   for (const char* key :
        {"read_faults", "write_faults", "diffs_sent", "diff_bytes",
         "invalidations", "evictions", "lock_acquires", "lock_releases",
-        "barriers", "cv_signals", "cv_waits"}) {
+        "barriers", "cv_signals", "cv_waits", "diff_batches_sent",
+        "diff_pages_batched", "bulk_fetches", "bulk_pages_fetched",
+        "prefetch_issued", "prefetch_hits", "prefetch_wasted",
+        "empty_diffs_suppressed"}) {
     EXPECT_TRUE(back.at("nodes").items()[0].has(key)) << key;
   }
 }

@@ -38,11 +38,12 @@ core::StrategyResult faulted_blocked_run() {
   return core::blocked_align(pair.s, pair.t, cfg);
 }
 
-TEST(ReportIoTest, SchemaVersionIsBumpedToFour) {
-  // v4 added the kernel section (dispatched SIMD backend + per-kernel cell
-  // counters) and NodeStats.dp_cells; docs/METRICS.md pins the layout to
-  // schema version 4, with v3 files still accepted by the tools.
-  EXPECT_EQ(obs::kSchemaVersion, 4);
+TEST(ReportIoTest, SchemaVersionIsBumpedToFive) {
+  // v5 added the comm section (DSM data-plane mode + batched-plane
+  // counters) and the NodeStats comm counters; docs/METRICS.md pins the
+  // layout to schema version 5, with v3/v4 files still accepted by the
+  // tools.
+  EXPECT_EQ(obs::kSchemaVersion, 5);
   EXPECT_EQ(obs::kSchemaVersionMin, 3);
 }
 
@@ -117,13 +118,20 @@ TEST(ReportIoTest, RunReportRoundTripsThroughDiskAtVersionTwo) {
   std::remove(path.c_str());
 
   EXPECT_EQ(doc.at("schema").as_string(), obs::kReportSchema);
-  EXPECT_EQ(doc.at("schema_version").as_int(), 4);
+  EXPECT_EQ(doc.at("schema_version").as_int(), 5);
   // v4: every report auto-attaches the kernel section; this run had no
   // host_clock param, so only the deterministic counters appear.
   const Json& kernel = doc.at("sections").at("kernel");
   EXPECT_FALSE(kernel.at("backend").as_string().empty());
   EXPECT_TRUE(kernel.at("best").has("calls"));
   EXPECT_FALSE(kernel.at("best").has("seconds"));
+  // v5: every report auto-attaches the comm section naming the data-plane
+  // mode; the faulted blocked run above went through the batched default,
+  // so the batch counters are live.
+  const Json& comm = doc.at("sections").at("comm");
+  EXPECT_FALSE(comm.at("mode").as_string().empty());
+  EXPECT_TRUE(comm.has("round_trips_saved"));
+  EXPECT_TRUE(comm.has("empty_diffs_suppressed"));
   const Json& parsed_run =
       doc.at("series").at("runs").items().at(0).at("result");
   // The v2 additions survive serialization: the fault block and the

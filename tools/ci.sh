@@ -11,11 +11,14 @@
 #   3. kernel dispatch         -- tier1 re-run once per SIMD backend this
 #                                 host supports (GDSM_KERNEL=scalar|sse41|
 #                                 avx2; docs/KERNELS.md)
-#   4. ctest -L bench_smoke    -- tiny benches, schema-validated reports
-#   5. fuzz_align, 30 s budget -- differential fuzz over the fault matrix
-#   6. service_smoke           -- 5 s oracle-verified loadgen burst against
+#   4. comm ablation           -- the DSM suites re-run once per data-plane
+#                                 mode (GDSM_COMM=legacy|batched|
+#                                 batched+prefetch; docs/DESIGN.md)
+#   5. ctest -L bench_smoke    -- tiny benches, schema-validated reports
+#   6. fuzz_align, 30 s budget -- differential fuzz over the fault matrix
+#   7. service_smoke           -- 5 s oracle-verified loadgen burst against
 #                                 the alignment service (docs/SERVICE.md)
-#   7. (--tsan) TSan build + the dsm/fault/oracle/service suites raced
+#   8. (--tsan) TSan build + the dsm/fault/oracle/service suites raced
 #      under ThreadSanitizer (admission must stay deadlock-free; the preset
 #      builds the same SSE4.1/AVX2 kernel objects as the Release build)
 set -euo pipefail
@@ -46,6 +49,18 @@ for backend in $(build/tools/kernel_info); do
   echo "==> ctest -L tier1 (GDSM_KERNEL=$backend)"
   GDSM_KERNEL="$backend" ctest --test-dir build -L tier1 \
     --output-on-failure -j "$JOBS"
+done
+
+# The data-plane counterpart of the kernel sweep: the default pass above ran
+# with the built-in batched plane; re-run the DSM-facing suites with the
+# plane forced to each mode so the legacy bit-identical path and the
+# read-ahead path stay release-gated too.
+for comm in legacy batched batched+prefetch; do
+  echo "==> DSM suites (GDSM_COMM=$comm)"
+  for t in dsm_test dsm_stress_test fault_injection_test \
+           differential_oracle_test cluster_submit_test strategy_test; do
+    GDSM_COMM="$comm" "build/tests/$t" --gtest_brief=1
+  done
 done
 
 echo "==> ctest -L bench_smoke"

@@ -143,6 +143,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (doc.at("schema_version").as_int() >= 5) {
+    // v5: the comm section names the DSM data-plane mode and carries the
+    // batched-plane counters.
+    const Json* sections = doc.find("sections");
+    const Json* comm = sections ? sections->find("comm") : nullptr;
+    if (comm == nullptr || !comm->is_object()) {
+      return fail(path, "v5 report without sections.comm");
+    }
+    const Json* mode = comm->find("mode");
+    if (mode == nullptr || !mode->is_string() || mode->as_string().empty()) {
+      return fail(path, "sections.comm.mode missing or empty");
+    }
+    for (const char* k :
+         {"diff_batches_sent", "diff_pages_batched", "bulk_fetches",
+          "bulk_pages_fetched", "prefetch_issued", "prefetch_hits",
+          "prefetch_wasted", "empty_diffs_suppressed", "round_trips_saved"}) {
+      const Json* counter = comm->find(k);
+      if (counter == nullptr || !counter->is_number()) {
+        return fail(path, std::string("sections.comm.") + k +
+                              " missing or not a number");
+      }
+    }
+  }
+
   if (require_read_faults && !any_positive_read_faults(doc)) {
     return fail(path, "no positive read_faults counter found "
                       "(--require-read-faults)");
