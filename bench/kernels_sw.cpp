@@ -80,6 +80,40 @@ void BM_LinearScoreSWBackend(benchmark::State& state, simd::Backend backend) {
   set_cell_rate(state);
 }
 
+// The affine (Gotoh) route through the very same entry point: a nonzero
+// gap_open sends sw_best_score_linear to the three-matrix E/F/H sweep.
+// GCUPS here divided by BM_LinearScoreSW's is the affine cell-cost factor
+// the service CostModel prices (src/sim/cost_model.h).
+ScoreScheme affine_scheme() {
+  ScoreScheme sc;
+  sc.gap_open = -3;
+  return sc;
+}
+
+void BM_AffineScoreSW(benchmark::State& state) {
+  const auto [s, t] = inputs(static_cast<std::size_t>(state.range(0)));
+  const ScoreScheme sc = affine_scheme();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw_best_score_linear(s, t, sc));
+  }
+  set_cell_rate(state);
+}
+BENCHMARK(BM_AffineScoreSW)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_AffineScoreSWBackend(benchmark::State& state, simd::Backend backend) {
+  ForcedBackend forced(backend);
+  if (!forced.ok()) {
+    state.SkipWithError("backend unavailable on this host");
+    return;
+  }
+  const auto [s, t] = inputs(static_cast<std::size_t>(state.range(0)));
+  const ScoreScheme sc = affine_scheme();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw_best_score_linear(s, t, sc));
+  }
+  set_cell_rate(state);
+}
+
 void BM_ScanHits(benchmark::State& state) {
   const auto [s, t] = inputs(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
@@ -159,6 +193,11 @@ int main(int argc, char** argv) {
     const std::string suffix = gdsm::simd::backend_name(b);
     benchmark::RegisterBenchmark(("BM_LinearScoreSW_" + suffix).c_str(),
                                  BM_LinearScoreSWBackend, b)
+        ->Arg(256)
+        ->Arg(1024)
+        ->Arg(4096);
+    benchmark::RegisterBenchmark(("BM_AffineScoreSW_" + suffix).c_str(),
+                                 BM_AffineScoreSWBackend, b)
         ->Arg(256)
         ->Arg(1024)
         ->Arg(4096);

@@ -94,56 +94,71 @@ int main(int argc, char** argv) {
     cfg.queue_capacity = 256;
     return cfg;
   };
-  const auto submit_probe = [&](svc::AlignService& service, std::size_t i) {
+  // The affine gap model rides the same admission path; the closed-loop
+  // sweep runs each window under both models so the report carries the
+  // affine throughput column next to the linear one (schema v6).
+  ScoreScheme affine_sc;
+  affine_sc.gap_open = -3;
+  const auto submit_probe = [&](svc::AlignService& service, std::size_t i,
+                                bool affine) {
     svc::QuerySpec spec;
     spec.subject = w.subjects[w.probes[i].first].name();
     spec.query = w.probes[i].second;
+    if (affine) spec.scheme = affine_sc;
     return service.submit(std::move(spec));
   };
 
   // ---- closed loop: keep exactly `window` queries in flight ----
   TextTable closed("Closed loop - fixed in-flight window, " +
                    std::to_string(n_queries) + " queries");
-  closed.set_header({"Window", "Throughput (q/s)", "p50 (ms)", "p99 (ms)",
-                     "Warm", "Batched"});
+  closed.set_header({"Window", "Gap", "Throughput (q/s)", "p50 (ms)",
+                     "p99 (ms)", "Warm", "Batched"});
   for (const std::size_t window : windows) {
-    svc::AlignService service(make_config());
-    for (const Sequence& s : w.subjects) service.load_subject(s);
-    std::vector<svc::TicketPtr> tickets;
-    tickets.reserve(w.probes.size());
-    const auto t0 = std::chrono::steady_clock::now();
-    std::size_t next = 0;
-    for (; next < std::min(window, w.probes.size()); ++next) {
-      tickets.push_back(submit_probe(service, next).ticket);
-    }
-    for (std::size_t done = 0; done < w.probes.size(); ++done) {
-      tickets[done]->wait();
-      if (next < w.probes.size()) {
-        tickets.push_back(submit_probe(service, next++).ticket);
+    for (const bool affine : {false, true}) {
+      const char* gap_model = affine ? "affine" : "linear";
+      svc::AlignService service(make_config());
+      for (const Sequence& s : w.subjects) service.load_subject(s);
+      std::vector<svc::TicketPtr> tickets;
+      tickets.reserve(w.probes.size());
+      const auto t0 = std::chrono::steady_clock::now();
+      std::size_t next = 0;
+      for (; next < std::min(window, w.probes.size()); ++next) {
+        tickets.push_back(submit_probe(service, next, affine).ticket);
       }
-    }
-    const double wall_s = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count();
-    const svc::ServiceStats st = service.stats();
-    service.shutdown();
+      for (std::size_t done = 0; done < w.probes.size(); ++done) {
+        tickets[done]->wait();
+        if (next < w.probes.size()) {
+          tickets.push_back(submit_probe(service, next++, affine).ticket);
+        }
+      }
+      const double wall_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+      const svc::ServiceStats st = service.stats();
+      service.shutdown();
 
-    const double qps =
-        wall_s > 0 ? static_cast<double>(st.completed) / wall_s : 0;
-    closed.add_row({std::to_string(window), fmt_f(qps, 1),
-                    fmt_f(st.total_latency.quantile(0.5) * 1e3, 2),
-                    fmt_f(st.total_latency.quantile(0.99) * 1e3, 2),
-                    std::to_string(st.warm_queries),
-                    std::to_string(st.batched_queries)});
-    obs::Json row = obs::Json::object();
-    row.set("window", window);
-    row.set("wall_s", wall_s);
-    row.set("throughput_qps", qps);
-    row.set("p50_s", st.total_latency.quantile(0.5));
-    row.set("p99_s", st.total_latency.quantile(0.99));
-    row.set("service", st.to_json());
-    report.add_row("closed_loop", std::move(row));
-    report.metrics().set("closed.w" + std::to_string(window) + ".qps", qps);
+      const double qps =
+          wall_s > 0 ? static_cast<double>(st.completed) / wall_s : 0;
+      closed.add_row({std::to_string(window), gap_model, fmt_f(qps, 1),
+                      fmt_f(st.total_latency.quantile(0.5) * 1e3, 2),
+                      fmt_f(st.total_latency.quantile(0.99) * 1e3, 2),
+                      std::to_string(st.warm_queries),
+                      std::to_string(st.batched_queries)});
+      obs::Json row = obs::Json::object();
+      row.set("window", window);
+      row.set("gap_model", gap_model);
+      row.set("wall_s", wall_s);
+      row.set("throughput_qps", qps);
+      row.set("p50_s", st.total_latency.quantile(0.5));
+      row.set("p99_s", st.total_latency.quantile(0.99));
+      row.set("service", st.to_json());
+      report.add_row("closed_loop", std::move(row));
+      // The historical (pre-v6) metric name stays the linear number; the
+      // affine column gets its own key.
+      report.metrics().set("closed.w" + std::to_string(window) +
+                               (affine ? ".affine.qps" : ".qps"),
+                           qps);
+    }
   }
   closed.print(std::cout);
 
@@ -170,7 +185,7 @@ int main(int argc, char** argv) {
           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
               std::chrono::duration<double>(at)));
       svc::AlignService::Admission adm =
-          submit_probe(service, offered % w.probes.size());
+          submit_probe(service, offered % w.probes.size(), /*affine=*/false);
       ++offered;
       if (adm.admitted()) {
         tickets.push_back(std::move(adm.ticket));
@@ -195,6 +210,7 @@ int main(int argc, char** argv) {
                     fmt_f(st.total_latency.quantile(0.99) * 1e3, 2)});
     obs::Json row = obs::Json::object();
     row.set("rate_qps", rate);
+    row.set("gap_model", "linear");
     row.set("offered", offered);
     row.set("rejected", rejected);
     row.set("wall_s", wall_s);

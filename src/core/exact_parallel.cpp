@@ -45,14 +45,17 @@ ExactParallelResult exact_align_parallel(const Sequence& s, const Sequence& t,
 
   mp::World world(P, cfg.faults);
   BestLocal global_best;
+  const bool affine = cfg.scheme.affine();
   const simd::ScoreParams kernel_params{cfg.scheme.match, cfg.scheme.mismatch,
-                                        cfg.scheme.gap};
+                                        cfg.scheme.gap, cfg.scheme.gap_open};
 
   world.run([&](mp::Comm& comm) {
     const int p = comm.rank();
     BestLocal local;
 
     std::vector<std::int32_t> top_row, bottom_row;
+    std::vector<std::int32_t> top_e, bottom_e;  // affine E companions
+    std::vector<std::int32_t> send_buf;
     for (std::size_t b = static_cast<std::size_t>(p); b < B;
          b += static_cast<std::size_t>(P)) {
       const std::size_t row_lo = grid.row_offsets[b];
@@ -63,20 +66,35 @@ ExactParallelResult exact_align_parallel(const Sequence& s, const Sequence& t,
           static_cast<int>((b + 1) % static_cast<std::size_t>(P));
 
       // Right edge of the previous block: [0] = diag for the first row,
-      // [r] = left input for row r.
+      // [r] = left input for row r.  Under the affine model a companion
+      // carries the Gotoh F state of that edge (horizontal runs continuing
+      // into the next block); boundary messages between bands carry [H | E]
+      // concatenated, one message per block as before, so fault plans hit
+      // the same message sequence in both gap models.
       std::vector<std::int32_t> left_edge(H + 1, 0);
+      std::vector<std::int32_t> left_f(affine ? H : 0, simd::kNegInf);
 
       for (std::size_t k = 0; k < K; ++k) {
         const std::size_t col_lo = grid.col_offsets[k];
         const std::size_t W = grid.block_width(k);
 
         top_row.assign(W, 0);
+        if (affine) top_e.assign(W, simd::kNegInf);
         if (b > 0) {
-          top_row = comm.recv_vector<std::int32_t>(prev_rank,
-                                                   boundary_tag(b - 1, K, k));
+          if (affine) {
+            const auto both = comm.recv_vector<std::int32_t>(
+                prev_rank, boundary_tag(b - 1, K, k));
+            top_row.assign(both.begin(), both.begin() + static_cast<std::ptrdiff_t>(W));
+            top_e.assign(both.begin() + static_cast<std::ptrdiff_t>(W), both.end());
+          } else {
+            top_row = comm.recv_vector<std::int32_t>(prev_rank,
+                                                     boundary_tag(b - 1, K, k));
+          }
         }
         bottom_row.resize(W);
+        if (affine) bottom_e.resize(W);
         std::vector<std::int32_t> new_edge(H + 1, 0);
+        std::vector<std::int32_t> new_edge_f(affine ? H : 0, simd::kNegInf);
         new_edge[0] = top_row.back();
 
         // One dispatched kernel call per block: columns on the lanes, rows
@@ -92,15 +110,29 @@ ExactParallelResult exact_align_parallel(const Sequence& s, const Sequence& t,
         blk.corner = left_edge[0];
         blk.out_last_b = bottom_row.data();
         blk.out_last_a = new_edge.data() + 1;
+        if (affine) {
+          blk.bound_e = top_e.data();
+          blk.bound_f = left_f.data();
+          blk.out_last_b_e = bottom_e.data();
+          blk.out_last_a_f = new_edge_f.data();
+        }
         const simd::BestCell bc = simd::block_best(blk, kernel_params);
         if (bc.score > 0) {
           consider(local, bc.score, row_lo + bc.b + 1, col_lo + bc.a + 1);
         }
         left_edge = std::move(new_edge);
+        if (affine) left_f = std::move(new_edge_f);
 
         if (b + 1 < B) {
-          comm.send_span(next_rank, boundary_tag(b, K, k), bottom_row.data(),
-                         bottom_row.size());
+          if (affine) {
+            send_buf.assign(bottom_row.begin(), bottom_row.end());
+            send_buf.insert(send_buf.end(), bottom_e.begin(), bottom_e.end());
+            comm.send_span(next_rank, boundary_tag(b, K, k), send_buf.data(),
+                           send_buf.size());
+          } else {
+            comm.send_span(next_rank, boundary_tag(b, K, k), bottom_row.data(),
+                           bottom_row.size());
+          }
         }
       }
     }
@@ -128,14 +160,24 @@ ExactParallelResult exact_align_parallel(const Sequence& s, const Sequence& t,
   result.traffic = world.total_counters();
   result.faults = world.fault_counters();
   if (global_best.score > 0) {
-    const StartCoords start = find_alignment_start(
-        s, t, cfg.scheme, global_best.end_i, global_best.end_j,
-        global_best.score);
+    const StartCoords start =
+        affine ? find_alignment_start_affine(s, t, to_affine(cfg.scheme),
+                                             global_best.end_i,
+                                             global_best.end_j,
+                                             global_best.score)
+               : find_alignment_start(s, t, cfg.scheme, global_best.end_i,
+                                      global_best.end_j, global_best.score);
     const Sequence sub_s = s.slice(start.i - 1, global_best.end_i);
     const Sequence sub_t = t.slice(start.j - 1, global_best.end_j);
-    Alignment al = cfg.use_hirschberg
-                       ? hirschberg(sub_s, sub_t, cfg.scheme)
-                       : needleman_wunsch(sub_s, sub_t, cfg.scheme);
+    Alignment al;
+    if (affine) {
+      al = cfg.use_hirschberg
+               ? hirschberg_affine(sub_s, sub_t, to_affine(cfg.scheme))
+               : needleman_wunsch_affine(sub_s, sub_t, to_affine(cfg.scheme));
+    } else {
+      al = cfg.use_hirschberg ? hirschberg(sub_s, sub_t, cfg.scheme)
+                              : needleman_wunsch(sub_s, sub_t, cfg.scheme);
+    }
     al.s_begin = start.i - 1;
     al.t_begin = start.j - 1;
     result.rebuilt = RebuildResult{std::move(al), start.stats};

@@ -110,6 +110,16 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
     throw std::invalid_argument("preprocess_align: io_mode set but no store");
   }
 
+  const bool affine = cfg.scheme.affine();
+  const bool column_checkpoints =
+      cfg.save_interleave != 0 && cfg.io_mode != IoMode::kNone;
+  if (affine && column_checkpoints) {
+    throw std::invalid_argument(
+        "preprocess_align: column checkpoints store H values only and cannot "
+        "support the affine gap model (reprocess_region could not resume the "
+        "Gotoh E/F states); disable save_interleave/io_mode for affine runs");
+  }
+
   const std::vector<std::size_t>& rows = result.row_offsets;
   const std::size_t B = rows.size() - 1;
   const std::vector<std::size_t> chunks =
@@ -125,10 +135,16 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
   auto owner = [&](std::size_t b) { return static_cast<int>(b % static_cast<std::size_t>(P)); };
 
   // Passage bands: the bottom row of every band, homed at the producer.
+  // Under the affine model each band also publishes the Gotoh E state of its
+  // bottom row (the vertical gap runs crossing into the next band), stored
+  // in the second half of the same shared array.
+  const std::size_t passage_width = affine ? 2 * n : n;
   std::vector<dsm::SharedArray<std::int32_t>> passage;
   passage.reserve(B);
   for (std::size_t b = 0; b < B; ++b) {
-    passage.emplace_back(cluster.alloc(n * sizeof(std::int32_t), owner(b)), n);
+    passage.emplace_back(
+        cluster.alloc(passage_width * sizeof(std::int32_t), owner(b)),
+        passage_width);
   }
   // Result matrix rows, homed at the band owner ("allocated in such a way as
   // to allow each node to handle writes locally").
@@ -147,8 +163,12 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
 
     std::vector<std::int32_t> prev_col;
     std::vector<std::int32_t> cur_col;
+    std::vector<std::int32_t> prev_col_f;   // affine F state of prev_col
+    std::vector<std::int32_t> cur_col_f;
     std::vector<std::int32_t> top_in;       // incoming passage chunk
+    std::vector<std::int32_t> top_in_e;     // affine E state of top_in
     std::vector<std::int32_t> bottom_out;   // outgoing passage chunk
+    std::vector<std::int32_t> bottom_out_e;
     std::vector<std::uint64_t> hits(groups);
     std::vector<std::uint64_t> col_hits;    // per-column counts from the kernel
 
@@ -156,10 +176,8 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
     // materializes, so those runs keep the scalar column sweep; everything
     // else goes through the dispatched block kernel, one band×chunk block
     // per call.
-    const bool column_checkpoints =
-        cfg.save_interleave != 0 && cfg.io_mode != IoMode::kNone;
     const simd::ScoreParams kernel_params{cfg.scheme.match, cfg.scheme.mismatch,
-                                          cfg.scheme.gap};
+                                          cfg.scheme.gap, cfg.scheme.gap_open};
 
     for (std::size_t b = static_cast<std::size_t>(p); b < B;
          b += static_cast<std::size_t>(P)) {
@@ -169,6 +187,10 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
       std::fill(hits.begin(), hits.end(), 0);
       prev_col.assign(H, 0);
       cur_col.assign(H, 0);
+      if (affine) {
+        prev_col_f.assign(H, simd::kNegInf);  // no run crosses the matrix edge
+        cur_col_f.assign(H, simd::kNegInf);
+      }
       std::int32_t prev_top = 0;  // passage(b-1)[j-1], 0 for column 1
 
       for (std::size_t c = 0; c < n_chunks; ++c) {
@@ -176,11 +198,16 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
         const std::size_t W = chunks[c + 1] - chunks[c];
 
         top_in.assign(W, 0);
+        if (affine) top_in_e.assign(W, simd::kNegInf);
         if (b > 0) {
           node.waitcv(static_cast<int>(b - 1));
           passage[b - 1].get_range(node, col_lo, W, top_in.data());
+          if (affine) {
+            passage[b - 1].get_range(node, n + col_lo, W, top_in_e.data());
+          }
         }
         bottom_out.resize(W);
+        if (affine) bottom_out_e.resize(W);
 
         if (!column_checkpoints) {
           simd::DiagBlock blk;
@@ -195,6 +222,12 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
           // out_last_a must not alias bound_b (the reference backend streams
           // columns in place), so land it in cur_col and swap afterwards.
           blk.out_last_a = cur_col.data();
+          if (affine) {
+            blk.bound_e = top_in_e.data();      // vertical runs from above
+            blk.bound_f = prev_col_f.data();    // horizontal runs from the left
+            blk.out_last_b_e = bottom_out_e.data();
+            blk.out_last_a_f = cur_col_f.data();
+          }
           col_hits.assign(W, 0);
           simd::block_count(blk, kernel_params, cfg.threshold, col_hits.data());
           for (std::size_t w = 0; w < W; ++w) {
@@ -202,6 +235,7 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
           }
           prev_top = top_in[W - 1];
           std::swap(prev_col, cur_col);
+          if (affine) std::swap(prev_col_f, cur_col_f);
         } else {
           for (std::size_t w = 0; w < W; ++w) {
             const std::size_t j = col_lo + w + 1;  // 1-based matrix column
@@ -238,6 +272,9 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
         }
         if (!last_band) {
           passage[b].put_range(node, col_lo, W, bottom_out.data());
+          if (affine) {
+            passage[b].put_range(node, n + col_lo, W, bottom_out_e.data());
+          }
           node.setcv(static_cast<int>(b));
         }
       }

@@ -59,6 +59,12 @@ ReprocessResult reprocess_region(const Sequence& s, const Sequence& t,
       region.col_hi > t.size()) {
     throw std::invalid_argument("reprocess_region: bad region");
   }
+  if (scheme.affine()) {
+    throw std::invalid_argument(
+        "reprocess_region: affine gap model unsupported — checkpoint "
+        "fragments carry H values only, not the Gotoh E/F gap states needed "
+        "to resume a region exactly");
+  }
 
   // Snap outward to the nearest checkpoints (0 = the zero border).
   const std::uint32_t anchor_col = snap_anchor(columns, region.col_lo - 1);

@@ -31,7 +31,12 @@ inline constexpr const char* kReportSchema = "gdsm.run_report";
 /// batched-plane counters: diff batches, bulk fetches, prefetch hits/wasted,
 /// suppressed empty diffs, round_trips_saved) and NodeStats gained the same
 /// per-node counters — docs/METRICS.md "comm".
-inline constexpr int kSchemaVersion = 5;
+/// v6: affine (Gotoh) gap support — the "kernel" section gained the
+/// nw_affine counters and a "gap_models" object naming the gap models the
+/// run dispatched; service reports add gap_models counters and benches that
+/// sweep gap models carry a gap_model column in their series
+/// (docs/METRICS.md "gap models", docs/ALGORITHMS.md).
+inline constexpr int kSchemaVersion = 6;
 /// Oldest schema version tools still accept (v3 files predate the kernel
 /// and comm sections but are otherwise field-compatible).
 inline constexpr int kSchemaVersionMin = 3;

@@ -1,0 +1,144 @@
+#include "obs/validate.h"
+
+#include <string>
+
+#include "obs/report.h"
+
+namespace gdsm::obs {
+namespace {
+
+bool any_positive_read_faults(const Json& j) {
+  switch (j.kind()) {
+    case Json::Kind::kObject:
+      for (const auto& [key, value] : j.members()) {
+        if (key == "read_faults" && value.is_number() &&
+            value.as_double() > 0) {
+          return true;
+        }
+        if (any_positive_read_faults(value)) return true;
+      }
+      return false;
+    case Json::Kind::kArray:
+      for (const Json& item : j.items()) {
+        if (any_positive_read_faults(item)) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string validate_run_report(const Json& doc, bool require_read_faults) {
+  if (!doc.is_object()) return "top level is not an object";
+
+  for (const char* key : {"schema", "schema_version", "experiment", "title",
+                          "build", "params", "metrics", "series"}) {
+    if (!doc.has(key)) return std::string("missing key '") + key + "'";
+  }
+  if (doc.at("schema").as_string() != kReportSchema) {
+    return "schema is not " + std::string(kReportSchema);
+  }
+  if (!doc.at("schema_version").is_number() ||
+      doc.at("schema_version").as_int() < kSchemaVersionMin ||
+      doc.at("schema_version").as_int() > kSchemaVersion) {
+    return "schema_version outside [" + std::to_string(kSchemaVersionMin) +
+           ", " + std::to_string(kSchemaVersion) + "]";
+  }
+  if (doc.at("experiment").as_string().empty()) {
+    return "empty experiment id";
+  }
+  if (!doc.at("build").is_object() || !doc.at("build").has("git") ||
+      doc.at("build").at("git").as_string().empty()) {
+    return "missing build.git provenance";
+  }
+  const Json& series = doc.at("series");
+  if (!series.is_object()) return "series is not an object";
+  if (series.members().empty()) return "series is empty";
+  for (const auto& [name, arr] : series.members()) {
+    if (!arr.is_array() || arr.items().empty()) {
+      return "series '" + name + "' is not a non-empty array";
+    }
+    for (std::size_t r = 0; r < arr.items().size(); ++r) {
+      if (!arr.items()[r].is_object()) {
+        return "series '" + name + "' row " + std::to_string(r) +
+               " is not an object";
+      }
+    }
+  }
+
+  if (doc.at("schema_version").as_int() >= 4) {
+    // v4: the kernel section names the dispatched backend and carries the
+    // four per-kernel counter blocks.
+    const Json* sections = doc.find("sections");
+    const Json* kernel = sections ? sections->find("kernel") : nullptr;
+    if (kernel == nullptr || !kernel->is_object()) {
+      return "v4 report without sections.kernel";
+    }
+    const Json* backend = kernel->find("backend");
+    if (backend == nullptr || !backend->is_string() ||
+        backend->as_string().empty()) {
+      return "sections.kernel.backend missing or empty";
+    }
+    for (const char* k : {"best", "count", "hits", "nw"}) {
+      const Json* counters = kernel->find(k);
+      if (counters == nullptr || !counters->is_object() ||
+          counters->find("calls") == nullptr ||
+          counters->find("cells") == nullptr) {
+        return std::string("sections.kernel.") + k + " missing calls/cells";
+      }
+    }
+  }
+
+  if (doc.at("schema_version").as_int() >= 5) {
+    // v5: the comm section names the DSM data-plane mode and carries the
+    // batched-plane counters.
+    const Json* sections = doc.find("sections");
+    const Json* comm = sections ? sections->find("comm") : nullptr;
+    if (comm == nullptr || !comm->is_object()) {
+      return "v5 report without sections.comm";
+    }
+    const Json* mode = comm->find("mode");
+    if (mode == nullptr || !mode->is_string() || mode->as_string().empty()) {
+      return "sections.comm.mode missing or empty";
+    }
+    for (const char* k :
+         {"diff_batches_sent", "diff_pages_batched", "bulk_fetches",
+          "bulk_pages_fetched", "prefetch_issued", "prefetch_hits",
+          "prefetch_wasted", "empty_diffs_suppressed", "round_trips_saved"}) {
+      const Json* counter = comm->find(k);
+      if (counter == nullptr || !counter->is_number()) {
+        return std::string("sections.comm.") + k + " missing or not a number";
+      }
+    }
+  }
+
+  if (doc.at("schema_version").as_int() >= 6) {
+    // v6: affine gap support — the kernel section must carry the nw_affine
+    // counter block and the gap_models marker object.
+    const Json* sections = doc.find("sections");
+    const Json* kernel = sections ? sections->find("kernel") : nullptr;
+    const Json* nw_affine =
+        kernel != nullptr ? kernel->find("nw_affine") : nullptr;
+    if (nw_affine == nullptr || !nw_affine->is_object() ||
+        nw_affine->find("calls") == nullptr ||
+        nw_affine->find("cells") == nullptr) {
+      return "v6 report without sections.kernel.nw_affine calls/cells "
+             "(affine gap-model counters; see docs/METRICS.md v6)";
+    }
+    const Json* gaps = kernel->find("gap_models");
+    if (gaps == nullptr || !gaps->is_object()) {
+      return "v6 report without sections.kernel.gap_models (gap-model "
+             "field required from schema v6; see docs/METRICS.md)";
+    }
+  }
+
+  if (require_read_faults && !any_positive_read_faults(doc)) {
+    return "no positive read_faults counter found (--require-read-faults)";
+  }
+
+  return {};
+}
+
+}  // namespace gdsm::obs

@@ -1,0 +1,29 @@
+// Schema validation for gdsm.run_report documents (docs/METRICS.md).
+//
+// The rules live here, in the library, so both tools/validate_report (the
+// CLI used by the bench_smoke ctest label and tools/ci.sh) and the unit
+// tests (tests/obs_test.cpp) exercise the very same checks — a report the
+// tests accept cannot be rejected by CI, and vice versa.
+#pragma once
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace gdsm::obs {
+
+/// Checks `doc` against the gdsm.run_report schema, honouring the
+/// document's own schema_version: versioned sections (v4 kernel, v5 comm,
+/// v6 affine gap-model fields) are required from their introducing version
+/// on.  Accepts versions [kSchemaVersionMin, kSchemaVersion].
+///
+/// Returns the empty string when the document is valid, otherwise a
+/// one-line human-readable reason (the CLI prints it verbatim).
+///
+/// When `require_read_faults` is set, additionally demands some
+/// "read_faults" counter anywhere in the document be > 0 — i.e. the run
+/// really drove the DSM, not just the simulator.
+std::string validate_run_report(const Json& doc,
+                                bool require_read_faults = false);
+
+}  // namespace gdsm::obs

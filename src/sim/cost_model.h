@@ -73,9 +73,36 @@ struct CostModel {
     return 1.0;
   }
 
+  // -- affine gap model (v6) ---------------------------------------------
+  // Gotoh's three-matrix recurrence adds the E/F companions to every cell:
+  // two extra running maxima plus the extra boundary traffic.  Measured
+  // per-backend cell-cost ratios of bench/kernels_sw --gap=affine over the
+  // linear kernels; the SIMD backends amortize the extra maxima better than
+  // the scalar loop does.
+  double affine_cell_factor_scalar = 1.9;
+  double affine_cell_factor_sse41 = 1.5;
+  double affine_cell_factor_avx2 = 1.5;
+  /// Heuristic CellInfo update under affine gaps (bookkeeping dominates, so
+  /// the two extra maxima cost proportionally less than in the kernels).
+  double affine_cell_factor_heuristic = 1.2;
+
+  /// Affine/linear cell-cost ratio of the named kernel backend.
+  double affine_cell_factor(std::string_view backend) const {
+    if (backend == "sse41") return affine_cell_factor_sse41;
+    if (backend == "avx2") return affine_cell_factor_avx2;
+    return affine_cell_factor_scalar;
+  }
+
   /// Pre-process counting cell on the named kernel backend.
   double plain_cell_s(std::string_view backend) const {
     return cell_s_plain / kernel_speedup(backend);
+  }
+
+  /// Pre-process counting cell on the named backend under the given gap
+  /// model (affine pays the per-backend Gotoh factor).
+  double plain_cell_s(std::string_view backend, bool affine) const {
+    return plain_cell_s(backend) *
+           (affine ? affine_cell_factor(backend) : 1.0);
   }
 
   /// Phase-2 NW cell on the named kernel backend (the traceback share does

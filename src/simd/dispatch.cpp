@@ -16,17 +16,23 @@ struct Entry {
                      const HitSink&);
   void (*nw_last_row)(const Base*, std::size_t, const Base*, std::size_t,
                       const ScoreParams&, std::int32_t*);
+  void (*nw_last_row_affine)(const Base*, std::size_t, const Base*,
+                             std::size_t, const ScoreParams&, std::int32_t,
+                             std::int32_t*, std::int32_t*);
 };
 
 constexpr Entry kScalarEntry{scalar::block_best, scalar::block_count,
-                             scalar::block_hits, scalar::nw_last_row};
+                             scalar::block_hits, scalar::nw_last_row,
+                             scalar::nw_last_row_affine};
 #if GDSM_SIMD_SSE41
 constexpr Entry kSse41Entry{sse41::block_best, sse41::block_count,
-                            sse41::block_hits, sse41::nw_last_row};
+                            sse41::block_hits, sse41::nw_last_row,
+                            sse41::nw_last_row_affine};
 #endif
 #if GDSM_SIMD_AVX2
 constexpr Entry kAvx2Entry{avx2::block_best, avx2::block_count,
-                           avx2::block_hits, avx2::nw_last_row};
+                           avx2::block_hits, avx2::nw_last_row,
+                           avx2::nw_last_row_affine};
 #endif
 
 const Entry& entry_for(Backend b) {
@@ -109,7 +115,7 @@ struct AtomicCounters {
   std::atomic<std::uint64_t> nanos{0};
 };
 
-AtomicCounters g_best, g_count, g_hits, g_nw;
+AtomicCounters g_best, g_count, g_hits, g_nw, g_nw_affine;
 
 class Meter {
  public:
@@ -208,6 +214,16 @@ void nw_last_row(const Base* a_seq, std::size_t a_len, const Base* b_seq,
                                           out_by_a);
 }
 
+void nw_last_row_affine(const Base* a_seq, std::size_t a_len, const Base* b_seq,
+                        std::size_t b_len, const ScoreParams& sp,
+                        std::int32_t tb_open, std::int32_t* out_h,
+                        std::int32_t* out_e) {
+  Meter m(g_nw_affine, static_cast<std::uint64_t>(a_len) * b_len);
+  entry_for(active_backend())
+      .nw_last_row_affine(a_seq, a_len, b_seq, b_len, sp, tb_open, out_h,
+                          out_e);
+}
+
 KernelStats kernel_stats() {
   KernelStats out;
   out.backend = active_backend_name();
@@ -215,6 +231,7 @@ KernelStats kernel_stats() {
   out.count = snapshot(g_count);
   out.hits = snapshot(g_hits);
   out.nw = snapshot(g_nw);
+  out.nw_affine = snapshot(g_nw_affine);
   return out;
 }
 
@@ -223,6 +240,7 @@ void reset_kernel_stats() {
   reset(g_count);
   reset(g_hits);
   reset(g_nw);
+  reset(g_nw_affine);
 }
 
 }  // namespace gdsm::simd

@@ -57,6 +57,10 @@ void block_hits(const DiagBlock& blk, const ScoreParams& sp,
 void nw_last_row(const Base* a_seq, std::size_t a_len, const Base* b_seq,
                  std::size_t b_len, const ScoreParams& sp,
                  std::int32_t* out_by_a);
+void nw_last_row_affine(const Base* a_seq, std::size_t a_len, const Base* b_seq,
+                        std::size_t b_len, const ScoreParams& sp,
+                        std::int32_t tb_open, std::int32_t* out_h,
+                        std::int32_t* out_e);
 
 // ---------------------------------------------------------------------------
 // Per-kernel metering, aggregated across threads since process start (or the
@@ -76,6 +80,7 @@ struct KernelStats {
   KernelCounters count;      ///< block_count
   KernelCounters hits;       ///< block_hits
   KernelCounters nw;         ///< nw_last_row
+  KernelCounters nw_affine;  ///< nw_last_row_affine
 };
 
 KernelStats kernel_stats();

@@ -37,6 +37,14 @@ void nw_last_row(const Base* a_seq, std::size_t a_len, const Base* b_seq,
   detail::run_nw<EngineSse32>(a_seq, a_len, b_seq, b_len, sp, out_by_a);
 }
 
+void nw_last_row_affine(const Base* a_seq, std::size_t a_len, const Base* b_seq,
+                        std::size_t b_len, const ScoreParams& sp,
+                        std::int32_t tb_open, std::int32_t* out_h,
+                        std::int32_t* out_e) {
+  detail::run_nw_affine<EngineSse32>(a_seq, a_len, b_seq, b_len, sp, tb_open,
+                                     out_h, out_e);
+}
+
 }  // namespace gdsm::simd::sse41
 
 #endif  // x86

@@ -42,6 +42,10 @@ struct QuerySpec {
   std::string subject;  ///< name of a subject loaded with load_subject()
   Sequence query;       ///< the probe (s); the subject is t
   StrategyKind strategy = StrategyKind::kAuto;
+  /// Scoring, including the gap model: scheme.gap_open == 0 is the paper's
+  /// linear model; gap_open != 0 selects affine (Gotoh) gaps end-to-end —
+  /// the scheduler prices it, the strategies dispatch the affine kernels,
+  /// and verify mode checks against the serial affine references.
   ScoreScheme scheme{};
   HeuristicParams params{};
   /// Seconds from admission after which the query is rejected instead of

@@ -26,13 +26,15 @@ Scheduler::Scheduler(sim::CostModel model, int nprocs, std::size_t mult_w,
       mult_h_(mult_h ? mult_h : 1),
       kernel_backend_(simd::active_backend_name()) {}
 
-double Scheduler::compute_s(std::size_t m, std::size_t n) const {
+double Scheduler::compute_s(std::size_t m, std::size_t n, bool affine) const {
   const double cells =
       static_cast<double>(m) * static_cast<double>(n) / nprocs_;
   // Two linear arrays over this node's column share stream through cache.
   const std::size_t row_bytes =
       2 * (n / static_cast<std::size_t>(nprocs_)) * model_.heuristic_cell_bytes;
-  return cells * model_.effective_cell(model_.cell_s_heuristic, row_bytes);
+  double per_cell = model_.effective_cell(model_.cell_s_heuristic, row_bytes);
+  if (affine) per_cell *= model_.affine_cell_factor_heuristic;
+  return cells * per_cell;
 }
 
 double Scheduler::dsm_fetch_s(std::size_t bytes) const {
@@ -51,9 +53,9 @@ void Scheduler::grid_shape(std::size_t m, std::size_t n, std::size_t& bands,
       1, std::min(n, mult_w_ * static_cast<std::size_t>(nprocs_)));
 }
 
-double Scheduler::wavefront_estimate(std::size_t m, std::size_t n,
-                                     bool warm) const {
-  double est = compute_s(m, n);
+double Scheduler::wavefront_estimate(std::size_t m, std::size_t n, bool warm,
+                                     bool affine) const {
+  double est = compute_s(m, n, affine);
   if (nprocs_ > 1) {
     // Per matrix row: waitcv + border page fetch on the critical path, each
     // one control message plus handler software.
@@ -67,11 +69,11 @@ double Scheduler::wavefront_estimate(std::size_t m, std::size_t n,
   return est;
 }
 
-double Scheduler::blocked_estimate(std::size_t m, std::size_t n,
-                                   bool warm) const {
+double Scheduler::blocked_estimate(std::size_t m, std::size_t n, bool warm,
+                                   bool affine) const {
   std::size_t bands = 0, blocks = 0;
   grid_shape(m, n, bands, blocks);
-  double est = compute_s(m, n);
+  double est = compute_s(m, n, affine);
   if (nprocs_ > 1) {
     // Per block: the boundary row is published home and page-faulted in by
     // the next band's owner, plus the wake-up signal.
@@ -92,10 +94,11 @@ double Scheduler::blocked_estimate(std::size_t m, std::size_t n,
   return est;
 }
 
-double Scheduler::blocked_mp_estimate(std::size_t m, std::size_t n) const {
+double Scheduler::blocked_mp_estimate(std::size_t m, std::size_t n,
+                                      bool affine) const {
   std::size_t bands = 0, blocks = 0;
   grid_shape(m, n, bands, blocks);
-  double est = compute_s(m, n);
+  double est = compute_s(m, n, affine);
   if (nprocs_ > 1) {
     // Boundary rows travel as direct messages: wire time only, no protocol
     // software, no page granularity.
@@ -109,21 +112,27 @@ double Scheduler::blocked_mp_estimate(std::size_t m, std::size_t n) const {
   return est;
 }
 
-double Scheduler::exact_estimate(std::size_t m, std::size_t n) const {
+double Scheduler::exact_estimate(std::size_t m, std::size_t n,
+                                 bool affine) const {
   const double cells =
       static_cast<double>(m) * static_cast<double>(n) / nprocs_;
-  // The counting pass streams two int32 column arrays per chunk.
-  const std::size_t row_bytes =
-      2 * (n / static_cast<std::size_t>(nprocs_)) * model_.plain_cell_bytes;
-  double est = cells * model_.effective_cell(
-                           model_.plain_cell_s(kernel_backend_), row_bytes);
+  // The counting pass streams two int32 column arrays per chunk (four under
+  // affine: the E/F companions double the working set).
+  const std::size_t row_bytes = (affine ? 4u : 2u) *
+                                (n / static_cast<std::size_t>(nprocs_)) *
+                                model_.plain_cell_bytes;
+  double est =
+      cells * model_.effective_cell(
+                  model_.plain_cell_s(kernel_backend_, affine), row_bytes);
   if (nprocs_ > 1) {
     // Each band publishes its bottom passage row home; the next band's
-    // owner page-faults it back in.
+    // owner page-faults it back in.  Affine boundaries carry [H | E]
+    // concatenated — twice the bytes per boundary.
     const std::size_t bands = std::max<std::size_t>(
         1, std::min(m, static_cast<std::size_t>(nprocs_)));
     est += static_cast<double>(bands) *
-           dsm_fetch_s(n * sizeof(std::int32_t)) / nprocs_;
+           dsm_fetch_s((affine ? 2u : 1u) * n * sizeof(std::int32_t)) /
+           nprocs_;
   }
   return est;
 }
@@ -131,11 +140,12 @@ double Scheduler::exact_estimate(std::size_t m, std::size_t n) const {
 ScheduleDecision Scheduler::choose(const ScheduleInput& in) const {
   ScheduleDecision d;
   d.kernel_backend = kernel_backend_;
-  d.est_wavefront_s =
-      wavefront_estimate(in.query_len, in.subject_len, in.subject_warm);
-  d.est_blocked_s =
-      blocked_estimate(in.query_len, in.subject_len, in.subject_warm);
-  d.est_blocked_mp_s = blocked_mp_estimate(in.query_len, in.subject_len);
+  d.est_wavefront_s = wavefront_estimate(in.query_len, in.subject_len,
+                                         in.subject_warm, in.affine);
+  d.est_blocked_s = blocked_estimate(in.query_len, in.subject_len,
+                                     in.subject_warm, in.affine);
+  d.est_blocked_mp_s =
+      blocked_mp_estimate(in.query_len, in.subject_len, in.affine);
   d.strategy = StrategyKind::kWavefront;
   d.est_s = d.est_wavefront_s;
   if (d.est_blocked_s < d.est_s) {

@@ -30,6 +30,7 @@ struct ScheduleInput {
   std::size_t query_len = 0;    ///< m (rows)
   std::size_t subject_len = 0;  ///< n (columns)
   bool subject_warm = false;    ///< resident pages live in the node caches
+  bool affine = false;          ///< query scheme uses affine (Gotoh) gaps
 };
 
 struct ScheduleDecision {
@@ -51,15 +52,23 @@ class Scheduler {
   /// Argmin over the per-strategy estimates (kAuto path).
   ScheduleDecision choose(const ScheduleInput& in) const;
 
-  // Per-strategy estimates, exposed so tests can pin the ordering.
-  double wavefront_estimate(std::size_t m, std::size_t n, bool warm) const;
-  double blocked_estimate(std::size_t m, std::size_t n, bool warm) const;
-  double blocked_mp_estimate(std::size_t m, std::size_t n) const;
+  // Per-strategy estimates, exposed so tests can pin the ordering.  The
+  // `affine` flag scales the per-cell compute by the cost model's gap-model
+  // factors (heuristic factor for the DSM strategies, per-backend kernel
+  // factor for the exact pass); communication terms are model-independent
+  // except the exact boundary rows, which double under affine ([H | E]).
+  double wavefront_estimate(std::size_t m, std::size_t n, bool warm,
+                            bool affine = false) const;
+  double blocked_estimate(std::size_t m, std::size_t n, bool warm,
+                          bool affine = false) const;
+  double blocked_mp_estimate(std::size_t m, std::size_t n,
+                             bool affine = false) const;
 
   /// Score-only exact-mode pass (the §5 counting sweep) priced with the
   /// per-backend plain cell cost — the estimate that tracks the dispatched
   /// kernels rather than the 1998 calibration.
-  double exact_estimate(std::size_t m, std::size_t n) const;
+  double exact_estimate(std::size_t m, std::size_t n,
+                        bool affine = false) const;
 
   /// SIMD backend the estimates assume.  Defaults to the dispatch table's
   /// active backend; tests pin it to compare machines.
@@ -71,7 +80,7 @@ class Scheduler {
   const sim::CostModel& model() const noexcept { return model_; }
 
  private:
-  double compute_s(std::size_t m, std::size_t n) const;
+  double compute_s(std::size_t m, std::size_t n, bool affine) const;
   double dsm_fetch_s(std::size_t bytes) const;
   void grid_shape(std::size_t m, std::size_t n, std::size_t& bands,
                   std::size_t& blocks) const;

@@ -8,6 +8,7 @@
 #include "core/blocked_mp.h"
 #include "core/exact_parallel.h"
 #include "core/wavefront.h"
+#include "sw/affine.h"
 
 namespace gdsm::svc {
 namespace {
@@ -186,7 +187,8 @@ void AlignService::execute_one(PendingQuery& q, std::size_t batch_size) {
   if (subj != nullptr) {
     if (chosen == StrategyKind::kAuto) {
       chosen = scheduler_
-                   .choose({q.spec.query.size(), subj->seq.size(), warm})
+                   .choose({q.spec.query.size(), subj->seq.size(), warm,
+                            q.spec.scheme.affine()})
                    .strategy;
     }
     out.result.strategy = chosen;
@@ -286,14 +288,20 @@ void AlignService::execute_one(PendingQuery& q, std::size_t batch_size) {
 
     if (out.ok && cfg_.verify) {
       if (chosen == StrategyKind::kExact) {
+        // Under affine gaps the reference is the serial scalar Gotoh scan —
+        // deliberately independent of the SIMD kernels the parallel run
+        // dispatched, so a kernel bug cannot agree with itself.
         const BestLocal ref =
-            sw_best_score_linear(q.spec.query, subj->seq, q.spec.scheme);
+            q.spec.scheme.affine()
+                ? sw_best_score_affine_linear(q.spec.query, subj->seq,
+                                              to_affine(q.spec.scheme))
+                : sw_best_score_linear(q.spec.query, subj->seq, q.spec.scheme);
         if (ref.score != out.result.best.score ||
             ref.end_i != out.result.best.end_i ||
             ref.end_j != out.result.best.end_j) {
           out.ok = false;
           out.error =
-              "service divergence: exact best != sw_best_score_linear";
+              "service divergence: exact best != serial best-score scan";
         }
       } else {
         const std::vector<Candidate> ref = heuristic_scan(
@@ -318,6 +326,11 @@ void AlignService::execute_one(PendingQuery& q, std::size_t batch_size) {
     } else if (out.ok) {
       ++stats_.completed;
       ++stats_.by_strategy[static_cast<std::size_t>(chosen)];
+      if (q.spec.scheme.affine()) {
+        ++stats_.affine_queries;
+      } else {
+        ++stats_.linear_queries;
+      }
       if (warm) {
         ++stats_.warm_queries;
       } else {

@@ -101,6 +101,11 @@ obs::Json ServiceStats::to_json() const {
   j.set("dispatch_by_strategy", std::move(strategies));
   j.set("kernel_backend", kernel_backend);
 
+  obs::Json gaps = obs::Json::object();
+  gaps.set("linear_queries", linear_queries);
+  gaps.set("affine_queries", affine_queries);
+  j.set("gap_models", std::move(gaps));
+
   j.set("latency_total", total_latency.to_json());
   j.set("latency_run", run_latency.to_json());
   return j;

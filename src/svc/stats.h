@@ -1,6 +1,6 @@
-// Service-level observability: admission, batching, residency and latency
-// counters, serialized into the schema-v3 run-report "service" section
-// (docs/METRICS.md).
+// Service-level observability: admission, batching, residency, gap-model
+// and latency counters, serialized into the run-report "service" section
+// (since schema v3; gap_models since v6 — docs/METRICS.md).
 #pragma once
 
 #include <array>
@@ -61,6 +61,9 @@ struct ServiceStats {
   std::array<std::uint64_t, kNumStrategies> by_strategy{};
   // -- kernel (v4) -------------------------------------------------------
   std::string kernel_backend;  ///< SIMD backend the scheduler priced in
+  // -- gap models (v6) ---------------------------------------------------
+  std::uint64_t linear_queries = 0;  ///< completed with gap_open == 0
+  std::uint64_t affine_queries = 0;  ///< completed with affine (Gotoh) gaps
 
   LatencyHistogram total_latency;  ///< admission -> completion
   LatencyHistogram run_latency;    ///< dispatch -> completion

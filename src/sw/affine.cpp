@@ -141,6 +141,17 @@ Alignment smith_waterman_affine(const Sequence& s, const Sequence& t,
                          /*local=*/true);
 }
 
+Alignment smith_waterman_affine_ending_at(const Sequence& s, const Sequence& t,
+                                          const AffineScheme& scheme,
+                                          std::size_t end_i,
+                                          std::size_t end_j) {
+  if (end_i == 0 || end_j == 0 || end_i > s.size() || end_j > t.size()) {
+    throw std::invalid_argument("smith_waterman_affine_ending_at: bad cell");
+  }
+  const Filled filled = gotoh_fill(s, t, scheme, /*local=*/true);
+  return gotoh_traceback(filled, s, t, scheme, end_i, end_j, /*local=*/true);
+}
+
 Alignment needleman_wunsch_affine(const Sequence& s, const Sequence& t,
                                   const AffineScheme& scheme) {
   const Filled filled = gotoh_fill(s, t, scheme, /*local=*/false);

@@ -28,10 +28,28 @@ struct AffineScheme {
   }
 };
 
+/// The two scheme structs describe the same cost family: ScoreScheme carries
+/// gap_open (0 = linear) next to `gap` as the extension cost, AffineScheme
+/// names the fields explicitly.  The converters are exact in both directions,
+/// including the degenerate open == 0 case.
+constexpr AffineScheme to_affine(const ScoreScheme& sc) noexcept {
+  return AffineScheme{sc.match, sc.mismatch, sc.gap_open, sc.gap};
+}
+constexpr ScoreScheme to_scheme(const AffineScheme& sc) noexcept {
+  return ScoreScheme{sc.match, sc.mismatch, sc.gap_extend, sc.gap_open};
+}
+
 /// Best local alignment under affine gaps (Gotoh's three-matrix recurrence),
 /// with full traceback.  O(mn) time and space.
 Alignment smith_waterman_affine(const Sequence& s, const Sequence& t,
                                 const AffineScheme& scheme = {});
+
+/// Local affine alignment forced to end at matrix cell (end_i, end_j),
+/// 1-based — the traceback the windowed rebuild fallback needs when the end
+/// cell is known but is not the global best of the window.
+Alignment smith_waterman_affine_ending_at(const Sequence& s, const Sequence& t,
+                                          const AffineScheme& scheme,
+                                          std::size_t end_i, std::size_t end_j);
 
 /// Global alignment under affine gaps, with full traceback.
 Alignment needleman_wunsch_affine(const Sequence& s, const Sequence& t,

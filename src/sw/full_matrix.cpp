@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sw/affine.h"
+
 namespace gdsm {
 
 DpMatrix sw_fill(const Sequence& s, const Sequence& t, const ScoreScheme& scheme,
@@ -98,6 +100,7 @@ Alignment nw_traceback(const DpMatrix& a, const Sequence& s, const Sequence& t,
 
 Alignment smith_waterman(const Sequence& s, const Sequence& t,
                          const ScoreScheme& scheme) {
+  if (scheme.affine()) return smith_waterman_affine(s, t, to_affine(scheme));
   MatrixBest best;
   const DpMatrix a = sw_fill(s, t, scheme, &best);
   if (best.score == 0) return Alignment{};  // no positive-scoring alignment
@@ -106,6 +109,7 @@ Alignment smith_waterman(const Sequence& s, const Sequence& t,
 
 Alignment needleman_wunsch(const Sequence& s, const Sequence& t,
                            const ScoreScheme& scheme) {
+  if (scheme.affine()) return needleman_wunsch_affine(s, t, to_affine(scheme));
   const DpMatrix a = nw_fill(s, t, scheme);
   return nw_traceback(a, s, t, scheme);
 }

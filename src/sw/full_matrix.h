@@ -60,11 +60,16 @@ Alignment sw_traceback(const DpMatrix& a, const Sequence& s, const Sequence& t,
 Alignment nw_traceback(const DpMatrix& a, const Sequence& s, const Sequence& t,
                        const ScoreScheme& scheme);
 
-/// Convenience: the best local alignment between s and t.
+/// Convenience: the best local alignment between s and t.  Honours the
+/// scheme's gap model: an affine scheme (gap_open != 0) routes to the Gotoh
+/// three-matrix aligner.  The sw_fill/nw_fill primitives above stay
+/// linear-only — they expose the raw H array, which has no affine analogue
+/// without the E/F companions.
 Alignment smith_waterman(const Sequence& s, const Sequence& t,
                          const ScoreScheme& scheme = {});
 
-/// Convenience: the global alignment between s and t.
+/// Convenience: the global alignment between s and t.  Routes affine schemes
+/// to needleman_wunsch_affine, like smith_waterman above.
 Alignment needleman_wunsch(const Sequence& s, const Sequence& t,
                            const ScoreScheme& scheme = {});
 

@@ -10,13 +10,26 @@ CellInfo HeuristicKernel::update_cell(Base s_char, Base t_char, std::uint32_t ro
                                       const CellInfo& up, const CellInfo& left,
                                       CandidateSink& sink) const {
   const int sub = scheme_.substitution(s_char, t_char);
+  const bool affine = scheme_.affine();
   const int from_diag = diag.score + sub;
-  const int from_up = up.score + scheme_.gap;
-  const int from_left = left.score + scheme_.gap;
+  // Under the affine model the Up/Left arrivals are the Gotoh gap states:
+  // open a fresh run from the neighbour's score or extend its running one.
+  // Linear is the open == 0 degenerate (H >= E/F makes the fresh branch win
+  // or tie, so the values — and therefore the tie-breaks — are unchanged).
+  const int from_up =
+      affine ? std::max(up.score + scheme_.gap_open + scheme_.gap,
+                        up.f + scheme_.gap)
+             : up.score + scheme_.gap;
+  const int from_left =
+      affine ? std::max(left.score + scheme_.gap_open + scheme_.gap,
+                        left.e + scheme_.gap)
+             : left.score + scheme_.gap;
   const int best = std::max({0, from_diag, from_up, from_left});
 
   if (best == 0) {
-    // Eq. (1) floor: no alignment ends here; the cell restarts empty.
+    // Eq. (1) floor: no alignment ends here; the cell restarts empty.  The
+    // gap states restart too (E, F <= H = 0 here, so nothing positive is
+    // ever discarded).
     return CellInfo{};
   }
 
@@ -41,6 +54,13 @@ CellInfo HeuristicKernel::update_cell(Base s_char, Base t_char, std::uint32_t ro
 
   CellInfo cur = origin == kLeft ? left : origin == kUp ? up : diag;
   cur.score = best;
+  if (affine) {
+    cur.e = from_left;  // this cell's Gotoh gap states, read by (i, j+1)
+    cur.f = from_up;    // and (i+1, j) regardless of the origin chosen
+  } else {
+    cur.e = kCellNegInf;
+    cur.f = kCellNegInf;
+  }
   if (origin == kDiag) {
     if (sub > 0) {
       ++cur.matches;

@@ -36,13 +36,26 @@ struct HeuristicParams {
   int min_report_score = 10;///< candidates below this score are discarded
 };
 
+/// "minus infinity" for the affine gap-state fields of CellInfo: boundary
+/// cells carry it so no gap run continues across the matrix edge.  Deep
+/// enough to never win, shallow enough that one extension cannot underflow.
+inline constexpr std::int32_t kCellNegInf = INT32_MIN / 4;
+
 /// Per-cell record of the heuristic scan.  This is the value transmitted
 /// between processors at partition borders, so it is kept trivially
 /// copyable and fixed-size.
+///
+/// The affine gap model (scheme.gap_open != 0) adds the two Gotoh gap-state
+/// values `e` (gap run consuming t-characters, fed from the left) and `f`
+/// (gap run consuming s-characters, fed from above).  Under the linear model
+/// both stay at kCellNegInf everywhere, so linear scans are bit-identical to
+/// the historical record.
 struct CellInfo {
   std::int32_t score = 0;      ///< sim(s[1..i], t[1..j])
   std::int32_t max_score = 0;  ///< running maximum along the inherited path
   std::int32_t min_score = 0;  ///< running minimum along the inherited path
+  std::int32_t e = kCellNegInf;///< Gotoh E state (horizontal run), affine only
+  std::int32_t f = kCellNegInf;///< Gotoh F state (vertical run), affine only
   std::uint32_t begin_i = 0;   ///< candidate start row (1-based), valid when open
   std::uint32_t begin_j = 0;   ///< candidate start column (1-based)
   std::uint32_t max_i = 0;     ///< cell where max_score was reached

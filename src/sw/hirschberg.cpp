@@ -19,6 +19,7 @@ namespace {
 struct SplitScratch {
   std::vector<Base> rev_s, rev_t;
   std::vector<std::int32_t> fwd, bwd;
+  std::vector<std::int32_t> fwd_e, bwd_e;  // affine E-state last rows
 };
 
 // Appends the global alignment ops of s[s_lo..s_hi) x t[t_lo..t_hi) to out.
@@ -73,16 +74,138 @@ void solve(const Sequence& s, const Sequence& t, const ScoreScheme& scheme,
   solve(s, t, scheme, mid, s_hi, t_lo + split, t_hi, scr, out);
 }
 
+// Myers–Miller affine divide-and-conquer.  tb / te are the gap-open costs
+// charged to a vertical (Up) run touching the top / bottom edge of this
+// subproblem: gap_open normally, 0 when an ancestor split cut through a
+// vertical run there and its open is already paid.  Horizontal (Left) runs
+// need no such bookkeeping — a run lying on the midpoint row always admits a
+// clean type-1 split at its first column, so the plain H-join already prices
+// it correctly at some j.
+void solve_affine(const Sequence& s, const Sequence& t, const AffineScheme& sc,
+                  std::size_t s_lo, std::size_t s_hi, std::size_t t_lo,
+                  std::size_t t_hi, std::int32_t tb, std::int32_t te,
+                  SplitScratch& scr, std::vector<Op>& out) {
+  const std::size_t m = s_hi - s_lo;
+  const std::size_t n = t_hi - t_lo;
+  if (m == 0) {
+    out.insert(out.end(), n, Op::Left);
+    return;
+  }
+  if (n == 0) {
+    out.insert(out.end(), m, Op::Up);
+    return;
+  }
+  const std::int32_t open = sc.gap_open;
+  const std::int32_t ext = sc.gap_extend;
+  if (m == 1) {
+    // One s character: either delete it (one Up run, merged towards the
+    // better-discounted edge) around an insertion of all of t, or match it
+    // against some t[j] between two Left runs (which earn no discount).
+    const auto gap_l = [&](std::size_t k) {
+      return k ? open + static_cast<std::int32_t>(k) * ext : 0;
+    };
+    std::int32_t best = std::max(tb, te) + ext + gap_l(n);
+    std::ptrdiff_t match_j = -1;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int32_t v = gap_l(j) + sc.substitution(s[s_lo], t[t_lo + j]) +
+                             gap_l(n - 1 - j);
+      if (v > best) {
+        best = v;
+        match_j = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+    if (match_j < 0) {
+      if (tb >= te) out.push_back(Op::Up);
+      out.insert(out.end(), n, Op::Left);
+      if (tb < te) out.push_back(Op::Up);
+    } else {
+      const std::size_t j = static_cast<std::size_t>(match_j);
+      out.insert(out.end(), j, Op::Left);
+      out.push_back(Op::Diag);
+      out.insert(out.end(), n - 1 - j, Op::Left);
+    }
+    return;
+  }
+
+  const simd::ScoreParams sp{sc.match, sc.mismatch, sc.gap_extend,
+                             sc.gap_open};
+  const std::size_t i = m / 2;  // forward half s[s_lo .. s_lo+i), i >= 1
+  scr.fwd.resize(n + 1);
+  scr.fwd_e.resize(n + 1);
+  scr.fwd[0] = tb + static_cast<std::int32_t>(i) * ext;
+  scr.fwd_e[0] = scr.fwd[0];  // all-Up prefix, run still open
+  simd::nw_last_row_affine(t.data() + t_lo, n, s.data() + s_lo, i, sp, tb,
+                           scr.fwd.data() + 1, scr.fwd_e.data() + 1);
+  scr.rev_s.assign(s.data() + s_lo + i, s.data() + s_hi);
+  std::reverse(scr.rev_s.begin(), scr.rev_s.end());
+  scr.rev_t.assign(t.data() + t_lo, t.data() + t_hi);
+  std::reverse(scr.rev_t.begin(), scr.rev_t.end());
+  scr.bwd.resize(n + 1);
+  scr.bwd_e.resize(n + 1);
+  scr.bwd[0] = te + static_cast<std::int32_t>(m - i) * ext;
+  scr.bwd_e[0] = scr.bwd[0];
+  simd::nw_last_row_affine(scr.rev_t.data(), n, scr.rev_s.data(), m - i, sp,
+                           te, scr.bwd.data() + 1, scr.bwd_e.data() + 1);
+
+  // Type-1 joins pass through a node on the midpoint row; type-2 joins pass
+  // through a vertical run crossing it — both halves charged that run an
+  // open, so one is refunded, and the two Ups bracketing the midpoint are
+  // emitted here with zero-discount boundaries handed down.
+  std::size_t split = 0;
+  bool through_gap = false;
+  std::int32_t best = scr.fwd[0] + scr.bwd[n];
+  for (std::size_t j = 0; j <= n; ++j) {
+    const std::int32_t v1 = scr.fwd[j] + scr.bwd[n - j];
+    if (v1 > best) {
+      best = v1;
+      split = j;
+      through_gap = false;
+    }
+    const std::int32_t v2 = scr.fwd_e[j] + scr.bwd_e[n - j] - open;
+    if (v2 > best) {
+      best = v2;
+      split = j;
+      through_gap = true;
+    }
+  }
+  if (through_gap) {
+    solve_affine(s, t, sc, s_lo, s_lo + i - 1, t_lo, t_lo + split, tb, 0, scr,
+                 out);
+    out.push_back(Op::Up);
+    out.push_back(Op::Up);
+    solve_affine(s, t, sc, s_lo + i + 1, s_hi, t_lo + split, t_hi, 0, te, scr,
+                 out);
+  } else {
+    solve_affine(s, t, sc, s_lo, s_lo + i, t_lo, t_lo + split, tb, open, scr,
+                 out);
+    solve_affine(s, t, sc, s_lo + i, s_hi, t_lo + split, t_hi, open, te, scr,
+                 out);
+  }
+}
+
 }  // namespace
 
 Alignment hirschberg(const Sequence& s, const Sequence& t,
                      const ScoreScheme& scheme) {
+  if (scheme.affine()) return hirschberg_affine(s, t, to_affine(scheme));
   Alignment out;
   out.s_begin = 0;
   out.t_begin = 0;
   SplitScratch scr;
   solve(s, t, scheme, 0, s.size(), 0, t.size(), scr, out.ops);
   out.score = out.compute_score(s, t, scheme);
+  return out;
+}
+
+Alignment hirschberg_affine(const Sequence& s, const Sequence& t,
+                            const AffineScheme& scheme) {
+  Alignment out;
+  out.s_begin = 0;
+  out.t_begin = 0;
+  SplitScratch scr;
+  solve_affine(s, t, scheme, 0, s.size(), 0, t.size(), scheme.gap_open,
+               scheme.gap_open, scr, out.ops);
+  out.score = affine_alignment_score(out, s, t, scheme);
   return out;
 }
 

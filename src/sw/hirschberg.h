@@ -3,6 +3,7 @@
 // but too large to hold a full DP matrix in memory.
 #pragma once
 
+#include "sw/affine.h"
 #include "sw/alignment.h"
 #include "sw/scoring.h"
 #include "util/sequence.h"
@@ -12,7 +13,15 @@ namespace gdsm {
 /// Global alignment of s and t in O(min(m,n)) space and O(mn) time (the
 /// divide-and-conquer at most doubles the work).  Produces the same score as
 /// needleman_wunsch; the operation path may differ among co-optimal paths.
+/// An affine scheme (gap_open != 0) routes to hirschberg_affine.
 Alignment hirschberg(const Sequence& s, const Sequence& t,
                      const ScoreScheme& scheme = {});
+
+/// Affine-gap global alignment in linear space (Myers–Miller 1988): the
+/// Hirschberg divide-and-conquer with the extra E-state last rows and the
+/// split-through-a-gap join, so a vertical gap run crossing the midpoint is
+/// charged its open exactly once.  Same score as needleman_wunsch_affine.
+Alignment hirschberg_affine(const Sequence& s, const Sequence& t,
+                            const AffineScheme& scheme = {});
 
 }  // namespace gdsm

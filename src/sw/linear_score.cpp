@@ -11,7 +11,8 @@ namespace gdsm {
 namespace {
 
 simd::ScoreParams to_params(const ScoreScheme& scheme) {
-  return simd::ScoreParams{scheme.match, scheme.mismatch, scheme.gap};
+  return simd::ScoreParams{scheme.match, scheme.mismatch, scheme.gap,
+                           scheme.gap_open};
 }
 
 }  // namespace

@@ -25,7 +25,8 @@ struct BestLocal {
 /// O(min(m,n)) extra space, O(mn) time.  When |t| < |s| the scan internally
 /// transposes the problem (similarity is symmetric) so the row buffer is as
 /// short as possible — the "shorter input string will index the rows" remark
-/// of Section 6.
+/// of Section 6.  Despite the historical name this honours both gap models:
+/// an affine scheme (gap_open != 0) routes to the Gotoh kernels underneath.
 BestLocal sw_best_score_linear(const Sequence& s, const Sequence& t,
                                const ScoreScheme& scheme = {});
 

@@ -103,6 +103,115 @@ StartCoords find_alignment_start(const Sequence& s, const Sequence& t,
   throw std::logic_error("find_alignment_start: score never reached");
 }
 
+StartCoords find_alignment_start_affine(const Sequence& s, const Sequence& t,
+                                        const AffineScheme& scheme,
+                                        std::size_t end_i, std::size_t end_j,
+                                        int score) {
+  if (score <= 0 || end_i == 0 || end_j == 0 || end_i > s.size() ||
+      end_j > t.size()) {
+    throw std::logic_error(
+        "find_alignment_start_affine: invalid end cell or score");
+  }
+  if (scheme.match <= 0) {
+    throw std::logic_error(
+        "find_alignment_start_affine: needs match > 0 for the future-gain "
+        "prune");
+  }
+  auto sr = [&](std::size_t r) { return s[end_i - r]; };
+  auto tr = [&](std::size_t c) { return t[end_j - c]; };
+  const int open_ext = scheme.gap_open + scheme.gap_extend;
+  const int ext = scheme.gap_extend;
+  auto add = [](int v, int x) { return v <= kNoPath / 2 ? kNoPath : v + x; };
+
+  // Anchored Gotoh over the reversed prefixes: cell (r, c) holds the best
+  // score of an alignment consuming exactly sr[1..r] and tr[1..c] whose
+  // first operation is the Diag at (1, 1) — an optimal local alignment never
+  // starts or ends with a gap, so the witness is of this form and every such
+  // alignment maps to one ending at (end_i, end_j).  No value can exceed
+  // `score` when the end cell came from a best-score scan, so the first cell
+  // reaching it is the minimal-length start.
+  struct Row {
+    std::size_t lo = 1;
+    std::vector<int> h, e, f;  // kNoPath outside the window / when pruned
+    int ah(std::size_t c) const {
+      return c < lo || c >= lo + h.size() ? kNoPath : h[c - lo];
+    }
+    int ae(std::size_t c) const {
+      return c < lo || c >= lo + e.size() ? kNoPath : e[c - lo];
+    }
+    int af(std::size_t c) const {
+      return c < lo || c >= lo + f.size() ? kNoPath : f[c - lo];
+    }
+    bool useful(std::size_t c) const { return ah(c) > kNoPath / 2; }
+    std::size_t hi() const { return lo + h.size() - 1; }
+    bool empty() const { return h.empty(); }
+  };
+
+  StartCoords out;
+  Row prev;
+  std::size_t max_hi = 0;
+  for (std::size_t r = 1; r <= end_i; ++r) {
+    Row cur;
+    cur.lo = (r == 1 || prev.empty()) ? 1 : prev.lo;
+    std::size_t c = cur.lo;
+    const std::size_t soft_hi = prev.empty() ? 1 : prev.hi() + 1;
+    bool last_useful = false;
+    while (c <= end_j && (c <= soft_hi || last_useful)) {
+      int from_diag = kNoPath;
+      if (r == 1 && c == 1) {
+        from_diag = scheme.substitution(sr(1), tr(1));
+      } else if (r > 1 && c > 1) {
+        from_diag = add(prev.ah(c - 1), scheme.substitution(sr(r), tr(c)));
+      }
+      const int e = std::max(add(c > cur.lo ? cur.ah(c - 1) : kNoPath, open_ext),
+                             add(c > cur.lo ? cur.ae(c - 1) : kNoPath, ext));
+      const int f = std::max(add(prev.ah(c), open_ext), add(prev.af(c), ext));
+      int h = std::max({from_diag, e, f});
+      ++out.stats.computed_cells;
+
+      // Admissible prune: even a run of perfect matches from here cannot
+      // recover to `score`.
+      const int remaining = static_cast<int>(std::min(end_i - r, end_j - c));
+      if (h > kNoPath / 2 && h + scheme.match * remaining < score) h = kNoPath;
+
+      cur.h.push_back(h);
+      cur.e.push_back(h > kNoPath / 2 ? e : kNoPath);
+      cur.f.push_back(h > kNoPath / 2 ? f : kNoPath);
+      last_useful = h > kNoPath / 2;
+
+      if (h >= score) {
+        out.stats.rows_used = r;
+        max_hi = std::max(max_hi, c);
+        out.stats.rect_area = r * max_hi;
+        out.i = end_i - r + 1;
+        out.j = end_j - c + 1;
+        return out;
+      }
+      ++c;
+    }
+    while (!cur.h.empty() && cur.h.front() == kNoPath) {
+      cur.h.erase(cur.h.begin());
+      cur.e.erase(cur.e.begin());
+      cur.f.erase(cur.f.begin());
+      ++cur.lo;
+    }
+    while (!cur.h.empty() && cur.h.back() == kNoPath) {
+      cur.h.pop_back();
+      cur.e.pop_back();
+      cur.f.pop_back();
+    }
+    if (cur.h.empty()) {
+      throw std::logic_error(
+          "find_alignment_start_affine: useful region died before reaching "
+          "the score");
+    }
+    max_hi = std::max(max_hi, cur.hi());
+    out.stats.rows_used = r;
+    prev = std::move(cur);
+  }
+  throw std::logic_error("find_alignment_start_affine: score never reached");
+}
+
 std::vector<RebuildResult> rebuild_top_alignments(const Sequence& s,
                                                   const Sequence& t,
                                                   int min_score,
@@ -144,13 +253,22 @@ std::vector<RebuildResult> rebuild_top_alignments(const Sequence& s,
 
     Alignment al;
     RebuildStats stats;
+    const bool affine = scheme.affine();
     try {
       const StartCoords start =
-          find_alignment_start(s, t, scheme, h.i, h.j, h.score);
+          affine ? find_alignment_start_affine(s, t, to_affine(scheme), h.i,
+                                               h.j, h.score)
+                 : find_alignment_start(s, t, scheme, h.i, h.j, h.score);
       const Sequence sub_s = s.slice(start.i - 1, h.i);
       const Sequence sub_t = t.slice(start.j - 1, h.j);
-      al = use_hirschberg ? hirschberg(sub_s, sub_t, scheme)
-                          : needleman_wunsch(sub_s, sub_t, scheme);
+      if (affine) {
+        al = use_hirschberg
+                 ? hirschberg_affine(sub_s, sub_t, to_affine(scheme))
+                 : needleman_wunsch_affine(sub_s, sub_t, to_affine(scheme));
+      } else {
+        al = use_hirschberg ? hirschberg(sub_s, sub_t, scheme)
+                            : needleman_wunsch(sub_s, sub_t, scheme);
+      }
       al.s_begin = start.i - 1;
       al.t_begin = start.j - 1;
       stats = start.stats;
@@ -167,8 +285,14 @@ std::vector<RebuildResult> rebuild_top_alignments(const Sequence& s,
       const std::size_t t_lo = h.j > window ? h.j - window : 0;
       const Sequence sub_s = s.slice(s_lo, h.i);
       const Sequence sub_t = t.slice(t_lo, h.j);
-      const DpMatrix grid = sw_fill(sub_s, sub_t, scheme, nullptr);
-      al = sw_traceback(grid, sub_s, sub_t, scheme, sub_s.size(), sub_t.size());
+      if (affine) {
+        al = smith_waterman_affine_ending_at(sub_s, sub_t, to_affine(scheme),
+                                             sub_s.size(), sub_t.size());
+      } else {
+        const DpMatrix grid = sw_fill(sub_s, sub_t, scheme, nullptr);
+        al = sw_traceback(grid, sub_s, sub_t, scheme, sub_s.size(),
+                          sub_t.size());
+      }
       al.s_begin += s_lo;
       al.t_begin += t_lo;
       stats.computed_cells = (sub_s.size() + 1) * (sub_t.size() + 1);
@@ -199,14 +323,22 @@ RebuildResult rebuild_best_local_alignment(const Sequence& s, const Sequence& t,
   const BestLocal best = sw_best_score_linear(s, t, scheme);
   if (best.score <= 0) return out;  // empty alignment
 
-  const StartCoords start = find_alignment_start(s, t, scheme, best.end_i,
-                                                 best.end_j, best.score);
+  const bool affine = scheme.affine();
+  const StartCoords start =
+      affine ? find_alignment_start_affine(s, t, to_affine(scheme), best.end_i,
+                                           best.end_j, best.score)
+             : find_alignment_start(s, t, scheme, best.end_i, best.end_j,
+                                    best.score);
   out.stats = start.stats;
 
   const Sequence sub_s = s.slice(start.i - 1, best.end_i);
   const Sequence sub_t = t.slice(start.j - 1, best.end_j);
-  Alignment al = use_hirschberg ? hirschberg(sub_s, sub_t, scheme)
-                                : needleman_wunsch(sub_s, sub_t, scheme);
+  Alignment al =
+      affine ? (use_hirschberg
+                    ? hirschberg_affine(sub_s, sub_t, to_affine(scheme))
+                    : needleman_wunsch_affine(sub_s, sub_t, to_affine(scheme)))
+             : (use_hirschberg ? hirschberg(sub_s, sub_t, scheme)
+                               : needleman_wunsch(sub_s, sub_t, scheme));
   if (al.score != best.score) {
     throw std::logic_error(
         "rebuild: global alignment of the identified subwords does not "

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 
+#include "sw/affine.h"
 #include "sw/alignment.h"
 #include "sw/scoring.h"
 #include "util/sequence.h"
@@ -44,6 +45,17 @@ struct StartCoords {
 StartCoords find_alignment_start(const Sequence& s, const Sequence& t,
                                  const ScoreScheme& scheme, std::size_t end_i,
                                  std::size_t end_j, int score);
+
+/// Affine-gap variant of the reverse pass.  The positivity pruning of
+/// Theorem 6.2 is not exact under affine costs (cutting a path mid gap-run
+/// re-charges the open, so a witness may dip non-positive and still be the
+/// only one), so this pass instead anchors at (end_i, end_j) and prunes with
+/// the admissible future-gain bound value + match * min(rows, cols left) <
+/// score — exact for any scheme with match > 0.  Same contract otherwise.
+StartCoords find_alignment_start_affine(const Sequence& s, const Sequence& t,
+                                        const AffineScheme& scheme,
+                                        std::size_t end_i, std::size_t end_j,
+                                        int score);
 
 struct RebuildResult {
   Alignment alignment;

@@ -1,17 +1,35 @@
-// Scoring scheme of the paper (Section 2): +1 match, -1 mismatch, -2 space.
+// Scoring scheme of the paper (Section 2): +1 match, -1 mismatch, -2 space —
+// extended with an optional Gotoh affine gap model (docs/ALGORITHMS.md).
 #pragma once
 
 #include "util/alphabet.h"
 
 namespace gdsm {
 
+/// Which gap cost family a scheme uses.  Linear charges `gap` per space;
+/// affine charges gap_open once per run plus `gap` (the extension cost) per
+/// space, i.e. a run of k spaces costs gap_open + k * gap.
+enum class GapModel : int { kLinear = 0, kAffine = 1 };
+
 /// Column scores for alignments.  The paper fixes (+1, -1, -2); the fields
 /// are configurable so tests can probe other regimes, but gap must stay
 /// negative and match positive for the local-alignment theory to hold.
+///
+/// gap_open == 0 is the linear model (every layer treats it as such); a
+/// negative gap_open selects Gotoh affine scoring, in which `gap` plays the
+/// role of the per-space extension penalty.  The degenerate affine scheme
+/// (open = 0, extend = g) is therefore *identical* to linear(g) by
+/// construction, which the property tests rely on.
 struct ScoreScheme {
   int match = 1;
   int mismatch = -1;
   int gap = -2;
+  int gap_open = 0;  ///< once-per-run surcharge; 0 = linear gaps
+
+  constexpr GapModel gap_model() const noexcept {
+    return gap_open != 0 ? GapModel::kAffine : GapModel::kLinear;
+  }
+  constexpr bool affine() const noexcept { return gap_open != 0; }
 
   /// Substitution score for a pair of bases.  'N' never matches, not even
   /// itself, so ambiguity codes cannot fabricate similarity.
@@ -19,5 +37,10 @@ struct ScoreScheme {
     return (a == b && a != kBaseN) ? match : mismatch;
   }
 };
+
+/// "linear" / "affine" — the vocabulary reports and repro lines carry.
+inline constexpr const char* gap_model_name(GapModel m) noexcept {
+  return m == GapModel::kAffine ? "affine" : "linear";
+}
 
 }  // namespace gdsm

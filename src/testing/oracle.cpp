@@ -9,6 +9,7 @@
 #include "core/wavefront.h"
 #include "sw/full_matrix.h"
 #include "sw/linear_score.h"
+#include "testing/gotoh_ref.h"
 
 namespace gdsm::testing {
 namespace {
@@ -68,7 +69,11 @@ std::string OracleCase::to_string() const {
   std::ostringstream os;
   os << "seed=" << seed << " len=" << length_s << "x" << length_t
      << " regions=" << n_regions << " procs=" << nprocs
-     << " comm=" << dsm::comm_mode_name(comm)
+     << " gap=" << gap_model_name(scheme.gap_model());
+  if (scheme.affine()) {
+    os << "(" << scheme.gap_open << "," << scheme.gap << ")";
+  }
+  os << " comm=" << dsm::comm_mode_name(comm)
      << " faults=" << faults.to_string();
   return os.str();
 }
@@ -98,11 +103,18 @@ OracleVerdict run_differential(const OracleCase& c, unsigned mask) {
   const HomologousPair pair = c.make_pair();
   OracleVerdict v;
 
-  // Serial references, cross-checked against each other: the linear-space
-  // scan and the full matrix must agree before they may judge anyone.
+  // Serial references, cross-checked against each other: the kernel-backed
+  // linear-space scan and an independent dense fill must agree before they
+  // may judge anyone.  Under affine gaps the dense side is gotoh_best_ref —
+  // a from-the-recurrence Gotoh that shares no code with the SIMD kernels.
   const BestLocal linear = sw_best_score_linear(pair.s, pair.t, c.scheme);
   MatrixBest full;
-  (void)sw_fill(pair.s, pair.t, c.scheme, &full);
+  if (c.scheme.affine()) {
+    const BestLocal g = gotoh_best_ref(pair.s, pair.t, c.scheme);
+    full = MatrixBest{g.score, g.end_i, g.end_j};
+  } else {
+    (void)sw_fill(pair.s, pair.t, c.scheme, &full);
+  }
   v.serial_best = linear.score;
   if (linear.score != full.score || linear.end_i != full.i ||
       linear.end_j != full.j) {
@@ -113,8 +125,9 @@ OracleVerdict run_differential(const OracleCase& c, unsigned mask) {
     o.score_ok = false;
     std::ostringstream os;
     os << "sw_best_score_linear (" << linear.score << " @" << linear.end_i
-       << "," << linear.end_j << ") != sw_fill (" << full.score << " @"
-       << full.i << "," << full.j << ")";
+       << "," << linear.end_j << ") != "
+       << (c.scheme.affine() ? "gotoh_best_ref" : "sw_fill") << " ("
+       << full.score << " @" << full.i << "," << full.j << ")";
     o.detail = os.str();
     return v;  // the references disagree; judging strategies is meaningless
   }

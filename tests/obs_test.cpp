@@ -13,6 +13,7 @@
 #include "obs/json.h"
 #include "obs/report.h"
 #include "obs/snapshots.h"
+#include "obs/validate.h"
 
 namespace gdsm::obs {
 namespace {
@@ -158,6 +159,75 @@ TEST(RunReportTest, SchemaFieldsPresent) {
 TEST(RunReportTest, AddRowRequiresObjects) {
   RunReport report("x", "y");
   EXPECT_THROW(report.add_row("series", Json(1)), std::runtime_error);
+}
+
+// Object copy with one member dropped — for poking version-required fields
+// out of otherwise-valid documents.
+Json without_member(const Json& obj, const std::string& key) {
+  Json out = Json::object();
+  for (const auto& [k, v] : obj.members()) {
+    if (k != key) out.set(k, v);
+  }
+  return out;
+}
+
+// The validator shared with tools/validate_report (obs/validate.h) must
+// accept every supported schema version of a well-formed document and
+// nothing outside [kSchemaVersionMin, kSchemaVersion].
+TEST(ValidateReportTest, AcceptsSupportedVersionsOnly) {
+  RunReport report("validate_unit", "validator coverage");
+  Json row = Json::object();
+  row.set("x", 1);
+  report.add_row("points", std::move(row));
+  // to_json() auto-attaches the kernel and comm sections, so a freshly
+  // emitted report is valid at the current (v6) schema out of the box.
+  Json doc = report.to_json();
+  ASSERT_EQ(doc.at("schema_version").as_int(), kSchemaVersion);
+  EXPECT_EQ(validate_run_report(doc), "");
+  // The versioned sections are required *from their introducing version
+  // on*, so the same body must also validate as every older supported
+  // version (v3..v6 today).
+  for (int v = kSchemaVersionMin; v <= kSchemaVersion; ++v) {
+    doc.set("schema_version", v);
+    EXPECT_EQ(validate_run_report(doc), "") << "schema_version=" << v;
+  }
+  doc.set("schema_version", kSchemaVersionMin - 1);
+  EXPECT_NE(validate_run_report(doc), "");
+  doc.set("schema_version", kSchemaVersion + 1);
+  EXPECT_NE(validate_run_report(doc), "");
+}
+
+// Regression for the v6 gap-model requirement: a v6 document whose kernel
+// section lost the affine fields must be rejected with an error that names
+// the missing field (docs/METRICS.md v6).
+TEST(ValidateReportTest, RejectsV6ReportMissingGapModelFields) {
+  RunReport report("validate_unit_v6", "v6 gap-model regression");
+  Json row = Json::object();
+  row.set("x", 1);
+  report.add_row("points", std::move(row));
+  const Json good = report.to_json();
+  ASSERT_GE(good.at("schema_version").as_int(), 6);
+  ASSERT_EQ(validate_run_report(good), "");
+
+  const Json& sections = good.at("sections");
+  const Json& kernel = sections.at("kernel");
+
+  {
+    Json doc = good;
+    Json s = without_member(sections, "kernel");
+    s.set("kernel", without_member(kernel, "gap_models"));
+    doc.set("sections", std::move(s));
+    const std::string why = validate_run_report(doc);
+    EXPECT_NE(why.find("gap_models"), std::string::npos) << why;
+  }
+  {
+    Json doc = good;
+    Json s = without_member(sections, "kernel");
+    s.set("kernel", without_member(kernel, "nw_affine"));
+    doc.set("sections", std::move(s));
+    const std::string why = validate_run_report(doc);
+    EXPECT_NE(why.find("nw_affine"), std::string::npos) << why;
+  }
 }
 
 TEST(SnapshotsTest, DsmStatsFromRealClusterRun) {

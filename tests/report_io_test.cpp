@@ -38,12 +38,11 @@ core::StrategyResult faulted_blocked_run() {
   return core::blocked_align(pair.s, pair.t, cfg);
 }
 
-TEST(ReportIoTest, SchemaVersionIsBumpedToFive) {
-  // v5 added the comm section (DSM data-plane mode + batched-plane
-  // counters) and the NodeStats comm counters; docs/METRICS.md pins the
-  // layout to schema version 5, with v3/v4 files still accepted by the
-  // tools.
-  EXPECT_EQ(obs::kSchemaVersion, 5);
+TEST(ReportIoTest, SchemaVersionIsBumpedToSix) {
+  // v6 added the affine gap-model fields (kernel.nw_affine, gap_models,
+  // service query split); docs/METRICS.md pins the layout to schema
+  // version 6, with v3-v5 files still accepted by the tools.
+  EXPECT_EQ(obs::kSchemaVersion, 6);
   EXPECT_EQ(obs::kSchemaVersionMin, 3);
 }
 
@@ -118,7 +117,7 @@ TEST(ReportIoTest, RunReportRoundTripsThroughDiskAtVersionTwo) {
   std::remove(path.c_str());
 
   EXPECT_EQ(doc.at("schema").as_string(), obs::kReportSchema);
-  EXPECT_EQ(doc.at("schema_version").as_int(), 5);
+  EXPECT_EQ(doc.at("schema_version").as_int(), obs::kSchemaVersion);
   // v4: every report auto-attaches the kernel section; this run had no
   // host_clock param, so only the deterministic counters appear.
   const Json& kernel = doc.at("sections").at("kernel");

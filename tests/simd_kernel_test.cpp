@@ -36,6 +36,9 @@ struct BackendFns {
                      const HitSink&);
   void (*nw_last_row)(const Base*, std::size_t, const Base*, std::size_t,
                       const ScoreParams&, std::int32_t*);
+  void (*nw_last_row_affine)(const Base*, std::size_t, const Base*,
+                             std::size_t, const ScoreParams&, std::int32_t,
+                             std::int32_t*, std::int32_t*);
 };
 
 std::vector<BackendFns> vector_backends() {
@@ -44,13 +47,15 @@ std::vector<BackendFns> vector_backends() {
   if (std::find(available_backends().begin(), available_backends().end(),
                 Backend::kSse41) != available_backends().end())
     out.push_back({"sse41", sse41::block_best, sse41::block_count,
-                   sse41::block_hits, sse41::nw_last_row});
+                   sse41::block_hits, sse41::nw_last_row,
+                   sse41::nw_last_row_affine});
 #endif
 #if GDSM_SIMD_AVX2
   if (std::find(available_backends().begin(), available_backends().end(),
                 Backend::kAvx2) != available_backends().end())
     out.push_back({"avx2", avx2::block_best, avx2::block_count,
-                   avx2::block_hits, avx2::nw_last_row});
+                   avx2::block_hits, avx2::nw_last_row,
+                   avx2::nw_last_row_affine});
 #endif
   return out;
 }
@@ -70,7 +75,7 @@ struct Case {
   std::int32_t threshold = 1;
   // Owning storage behind the block's borrowed pointers.
   std::vector<Base> a, b;
-  std::vector<std::int32_t> ba, bb;
+  std::vector<std::int32_t> ba, bb, be, bf;
 };
 
 // The corpus: (a_len, b_len) shapes crossing strip-width boundaries, the
@@ -101,6 +106,19 @@ std::vector<Case> corpus() {
       c.blk.bound_a = c.ba.data();
       c.blk.bound_b = c.bb.data();
       c.blk.corner = d(rng);
+      if (sp.gap_open != 0) {
+        // Affine boundary feeds as the exact strategy produces them: an E/F
+        // value is either a live gap run (the H bound with a freshly charged
+        // open + extend) or kNegInf where no run crosses the edge.
+        c.be.resize(A);
+        c.bf.resize(B);
+        for (std::size_t i = 0; i < A; ++i)
+          c.be[i] = i % 3 == 0 ? kNegInf : c.ba[i] + sp.gap_open + sp.gap;
+        for (std::size_t j = 0; j < B; ++j)
+          c.bf[j] = j % 3 == 0 ? kNegInf : c.bb[j] + sp.gap_open + sp.gap;
+        c.blk.bound_e = c.be.data();
+        c.blk.bound_f = c.bf.data();
+      }
     }
     cases.push_back(std::move(c));
   };
@@ -143,6 +161,31 @@ std::vector<Case> corpus() {
   add("seam_15", 20, 15, plain, 2, 4, false, 0);
   add("seam_16", 20, 16, plain, 2, 4, false, 0);
   add("seam_17", 20, 17, plain, 2, 4, false, 0);
+  // Affine (Gotoh) schemes: a nonzero gap_open routes the very same entry
+  // points to the three-matrix E/F/H sweep.  Shapes re-cross the lane
+  // boundaries; boundary-loaded cases feed live E/F edges; the big scheme
+  // forces the 32-bit affine fallback; zero open must collapse to linear.
+  const ScoreParams affine{1, -1, -1, -3};
+  const ScoreParams affine_rich{5, -4, -3, -10};
+  const ScoreParams affine_big{1000, -900, -500, -2000};
+  for (std::size_t A : {std::size_t{1}, std::size_t{7}, std::size_t{16},
+                        std::size_t{17}, std::size_t{33}, std::size_t{100}})
+    for (std::size_t B : {std::size_t{1}, std::size_t{31}, std::size_t{64},
+                          std::size_t{65}, std::size_t{200}})
+      add("affine_shape_" + std::to_string(A) + "x" + std::to_string(B), A, B,
+          affine, 2, 4, false, 0);
+  add("affine_empty_a", 0, 50, affine, 1, 4, true, 9);
+  add("affine_empty_b", 40, 0, affine, 1, 4, true, 9);
+  add("affine_same", 70, 300, affine, 3, 1, false, 0);
+  add("affine_rich", 40, 150, affine_rich, 8, 4, false, 0);
+  add("affine_with_n", 50, 260, affine, 2, 5, false, 0);
+  add("affine_zero_open", 60, 180, ScoreParams{1, -1, -2, 0}, 2, 4, false, 0);
+  add("affine_overflow", 64, 400, affine_big, 5000, 1, false, 0);
+  add("affine_overflow_bounds", 48, 300, affine_big, 5000, 1, true, 2000000);
+  add("affine_block_grid", 128, 256, affine, 4, 4, true, 60);
+  add("affine_block_grid_rich", 96, 320, affine_rich, 10, 4, true, 200);
+  add("affine_thin", 4, 3000, affine, 3, 4, false, 0);
+  add("affine_seam_16", 20, 16, affine, 2, 4, false, 0);
   return cases;
 }
 
@@ -162,12 +205,20 @@ TEST(SimdKernelDifferential, AllBackendsMatchScalarOnCorpus) {
   const auto backends = vector_backends();
   if (backends.empty()) GTEST_SKIP() << "no vector backend on this host";
   for (auto& c : corpus()) {
-    // Scalar reference, with edge outputs.
+    const bool affine = c.sp.gap_open != 0;
+    // Scalar reference, with edge outputs (plus E/F edges under affine).
     std::vector<std::int32_t> ref_last_b(c.blk.a_len),
         ref_last_a(c.blk.b_len);
+    std::vector<std::int32_t> ref_last_b_e, ref_last_a_f;
     DiagBlock ref_blk = c.blk;
     ref_blk.out_last_b = ref_last_b.data();
     ref_blk.out_last_a = ref_last_a.data();
+    if (affine) {
+      ref_last_b_e.assign(c.blk.a_len, -777);
+      ref_last_a_f.assign(c.blk.b_len, -777);
+      ref_blk.out_last_b_e = ref_last_b_e.data();
+      ref_blk.out_last_a_f = ref_last_a_f.data();
+    }
     const BestCell ref_best = scalar::block_best(ref_blk, c.sp);
     std::vector<std::uint64_t> ref_counts(c.blk.a_len, 0);
     scalar::block_count(c.blk, c.sp, c.threshold, ref_counts.data());
@@ -177,9 +228,16 @@ TEST(SimdKernelDifferential, AllBackendsMatchScalarOnCorpus) {
     for (const auto& be : backends) {
       SCOPED_TRACE(c.label + " on " + be.name);
       std::vector<std::int32_t> last_b(c.blk.a_len), last_a(c.blk.b_len);
+      std::vector<std::int32_t> last_b_e, last_a_f;
       DiagBlock blk = c.blk;
       blk.out_last_b = last_b.data();
       blk.out_last_a = last_a.data();
+      if (affine) {
+        last_b_e.assign(c.blk.a_len, -888);
+        last_a_f.assign(c.blk.b_len, -888);
+        blk.out_last_b_e = last_b_e.data();
+        blk.out_last_a_f = last_a_f.data();
+      }
       const BestCell best = be.block_best(blk, c.sp);
       EXPECT_EQ(best.score, ref_best.score);
       if (ref_best.score > 0) {
@@ -188,6 +246,8 @@ TEST(SimdKernelDifferential, AllBackendsMatchScalarOnCorpus) {
       }
       EXPECT_EQ(last_b, ref_last_b);
       EXPECT_EQ(last_a, ref_last_a);
+      EXPECT_EQ(last_b_e, ref_last_b_e);
+      EXPECT_EQ(last_a_f, ref_last_a_f);
       std::vector<std::uint64_t> counts(c.blk.a_len, 0);
       be.block_count(c.blk, c.sp, c.threshold, counts.data());
       EXPECT_EQ(counts, ref_counts);
@@ -221,6 +281,102 @@ TEST(SimdKernelDifferential, NwLastRowMatchesScalar) {
       be.nw_last_row(a.data(), A, b.data(), B, sp, got.data());
       EXPECT_EQ(got, ref);
     }
+  }
+}
+
+TEST(SimdKernelDifferential, NwLastRowAffineMatchesScalar) {
+  const auto backends = vector_backends();
+  if (backends.empty()) GTEST_SKIP() << "no vector backend on this host";
+  std::mt19937 rng(11);
+  // Both tb_open flavours per scheme: the normal charge and the Myers–Miller
+  // boundary discount (a gap already open across b == 0).  The zero-open
+  // scheme pins the degenerate collapse onto the linear recurrence.
+  for (const ScoreParams sp : {ScoreParams{1, -1, -1, -3},
+                               ScoreParams{5, -4, -3, -10},
+                               ScoreParams{1, -1, -2, 0}}) {
+    for (auto [A, B] : {std::pair<std::size_t, std::size_t>{1, 1},
+                        {5, 3},
+                        {16, 64},
+                        {33, 200},
+                        {200, 33},
+                        {301, 1000},
+                        {64, 0},
+                        {0, 64}}) {
+      const auto a = random_bases(A, rng, 5);
+      const auto b = random_bases(B, rng, 5);
+      for (const std::int32_t tb : {sp.gap_open, std::int32_t{0}}) {
+        std::vector<std::int32_t> ref_h(A, -12345), ref_e(A, -12345);
+        scalar::nw_last_row_affine(a.data(), A, b.data(), B, sp, tb,
+                                   ref_h.data(), ref_e.data());
+        for (const auto& be : backends) {
+          SCOPED_TRACE(std::string(be.name) + " " + std::to_string(A) + "x" +
+                       std::to_string(B) + " open=" +
+                       std::to_string(sp.gap_open) + " tb=" +
+                       std::to_string(tb));
+          std::vector<std::int32_t> h(A, -54321), e(A, -54321);
+          be.nw_last_row_affine(a.data(), A, b.data(), B, sp, tb, h.data(),
+                                e.data());
+          EXPECT_EQ(h, ref_h);
+          EXPECT_EQ(e, ref_e);
+          // out_e is optional; a null sink must not change out_h.
+          std::vector<std::int32_t> h_only(A, -54321);
+          be.nw_last_row_affine(a.data(), A, b.data(), B, sp, tb,
+                                h_only.data(), nullptr);
+          EXPECT_EQ(h_only, ref_h);
+        }
+      }
+    }
+  }
+}
+
+// gap_open == 0 must make the affine entry points bit-identical to the
+// historical linear sweep — scores, edges, counts, and hits — which is what
+// lets every caller route on scheme.affine() without a behaviour cliff.
+TEST(SimdKernelDifferential, AffineZeroOpenCollapsesToLinear) {
+  std::mt19937 rng(13);
+  const ScoreParams linear{2, -1, -2};
+  ScoreParams zero_open = linear;
+  zero_open.gap_open = 0;
+  const auto a = random_bases(65, rng, 4);
+  const auto b = random_bases(210, rng, 4);
+  std::vector<std::int32_t> ba(a.size()), bb(b.size());
+  std::uniform_int_distribution<std::int32_t> d(0, 25);
+  for (auto& v : ba) v = d(rng);
+  for (auto& v : bb) v = d(rng);
+
+  std::vector<BackendFns> all = vector_backends();
+  all.push_back({"scalar", scalar::block_best, scalar::block_count,
+                 scalar::block_hits, scalar::nw_last_row,
+                 scalar::nw_last_row_affine});
+  for (const auto& be : all) {
+    SCOPED_TRACE(be.name);
+    std::vector<std::int32_t> lin_b(a.size()), lin_a(b.size());
+    std::vector<std::int32_t> aff_b(a.size()), aff_a(b.size());
+    DiagBlock blk;
+    blk.a_seq = a.data();
+    blk.a_len = a.size();
+    blk.b_seq = b.data();
+    blk.b_len = b.size();
+    blk.bound_a = ba.data();
+    blk.bound_b = bb.data();
+    blk.corner = 7;
+    blk.out_last_b = lin_b.data();
+    blk.out_last_a = lin_a.data();
+    const BestCell lin = be.block_best(blk, linear);
+    blk.out_last_b = aff_b.data();
+    blk.out_last_a = aff_a.data();
+    const BestCell aff = be.block_best(blk, zero_open);
+    EXPECT_EQ(aff.score, lin.score);
+    EXPECT_EQ(aff.a, lin.a);
+    EXPECT_EQ(aff.b, lin.b);
+    EXPECT_EQ(aff_b, lin_b);
+    EXPECT_EQ(aff_a, lin_a);
+    std::vector<std::uint64_t> lin_counts(a.size(), 0), aff_counts(a.size(), 0);
+    be.block_count(blk, linear, 3, lin_counts.data());
+    be.block_count(blk, zero_open, 3, aff_counts.data());
+    EXPECT_EQ(aff_counts, lin_counts);
+    EXPECT_EQ(collect_hits(be.block_hits, blk, zero_open, 3),
+              collect_hits(be.block_hits, blk, linear, 3));
   }
 }
 
@@ -282,6 +438,9 @@ TEST(SimdKernelDispatch, ForcingIsObeyedAndConsistent) {
   force_backend(Backend::kScalar);
   const BestLocal ref = sw_best_score_linear(s, t);
   const std::vector<int> ref_row = nw_last_row(s, t, ScoreScheme{});
+  ScoreScheme affine;
+  affine.gap_open = -3;
+  const BestLocal aref = sw_best_score_linear(s, t, affine);
   for (Backend b : available_backends()) {
     force_backend(b);
     const BestLocal got = sw_best_score_linear(s, t);
@@ -289,6 +448,12 @@ TEST(SimdKernelDispatch, ForcingIsObeyedAndConsistent) {
     EXPECT_EQ(got.end_i, ref.end_i) << backend_name(b);
     EXPECT_EQ(got.end_j, ref.end_j) << backend_name(b);
     EXPECT_EQ(nw_last_row(s, t, ScoreScheme{}), ref_row) << backend_name(b);
+    // The affine route obeys the same forcing (ci.sh re-runs this suite once
+    // per GDSM_KERNEL value with --gap=affine semantics).
+    const BestLocal agot = sw_best_score_linear(s, t, affine);
+    EXPECT_EQ(agot.score, aref.score) << backend_name(b);
+    EXPECT_EQ(agot.end_i, aref.end_i) << backend_name(b);
+    EXPECT_EQ(agot.end_j, aref.end_j) << backend_name(b);
   }
 }
 
@@ -307,6 +472,25 @@ TEST(SimdKernelDispatch, StatsAccumulateCellsAndBackendName) {
   EXPECT_EQ(st.count.calls, 0u);
   reset_kernel_stats();
   EXPECT_EQ(kernel_stats().best.calls, 0u);
+}
+
+// The schema-v6 nw_affine counter block must meter the dispatched affine
+// last-row kernel (docs/METRICS.md v6).
+TEST(SimdKernelDispatch, StatsAccumulateAffineCounters) {
+  reset_kernel_stats();
+  std::mt19937 rng(6);
+  const auto a = random_bases(64, rng);
+  const auto b = random_bases(128, rng);
+  std::vector<std::int32_t> h(a.size()), e(a.size());
+  const ScoreParams sp{1, -1, -1, -3};
+  nw_last_row_affine(a.data(), a.size(), b.data(), b.size(), sp, sp.gap_open,
+                     h.data(), e.data());
+  const KernelStats st = kernel_stats();
+  EXPECT_EQ(st.nw_affine.calls, 1u);
+  EXPECT_EQ(st.nw_affine.cells, 64u * 128u);
+  EXPECT_EQ(st.nw.calls, 0u);
+  reset_kernel_stats();
+  EXPECT_EQ(kernel_stats().nw_affine.calls, 0u);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // kernels must satisfy for any sequences and (sane) scoring schemes.
 #include <gtest/gtest.h>
 
+#include "sw/affine.h"
 #include "sw/full_matrix.h"
 #include "sw/hirschberg.h"
 #include "sw/linear_score.h"
@@ -18,6 +19,19 @@ struct PropCase {
   std::size_t len_t;
   ScoreScheme scheme;
 };
+
+// Serial Gotoh reference oriented like sw_best_score_linear: the kernel
+// route puts the shorter word on the lane dimension (Section 6) and ties
+// follow the scanned orientation, so a tied best can land on a different
+// cell than an s-major scan.  Scanning the reference in the same
+// orientation keeps the end-cell comparison exact.
+BestLocal gotoh_ref_oriented(const Sequence& s, const Sequence& t,
+                             const AffineScheme& sc) {
+  if (t.size() <= s.size()) return sw_best_score_affine_linear(s, t, sc);
+  BestLocal r = sw_best_score_affine_linear(t, s, sc);
+  std::swap(r.end_i, r.end_j);
+  return r;
+}
 
 std::string prop_name(const ::testing::TestParamInfo<PropCase>& info) {
   const auto& p = info.param;
@@ -106,6 +120,66 @@ TEST_P(SwProperty, ConcatenationIsLowerBoundedByParts) {
   const int parts = std::max(sw_best_score_linear(s_, t_, scheme).score,
                              sw_best_score_linear(t_, t_, scheme).score);
   EXPECT_GE(sw_best_score_linear(cat, t_, scheme).score, parts);
+}
+
+TEST_P(SwProperty, AffineWithZeroOpenEqualsLinear) {
+  // gap(k) = open + k*extend degenerates to the linear model when open == 0;
+  // the kernels promise bit-identity, not just equal scores, so compare the
+  // end cell too.
+  ScoreScheme affine = GetParam().scheme;
+  affine.gap_open = 0;  // explicit: the affine recurrence with a free open
+  const BestLocal lin = sw_best_score_linear(s_, t_, GetParam().scheme);
+  const BestLocal aff = gotoh_ref_oriented(
+      s_, t_, AffineScheme{affine.match, affine.mismatch, 0, affine.gap});
+  EXPECT_EQ(lin.score, aff.score);
+  EXPECT_EQ(lin.end_i, aff.end_i);
+  EXPECT_EQ(lin.end_j, aff.end_j);
+}
+
+TEST_P(SwProperty, AffineScoreMonotoneInExtendPenalty) {
+  // Every alignment's score is non-increasing as the extension penalty
+  // deepens, so the best score is too.
+  ScoreScheme sc = GetParam().scheme;
+  sc.gap_open = -3;
+  int prev = sw_best_score_linear(s_, t_, sc).score;
+  for (int extend = sc.gap - 1; extend >= sc.gap - 3; --extend) {
+    ScoreScheme harsher = sc;
+    harsher.gap = extend;
+    const int cur = sw_best_score_linear(s_, t_, harsher).score;
+    EXPECT_LE(cur, prev) << "extend=" << extend;
+    prev = cur;
+  }
+}
+
+TEST_P(SwProperty, AffineIsUpperBoundedByLinear) {
+  // Affine charges the (negative) open on top of the same per-space extend,
+  // so no alignment can score better than under the linear model.
+  ScoreScheme affine = GetParam().scheme;
+  affine.gap_open = -4;
+  EXPECT_LE(sw_best_score_linear(s_, t_, affine).score,
+            sw_best_score_linear(s_, t_, GetParam().scheme).score);
+}
+
+TEST_P(SwProperty, AffineKernelsMatchSerialGotoh) {
+  // The dispatched kernel path (sw_best_score_linear routes affine schemes
+  // to the Gotoh kernels) against the independent scalar reference.
+  ScoreScheme sc = GetParam().scheme;
+  sc.gap_open = -3;
+  const BestLocal kernel = sw_best_score_linear(s_, t_, sc);
+  const BestLocal ref = gotoh_ref_oriented(s_, t_, to_affine(sc));
+  EXPECT_EQ(kernel.score, ref.score);
+  EXPECT_EQ(kernel.end_i, ref.end_i);
+  EXPECT_EQ(kernel.end_j, ref.end_j);
+}
+
+TEST_P(SwProperty, HirschbergAffineEqualsGotoh) {
+  ScoreScheme sc = GetParam().scheme;
+  sc.gap_open = -3;
+  const AffineScheme asc = to_affine(sc);
+  const Alignment h = hirschberg_affine(s_, t_, asc);
+  const Alignment nw = needleman_wunsch_affine(s_, t_, asc);
+  EXPECT_EQ(h.score, nw.score);
+  EXPECT_EQ(affine_alignment_score(h, s_, t_, asc), h.score);
 }
 
 TEST_P(SwProperty, NwLastRowMatchesMatrix) {

@@ -29,8 +29,12 @@ constexpr const char* kUsage =
     "usage: align_serve [--subjects=K] [--queries=N] [--subject-len=L]\n"
     "                   [--query-len=L] [--seed=S] [--procs=P] [--workers=W]\n"
     "                   [--queue-cap=C] [--max-batch=B] [--strategy=NAME]\n"
+    "                   [--gap=MODEL] [--gap-open=O] [--gap-extend=E]\n"
     "                   [--deadline-s=D] [--verify] [--report=PATH] [--quiet]\n"
-    "  --strategy  auto | wavefront | blocked | blocked_mp | exact\n";
+    "  --strategy  auto | wavefront | blocked | blocked_mp | exact\n"
+    "  --gap       linear (default) | affine | mixed (alternate per query);\n"
+    "              affine charges gap-open O (default -3) once per gap run\n"
+    "              plus gap-extend E (default -1) per space\n";
 
 bool parse_strategy(const std::string& name, StrategyKind& out) {
   for (int k = 0; k < gdsm::svc::kNumStrategies; ++k) {
@@ -61,11 +65,12 @@ int main(int argc, char** argv) {
   const gdsm::Args args(argc, argv,
                         {"subjects", "queries", "subject-len", "query-len",
                          "seed", "procs", "workers", "queue-cap", "max-batch",
-                         "strategy", "deadline-s", "report"});
+                         "strategy", "gap", "gap-open", "gap-extend",
+                         "deadline-s", "report"});
   const auto unknown = args.unknown_keys(
       {"subjects", "queries", "subject-len", "query-len", "seed", "procs",
-       "workers", "queue-cap", "max-batch", "strategy", "deadline-s",
-       "verify", "report", "quiet", "help"});
+       "workers", "queue-cap", "max-batch", "strategy", "gap", "gap-open",
+       "gap-extend", "deadline-s", "verify", "report", "quiet", "help"});
   if (!unknown.empty() || args.get_bool("help")) {
     std::cerr << kUsage;
     return unknown.empty() ? 0 : 2;
@@ -84,6 +89,20 @@ int main(int argc, char** argv) {
   StrategyKind strategy = StrategyKind::kAuto;
   if (!parse_strategy(args.get("strategy", "auto"), strategy)) {
     std::cerr << "align_serve: unknown --strategy\n" << kUsage;
+    return 2;
+  }
+
+  const std::string gap_mode = args.get("gap", "linear");
+  if (gap_mode != "linear" && gap_mode != "affine" && gap_mode != "mixed") {
+    std::cerr << "align_serve: unknown --gap\n" << kUsage;
+    return 2;
+  }
+  gdsm::ScoreScheme affine_scheme;  // defaults except the open penalty
+  affine_scheme.gap_open = static_cast<int>(args.get_int("gap-open", -3));
+  affine_scheme.gap = static_cast<int>(args.get_int("gap-extend", -1));
+  if (gap_mode != "linear" && !affine_scheme.affine()) {
+    std::cerr << "align_serve: --gap=" << gap_mode
+              << " needs a non-zero --gap-open\n";
     return 2;
   }
 
@@ -112,6 +131,11 @@ int main(int argc, char** argv) {
     spec.subject = subject.name();
     spec.query = make_probe(subject, query_len, rng, i);
     spec.strategy = strategy;
+    // Mixed traffic alternates gap models so one service instance exercises
+    // both dispatch paths (and, with --verify, both serial references).
+    if (gap_mode == "affine" || (gap_mode == "mixed" && i % 2 == 1)) {
+      spec.scheme = affine_scheme;
+    }
     spec.deadline_s = args.get_double("deadline-s", 0.0);
     admissions.push_back(service.submit(std::move(spec)));
   }
@@ -119,12 +143,16 @@ int main(int argc, char** argv) {
   int failures = 0;
   std::vector<Json> rows;
   rows.reserve(admissions.size());
-  for (const auto& adm : admissions) {
+  for (std::size_t i = 0; i < admissions.size(); ++i) {
+    const auto& adm = admissions[i];
+    const bool affine_query =
+        gap_mode == "affine" || (gap_mode == "mixed" && i % 2 == 1);
     const gdsm::svc::QueryOutcome& out = adm.ticket->wait();
     if (!out.ok) ++failures;
     Json row = Json::object();
     row.set("id", out.result.id);
     row.set("ok", out.ok);
+    row.set("gap_model", affine_query ? "affine" : "linear");
     if (out.ok) {
       row.set("strategy", gdsm::svc::strategy_name(out.result.strategy));
       row.set("warm", out.result.warm);
@@ -176,6 +204,11 @@ int main(int argc, char** argv) {
     report.set_param("procs", args.get_int("procs", 4));
     report.set_param("workers", args.get_int("workers", 2));
     report.set_param("strategy", args.get("strategy", "auto"));
+    report.set_param("gap", gap_mode);
+    if (gap_mode != "linear") {
+      report.set_param("gap_open", affine_scheme.gap_open);
+      report.set_param("gap_extend", affine_scheme.gap);
+    }
     report.set_param("verify", cfg.verify);
     report.set_param("host_clock", true);  // latencies are wall time
     report.metrics().set("completed", stats.completed);

@@ -6,19 +6,25 @@
 #                          # concurrency suites under ThreadSanitizer
 #
 # Stages:
-#   1. configure + build (Release, build/)
-#   2. ctest -L tier1          -- the correctness gate (see ROADMAP.md)
-#   3. kernel dispatch         -- tier1 re-run once per SIMD backend this
+#   1. docs link check         -- every relative link in README.md and
+#                                 docs/*.md resolves; every doc is reachable
+#                                 from the README documentation map
+#   2. configure + build (Release, build/)
+#   3. ctest -L tier1          -- the correctness gate (see ROADMAP.md)
+#   4. kernel dispatch         -- tier1 re-run once per SIMD backend this
 #                                 host supports (GDSM_KERNEL=scalar|sse41|
 #                                 avx2; docs/KERNELS.md)
-#   4. comm ablation           -- the DSM suites re-run once per data-plane
+#   5. affine dispatch         -- oracle-verified --gap=affine service run
+#                                 once per backend (docs/ALGORITHMS.md)
+#   6. comm ablation           -- the DSM suites re-run once per data-plane
 #                                 mode (GDSM_COMM=legacy|batched|
 #                                 batched+prefetch; docs/DESIGN.md)
-#   5. ctest -L bench_smoke    -- tiny benches, schema-validated reports
-#   6. fuzz_align, 30 s budget -- differential fuzz over the fault matrix
-#   7. service_smoke           -- 5 s oracle-verified loadgen burst against
-#                                 the alignment service (docs/SERVICE.md)
-#   8. (--tsan) TSan build + the dsm/fault/oracle/service suites raced
+#   7. ctest -L bench_smoke    -- tiny benches, schema-validated reports
+#   8. fuzz_align, 30 s budget -- differential fuzz over the fault matrix
+#   9. service_smoke           -- 5 s oracle-verified loadgen burst against
+#                                 the alignment service, mixed gap models
+#                                 (docs/SERVICE.md)
+#  10. (--tsan) TSan build + the dsm/fault/oracle/service suites raced
 #      under ThreadSanitizer (admission must stay deadlock-free; the preset
 #      builds the same SSE4.1/AVX2 kernel objects as the Release build)
 set -euo pipefail
@@ -32,6 +38,35 @@ for arg in "$@"; do
     *) echo "usage: tools/ci.sh [--tsan]" >&2; exit 2 ;;
   esac
 done
+
+# Stage 1: the documentation is part of the interface — a broken relative
+# link or an orphaned docs/ page fails CI before anything is compiled.
+echo "==> docs link check"
+DOCS_FAIL=0
+for f in README.md docs/*.md; do
+  # Inline markdown link targets, web links and pure #anchors excluded;
+  # in-page anchors on relative links are stripped before the existence test.
+  links="$(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//' || true)"
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -n "$target" ] || continue
+    if [ ! -e "$(dirname "$f")/$target" ]; then
+      echo "ci.sh: broken link in $f: $link" >&2
+      DOCS_FAIL=1
+    fi
+  done
+done
+# Every docs/ page must be reachable from the README documentation map.
+for doc in docs/*.md; do
+  if ! grep -q "$(basename "$doc")" README.md; then
+    echo "ci.sh: $doc is not linked from README.md" >&2
+    DOCS_FAIL=1
+  fi
+done
+[ "$DOCS_FAIL" -eq 0 ] || exit 1
 
 echo "==> configure + build (Release)"
 cmake -B build -S . >/dev/null
@@ -49,6 +84,16 @@ for backend in $(build/tools/kernel_info); do
   echo "==> ctest -L tier1 (GDSM_KERNEL=$backend)"
   GDSM_KERNEL="$backend" ctest --test-dir build -L tier1 \
     --output-on-failure -j "$JOBS"
+done
+
+# The affine (Gotoh) mode rides the same dispatch: run an oracle-verified
+# service batch with --gap=affine pinned to every backend, so each vector
+# path's three-matrix sweep is release-gated against the serial Gotoh
+# reference end-to-end (admission -> scheduler -> kernels -> verify).
+for backend in $(build/tools/kernel_info); do
+  echo "==> affine dispatch (GDSM_KERNEL=$backend, --gap=affine)"
+  GDSM_KERNEL="$backend" build/tools/align_serve --queries=8 --subjects=2 \
+    --subject-len=1500 --query-len=200 --gap=affine --verify --quiet
 done
 
 # The data-plane counterpart of the kernel sweep: the default pass above ran
@@ -69,10 +114,10 @@ ctest --test-dir build -L bench_smoke --output-on-failure
 echo "==> fuzz_align (30 s budget)"
 build/tools/fuzz_align --budget-s=30 --quiet
 
-echo "==> service_smoke (5 s oracle-verified loadgen)"
+echo "==> service_smoke (5 s oracle-verified loadgen, mixed gap models)"
 build/tools/loadgen --rate=120 --duration-s=5 --subjects=2 \
   --subject-len=2000 --query-len=250 --queue-cap=512 --min-in-flight=4 \
-  --quiet
+  --gap=mixed --quiet
 
 if [ "$RUN_TSAN" -eq 1 ]; then
   echo "==> TSan build + concurrency suites"

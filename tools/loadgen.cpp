@@ -23,6 +23,7 @@
 
 #include "obs/report.h"
 #include "svc/service.h"
+#include "sw/affine.h"
 #include "sw/heuristic_scan.h"
 #include "sw/linear_score.h"
 #include "util/args.h"
@@ -39,16 +40,20 @@ constexpr const char* kUsage =
     "               [--subject-len=L] [--query-len=L] [--seed=S] [--procs=P]\n"
     "               [--workers=W] [--queue-cap=C] [--max-batch=B]\n"
     "               [--deadline-s=D] [--exact-every=N] [--no-verify]\n"
+    "               [--gap=MODEL] [--gap-open=O] [--gap-extend=E]\n"
     "               [--min-in-flight=N] [--report=PATH] [--quiet]\n"
     "  open-loop: arrivals follow the seeded schedule even when the service\n"
     "  falls behind; backpressure rejects are counted, not retried.\n"
     "  --exact-every=N    every Nth query runs the exact strategy (0 = never)\n"
+    "  --gap=MODEL        linear (default) | affine | mixed: gap model of the\n"
+    "                     offered queries (mixed alternates per arrival)\n"
     "  --min-in-flight=N  fail unless N queries were ever in flight at once\n";
 
 struct Flight {
   std::size_t subject_idx = 0;
   gdsm::Sequence query;
   StrategyKind strategy = StrategyKind::kAuto;
+  gdsm::ScoreScheme scheme{};  ///< gap model this arrival carried
   gdsm::svc::TicketPtr ticket;
 };
 
@@ -58,13 +63,13 @@ int main(int argc, char** argv) {
   const gdsm::Args args(argc, argv,
                         {"rate", "duration-s", "subjects", "subject-len",
                          "query-len", "seed", "procs", "workers", "queue-cap",
-                         "max-batch", "deadline-s", "exact-every",
-                         "min-in-flight", "report"});
+                         "max-batch", "deadline-s", "exact-every", "gap",
+                         "gap-open", "gap-extend", "min-in-flight", "report"});
   const auto unknown = args.unknown_keys(
       {"rate", "duration-s", "subjects", "subject-len", "query-len", "seed",
        "procs", "workers", "queue-cap", "max-batch", "deadline-s",
-       "exact-every", "min-in-flight", "no-verify", "report", "quiet",
-       "help"});
+       "exact-every", "gap", "gap-open", "gap-extend", "min-in-flight",
+       "no-verify", "report", "quiet", "help"});
   if (!unknown.empty() || args.get_bool("help")) {
     std::cerr << kUsage;
     return unknown.empty() ? 0 : 2;
@@ -84,6 +89,20 @@ int main(int argc, char** argv) {
   const bool quiet = args.get_bool("quiet");
   if (rate <= 0 || duration_s <= 0) {
     std::cerr << "loadgen: --rate and --duration-s must be positive\n";
+    return 2;
+  }
+
+  const std::string gap_mode = args.get("gap", "linear");
+  if (gap_mode != "linear" && gap_mode != "affine" && gap_mode != "mixed") {
+    std::cerr << "loadgen: unknown --gap\n" << kUsage;
+    return 2;
+  }
+  gdsm::ScoreScheme affine_scheme;
+  affine_scheme.gap_open = static_cast<int>(args.get_int("gap-open", -3));
+  affine_scheme.gap = static_cast<int>(args.get_int("gap-extend", -1));
+  if (gap_mode != "linear" && !affine_scheme.affine()) {
+    std::cerr << "loadgen: --gap=" << gap_mode
+              << " needs a non-zero --gap-open\n";
     return 2;
   }
 
@@ -134,10 +153,14 @@ int main(int argc, char** argv) {
     if (exact_every != 0 && (offered + 1) % exact_every == 0) {
       f.strategy = StrategyKind::kExact;
     }
+    if (gap_mode == "affine" || (gap_mode == "mixed" && offered % 2 == 1)) {
+      f.scheme = affine_scheme;
+    }
     gdsm::svc::QuerySpec spec;
     spec.subject = subject.name();
     spec.query = f.query;
     spec.strategy = f.strategy;
+    spec.scheme = f.scheme;
     spec.deadline_s = args.get_double("deadline-s", 0.0);
     gdsm::svc::AlignService::Admission adm = service.submit(std::move(spec));
     ++offered;
@@ -166,6 +189,7 @@ int main(int argc, char** argv) {
     Json row = Json::object();
     row.set("id", out.result.id);
     row.set("ok", out.ok);
+    row.set("gap_model", gdsm::gap_model_name(f.scheme.gap_model()));
     if (out.ok) {
       row.set("strategy", gdsm::svc::strategy_name(out.result.strategy));
       row.set("warm", out.result.warm);
@@ -185,7 +209,13 @@ int main(int argc, char** argv) {
     if (!verify) continue;
     const gdsm::Sequence& subject = subjects[f.subject_idx];
     if (out.result.strategy == StrategyKind::kExact) {
-      const gdsm::BestLocal ref = gdsm::sw_best_score_linear(f.query, subject);
+      // Affine queries are judged by the serial scalar Gotoh scan, which
+      // shares no code with the SIMD kernels the service dispatched.
+      const gdsm::BestLocal ref =
+          f.scheme.affine()
+              ? gdsm::sw_best_score_affine_linear(f.query, subject,
+                                                  gdsm::to_affine(f.scheme))
+              : gdsm::sw_best_score_linear(f.query, subject, f.scheme);
       if (ref.score != out.result.best.score ||
           ref.end_i != out.result.best.end_i ||
           ref.end_j != out.result.best.end_j) {
@@ -193,7 +223,7 @@ int main(int argc, char** argv) {
         std::cout << "loadgen: ORACLE MISMATCH (exact) on query "
                   << out.result.id << "\n";
       }
-    } else if (gdsm::heuristic_scan(f.query, subject) !=
+    } else if (gdsm::heuristic_scan(f.query, subject, f.scheme) !=
                out.result.candidates) {
       ++mismatches;
       std::cout << "loadgen: ORACLE MISMATCH (candidates) on query "
@@ -231,6 +261,11 @@ int main(int argc, char** argv) {
     report.set_param("seed", args.get_int("seed", 42));
     report.set_param("procs", args.get_int("procs", 4));
     report.set_param("workers", args.get_int("workers", 2));
+    report.set_param("gap", gap_mode);
+    if (gap_mode != "linear") {
+      report.set_param("gap_open", affine_scheme.gap_open);
+      report.set_param("gap_extend", affine_scheme.gap);
+    }
     report.set_param("verify", verify);
     report.set_param("host_clock", true);  // wall-clock arrivals + latencies
     report.metrics().set("offered", offered);

@@ -1,48 +1,29 @@
 // validate_report: check that a JSON file is a well-formed gdsm.run_report
-// document (see docs/METRICS.md).  Used by the bench_smoke ctest label to
-// fail loudly when a bench stops emitting a required key.
+// document (see docs/METRICS.md).  Used by the bench_smoke ctest label and
+// tools/ci.sh to fail loudly when a bench stops emitting a required key.
 //
 //   validate_report <report.json> [--require-read-faults]
 //
 // --require-read-faults additionally demands that some "read_faults"
 // counter anywhere in the document is > 0 — i.e. the bench really drove
 // the DSM, not just the simulator.
+//
+// The schema rules themselves live in obs/validate.h (shared with
+// tests/obs_test.cpp); this binary only adds file I/O and exit codes:
+// 0 valid, 1 invalid, 2 usage.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "obs/json.h"
-#include "obs/report.h"
+#include "obs/validate.h"
 
 namespace {
-
-using gdsm::obs::Json;
 
 int fail(const std::string& path, const std::string& why) {
   std::cerr << "validate_report: " << path << ": " << why << "\n";
   return 1;
-}
-
-bool any_positive_read_faults(const Json& j) {
-  switch (j.kind()) {
-    case Json::Kind::kObject:
-      for (const auto& [key, value] : j.members()) {
-        if (key == "read_faults" && value.is_number() &&
-            value.as_double() > 0) {
-          return true;
-        }
-        if (any_positive_read_faults(value)) return true;
-      }
-      return false;
-    case Json::Kind::kArray:
-      for (const Json& item : j.items()) {
-        if (any_positive_read_faults(item)) return true;
-      }
-      return false;
-    default:
-      return false;
-  }
 }
 
 }  // namespace
@@ -73,107 +54,19 @@ int main(int argc, char** argv) {
   std::ostringstream buf;
   buf << in.rdbuf();
 
-  Json doc;
+  gdsm::obs::Json doc;
   try {
-    doc = Json::parse(buf.str());
+    doc = gdsm::obs::Json::parse(buf.str());
   } catch (const gdsm::obs::JsonParseError& e) {
     return fail(path, e.what());
   }
-  if (!doc.is_object()) return fail(path, "top level is not an object");
 
-  for (const char* key : {"schema", "schema_version", "experiment", "title",
-                          "build", "params", "metrics", "series"}) {
-    if (!doc.has(key)) return fail(path, std::string("missing key '") + key +
-                                             "'");
-  }
-  if (doc.at("schema").as_string() != gdsm::obs::kReportSchema) {
-    return fail(path, "schema is not " +
-                          std::string(gdsm::obs::kReportSchema));
-  }
-  if (!doc.at("schema_version").is_number() ||
-      doc.at("schema_version").as_int() < gdsm::obs::kSchemaVersionMin ||
-      doc.at("schema_version").as_int() > gdsm::obs::kSchemaVersion) {
-    return fail(path, "schema_version outside [" +
-                          std::to_string(gdsm::obs::kSchemaVersionMin) + ", " +
-                          std::to_string(gdsm::obs::kSchemaVersion) + "]");
-  }
-  if (doc.at("experiment").as_string().empty()) {
-    return fail(path, "empty experiment id");
-  }
-  if (!doc.at("build").is_object() || !doc.at("build").has("git") ||
-      doc.at("build").at("git").as_string().empty()) {
-    return fail(path, "missing build.git provenance");
-  }
-  const Json& series = doc.at("series");
-  if (!series.is_object()) return fail(path, "series is not an object");
-  if (series.members().empty()) return fail(path, "series is empty");
-  for (const auto& [name, arr] : series.members()) {
-    if (!arr.is_array() || arr.items().empty()) {
-      return fail(path, "series '" + name + "' is not a non-empty array");
-    }
-    for (std::size_t r = 0; r < arr.items().size(); ++r) {
-      if (!arr.items()[r].is_object()) {
-        return fail(path, "series '" + name + "' row " + std::to_string(r) +
-                              " is not an object");
-      }
-    }
-  }
-
-  if (doc.at("schema_version").as_int() >= 4) {
-    // v4: the kernel section names the dispatched backend and carries the
-    // four per-kernel counter blocks.
-    const Json* sections = doc.find("sections");
-    const Json* kernel = sections ? sections->find("kernel") : nullptr;
-    if (kernel == nullptr || !kernel->is_object()) {
-      return fail(path, "v4 report without sections.kernel");
-    }
-    const Json* backend = kernel->find("backend");
-    if (backend == nullptr || !backend->is_string() ||
-        backend->as_string().empty()) {
-      return fail(path, "sections.kernel.backend missing or empty");
-    }
-    for (const char* k : {"best", "count", "hits", "nw"}) {
-      const Json* counters = kernel->find(k);
-      if (counters == nullptr || !counters->is_object() ||
-          counters->find("calls") == nullptr ||
-          counters->find("cells") == nullptr) {
-        return fail(path, std::string("sections.kernel.") + k +
-                              " missing calls/cells");
-      }
-    }
-  }
-
-  if (doc.at("schema_version").as_int() >= 5) {
-    // v5: the comm section names the DSM data-plane mode and carries the
-    // batched-plane counters.
-    const Json* sections = doc.find("sections");
-    const Json* comm = sections ? sections->find("comm") : nullptr;
-    if (comm == nullptr || !comm->is_object()) {
-      return fail(path, "v5 report without sections.comm");
-    }
-    const Json* mode = comm->find("mode");
-    if (mode == nullptr || !mode->is_string() || mode->as_string().empty()) {
-      return fail(path, "sections.comm.mode missing or empty");
-    }
-    for (const char* k :
-         {"diff_batches_sent", "diff_pages_batched", "bulk_fetches",
-          "bulk_pages_fetched", "prefetch_issued", "prefetch_hits",
-          "prefetch_wasted", "empty_diffs_suppressed", "round_trips_saved"}) {
-      const Json* counter = comm->find(k);
-      if (counter == nullptr || !counter->is_number()) {
-        return fail(path, std::string("sections.comm.") + k +
-                              " missing or not a number");
-      }
-    }
-  }
-
-  if (require_read_faults && !any_positive_read_faults(doc)) {
-    return fail(path, "no positive read_faults counter found "
-                      "(--require-read-faults)");
-  }
+  const std::string why =
+      gdsm::obs::validate_run_report(doc, require_read_faults);
+  if (!why.empty()) return fail(path, why);
 
   std::cout << "validate_report: " << path << ": OK ("
-            << doc.at("experiment").as_string() << ", " << series.size()
-            << " series)\n";
+            << doc.at("experiment").as_string() << ", "
+            << doc.at("series").size() << " series)\n";
   return 0;
 }
