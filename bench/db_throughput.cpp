@@ -1,0 +1,236 @@
+// Database-serving throughput: open-loop load on the sharded multi-sequence
+// subject database (src/db, docs/SERVICE.md "Database serving").
+//
+// The workload mixes the two traffic regimes the filtration front-end sees
+// in practice: half the probes are mutated windows of database sequences
+// (they must survive filtration against their home fragment and produce a
+// hit) and half are pure random DNA (the q-gram bound should discard nearly
+// every fragment before any DP runs).  A threshold sweep first shows how the
+// filtration rate responds to min_score; the open-loop sweep then offers db
+// queries at fixed rates and reports queries/sec, latency quantiles and the
+// realized filtration rate.  The schema-v7 "db" section of the JSON report
+// carries the global fragment counters and per-node shard balance.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "svc/service.h"
+#include "util/genome.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace gdsm;
+
+struct Workload {
+  std::vector<Sequence> sequences;
+  std::vector<Sequence> probes;  ///< even index: homologous, odd: random
+};
+
+Workload make_workload(std::size_t n_sequences, std::size_t seq_len,
+                       std::size_t n_probes, std::size_t query_len,
+                       std::uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  for (std::size_t k = 0; k < n_sequences; ++k) {
+    w.sequences.push_back(random_dna(seq_len, rng, "db" + std::to_string(k)));
+  }
+  for (std::size_t i = 0; i < n_probes; ++i) {
+    Sequence probe;
+    if (i % 2 == 0) {
+      const Sequence& src = w.sequences[rng() % n_sequences];
+      const std::size_t len = std::min(query_len, src.size());
+      const std::size_t begin =
+          len < src.size() ? rng() % (src.size() - len) : 0;
+      // Low divergence keeps every homologous probe's true score above the
+      // default threshold, so filtration power is measured against the
+      // random half without silently dropping the hits.
+      probe = mutate(src.slice(begin, begin + len), 0.02, 0.005, rng);
+    } else {
+      probe = random_dna(query_len, rng);
+    }
+    probe.set_name("probe" + std::to_string(i));
+    w.probes.push_back(std::move(probe));
+  }
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  bench::banner("Database throughput",
+                "Open-loop load on the sharded subject database: q-gram "
+                "filtration, fragment scan and hit reporting");
+
+  const auto n_sequences =
+      static_cast<std::size_t>(args.get_int("db-seqs", 4));
+  const auto seq_len = static_cast<std::size_t>(args.get_int("len", 2000));
+  const auto query_len =
+      static_cast<std::size_t>(args.get_int("query-len", 150));
+  const auto n_probes = static_cast<std::size_t>(args.get_int("probes", 24));
+  const int min_score = static_cast<int>(args.get_int("min-score", 120));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const double duration_s = args.get_double("duration-s", 0.75);
+  const std::vector<std::size_t> rates =
+      bench::size_list(args, "rates", {40, 160});
+  const std::vector<std::size_t> thresholds =
+      bench::size_list(args, "thresholds", {40, 80, 120, 140});
+
+  obs::RunReport report("db_throughput",
+                        "Database-serving throughput: filtration-threshold "
+                        "sweep and open-loop rate sweep over a sharded "
+                        "multi-sequence subject database");
+  report.set_param("db_sequences", n_sequences);
+  report.set_param("seq_len", seq_len);
+  report.set_param("query_len", query_len);
+  report.set_param("probes", n_probes);
+  report.set_param("min_score", min_score);
+  report.set_param("seed", seed);
+  report.set_param("host_clock", true);  // wall-clock throughput/latency
+
+  const Workload w =
+      make_workload(n_sequences, seq_len, n_probes, query_len, seed);
+
+  const auto make_config = [&] {
+    svc::ServiceConfig cfg;
+    cfg.nprocs = static_cast<int>(args.get_int("procs", 4));
+    cfg.workers = static_cast<int>(args.get_int("workers", 2));
+    cfg.queue_capacity = 256;
+    return cfg;
+  };
+  const auto submit_probe = [&](svc::AlignService& service, std::size_t i,
+                                int threshold) {
+    svc::QuerySpec spec;
+    spec.database = "db";
+    spec.min_score = threshold;
+    spec.query = w.probes[i];
+    return service.submit(std::move(spec));
+  };
+
+  // ---- filtration sweep: how the q-gram bound responds to min_score ----
+  // Below the no-seed ceiling (~0.6 per probe base with the default scheme)
+  // nothing can be discarded; above it the bound rejects nearly every
+  // (random probe, fragment) pair while homologous probes keep their hits.
+  TextTable filt("Filtration - min_score sweep, " +
+                 std::to_string(w.probes.size()) + " probes (half random)");
+  filt.set_header({"min_score", "Scanned", "Rejected", "Aligned",
+                   "Filtration", "Hits"});
+  for (const std::size_t threshold : thresholds) {
+    svc::AlignService service(make_config());
+    service.load_db("db", w.sequences);
+    std::vector<svc::TicketPtr> tickets;
+    for (std::size_t i = 0; i < w.probes.size(); ++i) {
+      tickets.push_back(
+          submit_probe(service, i, static_cast<int>(threshold)).ticket);
+    }
+    for (const auto& t : tickets) t->wait();
+    const svc::ServiceStats st = service.stats();
+    service.shutdown();
+
+    const double rate =
+        st.db_fragments_scanned
+            ? static_cast<double>(st.db_fragments_rejected) /
+                  static_cast<double>(st.db_fragments_scanned)
+            : 0;
+    filt.add_row({std::to_string(threshold),
+                  std::to_string(st.db_fragments_scanned),
+                  std::to_string(st.db_fragments_rejected),
+                  std::to_string(st.db_fragments_aligned), bench::pct(rate),
+                  std::to_string(st.db_hits)});
+    obs::Json row = obs::Json::object();
+    row.set("min_score", threshold);
+    row.set("fragments_scanned", st.db_fragments_scanned);
+    row.set("fragments_rejected", st.db_fragments_rejected);
+    row.set("fragments_aligned", st.db_fragments_aligned);
+    row.set("filtration_rate", rate);
+    row.set("hits", st.db_hits);
+    report.add_row("filtration_sweep", std::move(row));
+    report.metrics().set("filt.t" + std::to_string(threshold) + ".rate", rate);
+  }
+  filt.print(std::cout);
+
+  // ---- open loop: seeded arrival schedule at a fixed offered rate ----
+  TextTable open_t("Open loop - offered db-query rate sweep, " +
+                   fmt_f(duration_s, 2) + " s each, min_score " +
+                   std::to_string(min_score));
+  open_t.set_header({"Rate (q/s)", "Offered", "Done", "Rejected",
+                     "Throughput (q/s)", "Filtration", "p50 (ms)",
+                     "p99 (ms)"});
+  for (const std::size_t rate : rates) {
+    svc::AlignService service(make_config());
+    service.load_db("db", w.sequences);
+    Rng arrivals(seed ^ (0xdbdbdbdbull + rate));
+    std::vector<svc::TicketPtr> tickets;
+    std::uint64_t offered = 0, rejected = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    double at = 0;
+    for (;;) {
+      const double u =
+          (static_cast<double>(arrivals() >> 11) + 0.5) * 0x1p-53;
+      at += -std::log(u) / static_cast<double>(rate);
+      if (at >= duration_s) break;
+      std::this_thread::sleep_until(
+          t0 +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(at)));
+      svc::AlignService::Admission adm =
+          submit_probe(service, offered % w.probes.size(), min_score);
+      ++offered;
+      if (adm.admitted()) {
+        tickets.push_back(std::move(adm.ticket));
+      } else {
+        ++rejected;
+      }
+    }
+    service.drain();
+    for (const auto& t : tickets) t->wait();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    const svc::ServiceStats st = service.stats();
+    service.shutdown();
+
+    const double qps =
+        wall_s > 0 ? static_cast<double>(st.completed) / wall_s : 0;
+    const double filtration =
+        st.db_fragments_scanned
+            ? static_cast<double>(st.db_fragments_rejected) /
+                  static_cast<double>(st.db_fragments_scanned)
+            : 0;
+    open_t.add_row({std::to_string(rate), std::to_string(offered),
+                    std::to_string(st.completed), std::to_string(rejected),
+                    fmt_f(qps, 1), bench::pct(filtration),
+                    fmt_f(st.total_latency.quantile(0.5) * 1e3, 2),
+                    fmt_f(st.total_latency.quantile(0.99) * 1e3, 2)});
+    obs::Json row = obs::Json::object();
+    row.set("rate_qps", rate);
+    row.set("offered", offered);
+    row.set("rejected", rejected);
+    row.set("wall_s", wall_s);
+    row.set("throughput_qps", qps);
+    row.set("filtration_rate", filtration);
+    row.set("fragments_scanned", st.db_fragments_scanned);
+    row.set("fragments_rejected", st.db_fragments_rejected);
+    row.set("hits", st.db_hits);
+    row.set("p50_s", st.total_latency.quantile(0.5));
+    row.set("p99_s", st.total_latency.quantile(0.99));
+    row.set("service", st.to_json());
+    report.add_row("open_loop", std::move(row));
+    report.metrics().set("open.r" + std::to_string(rate) + ".qps", qps);
+    report.metrics().set("open.r" + std::to_string(rate) + ".filtration",
+                         filtration);
+  }
+  open_t.print(std::cout);
+  std::cout << "Shape checks: filtration stays ~0% below the no-seed bound\n"
+               "and climbs past it (random probes discard nearly all\n"
+               "fragments); the default min_score keeps the open-loop\n"
+               "filtration rate above 50% while the homologous probes keep\n"
+               "reporting hits.\n";
+
+  return bench::emit_report(report, args);
+}

@@ -5,22 +5,11 @@
 #include <unordered_map>
 
 #include "blast/statistics.h"
+#include "blast/words.h"
 #include "sw/banded.h"
 
 namespace gdsm::blast {
 namespace {
-
-// 2-bit packed word code, or nullopt when the window contains an N.
-bool pack_word(const Sequence& seq, std::size_t pos, int k, std::uint32_t* out) {
-  std::uint32_t code = 0;
-  for (int i = 0; i < k; ++i) {
-    const Base b = seq[pos + static_cast<std::size_t>(i)];
-    if (b >= 4) return false;
-    code = (code << 2) | b;
-  }
-  *out = code;
-  return true;
-}
 
 struct Hsp {
   std::size_t s_begin, s_end;  // 0-based half-open here; converted on output
@@ -88,14 +77,7 @@ std::vector<BlastHit> blastn(const Sequence& s, const Sequence& t,
   }
 
   // 1. Word index of the subject s.
-  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> index;
-  index.reserve(s.size());
-  for (std::size_t pos = 0; pos + static_cast<std::size_t>(k) <= s.size(); ++pos) {
-    std::uint32_t code;
-    if (pack_word(s, pos, k, &code)) {
-      index[code].push_back(static_cast<std::uint32_t>(pos));
-    }
-  }
+  const WordIndex index(s, k);
 
   // 2. Scan the query t; for each word hit, extend once per diagonal region.
   // covered[diag] = first t position not yet covered by an extension.
@@ -104,9 +86,7 @@ std::vector<BlastHit> blastn(const Sequence& s, const Sequence& t,
   for (std::size_t tp = 0; tp + static_cast<std::size_t>(k) <= t.size(); ++tp) {
     std::uint32_t code;
     if (!pack_word(t, tp, k, &code)) continue;
-    const auto it = index.find(code);
-    if (it == index.end()) continue;
-    for (const std::uint32_t sp : it->second) {
+    for (const std::uint32_t sp : index.positions(code)) {
       const std::int64_t diag =
           static_cast<std::int64_t>(tp) - static_cast<std::int64_t>(sp);
       const auto cov = covered.find(diag);

@@ -113,12 +113,6 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
   const bool affine = cfg.scheme.affine();
   const bool column_checkpoints =
       cfg.save_interleave != 0 && cfg.io_mode != IoMode::kNone;
-  if (affine && column_checkpoints) {
-    throw std::invalid_argument(
-        "preprocess_align: column checkpoints store H values only and cannot "
-        "support the affine gap model (reprocess_region could not resume the "
-        "Gotoh E/F states); disable save_interleave/io_mode for affine runs");
-  }
 
   const std::vector<std::size_t>& rows = result.row_offsets;
   const std::size_t B = rows.size() - 1;
@@ -237,28 +231,59 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
           std::swap(prev_col, cur_col);
           if (affine) std::swap(prev_col_f, cur_col_f);
         } else {
+          // Scalar column sweep; under affine it runs the full Gotoh
+          // recurrence so checkpoints can save the gap states the block
+          // kernel never materializes per interior column.  Checkpoint
+          // fragments double in length for affine: [H rows | F rows] for
+          // columns (F crosses column boundaries rightward).
+          const std::int32_t oe = cfg.scheme.gap_open + cfg.scheme.gap;
+          const std::int32_t ext = cfg.scheme.gap;
+          std::int32_t e_run = simd::kNegInf;  // E of the current column
           for (std::size_t w = 0; w < W; ++w) {
             const std::size_t j = col_lo + w + 1;  // 1-based matrix column
             const Base tj = t[j - 1];
             const std::int32_t top = top_in[w];
+            const std::int32_t top_e = affine ? top_in_e[w] : simd::kNegInf;
             for (std::size_t r = 1; r <= H; ++r) {
               const std::size_t row = row_lo + r;  // 1-based matrix row
               const std::int32_t up = r == 1 ? top : cur_col[r - 2];
               const std::int32_t dg = r == 1 ? prev_top : prev_col[r - 2];
               const std::int32_t lf = prev_col[r - 1];
-              const std::int32_t v = std::max(
-                  {0, dg + cfg.scheme.substitution(s[row - 1], tj),
-                   up + cfg.scheme.gap, lf + cfg.scheme.gap});
+              std::int32_t v;
+              if (affine) {
+                const std::int32_t e_up = r == 1 ? top_e : e_run;
+                e_run = std::max(up + oe, e_up + ext);        // E(row, j)
+                const std::int32_t f = std::max(
+                    lf + oe, prev_col_f[r - 1] + ext);        // F(row, j)
+                cur_col_f[r - 1] = f;
+                v = std::max(
+                    {0, dg + cfg.scheme.substitution(s[row - 1], tj), e_run,
+                     f});
+              } else {
+                v = std::max(
+                    {0, dg + cfg.scheme.substitution(s[row - 1], tj),
+                     up + cfg.scheme.gap, lf + cfg.scheme.gap});
+              }
               cur_col[r - 1] = v;
               if (v >= cfg.threshold) ++hits[(j - 1) / ipr];
             }
             if (j % cfg.save_interleave == 0) {
-              cfg.store->save(static_cast<std::uint32_t>(j),
-                              static_cast<std::uint32_t>(row_lo + 1), cur_col);
+              if (affine) {
+                std::vector<std::int32_t> frag(cur_col);
+                frag.insert(frag.end(), cur_col_f.begin(), cur_col_f.end());
+                cfg.store->save(static_cast<std::uint32_t>(j),
+                                static_cast<std::uint32_t>(row_lo + 1), frag);
+              } else {
+                cfg.store->save(static_cast<std::uint32_t>(j),
+                                static_cast<std::uint32_t>(row_lo + 1),
+                                cur_col);
+              }
             }
             bottom_out[w] = cur_col[H - 1];
+            if (affine) bottom_out_e[w] = e_run;  // E of the band's last row
             prev_top = top;
             std::swap(prev_col, cur_col);
+            if (affine) std::swap(prev_col_f, cur_col_f);
           }
         }
         node.add_dp_cells(static_cast<std::uint64_t>(W) * H);
@@ -266,9 +291,18 @@ PreProcessResult preprocess_align(const Sequence& s, const Sequence& t,
         if (cfg.row_store != nullptr) {
           // Passage-band checkpoint: this band's bottom row (global row
           // rows[b+1], 1-based), fragment starting at column col_lo+1.
-          cfg.row_store->save(static_cast<std::uint32_t>(rows[b + 1]),
-                              static_cast<std::uint32_t>(col_lo + 1),
-                              bottom_out);
+          // Affine fragments are [H cols | E cols] — E crosses row
+          // boundaries downward, which is what a reprocess resume needs.
+          if (affine) {
+            std::vector<std::int32_t> frag(bottom_out);
+            frag.insert(frag.end(), bottom_out_e.begin(), bottom_out_e.end());
+            cfg.row_store->save(static_cast<std::uint32_t>(rows[b + 1]),
+                                static_cast<std::uint32_t>(col_lo + 1), frag);
+          } else {
+            cfg.row_store->save(static_cast<std::uint32_t>(rows[b + 1]),
+                                static_cast<std::uint32_t>(col_lo + 1),
+                                bottom_out);
+          }
         }
         if (!last_band) {
           passage[b].put_range(node, col_lo, W, bottom_out.data());

@@ -19,18 +19,24 @@ std::uint32_t snap_anchor(const SavedFragments& frags, std::size_t limit) {
 
 // Assembles boundary values at `index` (a column or passage row) covering
 // positions [lo, hi] (1-based rows for a column, columns for a row).
+// Affine checkpoint fragments carry two concatenated halves of equal
+// length — [H | gap state] (F for columns, E for passage rows); `half`
+// selects which one (0 = H).  Linear fragments are single-half.
 std::vector<std::int32_t> assemble(const SavedFragments& frags,
                                    std::uint32_t index, std::size_t lo,
-                                   std::size_t hi, const char* what) {
+                                   std::size_t hi, const char* what,
+                                   bool affine = false, int half = 0) {
   std::vector<std::int32_t> out(hi - lo + 1, 0);
   std::vector<bool> covered(out.size(), false);
   for (const auto& [key, values] : frags) {
     if (key.first != index) continue;
     const std::size_t begin = key.second;
-    for (std::size_t k = 0; k < values.size(); ++k) {
+    const std::size_t span = affine ? values.size() / 2 : values.size();
+    const std::size_t base = static_cast<std::size_t>(half) * span;
+    for (std::size_t k = 0; k < span; ++k) {
       const std::size_t pos = begin + k;
       if (pos >= lo && pos <= hi) {
-        out[pos - lo] = values[k];
+        out[pos - lo] = values[base + k];
         covered[pos - lo] = true;
       }
     }
@@ -59,12 +65,7 @@ ReprocessResult reprocess_region(const Sequence& s, const Sequence& t,
       region.col_hi > t.size()) {
     throw std::invalid_argument("reprocess_region: bad region");
   }
-  if (scheme.affine()) {
-    throw std::invalid_argument(
-        "reprocess_region: affine gap model unsupported — checkpoint "
-        "fragments carry H values only, not the Gotoh E/F gap states needed "
-        "to resume a region exactly");
-  }
+  const bool affine = scheme.affine();
 
   // Snap outward to the nearest checkpoints (0 = the zero border).
   const std::uint32_t anchor_col = snap_anchor(columns, region.col_lo - 1);
@@ -79,20 +80,34 @@ ReprocessResult reprocess_region(const Sequence& s, const Sequence& t,
   const std::size_t C = res.cols();
 
   // Boundaries: left column (rows of the computed range) and top row
-  // (columns of the computed range, plus the diagonal corner).
+  // (columns of the computed range, plus the diagonal corner).  Under
+  // affine the checkpoints also carry the gap state crossing them: F for
+  // columns (horizontal runs continuing rightward), E for passage rows
+  // (vertical runs continuing downward); the matrix edge is kNegInf (no
+  // run crosses it).
   std::vector<std::int32_t> left_col(R, 0);
+  std::vector<std::int32_t> left_col_f(R, simd::kNegInf);
   if (anchor_col > 0) {
     left_col = assemble(columns, anchor_col, res.computed.row_lo,
-                        res.computed.row_hi, "column");
+                        res.computed.row_hi, "column", affine, 0);
+    if (affine) {
+      left_col_f = assemble(columns, anchor_col, res.computed.row_lo,
+                            res.computed.row_hi, "column", affine, 1);
+    }
   }
   std::vector<std::int32_t> top_row(C, 0);
+  std::vector<std::int32_t> top_row_e(C, simd::kNegInf);
   std::int32_t corner = 0;
   if (anchor_row > 0) {
     top_row = assemble(passage_rows, anchor_row, res.computed.col_lo,
-                       res.computed.col_hi, "passage row");
+                       res.computed.col_hi, "passage row", affine, 0);
+    if (affine) {
+      top_row_e = assemble(passage_rows, anchor_row, res.computed.col_lo,
+                           res.computed.col_hi, "passage row", affine, 1);
+    }
     if (anchor_col > 0) {
       corner = assemble(passage_rows, anchor_row, anchor_col, anchor_col,
-                        "passage row")[0];
+                        "passage row", affine, 0)[0];
     }
   }
 
@@ -109,14 +124,35 @@ ReprocessResult reprocess_region(const Sequence& s, const Sequence& t,
   blk.bound_a = top_row.data();
   blk.bound_b = left_col.data();
   blk.corner = corner;
-  const simd::ScoreParams sp{scheme.match, scheme.mismatch, scheme.gap};
+  if (affine) {
+    blk.bound_e = top_row_e.data();
+    blk.bound_f = left_col_f.data();
+  }
+  const simd::ScoreParams sp{scheme.match, scheme.mismatch, scheme.gap,
+                             scheme.gap_open};
   const bool any_candidate = simd::block_best(blk, sp).score >= min_score;
 
-  // Exact DP refill of the subregion.
+  // Exact DP refill of the subregion: linear recurrence, or the full Gotoh
+  // three-matrix recurrence when the scheme is affine (the E/F grids are
+  // also what the three-state traceback below walks).
   res.scores.assign(R * C, 0);
   auto cell = [&](std::size_t r, std::size_t c) -> std::int32_t& {
     return res.scores[r * C + c];
   };
+  std::vector<std::int32_t> e_grid;
+  std::vector<std::int32_t> f_grid;
+  if (affine) {
+    e_grid.assign(R * C, simd::kNegInf);
+    f_grid.assign(R * C, simd::kNegInf);
+  }
+  auto e_at = [&](std::size_t r, std::size_t c) -> std::int32_t& {
+    return e_grid[r * C + c];
+  };
+  auto f_at = [&](std::size_t r, std::size_t c) -> std::int32_t& {
+    return f_grid[r * C + c];
+  };
+  const std::int32_t oe = scheme.gap_open + scheme.gap;
+  const std::int32_t ext = scheme.gap;
   for (std::size_t r = 0; r < R; ++r) {
     const std::size_t row = res.computed.row_lo + r;  // 1-based
     const Base si = s[row - 1];
@@ -129,8 +165,19 @@ ReprocessResult reprocess_region(const Sequence& s, const Sequence& t,
                                                       ? corner
                                                       : left_col[r - 1])
                                                 : cell(r - 1, c - 1));
-      cell(r, c) = std::max({0, dg + scheme.substitution(si, t[col - 1]),
-                             up + scheme.gap, lf + scheme.gap});
+      if (affine) {
+        const std::int32_t e_up = r == 0 ? top_row_e[c] : e_at(r - 1, c);
+        const std::int32_t f_left = c == 0 ? left_col_f[r] : f_at(r, c - 1);
+        const std::int32_t e = std::max(up + oe, e_up + ext);
+        const std::int32_t f = std::max(lf + oe, f_left + ext);
+        e_at(r, c) = e;
+        f_at(r, c) = f;
+        cell(r, c) =
+            std::max({0, dg + scheme.substitution(si, t[col - 1]), e, f});
+      } else {
+        cell(r, c) = std::max({0, dg + scheme.substitution(si, t[col - 1]),
+                               up + scheme.gap, lf + scheme.gap});
+      }
     }
   }
 
@@ -165,31 +212,85 @@ ReprocessResult reprocess_region(const Sequence& s, const Sequence& t,
     // alignment guarantee when min_score checkpoints ring the region).
     std::size_t r = e.r, c = e.c;
     std::vector<Op> rev;
-    while (true) {
-      const std::int32_t v = cell(r, c);
-      if (v == 0) break;
-      // Grid cell (r, c) is matrix cell (row_lo + r, col_lo + c), 1-based,
-      // i.e. characters s[row_lo + r - 1] and t[col_lo + c - 1].
-      if (r > 0 && c > 0 &&
-          v == cell(r - 1, c - 1) +
-                   scheme.substitution(s[res.computed.row_lo + r - 1],
-                                       t[res.computed.col_lo + c - 1])) {
-        rev.push_back(Op::Diag);
-        --r;
-        --c;
-        continue;
-      }
-      if (r > 0 && v == cell(r - 1, c) + scheme.gap) {
-        rev.push_back(Op::Up);
-        --r;
-        continue;
-      }
-      if (c > 0 && v == cell(r, c - 1) + scheme.gap) {
+    if (affine) {
+      // Three-state Gotoh traceback over the H/E/F grids.  A gap run that
+      // continues across the computed boundary acts as a wall, like the
+      // boundary cells of the linear walk below.
+      enum class St { kH, kE, kF };
+      St st = St::kH;
+      while (true) {
+        if (st == St::kH) {
+          const std::int32_t v = cell(r, c);
+          if (v <= 0) break;
+          if (r > 0 && c > 0 &&
+              v == cell(r - 1, c - 1) +
+                       scheme.substitution(s[res.computed.row_lo + r - 1],
+                                           t[res.computed.col_lo + c - 1])) {
+            rev.push_back(Op::Diag);
+            --r;
+            --c;
+            continue;
+          }
+          if (v == e_at(r, c)) {
+            st = St::kE;
+            continue;
+          }
+          if (v == f_at(r, c)) {
+            st = St::kF;
+            continue;
+          }
+          break;  // boundary-fed diagonal: the region edge is a wall
+        }
+        if (st == St::kE) {
+          if (r == 0) break;  // vertical run continues above the region
+          const std::int32_t ev = e_at(r, c);
+          rev.push_back(Op::Up);
+          if (ev == e_at(r - 1, c) + ext) {
+            --r;  // the run keeps going up
+          } else {
+            --r;  // ev == cell(r-1, c) + oe: the run opened here
+            st = St::kH;
+          }
+          continue;
+        }
+        // st == St::kF
+        if (c == 0) break;  // horizontal run continues left of the region
+        const std::int32_t fv = f_at(r, c);
         rev.push_back(Op::Left);
-        --c;
-        continue;
+        if (fv == f_at(r, c - 1) + ext) {
+          --c;
+        } else {
+          --c;  // fv == cell(r, c-1) + oe
+          st = St::kH;
+        }
       }
-      break;  // reached the region boundary
+    } else {
+      while (true) {
+        const std::int32_t v = cell(r, c);
+        if (v == 0) break;
+        // Grid cell (r, c) is matrix cell (row_lo + r, col_lo + c), 1-based,
+        // i.e. characters s[row_lo + r - 1] and t[col_lo + c - 1].
+        if (r > 0 && c > 0 &&
+            v == cell(r - 1, c - 1) +
+                     scheme.substitution(s[res.computed.row_lo + r - 1],
+                                         t[res.computed.col_lo + c - 1])) {
+          rev.push_back(Op::Diag);
+          --r;
+          --c;
+          continue;
+        }
+        if (r > 0 && v == cell(r - 1, c) + scheme.gap) {
+          rev.push_back(Op::Up);
+          --r;
+          continue;
+        }
+        if (c > 0 && v == cell(r, c - 1) + scheme.gap) {
+          rev.push_back(Op::Left);
+          --c;
+          continue;
+        }
+        break;  // reached the region boundary
+      }
     }
     Alignment al;
     al.score = e.score;

@@ -1,0 +1,213 @@
+#include "db/db_align.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "db/meter.h"
+#include "sw/affine.h"
+#include "sw/linear_score.h"
+
+namespace gdsm::db {
+namespace {
+
+BestLocal best_score(const Sequence& query, const Sequence& frag,
+                     const ScoreScheme& scheme) {
+  return scheme.affine()
+             ? sw_best_score_affine_linear(query, frag, to_affine(scheme))
+             : sw_best_score_linear(query, frag, scheme);
+}
+
+void sort_hits(std::vector<DbHit>& hits) {
+  std::sort(hits.begin(), hits.end(), [](const DbHit& a, const DbHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.fragment < b.fragment;
+  });
+}
+
+}  // namespace
+
+ShardPlan plan_shards(const SubjectDb& db, int nodes) {
+  if (nodes < 1) nodes = 1;
+  ShardPlan plan;
+  plan.nodes = nodes;
+  plan.node_bases.assign(static_cast<std::size_t>(nodes), 0);
+  plan.owner.reserve(db.fragments().size());
+  for (const Fragment& f : db.fragments()) {
+    int lightest = 0;
+    for (int n = 1; n < nodes; ++n) {
+      if (plan.node_bases[static_cast<std::size_t>(n)] <
+          plan.node_bases[static_cast<std::size_t>(lightest)]) {
+        lightest = n;
+      }
+    }
+    plan.owner.push_back(lightest);
+    plan.node_bases[static_cast<std::size_t>(lightest)] += f.end - f.begin;
+  }
+  return plan;
+}
+
+DbShards::DbShards(dsm::Cluster& cluster, const SubjectDb& db) {
+  plan_ = plan_shards(db, cluster.nodes());
+  const std::size_t nodes = static_cast<std::size_t>(plan_.nodes);
+  arena_.assign(nodes, 0);
+  frag_offset_.assign(db.fragments().size(), 0);
+
+  // Concatenate each node's fragments into one arena homed there, so a
+  // node's scan reads only pages it homes (no protocol traffic on the
+  // database itself — that is the point of sharding).
+  std::vector<std::vector<std::byte>> arena_bytes(nodes);
+  for (const Fragment& f : db.fragments()) {
+    const auto node = static_cast<std::size_t>(plan_.owner[f.id]);
+    frag_offset_[f.id] = arena_bytes[node].size();
+    const Sequence& seq = db.sequences()[f.seq_index];
+    const auto* raw = reinterpret_cast<const std::byte*>(seq.data() + f.begin);
+    arena_bytes[node].insert(arena_bytes[node].end(), raw,
+                             raw + (f.end - f.begin) * sizeof(Base));
+  }
+  for (std::size_t n = 0; n < nodes; ++n) {
+    if (arena_bytes[n].empty()) continue;
+    arena_[n] = cluster.alloc(arena_bytes[n].size(), static_cast<int>(n));
+    cluster.host_write(arena_[n], arena_bytes[n].data(),
+                       arena_bytes[n].size());
+    cluster.retain_range(arena_[n], arena_bytes[n].size());
+  }
+  db_meter_record_shards(plan_.node_bases);
+}
+
+DbQueryResult db_query(dsm::Cluster& cluster, const SubjectDb& db,
+                       const DbShards& shards, const Sequence& query,
+                       const ScoreScheme& scheme, int min_score) {
+  if (min_score < 1) {
+    throw std::invalid_argument("db_query: min_score must be >= 1");
+  }
+  if (shards.plan().nodes != cluster.nodes()) {
+    throw std::invalid_argument("db_query: shard plan size != cluster size");
+  }
+  if (shards.plan().owner.size() != db.fragments().size()) {
+    throw std::invalid_argument("db_query: shard plan does not match db");
+  }
+
+  DbQueryResult out;
+  const SubjectDb::Filtration filt = db.filter(query, scheme, min_score);
+  out.fragments_scanned = filt.scanned;
+  out.fragments_rejected = filt.rejected;
+  out.fragments_aligned = filt.survivors.size();
+
+  std::vector<std::uint64_t> per_node_aligned(
+      static_cast<std::size_t>(cluster.nodes()), 0);
+
+  if (!filt.survivors.empty() && !query.empty()) {
+    const std::size_t m = query.size();
+    const std::size_t query_bytes = m * sizeof(Base);
+    // Fresh per-query scratch (the established per-dispatch idiom): the
+    // query page(s) homed at node 0, one [score, end_i, end_j] triple per
+    // survivor, also homed at node 0 where the gather runs.
+    const dsm::GlobalAddr query_addr = cluster.alloc(query_bytes, 0);
+    const dsm::GlobalAddr result_addr =
+        cluster.alloc(filt.survivors.size() * 3 * sizeof(std::int32_t), 0);
+
+    struct Work {
+      std::uint32_t fragment;
+      int owner;
+      dsm::GlobalAddr addr;
+      std::size_t len;
+    };
+    std::vector<Work> work;
+    work.reserve(filt.survivors.size());
+    for (const std::uint32_t fid : filt.survivors) {
+      const Fragment& f = db.fragments()[fid];
+      work.push_back({fid, shards.plan().owner[fid],
+                      shards.fragment_addr(fid),
+                      static_cast<std::size_t>(f.end - f.begin)});
+      ++per_node_aligned[static_cast<std::size_t>(shards.plan().owner[fid])];
+    }
+
+    std::vector<std::int32_t> gathered(work.size() * 3, 0);
+    const dsm::Cluster::Ticket ticket = cluster.submit([&](dsm::Node& node) {
+      if (node.id() == 0) {
+        node.write_bytes(query_addr,
+                         reinterpret_cast<const std::byte*>(query.data()),
+                         query_bytes);
+      }
+      node.barrier();  // query published; remote nodes fault it in below
+
+      std::basic_string<Base> qbuf(m, Base{});
+      node.read_bytes(query_addr, reinterpret_cast<std::byte*>(qbuf.data()),
+                      query_bytes);
+      const Sequence q("query", std::move(qbuf));
+
+      std::basic_string<Base> fbuf;
+      for (std::size_t k = 0; k < work.size(); ++k) {
+        if (work[k].owner != node.id()) continue;
+        fbuf.assign(work[k].len, Base{});
+        node.read_bytes(work[k].addr,
+                        reinterpret_cast<std::byte*>(fbuf.data()),
+                        work[k].len * sizeof(Base));
+        const Sequence frag("frag", fbuf);
+        const BestLocal b = best_score(q, frag, scheme);
+        node.add_dp_cells(static_cast<std::uint64_t>(m) * work[k].len);
+        const std::int32_t triple[3] = {b.score,
+                                        static_cast<std::int32_t>(b.end_i),
+                                        static_cast<std::int32_t>(b.end_j)};
+        node.write_bytes(result_addr + k * 3 * sizeof(std::int32_t),
+                         reinterpret_cast<const std::byte*>(triple),
+                         sizeof(triple));
+      }
+      node.barrier();  // per-fragment diffs land at the home before gather
+      if (node.id() == 0) {
+        node.read_bytes(result_addr,
+                        reinterpret_cast<std::byte*>(gathered.data()),
+                        gathered.size() * sizeof(std::int32_t));
+      }
+    });
+    const dsm::DsmStats stats = cluster.await(ticket);
+    const dsm::NodeStats totals = stats.total_node();
+    out.cache_hits = totals.cache_hits;
+    out.read_faults = totals.read_faults;
+
+    for (std::size_t k = 0; k < work.size(); ++k) {
+      const std::int32_t score = gathered[k * 3];
+      if (score < min_score) continue;
+      const Fragment& f = db.fragments()[work[k].fragment];
+      DbHit hit;
+      hit.fragment = f.id;
+      hit.seq_index = f.seq_index;
+      hit.begin = f.begin;
+      hit.score = score;
+      hit.end_i = static_cast<std::uint32_t>(gathered[k * 3 + 1]);
+      hit.end_j = static_cast<std::uint32_t>(gathered[k * 3 + 2]);
+      out.hits.push_back(hit);
+    }
+    sort_hits(out.hits);
+  }
+
+  db_meter_record_query(out.fragments_scanned, out.fragments_rejected,
+                        out.fragments_aligned, out.hits.size(),
+                        per_node_aligned);
+  return out;
+}
+
+std::vector<DbHit> brute_force_hits(const SubjectDb& db, const Sequence& query,
+                                    const ScoreScheme& scheme, int min_score) {
+  if (min_score < 1) {
+    throw std::invalid_argument("brute_force_hits: min_score must be >= 1");
+  }
+  std::vector<DbHit> hits;
+  if (query.empty()) return hits;
+  for (const Fragment& f : db.fragments()) {
+    const BestLocal b = best_score(query, db.fragment_seq(f.id), scheme);
+    if (b.score < min_score) continue;
+    DbHit hit;
+    hit.fragment = f.id;
+    hit.seq_index = f.seq_index;
+    hit.begin = f.begin;
+    hit.score = b.score;
+    hit.end_i = static_cast<std::uint32_t>(b.end_i);
+    hit.end_j = static_cast<std::uint32_t>(b.end_j);
+    hits.push_back(hit);
+  }
+  sort_hits(hits);
+  return hits;
+}
+
+}  // namespace gdsm::db

@@ -1,0 +1,175 @@
+#include "db/subject_db.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "blast/words.h"
+
+namespace gdsm::db {
+namespace {
+
+DbConfig normalize(DbConfig cfg) {
+  if (cfg.fragment_len < 16) cfg.fragment_len = 16;
+  cfg.q = std::clamp<std::size_t>(cfg.q, 2, 15);
+  if (cfg.overlap >= cfg.fragment_len) cfg.overlap = cfg.fragment_len / 2;
+  return cfg;
+}
+
+}  // namespace
+
+SubjectDb::SubjectDb(std::vector<Sequence> seqs, DbConfig cfg)
+    : cfg_(normalize(cfg)), seqs_(std::move(seqs)) {
+  const std::size_t step = cfg_.fragment_len - cfg_.overlap;
+  for (std::size_t s = 0; s < seqs_.size(); ++s) {
+    const std::size_t n = seqs_[s].size();
+    total_bases_ += n;
+    for (std::size_t begin = 0; begin < n; begin += step) {
+      Fragment f;
+      f.id = static_cast<std::uint32_t>(fragments_.size());
+      f.seq_index = static_cast<std::uint32_t>(s);
+      f.begin = static_cast<std::uint32_t>(begin);
+      f.end = static_cast<std::uint32_t>(
+          std::min(n, begin + cfg_.fragment_len));
+      fragments_.push_back(f);
+      if (f.end == n) break;
+    }
+  }
+  // Posting index: fragment ids are appended in ascending order, so every
+  // list ends up sorted and distinct without a separate pass.
+  const int q = static_cast<int>(cfg_.q);
+  for (const Fragment& f : fragments_) {
+    const blast::WordIndex index(
+        seqs_[f.seq_index].slice(f.begin, f.end), q);
+    for (const std::uint32_t code : index.codes()) {
+      std::vector<std::uint32_t>& list = postings_[code];
+      if (list.empty() || list.back() != f.id) list.push_back(f.id);
+    }
+  }
+}
+
+Sequence SubjectDb::fragment_seq(std::uint32_t id) const {
+  if (id >= fragments_.size()) {
+    throw std::out_of_range("SubjectDb::fragment_seq: bad fragment id");
+  }
+  const Fragment& f = fragments_[id];
+  Sequence frag = seqs_[f.seq_index].slice(f.begin, f.end);
+  frag.set_name(seqs_[f.seq_index].name() + "#" + std::to_string(id));
+  return frag;
+}
+
+int seeded_run_bound(std::size_t m, const std::vector<char>& seed,
+                     const ScoreScheme& scheme, std::size_t q) {
+  const int a = scheme.match;
+  if (a <= 0 || m == 0) return 0;  // no positive column -> local score 0
+  q = std::clamp<std::size_t>(q, 2, 15);
+  // Every error column (mismatch, or any gap column: a gap run costs at
+  // least `gap` per column even under affine, gap_open being a surcharge)
+  // costs at least p.  Degenerate non-negative penalties disable the
+  // filter rather than break it: p = 0 makes the bound a * m.
+  const int p =
+      std::max(0, std::min(-scheme.mismatch, -scheme.gap));
+  const std::size_t windows = m >= q ? m - q + 1 : 0;
+
+  // v[r]: best score of a partial assignment whose current match run has
+  // length r (capped at q-1; the cap state also stands for runs >= q,
+  // which may only extend across seeded windows).
+  constexpr int kNeg = -(1 << 28);
+  std::vector<int> v(q, kNeg), nv(q);
+  v[0] = 0;
+  int best = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    int vmax = v[0];
+    for (std::size_t r = 1; r < q; ++r) vmax = std::max(vmax, v[r]);
+    std::fill(nv.begin(), nv.end(), kNeg);
+    // Error column at j, or a fresh local start.
+    nv[0] = std::max(0, vmax - p);
+    // Match extending a short run (no complete q-window yet).
+    for (std::size_t r = 0; r + 1 < q; ++r) {
+      if (v[r] > kNeg) nv[r + 1] = std::max(nv[r + 1], v[r] + a);
+    }
+    // Match extending a run to length >= q completes the q-window starting
+    // at j-q+1, which must then be a seed (an exact occurrence).
+    if (j + 1 >= q && j + 1 - q < windows &&
+        (!seed.empty() && seed[j + 1 - q])) {
+      if (v[q - 1] > kNeg) nv[q - 1] = std::max(nv[q - 1], v[q - 1] + a);
+    }
+    // Interposed subject-only gap: pay p without consuming a query
+    // position, resetting the run, then match j.
+    nv[1] = std::max(nv[1], vmax - p + a);
+    v.swap(nv);
+    for (std::size_t r = 0; r < q; ++r) best = std::max(best, v[r]);
+  }
+  return best;
+}
+
+int qgram_score_bound(const Sequence& a, const Sequence& b,
+                      const ScoreScheme& scheme, std::size_t q) {
+  q = std::clamp<std::size_t>(q, 2, 15);
+  const std::size_t m = a.size();
+  std::vector<char> seed;
+  if (m >= q && !b.empty()) {
+    const blast::WordIndex index(b, static_cast<int>(q));
+    seed.assign(m - q + 1, 0);
+    for (std::size_t i = 0; i + q <= m; ++i) {
+      std::uint32_t code;
+      if (blast::pack_word(a, i, static_cast<int>(q), &code) &&
+          index.contains(code)) {
+        seed[i] = 1;
+      }
+    }
+  }
+  return seeded_run_bound(m, seed, scheme, q);
+}
+
+SubjectDb::Filtration SubjectDb::filter(const Sequence& query,
+                                        const ScoreScheme& scheme,
+                                        int min_score) const {
+  Filtration out;
+  out.scanned = fragments_.size();
+  const std::size_t m = query.size();
+  const std::size_t q = cfg_.q;
+  const std::size_t windows = m >= q ? m - q + 1 : 0;
+
+  // Output-sensitive seed gather: one posting lookup per query window, one
+  // append per (window, fragment) seed pair.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> seeds;
+  for (std::size_t i = 0; i < windows; ++i) {
+    std::uint32_t code;
+    if (!blast::pack_word(query, i, static_cast<int>(q), &code)) continue;
+    const auto it = postings_.find(code);
+    if (it == postings_.end()) continue;
+    for (const std::uint32_t f : it->second) {
+      seeds[f].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Fragments sharing no query q-gram all get the same (cheapest possible)
+  // bound; it is computed once.
+  const int no_seed_bound = seeded_run_bound(m, {}, scheme, q);
+  std::vector<char> flags(windows, 0);
+  for (const Fragment& f : fragments_) {
+    int bound;
+    const auto it = seeds.find(f.id);
+    if (it == seeds.end()) {
+      bound = no_seed_bound;
+    } else {
+      for (const std::uint32_t i : it->second) flags[i] = 1;
+      bound = seeded_run_bound(m, flags, scheme, q);
+      for (const std::uint32_t i : it->second) flags[i] = 0;
+    }
+    if (bound >= min_score) {
+      out.survivors.push_back(f.id);
+    } else {
+      ++out.rejected;
+    }
+  }
+  return out;
+}
+
+int SubjectDb::score_bound(const Sequence& query, std::uint32_t fragment,
+                           const ScoreScheme& scheme) const {
+  return qgram_score_bound(query, fragment_seq(fragment), scheme, cfg_.q);
+}
+
+}  // namespace gdsm::db

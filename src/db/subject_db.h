@@ -1,0 +1,116 @@
+// The multi-sequence subject database and its exact q-gram filtration
+// front-end.
+//
+// Production traffic is a query against a *database*, not one resident
+// subject: a SubjectDb holds many FASTA sequences partitioned into
+// fixed-size overlapping fragments, plus a q-gram posting index
+// (blast/words.h machinery) over the fragments.  Before any DP runs, every
+// fragment is screened with an admissible score upper bound computed from
+// which query q-grams occur in the fragment; a fragment whose bound falls
+// below the report threshold provably cannot contain a reportable hit and
+// is discarded without alignment (ALAE-style exact filtration — zero missed
+// hits by construction).  Survivors are aligned by the SIMD-dispatched
+// score kernels (db_align.h).
+//
+// The bound (docs/SERVICE.md "Database serving" has the derivation): any
+// run of >= q consecutive match columns in a local alignment is an exact
+// q-length occurrence of a query window in the fragment, so every q-window
+// inside the run must be a *seed* (its q-gram occurs in the fragment).  A
+// small DP over query positions — state = current match-run length capped
+// at q-1 — maximizes  +match per match column, -min(-mismatch, -gap) per
+// error column, with runs allowed past length q-1 only across seeded
+// windows.  The DP dominates every real alignment column-for-column, so
+// bound >= true Smith-Waterman score always (the property tests assert
+// this on adversarial pairs); its filtration power comes from match runs
+// being capped near q wherever the fragment shares no query q-grams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sw/scoring.h"
+#include "util/sequence.h"
+
+namespace gdsm::db {
+
+struct DbConfig {
+  /// Fragment partition width, in bases.  Fragments are the filtration and
+  /// scheduling granule: hits are reported per fragment.
+  std::size_t fragment_len = 256;
+  /// Adjacent fragments of one sequence overlap by this many bases, so an
+  /// alignment spanning a cut point survives intact in one of its
+  /// neighbours.
+  std::size_t overlap = 24;
+  /// q-gram length of the filtration index (clamped to [2, 15]).
+  std::size_t q = 5;
+};
+
+/// One database fragment: a window of one subject sequence.
+struct Fragment {
+  std::uint32_t id = 0;         ///< dense [0, n_fragments)
+  std::uint32_t seq_index = 0;  ///< index into SubjectDb::sequences()
+  std::uint32_t begin = 0;      ///< 0-based window [begin, end) in the sequence
+  std::uint32_t end = 0;
+};
+
+class SubjectDb {
+ public:
+  SubjectDb() = default;  ///< empty database (no sequences, no fragments)
+
+  /// Partitions `seqs` into fragments and builds the q-gram posting index.
+  /// Empty sequences contribute no fragments.
+  explicit SubjectDb(std::vector<Sequence> seqs, DbConfig cfg = {});
+
+  const DbConfig& config() const noexcept { return cfg_; }
+  const std::vector<Sequence>& sequences() const noexcept { return seqs_; }
+  const std::vector<Fragment>& fragments() const noexcept { return fragments_; }
+  std::size_t total_bases() const noexcept { return total_bases_; }
+
+  /// Materializes fragment `id` as a sequence named "<seq-name>#<id>".
+  Sequence fragment_seq(std::uint32_t id) const;
+
+  struct Filtration {
+    std::vector<std::uint32_t> survivors;  ///< fragment ids, ascending
+    std::size_t scanned = 0;               ///< == fragments().size()
+    std::size_t rejected = 0;
+  };
+
+  /// Screens every fragment against `query`: keeps exactly those whose
+  /// admissible score bound reaches `min_score`.  Exact: a rejected
+  /// fragment cannot score >= min_score under `scheme` (linear or affine).
+  Filtration filter(const Sequence& query, const ScoreScheme& scheme,
+                    int min_score) const;
+
+  /// The admissible bound for one (query, fragment) pair — the quantity
+  /// filter() thresholds, exposed for the oracle and tests.
+  int score_bound(const Sequence& query, std::uint32_t fragment,
+                  const ScoreScheme& scheme) const;
+
+ private:
+  DbConfig cfg_;
+  std::vector<Sequence> seqs_;
+  std::vector<Fragment> fragments_;
+  std::size_t total_bases_ = 0;
+  /// q-gram code -> fragment ids containing it (ascending, distinct).
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> postings_;
+};
+
+/// The seeded-run DP bound itself.  `seed` has one flag per query window
+/// start (size m - q + 1, or empty meaning "no window is seeded"): true
+/// when the query q-gram starting there occurs in the candidate fragment.
+/// Returns an upper bound on the best local alignment score any fragment
+/// consistent with those seed flags can reach against the query.
+int seeded_run_bound(std::size_t m, const std::vector<char>& seed,
+                     const ScoreScheme& scheme, std::size_t q);
+
+/// Two-sequence convenience: bound on the local alignment score of `a`
+/// versus `b`, seeding from an ad-hoc q-gram index of `b`.  Admissible for
+/// both gap models: qgram_score_bound(a, b, scheme, q) >= the true
+/// Smith-Waterman (or Gotoh) score of a vs b.  This is the property-test
+/// surface.
+int qgram_score_bound(const Sequence& a, const Sequence& b,
+                      const ScoreScheme& scheme, std::size_t q);
+
+}  // namespace gdsm::db

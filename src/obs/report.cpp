@@ -69,6 +69,11 @@ Json RunReport::to_json() const {
     // counters (process-wide totals, like the kernel section).
     sections.set("comm", comm_stats_json());
   }
+  if (sections.find("db") == nullptr) {
+    // v7: every report carries the database-serving totals (zeros for runs
+    // that never touched a SubjectDb, like the kernel/comm sections).
+    sections.set("db", db_stats_json());
+  }
   doc.set("sections", std::move(sections));
   return doc;
 }

@@ -36,7 +36,11 @@ inline constexpr const char* kReportSchema = "gdsm.run_report";
 /// run dispatched; service reports add gap_models counters and benches that
 /// sweep gap models carry a gap_model column in their series
 /// (docs/METRICS.md "gap models", docs/ALGORITHMS.md).
-inline constexpr int kSchemaVersion = 6;
+/// v7: database serving — every report carries the "db" section (queries,
+/// fragments scanned/rejected/aligned, filtration_rate, hits, and a
+/// shard_balance object with per-node resident bases and aligned-fragment
+/// counts — docs/METRICS.md "db", docs/SERVICE.md "Database serving").
+inline constexpr int kSchemaVersion = 7;
 /// Oldest schema version tools still accept (v3 files predate the kernel
 /// and comm sections but are otherwise field-compatible).
 inline constexpr int kSchemaVersionMin = 3;

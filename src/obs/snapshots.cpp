@@ -1,5 +1,6 @@
 #include "obs/snapshots.h"
 
+#include "db/meter.h"
 #include "net/message.h"
 #include "simd/dispatch.h"
 
@@ -150,6 +151,26 @@ Json comm_stats_json() {
   j.set("prefetch_wasted", totals.prefetch_wasted);
   j.set("empty_diffs_suppressed", totals.empty_diffs_suppressed);
   j.set("round_trips_saved", totals.round_trips_saved());
+  return j;
+}
+
+Json db_stats_json() {
+  const db::DbMeterSnapshot s = db::db_meter_snapshot();
+  Json j = Json::object();
+  j.set("queries", s.queries);
+  j.set("fragments_scanned", s.fragments_scanned);
+  j.set("fragments_rejected", s.fragments_rejected);
+  j.set("fragments_aligned", s.fragments_aligned);
+  j.set("filtration_rate", s.filtration_rate());
+  j.set("hits", s.hits);
+  Json balance = Json::object();
+  Json bases = Json::array();
+  for (const std::uint64_t b : s.node_bases) bases.push(b);
+  balance.set("node_bases", std::move(bases));
+  Json aligned = Json::array();
+  for (const std::uint64_t a : s.node_aligned) aligned.push(a);
+  balance.set("node_aligned", std::move(aligned));
+  j.set("shard_balance", std::move(balance));
   return j;
 }
 

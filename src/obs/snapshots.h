@@ -51,4 +51,11 @@ Json kernel_stats_json(bool host_clock);
 /// process start (dsm::comm_totals()).
 Json comm_stats_json();
 
+/// {queries, fragments_scanned, fragments_rejected, fragments_aligned,
+/// filtration_rate, hits, shard_balance: {node_bases: [...],
+/// node_aligned: [...]}} — the database-serving totals since process start
+/// (db::db_meter_snapshot()): how many fragments the q-gram filter rejected
+/// before DP and how evenly the sharded scan spread over the cluster.
+Json db_stats_json();
+
 }  // namespace gdsm::obs

@@ -134,6 +134,33 @@ std::string validate_run_report(const Json& doc, bool require_read_faults) {
     }
   }
 
+  if (doc.at("schema_version").as_int() >= 7) {
+    // v7: database serving — the db section carries the filtration totals
+    // and the shard_balance arrays.
+    const Json* sections = doc.find("sections");
+    const Json* db = sections ? sections->find("db") : nullptr;
+    if (db == nullptr || !db->is_object()) {
+      return "v7 report without sections.db (database-serving counters; "
+             "see docs/METRICS.md v7)";
+    }
+    for (const char* k : {"queries", "fragments_scanned", "fragments_rejected",
+                          "fragments_aligned", "filtration_rate", "hits"}) {
+      const Json* counter = db->find(k);
+      if (counter == nullptr || !counter->is_number()) {
+        return std::string("sections.db.") + k + " missing or not a number";
+      }
+    }
+    const Json* balance = db->find("shard_balance");
+    if (balance == nullptr || !balance->is_object() ||
+        balance->find("node_bases") == nullptr ||
+        !balance->find("node_bases")->is_array() ||
+        balance->find("node_aligned") == nullptr ||
+        !balance->find("node_aligned")->is_array()) {
+      return "v7 report without sections.db.shard_balance node_bases/"
+             "node_aligned arrays";
+    }
+  }
+
   if (require_read_faults && !any_positive_read_faults(doc)) {
     return "no positive read_faults counter found (--require-read-faults)";
   }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "db/db_align.h"
 #include "sw/heuristic_scan.h"
 #include "sw/linear_score.h"
 #include "sw/reverse_rebuild.h"
@@ -32,14 +33,22 @@ enum class StrategyKind : int {
   kBlocked,     ///< Strategy 2: bands x blocks over DSM
   kBlockedMp,   ///< Strategy 2 on message passing (no DSM, no residency)
   kExact,       ///< Section 6 exact alignment (message passing)
+  kDbScan,      ///< filtered scan of a sharded multi-sequence database
 };
 
-constexpr int kNumStrategies = 5;
+constexpr int kNumStrategies = 6;
 
 const char* strategy_name(StrategyKind k) noexcept;
 
 struct QuerySpec {
   std::string subject;  ///< name of a subject loaded with load_subject()
+  /// Non-empty selects database mode: the query runs as a filtered scan of
+  /// the named database (load_db()) instead of a single-subject alignment.
+  /// `subject` is ignored, `strategy` must be kAuto or kDbScan, and
+  /// `min_score` (>= 1) sets the hit threshold the filtration bound
+  /// prunes against.
+  std::string database;
+  int min_score = 0;    ///< database mode: hit/filtration threshold
   Sequence query;       ///< the probe (s); the subject is t
   StrategyKind strategy = StrategyKind::kAuto;
   /// Scoring, including the gap model: scheme.gap_open == 0 is the paper's
@@ -62,6 +71,10 @@ struct QueryResult {
   std::vector<Candidate> candidates;  ///< heuristic strategies
   BestLocal best{};                   ///< exact strategy
   RebuildResult rebuilt;              ///< exact strategy
+  std::vector<db::DbHit> db_hits;     ///< db scan: exact hit set
+  std::size_t db_fragments_scanned = 0;   ///< db scan: fragments considered
+  std::size_t db_fragments_rejected = 0;  ///< db scan: pruned before DP
+  std::size_t db_fragments_aligned = 0;   ///< db scan: filtration survivors
   bool overflow = false;
   bool warm = false;          ///< subject was resident-warm at dispatch
   std::size_t batch_size = 1; ///< queries sharing this dispatch batch

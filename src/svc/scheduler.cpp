@@ -14,6 +14,7 @@ const char* strategy_name(StrategyKind k) noexcept {
     case StrategyKind::kBlocked: return "blocked";
     case StrategyKind::kBlockedMp: return "blocked_mp";
     case StrategyKind::kExact: return "exact";
+    case StrategyKind::kDbScan: return "db_scan";
   }
   return "?";
 }
@@ -133,6 +134,25 @@ double Scheduler::exact_estimate(std::size_t m, std::size_t n,
     est += static_cast<double>(bands) *
            dsm_fetch_s((affine ? 2u : 1u) * n * sizeof(std::int32_t)) /
            nprocs_;
+  }
+  return est;
+}
+
+double Scheduler::db_estimate(std::size_t m, std::size_t aligned_bases,
+                              bool affine) const {
+  // Survivor fragments are resident at their owners, so the scan's DP is
+  // the whole bill: m x aligned_bases cells spread over the shards with the
+  // score-only kernels (same per-cell price as the exact counting pass).
+  const double cells = static_cast<double>(m) *
+                       static_cast<double>(aligned_bases) / nprocs_;
+  const std::size_t row_bytes =
+      (affine ? 4u : 2u) * 256 * model_.plain_cell_bytes;
+  double est =
+      cells * model_.effective_cell(
+                  model_.plain_cell_s(kernel_backend_, affine), row_bytes);
+  if (nprocs_ > 1) {
+    // Every remote node faults the query in from node 0 once per dispatch.
+    est += dsm_fetch_s(m * sizeof(Base));
   }
   return est;
 }

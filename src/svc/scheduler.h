@@ -70,6 +70,12 @@ class Scheduler {
   double exact_estimate(std::size_t m, std::size_t n,
                         bool affine = false) const;
 
+  /// Database scan: DP over the filtration survivors only (`aligned_bases`
+  /// of resident fragments, balanced across the shards) plus the per-node
+  /// query fetch.  The filter itself is host-side and ~free next to DP.
+  double db_estimate(std::size_t m, std::size_t aligned_bases,
+                     bool affine = false) const;
+
   /// SIMD backend the estimates assume.  Defaults to the dispatch table's
   /// active backend; tests pin it to compare machines.
   const std::string& kernel_backend() const noexcept { return kernel_backend_; }

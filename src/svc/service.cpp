@@ -87,6 +87,43 @@ bool AlignService::has_subject(const std::string& name) const {
   return subjects_.count(name) != 0;
 }
 
+void AlignService::load_db(const std::string& name,
+                           std::vector<Sequence> sequences,
+                           db::DbConfig db_cfg) {
+  if (name.empty()) {
+    throw std::invalid_argument("AlignService: database needs a name");
+  }
+  if (sequences.empty()) {
+    throw std::invalid_argument("AlignService: database needs sequences");
+  }
+  {
+    const std::scoped_lock lk(mu_);
+    if (databases_.count(name) != 0) {
+      throw std::invalid_argument("AlignService: database already loaded: " +
+                                  name);
+    }
+  }
+  Database d;
+  d.db = db::SubjectDb(std::move(sequences), db_cfg);
+  if (d.db.fragments().empty()) {
+    throw std::invalid_argument("AlignService: database has no fragments: " +
+                                name);
+  }
+  // Like load_subject: host_write + retain_range runs between jobs, so
+  // databases load before (or between) query traffic.
+  d.shards = db::DbShards(cluster_, d.db);
+  const std::scoped_lock lk(mu_);
+  if (!databases_.emplace(name, std::move(d)).second) {
+    throw std::invalid_argument("AlignService: database already loaded: " +
+                                name);
+  }
+}
+
+bool AlignService::has_db(const std::string& name) const {
+  const std::scoped_lock lk(mu_);
+  return databases_.count(name) != 0;
+}
+
 AlignService::Admission AlignService::submit(QuerySpec spec) {
   Admission out;
   out.ticket = std::make_shared<QueryTicket>();
@@ -135,10 +172,14 @@ void AlignService::worker_loop() {
     std::vector<PendingQuery> batch;
     batch.push_back(std::move(*head));
     if (batchable(batch.front().spec) && cfg_.max_batch > 1) {
+      // Batch key: the resident data the dispatch touches — the database
+      // for db scans, the subject otherwise.
       const std::string& subject = batch.front().spec.subject;
+      const std::string& database = batch.front().spec.database;
       std::vector<PendingQuery> more = queue_.take_matching(
           [&](const PendingQuery& p) {
-            return batchable(p.spec) && p.spec.subject == subject;
+            return batchable(p.spec) && p.spec.database == database &&
+                   (!database.empty() || p.spec.subject == subject);
           },
           cfg_.max_batch - 1);
       for (auto& p : more) batch.push_back(std::move(p));
@@ -166,6 +207,7 @@ void AlignService::execute_one(PendingQuery& q, std::size_t batch_size) {
   bool deadline_reject = false;
   bool cluster_failed = false;
   const Subject* subj = nullptr;
+  const Database* dbp = nullptr;
   bool warm = false;
   bool resident_used = false;
   StrategyKind chosen = q.spec.strategy;
@@ -173,6 +215,15 @@ void AlignService::execute_one(PendingQuery& q, std::size_t batch_size) {
   if (q.spec.deadline_s > 0 && out.result.wait_s > q.spec.deadline_s) {
     deadline_reject = true;
     out.error = "deadline expired before dispatch";
+  } else if (!q.spec.database.empty()) {
+    const std::scoped_lock lk(mu_);
+    const auto it = databases_.find(q.spec.database);
+    if (it == databases_.end()) {
+      out.error = "unknown database: " + q.spec.database;
+    } else {
+      dbp = &it->second;  // map entries are never erased: stable address
+      warm = dbp->warm;
+    }
   } else {
     const std::scoped_lock lk(mu_);
     const auto it = subjects_.find(q.spec.subject);
@@ -184,7 +235,46 @@ void AlignService::execute_one(PendingQuery& q, std::size_t batch_size) {
     }
   }
 
-  if (subj != nullptr) {
+  if (dbp != nullptr) {
+    chosen = StrategyKind::kDbScan;
+    out.result.strategy = chosen;
+    out.result.warm = warm;
+    if (q.spec.strategy != StrategyKind::kAuto &&
+        q.spec.strategy != StrategyKind::kDbScan) {
+      out.error = "database queries use the db_scan strategy";
+    } else if (q.spec.min_score < 1) {
+      out.error = "database queries need min_score >= 1";
+    } else {
+      try {
+        resident_used = true;
+        db::DbQueryResult r =
+            db::db_query(cluster_, dbp->db, dbp->shards, q.spec.query,
+                         q.spec.scheme, q.spec.min_score);
+        out.result.db_hits = std::move(r.hits);
+        out.result.db_fragments_scanned = r.fragments_scanned;
+        out.result.db_fragments_rejected = r.fragments_rejected;
+        out.result.db_fragments_aligned = r.fragments_aligned;
+        out.result.cache_hits = r.cache_hits;
+        out.result.read_faults = r.read_faults;
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.ok = false;
+        out.error = e.what();
+        cluster_failed = true;
+      }
+      if (out.ok && cfg_.verify) {
+        // The no-filter all-pairs serial scan is the database oracle: the
+        // filtered sharded result must match it hit-for-hit.
+        const std::vector<db::DbHit> ref = db::brute_force_hits(
+            dbp->db, q.spec.query, q.spec.scheme, q.spec.min_score);
+        if (ref != out.result.db_hits) {
+          out.ok = false;
+          out.error =
+              "service divergence: db scan != brute-force hit set";
+        }
+      }
+    }
+  } else if (subj != nullptr) {
     if (chosen == StrategyKind::kAuto) {
       chosen = scheduler_
                    .choose({q.spec.query.size(), subj->seq.size(), warm,
@@ -340,20 +430,33 @@ void AlignService::execute_one(PendingQuery& q, std::size_t batch_size) {
       stats_.read_faults += out.result.read_faults;
       stats_.total_latency.record(out.result.total_s);
       stats_.run_latency.record(out.result.run_s);
+      if (chosen == StrategyKind::kDbScan) {
+        ++stats_.db_queries;
+        stats_.db_fragments_scanned += out.result.db_fragments_scanned;
+        stats_.db_fragments_rejected += out.result.db_fragments_rejected;
+        stats_.db_fragments_aligned += out.result.db_fragments_aligned;
+        stats_.db_hits += out.result.db_hits.size();
+      }
       if (resident_used) {
-        // This dispatch pulled the subject into the node caches; the next
-        // same-subject DSM query runs warm.
-        const auto it = subjects_.find(q.spec.subject);
-        if (it != subjects_.end()) it->second.warm = true;
+        // This dispatch pulled the resident data (subject or database
+        // shards) into the node caches; the next same-key query runs warm.
+        if (!q.spec.database.empty()) {
+          const auto it = databases_.find(q.spec.database);
+          if (it != databases_.end()) it->second.warm = true;
+        } else {
+          const auto it = subjects_.find(q.spec.subject);
+          if (it != subjects_.end()) it->second.warm = true;
+        }
       }
     } else {
       ++stats_.failed;
       if (cluster_failed) {
         // The cluster absorbed a failed job by cold-restarting the node
-        // caches: the pool keeps accepting work, but every subject must
-        // re-warm on its next touch.
+        // caches: the pool keeps accepting work, but every subject and
+        // database must re-warm on its next touch.
         ++stats_.recoveries;
         for (auto& [name, s] : subjects_) s.warm = false;
+        for (auto& [name, d] : databases_) d.warm = false;
       }
     }
   }

@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "db/db_align.h"
+#include "db/subject_db.h"
 #include "dsm/cluster.h"
 #include "sim/cost_model.h"
 #include "svc/query.h"
@@ -61,6 +63,15 @@ class AlignService {
   void load_subject(const Sequence& subject);
   bool has_subject(const std::string& name) const;
 
+  /// Installs a multi-sequence subject database under `name`: fragments the
+  /// sequences, builds the q-gram filtration index, and shards the
+  /// fragments across the cluster nodes (per-node arenas homed at their
+  /// owners, retained across end-of-job cache sweeps).  Queries select it
+  /// with QuerySpec::database.  Loading a name twice throws.
+  void load_db(const std::string& name, std::vector<Sequence> sequences,
+               db::DbConfig db_cfg = {});
+  bool has_db(const std::string& name) const;
+
   struct Admission {
     TicketPtr ticket;          ///< always non-null; resolved on reject too
     std::string reject;        ///< non-empty when admission refused
@@ -89,6 +100,12 @@ class AlignService {
     bool warm = false;  ///< pages cached on the nodes by an earlier query
   };
 
+  struct Database {
+    db::SubjectDb db;
+    db::DbShards shards;
+    bool warm = false;  ///< shards cached on their owners by an earlier scan
+  };
+
   static ServiceConfig normalize(ServiceConfig cfg);
   dsm::DsmConfig cluster_config() const;
   static bool batchable(const QuerySpec& spec);
@@ -103,6 +120,7 @@ class AlignService {
   mutable std::mutex mu_;  ///< subjects_, stats_, pending_
   std::condition_variable idle_cv_;
   std::map<std::string, Subject> subjects_;
+  std::map<std::string, Database> databases_;
   ServiceStats stats_;
   std::uint64_t next_id_ = 0;
   std::uint64_t pending_ = 0;  ///< admitted, not yet resolved

@@ -106,6 +106,19 @@ obs::Json ServiceStats::to_json() const {
   gaps.set("affine_queries", affine_queries);
   j.set("gap_models", std::move(gaps));
 
+  obs::Json db = obs::Json::object();
+  db.set("queries", db_queries);
+  db.set("fragments_scanned", db_fragments_scanned);
+  db.set("fragments_rejected", db_fragments_rejected);
+  db.set("fragments_aligned", db_fragments_aligned);
+  db.set("filtration_rate",
+         db_fragments_scanned
+             ? static_cast<double>(db_fragments_rejected) /
+                   static_cast<double>(db_fragments_scanned)
+             : 0.0);
+  db.set("hits", db_hits);
+  j.set("db", std::move(db));
+
   j.set("latency_total", total_latency.to_json());
   j.set("latency_run", run_latency.to_json());
   return j;

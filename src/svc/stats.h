@@ -64,6 +64,12 @@ struct ServiceStats {
   // -- gap models (v6) ---------------------------------------------------
   std::uint64_t linear_queries = 0;  ///< completed with gap_open == 0
   std::uint64_t affine_queries = 0;  ///< completed with affine (Gotoh) gaps
+  // -- database serving (v7) ---------------------------------------------
+  std::uint64_t db_queries = 0;             ///< completed db scans
+  std::uint64_t db_fragments_scanned = 0;   ///< fragments considered
+  std::uint64_t db_fragments_rejected = 0;  ///< pruned by the q-gram bound
+  std::uint64_t db_fragments_aligned = 0;   ///< survivors that reached DP
+  std::uint64_t db_hits = 0;                ///< hits across all db scans
 
   LatencyHistogram total_latency;  ///< admission -> completion
   LatencyHistogram run_latency;    ///< dispatch -> completion

@@ -230,6 +230,50 @@ TEST(ValidateReportTest, RejectsV6ReportMissingGapModelFields) {
   }
 }
 
+// Regression for the v7 database-serving requirement: a freshly emitted
+// report auto-carries sections.db, and a v7 document that lost it (or its
+// shard_balance arrays) must be rejected naming the missing field.
+TEST(ValidateReportTest, RejectsV7ReportMissingDbSection) {
+  RunReport report("validate_unit_v7", "v7 db-section regression");
+  Json row = Json::object();
+  row.set("x", 1);
+  report.add_row("points", std::move(row));
+  const Json good = report.to_json();
+  ASSERT_GE(good.at("schema_version").as_int(), 7);
+  ASSERT_EQ(validate_run_report(good), "");
+
+  const Json& sections = good.at("sections");
+  const Json& db = sections.at("db");
+  for (const char* key : {"queries", "fragments_scanned", "fragments_rejected",
+                          "fragments_aligned", "filtration_rate", "hits",
+                          "shard_balance"}) {
+    EXPECT_TRUE(db.has(key)) << key;
+  }
+
+  {
+    Json doc = good;
+    doc.set("sections", without_member(sections, "db"));
+    const std::string why = validate_run_report(doc);
+    EXPECT_NE(why.find("sections.db"), std::string::npos) << why;
+  }
+  {
+    Json doc = good;
+    Json s = without_member(sections, "db");
+    s.set("db", without_member(db, "filtration_rate"));
+    doc.set("sections", std::move(s));
+    const std::string why = validate_run_report(doc);
+    EXPECT_NE(why.find("filtration_rate"), std::string::npos) << why;
+  }
+  {
+    Json doc = good;
+    Json s = without_member(sections, "db");
+    s.set("db", without_member(db, "shard_balance"));
+    doc.set("sections", std::move(s));
+    const std::string why = validate_run_report(doc);
+    EXPECT_NE(why.find("shard_balance"), std::string::npos) << why;
+  }
+}
+
 TEST(SnapshotsTest, DsmStatsFromRealClusterRun) {
   dsm::Cluster cluster(2);
   const dsm::GlobalAddr arr = cluster.alloc(16 * 1024, 0);

@@ -38,11 +38,11 @@ core::StrategyResult faulted_blocked_run() {
   return core::blocked_align(pair.s, pair.t, cfg);
 }
 
-TEST(ReportIoTest, SchemaVersionIsBumpedToSix) {
-  // v6 added the affine gap-model fields (kernel.nw_affine, gap_models,
-  // service query split); docs/METRICS.md pins the layout to schema
-  // version 6, with v3-v5 files still accepted by the tools.
-  EXPECT_EQ(obs::kSchemaVersion, 6);
+TEST(ReportIoTest, SchemaVersionIsBumpedToSeven) {
+  // v7 added the database-serving section (db: filtration totals plus
+  // shard_balance); docs/METRICS.md pins the layout to schema version 7,
+  // with v3-v6 files still accepted by the tools.
+  EXPECT_EQ(obs::kSchemaVersion, 7);
   EXPECT_EQ(obs::kSchemaVersionMin, 3);
 }
 

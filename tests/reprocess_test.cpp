@@ -6,6 +6,7 @@
 
 #include "core/preprocess.h"
 #include "core/reprocess.h"
+#include "sw/affine.h"
 #include "sw/full_matrix.h"
 #include "util/genome.h"
 #include "util/rng.h"
@@ -22,7 +23,8 @@ struct Checkpoints {
 // Runs the pre-process strategy with both checkpoint stores enabled.
 void run_with_checkpoints(const Sequence& s, const Sequence& t,
                           std::size_t band_rows, std::size_t save_ip,
-                          Checkpoints& out, int procs = 4) {
+                          Checkpoints& out, int procs = 4,
+                          const ScoreScheme& scheme = {}) {
   PreProcessConfig cfg;
   cfg.nprocs = procs;
   cfg.threshold = 25;
@@ -30,9 +32,34 @@ void run_with_checkpoints(const Sequence& s, const Sequence& t,
   cfg.result_interleave = band_rows;
   cfg.save_interleave = save_ip;
   cfg.io_mode = IoMode::kImmediate;
+  cfg.scheme = scheme;
   cfg.store = &out.columns;
   cfg.row_store = &out.rows;
   out.run = preprocess_align(s, t, cfg);
+}
+
+// Dense serial Gotoh H fill, (m+1) x (n+1), written straight from the
+// recurrence — the affine analogue of sw_fill for cell-exact comparison.
+std::vector<std::vector<int>> gotoh_h_matrix(const Sequence& s,
+                                             const Sequence& t,
+                                             const ScoreScheme& sc) {
+  constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+  const std::size_t m = s.size();
+  const std::size_t n = t.size();
+  std::vector<std::vector<int>> h(m + 1, std::vector<int>(n + 1, 0));
+  std::vector<std::vector<int>> e(m + 1, std::vector<int>(n + 1, kNegInf));
+  std::vector<std::vector<int>> f(m + 1, std::vector<int>(n + 1, kNegInf));
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      e[i][j] = std::max(h[i - 1][j] + sc.gap_open + sc.gap,
+                         e[i - 1][j] + sc.gap);
+      f[i][j] = std::max(h[i][j - 1] + sc.gap_open + sc.gap,
+                         f[i][j - 1] + sc.gap);
+      const int diag = h[i - 1][j - 1] + sc.substitution(s[i - 1], t[j - 1]);
+      h[i][j] = std::max({0, diag, e[i][j], f[i][j]});
+    }
+  }
+  return h;
 }
 
 TEST(Reprocess, SubregionMatchesFullMatrixExactly) {
@@ -121,6 +148,94 @@ TEST(Reprocess, RecoversPlantedAlignmentFromHotRegion) {
   EXPECT_LT(best.s_begin, r.s_end);
   EXPECT_GT(best.s_end(), r.s_begin);
   EXPECT_GT(best.score, 100);
+}
+
+// Regression: affine schemes used to be rejected outright by the column
+// checkpoint path.  Saved columns now carry the Gotoh F state (and passage
+// rows the E state), so any anchored subregion recomputes bit-exactly.
+TEST(Reprocess, AffineSubregionMatchesGotohExactly) {
+  ScoreScheme scheme;
+  scheme.match = 2;
+  scheme.mismatch = -1;
+  scheme.gap = -1;
+  scheme.gap_open = -2;
+  Rng rng(947);
+  const Sequence s = random_dna(400, rng, "s");
+  const Sequence t = random_dna(400, rng, "t");
+  Checkpoints cp;
+  run_with_checkpoints(s, t, /*band_rows=*/100, /*save_ip=*/64, cp,
+                       /*procs=*/4, scheme);
+
+  const auto full = gotoh_h_matrix(s, t, scheme);
+  const Subregion region{150, 320, 200, 380};
+  const ReprocessResult res =
+      reprocess_region(s, t, cp.columns.snapshot(), cp.rows.snapshot(), region,
+                       /*min_score=*/20, scheme);
+  for (std::size_t i = res.computed.row_lo; i <= res.computed.row_hi; ++i) {
+    for (std::size_t j = res.computed.col_lo; j <= res.computed.col_hi; ++j) {
+      ASSERT_EQ(res.at(i, j), full[i][j]) << "cell " << i << "," << j;
+    }
+  }
+}
+
+TEST(Reprocess, AffineRegionTouchingOriginNeedsNoCheckpoints) {
+  ScoreScheme scheme;
+  scheme.gap = -1;
+  scheme.gap_open = -3;
+  Rng rng(948);
+  const Sequence s = random_dna(120, rng, "s");
+  const Sequence t = random_dna(120, rng, "t");
+  const auto full = gotoh_h_matrix(s, t, scheme);
+  const ReprocessResult res =
+      reprocess_region(s, t, {}, {}, Subregion{1, 120, 1, 120}, 10, scheme);
+  for (std::size_t i = 1; i <= 120; ++i) {
+    for (std::size_t j = 1; j <= 120; ++j) {
+      ASSERT_EQ(res.at(i, j), full[i][j]) << "cell " << i << "," << j;
+    }
+  }
+}
+
+TEST(Reprocess, AffineRecoversPlantedAlignment) {
+  // The scheme must sit in SW's local (logarithmic) phase — with cheap gaps
+  // the optimal path drifts through the random flanks instead of staying on
+  // the planted homology.
+  ScoreScheme scheme;
+  scheme.match = 1;
+  scheme.mismatch = -2;
+  scheme.gap = -2;
+  scheme.gap_open = -2;
+  HomologousPairSpec spec;
+  spec.length_s = 700;
+  spec.length_t = 700;
+  spec.n_regions = 1;
+  spec.region_len_mean = 140;
+  spec.region_len_spread = 10;
+  spec.seed = 949;
+  const HomologousPair pair = make_homologous_pair(spec);
+  Checkpoints cp;
+  run_with_checkpoints(pair.s, pair.t, /*band_rows=*/128, /*save_ip=*/96, cp,
+                       /*procs=*/4, scheme);
+
+  const PlantedRegion& r = pair.regions[0];
+  const std::size_t pad = 256;
+  Subregion region;
+  region.row_lo = r.s_begin > pad ? r.s_begin - pad + 1 : 1;
+  region.row_hi = std::min(pair.s.size(), r.s_end + pad);
+  region.col_lo = r.t_begin > pad ? r.t_begin - pad + 1 : 1;
+  region.col_hi = std::min(pair.t.size(), r.t_end + pad);
+
+  const ReprocessResult res =
+      reprocess_region(pair.s, pair.t, cp.columns.snapshot(),
+                       cp.rows.snapshot(), region, 50, scheme);
+  ASSERT_FALSE(res.alignments.empty());
+  const Alignment& best = res.alignments[0];
+  // The three-state traceback must emit a path whose affine score equals the
+  // reported cell score, and the path must overlap the planted homology.
+  EXPECT_EQ(affine_alignment_score(best, pair.s, pair.t, to_affine(scheme)),
+            best.score);
+  EXPECT_LT(best.s_begin, r.s_end);
+  EXPECT_GT(best.s_end(), r.s_begin);
+  EXPECT_GT(best.score, 80);
 }
 
 TEST(Reprocess, MissingCoverageThrows) {

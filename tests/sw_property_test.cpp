@@ -2,6 +2,7 @@
 // kernels must satisfy for any sequences and (sane) scoring schemes.
 #include <gtest/gtest.h>
 
+#include "db/subject_db.h"
 #include "sw/affine.h"
 #include "sw/full_matrix.h"
 #include "sw/hirschberg.h"
@@ -240,6 +241,91 @@ TEST(SwPlanted, OracleCaseIsDeterministicAndSelfConsistent) {
   EXPECT_TRUE(v.ok) << v.summary();
   EXPECT_GT(v.serial_best, 0);
   EXPECT_GT(v.serial_candidates, 0u);
+}
+
+// ----------------------------------------------- q-gram filtration bound --
+// The database filter (src/db/subject_db.h) may discard a fragment only
+// when its bound provably dominates the true alignment score.  These sweeps
+// assert admissibility — bound >= Smith-Waterman (and Gotoh) score — on
+// random pairs and on the adversarial shapes that stress the seeded-run DP:
+// high-identity pairs (long match runs, every window seeded) and tandem
+// repeats (the same q-grams recur everywhere, so seeding is dense while
+// the true alignment still pays for the mutations).
+
+ScoreScheme affine_scheme() {
+  ScoreScheme sc;
+  sc.gap_open = -3;
+  sc.gap = -1;
+  return sc;
+}
+
+void expect_admissible(const Sequence& a, const Sequence& b,
+                       const ScoreScheme& sc, std::size_t q,
+                       const char* what) {
+  const int truth = sw_best_score_linear(a, b, sc).score;
+  const int bound = db::qgram_score_bound(a, b, sc, q);
+  EXPECT_GE(bound, truth) << what << ": q=" << q
+                          << " gap=" << gap_model_name(sc.gap_model())
+                          << " a=" << a.size() << " b=" << b.size();
+}
+
+TEST(QGramBound, NeverBelowTrueScoreOnRandomPairs) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    const std::size_t la = 40 + rng.below(200);
+    const std::size_t lb = 40 + rng.below(200);
+    const Sequence a = random_dna(la, rng, "a");
+    const Sequence b = random_dna(lb, rng, "b");
+    for (const std::size_t q : {3u, 5u, 8u}) {
+      expect_admissible(a, b, ScoreScheme{}, q, "random/linear");
+      expect_admissible(a, b, affine_scheme(), q, "random/affine");
+    }
+  }
+}
+
+TEST(QGramBound, NeverBelowTrueScoreOnHighIdentityPairs) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed * 131);
+    const Sequence a = random_dna(120 + rng.below(120), rng, "a");
+    // 0.5%..10% divergence: long exact match runs, the regime where the
+    // seeded-run DP must extend runs past q-1 and stay above the truth.
+    const double sub = 0.005 + 0.001 * static_cast<double>(rng.below(95));
+    const Sequence b = mutate(a, sub, sub / 4, rng);
+    for (const std::size_t q : {3u, 5u, 8u}) {
+      expect_admissible(a, b, ScoreScheme{}, q, "identity/linear");
+      expect_admissible(a, b, affine_scheme(), q, "identity/affine");
+    }
+  }
+}
+
+TEST(QGramBound, NeverBelowTrueScoreOnTandemRepeats) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng rng(seed * 733);
+    // A short unit tiled many times: every q-gram of the repeat occurs in
+    // both sequences, so seeding is maximal while mutations keep the true
+    // score below perfect.
+    const std::size_t unit_len = 3 + rng.below(9);
+    const Sequence unit = random_dna(unit_len, rng, "unit");
+    std::basic_string<Base> tiled;
+    while (tiled.size() < 180) {
+      tiled.append(unit.bases().begin(), unit.bases().end());
+    }
+    const Sequence a("rep_a", std::basic_string<Base>(tiled));
+    const Sequence b = mutate(a, 0.08, 0.02, rng);
+    for (const std::size_t q : {3u, 5u, 8u}) {
+      expect_admissible(a, b, ScoreScheme{}, q, "tandem/linear");
+      expect_admissible(a, b, affine_scheme(), q, "tandem/affine");
+    }
+  }
+}
+
+TEST(QGramBound, ExactOnIdenticalSequences) {
+  Rng rng(77);
+  const Sequence a = random_dna(150, rng, "a");
+  // Self-comparison: every window is seeded, so the DP reaches the perfect
+  // all-match score and the bound is tight (it cannot exceed m * match).
+  EXPECT_EQ(db::qgram_score_bound(a, a, ScoreScheme{}, 5), 150);
+  EXPECT_EQ(db::qgram_score_bound(a, a, affine_scheme(), 5), 150);
 }
 
 }  // namespace

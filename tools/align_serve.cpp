@@ -10,6 +10,7 @@
 //
 //   align_serve --subjects=2 --queries=12 --subject-len=4000 \
 //               --query-len=400 --verify --report=serve.json
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "obs/report.h"
 #include "svc/service.h"
 #include "util/args.h"
+#include "util/fasta.h"
 #include "util/genome.h"
 #include "util/rng.h"
 
@@ -31,10 +33,17 @@ constexpr const char* kUsage =
     "                   [--queue-cap=C] [--max-batch=B] [--strategy=NAME]\n"
     "                   [--gap=MODEL] [--gap-open=O] [--gap-extend=E]\n"
     "                   [--deadline-s=D] [--verify] [--report=PATH] [--quiet]\n"
+    "                   [--db=FASTA | --db-gen=K] [--min-score=N]\n"
     "  --strategy  auto | wavefront | blocked | blocked_mp | exact\n"
     "  --gap       linear (default) | affine | mixed (alternate per query);\n"
     "              affine charges gap-open O (default -3) once per gap run\n"
-    "              plus gap-extend E (default -1) per space\n";
+    "              plus gap-extend E (default -1) per space\n"
+    "  --db        serve a multi-sequence subject DATABASE from a FASTA file\n"
+    "              instead of resident subjects: queries run the filtered\n"
+    "              sharded scan and report per-fragment hits >= --min-score\n"
+    "              (default 40).  --db-gen=K generates a seeded K-sequence\n"
+    "              database of --subject-len bases each instead of reading\n"
+    "              a file.\n";
 
 bool parse_strategy(const std::string& name, StrategyKind& out) {
   for (int k = 0; k < gdsm::svc::kNumStrategies; ++k) {
@@ -66,11 +75,12 @@ int main(int argc, char** argv) {
                         {"subjects", "queries", "subject-len", "query-len",
                          "seed", "procs", "workers", "queue-cap", "max-batch",
                          "strategy", "gap", "gap-open", "gap-extend",
-                         "deadline-s", "report"});
+                         "deadline-s", "db", "db-gen", "min-score", "report"});
   const auto unknown = args.unknown_keys(
       {"subjects", "queries", "subject-len", "query-len", "seed", "procs",
        "workers", "queue-cap", "max-batch", "strategy", "gap", "gap-open",
-       "gap-extend", "deadline-s", "verify", "report", "quiet", "help"});
+       "gap-extend", "deadline-s", "db", "db-gen", "min-score", "verify",
+       "report", "quiet", "help"});
   if (!unknown.empty() || args.get_bool("help")) {
     std::cerr << kUsage;
     return unknown.empty() ? 0 : 2;
@@ -114,13 +124,39 @@ int main(int argc, char** argv) {
   cfg.verify = args.get_bool("verify");
   gdsm::svc::AlignService service(cfg);
 
+  const bool db_mode = args.has("db") || args.has("db-gen");
+  const int min_score = static_cast<int>(args.get_int("min-score", 40));
+
   gdsm::Rng rng(seed);
-  std::vector<gdsm::Sequence> subjects;
-  for (std::size_t k = 0; k < n_subjects; ++k) {
-    gdsm::Sequence subject =
-        gdsm::random_dna(subject_len, rng, "subject" + std::to_string(k));
-    service.load_subject(subject);
-    subjects.push_back(std::move(subject));
+  std::vector<gdsm::Sequence> subjects;  // db mode: the database sequences
+  if (db_mode) {
+    if (args.has("db")) {
+      try {
+        subjects = gdsm::read_fasta_file(args.get("db"));
+      } catch (const std::exception& e) {
+        std::cerr << "align_serve: cannot read --db FASTA: " << e.what()
+                  << "\n";
+        return 2;
+      }
+    } else {
+      const auto n = static_cast<std::size_t>(args.get_int("db-gen", 4));
+      for (std::size_t k = 0; k < n; ++k) {
+        subjects.push_back(
+            gdsm::random_dna(subject_len, rng, "db" + std::to_string(k)));
+      }
+    }
+    if (subjects.empty()) {
+      std::cerr << "align_serve: the database has no sequences\n";
+      return 2;
+    }
+    service.load_db("db", subjects);
+  } else {
+    for (std::size_t k = 0; k < n_subjects; ++k) {
+      gdsm::Sequence subject =
+          gdsm::random_dna(subject_len, rng, "subject" + std::to_string(k));
+      service.load_subject(subject);
+      subjects.push_back(std::move(subject));
+    }
   }
 
   std::vector<gdsm::svc::AlignService::Admission> admissions;
@@ -128,9 +164,20 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < n_queries; ++i) {
     const gdsm::Sequence& subject = subjects[i % subjects.size()];
     gdsm::svc::QuerySpec spec;
-    spec.subject = subject.name();
-    spec.query = make_probe(subject, query_len, rng, i);
-    spec.strategy = strategy;
+    if (db_mode) {
+      spec.database = "db";
+      spec.min_score = min_score;
+      // Alternate homologous probes (mutated database windows, which must
+      // hit) with pure random probes (which mostly filter away).
+      spec.query = i % 2 == 0
+                       ? make_probe(subject, query_len, rng, i)
+                       : gdsm::random_dna(query_len, rng,
+                                          "probe" + std::to_string(i));
+    } else {
+      spec.subject = subject.name();
+      spec.query = make_probe(subject, query_len, rng, i);
+      spec.strategy = strategy;
+    }
     // Mixed traffic alternates gap models so one service instance exercises
     // both dispatch paths (and, with --verify, both serial references).
     if (gap_mode == "affine" || (gap_mode == "mixed" && i % 2 == 1)) {
@@ -162,12 +209,32 @@ int main(int argc, char** argv) {
       row.set("total_s", out.result.total_s);
       row.set("cache_hits", out.result.cache_hits);
       row.set("read_faults", out.result.read_faults);
+      if (out.result.strategy == StrategyKind::kDbScan) {
+        row.set("hits", out.result.db_hits.size());
+        row.set("top_score",
+                out.result.db_hits.empty() ? 0 : out.result.db_hits[0].score);
+        row.set("fragments_scanned", out.result.db_fragments_scanned);
+        row.set("fragments_rejected", out.result.db_fragments_rejected);
+        row.set("fragments_aligned", out.result.db_fragments_aligned);
+      }
     } else {
       row.set("error", out.error);
     }
     rows.push_back(std::move(row));
     if (quiet) continue;
-    if (out.ok) {
+    if (!out.ok) {
+      std::cout << "query failed: " << out.error << "\n";
+    } else if (out.result.strategy == StrategyKind::kDbScan) {
+      std::cout << "query " << out.result.id << ": db_scan, "
+                << (out.result.warm ? "warm" : "cold") << ", "
+                << out.result.db_hits.size() << " hit(s)"
+                << (out.result.db_hits.empty()
+                        ? ""
+                        : " top " + std::to_string(out.result.db_hits[0].score))
+                << ", " << out.result.db_fragments_rejected << "/"
+                << out.result.db_fragments_scanned << " filtered, total "
+                << out.result.total_s * 1e3 << " ms\n";
+    } else {
       std::cout << "query " << out.result.id << ": "
                 << gdsm::svc::strategy_name(out.result.strategy) << ", "
                 << (out.result.warm ? "warm" : "cold") << ", "
@@ -177,8 +244,6 @@ int main(int argc, char** argv) {
                         : "")
                 << ", batch " << out.result.batch_size << ", total "
                 << out.result.total_s * 1e3 << " ms\n";
-    } else {
-      std::cout << "query failed: " << out.error << "\n";
     }
   }
 
@@ -210,6 +275,11 @@ int main(int argc, char** argv) {
       report.set_param("gap_extend", affine_scheme.gap);
     }
     report.set_param("verify", cfg.verify);
+    if (db_mode) {
+      report.set_param("db", args.has("db") ? args.get("db") : "generated");
+      report.set_param("db_sequences", subjects.size());
+      report.set_param("min_score", min_score);
+    }
     report.set_param("host_clock", true);  // latencies are wall time
     report.metrics().set("completed", stats.completed);
     report.metrics().set("failed", stats.failed);

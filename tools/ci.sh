@@ -24,7 +24,12 @@
 #   9. service_smoke           -- 5 s oracle-verified loadgen burst against
 #                                 the alignment service, mixed gap models
 #                                 (docs/SERVICE.md)
-#  10. (--tsan) TSan build + the dsm/fault/oracle/service suites raced
+#  10. db_smoke                -- database serving gate: oracle-verified
+#                                 --db loadgen burst + db fuzz sweep in the
+#                                 Release tree, then the db suite and a db
+#                                 fuzz replay rebuilt and re-run under
+#                                 Address/UBSanitizer (docs/SERVICE.md)
+#  11. (--tsan) TSan build + the dsm/fault/oracle/service/db suites raced
 #      under ThreadSanitizer (admission must stay deadlock-free; the preset
 #      builds the same SSE4.1/AVX2 kernel objects as the Release build)
 set -euo pipefail
@@ -119,15 +124,29 @@ build/tools/loadgen --rate=120 --duration-s=5 --subjects=2 \
   --subject-len=2000 --query-len=250 --queue-cap=512 --min-in-flight=4 \
   --gap=mixed --quiet
 
+echo "==> db_smoke (oracle-verified database serving + ASan re-run)"
+# Release-tree gate: an open-loop database burst judged against the serial
+# all-pairs oracle, then a short differential fuzz over the fault matrix.
+build/tools/loadgen --db-gen=3 --subject-len=1200 --query-len=150 \
+  --rate=150 --duration-s=2 --queue-cap=512 --min-score=40 --quiet
+build/tools/fuzz_align --db --budget-s=10 --quiet
+# The same surfaces under Address/UBSanitizer: the db suite (SubjectDb,
+# oracle, service path) plus one seeded db fuzz replay.
+cmake -B build-asan -S . -DGDSM_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "$JOBS" --target db_test fuzz_align
+build-asan/tests/db_test --gtest_brief=1
+build-asan/tools/fuzz_align --db --seed=1 --faults=none --quiet
+
 if [ "$RUN_TSAN" -eq 1 ]; then
   echo "==> TSan build + concurrency suites"
   cmake -B build-tsan -S . -DGDSM_TSAN=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "$JOBS" --target \
     dsm_stress_test fault_injection_test differential_oracle_test mp_test \
-    dsm_test cluster_submit_test svc_test loadgen
+    dsm_test cluster_submit_test svc_test db_test loadgen
   for t in dsm_stress_test fault_injection_test differential_oracle_test \
-           mp_test dsm_test cluster_submit_test svc_test; do
+           mp_test dsm_test cluster_submit_test svc_test db_test; do
     echo "---- $t (tsan)"
     TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
   done
@@ -136,6 +155,11 @@ if [ "$RUN_TSAN" -eq 1 ]; then
   TSAN_OPTIONS="halt_on_error=1" build-tsan/tools/loadgen --rate=200 \
     --duration-s=2 --subjects=2 --subject-len=1500 --query-len=200 \
     --queue-cap=256 --quiet
+  # And the same discipline for database traffic (sharded scan + filter).
+  echo "---- loadgen --db (tsan)"
+  TSAN_OPTIONS="halt_on_error=1" build-tsan/tools/loadgen --db-gen=2 \
+    --subject-len=1000 --query-len=150 --rate=150 --duration-s=2 \
+    --queue-cap=256 --min-score=40 --quiet
 fi
 
 echo "==> CI OK"

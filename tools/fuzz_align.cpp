@@ -21,6 +21,7 @@
 #include "obs/report.h"
 #include "obs/snapshots.h"
 #include "svc/service.h"
+#include "testing/db_oracle.h"
 #include "testing/oracle.h"
 #include "util/args.h"
 
@@ -39,7 +40,11 @@ constexpr const char* kUsage =
     "\"none\"\n"
     "  --service          run each case through the alignment service\n"
     "                     (admission + scheduler + persistent cluster)\n"
-    "                     instead of calling the strategies directly\n";
+    "                     instead of calling the strategies directly\n"
+    "  --db               fuzz the database scan instead: db_query vs the\n"
+    "                     serial all-pairs oracle (--db-seqs, --queries,\n"
+    "                     --query-len, --min-score size the cases; --len is\n"
+    "                     the per-sequence length)\n";
 
 gdsm::testing::OracleCase base_case(const gdsm::Args& args) {
   gdsm::testing::OracleCase c;
@@ -179,6 +184,45 @@ gdsm::testing::OracleVerdict run_service_case(
   return v;
 }
 
+gdsm::testing::DbOracleCase base_db_case(const gdsm::Args& args) {
+  gdsm::testing::DbOracleCase c;
+  c.n_sequences = static_cast<std::size_t>(args.get_int("db-seqs", 4));
+  c.seq_len = static_cast<std::size_t>(args.get_int("len", 600));
+  c.n_queries = static_cast<std::size_t>(args.get_int("queries", 5));
+  c.query_len = static_cast<std::size_t>(args.get_int("query-len", 120));
+  c.min_score = static_cast<int>(args.get_int("min-score", 30));
+  c.nprocs = static_cast<int>(args.get_int("procs", 4));
+  c.retry.timeout_us = 2000;
+  return c;
+}
+
+Json db_case_row(const gdsm::testing::DbOracleCase& c,
+                 const gdsm::testing::DbOracleVerdict& v) {
+  Json row = Json::object();
+  row.set("seed", c.seed);
+  row.set("faults", c.faults.to_string());
+  row.set("ok", v.ok);
+  row.set("queries", v.queries);
+  row.set("mismatched_queries", v.mismatched_queries);
+  row.set("hits", v.total_hits);
+  row.set("fragments_scanned", v.fragments_scanned);
+  row.set("fragments_rejected", v.fragments_rejected);
+  return row;
+}
+
+void report_db_divergence(const gdsm::testing::DbOracleCase& failing,
+                          const gdsm::testing::DbOracleVerdict& verdict) {
+  const gdsm::testing::DbOracleCase small = gdsm::testing::minimize_db(failing);
+  std::cout << "DIVERGENCE (" << failing.to_string() << ")\n"
+            << verdict.summary() << "\nminimized repro:\n"
+            << "  fuzz_align --db --seed=" << small.seed << " --db-seqs="
+            << small.n_sequences << " --len=" << small.seq_len << " --queries="
+            << small.n_queries << " --query-len=" << small.query_len
+            << " --min-score=" << small.min_score << " --procs="
+            << small.nprocs << " --faults=\"" << small.faults.to_string()
+            << "\"\n";
+}
+
 void report_divergence(const gdsm::testing::OracleCase& failing,
                        const gdsm::testing::OracleVerdict& verdict,
                        unsigned mask, bool service) {
@@ -208,10 +252,13 @@ void report_divergence(const gdsm::testing::OracleCase& failing,
 int main(int argc, char** argv) {
   const gdsm::Args args(argc, argv,
                         {"seed", "faults", "budget-s", "len", "procs",
-                         "regions", "strategies", "report"});
+                         "regions", "strategies", "db-seqs", "queries",
+                         "query-len", "min-score", "report"});
   const auto unknown = args.unknown_keys({"seed", "faults", "budget-s", "len",
                                           "procs", "regions", "strategies",
-                                          "service", "report", "quiet"});
+                                          "service", "db", "db-seqs",
+                                          "queries", "query-len", "min-score",
+                                          "report", "quiet"});
   if (!unknown.empty()) {
     std::cerr << "fuzz_align: unknown option --" << unknown.front() << "\n"
               << kUsage;
@@ -219,6 +266,11 @@ int main(int argc, char** argv) {
   }
   const bool quiet = args.get_bool("quiet", false);
   const bool service = args.get_bool("service", false);
+  const bool db_mode = args.get_bool("db", false);
+  if (service && db_mode) {
+    std::cerr << "fuzz_align: --service and --db are mutually exclusive\n";
+    return 2;
+  }
   const auto mask =
       static_cast<unsigned>(args.get_int("strategies",
                                          gdsm::testing::kAllStrategies));
@@ -226,6 +278,7 @@ int main(int argc, char** argv) {
   gdsm::obs::RunReport report("fuzz_align",
                               "Cross-strategy differential fuzzing");
   report.set_param("service", service);
+  report.set_param("db", db_mode);
   report.set_param("len", args.get_int("len", 600));
   report.set_param("procs", args.get_int("procs", 4));
   report.set_param("regions", args.get_int("regions", 4));
@@ -236,6 +289,21 @@ int main(int argc, char** argv) {
 
   int divergences = 0;
   std::size_t cases = 0;
+
+  const auto run_db_case = [&](gdsm::testing::DbOracleCase c) {
+    const gdsm::testing::DbOracleVerdict v = run_db_differential(c);
+    ++cases;
+    report.add_row("cases", db_case_row(c, v));
+    if (v.ok) {
+      if (!quiet) {
+        std::cout << "ok: " << c.to_string() << " (" << v.summary() << ")\n";
+      }
+    } else {
+      ++divergences;
+      report_db_divergence(c, v);
+    }
+    return v.ok;
+  };
 
   const auto run_case = [&](gdsm::testing::OracleCase c) {
     const gdsm::testing::OracleVerdict v =
@@ -258,15 +326,50 @@ int main(int argc, char** argv) {
 
   if (args.has("seed")) {
     // Replay mode: one exact (seed, plan) case.
-    gdsm::testing::OracleCase c = base_case(args);
-    c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    gdsm::net::FaultPlan plan;
     try {
-      c.faults = gdsm::net::FaultPlan::parse(args.get("faults", "none"));
+      plan = gdsm::net::FaultPlan::parse(args.get("faults", "none"));
     } catch (const std::exception& e) {
       std::cerr << "fuzz_align: bad --faults spec: " << e.what() << "\n";
       return 2;
     }
-    run_case(c);
+    if (db_mode) {
+      gdsm::testing::DbOracleCase c = base_db_case(args);
+      c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+      c.faults = plan;
+      run_db_case(c);
+    } else {
+      gdsm::testing::OracleCase c = base_case(args);
+      c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+      c.faults = plan;
+      run_case(c);
+    }
+  } else if (db_mode) {
+    // Database fuzz mode: sweep seeds over the standard plan matrix, same
+    // discipline as the strategy fuzz below.
+    const double budget_s = args.get_double("budget-s", 10.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto elapsed_s = [&] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
+    };
+    report.set_param("budget_s", budget_s);
+    std::uint64_t seed = 1;
+    while (elapsed_s() < budget_s) {
+      gdsm::testing::DbOracleCase c = base_db_case(args);
+      c.seed = seed;
+      c.faults = gdsm::net::FaultPlan{};  // baseline: no faults
+      if (!run_db_case(c) && elapsed_s() >= budget_s) break;
+      for (gdsm::net::FaultPlan& plan :
+           gdsm::testing::standard_fault_plans(seed * 1000)) {
+        if (elapsed_s() >= budget_s) break;
+        c.faults = plan;
+        run_db_case(c);
+      }
+      ++seed;
+    }
+    report.set_param("seeds_swept", seed - 1);
   } else {
     // Fuzz mode: sweep seeds over the standard plan matrix until the budget
     // runs out.  Plans are re-derived per seed so their decision chains

@@ -21,12 +21,15 @@
 #include <thread>
 #include <vector>
 
+#include "db/db_align.h"
+#include "db/subject_db.h"
 #include "obs/report.h"
 #include "svc/service.h"
 #include "sw/affine.h"
 #include "sw/heuristic_scan.h"
 #include "sw/linear_score.h"
 #include "util/args.h"
+#include "util/fasta.h"
 #include "util/genome.h"
 #include "util/rng.h"
 
@@ -41,13 +44,19 @@ constexpr const char* kUsage =
     "               [--workers=W] [--queue-cap=C] [--max-batch=B]\n"
     "               [--deadline-s=D] [--exact-every=N] [--no-verify]\n"
     "               [--gap=MODEL] [--gap-open=O] [--gap-extend=E]\n"
-    "               [--min-in-flight=N] [--report=PATH] [--quiet]\n"
+    "               [--min-in-flight=N] [--db=FASTA | --db-gen=K]\n"
+    "               [--min-score=N] [--report=PATH] [--quiet]\n"
     "  open-loop: arrivals follow the seeded schedule even when the service\n"
     "  falls behind; backpressure rejects are counted, not retried.\n"
     "  --exact-every=N    every Nth query runs the exact strategy (0 = never)\n"
     "  --gap=MODEL        linear (default) | affine | mixed: gap model of the\n"
     "                     offered queries (mixed alternates per arrival)\n"
-    "  --min-in-flight=N  fail unless N queries were ever in flight at once\n";
+    "  --min-in-flight=N  fail unless N queries were ever in flight at once\n"
+    "  --db / --db-gen    offer database-scan traffic instead of subject\n"
+    "                     queries: a FASTA database (or K generated\n"
+    "                     sequences of --subject-len bases) served through\n"
+    "                     the filtered sharded scan; each completed query is\n"
+    "                     verified against the serial all-pairs oracle\n";
 
 struct Flight {
   std::size_t subject_idx = 0;
@@ -64,12 +73,13 @@ int main(int argc, char** argv) {
                         {"rate", "duration-s", "subjects", "subject-len",
                          "query-len", "seed", "procs", "workers", "queue-cap",
                          "max-batch", "deadline-s", "exact-every", "gap",
-                         "gap-open", "gap-extend", "min-in-flight", "report"});
+                         "gap-open", "gap-extend", "min-in-flight", "db",
+                         "db-gen", "min-score", "report"});
   const auto unknown = args.unknown_keys(
       {"rate", "duration-s", "subjects", "subject-len", "query-len", "seed",
        "procs", "workers", "queue-cap", "max-batch", "deadline-s",
-       "exact-every", "gap", "gap-open", "gap-extend", "min-in-flight",
-       "no-verify", "report", "quiet", "help"});
+       "exact-every", "gap", "gap-open", "gap-extend", "min-in-flight", "db",
+       "db-gen", "min-score", "no-verify", "report", "quiet", "help"});
   if (!unknown.empty() || args.get_bool("help")) {
     std::cerr << kUsage;
     return unknown.empty() ? 0 : 2;
@@ -113,13 +123,40 @@ int main(int argc, char** argv) {
   cfg.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 8));
   gdsm::svc::AlignService service(cfg);
 
+  const bool db_mode = args.has("db") || args.has("db-gen");
+  const int min_score = static_cast<int>(args.get_int("min-score", 40));
+
   gdsm::Rng rng(seed);
-  std::vector<gdsm::Sequence> subjects;
-  for (std::size_t k = 0; k < n_subjects; ++k) {
-    gdsm::Sequence subject =
-        gdsm::random_dna(subject_len, rng, "subject" + std::to_string(k));
-    service.load_subject(subject);
-    subjects.push_back(std::move(subject));
+  std::vector<gdsm::Sequence> subjects;  // db mode: the database sequences
+  gdsm::db::SubjectDb reference_db;      // db mode: the verify oracle's copy
+  if (db_mode) {
+    if (args.has("db")) {
+      try {
+        subjects = gdsm::read_fasta_file(args.get("db"));
+      } catch (const std::exception& e) {
+        std::cerr << "loadgen: cannot read --db FASTA: " << e.what() << "\n";
+        return 2;
+      }
+    } else {
+      const auto n = static_cast<std::size_t>(args.get_int("db-gen", 4));
+      for (std::size_t k = 0; k < n; ++k) {
+        subjects.push_back(
+            gdsm::random_dna(subject_len, rng, "db" + std::to_string(k)));
+      }
+    }
+    if (subjects.empty()) {
+      std::cerr << "loadgen: the database has no sequences\n";
+      return 2;
+    }
+    service.load_db("db", subjects);
+    if (verify) reference_db = gdsm::db::SubjectDb(subjects);
+  } else {
+    for (std::size_t k = 0; k < n_subjects; ++k) {
+      gdsm::Sequence subject =
+          gdsm::random_dna(subject_len, rng, "subject" + std::to_string(k));
+      service.load_subject(subject);
+      subjects.push_back(std::move(subject));
+    }
   }
 
   // Open loop: the whole arrival schedule is derived from the seed before
@@ -146,20 +183,32 @@ int main(int argc, char** argv) {
     f.subject_idx = rng() % subjects.size();
     const gdsm::Sequence& subject = subjects[f.subject_idx];
     const std::size_t len = std::min(query_len, subject.size());
-    const std::size_t begin =
-        len < subject.size() ? rng() % (subject.size() - len) : 0;
-    f.query = gdsm::mutate(subject.slice(begin, begin + len), 0.05, 0.01, rng);
-    f.query.set_name("probe" + std::to_string(offered));
-    if (exact_every != 0 && (offered + 1) % exact_every == 0) {
+    if (db_mode && offered % 2 == 1) {
+      // Half the offered database traffic is pure random probes, so the
+      // filtration front-end sees both regimes under load.
+      f.query = gdsm::random_dna(len, rng, "probe" + std::to_string(offered));
+    } else {
+      const std::size_t begin =
+          len < subject.size() ? rng() % (subject.size() - len) : 0;
+      f.query =
+          gdsm::mutate(subject.slice(begin, begin + len), 0.05, 0.01, rng);
+      f.query.set_name("probe" + std::to_string(offered));
+    }
+    if (!db_mode && exact_every != 0 && (offered + 1) % exact_every == 0) {
       f.strategy = StrategyKind::kExact;
     }
     if (gap_mode == "affine" || (gap_mode == "mixed" && offered % 2 == 1)) {
       f.scheme = affine_scheme;
     }
     gdsm::svc::QuerySpec spec;
-    spec.subject = subject.name();
+    if (db_mode) {
+      spec.database = "db";
+      spec.min_score = min_score;
+    } else {
+      spec.subject = subject.name();
+      spec.strategy = f.strategy;
+    }
     spec.query = f.query;
-    spec.strategy = f.strategy;
     spec.scheme = f.scheme;
     spec.deadline_s = args.get_double("deadline-s", 0.0);
     gdsm::svc::AlignService::Admission adm = service.submit(std::move(spec));
@@ -208,7 +257,17 @@ int main(int argc, char** argv) {
     ++completed;
     if (!verify) continue;
     const gdsm::Sequence& subject = subjects[f.subject_idx];
-    if (out.result.strategy == StrategyKind::kExact) {
+    if (db_mode) {
+      // The filtered sharded scan must reproduce the serial all-pairs hit
+      // set exactly (same oracle as tests/db_test.cpp).
+      if (out.result.db_hits !=
+          gdsm::db::brute_force_hits(reference_db, f.query, f.scheme,
+                                     min_score)) {
+        ++mismatches;
+        std::cout << "loadgen: ORACLE MISMATCH (db hits) on query "
+                  << out.result.id << "\n";
+      }
+    } else if (out.result.strategy == StrategyKind::kExact) {
       // Affine queries are judged by the serial scalar Gotoh scan, which
       // shares no code with the SIMD kernels the service dispatched.
       const gdsm::BestLocal ref =
@@ -267,6 +326,11 @@ int main(int argc, char** argv) {
       report.set_param("gap_extend", affine_scheme.gap);
     }
     report.set_param("verify", verify);
+    if (db_mode) {
+      report.set_param("db", args.has("db") ? args.get("db") : "generated");
+      report.set_param("db_sequences", subjects.size());
+      report.set_param("min_score", min_score);
+    }
     report.set_param("host_clock", true);  // wall-clock arrivals + latencies
     report.metrics().set("offered", offered);
     report.metrics().set("completed", completed);
