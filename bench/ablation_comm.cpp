@@ -8,7 +8,11 @@
 // kGetPages or kDiffBatch.  The acceptance bar for the batched plane is a
 // >= 2x round-trip reduction on the fig13 (blocked) workload.
 //
-// Default pair size is 4 kBP; pass --size= to change it.
+// Default pair size is 4 kBP; pass --size= to change it.  --backend=
+// (threads|process) picks the DSM execution backend: the process backend
+// runs the same modes across forked node processes (shm pages, SIGSEGV
+// fetch-on-fault, socket transport), so the ablation doubles as the
+// threads-vs-process comparison in the baseline (schema v8).
 #include <iostream>
 #include <vector>
 
@@ -16,6 +20,7 @@
 #include "core/blocked.h"
 #include "core/report_io.h"
 #include "core/wavefront.h"
+#include "dsm/backend.h"
 #include "dsm/cluster.h"
 #include "net/transport.h"
 #include "obs/snapshots.h"
@@ -59,15 +64,17 @@ dsm::CommConfig mode_config(const std::string& mode) {
 }
 
 /// One cold run of `strategy` ("wavefront" = fig9, "blocked" = fig13) on a
-/// fresh cluster whose nodes pull the DSM-resident subject, under `mode`.
+/// fresh cluster whose nodes pull the DSM-resident subject, under `mode`
+/// and `backend`.
 ModeRun run_workload(const std::string& strategy, const HomologousPair& pair,
-                     int procs, const char* mode) {
+                     int procs, const char* mode, dsm::Backend backend) {
   dsm::DsmConfig dcfg;
   // Small pages make the data-plane granularity visible at bench-friendly
   // sequence sizes (a 4 kBP subject is a single 4 KiB page, but 16+ pages
   // here); the ratio between modes, not 1998 wall time, is the measurement.
   dcfg.page_bytes = 256;
   dcfg.comm = mode_config(mode);
+  dcfg.backend = backend;
   dsm::Cluster cluster(procs, dcfg);
   const std::size_t bytes = pair.t.size() * sizeof(Base);
   const dsm::GlobalAddr subject = cluster.alloc_striped(bytes);
@@ -106,9 +113,19 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   const auto size = static_cast<std::size_t>(args.get_int("size", 4'000));
   const int procs = args.get_int("procs", 4);
-  bench::banner("Ablation — DSM data plane",
+  const std::string backend_arg = args.get("backend", "threads");
+  if (backend_arg != "threads" && backend_arg != "process") {
+    std::cerr << "ablation_comm: --backend=" << backend_arg
+              << " unknown (threads|process)\n";
+    return 2;
+  }
+  const dsm::Backend backend = backend_arg == "process"
+                                   ? dsm::Backend::kProcess
+                                   : dsm::Backend::kThreads;
+  bench::banner("Ablation — DSM data plane (" + backend_arg + " backend)",
                 "legacy vs batched vs batched+prefetch on the fig9/fig13 "
-                "workloads (real threaded runs, DSM-resident subject, " +
+                "workloads (real " +
+                    backend_arg + "-backend runs, DSM-resident subject, " +
                     std::to_string(size / 1000) + " kBP pair)");
 
   HomologousPairSpec spec;
@@ -120,11 +137,18 @@ int main(int argc, char** argv) {
   spec.seed = 1905;
   const HomologousPair pair = make_homologous_pair(spec);
 
-  obs::RunReport report("ablation_comm",
-                        "Ablation — DSM data-plane batching and read-ahead");
+  // A distinct experiment id per backend keeps both runs side by side in
+  // the merged baseline (merge_reports rejects duplicate ids).
+  const std::string experiment =
+      backend == dsm::Backend::kProcess ? "ablation_comm_process"
+                                        : "ablation_comm";
+  obs::RunReport report(experiment,
+                        "Ablation — DSM data-plane batching and read-ahead (" +
+                            backend_arg + " backend)");
   report.set_param("size", size);
   report.set_param("procs", procs);
   report.set_param("page_bytes", 256);
+  report.set_param("backend", backend_arg);
 
   const char* kModes[] = {"legacy", "batched", "batched+prefetch"};
   const struct {
@@ -140,7 +164,7 @@ int main(int argc, char** argv) {
                       "wall (s)", "results equal"});
     std::vector<ModeRun> runs;
     for (const char* mode : kModes) {
-      runs.push_back(run_workload(wl.strategy, pair, procs, mode));
+      runs.push_back(run_workload(wl.strategy, pair, procs, mode, backend));
     }
     const ModeRun& legacy = runs.front();
     for (const ModeRun& run : runs) {
@@ -184,6 +208,12 @@ int main(int argc, char** argv) {
          "kDiffBatch per home and one kGetPages per contiguous remote span,\n"
          "and read-ahead overlaps the remaining fetches with compute.  The\n"
          "candidate queues are identical in every mode.\n";
+  // The auto-attached dsm section names the process-wide *default* backend;
+  // this bench picks its backend per cluster config, so pin the section to
+  // what actually ran (the counters are process-wide totals either way).
+  obs::Json dsm_section = obs::dsm_backend_json();
+  dsm_section.set("backend", backend_arg);
+  report.set_section("dsm", std::move(dsm_section));
   const int emit_rc = bench::emit_report(report, args);
   return rc != 0 ? rc : emit_rc;
 }

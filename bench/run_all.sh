@@ -7,6 +7,12 @@
 # The human-readable tables go to <out-dir>/<bench>.log; the JSON reports to
 # <out-dir>/BENCH_<bench>.json.  See docs/METRICS.md for the schema and
 # EXPERIMENTS.md for what each bench reproduces.
+#
+# Backend axis: benches that understand --backend= (the DSM execution
+# backend, docs/DESIGN.md) are re-run once per entry in BENCH_BACKENDS
+# (default "process") beyond the default threads pass, so the baseline
+# carries the threads-vs-process comparison (schema v8).  Set
+# BENCH_BACKENDS= (empty) to skip the extra passes.
 set -euo pipefail
 
 build_dir=${1:-build}
@@ -36,6 +42,29 @@ for bin in "$build_dir"/bench/*; do
     "$build_dir/tools/validate_report" "$json" >/dev/null
   fi
   reports+=("$json")
+done
+
+# The DSM execution-backend axis: the loop above ran every bench on the
+# thread backend; re-run the backend-aware benches once per extra backend.
+backend_benches=(ablation_comm)
+for backend in ${BENCH_BACKENDS-process}; do
+  [ "$backend" = "threads" ] && continue  # the default pass above
+  for name in "${backend_benches[@]}"; do
+    bin="$build_dir/bench/$name"
+    [ -f "$bin" ] && [ -x "$bin" ] || continue
+    json="$out_dir/BENCH_${name}_${backend}.json"
+    echo "== $name --backend=$backend"
+    if ! "$bin" --backend="$backend" --json="$json" \
+        > "$out_dir/${name}_${backend}.log" 2>&1; then
+      echo "   FAILED (see $out_dir/${name}_${backend}.log)" >&2
+      failed=1
+      continue
+    fi
+    if [ -x "$build_dir/tools/validate_report" ]; then
+      "$build_dir/tools/validate_report" "$json" >/dev/null
+    fi
+    reports+=("$json")
+  done
 done
 
 if [ "$failed" -ne 0 ]; then

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "dsm/proc/supervisor.h"
 #include "dsm/wire.h"
 
 namespace gdsm::dsm {
@@ -14,7 +15,10 @@ Cluster::Cluster(int n_nodes, DsmConfig cfg)
     : n_nodes_(n_nodes),
       cfg_(cfg),
       space_(n_nodes, cfg),
-      transport_(n_nodes, cfg.faults) {
+      // The process backend runs its own injector inside the supervisor;
+      // don't spin up a second delivery thread in the unused transport.
+      transport_(n_nodes, cfg.backend == Backend::kThreads ? cfg.faults
+                                                          : net::FaultPlan{}) {
   if (n_nodes <= 0) throw std::invalid_argument("Cluster: need >= 1 node");
   reset_manager_state();
 }
@@ -22,267 +26,30 @@ Cluster::Cluster(int n_nodes, DsmConfig cfg)
 Cluster::~Cluster() { stop(); }
 
 void Cluster::reset_manager_state() {
-  const int per_node_locks = (cfg_.n_locks + n_nodes_ - 1) / n_nodes_;
-  const int per_node_cvs = (cfg_.n_cvs + n_nodes_ - 1) / n_nodes_;
-  locks_.assign(static_cast<std::size_t>(n_nodes_), {});
-  cvs_.assign(static_cast<std::size_t>(n_nodes_), {});
-  for (int n = 0; n < n_nodes_; ++n) {
-    locks_[n].resize(static_cast<std::size_t>(per_node_locks));
-    for (auto& l : locks_[n]) l.last_seen.assign(static_cast<std::size_t>(n_nodes_), 0);
-    cvs_[n].resize(static_cast<std::size_t>(per_node_cvs));
+  // The process backend's per-node managers live in the node processes (and
+  // node 0's in the supervisor, which resets it per job).
+  if (cfg_.backend == Backend::kProcess) return;
+  if (managers_.empty()) {
+    managers_.reserve(static_cast<std::size_t>(n_nodes_));
+    for (int n = 0; n < n_nodes_; ++n) {
+      managers_.push_back(std::make_unique<ProtocolManager>(
+          n, n_nodes_, cfg_.n_locks, cfg_.n_cvs, cfg_.home_migration, space_,
+          [this](net::Message msg) { transport_.send(std::move(msg)); }));
+    }
+    return;  // construction already leaves each manager reset
   }
-  barrier_ = BarrierState{};
+  for (auto& m : managers_) m->reset();
 }
 
-void Cluster::grant_lock(int manager, int lock_id, const Waiter& to) {
-  LockState& l = locks_[manager][static_cast<std::size_t>(lock_id / n_nodes_)];
-  l.held = true;
-  l.holder = to.node;
-  net::Message grant;
-  grant.src = manager;
-  grant.dst = to.node;
-  grant.type = net::MsgType::kAcquireGrant;
-  grant.to_reply_box = true;
-  grant.a = static_cast<std::uint64_t>(lock_id);
-  grant.c = to.req_id;
-  // Write notices this acquirer has not yet seen for this lock's scope.
-  std::vector<PageId> unseen(
-      l.notice_log.begin() + static_cast<std::ptrdiff_t>(l.last_seen[to.node]),
-      l.notice_log.end());
-  l.last_seen[to.node] = l.notice_log.size();
-  grant.payload = wire::encode_pages(unseen);
-  transport_.send(std::move(grant));
-
-  // Garbage-collect the notice log: entries every node has seen can never
-  // be granted again, so drop the common prefix (bounds memory on
-  // long-running lock-heavy programs).
-  const std::size_t seen_by_all =
-      *std::min_element(l.last_seen.begin(), l.last_seen.end());
-  if (seen_by_all > 1024) {
-    l.notice_log.erase(l.notice_log.begin(),
-                       l.notice_log.begin() +
-                           static_cast<std::ptrdiff_t>(seen_by_all));
-    for (auto& seen : l.last_seen) seen -= seen_by_all;
+std::uint64_t Cluster::home_migrations() const {
+  if (cfg_.backend == Backend::kProcess) {
+    // Only node 0's manager ever migrates homes (barrier owner), and that
+    // manager lives in the supervisor.
+    return supervisor_ ? supervisor_->home_migrations() : 0;
   }
-}
-
-void Cluster::handle_message(int node, net::Message msg) {
-  using net::MsgType;
-  switch (msg.type) {
-    case MsgType::kGetPage: {
-      const PageId p = msg.a;
-      assert(space_.home_of(p) == node);
-      net::Message reply;
-      reply.src = node;
-      reply.dst = msg.src;
-      reply.type = MsgType::kPageData;
-      reply.to_reply_box = true;
-      reply.a = p;
-      reply.c = msg.c;
-      reply.payload.resize(space_.page_bytes());
-      {
-        const std::scoped_lock guard(space_.page_mutex(p));
-        std::memcpy(reply.payload.data(), space_.home_data(p),
-                    space_.page_bytes());
-      }
-      transport_.send(std::move(reply));
-      break;
-    }
-    case MsgType::kDiff: {
-      const PageId p = msg.a;
-      assert(space_.home_of(p) == node);
-      {
-        const std::scoped_lock guard(space_.page_mutex(p));
-        wire::apply_diff(space_.home_data(p), space_.page_bytes(), msg.payload);
-      }
-      net::Message ack;
-      ack.src = node;
-      ack.dst = msg.src;
-      ack.type = MsgType::kDiffAck;
-      ack.to_reply_box = true;
-      ack.a = p;
-      ack.c = msg.c;
-      transport_.send(std::move(ack));
-      break;
-    }
-    case MsgType::kDiffBatch: {
-      // Coalesced release: every framed page's diff is applied under its own
-      // page mutex, then one ack covers the whole batch.  Re-applying a
-      // retransmitted batch is harmless (diffs are idempotent), and the
-      // releaser drops the duplicate ack as stale by id.
-      for (const wire::DiffBatchSpan& span :
-           wire::decode_diff_batch(msg.payload)) {
-        assert(space_.home_of(span.page) == node);
-        const std::scoped_lock guard(space_.page_mutex(span.page));
-        wire::apply_diff(space_.home_data(span.page), space_.page_bytes(),
-                         msg.payload.data() + span.offset, span.len);
-      }
-      net::Message ack;
-      ack.src = node;
-      ack.dst = msg.src;
-      ack.type = MsgType::kDiffBatchAck;
-      ack.to_reply_box = true;
-      ack.a = msg.a;  // pages applied, echoed for the releaser's assert
-      ack.c = msg.c;
-      transport_.send(std::move(ack));
-      break;
-    }
-    case MsgType::kGetPages: {
-      // Bulk fetch (demand prefault or read-ahead): one reply carries every
-      // requested page's contents, each copied under its page mutex.
-      const std::vector<PageId> pages = wire::decode_pages(msg.payload);
-      net::Message reply;
-      reply.src = node;
-      reply.dst = msg.src;
-      reply.type = MsgType::kPagesData;
-      reply.to_reply_box = true;
-      reply.a = pages.size();
-      reply.c = msg.c;
-      reply.payload.reserve(pages.size() *
-                            (sizeof(PageId) + space_.page_bytes()));
-      for (PageId p : pages) {
-        assert(space_.home_of(p) == node);
-        const std::scoped_lock guard(space_.page_mutex(p));
-        wire::append_page_data(reply.payload, p, space_.home_data(p),
-                               space_.page_bytes());
-      }
-      transport_.send(std::move(reply));
-      break;
-    }
-    case MsgType::kAcquire: {
-      const int lock_id = static_cast<int>(msg.a);
-      LockState& l = locks_[node][static_cast<std::size_t>(lock_id / n_nodes_)];
-      if (l.held) {
-        l.waiting.push_back(Waiter{msg.src, msg.c});
-      } else {
-        grant_lock(node, lock_id, Waiter{msg.src, msg.c});
-      }
-      break;
-    }
-    case MsgType::kRelease: {
-      const int lock_id = static_cast<int>(msg.a);
-      LockState& l = locks_[node][static_cast<std::size_t>(lock_id / n_nodes_)];
-      const std::vector<PageId> notices = wire::decode_pages(msg.payload);
-      l.notice_log.insert(l.notice_log.end(), notices.begin(), notices.end());
-      l.held = false;
-      l.holder = -1;
-      if (!l.waiting.empty()) {
-        const Waiter next = l.waiting.front();
-        l.waiting.pop_front();
-        grant_lock(node, lock_id, next);
-      }
-      break;
-    }
-    case MsgType::kBarrier: {
-      assert(node == 0);
-      if (barrier_.arrival_req.empty()) {
-        barrier_.arrival_req.assign(static_cast<std::size_t>(n_nodes_), 0);
-      }
-      barrier_.arrival_req[static_cast<std::size_t>(msg.src)] = msg.c;
-      const std::vector<PageId> notices = wire::decode_pages(msg.payload);
-      barrier_.notices.insert(barrier_.notices.end(), notices.begin(),
-                              notices.end());
-      for (PageId p : notices) {
-        const auto [it, inserted] = barrier_.writers.emplace(p, msg.src);
-        if (!inserted && it->second != msg.src) it->second = -1;
-      }
-      if (++barrier_.arrived == n_nodes_) {
-        std::sort(barrier_.notices.begin(), barrier_.notices.end());
-        barrier_.notices.erase(
-            std::unique(barrier_.notices.begin(), barrier_.notices.end()),
-            barrier_.notices.end());
-
-        wire::BarrierGrant grant_body;
-        grant_body.notices = barrier_.notices;
-        if (cfg_.home_migration) {
-          // Home migration: a page written by exactly one node this interval
-          // migrates its home to that writer, so its future modifications
-          // need no diffs at all.
-          for (const auto& [page, writer] : barrier_.writers) {
-            if (writer >= 0 && writer != space_.home_of(page)) {
-              space_.set_home(page, writer);
-              grant_body.migrations.emplace_back(page, writer);
-              home_migrations_.fetch_add(1, std::memory_order_relaxed);
-            }
-          }
-        }
-        const std::vector<std::byte> payload =
-            wire::encode_barrier_grant(grant_body);
-        for (int dst = 0; dst < n_nodes_; ++dst) {
-          net::Message grant;
-          grant.src = node;
-          grant.dst = dst;
-          grant.type = MsgType::kBarrierGrant;
-          grant.to_reply_box = true;
-          grant.c = barrier_.arrival_req[static_cast<std::size_t>(dst)];
-          grant.payload = payload;
-          transport_.send(std::move(grant));
-        }
-        barrier_ = BarrierState{};
-      }
-      break;
-    }
-    case MsgType::kSetCv: {
-      const int cv_id = static_cast<int>(msg.a);
-      CvState& cv = cvs_[node][static_cast<std::size_t>(cv_id / n_nodes_)];
-      const std::vector<PageId> notices = wire::decode_pages(msg.payload);
-      cv.pending_notices.insert(cv.pending_notices.end(), notices.begin(),
-                                notices.end());
-      if (!cv.waiters.empty()) {
-        const Waiter waiter = cv.waiters.front();
-        cv.waiters.pop_front();
-        net::Message grant;
-        grant.src = node;
-        grant.dst = waiter.node;
-        grant.type = MsgType::kCvGrant;
-        grant.to_reply_box = true;
-        grant.a = static_cast<std::uint64_t>(cv_id);
-        grant.c = waiter.req_id;
-        grant.payload = wire::encode_pages(cv.pending_notices);
-        cv.pending_notices.clear();
-        transport_.send(std::move(grant));
-      } else {
-        ++cv.count;
-      }
-      break;
-    }
-    case MsgType::kWaitCv: {
-      const int cv_id = static_cast<int>(msg.a);
-      CvState& cv = cvs_[node][static_cast<std::size_t>(cv_id / n_nodes_)];
-      if (cv.count > 0) {
-        --cv.count;
-        net::Message grant;
-        grant.src = node;
-        grant.dst = msg.src;
-        grant.type = MsgType::kCvGrant;
-        grant.to_reply_box = true;
-        grant.a = static_cast<std::uint64_t>(cv_id);
-        grant.c = msg.c;
-        grant.payload = wire::encode_pages(cv.pending_notices);
-        cv.pending_notices.clear();
-        transport_.send(std::move(grant));
-      } else {
-        cv.waiters.push_back(Waiter{msg.src, msg.c});
-      }
-      break;
-    }
-    case MsgType::kAllocate: {
-      assert(node == 0);
-      const auto bytes = static_cast<std::size_t>(msg.a);
-      const int home = static_cast<int>(static_cast<std::int64_t>(msg.b));
-      net::Message reply;
-      reply.src = node;
-      reply.dst = msg.src;
-      reply.type = MsgType::kAllocateReply;
-      reply.to_reply_box = true;
-      reply.a = space_.alloc(bytes, home);
-      reply.c = msg.c;
-      transport_.send(std::move(reply));
-      break;
-    }
-    default:
-      throw std::logic_error("DSM service: unexpected message type");
-  }
+  std::uint64_t total = 0;
+  for (const auto& m : managers_) total += m->home_migrations();
+  return total;
 }
 
 void Cluster::service_loop(int node) {
@@ -298,7 +65,7 @@ void Cluster::service_loop(int node) {
       sync_cv_.notify_all();
       continue;
     }
-    handle_message(node, *std::move(msg));
+    managers_[static_cast<std::size_t>(node)]->handle_message(*std::move(msg));
   }
 }
 
@@ -321,10 +88,18 @@ void Cluster::sync_service_threads() {
 
 void Cluster::ensure_started_locked() {
   if (engine_running_) return;
+  if (cfg_.backend == Backend::kProcess) {
+    if (!supervisor_) {
+      supervisor_ = std::make_unique<proc::Supervisor>(n_nodes_, cfg_, space_);
+    }
+    engine_threads_.emplace_back([this] { proc_engine_loop(); });
+    engine_running_ = true;
+    return;
+  }
   nodes_.clear();
   nodes_.reserve(static_cast<std::size_t>(n_nodes_));
   for (int i = 0; i < n_nodes_; ++i) {
-    nodes_.push_back(std::make_unique<Node>(*this, i));
+    nodes_.push_back(std::make_unique<ThreadNode>(*this, i));
   }
   reset_manager_state();
   service_threads_.reserve(static_cast<std::size_t>(n_nodes_));
@@ -373,6 +148,49 @@ void Cluster::engine_loop(int node) {
     }
     lk.lock();
     if (++job->finished == n_nodes_) finalize_job(*job);
+  }
+}
+
+void Cluster::proc_engine_loop() {
+  // One dispatcher thread stands in for all per-node engine threads: the
+  // supervisor runs node 0's program on this thread and forks a process per
+  // other node, so job admission stays strictly serial by construction.
+  std::unique_lock<std::mutex> lk(jobs_mu_);
+  for (;;) {
+    jobs_cv_.wait(lk, [&] { return current_ != nullptr || stopping_; });
+    if (!current_) return;  // stopping, queue drained
+    const std::shared_ptr<Job> job = current_;
+    std::fill(job->started.begin(), job->started.end(), 1);
+    const std::set<PageId> keep = retained_pages_;
+    lk.unlock();
+    proc::Supervisor::Outcome out = supervisor_->run_job(job->program, keep);
+    lk.lock();
+    job->failures = std::move(out.failures);
+    job->stats = std::move(out.stats);
+    if (!job->failures.empty()) {
+      // throw_failures rethrows first_error verbatim for a single failure:
+      // preserve node 0's original exception when it is the culprit, and
+      // wrap a child's reported message otherwise (the original object
+      // died with the process).
+      if (job->failures.size() == 1 && job->failures.front().first == 0 &&
+          out.node0_error) {
+        job->first_error = out.node0_error;
+      } else {
+        job->first_error = std::make_exception_ptr(
+            std::runtime_error(job->failures.front().second));
+      }
+    }
+    last_run_stats_ = job->stats;
+    job->finished = n_nodes_;
+    job->done = true;
+    if (queued_.empty()) {
+      current_ = nullptr;
+    } else {
+      current_ = queued_.front();
+      queued_.pop_front();
+    }
+    jobs_cv_.notify_all();
+    done_cv_.notify_all();
   }
 }
 
@@ -454,10 +272,16 @@ DsmStats Cluster::await(const Ticket& ticket) {
   const Job& job = *ticket.job_;
   if (!job.failures.empty()) throw_failures(job);
   DsmStats out;
+  out.backend = cfg_.backend;
   out.node = job.stats;
-  out.home_migrations = home_migrations_.load(std::memory_order_relaxed);
-  out.traffic = transport_.per_node_counters();
-  out.faults = transport_.fault_counters();
+  out.home_migrations = home_migrations();
+  if (cfg_.backend == Backend::kProcess) {
+    out.traffic = supervisor_->traffic();
+    out.faults = supervisor_->fault_counters();
+  } else {
+    out.traffic = transport_.per_node_counters();
+    out.faults = transport_.fault_counters();
+  }
   return out;
 }
 
@@ -509,13 +333,15 @@ void Cluster::stop() {
   service_threads_.clear();
   lk.unlock();
   for (auto& t : engines) t.join();
-  for (int i = 0; i < n_nodes_; ++i) {
-    net::Message halt;
-    halt.src = -1;
-    halt.dst = i;
-    halt.type = net::MsgType::kStop;
-    halt.a = 0;
-    transport_.send(std::move(halt));
+  if (cfg_.backend == Backend::kThreads) {
+    for (int i = 0; i < n_nodes_; ++i) {
+      net::Message halt;
+      halt.src = -1;
+      halt.dst = i;
+      halt.type = net::MsgType::kStop;
+      halt.a = 0;
+      transport_.send(std::move(halt));
+    }
   }
   for (auto& t : services) t.join();
   lk.lock();
@@ -527,11 +353,28 @@ void Cluster::stop() {
 DsmStats Cluster::stats() const {
   const std::scoped_lock guard(jobs_mu_);
   DsmStats out;
+  out.backend = cfg_.backend;
   out.node = last_run_stats_;
-  out.home_migrations = home_migrations_.load(std::memory_order_relaxed);
-  out.traffic = transport_.per_node_counters();
-  out.faults = transport_.fault_counters();
+  out.home_migrations = home_migrations();
+  if (cfg_.backend == Backend::kProcess) {
+    if (supervisor_) {
+      out.traffic = supervisor_->traffic();
+      out.faults = supervisor_->fault_counters();
+    }
+  } else {
+    out.traffic = transport_.per_node_counters();
+    out.faults = transport_.fault_counters();
+  }
   return out;
+}
+
+std::vector<net::TrafficCounters> Cluster::traffic_snapshot() const {
+  if (cfg_.backend == Backend::kProcess) {
+    return supervisor_ ? supervisor_->traffic()
+                       : std::vector<net::TrafficCounters>(
+                             static_cast<std::size_t>(n_nodes_));
+  }
+  return transport_.per_node_counters();
 }
 
 }  // namespace gdsm::dsm

@@ -33,11 +33,16 @@
 
 #include "dsm/config.h"
 #include "dsm/global_space.h"
+#include "dsm/manager.h"
 #include "dsm/node.h"
 #include "dsm/stats.h"
 #include "net/transport.h"
 
 namespace gdsm::dsm {
+
+namespace proc {
+class Supervisor;
+}
 
 class Cluster {
   struct Job;  // defined privately below; Ticket only carries a handle
@@ -112,45 +117,14 @@ class Cluster {
   DsmStats stats() const;
 
   /// Cumulative per-node wire traffic (the src/obs report hook; cheaper
-  /// than stats() when only the transport picture is wanted).
-  std::vector<net::TrafficCounters> traffic_snapshot() const {
-    return transport_.per_node_counters();
-  }
+  /// than stats() when only the transport picture is wanted).  Backed by
+  /// the transport (threads) or the supervisor's router (process).
+  std::vector<net::TrafficCounters> traffic_snapshot() const;
 
   GlobalSpace& space() noexcept { return space_; }
 
  private:
-  friend class Node;
-
-  // --- manager state; each element is touched only by the service thread
-  // of its managing node -----------------------------------------------
-  /// A node blocked in a request, remembered with the request id its grant
-  /// must echo (replies are matched by id on the requester side, so retried
-  /// requests cannot be satisfied by a stale reply).
-  struct Waiter {
-    int node = -1;
-    std::uint64_t req_id = 0;
-  };
-  struct LockState {
-    bool held = false;
-    int holder = -1;
-    std::deque<Waiter> waiting;
-    std::vector<PageId> notice_log;
-    std::vector<std::size_t> last_seen;  // per node, index into notice_log
-  };
-  struct CvState {
-    int count = 0;
-    std::deque<Waiter> waiters;
-    std::vector<PageId> pending_notices;
-  };
-  struct BarrierState {
-    int arrived = 0;
-    std::vector<std::uint64_t> arrival_req;  // per node, echoed in the grant
-    std::vector<PageId> notices;
-    /// page -> single writer this interval, or -1 once multiple nodes wrote
-    /// it (used by the home-migration policy).
-    std::map<PageId, int> writers;
-  };
+  friend class ThreadNode;
 
   /// One SPMD program moving through the engine.  All fields are guarded
   /// by jobs_mu_ except `program`, which is only read by engine threads
@@ -167,11 +141,11 @@ class Cluster {
 
   void reset_manager_state();
   void service_loop(int node);
-  void handle_message(int node, net::Message msg);
-  void grant_lock(int manager, int lock_id, const Waiter& to);
+  std::uint64_t home_migrations() const;  ///< summed over the managers
 
   void ensure_started_locked();   ///< spawns threads; jobs_mu_ held
   void engine_loop(int node);     ///< persistent application thread
+  void proc_engine_loop();        ///< process backend: job dispatcher
   void finalize_job(Job& job);    ///< last finisher; jobs_mu_ held
   void sync_service_threads();    ///< barrier: service boxes fully drained
   [[noreturn]] static void throw_failures(const Job& job);
@@ -181,10 +155,9 @@ class Cluster {
   GlobalSpace space_;
   net::Transport transport_;
 
-  std::vector<std::vector<LockState>> locks_;  // [manager][lock_id / n]
-  std::vector<std::vector<CvState>> cvs_;      // [manager][cv_id / n]
-  BarrierState barrier_;                       // managed by node 0
-  std::atomic<std::uint64_t> home_migrations_{0};
+  /// One protocol state machine per node, each touched only by that node's
+  /// service thread (dsm/manager.h — shared with the process backend).
+  std::vector<std::unique_ptr<ProtocolManager>> managers_;
   /// Cluster-wide request-id source: ids stay unique across nodes AND
   /// across jobs, so a stale reply can never match a later request.
   std::atomic<std::uint64_t> request_ids_{0};
@@ -197,7 +170,11 @@ class Cluster {
   bool stopping_ = false;
   std::shared_ptr<Job> current_;            ///< job being executed, if any
   std::deque<std::shared_ptr<Job>> queued_;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<ThreadNode>> nodes_;
+  /// Process backend only: launcher + node 0 + router, persistent across
+  /// jobs AND across stop() (like transport_/managers_, its cumulative
+  /// traffic and home-migration counters survive engine restarts).
+  std::unique_ptr<proc::Supervisor> supervisor_;
   std::vector<std::thread> service_threads_;
   std::vector<std::thread> engine_threads_;
   std::set<PageId> retained_pages_;  ///< survive the end-of-job cache sweep

@@ -55,6 +55,16 @@ struct AtomicComm {
   std::atomic<std::uint64_t> prefetch_hits{0};
   std::atomic<std::uint64_t> prefetch_wasted{0};
   std::atomic<std::uint64_t> empty_diffs_suppressed{0};
+  // v8 process-backend block: accounted by the supervisor when it folds
+  // child stats back in, so the run-report dsm section sees them even
+  // though they were incurred in other address spaces.
+  std::atomic<std::uint64_t> peer_failures{0};
+  std::atomic<std::uint64_t> segv_faults{0};
+  std::atomic<std::uint64_t> pages_mapped{0};
+  std::atomic<std::uint64_t> pages_protected{0};
+  std::atomic<std::uint64_t> twins_created{0};
+  std::atomic<std::uint64_t> socket_bytes_sent{0};
+  std::atomic<std::uint64_t> socket_bytes_received{0};
 };
 
 AtomicComm g_comm;
@@ -82,6 +92,13 @@ void account_comm_totals(const NodeStats& per_job) noexcept {
   add(g_comm.prefetch_hits, per_job.prefetch_hits);
   add(g_comm.prefetch_wasted, per_job.prefetch_wasted);
   add(g_comm.empty_diffs_suppressed, per_job.empty_diffs_suppressed);
+  add(g_comm.peer_failures, per_job.peer_failures);
+  add(g_comm.segv_faults, per_job.segv_faults);
+  add(g_comm.pages_mapped, per_job.pages_mapped);
+  add(g_comm.pages_protected, per_job.pages_protected);
+  add(g_comm.twins_created, per_job.twins_created);
+  add(g_comm.socket_bytes_sent, per_job.socket_bytes_sent);
+  add(g_comm.socket_bytes_received, per_job.socket_bytes_received);
 }
 
 NodeStats comm_totals() noexcept {
@@ -97,6 +114,13 @@ NodeStats comm_totals() noexcept {
   out.prefetch_hits = get(g_comm.prefetch_hits);
   out.prefetch_wasted = get(g_comm.prefetch_wasted);
   out.empty_diffs_suppressed = get(g_comm.empty_diffs_suppressed);
+  out.peer_failures = get(g_comm.peer_failures);
+  out.segv_faults = get(g_comm.segv_faults);
+  out.pages_mapped = get(g_comm.pages_mapped);
+  out.pages_protected = get(g_comm.pages_protected);
+  out.twins_created = get(g_comm.twins_created);
+  out.socket_bytes_sent = get(g_comm.socket_bytes_sent);
+  out.socket_bytes_received = get(g_comm.socket_bytes_received);
   return out;
 }
 
@@ -109,6 +133,13 @@ void reset_comm_totals() noexcept {
   g_comm.prefetch_hits.store(0, std::memory_order_relaxed);
   g_comm.prefetch_wasted.store(0, std::memory_order_relaxed);
   g_comm.empty_diffs_suppressed.store(0, std::memory_order_relaxed);
+  g_comm.peer_failures.store(0, std::memory_order_relaxed);
+  g_comm.segv_faults.store(0, std::memory_order_relaxed);
+  g_comm.pages_mapped.store(0, std::memory_order_relaxed);
+  g_comm.pages_protected.store(0, std::memory_order_relaxed);
+  g_comm.twins_created.store(0, std::memory_order_relaxed);
+  g_comm.socket_bytes_sent.store(0, std::memory_order_relaxed);
+  g_comm.socket_bytes_received.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace gdsm::dsm

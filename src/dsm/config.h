@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "dsm/backend.h"
 #include "net/fault.h"
 
 namespace gdsm::dsm {
@@ -98,6 +99,18 @@ struct DsmConfig {
   /// Simulated network misbehaviour of the cluster interconnect
   /// (net/fault.h); a default plan injects nothing.
   net::FaultPlan faults{};
+
+  /// Execution backend; the default honours GDSM_BACKEND=threads|process
+  /// (dsm/backend.h).  Both backends run the same protocol and must be
+  /// bit-identical; "process" maps shared pages via shm_open/mmap and traps
+  /// remote access with mprotect+SIGSEGV (src/dsm/proc).
+  Backend backend = default_backend();
+
+  /// Capacity of the process backend's shared data segment (the global
+  /// space all nodes allocate from).  tmpfs backs it lazily, so a generous
+  /// default costs only address space; alloc beyond it throws.  Ignored by
+  /// the thread backend, which grows its heap-backed space on demand.
+  std::size_t proc_space_bytes = 256ull << 20;
 };
 
 }  // namespace gdsm::dsm

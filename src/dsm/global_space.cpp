@@ -1,19 +1,116 @@
 #include "dsm/global_space.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <new>
 #include <stdexcept>
+#include <string>
+#include <system_error>
 
 namespace gdsm::dsm {
+
+namespace {
+
+/// Creates an anonymous-after-unlink shm segment and maps it MAP_SHARED.
+/// Called before any fork, so every node process inherits the mapping at
+/// the same address and no fd needs to survive.
+void* map_shared_segment(const char* tag, std::size_t bytes) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string name = "/gdsm-" + std::string(tag) + "-" +
+                           std::to_string(::getpid()) + "-" +
+                           std::to_string(counter.fetch_add(1));
+  const int fd = ::shm_open(name.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "GlobalSpace: shm_open " + name);
+  }
+  ::shm_unlink(name.c_str());  // the mapping keeps the segment alive
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::system_error(err, std::generic_category(),
+                            "GlobalSpace: ftruncate shm segment");
+  }
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) {
+    throw std::system_error(errno, std::generic_category(),
+                            "GlobalSpace: mmap shm segment");
+  }
+  return p;
+}
+
+}  // namespace
 
 GlobalSpace::GlobalSpace(int n_nodes, const DsmConfig& cfg)
     : n_nodes_(n_nodes), page_bytes_(cfg.page_bytes) {
   if (n_nodes <= 0) throw std::invalid_argument("GlobalSpace: need >= 1 node");
   if (page_bytes_ < 64) throw std::invalid_argument("GlobalSpace: page too small");
+  if (cfg.backend == Backend::kProcess) {
+    placed_ = true;
+    max_pages_ = cfg.proc_space_bytes / page_bytes_;
+    if (max_pages_ < 2) {
+      throw std::invalid_argument(
+          "GlobalSpace: proc_space_bytes below two pages");
+    }
+    data_ = static_cast<std::byte*>(
+        map_shared_segment("data", max_pages_ * page_bytes_));
+    const std::size_t ctrl_bytes =
+        sizeof(PlacedHeader) + max_pages_ * sizeof(std::atomic<std::int32_t>);
+    void* ctrl = map_shared_segment("ctrl", ctrl_bytes);
+    // Placement-new over zeroed tmpfs memory; these types are trivially
+    // destructible, so unmapping (or child _exit) is a clean teardown.
+    header_ = new (ctrl) PlacedHeader;
+    homes_ = new (static_cast<std::byte*>(ctrl) + sizeof(PlacedHeader))
+        std::atomic<std::int32_t>[max_pages_];
+    shards_ = std::make_unique<std::mutex[]>(kMutexShards);
+    // Reserve page 0 so that GlobalAddr 0 can serve as a null address.
+    homes_[0].store(0, std::memory_order_relaxed);
+    header_->request_ids.store(0, std::memory_order_relaxed);
+    header_->n_pages.store(1, std::memory_order_release);
+    return;
+  }
   // Reserve page 0 so that GlobalAddr 0 can serve as a null address.
   const std::scoped_lock lock(alloc_mu_);
   pages_.emplace_back();
   pages_.back().home = 0;
   pages_.back().data = std::make_unique<std::byte[]>(page_bytes_);
+}
+
+GlobalSpace::~GlobalSpace() {
+  if (!placed_) return;
+  ::munmap(data_, max_pages_ * page_bytes_);
+  ::munmap(header_, sizeof(PlacedHeader) +
+                        max_pages_ * sizeof(std::atomic<std::int32_t>));
+}
+
+GlobalAddr GlobalSpace::place_pages(std::size_t n_pages, int home,
+                                    int stride) {
+  // alloc_mu_ held.  Allocation happens only in the parent process (node
+  // programs route kAllocate to node 0, which the parent runs), so the
+  // plain next_home_/mutex suffice; the release-store on n_pages publishes
+  // the new homes[] entries to the child processes' acquire-loads.
+  const std::uint64_t first = header_->n_pages.load(std::memory_order_relaxed);
+  if (first + n_pages > max_pages_) {
+    throw std::runtime_error(
+        "GlobalSpace: shared space exhausted (" +
+        std::to_string((first + n_pages) * page_bytes_) + " bytes needed, " +
+        std::to_string(max_pages_ * page_bytes_) +
+        " reserved; raise DsmConfig::proc_space_bytes)");
+  }
+  for (std::size_t k = 0; k < n_pages; ++k) {
+    homes_[first + k].store(
+        static_cast<std::int32_t>((home + k * static_cast<std::size_t>(
+                                              stride)) % n_nodes_),
+        std::memory_order_relaxed);
+  }
+  header_->n_pages.store(first + n_pages, std::memory_order_release);
+  return static_cast<GlobalAddr>(first) * page_bytes_;
 }
 
 GlobalAddr GlobalSpace::alloc(std::size_t bytes, int home) {
@@ -25,6 +122,7 @@ GlobalAddr GlobalSpace::alloc(std::size_t bytes, int home) {
     next_home_ = (next_home_ + 1) % n_nodes_;
   }
   if (home >= n_nodes_) throw std::invalid_argument("alloc: bad home node");
+  if (placed_) return place_pages(n_pages, home, /*stride=*/0);
   const GlobalAddr base = static_cast<GlobalAddr>(pages_.size()) * page_bytes_;
   for (std::size_t k = 0; k < n_pages; ++k) {
     pages_.emplace_back();
@@ -39,6 +137,7 @@ GlobalAddr GlobalSpace::alloc_striped(std::size_t bytes, int first_home) {
   if (bytes == 0) bytes = 1;
   const std::size_t n_pages = (bytes + page_bytes_ - 1) / page_bytes_;
   const std::scoped_lock lock(alloc_mu_);
+  if (placed_) return place_pages(n_pages, first_home, /*stride=*/1);
   const GlobalAddr base = static_cast<GlobalAddr>(pages_.size()) * page_bytes_;
   for (std::size_t k = 0; k < n_pages; ++k) {
     pages_.emplace_back();
@@ -50,12 +149,21 @@ GlobalAddr GlobalSpace::alloc_striped(std::size_t bytes, int first_home) {
 }
 
 std::size_t GlobalSpace::num_pages() const {
+  if (placed_) return header_->n_pages.load(std::memory_order_acquire);
   const std::scoped_lock lock(alloc_mu_);
   return pages_.size();
 }
 
 std::vector<std::size_t> GlobalSpace::pages_per_node() const {
   std::vector<std::size_t> out(static_cast<std::size_t>(n_nodes_), 0);
+  if (placed_) {
+    const std::uint64_t n = header_->n_pages.load(std::memory_order_acquire);
+    for (std::uint64_t p = 0; p < n; ++p) {
+      const std::int32_t h = homes_[p].load(std::memory_order_relaxed);
+      if (h >= 0) ++out[static_cast<std::size_t>(h)];
+    }
+    return out;
+  }
   const std::scoped_lock lock(alloc_mu_);
   for (const Page& p : pages_) {
     if (p.home >= 0) ++out[static_cast<std::size_t>(p.home)];
@@ -64,29 +172,52 @@ std::vector<std::size_t> GlobalSpace::pages_per_node() const {
 }
 
 bool GlobalSpace::valid_page(PageId p) const {
+  if (placed_) {
+    return p > 0 && p < header_->n_pages.load(std::memory_order_acquire);
+  }
   const std::scoped_lock lock(alloc_mu_);
   return p > 0 && p < pages_.size();
 }
 
 int GlobalSpace::home_of(PageId p) const {
+  if (placed_) {
+    if (p >= header_->n_pages.load(std::memory_order_acquire)) {
+      throw std::out_of_range("GlobalSpace: page id out of range");
+    }
+    return homes_[p].load(std::memory_order_acquire);
+  }
   const std::scoped_lock lock(alloc_mu_);
   return pages_.at(p).home;
 }
 
 void GlobalSpace::set_home(PageId p, int home) {
-  const std::scoped_lock lock(alloc_mu_);
   if (home < 0 || home >= n_nodes_) {
     throw std::invalid_argument("set_home: bad node id");
   }
+  if (placed_) {
+    if (p >= header_->n_pages.load(std::memory_order_acquire)) {
+      throw std::out_of_range("GlobalSpace: page id out of range");
+    }
+    homes_[p].store(home, std::memory_order_release);
+    return;
+  }
+  const std::scoped_lock lock(alloc_mu_);
   pages_.at(p).home = home;
 }
 
 std::byte* GlobalSpace::home_data(PageId p) {
+  if (placed_) {
+    if (p >= header_->n_pages.load(std::memory_order_acquire)) {
+      throw std::out_of_range("GlobalSpace: page id out of range");
+    }
+    return data_ + p * page_bytes_;
+  }
   const std::scoped_lock lock(alloc_mu_);
   return pages_.at(p).data.get();
 }
 
 std::mutex& GlobalSpace::page_mutex(PageId p) {
+  if (placed_) return shards_[p % kMutexShards];
   const std::scoped_lock lock(alloc_mu_);
   return pages_.at(p).mu;
 }

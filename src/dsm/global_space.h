@@ -4,8 +4,21 @@
 // basis.  Each shared page has a home node.  A page is always present in its
 // home node" (Section 3.1).  The home copy lives here; remote nodes cache
 // copies in their PageCache.
+//
+// Two storage modes, selected by DsmConfig::backend:
+//
+//   heap (threads): pages are heap blocks in a deque, grown on demand —
+//   everything lives in one process.
+//
+//   placed (process): the home copies live in a fixed-capacity
+//   shm_open+mmap data segment and the page table (home ids, page count,
+//   the cluster-wide request-id counter) in a second shm control segment,
+//   both created before any node process forks so every process inherits
+//   the same MAP_SHARED views.  tmpfs backs the segments lazily, so the
+//   capacity (DsmConfig::proc_space_bytes) costs address space only.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -23,6 +36,9 @@ using PageId = std::uint64_t;
 class GlobalSpace {
  public:
   GlobalSpace(int n_nodes, const DsmConfig& cfg);
+  ~GlobalSpace();
+  GlobalSpace(const GlobalSpace&) = delete;
+  GlobalSpace& operator=(const GlobalSpace&) = delete;
 
   /// Allocates `bytes` rounded up to whole pages.  All pages of one call are
   /// homed on the same node (JIAJIA's jia_alloc semantics): `home` if given,
@@ -58,6 +74,19 @@ class GlobalSpace {
   std::byte* home_data(PageId p);
   std::mutex& page_mutex(PageId p);
 
+  /// True in the shm-backed mode of the process backend.
+  bool placed() const noexcept { return placed_; }
+
+  /// Upper page bound of the placed mode (0 in heap mode).
+  std::size_t max_pages() const noexcept { return max_pages_; }
+
+  /// The cluster-wide request-id counter, hosted in the shm control segment
+  /// so ids stay unique across node *processes*.  Null in heap mode (the
+  /// thread backend keeps its counter in the Cluster).
+  std::atomic<std::uint64_t>* shared_request_ids() noexcept {
+    return placed_ ? &header_->request_ids : nullptr;
+  }
+
  private:
   struct Page {
     int home;
@@ -65,11 +94,31 @@ class GlobalSpace {
     std::mutex mu;
   };
 
+  /// Head of the placed control segment; homes[] follows it.
+  struct PlacedHeader {
+    std::atomic<std::uint64_t> n_pages;
+    std::atomic<std::uint64_t> request_ids;
+  };
+
+  GlobalAddr place_pages(std::size_t n_pages, int home, int stride);
+
   int n_nodes_;
   std::size_t page_bytes_;
   mutable std::mutex alloc_mu_;
   int next_home_ = 0;
   std::deque<Page> pages_;  // deque: stable element addresses as it grows
+
+  // -- placed mode ---------------------------------------------------------
+  bool placed_ = false;
+  std::size_t max_pages_ = 0;
+  std::byte* data_ = nullptr;            ///< shm data segment
+  PlacedHeader* header_ = nullptr;       ///< shm control segment
+  std::atomic<std::int32_t>* homes_ = nullptr;  ///< follows header_
+  /// Page mutexes are per-process in placed mode: page p's home data is only
+  /// ever touched from the process of home_of(p) (plus the parent's
+  /// between-jobs host_write), so cross-process mutexes are unnecessary.
+  static constexpr std::size_t kMutexShards = 256;
+  std::unique_ptr<std::mutex[]> shards_;
 };
 
 }  // namespace gdsm::dsm

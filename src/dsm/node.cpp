@@ -18,12 +18,12 @@ constexpr std::size_t kBatchFrameHeader = sizeof(PageId) + sizeof(std::uint32_t)
 
 }  // namespace
 
-Node::Node(Cluster& cluster, int id)
-    : cluster_(cluster), id_(id), cache_(cluster.config().cache_pages) {}
+ThreadNode::ThreadNode(Cluster& cluster, int id)
+    : Node(id), cluster_(cluster), cache_(cluster.config().cache_pages) {}
 
-int Node::nodes() const noexcept { return cluster_.nodes(); }
+int ThreadNode::nodes() const noexcept { return cluster_.nodes(); }
 
-net::Message Node::request(net::Message msg) {
+net::Message ThreadNode::request(net::Message msg) {
   msg.src = id_;
   msg.c = cluster_.request_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
   const std::uint64_t id = msg.c;
@@ -93,8 +93,8 @@ net::Message Node::request(net::Message msg) {
   }
 }
 
-void Node::request_all(std::vector<net::Message> msgs,
-                       void (Node::*on_reply)(net::Message)) {
+void ThreadNode::request_all(std::vector<net::Message> msgs,
+                       void (ThreadNode::*on_reply)(net::Message)) {
   const CommConfig& comm = cluster_.config().comm;
   const RetryPolicy& retry = cluster_.config().retry;
   const std::size_t window = comm.max_outstanding > 0 ? comm.max_outstanding : 1;
@@ -159,12 +159,12 @@ void Node::request_all(std::vector<net::Message> msgs,
   }
 }
 
-void Node::on_batch_ack(net::Message reply) {
+void ThreadNode::on_batch_ack(net::Message reply) {
   assert(reply.type == net::MsgType::kDiffBatchAck);
   (void)reply;
 }
 
-void Node::on_pages_data(net::Message reply) {
+void ThreadNode::on_pages_data(net::Message reply) {
   assert(reply.type == net::MsgType::kPagesData);
   const std::size_t page_bytes = cluster_.space_.page_bytes();
   for (const wire::PageDataSpan& span :
@@ -178,7 +178,7 @@ void Node::on_pages_data(net::Message reply) {
   }
 }
 
-Frame* Node::insert_fetched(PageId p, std::vector<std::byte> data,
+Frame* ThreadNode::insert_fetched(PageId p, std::vector<std::byte> data,
                             bool prefetched) {
   PageCache::Evicted evicted;
   Frame* f = cache_.insert(p, std::move(data), &evicted);
@@ -197,7 +197,7 @@ Frame* Node::insert_fetched(PageId p, std::vector<std::byte> data,
   return f;
 }
 
-void Node::flush_deferred_dirty() {
+void ThreadNode::flush_deferred_dirty() {
   while (!deferred_dirty_.empty()) {
     auto [page, frame] = std::move(deferred_dirty_.back());
     deferred_dirty_.pop_back();
@@ -208,7 +208,7 @@ void Node::flush_deferred_dirty() {
 // ---------------------------------------------------------------------------
 // Sequential read-ahead.
 
-void Node::maybe_prefetch(PageId p) {
+void ThreadNode::maybe_prefetch(PageId p) {
   const CommConfig& comm = cluster_.config().comm;
   GlobalSpace& space = cluster_.space_;
   // Leave headroom: read-ahead must never thrash a small cache into
@@ -241,7 +241,7 @@ void Node::maybe_prefetch(PageId p) {
   }
 }
 
-void Node::absorb_prefetch(net::Message reply) {
+void ThreadNode::absorb_prefetch(net::Message reply) {
   const auto it = prefetch_inflight_.find(reply.c);
   assert(it != prefetch_inflight_.end());
   const std::vector<PageId> wanted = std::move(it->second);
@@ -264,7 +264,7 @@ void Node::absorb_prefetch(net::Message reply) {
   }
 }
 
-void Node::absorb_prefetch_replies() {
+void ThreadNode::absorb_prefetch_replies() {
   if (!deferred_prefetch_.empty()) {
     std::vector<net::Message> deferred = std::move(deferred_prefetch_);
     deferred_prefetch_.clear();
@@ -283,7 +283,7 @@ void Node::absorb_prefetch_replies() {
   flush_deferred_dirty();
 }
 
-Frame* Node::await_prefetch(PageId p) {
+Frame* ThreadNode::await_prefetch(PageId p) {
   if (prefetch_pending_.count(p) == 0) return nullptr;
   auto& box = cluster_.transport_.reply_box(id_);
   while (prefetch_pending_.count(p) != 0) {
@@ -304,7 +304,7 @@ Frame* Node::await_prefetch(PageId p) {
   return cache_.lookup(p);
 }
 
-void Node::cancel_prefetch(PageId p) {
+void ThreadNode::cancel_prefetch(PageId p) {
   if (prefetch_pending_.erase(p) == 0) return;
   ++stats_.prefetch_wasted;
   for (auto& [id, pages] : prefetch_inflight_) {
@@ -319,7 +319,7 @@ void Node::cancel_prefetch(PageId p) {
 // ---------------------------------------------------------------------------
 // Access paths.
 
-Frame* Node::ensure_cached(PageId p) {
+Frame* ThreadNode::ensure_cached(PageId p) {
   if (!prefetch_inflight_.empty() || !deferred_prefetch_.empty()) {
     absorb_prefetch_replies();
   }
@@ -353,7 +353,7 @@ Frame* Node::ensure_cached(PageId p) {
   return f;
 }
 
-Frame* Node::ensure_writable_frame(PageId p) {
+Frame* ThreadNode::ensure_writable_frame(PageId p) {
   Frame* f = ensure_cached(p);
   if (!f->dirty) {
     f->twin = f->data;  // create the twin for the multiple-writer diff
@@ -363,7 +363,7 @@ Frame* Node::ensure_writable_frame(PageId p) {
   return f;
 }
 
-void Node::prefault_range(GlobalAddr a, std::size_t n) {
+void ThreadNode::prefault_range(GlobalAddr a, std::size_t n) {
   GlobalSpace& space = cluster_.space_;
   const CommConfig& comm = cluster_.config().comm;
   if (!prefetch_inflight_.empty() || !deferred_prefetch_.empty()) {
@@ -406,12 +406,12 @@ void Node::prefault_range(GlobalAddr a, std::size_t n) {
     }
   }
   if (!msgs.empty()) {
-    request_all(std::move(msgs), &Node::on_pages_data);
+    request_all(std::move(msgs), &ThreadNode::on_pages_data);
     flush_deferred_dirty();
   }
 }
 
-void Node::read_bytes(GlobalAddr a, std::byte* out, std::size_t n) {
+void ThreadNode::read_bytes(GlobalAddr a, std::byte* out, std::size_t n) {
   if (n == 0) return;
   GlobalSpace& space = cluster_.space_;
   const std::size_t page_bytes = space.page_bytes();
@@ -436,7 +436,7 @@ void Node::read_bytes(GlobalAddr a, std::byte* out, std::size_t n) {
   }
 }
 
-void Node::write_bytes(GlobalAddr a, const std::byte* in, std::size_t n) {
+void ThreadNode::write_bytes(GlobalAddr a, const std::byte* in, std::size_t n) {
   GlobalSpace& space = cluster_.space_;
   const std::size_t page_bytes = space.page_bytes();
   while (n > 0) {
@@ -464,7 +464,7 @@ void Node::write_bytes(GlobalAddr a, const std::byte* in, std::size_t n) {
 // ---------------------------------------------------------------------------
 // Release-time diff propagation.
 
-bool Node::flush_frame_diff(PageId p, Frame& frame) {
+bool ThreadNode::flush_frame_diff(PageId p, Frame& frame) {
   diff_scratch_.clear();
   wire::append_diff(diff_scratch_, frame.twin, frame.data);
   frame.twin.clear();
@@ -489,7 +489,7 @@ bool Node::flush_frame_diff(PageId p, Frame& frame) {
   return true;
 }
 
-void Node::flush_all_diffs() {
+void ThreadNode::flush_all_diffs() {
   std::vector<PageId> dirty = cache_.dirty_pages();
   if (dirty.empty()) return;
   std::sort(dirty.begin(), dirty.end());  // deterministic wire layout
@@ -504,7 +504,7 @@ void Node::flush_all_diffs() {
   }
 }
 
-void Node::flush_diffs_batched(std::vector<PageId> dirty) {
+void ThreadNode::flush_diffs_batched(std::vector<PageId> dirty) {
   const CommConfig& comm = cluster_.config().comm;
   const std::size_t max_batch =
       comm.max_batch_pages > 0 ? comm.max_batch_pages : dirty.size();
@@ -543,13 +543,13 @@ void Node::flush_diffs_batched(std::vector<PageId> dirty) {
       }
     }
   }
-  if (!msgs.empty()) request_all(std::move(msgs), &Node::on_batch_ack);
+  if (!msgs.empty()) request_all(std::move(msgs), &ThreadNode::on_batch_ack);
 }
 
 // ---------------------------------------------------------------------------
 // Write notices.
 
-std::vector<std::byte> Node::take_notices() {
+std::vector<std::byte> ThreadNode::take_notices() {
   std::vector<PageId> notices = std::move(pending_notices_);
   pending_notices_.clear();
   notices.insert(notices.end(), home_written_.begin(), home_written_.end());
@@ -559,11 +559,11 @@ std::vector<std::byte> Node::take_notices() {
   return wire::encode_pages(notices);
 }
 
-void Node::apply_notices(const std::vector<std::byte>& payload) {
+void ThreadNode::apply_notices(const std::vector<std::byte>& payload) {
   apply_notices(wire::decode_pages(payload));
 }
 
-void Node::apply_notices(const std::vector<PageId>& pages) {
+void ThreadNode::apply_notices(const std::vector<PageId>& pages) {
   for (PageId p : pages) {
     if (cluster_.space_.home_of(p) == id_) continue;  // home copy stays valid
     // A read-ahead of a noticed page would deliver pre-release bytes: drop
@@ -585,7 +585,7 @@ void Node::apply_notices(const std::vector<PageId>& pages) {
 // ---------------------------------------------------------------------------
 // Synchronization.
 
-void Node::lock(int lock_id) {
+void ThreadNode::lock(int lock_id) {
   ++stats_.lock_acquires;
   net::Message msg;
   msg.dst = lock_id % nodes();
@@ -596,7 +596,7 @@ void Node::lock(int lock_id) {
   apply_notices(grant.payload);
 }
 
-void Node::unlock(int lock_id) {
+void ThreadNode::unlock(int lock_id) {
   ++stats_.lock_releases;
   flush_all_diffs();
   net::Message msg;
@@ -608,7 +608,7 @@ void Node::unlock(int lock_id) {
   cluster_.transport_.send(std::move(msg));  // release needs no reply
 }
 
-void Node::barrier() {
+void ThreadNode::barrier() {
   ++stats_.barriers;
   flush_all_diffs();
   net::Message msg;
@@ -634,7 +634,7 @@ void Node::barrier() {
   }
 }
 
-void Node::setcv(int cv_id) {
+void ThreadNode::setcv(int cv_id) {
   ++stats_.cv_signals;
   // Release semantics: make this node's writes visible to whoever wakes.
   flush_all_diffs();
@@ -647,7 +647,7 @@ void Node::setcv(int cv_id) {
   cluster_.transport_.send(std::move(msg));  // signal needs no reply
 }
 
-void Node::waitcv(int cv_id) {
+void ThreadNode::waitcv(int cv_id) {
   ++stats_.cv_waits;
   net::Message msg;
   msg.dst = cv_id % nodes();
@@ -658,7 +658,7 @@ void Node::waitcv(int cv_id) {
   apply_notices(grant.payload);
 }
 
-NodeStats Node::end_of_job(const std::set<PageId>& retained) {
+NodeStats ThreadNode::end_of_job(const std::set<PageId>& retained) {
   // Dirty frames of a finished (or failed) program must never survive into
   // the next job: their write notices died with the manager state.  Clean
   // frames of retained pages are immutable service data and stay warm.
@@ -680,7 +680,7 @@ NodeStats Node::end_of_job(const std::set<PageId>& retained) {
   return out;
 }
 
-GlobalAddr Node::alloc(std::size_t bytes, int home) {
+GlobalAddr ThreadNode::alloc(std::size_t bytes, int home) {
   net::Message msg;
   msg.dst = 0;
   msg.type = net::MsgType::kAllocate;

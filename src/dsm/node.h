@@ -9,12 +9,20 @@
 //   jia_setcv     -> setcv()
 //   jia_waitcv    -> waitcv()
 //
-// Access to shared memory is API-mediated (read/write) rather than
-// SIGSEGV-trapped: per-node page protections cannot exist inside a single
-// OS process, but the protocol state machine is the same — fetch on read
-// fault, twin on first write, diffs to home nodes at release points, write
-// notices invalidating stale copies at acquire points (home-based
-// write-invalidate multiple-writer protocol under Scope Consistency).
+// Node is the abstract program-facing surface; the protocol state machine
+// behind it exists twice:
+//
+//   ThreadNode (below, the original): per-node page protections cannot exist
+//   inside a single OS process, so access to shared memory is API-mediated
+//   (read/write over an explicit PageCache) — but the protocol is the real
+//   one: fetch on read fault, twin on first write, diffs to home nodes at
+//   release points, write notices invalidating stale copies at acquire
+//   points (home-based write-invalidate multiple-writer protocol under
+//   Scope Consistency).
+//
+//   ProcNode (src/dsm/proc): one OS process per node, pages shm_open/mmap'd,
+//   remote pages PROT_NONE and a SIGSEGV handler doing genuine
+//   fetch-on-fault / twin-on-first-write — JIAJIA's actual mechanism.
 //
 // One deliberate extension: setcv() performs a release (diff flush + write
 // notices attached to the signal) and waitcv() performs the matching acquire
@@ -41,12 +49,12 @@ class Cluster;
 
 class Node {
  public:
-  Node(Cluster& cluster, int id);
+  virtual ~Node() = default;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
   int id() const noexcept { return id_; }   ///< JIAJIA's jiapid
-  int nodes() const noexcept;
+  virtual int nodes() const noexcept = 0;
 
   // -- shared memory access ------------------------------------------------
   template <typename T>
@@ -63,25 +71,52 @@ class Node {
     write_bytes(a, reinterpret_cast<const std::byte*>(&v), sizeof(T));
   }
 
-  void read_bytes(GlobalAddr a, std::byte* out, std::size_t n);
-  void write_bytes(GlobalAddr a, const std::byte* in, std::size_t n);
+  virtual void read_bytes(GlobalAddr a, std::byte* out, std::size_t n) = 0;
+  virtual void write_bytes(GlobalAddr a, const std::byte* in,
+                           std::size_t n) = 0;
 
   // -- synchronization -----------------------------------------------------
-  void lock(int lock_id);
-  void unlock(int lock_id);
-  void barrier();
-  void setcv(int cv_id);
-  void waitcv(int cv_id);
+  virtual void lock(int lock_id) = 0;
+  virtual void unlock(int lock_id) = 0;
+  virtual void barrier() = 0;
+  virtual void setcv(int cv_id) = 0;
+  virtual void waitcv(int cv_id) = 0;
 
   /// Collective-style allocation routed through node 0 (any node may call;
   /// the caller is responsible for telling the other nodes the address).
-  GlobalAddr alloc(std::size_t bytes, int home = -1);
+  virtual GlobalAddr alloc(std::size_t bytes, int home = -1) = 0;
 
   const NodeStats& stats() const noexcept { return stats_; }
 
   /// Attributes `cells` DP cell updates to this node (strategy loops call
   /// this next to their simd kernel dispatches; see dsm_stats.dp_cells).
   void add_dp_cells(std::uint64_t cells) noexcept { stats_.dp_cells += cells; }
+
+ protected:
+  explicit Node(int id) : id_(id) {}
+
+  int id_;
+  NodeStats stats_;
+};
+
+/// The in-process backend: one ThreadNode per simulated node, API-mediated
+/// page cache, mailbox transport.
+class ThreadNode final : public Node {
+ public:
+  ThreadNode(Cluster& cluster, int id);
+
+  int nodes() const noexcept override;
+
+  void read_bytes(GlobalAddr a, std::byte* out, std::size_t n) override;
+  void write_bytes(GlobalAddr a, const std::byte* in, std::size_t n) override;
+
+  void lock(int lock_id) override;
+  void unlock(int lock_id) override;
+  void barrier() override;
+  void setcv(int cv_id) override;
+  void waitcv(int cv_id) override;
+
+  GlobalAddr alloc(std::size_t bytes, int home = -1) override;
 
  private:
   friend class Cluster;
@@ -109,7 +144,7 @@ class Node {
   /// retry policy per outstanding request; absorbs prefetch replies that
   /// share the reply box.
   void request_all(std::vector<net::Message> msgs,
-                   void (Node::*on_reply)(net::Message));
+                   void (ThreadNode::*on_reply)(net::Message));
 
   void on_batch_ack(net::Message reply);      ///< kDiffBatchAck (no-op check)
   void on_pages_data(net::Message reply);     ///< insert bulk-fetched pages
@@ -153,11 +188,9 @@ class Node {
   NodeStats end_of_job(const std::set<PageId>& retained);
 
   Cluster& cluster_;
-  int id_;
   PageCache cache_;
   std::set<PageId> home_written_;     ///< modified home pages (no diff needed)
   std::vector<PageId> pending_notices_;  ///< e.g. dirty evictions mid-interval
-  NodeStats stats_;
 
   // -- batched data plane ---------------------------------------------------
   std::vector<std::byte> diff_scratch_;  ///< reused diff-encode buffer

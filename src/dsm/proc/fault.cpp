@@ -1,0 +1,65 @@
+#include "dsm/proc/fault.h"
+
+#include <signal.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace gdsm::dsm::proc {
+
+namespace {
+
+thread_local FaultSink* t_sink = nullptr;
+
+void restore_default_and_retry() {
+  // Re-raise with the default action: returning from the handler retries the
+  // faulting instruction, which now crashes with a core as if we had never
+  // been here.
+  struct sigaction dfl = {};
+  dfl.sa_handler = SIG_DFL;
+  ::sigaction(SIGSEGV, &dfl, nullptr);
+}
+
+void segv_handler(int /*sig*/, siginfo_t* info, void* /*uctx*/) {
+  const int saved_errno = errno;
+  FaultSink* sink = t_sink;
+  if (sink == nullptr || info == nullptr) {
+    restore_default_and_retry();
+    return;
+  }
+  // Detach for the duration: a nested fault inside the resolution path is a
+  // protocol bug and must crash, not recurse.
+  t_sink = nullptr;
+  const bool resolved = sink->on_fault(info->si_addr);
+  if (!resolved) {
+    restore_default_and_retry();
+    return;
+  }
+  t_sink = sink;
+  errno = saved_errno;
+}
+
+}  // namespace
+
+void install_fault_handler() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa = {};
+    sa.sa_sigaction = segv_handler;
+    // SA_NODEFER: SIGSEGV stays unblocked inside the handler, so a
+    // siglongjmp escape (job abort mid-fault) leaves the signal mask clean
+    // without the per-access cost of sigsetjmp(.., 1).
+    sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigemptyset(&sa.sa_mask);
+    if (::sigaction(SIGSEGV, &sa, nullptr) != 0) {
+      std::perror("gdsm: sigaction(SIGSEGV)");
+      std::abort();
+    }
+  });
+}
+
+void set_thread_fault_sink(FaultSink* sink) { t_sink = sink; }
+
+}  // namespace gdsm::dsm::proc

@@ -1,0 +1,47 @@
+// Process-wide SIGSEGV trapping for the multi-process DSM backend.
+//
+// Each node process maps its remote-page cache PROT_NONE and lets the MMU
+// detect access, exactly as JIAJIA does: the first touch of an uncached page
+// raises SIGSEGV, the handler fetches the page and installs it PROT_READ,
+// and a subsequent write raises a second fault that creates the twin and
+// upgrades to PROT_READ|PROT_WRITE.  The handler itself is a thin shim: it
+// forwards the faulting address to the *thread-local* FaultSink (the
+// ProcNode whose application thread is running), so protocol-serving
+// threads — which must never fault — keep the default crash behaviour.
+//
+// Signal-safety: the sink runs full protocol code (mutexes, allocation,
+// socket I/O).  That is sound here because the fault is always synchronous,
+// raised by a controlled memcpy in ProcNode's access loops — the "handler"
+// is ordinary code running on the application thread's stack, not an
+// asynchronous interruption of arbitrary state.  SA_NODEFER keeps SIGSEGV
+// unblocked during the handler so an abort can siglongjmp back into the
+// access loop without leaving the signal masked.
+#pragma once
+
+namespace gdsm::dsm::proc {
+
+class FaultSink {
+ public:
+  virtual ~FaultSink() = default;
+  /// Called with the faulting address.  Returns true when the address was
+  /// inside this sink's trapped region and the fault has been resolved (the
+  /// faulting instruction will be retried); false re-raises with the
+  /// default action — a genuine wild access crashes loudly.  Must not throw:
+  /// unresolvable protocol failures are expected to siglongjmp back to the
+  /// recovery point armed by the access loop.
+  virtual bool on_fault(void* addr) = 0;
+};
+
+/// Installs the process-wide SIGSEGV handler.  Idempotent; fork()ed children
+/// inherit the installation.  ASan builds need
+/// ASAN_OPTIONS=handle_segv=0:allow_user_segv_handler=1 so this handler owns
+/// the signal.
+void install_fault_handler();
+
+/// Binds/unbinds the calling thread's fault sink.  Pass nullptr to restore
+/// the default (crash) behaviour.  A fault raised while the sink is already
+/// executing (re-entry) also crashes: the sink is detached for the duration
+/// of on_fault.
+void set_thread_fault_sink(FaultSink* sink);
+
+}  // namespace gdsm::dsm::proc

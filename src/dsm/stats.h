@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dsm/backend.h"
 #include "net/transport.h"
 
 namespace gdsm::dsm {
@@ -40,6 +41,16 @@ struct NodeStats {
   std::uint64_t prefetch_wasted = 0;     ///< prefetched pages never used
   std::uint64_t empty_diffs_suppressed = 0;  ///< no-op diff round-trips skipped
 
+  // -- process backend (v8; see docs/METRICS.md "dsm" section) -------------
+  std::uint64_t peer_failures = 0;   ///< remote-peer deaths observed (socket
+                                     ///< EOF/ECONNRESET/EPIPE, child exit)
+  std::uint64_t segv_faults = 0;     ///< SIGSEGV traps taken by the handler
+  std::uint64_t pages_mapped = 0;    ///< cache pages made readable by a fault
+  std::uint64_t pages_protected = 0; ///< pages downgraded back to PROT_NONE
+  std::uint64_t twins_created = 0;   ///< write-fault twin copies made
+  std::uint64_t socket_bytes_sent = 0;      ///< data-plane socket traffic out
+  std::uint64_t socket_bytes_received = 0;  ///< data-plane socket traffic in
+
   NodeStats& operator+=(const NodeStats& o) noexcept {
     read_faults += o.read_faults;
     cache_hits += o.cache_hits;
@@ -65,6 +76,13 @@ struct NodeStats {
     prefetch_hits += o.prefetch_hits;
     prefetch_wasted += o.prefetch_wasted;
     empty_diffs_suppressed += o.empty_diffs_suppressed;
+    peer_failures += o.peer_failures;
+    segv_faults += o.segv_faults;
+    pages_mapped += o.pages_mapped;
+    pages_protected += o.pages_protected;
+    twins_created += o.twins_created;
+    socket_bytes_sent += o.socket_bytes_sent;
+    socket_bytes_received += o.socket_bytes_received;
     return *this;
   }
 
@@ -83,6 +101,7 @@ struct NodeStats {
 };
 
 struct DsmStats {
+  Backend backend = Backend::kThreads;           ///< which backend ran the job
   std::vector<NodeStats> node;                   ///< per application node
   std::vector<net::TrafficCounters> traffic;     ///< per node, messages sent
   std::uint64_t home_migrations = 0;             ///< pages whose home moved

@@ -57,13 +57,10 @@ BarrierGrant decode_barrier_grant(const std::vector<std::byte>& payload) {
   return grant;
 }
 
-std::size_t append_diff(std::vector<std::byte>& out,
-                        const std::vector<std::byte>& twin,
-                        const std::vector<std::byte>& data) {
-  assert(twin.size() == data.size());
+std::size_t append_diff(std::vector<std::byte>& out, const std::byte* twin,
+                        const std::byte* data, std::size_t n) {
   const std::size_t start_size = out.size();
   std::size_t i = 0;
-  const std::size_t n = data.size();
   while (i < n) {
     if (twin[i] == data[i]) {
       ++i;
@@ -82,11 +79,17 @@ std::size_t append_diff(std::vector<std::byte>& out,
     }
     net::append_pod(out, static_cast<std::uint32_t>(i));
     net::append_pod(out, static_cast<std::uint32_t>(end - i));
-    out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(i),
-               data.begin() + static_cast<std::ptrdiff_t>(end));
+    out.insert(out.end(), data + i, data + end);
     i = end;
   }
   return out.size() - start_size;
+}
+
+std::size_t append_diff(std::vector<std::byte>& out,
+                        const std::vector<std::byte>& twin,
+                        const std::vector<std::byte>& data) {
+  assert(twin.size() == data.size());
+  return append_diff(out, twin.data(), data.data(), data.size());
 }
 
 std::vector<std::byte> make_diff(const std::vector<std::byte>& twin,
@@ -121,10 +124,18 @@ void apply_diff(std::byte* dst, std::size_t dst_size,
 bool append_diff_batch_page(std::vector<std::byte>& out, PageId page,
                             const std::vector<std::byte>& twin,
                             const std::vector<std::byte>& data) {
+  assert(twin.size() == data.size());
+  return append_diff_batch_page(out, page, twin.data(), data.data(),
+                                data.size());
+}
+
+bool append_diff_batch_page(std::vector<std::byte>& out, PageId page,
+                            const std::byte* twin, const std::byte* data,
+                            std::size_t n) {
   const std::size_t frame_start = out.size();
   net::append_pod(out, page);
   net::append_pod(out, std::uint32_t{0});  // record_bytes, patched below
-  const std::size_t record_bytes = append_diff(out, twin, data);
+  const std::size_t record_bytes = append_diff(out, twin, data, n);
   if (record_bytes == 0) {
     out.resize(frame_start);  // unchanged page: suppress the whole frame
     return false;

@@ -42,6 +42,11 @@ std::size_t append_diff(std::vector<std::byte>& out,
                         const std::vector<std::byte>& twin,
                         const std::vector<std::byte>& data);
 
+/// Pointer flavour for the process backend, whose page contents live in a
+/// mapped region rather than a vector.  `n` bytes of each side are compared.
+std::size_t append_diff(std::vector<std::byte>& out, const std::byte* twin,
+                        const std::byte* data, std::size_t n);
+
 /// Record-level apply for batched payloads: `records`/`len` delimit one
 /// page's diff records inside a larger buffer.
 void apply_diff(std::byte* dst, std::size_t dst_size, const std::byte* records,
@@ -54,6 +59,9 @@ void apply_diff(std::byte* dst, std::size_t dst_size, const std::byte* records,
 bool append_diff_batch_page(std::vector<std::byte>& out, PageId page,
                             const std::vector<std::byte>& twin,
                             const std::vector<std::byte>& data);
+bool append_diff_batch_page(std::vector<std::byte>& out, PageId page,
+                            const std::byte* twin, const std::byte* data,
+                            std::size_t n);
 
 /// One page's slice of a diff-batch payload: `offset`/`len` delimit the
 /// page's diff records inside the payload buffer.

@@ -1,0 +1,168 @@
+#include "net/frame.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <sys/socket.h>
+
+namespace gdsm::net {
+
+namespace {
+
+template <typename T>
+void put(std::vector<std::byte>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T take(const std::byte* body, std::size_t len, std::size_t& off) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (off + sizeof(T) > len) {
+    throw std::runtime_error("net::decode_message: truncated body");
+  }
+  T v;
+  std::memcpy(&v, body + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+void append_frame(std::vector<std::byte>& out, FrameKind kind,
+                  const std::byte* body, std::size_t body_len) {
+  if (body_len + 1 > kMaxFrameBody) {
+    throw std::runtime_error("net::append_frame: body exceeds kMaxFrameBody");
+  }
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(body_len + 1));
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(kind));
+  if (body_len > 0) out.insert(out.end(), body, body + body_len);
+}
+
+std::vector<std::byte> encode_message(const Message& msg) {
+  std::vector<std::byte> out;
+  out.reserve(38 + msg.payload.size());
+  put<std::int32_t>(out, msg.src);
+  put<std::int32_t>(out, msg.dst);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(msg.type));
+  put<std::uint8_t>(out, msg.to_reply_box ? 1 : 0);
+  put<std::uint64_t>(out, msg.a);
+  put<std::uint64_t>(out, msg.b);
+  put<std::uint64_t>(out, msg.c);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(msg.payload.size()));
+  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  return out;
+}
+
+Message decode_message(const std::byte* body, std::size_t len) {
+  std::size_t off = 0;
+  Message msg;
+  msg.src = take<std::int32_t>(body, len, off);
+  msg.dst = take<std::int32_t>(body, len, off);
+  const auto type = take<std::uint8_t>(body, len, off);
+  if (type >= kNumMsgTypes) {
+    throw std::runtime_error("net::decode_message: unknown message type");
+  }
+  msg.type = static_cast<MsgType>(type);
+  msg.to_reply_box = take<std::uint8_t>(body, len, off) != 0;
+  msg.a = take<std::uint64_t>(body, len, off);
+  msg.b = take<std::uint64_t>(body, len, off);
+  msg.c = take<std::uint64_t>(body, len, off);
+  const auto payload_len = take<std::uint32_t>(body, len, off);
+  if (off + payload_len != len) {
+    throw std::runtime_error("net::decode_message: payload length mismatch");
+  }
+  msg.payload.assign(body + off, body + off + payload_len);
+  return msg;
+}
+
+Message decode_message(const std::vector<std::byte>& body) {
+  return decode_message(body.data(), body.size());
+}
+
+void append_message_frame(std::vector<std::byte>& out, const Message& msg) {
+  const std::vector<std::byte> body = encode_message(msg);
+  append_frame(out, FrameKind::kMessage, body.data(), body.size());
+}
+
+namespace {
+
+/// Reads exactly n bytes; returns false on EOF before the first byte when
+/// `eof_ok`, throws on mid-buffer EOF or error.
+bool read_exact(int fd, std::byte* buf, std::size_t n, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("net::read_frame");
+    }
+    if (r == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw std::runtime_error("net::read_frame: EOF mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Frame> read_frame(int fd) {
+  std::uint32_t body_len = 0;
+  if (!read_exact(fd, reinterpret_cast<std::byte*>(&body_len),
+                  sizeof(body_len), /*eof_ok=*/true)) {
+    return std::nullopt;  // clean EOF at a frame boundary
+  }
+  if (body_len == 0 || body_len > kMaxFrameBody) {
+    throw std::runtime_error("net::read_frame: bad frame length");
+  }
+  std::uint8_t kind = 0;
+  read_exact(fd, reinterpret_cast<std::byte*>(&kind), 1, /*eof_ok=*/false);
+  if (kind > static_cast<std::uint8_t>(FrameKind::kDrained)) {
+    throw std::runtime_error("net::read_frame: unknown frame kind");
+  }
+  Frame f;
+  f.kind = static_cast<FrameKind>(kind);
+  f.body.resize(body_len - 1);
+  if (!f.body.empty()) {
+    read_exact(fd, f.body.data(), f.body.size(), /*eof_ok=*/false);
+  }
+  return f;
+}
+
+void write_frame(int fd, FrameKind kind, const std::byte* body,
+                 std::size_t body_len) {
+  std::vector<std::byte> buf;
+  buf.reserve(5 + body_len);
+  append_frame(buf, kind, body, body_len);
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the process
+    // with SIGPIPE; the caller maps the error to a node failure.
+    const ssize_t r = ::send(fd, buf.data() + sent, buf.size() - sent,
+                             MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("net::write_frame");
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+void write_message_frame(int fd, const Message& msg) {
+  const std::vector<std::byte> body = encode_message(msg);
+  write_frame(fd, FrameKind::kMessage, body.data(), body.size());
+}
+
+}  // namespace gdsm::net

@@ -74,6 +74,11 @@ Json RunReport::to_json() const {
     // that never touched a SubjectDb, like the kernel/comm sections).
     sections.set("db", db_stats_json());
   }
+  if (sections.find("dsm") == nullptr) {
+    // v8: every report names the DSM execution backend and carries the
+    // process-backend totals (all zero under the thread backend).
+    sections.set("dsm", dsm_backend_json());
+  }
   doc.set("sections", std::move(sections));
   return doc;
 }

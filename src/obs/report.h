@@ -40,7 +40,12 @@ inline constexpr const char* kReportSchema = "gdsm.run_report";
 /// fragments scanned/rejected/aligned, filtration_rate, hits, and a
 /// shard_balance object with per-node resident bases and aligned-fragment
 /// counts — docs/METRICS.md "db", docs/SERVICE.md "Database serving").
-inline constexpr int kSchemaVersion = 7;
+/// v8: multi-process DSM backend — every report carries the "dsm" section
+/// (backend: "threads"|"process", plus the process-backend totals:
+/// peer_failures, segv_faults, pages_mapped/protected, twins_created,
+/// socket bytes) and NodeStats gained the same per-node counters
+/// (docs/METRICS.md "dsm", DESIGN.md "Process backend").
+inline constexpr int kSchemaVersion = 8;
 /// Oldest schema version tools still accept (v3 files predate the kernel
 /// and comm sections but are otherwise field-compatible).
 inline constexpr int kSchemaVersionMin = 3;

@@ -61,11 +61,19 @@ Json to_json(const dsm::NodeStats& ns) {
   j.set("prefetch_hits", ns.prefetch_hits);
   j.set("prefetch_wasted", ns.prefetch_wasted);
   j.set("empty_diffs_suppressed", ns.empty_diffs_suppressed);
+  j.set("peer_failures", ns.peer_failures);
+  j.set("segv_faults", ns.segv_faults);
+  j.set("pages_mapped", ns.pages_mapped);
+  j.set("pages_protected", ns.pages_protected);
+  j.set("twins_created", ns.twins_created);
+  j.set("socket_bytes_sent", ns.socket_bytes_sent);
+  j.set("socket_bytes_received", ns.socket_bytes_received);
   return j;
 }
 
 Json to_json(const dsm::DsmStats& stats) {
   Json j = Json::object();
+  j.set("backend", dsm::backend_name(stats.backend));
   Json nodes = Json::array();
   for (const auto& n : stats.node) nodes.push(to_json(n));
   j.set("nodes", std::move(nodes));
@@ -171,6 +179,20 @@ Json db_stats_json() {
   for (const std::uint64_t a : s.node_aligned) aligned.push(a);
   balance.set("node_aligned", std::move(aligned));
   j.set("shard_balance", std::move(balance));
+  return j;
+}
+
+Json dsm_backend_json() {
+  const dsm::NodeStats totals = dsm::comm_totals();
+  Json j = Json::object();
+  j.set("backend", dsm::backend_name(dsm::default_backend()));
+  j.set("peer_failures", totals.peer_failures);
+  j.set("segv_faults", totals.segv_faults);
+  j.set("pages_mapped", totals.pages_mapped);
+  j.set("pages_protected", totals.pages_protected);
+  j.set("twins_created", totals.twins_created);
+  j.set("socket_bytes_sent", totals.socket_bytes_sent);
+  j.set("socket_bytes_received", totals.socket_bytes_received);
   return j;
 }
 

@@ -58,4 +58,11 @@ Json comm_stats_json();
 /// before DP and how evenly the sharded scan spread over the cluster.
 Json db_stats_json();
 
+/// {backend, peer_failures, segv_faults, pages_mapped, pages_protected,
+/// twins_created, socket_bytes_sent, socket_bytes_received} — the DSM
+/// execution backend the process defaults to (GDSM_BACKEND) plus the
+/// process-backend totals since process start (dsm::comm_totals(); all
+/// zero under the thread backend).
+Json dsm_backend_json();
+
 }  // namespace gdsm::obs

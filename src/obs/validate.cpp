@@ -161,6 +161,31 @@ std::string validate_run_report(const Json& doc, bool require_read_faults) {
     }
   }
 
+  if (doc.at("schema_version").as_int() >= 8) {
+    // v8: multi-process DSM backend — the dsm section names the execution
+    // backend and carries the process-backend counters.
+    const Json* sections = doc.find("sections");
+    const Json* dsm = sections ? sections->find("dsm") : nullptr;
+    if (dsm == nullptr || !dsm->is_object()) {
+      return "v8 report without sections.dsm (DSM backend counters; "
+             "see docs/METRICS.md v8)";
+    }
+    const Json* backend = dsm->find("backend");
+    if (backend == nullptr || !backend->is_string() ||
+        (backend->as_string() != "threads" &&
+         backend->as_string() != "process")) {
+      return "sections.dsm.backend missing or not threads|process";
+    }
+    for (const char* k :
+         {"peer_failures", "segv_faults", "pages_mapped", "pages_protected",
+          "twins_created", "socket_bytes_sent", "socket_bytes_received"}) {
+      const Json* counter = dsm->find(k);
+      if (counter == nullptr || !counter->is_number()) {
+        return std::string("sections.dsm.") + k + " missing or not a number";
+      }
+    }
+  }
+
   if (require_read_faults && !any_positive_read_faults(doc)) {
     return "no positive read_faults counter found (--require-read-faults)";
   }

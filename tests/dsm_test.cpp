@@ -11,6 +11,24 @@
 namespace gdsm::dsm {
 namespace {
 
+/// Reads `n` ints back from shared memory via node 0.  Results a program
+/// wants checked must travel through the global space, not captured host
+/// variables: under the process backend every node but 0 runs in a forked
+/// child whose writes to captures die with it.  Node 0 always runs in the
+/// host address space, so a follow-up job reading on node 0 works on both
+/// backends.
+std::vector<int> read_back(Cluster& cluster, GlobalAddr base, std::size_t n) {
+  std::vector<int> out(n, 0);
+  cluster.run([&](Node& node) {
+    if (node.id() == 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = node.read<int>(base + i * sizeof(int));
+      }
+    }
+  });
+  return out;
+}
+
 TEST(GlobalSpace, AllocRoundsToPagesAndAssignsHomes) {
   DsmConfig cfg;
   cfg.page_bytes = 256;
@@ -65,22 +83,24 @@ TEST(PageCache, DirtyTracking) {
 TEST(Cluster, HomeWritesVisibleAfterBarrier) {
   Cluster cluster(4);
   const GlobalAddr arr = cluster.alloc(4 * sizeof(int), /*home=*/0);
-  std::array<std::atomic<int>, 4> seen{};
+  const GlobalAddr res = cluster.alloc(4 * sizeof(int), /*home=*/0);
   cluster.run([&](Node& node) {
     if (node.id() == 0) {
       for (int i = 0; i < 4; ++i) node.write<int>(arr + i * sizeof(int), 100 + i);
     }
     node.barrier();
-    seen[static_cast<std::size_t>(node.id())] =
-        node.read<int>(arr + node.id() * sizeof(int));
+    node.write<int>(res + node.id() * sizeof(int),
+                    node.read<int>(arr + node.id() * sizeof(int)));
+    node.barrier();  // flushes every node's result diff home
   });
+  const std::vector<int> seen = read_back(cluster, res, 4);
   for (int i = 0; i < 4; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], 100 + i);
 }
 
 TEST(Cluster, RemoteWritesReachHomeViaDiffs) {
   Cluster cluster(3);
   const GlobalAddr arr = cluster.alloc(3 * sizeof(int), /*home=*/0);
-  std::atomic<int> sum{0};
+  const GlobalAddr res = cluster.alloc(sizeof(int), /*home=*/0);
   cluster.run([&](Node& node) {
     // Every node writes its own slot (disjoint offsets of the SAME page):
     // the multiple-writer protocol must merge all three at the home.
@@ -89,11 +109,12 @@ TEST(Cluster, RemoteWritesReachHomeViaDiffs) {
     if (node.id() == 2) {
       int total = 0;
       for (int i = 0; i < 3; ++i) total += node.read<int>(arr + i * sizeof(int));
-      sum = total;
+      node.write<int>(res, total);
     }
+    node.barrier();
   });
-  EXPECT_EQ(sum, 6);
-  const DsmStats stats = cluster.stats();
+  const DsmStats stats = cluster.stats();  // before read_back's job clobbers it
+  EXPECT_EQ(read_back(cluster, res, 1)[0], 6);
   EXPECT_GE(stats.total_node().diffs_sent, 2u);  // nodes 1 and 2 diffed
 }
 
@@ -121,33 +142,37 @@ TEST(Cluster, LockProvidesMutualExclusionAndCoherence) {
 TEST(Cluster, ConditionVariablePassesValue) {
   Cluster cluster(2);
   const GlobalAddr slot = cluster.alloc(sizeof(int), /*home=*/0);
-  std::atomic<int> got{-1};
+  const GlobalAddr res = cluster.alloc(sizeof(int), /*home=*/0);
   cluster.run([&](Node& node) {
     if (node.id() == 0) {
       node.write<int>(slot, 4242);
       node.setcv(1);  // release semantics: flush + notices ride the signal
     } else {
       node.waitcv(1);  // acquire: invalidate noticed pages
-      got = node.read<int>(slot);
+      node.write<int>(res, node.read<int>(slot));
     }
+    node.barrier();
   });
-  EXPECT_EQ(got, 4242);
+  EXPECT_EQ(read_back(cluster, res, 1)[0], 4242);
 }
 
 TEST(Cluster, ConditionVariableCountsSignals) {
   Cluster cluster(2);
-  std::atomic<int> woken{0};
+  const GlobalAddr res = cluster.alloc(sizeof(int), /*home=*/0);
   cluster.run([&](Node& node) {
     if (node.id() == 0) {
       for (int i = 0; i < 5; ++i) node.setcv(3);
     } else {
+      int woken = 0;
       for (int i = 0; i < 5; ++i) {
         node.waitcv(3);
         ++woken;
       }
+      node.write<int>(res, woken);
     }
+    node.barrier();
   });
-  EXPECT_EQ(woken, 5);
+  EXPECT_EQ(read_back(cluster, res, 1)[0], 5);
 }
 
 TEST(Cluster, ProducerConsumerChainThroughSharedMemory) {
@@ -158,7 +183,7 @@ TEST(Cluster, ProducerConsumerChainThroughSharedMemory) {
   Cluster cluster(P);
   std::vector<GlobalAddr> slots;
   for (int p = 0; p + 1 < P; ++p) slots.push_back(cluster.alloc(sizeof(int), p));
-  std::atomic<int> last{-1};
+  const GlobalAddr res = cluster.alloc(sizeof(int), /*home=*/0);
   cluster.run([&](Node& node) {
     const int p = node.id();
     for (int r = 0; r < kRounds; ++r) {
@@ -174,12 +199,12 @@ TEST(Cluster, ProducerConsumerChainThroughSharedMemory) {
         node.write<int>(slots[static_cast<std::size_t>(p)], value);
         node.setcv(p);
       } else if (r == kRounds - 1) {
-        last = value;
+        node.write<int>(res, value);
       }
     }
     node.barrier();
   });
-  EXPECT_EQ(last, kRounds - 1 + P);
+  EXPECT_EQ(read_back(cluster, res, 1)[0], kRounds - 1 + P);
 }
 
 TEST(Cluster, ReplacementKeepsSemantics) {
@@ -214,7 +239,7 @@ TEST(Cluster, ReplacementKeepsSemantics) {
 TEST(Cluster, AllocInsideProgram) {
   Cluster cluster(3);
   const GlobalAddr mailbox = cluster.alloc(sizeof(GlobalAddr), 0);
-  std::atomic<int> readback{0};
+  const GlobalAddr res = cluster.alloc(sizeof(int), 0);
   cluster.run([&](Node& node) {
     if (node.id() == 1) {
       const GlobalAddr fresh = node.alloc(sizeof(int), 2);
@@ -224,10 +249,11 @@ TEST(Cluster, AllocInsideProgram) {
     node.barrier();
     if (node.id() == 2) {
       const GlobalAddr fresh = node.read<GlobalAddr>(mailbox);
-      readback = node.read<int>(fresh);
+      node.write<int>(res, node.read<int>(fresh));
     }
+    node.barrier();
   });
-  EXPECT_EQ(readback, 777);
+  EXPECT_EQ(read_back(cluster, res, 1)[0], 777);
 }
 
 TEST(Cluster, StatsAccountProtocolActivity) {
@@ -322,7 +348,7 @@ TEST(HomeMigration, DataStaysCoherentAcrossMigration) {
   cfg.home_migration = true;
   Cluster cluster(4, cfg);
   const GlobalAddr x = cluster.alloc(sizeof(long), /*home=*/0);
-  std::atomic<long> seen{-1};
+  const GlobalAddr res = cluster.alloc(sizeof(int), /*home=*/0);
   cluster.run([&](Node& node) {
     // Round 1: node 3 writes (page migrates to 3).
     if (node.id() == 3) node.write<long>(x, 111);
@@ -331,11 +357,12 @@ TEST(HomeMigration, DataStaysCoherentAcrossMigration) {
     if (node.id() == 2) node.write<long>(x, node.read<long>(x) + 222);
     node.barrier();
     // Everyone must see both updates.
-    if (node.id() == 1) seen = node.read<long>(x);
+    if (node.id() == 1) node.write<int>(res, static_cast<int>(node.read<long>(x)));
     node.barrier();
   });
-  EXPECT_EQ(seen, 333);
-  EXPECT_EQ(cluster.stats().home_migrations, 2u);
+  EXPECT_EQ(read_back(cluster, res, 1)[0], 333);
+  // x migrated twice; the result page also migrated to its single writer 1.
+  EXPECT_EQ(cluster.stats().home_migrations, 3u);
 }
 
 CommConfig legacy_comm_cfg() {
@@ -493,11 +520,13 @@ TEST(CommPlane, ReleaseDiffsCoalescePerHome) {
 
 TEST(Cluster, SpmdProgramSeesOwnRank) {
   Cluster cluster(5);
-  std::array<std::atomic<int>, 5> ranks{};
+  const GlobalAddr res = cluster.alloc(5 * sizeof(int), /*home=*/0);
   cluster.run([&](Node& node) {
-    ranks[static_cast<std::size_t>(node.id())] = node.id();
-    EXPECT_EQ(node.nodes(), 5);
+    node.write<int>(res + node.id() * sizeof(int),
+                    node.nodes() == 5 ? node.id() : -1);
+    node.barrier();
   });
+  const std::vector<int> ranks = read_back(cluster, res, 5);
   for (int i = 0; i < 5; ++i) EXPECT_EQ(ranks[static_cast<std::size_t>(i)], i);
 }
 

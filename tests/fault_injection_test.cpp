@@ -305,8 +305,33 @@ TEST(FaultInjectionTest, OracleMatchesUnderEveryPlanWithBatchingOnAndOff) {
 
 TEST(ClusterFailureTest, SingleNodeFailureRethrowsOriginalType) {
   dsm::Cluster cluster(3);
+  if (cluster.config().backend == dsm::Backend::kThreads) {
+    EXPECT_THROW(cluster.run([](dsm::Node& node) {
+                   if (node.id() == 1) throw std::invalid_argument("just me");
+                 }),
+                 std::invalid_argument);
+  } else {
+    // A child process can only ship the message across the socket, not the
+    // exception object; the type degrades to runtime_error but the
+    // diagnostic must survive.
+    try {
+      cluster.run([](dsm::Node& node) {
+        if (node.id() == 1) throw std::invalid_argument("just me");
+      });
+      FAIL() << "run() should have thrown";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("just me"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ClusterFailureTest, Node0FailureRethrowsOriginalTypeOnBothBackends) {
+  // Node 0 runs in the host address space under both backends, so its
+  // exception object is preserved end to end.
+  dsm::Cluster cluster(3);
   EXPECT_THROW(cluster.run([](dsm::Node& node) {
-                 if (node.id() == 1) throw std::invalid_argument("just me");
+                 if (node.id() == 0) throw std::invalid_argument("me first");
                }),
                std::invalid_argument);
 }

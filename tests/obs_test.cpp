@@ -274,6 +274,63 @@ TEST(ValidateReportTest, RejectsV7ReportMissingDbSection) {
   }
 }
 
+// Regression for the v8 process-backend requirement: a freshly emitted
+// report auto-carries sections.dsm with the backend name and the process
+// counters, and a v8 document that lost them must be rejected by name.
+TEST(ValidateReportTest, RejectsV8ReportMissingDsmSection) {
+  RunReport report("validate_unit_v8", "v8 dsm-section regression");
+  Json row = Json::object();
+  row.set("x", 1);
+  report.add_row("points", std::move(row));
+  const Json good = report.to_json();
+  ASSERT_GE(good.at("schema_version").as_int(), 8);
+  ASSERT_EQ(validate_run_report(good), "");
+
+  const Json& sections = good.at("sections");
+  const Json& dsm = sections.at("dsm");
+  const std::string backend = dsm.at("backend").as_string();
+  EXPECT_TRUE(backend == "threads" || backend == "process") << backend;
+  for (const char* key :
+       {"peer_failures", "segv_faults", "pages_mapped", "pages_protected",
+        "twins_created", "socket_bytes_sent", "socket_bytes_received"}) {
+    EXPECT_TRUE(dsm.has(key)) << key;
+  }
+
+  {
+    Json doc = good;
+    doc.set("sections", without_member(sections, "dsm"));
+    const std::string why = validate_run_report(doc);
+    EXPECT_NE(why.find("sections.dsm"), std::string::npos) << why;
+  }
+  {
+    Json doc = good;
+    Json s = without_member(sections, "dsm");
+    s.set("dsm", without_member(dsm, "segv_faults"));
+    doc.set("sections", std::move(s));
+    const std::string why = validate_run_report(doc);
+    EXPECT_NE(why.find("segv_faults"), std::string::npos) << why;
+  }
+  {
+    // An unknown backend name is as bad as a missing one.
+    Json doc = good;
+    Json s = without_member(sections, "dsm");
+    Json bad = without_member(dsm, "backend");
+    bad.set("backend", "carrier-pigeon");
+    s.set("dsm", std::move(bad));
+    doc.set("sections", std::move(s));
+    const std::string why = validate_run_report(doc);
+    EXPECT_NE(why.find("backend"), std::string::npos) << why;
+  }
+  // A v7 document without the dsm section is still accepted (the window
+  // reaches back to v3).
+  {
+    Json doc = good;
+    doc.set("schema_version", 7);
+    doc.set("sections", without_member(sections, "dsm"));
+    EXPECT_EQ(validate_run_report(doc), "");
+  }
+}
+
 TEST(SnapshotsTest, DsmStatsFromRealClusterRun) {
   dsm::Cluster cluster(2);
   const dsm::GlobalAddr arr = cluster.alloc(16 * 1024, 0);
@@ -310,9 +367,14 @@ TEST(SnapshotsTest, DsmStatsFromRealClusterRun) {
         "barriers", "cv_signals", "cv_waits", "diff_batches_sent",
         "diff_pages_batched", "bulk_fetches", "bulk_pages_fetched",
         "prefetch_issued", "prefetch_hits", "prefetch_wasted",
-        "empty_diffs_suppressed"}) {
+        "empty_diffs_suppressed", "peer_failures", "segv_faults",
+        "pages_mapped", "pages_protected", "twins_created",
+        "socket_bytes_sent", "socket_bytes_received"}) {
     EXPECT_TRUE(back.at("nodes").items()[0].has(key)) << key;
   }
+  // v8: the stats snapshot names the backend that ran the job.
+  const std::string backend = back.at("backend").as_string();
+  EXPECT_TRUE(backend == "threads" || backend == "process") << backend;
 }
 
 TEST(SnapshotsTest, SimReportJson) {

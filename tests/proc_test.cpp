@@ -1,0 +1,243 @@
+// Process-backend tests (src/dsm/proc): explicit Backend::kProcess clusters
+// regardless of GDSM_BACKEND, bit-identity against the thread backend and
+// the serial reference, process-specific stats counters, space exhaustion,
+// and — the no-hang guarantee — a child killed mid-run surfacing as a clean
+// Cluster::run failure.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/wavefront.h"
+#include "dsm/cluster.h"
+#include "sw/heuristic_scan.h"
+#include "testing/oracle.h"
+#include "util/genome.h"
+
+namespace gdsm::dsm {
+namespace {
+
+DsmConfig proc_cfg() {
+  DsmConfig cfg;
+  cfg.backend = Backend::kProcess;
+  return cfg;
+}
+
+std::vector<int> read_back(Cluster& cluster, GlobalAddr base, std::size_t n) {
+  std::vector<int> out(n, 0);
+  cluster.run([&](Node& node) {
+    if (node.id() == 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = node.read<int>(base + i * sizeof(int));
+      }
+    }
+  });
+  return out;
+}
+
+TEST(ProcBackend, GlobalSpaceRunsPlacedAndBoundsAllocations) {
+  DsmConfig cfg = proc_cfg();
+  cfg.page_bytes = 4096;
+  cfg.proc_space_bytes = 16 * 4096;
+  Cluster cluster(2, cfg);
+  EXPECT_EQ(cluster.config().backend, Backend::kProcess);
+  (void)cluster.alloc(8 * 4096, 0);  // fits
+  EXPECT_THROW(cluster.alloc(16 * 4096, 0), std::runtime_error);
+}
+
+TEST(ProcBackend, LockCounterCoherentAcrossProcesses) {
+  Cluster cluster(4, proc_cfg());
+  const GlobalAddr counter = cluster.alloc(sizeof(int), /*home=*/3);
+  constexpr int kIters = 20;
+  cluster.run([&](Node& node) {
+    for (int k = 0; k < kIters; ++k) {
+      node.lock(5);
+      node.write<int>(counter, node.read<int>(counter) + 1);
+      node.unlock(5);
+    }
+    node.barrier();
+  });
+  EXPECT_EQ(read_back(cluster, counter, 1)[0], 4 * kIters);
+}
+
+TEST(ProcBackend, MultipleWriterDiffsMergeAtHome) {
+  // Disjoint slices of one page written by every process: the SIGSEGV
+  // twin/diff path must merge all writers without false sharing.
+  Cluster cluster(4, proc_cfg());
+  constexpr int kInts = 64;  // per node
+  const GlobalAddr arr = cluster.alloc(4 * kInts * sizeof(int), /*home=*/0);
+  cluster.run([&](Node& node) {
+    for (int i = 0; i < kInts; ++i) {
+      node.write<int>(arr + (node.id() * kInts + i) * sizeof(int),
+                      node.id() * 1000 + i);
+    }
+    node.barrier();
+  });
+  const std::vector<int> all =
+      read_back(cluster, arr, static_cast<std::size_t>(4 * kInts));
+  for (int p = 0; p < 4; ++p) {
+    for (int i = 0; i < kInts; ++i) {
+      EXPECT_EQ(all[static_cast<std::size_t>(p * kInts + i)], p * 1000 + i);
+    }
+  }
+}
+
+TEST(ProcBackend, StatsCarryProcessCountersAndBackendTag) {
+  Cluster cluster(2, proc_cfg());
+  const GlobalAddr x = cluster.alloc(sizeof(int), /*home=*/0);
+  cluster.run([&](Node& node) {
+    if (node.id() == 1) node.write<int>(x, 9);  // child: fault + twin + diff
+    node.barrier();
+  });
+  const DsmStats stats = cluster.stats();
+  EXPECT_EQ(stats.backend, Backend::kProcess);
+  const NodeStats& child = stats.node[1];
+  EXPECT_GE(child.segv_faults, 2u);  // read fault + write upgrade
+  EXPECT_GE(child.read_faults, 1u);
+  EXPECT_GE(child.write_faults, 1u);
+  EXPECT_GE(child.twins_created, 1u);
+  EXPECT_GE(child.pages_mapped, 1u);
+  EXPECT_GE(child.pages_protected, 1u);
+  EXPECT_GE(child.diffs_sent, 1u);
+  // Every child message crosses the parent's socket plane.
+  EXPECT_GT(stats.node[0].socket_bytes_sent, 0u);
+  EXPECT_GT(stats.node[0].socket_bytes_received, 0u);
+  EXPECT_GT(child.socket_bytes_sent, 0u);
+  EXPECT_EQ(stats.total_node().peer_failures, 0u);
+}
+
+TEST(ProcBackend, ThreadBackendStatsStayZeroForProcessCounters) {
+  DsmConfig cfg;
+  cfg.backend = Backend::kThreads;
+  Cluster cluster(2, cfg);
+  const GlobalAddr x = cluster.alloc(sizeof(int), /*home=*/0);
+  cluster.run([&](Node& node) {
+    if (node.id() == 1) node.write<int>(x, 9);
+    node.barrier();
+  });
+  const DsmStats stats = cluster.stats();
+  EXPECT_EQ(stats.backend, Backend::kThreads);
+  EXPECT_EQ(stats.total_node().segv_faults, 0u);
+  EXPECT_EQ(stats.total_node().twins_created, 0u);
+  EXPECT_EQ(stats.total_node().socket_bytes_sent, 0u);
+}
+
+TEST(ProcBackend, WavefrontBitIdenticalToThreadsAndSerial) {
+  testing::OracleCase c;
+  c.seed = 20260808;
+  c.length_s = 400;
+  c.length_t = 400;
+  c.n_regions = 3;
+  const HomologousPair pair = c.make_pair();
+  const std::vector<Candidate> serial =
+      heuristic_scan(pair.s, pair.t, c.scheme, c.params);
+
+  const auto run_with = [&](Backend backend) {
+    core::WavefrontConfig cfg;
+    cfg.nprocs = 4;
+    cfg.scheme = c.scheme;
+    cfg.params = c.params;
+    cfg.dsm.backend = backend;
+    return core::wavefront_align(pair.s, pair.t, cfg);
+  };
+  const core::StrategyResult threads = run_with(Backend::kThreads);
+  const core::StrategyResult process = run_with(Backend::kProcess);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(threads.candidates, serial);
+  EXPECT_EQ(process.candidates, serial);
+  EXPECT_EQ(process.candidates, threads.candidates);
+  EXPECT_EQ(process.dsm_stats.backend, Backend::kProcess);
+}
+
+TEST(ProcBackend, KilledChildSurfacesAsFailureNotHang) {
+  // Node 2 kills its own process mid-job while the others sit in a barrier.
+  // The supervisor must observe the socket EOF, count a peer failure, unwind
+  // every blocked node and fail the job — with the default
+  // RetryPolicy.timeout_us == 0 (wait forever), so only the peer-death path
+  // can break the wait.
+  Cluster cluster(3, proc_cfg());
+  try {
+    cluster.run([](Node& node) {
+      if (node.id() == 2) {
+        ::raise(SIGKILL);  // never returns: no kDone, just socket EOF
+      }
+      node.barrier();
+    });
+    FAIL() << "run() should have thrown";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("node process 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("died"), std::string::npos) << what;
+  }
+  EXPECT_GE(cluster.stats().node[0].peer_failures, 1u);
+
+  // The pool is not poisoned: the next job forks fresh children and runs.
+  const GlobalAddr res = cluster.alloc(3 * sizeof(int), /*home=*/0);
+  cluster.run([&](Node& node) {
+    node.write<int>(res + node.id() * sizeof(int), 1);
+    node.barrier();
+  });
+  EXPECT_EQ(read_back(cluster, res, 3), (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ProcBackend, ChildExitWithoutDoneIsAFailure) {
+  // _exit(0) skips the kDone/kStats handshake entirely; EOF alone must be
+  // treated as node death, not success.
+  Cluster cluster(2, proc_cfg());
+  EXPECT_THROW(cluster.run([](Node& node) {
+                 if (node.id() == 1) ::_exit(0);
+                 node.barrier();
+               }),
+               std::runtime_error);
+  EXPECT_GE(cluster.stats().node[0].peer_failures, 1u);
+}
+
+TEST(ProcBackend, CommModesAllProduceIdenticalResults) {
+  // legacy / batched / batched+prefetch over the socket data plane.
+  const auto run_mode = [](CommConfig comm) {
+    DsmConfig cfg = proc_cfg();
+    cfg.comm = comm;
+    cfg.page_bytes = 256;
+    Cluster cluster(3, cfg);
+    constexpr int kInts = 512;  // 8 pages of subject data homed at 0
+    const GlobalAddr arr = cluster.alloc(kInts * sizeof(int), /*home=*/0);
+    const GlobalAddr res = cluster.alloc(3 * sizeof(int), /*home=*/2);
+    cluster.run([&](Node& node) {
+      if (node.id() == 0) {
+        for (int i = 0; i < kInts; ++i) {
+          node.write<int>(arr + i * sizeof(int), i * 3 + 1);
+        }
+      }
+      node.barrier();
+      long sum = 0;  // every node scans the full array (bulk fetch/prefetch)
+      for (int i = 0; i < kInts; ++i) {
+        sum += node.read<int>(arr + i * sizeof(int));
+      }
+      node.write<int>(res + node.id() * sizeof(int), static_cast<int>(sum));
+      node.barrier();
+    });
+    return read_back(cluster, res, 3);
+  };
+
+  CommConfig legacy;
+  legacy.batch_diffs = false;
+  legacy.bulk_fetch = false;
+  legacy.prefetch_pages = 0;
+  CommConfig batched;  // defaults: batch + bulk fetch
+  CommConfig prefetch = batched;
+  prefetch.prefetch_pages = 4;
+
+  const std::vector<int> a = run_mode(legacy);
+  const std::vector<int> b = run_mode(batched);
+  const std::vector<int> c = run_mode(prefetch);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(a[0], a[1]);
+  EXPECT_EQ(a[1], a[2]);
+}
+
+}  // namespace
+}  // namespace gdsm::dsm

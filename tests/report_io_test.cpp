@@ -38,11 +38,11 @@ core::StrategyResult faulted_blocked_run() {
   return core::blocked_align(pair.s, pair.t, cfg);
 }
 
-TEST(ReportIoTest, SchemaVersionIsBumpedToSeven) {
-  // v7 added the database-serving section (db: filtration totals plus
-  // shard_balance); docs/METRICS.md pins the layout to schema version 7,
-  // with v3-v6 files still accepted by the tools.
-  EXPECT_EQ(obs::kSchemaVersion, 7);
+TEST(ReportIoTest, SchemaVersionIsBumpedToEight) {
+  // v8 added the DSM-backend section (dsm: backend name plus the process
+  // backend's counters); docs/METRICS.md pins the layout to schema version
+  // 8, with v3-v7 files still accepted by the tools.
+  EXPECT_EQ(obs::kSchemaVersion, 8);
   EXPECT_EQ(obs::kSchemaVersionMin, 3);
 }
 

@@ -19,19 +19,27 @@
 #   6. comm ablation           -- the DSM suites re-run once per data-plane
 #                                 mode (GDSM_COMM=legacy|batched|
 #                                 batched+prefetch; docs/DESIGN.md)
-#   7. ctest -L bench_smoke    -- tiny benches, schema-validated reports
-#   8. fuzz_align, 30 s budget -- differential fuzz over the fault matrix
-#   9. service_smoke           -- 5 s oracle-verified loadgen burst against
+#   7. proc_smoke              -- the DSM/strategy/oracle suites re-run with
+#                                 the protocol hosted in real OS processes
+#                                 (GDSM_BACKEND=process: shm segments,
+#                                 SIGSEGV fetch-on-fault, socket transport),
+#                                 plus a fault-plan fuzz sweep on that
+#                                 backend (docs/DESIGN.md)
+#   8. ctest -L bench_smoke    -- tiny benches, schema-validated reports
+#   9. fuzz_align, 30 s budget -- differential fuzz over the fault matrix
+#  10. service_smoke           -- 5 s oracle-verified loadgen burst against
 #                                 the alignment service, mixed gap models
 #                                 (docs/SERVICE.md)
-#  10. db_smoke                -- database serving gate: oracle-verified
+#  11. db_smoke                -- database serving gate: oracle-verified
 #                                 --db loadgen burst + db fuzz sweep in the
 #                                 Release tree, then the db suite and a db
 #                                 fuzz replay rebuilt and re-run under
 #                                 Address/UBSanitizer (docs/SERVICE.md)
-#  11. (--tsan) TSan build + the dsm/fault/oracle/service/db suites raced
+#  12. (--tsan) TSan build + the dsm/fault/oracle/service/db suites raced
 #      under ThreadSanitizer (admission must stay deadlock-free; the preset
-#      builds the same SSE4.1/AVX2 kernel objects as the Release build)
+#      builds the same SSE4.1/AVX2 kernel objects as the Release build;
+#      the process backend is exercised by stage 7, not here -- TSan does
+#      not follow children across fork)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -112,6 +120,27 @@ for comm in legacy batched batched+prefetch; do
     GDSM_COMM="$comm" "build/tests/$t" --gtest_brief=1
   done
 done
+
+# The execution-backend counterpart: every suite above ran the protocol
+# state machine across threads in one address space; re-run the DSM-facing
+# suites with the cluster hosted in real OS processes (shm_open/mmap pages,
+# mprotect+SIGSEGV fetch-on-fault, Unix-socket transport), so the paper's
+# workstation model stays release-gated end to end.  proc_test adds the
+# backend-specific gates (killed child surfaces as a failure, not a hang).
+# ASAN_OPTIONS lets the user SIGSEGV handler coexist with sanitized builds
+# should this stage ever run against one; harmless on the Release tree.
+echo "==> proc_smoke (GDSM_BACKEND=process)"
+PROC_ASAN="handle_segv=0:allow_user_segv_handler=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}"
+for t in proc_test dsm_test dsm_stress_test fault_injection_test \
+         differential_oracle_test cluster_submit_test strategy_test; do
+  echo "---- $t (process backend)"
+  GDSM_BACKEND=process ASAN_OPTIONS="$PROC_ASAN" \
+    "build/tests/$t" --gtest_brief=1
+done
+# A short differential fuzz on the process backend sweeps the fault-plan
+# matrix (drops, delays, reorders, partitions) over forked node processes.
+GDSM_BACKEND=process ASAN_OPTIONS="$PROC_ASAN" \
+  build/tools/fuzz_align --budget-s=10 --quiet
 
 echo "==> ctest -L bench_smoke"
 ctest --test-dir build -L bench_smoke --output-on-failure
