@@ -13,11 +13,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "simd/dispatch.h"
 #include "svc/service.h"
 #include "util/genome.h"
 #include "util/rng.h"
@@ -76,12 +79,22 @@ int main(int argc, char** argv) {
   const int min_score = static_cast<int>(args.get_int("min-score", 120));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   const double duration_s = args.get_double("duration-s", 0.75);
+  // The last default rate deliberately exceeds the service's capacity so
+  // `open.r4000.qps` records the saturated scan throughput — the row where
+  // the kernel backend (striped vs anti-diagonal) shows up in the baseline.
   const std::vector<std::size_t> rates =
-      bench::size_list(args, "rates", {40, 160});
+      bench::size_list(args, "rates", {40, 160, 4000});
   const std::vector<std::size_t> thresholds =
       bench::size_list(args, "thresholds", {40, 80, 120, 140});
 
-  obs::RunReport report("db_throughput",
+  // run_all.sh's BENCH_KERNELS axis re-runs this bench under GDSM_KERNEL
+  // forcings; a forced run gets a suffixed experiment id so its rows sit
+  // next to the auto-dispatched run in the merged baseline instead of
+  // colliding with it (same idiom as ablation_comm_process).
+  std::string experiment = "db_throughput";
+  if (std::getenv("GDSM_KERNEL") != nullptr)
+    experiment += std::string("_") + simd::active_backend_name();
+  obs::RunReport report(experiment,
                         "Database-serving throughput: filtration-threshold "
                         "sweep and open-loop rate sweep over a sharded "
                         "multi-sequence subject database");
@@ -92,6 +105,10 @@ int main(int argc, char** argv) {
   report.set_param("min_score", min_score);
   report.set_param("seed", seed);
   report.set_param("host_clock", true);  // wall-clock throughput/latency
+  // The shard scan's DP runs through the kernel dispatch; run_all.sh's
+  // BENCH_KERNELS axis re-runs this bench under GDSM_KERNEL forcings and
+  // this param tells the merged baseline's rows apart.
+  report.set_param("kernel", simd::active_backend_name());
 
   const Workload w =
       make_workload(n_sequences, seq_len, n_probes, query_len, seed);

@@ -2,6 +2,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 #include "gbench_json.h"
@@ -207,7 +208,14 @@ int main(int argc, char** argv) {
         ->Arg(1024)
         ->Arg(4096);
   }
+  // run_all.sh's BENCH_KERNELS axis re-runs this bench under GDSM_KERNEL
+  // forcings; a forced run gets a suffixed experiment id so its rows sit
+  // next to the auto-dispatched run in the merged baseline instead of
+  // colliding with it (same idiom as ablation_comm_process).
+  std::string experiment = "kernels_sw";
+  if (std::getenv("GDSM_KERNEL") != nullptr)
+    experiment += std::string("_") + gdsm::simd::active_backend_name();
   return gdsm::bench::gbench_main(
-      argc, argv, "kernels_sw",
+      argc, argv, experiment,
       "Microbenchmarks — DP kernels on the build host");
 }

@@ -13,6 +13,18 @@
 # (default "process") beyond the default threads pass, so the baseline
 # carries the threads-vs-process comparison (schema v8).  Set
 # BENCH_BACKENDS= (empty) to skip the extra passes.
+#
+# Kernel axis: the kernel-sensitive benches are re-run once per entry in
+# BENCH_KERNELS (default "striped-avx2 avx2") with GDSM_KERNEL= forcing
+# that dispatch backend (docs/KERNELS.md), so the baseline carries the
+# striped vs anti-diagonal comparison (schema v9) — compare the forced
+# `db_throughput_avx2` row's saturated `open.r4000.qps` against the
+# auto/forced striped rows.  A forced run writes a suffixed
+# experiment id (`kernels_sw_<kernel>`, `db_throughput_<kernel>`) so it sits
+# next to the auto-dispatched run in the merged baseline.  A kernel the host
+# cannot run is ignored by the dispatch (it logs a notice and keeps the auto
+# pick; the report's `kernel` param and the experiment suffix record what
+# actually ran).  Set BENCH_KERNELS= (empty) to skip.
 set -euo pipefail
 
 build_dir=${1:-build}
@@ -57,6 +69,28 @@ for backend in ${BENCH_BACKENDS-process}; do
     if ! "$bin" --backend="$backend" --json="$json" \
         > "$out_dir/${name}_${backend}.log" 2>&1; then
       echo "   FAILED (see $out_dir/${name}_${backend}.log)" >&2
+      failed=1
+      continue
+    fi
+    if [ -x "$build_dir/tools/validate_report" ]; then
+      "$build_dir/tools/validate_report" "$json" >/dev/null
+    fi
+    reports+=("$json")
+  done
+done
+
+# The kernel-dispatch axis: re-run the kernel-sensitive benches once per
+# forced GDSM_KERNEL value (the default pass above used the auto pick).
+kernel_benches=(kernels_sw db_throughput)
+for kernel in ${BENCH_KERNELS-striped-avx2 avx2}; do
+  for name in "${kernel_benches[@]}"; do
+    bin="$build_dir/bench/$name"
+    [ -f "$bin" ] && [ -x "$bin" ] || continue
+    json="$out_dir/BENCH_${name}_${kernel}.json"
+    echo "== $name GDSM_KERNEL=$kernel"
+    if ! GDSM_KERNEL="$kernel" "$bin" --json="$json" \
+        > "$out_dir/${name}_${kernel}.log" 2>&1; then
+      echo "   FAILED (see $out_dir/${name}_${kernel}.log)" >&2
       failed=1
       continue
     fi

@@ -4,7 +4,6 @@
 #include <stdexcept>
 
 #include "db/meter.h"
-#include "sw/affine.h"
 #include "sw/linear_score.h"
 
 namespace gdsm::db {
@@ -12,9 +11,12 @@ namespace {
 
 BestLocal best_score(const Sequence& query, const Sequence& frag,
                      const ScoreScheme& scheme) {
-  return scheme.affine()
-             ? sw_best_score_affine_linear(query, frag, to_affine(scheme))
-             : sw_best_score_linear(query, frag, scheme);
+  // Both gap models ride the dispatched kernel layer (an affine scheme
+  // routes to the Gotoh kernels inside sw_best_score_linear), so filtration
+  // survivors are scored by whatever backend is active — including the
+  // striped query-profile kernels, for which the service pre-warms the
+  // query's profile once per db query (simd::warm_query_profile).
+  return sw_best_score_linear(query, frag, scheme);
 }
 
 void sort_hits(std::vector<DbHit>& hits) {

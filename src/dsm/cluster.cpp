@@ -130,16 +130,18 @@ void Cluster::engine_loop(int node) {
       // culprit, not just whichever thread lost the race to store its
       // exception.
       std::string what = "unknown exception";
+      net::ErrorKind kind = net::ErrorKind::kUnknown;
       try {
         throw;
       } catch (const std::exception& e) {
         what = e.what();
+        kind = net::classify_error(e);
       } catch (...) {
       }
       {
         const std::scoped_lock guard(jobs_mu_);
         if (!job->first_error) job->first_error = std::current_exception();
-        job->failures.emplace_back(node, std::move(what));
+        job->failures.push_back(NodeFailure{node, kind, std::move(what)});
       }
       // Unblock peers stuck in barriers/cv waits so the job can unwind.
       // Only the reply boxes close: the service threads stay alive, and
@@ -170,14 +172,14 @@ void Cluster::proc_engine_loop() {
     if (!job->failures.empty()) {
       // throw_failures rethrows first_error verbatim for a single failure:
       // preserve node 0's original exception when it is the culprit, and
-      // wrap a child's reported message otherwise (the original object
-      // died with the process).
-      if (job->failures.size() == 1 && job->failures.front().first == 0 &&
+      // rebuild a child's exception from its typed kDone tag otherwise (the
+      // original object died with the process, but the type survives).
+      if (job->failures.size() == 1 && job->failures.front().node == 0 &&
           out.node0_error) {
         job->first_error = out.node0_error;
       } else {
-        job->first_error = std::make_exception_ptr(
-            std::runtime_error(job->failures.front().second));
+        const NodeFailure& f = job->failures.front();
+        job->first_error = net::make_error(f.kind, f.what);
       }
     }
     last_run_stats_ = job->stats;
@@ -256,11 +258,16 @@ Cluster::Ticket Cluster::submit(std::function<void(Node&)> program) {
 void Cluster::throw_failures(const Job& job) {
   if (job.failures.size() == 1) std::rethrow_exception(job.first_error);
   auto failures = job.failures;
-  std::sort(failures.begin(), failures.end());
+  std::sort(failures.begin(), failures.end(),
+            [](const NodeFailure& a, const NodeFailure& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.what < b.what;
+            });
   std::string combined = "DSM: " + std::to_string(failures.size()) +
                          " node programs failed:";
-  for (const auto& [node, what] : failures) {
-    combined += "\n  node " + std::to_string(node) + ": " + what;
+  for (const auto& f : failures) {
+    combined += "\n  node " + std::to_string(f.node) + " [" +
+                net::error_kind_name(f.kind) + "]: " + f.what;
   }
   throw std::runtime_error(combined);
 }

@@ -135,7 +135,7 @@ class Cluster {
     int finished = 0;           ///< engine threads done (success or failure)
     bool done = false;          ///< finalized; stats valid, safe to await
     std::exception_ptr first_error;
-    std::vector<std::pair<int, std::string>> failures;  ///< (node, what)
+    std::vector<NodeFailure> failures;  ///< typed (node, kind, what)
     std::vector<NodeStats> stats;  ///< per-job node counters (take-and-zero)
   };
 

@@ -149,27 +149,28 @@ class ChildPlane final : public Plane {
       } catch (const std::exception& e) {
         // A service failure (e.g. malformed diff) fails the job but keeps
         // this loop serving so the drain handshake still completes.
-        const std::string what = std::string("DSM service: ") + e.what();
-        plane.write_control(net::FrameKind::kDone,
-                            reinterpret_cast<const std::byte*>(what.data()),
-                            what.size());
+        const std::vector<std::byte> body = net::encode_error_body(
+            net::classify_error(e), std::string("DSM service: ") + e.what());
+        plane.write_control(net::FrameKind::kDone, body.data(), body.size());
       }
     }
   });
 
-  std::string error;
+  // kDone body: empty = success, otherwise the typed failure encoding —
+  // the parent rebuilds the exception type from the kind tag.
+  std::vector<std::byte> done_body;
   set_thread_fault_sink(&node_obj);
   try {
     program(node_obj);
   } catch (const std::exception& e) {
-    error = e.what();
+    done_body = net::encode_error_body(net::classify_error(e), e.what());
   } catch (...) {
-    error = "unknown exception";
+    done_body =
+        net::encode_error_body(net::ErrorKind::kUnknown, "unknown exception");
   }
   set_thread_fault_sink(nullptr);
-  plane.write_control(net::FrameKind::kDone,
-                      reinterpret_cast<const std::byte*>(error.data()),
-                      error.size());
+  plane.write_control(net::FrameKind::kDone, done_body.data(),
+                      done_body.size());
 
   {
     std::unique_lock<std::mutex> lk(halt_mu);
@@ -289,7 +290,8 @@ void Supervisor::service_loop0() {
       // and unblock the requester (whose reply will never come) via abort.
       {
         const std::scoped_lock guard(mu_);
-        fail_locked(0, std::string("DSM service: ") + e.what());
+        fail_locked(0, net::classify_error(e),
+                    std::string("DSM service: ") + e.what());
         abort_locked();
       }
       cv_.notify_all();
@@ -330,16 +332,14 @@ void Supervisor::reader_loop(Child& c) {
           route(net::decode_message(f->body));
           break;
         case net::FrameKind::kDone: {
-          std::string err;
-          if (!f->body.empty()) {
-            err.assign(reinterpret_cast<const char*>(f->body.data()),
-                       f->body.size());
-          }
+          const bool failed = !f->body.empty();
+          auto [kind, what] =
+              net::decode_error_body(f->body.data(), f->body.size());
           {
             const std::scoped_lock guard(mu_);
             c.done = true;
-            if (!err.empty()) {
-              fail_locked(c.node, std::move(err));
+            if (failed) {
+              fail_locked(c.node, kind, std::move(what));
               abort_locked();
             }
           }
@@ -379,12 +379,13 @@ void Supervisor::reader_loop(Child& c) {
       // and unwind everyone who might be waiting on this peer.
       ++peer_failures_;
       if (!c.done) {
-        fail_locked(c.node,
+        fail_locked(c.node, net::ErrorKind::kSystem,
                     "node process " + std::to_string(c.node) +
                         " died unexpectedly (socket EOF before completion)");
       } else {
-        fail_locked(c.node, "node process " + std::to_string(c.node) +
-                                " exited before reporting stats");
+        fail_locked(c.node, net::ErrorKind::kSystem,
+                    "node process " + std::to_string(c.node) +
+                        " exited before reporting stats");
       }
       abort_locked();
     }
@@ -394,8 +395,8 @@ void Supervisor::reader_loop(Child& c) {
   cv_.notify_all();
 }
 
-void Supervisor::fail_locked(int node, std::string what) {
-  failures_.emplace_back(node, std::move(what));
+void Supervisor::fail_locked(int node, net::ErrorKind kind, std::string what) {
+  failures_.push_back(NodeFailure{node, kind, std::move(what)});
 }
 
 void Supervisor::abort_locked() {
@@ -484,16 +485,18 @@ Supervisor::Outcome Supervisor::run_job(
     program(*node0_);
   } catch (...) {
     std::string what = "unknown exception";
+    net::ErrorKind kind = net::ErrorKind::kUnknown;
     try {
       throw;
     } catch (const std::exception& e) {
       what = e.what();
+      kind = net::classify_error(e);
     } catch (...) {
     }
     {
       const std::scoped_lock guard(mu_);
       if (!node0_error_) node0_error_ = std::current_exception();
-      fail_locked(0, std::move(what));
+      fail_locked(0, kind, std::move(what));
       abort_locked();
     }
     cv_.notify_all();

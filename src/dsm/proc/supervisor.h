@@ -61,7 +61,7 @@ class Supervisor {
  public:
   /// Everything one job produced; the Cluster folds this into its Job.
   struct Outcome {
-    std::vector<std::pair<int, std::string>> failures;  ///< (node, what)
+    std::vector<NodeFailure> failures;  ///< typed (node, kind, what)
     std::exception_ptr node0_error;  ///< node 0's original exception, if any
     std::vector<NodeStats> stats;    ///< per node; zeros for a dead child
   };
@@ -140,7 +140,7 @@ class Supervisor {
   void reader_loop(Child& c);    ///< child -> parent demux (per job)
   void writer_loop(Child& c);    ///< Outbox -> child socket (per job)
 
-  void fail_locked(int node, std::string what);
+  void fail_locked(int node, net::ErrorKind kind, std::string what);
   /// Closes node 0's reply box and sends kAbort to every child; idempotent.
   void abort_locked();
 
@@ -162,7 +162,7 @@ class Supervisor {
 
   mutable std::mutex mu_;       ///< job state: flags, failures, abort
   std::condition_variable cv_;
-  std::vector<std::pair<int, std::string>> failures_;
+  std::vector<NodeFailure> failures_;
   std::exception_ptr node0_error_;
   bool aborted_ = false;
   bool parent_drained_ = false;

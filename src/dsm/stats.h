@@ -2,12 +2,24 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dsm/backend.h"
+#include "net/frame.h"
 #include "net/transport.h"
 
 namespace gdsm::dsm {
+
+/// One node program's failure, with the exception taxonomy preserved across
+/// backends: thread-backend failures classify the live exception object,
+/// process-backend failures carry the ErrorKind tag of the child's kDone
+/// frame (net::make_error rebuilds the typed exception parent-side).
+struct NodeFailure {
+  int node = -1;
+  net::ErrorKind kind = net::ErrorKind::kRuntime;
+  std::string what;
+};
 
 struct NodeStats {
   std::uint64_t read_faults = 0;    ///< remote page fetches

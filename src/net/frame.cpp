@@ -4,6 +4,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <new>
 #include <stdexcept>
 #include <string>
 
@@ -163,6 +164,110 @@ void write_frame(int fd, FrameKind kind, const std::byte* body,
 void write_message_frame(int fd, const Message& msg) {
   const std::vector<std::byte> body = encode_message(msg);
   write_frame(fd, FrameKind::kMessage, body.data(), body.size());
+}
+
+// ---------------------------------------------------------------------------
+// Typed error propagation (kDone failure bodies).
+
+const char* error_kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kRuntime: return "runtime";
+    case ErrorKind::kLogic: return "logic";
+    case ErrorKind::kInvalidArgument: return "invalid_argument";
+    case ErrorKind::kDomain: return "domain";
+    case ErrorKind::kLength: return "length";
+    case ErrorKind::kOutOfRange: return "out_of_range";
+    case ErrorKind::kRange: return "range";
+    case ErrorKind::kOverflow: return "overflow";
+    case ErrorKind::kUnderflow: return "underflow";
+    case ErrorKind::kBadAlloc: return "bad_alloc";
+    case ErrorKind::kSystem: return "system";
+    case ErrorKind::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+ErrorKind classify_error(const std::exception& e) {
+  // Most-derived types first: every listed class below derives from
+  // logic_error or runtime_error, which must therefore come last.
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    return ErrorKind::kInvalidArgument;
+  }
+  if (dynamic_cast<const std::domain_error*>(&e) != nullptr) {
+    return ErrorKind::kDomain;
+  }
+  if (dynamic_cast<const std::length_error*>(&e) != nullptr) {
+    return ErrorKind::kLength;
+  }
+  if (dynamic_cast<const std::out_of_range*>(&e) != nullptr) {
+    return ErrorKind::kOutOfRange;
+  }
+  if (dynamic_cast<const std::range_error*>(&e) != nullptr) {
+    return ErrorKind::kRange;
+  }
+  if (dynamic_cast<const std::overflow_error*>(&e) != nullptr) {
+    return ErrorKind::kOverflow;
+  }
+  if (dynamic_cast<const std::underflow_error*>(&e) != nullptr) {
+    return ErrorKind::kUnderflow;
+  }
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr) {
+    return ErrorKind::kBadAlloc;
+  }
+  if (dynamic_cast<const std::logic_error*>(&e) != nullptr) {
+    return ErrorKind::kLogic;
+  }
+  return ErrorKind::kRuntime;
+}
+
+std::exception_ptr make_error(ErrorKind kind, const std::string& what) {
+  switch (kind) {
+    case ErrorKind::kLogic:
+      return std::make_exception_ptr(std::logic_error(what));
+    case ErrorKind::kInvalidArgument:
+      return std::make_exception_ptr(std::invalid_argument(what));
+    case ErrorKind::kDomain:
+      return std::make_exception_ptr(std::domain_error(what));
+    case ErrorKind::kLength:
+      return std::make_exception_ptr(std::length_error(what));
+    case ErrorKind::kOutOfRange:
+      return std::make_exception_ptr(std::out_of_range(what));
+    case ErrorKind::kRange:
+      return std::make_exception_ptr(std::range_error(what));
+    case ErrorKind::kOverflow:
+      return std::make_exception_ptr(std::overflow_error(what));
+    case ErrorKind::kUnderflow:
+      return std::make_exception_ptr(std::underflow_error(what));
+    case ErrorKind::kRuntime:
+    case ErrorKind::kBadAlloc:  // bad_alloc::what is fixed; keep the message
+    case ErrorKind::kSystem:
+    case ErrorKind::kUnknown:
+      break;
+  }
+  return std::make_exception_ptr(std::runtime_error(what));
+}
+
+std::vector<std::byte> encode_error_body(ErrorKind kind,
+                                         std::string_view what) {
+  std::vector<std::byte> out;
+  out.reserve(1 + what.size());
+  out.push_back(static_cast<std::byte>(kind));
+  const auto* p = reinterpret_cast<const std::byte*>(what.data());
+  out.insert(out.end(), p, p + what.size());
+  return out;
+}
+
+std::pair<ErrorKind, std::string> decode_error_body(const std::byte* body,
+                                                    std::size_t len) {
+  if (len == 0) return {ErrorKind::kRuntime, std::string()};
+  const auto tag = static_cast<std::uint8_t>(body[0]);
+  if (tag > static_cast<std::uint8_t>(ErrorKind::kUnknown)) {
+    // Legacy kind-less body (or garbage tag): the whole body is the message.
+    return {ErrorKind::kRuntime,
+            std::string(reinterpret_cast<const char*>(body), len)};
+  }
+  return {static_cast<ErrorKind>(tag),
+          std::string(reinterpret_cast<const char*>(body) + 1, len - 1)};
 }
 
 }  // namespace gdsm::net

@@ -45,7 +45,13 @@ inline constexpr const char* kReportSchema = "gdsm.run_report";
 /// peer_failures, segv_faults, pages_mapped/protected, twins_created,
 /// socket bytes) and NodeStats gained the same per-node counters
 /// (docs/METRICS.md "dsm", DESIGN.md "Process backend").
-inline constexpr int kSchemaVersion = 8;
+/// v9: striped query-profile kernels — the "kernel" section gained a
+/// "striped" object (8/16-bit sweep and cell counts, overflow re-runs,
+/// 32-bit fallbacks, delegated blocks, query-profile cache builds/hits) and
+/// the backend vocabulary grew the striped-* names
+/// (docs/METRICS.md "kernel.striped", docs/KERNELS.md "Striped
+/// query-profile kernels").
+inline constexpr int kSchemaVersion = 9;
 /// Oldest schema version tools still accept (v3 files predate the kernel
 /// and comm sections but are otherwise field-compatible).
 inline constexpr int kSchemaVersionMin = 3;

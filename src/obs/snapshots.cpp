@@ -143,6 +143,19 @@ Json kernel_stats_json(bool host_clock) {
   gaps.set("nw_affine_calls", ks.nw_affine.calls);
   gaps.set("nw_affine_cells", ks.nw_affine.cells);
   j.set("gap_models", std::move(gaps));
+  // v9: striped query-profile kernel activity (docs/METRICS.md
+  // "kernel.striped").  All-zero when no striped backend ran.
+  Json striped = Json::object();
+  striped.set("sweeps8", ks.striped.sweeps8);
+  striped.set("sweeps16", ks.striped.sweeps16);
+  striped.set("cells8", ks.striped.cells8);
+  striped.set("cells16", ks.striped.cells16);
+  striped.set("overflow_reruns", ks.striped.overflow_reruns);
+  striped.set("fallback32", ks.striped.fallback32);
+  striped.set("delegated", ks.striped.delegated);
+  striped.set("profile_builds", ks.striped.profile_builds);
+  striped.set("profile_hits", ks.striped.profile_hits);
+  j.set("striped", std::move(striped));
   return j;
 }
 

@@ -186,6 +186,28 @@ std::string validate_run_report(const Json& doc, bool require_read_faults) {
     }
   }
 
+  if (doc.at("schema_version").as_int() >= 9) {
+    // v9: striped query-profile kernels — the kernel section carries the
+    // striped activity object (precision-ladder and profile-cache counters).
+    const Json* sections = doc.find("sections");
+    const Json* kernel = sections ? sections->find("kernel") : nullptr;
+    const Json* striped =
+        kernel && kernel->is_object() ? kernel->find("striped") : nullptr;
+    if (striped == nullptr || !striped->is_object()) {
+      return "v9 report without sections.kernel.striped (striped-kernel "
+             "counters; see docs/METRICS.md v9)";
+    }
+    for (const char* k :
+         {"sweeps8", "sweeps16", "cells8", "cells16", "overflow_reruns",
+          "fallback32", "delegated", "profile_builds", "profile_hits"}) {
+      const Json* counter = striped->find(k);
+      if (counter == nullptr || !counter->is_number()) {
+        return std::string("sections.kernel.striped.") + k +
+               " missing or not a number";
+      }
+    }
+  }
+
   if (require_read_faults && !any_positive_read_faults(doc)) {
     return "no positive read_faults counter found (--require-read-faults)";
   }

@@ -9,6 +9,7 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
 #include <cstdint>
 
 #include "util/alphabet.h"
@@ -93,6 +94,83 @@ struct EngineAvx32 {
                            _mm256_zextsi128_si256(_mm_cvtsi32_si128(x)));
   }
   static int movemask(V m) { return _mm256_movemask_epi8(m); }
+};
+
+/// Striped engines (striped_kernel_inl.h contract).  shift1 uses the same
+/// permute+alignr trick as shift_in above, moved down to byte granularity:
+/// permute2x128(v, v, 0x08) puts the low half in the high position with a
+/// zeroed low half, so alignr by 15 (8-bit lanes) or 14 (16-bit) yields the
+/// whole vector shifted up one lane with a zero shifted in.
+struct StripedAvx8 {
+  using V = __m256i;
+  using Word = std::uint8_t;
+  static constexpr int kLanes = 32;
+
+  static V zero() { return _mm256_setzero_si256(); }
+  static V set1(int x) { return _mm256_set1_epi8(static_cast<char>(x)); }
+  static V loadu(const void* p) {
+    return _mm256_loadu_si256(static_cast<const __m256i*>(p));
+  }
+  static void storeu(void* p, V v) {
+    _mm256_storeu_si256(static_cast<__m256i*>(p), v);
+  }
+  static V adds(V a, V b) { return _mm256_adds_epu8(a, b); }
+  static V subs(V a, V b) { return _mm256_subs_epu8(a, b); }
+  static V maxv(V a, V b) { return _mm256_max_epu8(a, b); }
+  static V shift1(V v) {
+    const V lo_to_hi = _mm256_permute2x128_si256(v, v, 0x08);
+    return _mm256_alignr_epi8(v, lo_to_hi, 15);
+  }
+  static bool any_gt(V a, V b) {
+    return !_mm256_testz_si256(_mm256_subs_epu8(a, b),
+                               _mm256_subs_epu8(a, b));
+  }
+  static bool any_ne(V a, V b) {
+    return _mm256_movemask_epi8(_mm256_cmpeq_epi8(a, b)) != -1;
+  }
+  static int hmax(V v) {
+    alignas(32) Word l[kLanes];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(l), v);
+    int best = 0;
+    for (int i = 0; i < kLanes; ++i) best = std::max(best, static_cast<int>(l[i]));
+    return best;
+  }
+};
+
+struct StripedAvx16 {
+  using V = __m256i;
+  using Word = std::uint16_t;
+  static constexpr int kLanes = 16;
+
+  static V zero() { return _mm256_setzero_si256(); }
+  static V set1(int x) { return _mm256_set1_epi16(static_cast<short>(x)); }
+  static V loadu(const void* p) {
+    return _mm256_loadu_si256(static_cast<const __m256i*>(p));
+  }
+  static void storeu(void* p, V v) {
+    _mm256_storeu_si256(static_cast<__m256i*>(p), v);
+  }
+  static V adds(V a, V b) { return _mm256_adds_epu16(a, b); }
+  static V subs(V a, V b) { return _mm256_subs_epu16(a, b); }
+  static V maxv(V a, V b) { return _mm256_max_epu16(a, b); }
+  static V shift1(V v) {
+    const V lo_to_hi = _mm256_permute2x128_si256(v, v, 0x08);
+    return _mm256_alignr_epi8(v, lo_to_hi, 14);
+  }
+  static bool any_gt(V a, V b) {
+    return !_mm256_testz_si256(_mm256_subs_epu16(a, b),
+                               _mm256_subs_epu16(a, b));
+  }
+  static bool any_ne(V a, V b) {
+    return _mm256_movemask_epi8(_mm256_cmpeq_epi16(a, b)) != -1;
+  }
+  static int hmax(V v) {
+    alignas(32) Word l[kLanes];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(l), v);
+    int best = 0;
+    for (int i = 0; i < kLanes; ++i) best = std::max(best, static_cast<int>(l[i]));
+    return best;
+  }
 };
 
 }  // namespace gdsm::simd::detail

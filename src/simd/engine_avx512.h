@@ -1,0 +1,83 @@
+// AVX-512BW lane engines for the striped sweep (striped_kernel_inl.h).
+// Include only from a translation unit compiled with -mavx512f -mavx512bw.
+//
+// shift1 (whole-vector byte shift across 128-bit lanes, zero shifted in) is
+// built from maskz_shuffle_i64x2 — which produces the vector rotated down
+// one 128-bit lane with the incoming lane zeroed — stitched per-lane by
+// alignr_epi8.  The horizontal predicates come straight from the AVX-512
+// compare-into-mask instructions.
+#pragma once
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/alphabet.h"
+
+namespace gdsm::simd::detail {
+
+struct StripedAvx512_8 {
+  using V = __m512i;
+  using Word = std::uint8_t;
+  static constexpr int kLanes = 64;
+
+  static V zero() { return _mm512_setzero_si512(); }
+  static V set1(int x) { return _mm512_set1_epi8(static_cast<char>(x)); }
+  static V loadu(const void* p) { return _mm512_loadu_si512(p); }
+  static void storeu(void* p, V v) { _mm512_storeu_si512(p, v); }
+  static V adds(V a, V b) { return _mm512_adds_epu8(a, b); }
+  static V subs(V a, V b) { return _mm512_subs_epu8(a, b); }
+  static V maxv(V a, V b) { return _mm512_max_epu8(a, b); }
+  static V shift1(V v) {
+    // prev = [0, v_lane0, v_lane1, v_lane2] in 128-bit lanes.
+    const V prev = _mm512_maskz_shuffle_i64x2(0xFC, v, v, 0x90);
+    return _mm512_alignr_epi8(v, prev, 15);
+  }
+  static bool any_gt(V a, V b) {
+    return _mm512_cmpgt_epu8_mask(a, b) != 0;
+  }
+  static bool any_ne(V a, V b) {
+    return _mm512_cmpneq_epu8_mask(a, b) != 0;
+  }
+  static int hmax(V v) {
+    alignas(64) Word l[kLanes];
+    _mm512_store_si512(l, v);
+    int best = 0;
+    for (int i = 0; i < kLanes; ++i) best = std::max(best, static_cast<int>(l[i]));
+    return best;
+  }
+};
+
+struct StripedAvx512_16 {
+  using V = __m512i;
+  using Word = std::uint16_t;
+  static constexpr int kLanes = 32;
+
+  static V zero() { return _mm512_setzero_si512(); }
+  static V set1(int x) { return _mm512_set1_epi16(static_cast<short>(x)); }
+  static V loadu(const void* p) { return _mm512_loadu_si512(p); }
+  static void storeu(void* p, V v) { _mm512_storeu_si512(p, v); }
+  static V adds(V a, V b) { return _mm512_adds_epu16(a, b); }
+  static V subs(V a, V b) { return _mm512_subs_epu16(a, b); }
+  static V maxv(V a, V b) { return _mm512_max_epu16(a, b); }
+  static V shift1(V v) {
+    const V prev = _mm512_maskz_shuffle_i64x2(0xFC, v, v, 0x90);
+    return _mm512_alignr_epi8(v, prev, 14);
+  }
+  static bool any_gt(V a, V b) {
+    return _mm512_cmpgt_epu16_mask(a, b) != 0;
+  }
+  static bool any_ne(V a, V b) {
+    return _mm512_cmpneq_epu16_mask(a, b) != 0;
+  }
+  static int hmax(V v) {
+    alignas(64) Word l[kLanes];
+    _mm512_store_si512(l, v);
+    int best = 0;
+    for (int i = 0; i < kLanes; ++i) best = std::max(best, static_cast<int>(l[i]));
+    return best;
+  }
+};
+
+}  // namespace gdsm::simd::detail

@@ -4,6 +4,7 @@
 
 #include <smmintrin.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 
@@ -81,6 +82,74 @@ struct EngineSse32 {
     return _mm_or_si128(_mm_slli_si128(v, 4), _mm_cvtsi32_si128(x));
   }
   static int movemask(V m) { return _mm_movemask_epi8(m); }
+};
+
+/// Striped engines (striped_kernel_inl.h contract): unsigned saturating
+/// lanes, lane-shift, and the two horizontal predicates the lazy-F loop and
+/// the best-cell tracker need.
+struct StripedSse8 {
+  using V = __m128i;
+  using Word = std::uint8_t;
+  static constexpr int kLanes = 16;
+
+  static V zero() { return _mm_setzero_si128(); }
+  static V set1(int x) { return _mm_set1_epi8(static_cast<char>(x)); }
+  static V loadu(const void* p) {
+    return _mm_loadu_si128(static_cast<const __m128i*>(p));
+  }
+  static void storeu(void* p, V v) {
+    _mm_storeu_si128(static_cast<__m128i*>(p), v);
+  }
+  static V adds(V a, V b) { return _mm_adds_epu8(a, b); }
+  static V subs(V a, V b) { return _mm_subs_epu8(a, b); }
+  static V maxv(V a, V b) { return _mm_max_epu8(a, b); }
+  static V shift1(V v) { return _mm_slli_si128(v, 1); }
+  static bool any_gt(V a, V b) {
+    // a > b (unsigned) in some lane <=> saturating a - b is nonzero there.
+    return !_mm_testz_si128(_mm_subs_epu8(a, b), _mm_subs_epu8(a, b));
+  }
+  static bool any_ne(V a, V b) {
+    return _mm_movemask_epi8(_mm_cmpeq_epi8(a, b)) != 0xFFFF;
+  }
+  static int hmax(V v) {
+    alignas(16) Word l[kLanes];
+    _mm_store_si128(reinterpret_cast<__m128i*>(l), v);
+    int best = 0;
+    for (int i = 0; i < kLanes; ++i) best = std::max(best, static_cast<int>(l[i]));
+    return best;
+  }
+};
+
+struct StripedSse16 {
+  using V = __m128i;
+  using Word = std::uint16_t;
+  static constexpr int kLanes = 8;
+
+  static V zero() { return _mm_setzero_si128(); }
+  static V set1(int x) { return _mm_set1_epi16(static_cast<short>(x)); }
+  static V loadu(const void* p) {
+    return _mm_loadu_si128(static_cast<const __m128i*>(p));
+  }
+  static void storeu(void* p, V v) {
+    _mm_storeu_si128(static_cast<__m128i*>(p), v);
+  }
+  static V adds(V a, V b) { return _mm_adds_epu16(a, b); }
+  static V subs(V a, V b) { return _mm_subs_epu16(a, b); }
+  static V maxv(V a, V b) { return _mm_max_epu16(a, b); }
+  static V shift1(V v) { return _mm_slli_si128(v, 2); }
+  static bool any_gt(V a, V b) {
+    return !_mm_testz_si128(_mm_subs_epu16(a, b), _mm_subs_epu16(a, b));
+  }
+  static bool any_ne(V a, V b) {
+    return _mm_movemask_epi8(_mm_cmpeq_epi16(a, b)) != 0xFFFF;
+  }
+  static int hmax(V v) {
+    alignas(16) Word l[kLanes];
+    _mm_store_si128(reinterpret_cast<__m128i*>(l), v);
+    int best = 0;
+    for (int i = 0; i < kLanes; ++i) best = std::max(best, static_cast<int>(l[i]));
+    return best;
+  }
 };
 
 }  // namespace gdsm::simd::detail

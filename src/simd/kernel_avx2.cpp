@@ -48,4 +48,18 @@ void nw_last_row_affine(const Base* a_seq, std::size_t a_len, const Base* b_seq,
 
 }  // namespace gdsm::simd::avx2
 
+// Striped-AVX2: the Farrar sweep over the 256-bit unsigned saturating
+// engines; ineligible blocks delegate to the anti-diagonal AVX2 backend.
+#include "simd/striped_kernel_inl.h"
+
+namespace gdsm::simd::striped_avx2 {
+
+BestCell block_best(const DiagBlock& blk, const ScoreParams& sp) {
+  return detail::striped_block_best_impl<detail::StripedAvx8,
+                                         detail::StripedAvx16>(
+      blk, sp, &avx2::block_best);
+}
+
+}  // namespace gdsm::simd::striped_avx2
+
 #endif  // x86

@@ -1,0 +1,23 @@
+// Striped AVX-512BW backend: the Farrar sweep over 512-bit unsigned
+// saturating engines (64 lanes at 8 bits, 32 at 16).  Compiled with
+// -mavx512f -mavx512bw only when the toolchain accepts those flags (see
+// CMakeLists.txt; GDSM_SIMD_AVX512 gates every reference); runtime
+// availability is still CPU-gated in dispatch.cpp.  Ineligible blocks — and
+// the 32-bit rung of the precision ladder — delegate to the anti-diagonal
+// AVX2 backend, the widest kernel with full DiagBlock semantics.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include "simd/engine_avx512.h"
+#include "simd/striped_kernel_inl.h"
+
+namespace gdsm::simd::striped_avx512 {
+
+BestCell block_best(const DiagBlock& blk, const ScoreParams& sp) {
+  return detail::striped_block_best_impl<detail::StripedAvx512_8,
+                                         detail::StripedAvx512_16>(
+      blk, sp, &avx2::block_best);
+}
+
+}  // namespace gdsm::simd::striped_avx512
+
+#endif  // x86

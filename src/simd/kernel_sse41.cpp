@@ -47,4 +47,19 @@ void nw_last_row_affine(const Base* a_seq, std::size_t a_len, const Base* b_seq,
 
 }  // namespace gdsm::simd::sse41
 
+// Striped-SSE4.1: the Farrar sweep over the 128-bit unsigned saturating
+// engines; anything the striped path cannot serve delegates to the
+// anti-diagonal SSE4.1 backend above.
+#include "simd/striped_kernel_inl.h"
+
+namespace gdsm::simd::striped_sse41 {
+
+BestCell block_best(const DiagBlock& blk, const ScoreParams& sp) {
+  return detail::striped_block_best_impl<detail::StripedSse8,
+                                         detail::StripedSse16>(
+      blk, sp, &sse41::block_best);
+}
+
+}  // namespace gdsm::simd::striped_sse41
+
 #endif  // x86

@@ -8,6 +8,7 @@
 #include "core/blocked_mp.h"
 #include "core/exact_parallel.h"
 #include "core/wavefront.h"
+#include "simd/striped.h"
 #include "sw/affine.h"
 
 namespace gdsm::svc {
@@ -247,6 +248,14 @@ void AlignService::execute_one(PendingQuery& q, std::size_t batch_size) {
     } else {
       try {
         resident_used = true;
+        // Build the striped query profile once, before the shard fan-out:
+        // every filtration survivor of this query then hits the profile
+        // cache instead of racing to build it (no-op for non-striped
+        // backends; docs/KERNELS.md "Query-profile cache").
+        simd::warm_query_profile(
+            q.spec.query.data(), q.spec.query.size(),
+            simd::ScoreParams{q.spec.scheme.match, q.spec.scheme.mismatch,
+                              q.spec.scheme.gap, q.spec.scheme.gap_open});
         db::DbQueryResult r =
             db::db_query(cluster_, dbp->db, dbp->shards, q.spec.query,
                          q.spec.scheme, q.spec.min_score);

@@ -331,6 +331,58 @@ TEST(ValidateReportTest, RejectsV8ReportMissingDsmSection) {
   }
 }
 
+// Regression for the v9 striped-kernel requirement: a freshly emitted
+// report auto-carries sections.kernel.striped with the precision-ladder and
+// profile-cache counters, and a v9 document that lost them must be rejected
+// by name — while the same body still validates at v8 and below.
+TEST(ValidateReportTest, RejectsV9ReportMissingStripedCounters) {
+  RunReport report("validate_unit_v9", "v9 striped-kernel regression");
+  Json row = Json::object();
+  row.set("x", 1);
+  report.add_row("points", std::move(row));
+  const Json good = report.to_json();
+  ASSERT_GE(good.at("schema_version").as_int(), 9);
+  ASSERT_EQ(validate_run_report(good), "");
+
+  const Json& sections = good.at("sections");
+  const Json& kernel = sections.at("kernel");
+  const Json& striped = kernel.at("striped");
+  for (const char* key :
+       {"sweeps8", "sweeps16", "cells8", "cells16", "overflow_reruns",
+        "fallback32", "delegated", "profile_builds", "profile_hits"}) {
+    EXPECT_TRUE(striped.has(key)) << key;
+  }
+
+  {
+    Json doc = good;
+    Json s = without_member(sections, "kernel");
+    s.set("kernel", without_member(kernel, "striped"));
+    doc.set("sections", std::move(s));
+    const std::string why = validate_run_report(doc);
+    EXPECT_NE(why.find("sections.kernel.striped"), std::string::npos) << why;
+  }
+  {
+    Json doc = good;
+    Json s = without_member(sections, "kernel");
+    Json k = without_member(kernel, "striped");
+    k.set("striped", without_member(striped, "overflow_reruns"));
+    s.set("kernel", std::move(k));
+    doc.set("sections", std::move(s));
+    const std::string why = validate_run_report(doc);
+    EXPECT_NE(why.find("overflow_reruns"), std::string::npos) << why;
+  }
+  // A v8 document without the striped object is still accepted (the window
+  // reaches back to v3).
+  {
+    Json doc = good;
+    doc.set("schema_version", 8);
+    Json s = without_member(sections, "kernel");
+    s.set("kernel", without_member(kernel, "striped"));
+    doc.set("sections", std::move(s));
+    EXPECT_EQ(validate_run_report(doc), "");
+  }
+}
+
 TEST(SnapshotsTest, DsmStatsFromRealClusterRun) {
   dsm::Cluster cluster(2);
   const dsm::GlobalAddr arr = cluster.alloc(16 * 1024, 0);

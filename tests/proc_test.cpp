@@ -183,6 +183,46 @@ TEST(ProcBackend, KilledChildSurfacesAsFailureNotHang) {
   EXPECT_EQ(read_back(cluster, res, 3), (std::vector<int>{1, 1, 1}));
 }
 
+TEST(ProcBackend, ChildExceptionRethrowsWithOriginalType) {
+  // Typed exception propagation over the socket: a child's throw crosses the
+  // process boundary as an ErrorKind tag in its kDone frame, and the parent
+  // rethrows the original exception TYPE — not a degraded runtime_error.
+  // Node 0's program must return cleanly (any DSM wait it sat in would be
+  // unwound by the abort and add a second, parent-side failure, sending
+  // await down the combined-failure path instead of the typed rethrow).
+  Cluster cluster(3, proc_cfg());
+  try {
+    cluster.run([](Node& node) {
+      if (node.id() == 1) {
+        throw std::invalid_argument("shard count must be positive");
+      }
+    });
+    FAIL() << "run() should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "shard count must be positive");
+  }
+
+  // A derived type outside the tagged vocabulary degrades to its nearest
+  // tagged base (std::ios_base::failure -> system_error is unlisted, but
+  // out_of_range is tagged and must round-trip too).
+  try {
+    cluster.run([](Node& node) {
+      if (node.id() == 2) throw std::out_of_range("fragment 7 of 4");
+    });
+    FAIL() << "run() should have thrown";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "fragment 7 of 4");
+  }
+
+  // The pool survives typed failures like any other failure.
+  const GlobalAddr res = cluster.alloc(3 * sizeof(int), /*home=*/0);
+  cluster.run([&](Node& node) {
+    node.write<int>(res + node.id() * sizeof(int), 7);
+    node.barrier();
+  });
+  EXPECT_EQ(read_back(cluster, res, 3), (std::vector<int>{7, 7, 7}));
+}
+
 TEST(ProcBackend, ChildExitWithoutDoneIsAFailure) {
   // _exit(0) skips the kDone/kStats handshake entirely; EOF alone must be
   // treated as node death, not success.

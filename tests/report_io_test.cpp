@@ -38,11 +38,12 @@ core::StrategyResult faulted_blocked_run() {
   return core::blocked_align(pair.s, pair.t, cfg);
 }
 
-TEST(ReportIoTest, SchemaVersionIsBumpedToEight) {
-  // v8 added the DSM-backend section (dsm: backend name plus the process
-  // backend's counters); docs/METRICS.md pins the layout to schema version
-  // 8, with v3-v7 files still accepted by the tools.
-  EXPECT_EQ(obs::kSchemaVersion, 8);
+TEST(ReportIoTest, SchemaVersionIsBumpedToNine) {
+  // v9 added the striped-kernel counters (kernel.striped: sweeps, cells,
+  // escalations and profile-cache traffic per the striped query-profile
+  // backends); docs/METRICS.md pins the layout to schema version 9, with
+  // v3-v8 files still accepted by the tools.
+  EXPECT_EQ(obs::kSchemaVersion, 9);
   EXPECT_EQ(obs::kSchemaVersionMin, 3);
 }
 

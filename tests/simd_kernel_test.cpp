@@ -41,20 +41,49 @@ struct BackendFns {
                              std::int32_t*, std::int32_t*);
 };
 
+bool backend_available(Backend b) {
+  return std::find(available_backends().begin(), available_backends().end(),
+                   b) != available_backends().end();
+}
+
 std::vector<BackendFns> vector_backends() {
   std::vector<BackendFns> out;
 #if GDSM_SIMD_SSE41
-  if (std::find(available_backends().begin(), available_backends().end(),
-                Backend::kSse41) != available_backends().end())
+  if (backend_available(Backend::kSse41))
     out.push_back({"sse41", sse41::block_best, sse41::block_count,
                    sse41::block_hits, sse41::nw_last_row,
                    sse41::nw_last_row_affine});
 #endif
 #if GDSM_SIMD_AVX2
-  if (std::find(available_backends().begin(), available_backends().end(),
-                Backend::kAvx2) != available_backends().end())
+  if (backend_available(Backend::kAvx2))
     out.push_back({"avx2", avx2::block_best, avx2::block_count,
                    avx2::block_hits, avx2::nw_last_row,
+                   avx2::nw_last_row_affine});
+#endif
+  // Striped (Farrar) backends replace only block_best; every other kernel
+  // delegates to the paired anti-diagonal twin, so the twin's functions are
+  // registered here and the corpus holds the striped sweep itself — and its
+  // whole delegation ladder (boundary feeds, N chars, 8-bit saturation
+  // re-runs, 32-bit fallback) — to the scalar reference.
+  out.push_back({"striped-scalar", striped_scalar::block_best,
+                 scalar::block_count, scalar::block_hits, scalar::nw_last_row,
+                 scalar::nw_last_row_affine});
+#if GDSM_SIMD_SSE41
+  if (backend_available(Backend::kStripedSse41))
+    out.push_back({"striped-sse41", striped_sse41::block_best,
+                   sse41::block_count, sse41::block_hits, sse41::nw_last_row,
+                   sse41::nw_last_row_affine});
+#endif
+#if GDSM_SIMD_AVX2
+  if (backend_available(Backend::kStripedAvx2))
+    out.push_back({"striped-avx2", striped_avx2::block_best, avx2::block_count,
+                   avx2::block_hits, avx2::nw_last_row,
+                   avx2::nw_last_row_affine});
+#endif
+#if GDSM_SIMD_AVX512
+  if (backend_available(Backend::kStripedAvx512))
+    out.push_back({"striped-avx512", striped_avx512::block_best,
+                   avx2::block_count, avx2::block_hits, avx2::nw_last_row,
                    avx2::nw_last_row_affine});
 #endif
   return out;
@@ -491,6 +520,72 @@ TEST(SimdKernelDispatch, StatsAccumulateAffineCounters) {
   EXPECT_EQ(st.nw.calls, 0u);
   reset_kernel_stats();
   EXPECT_EQ(kernel_stats().nw_affine.calls, 0u);
+}
+
+// The schema-v9 `kernel.striped` counters: sweep/cell metering per
+// precision, profile-cache traffic (including the service's pre-warm hook),
+// and the ineligible-block delegation path (docs/METRICS.md v9).
+TEST(SimdKernelDispatch, StripedCountersAndProfileCacheMeter) {
+  const Backend saved = active_backend();
+  struct Restore {
+    Backend b;
+    ~Restore() { force_backend(b); }
+  } restore{saved};
+  ASSERT_EQ(force_backend(Backend::kStripedScalar), Backend::kStripedScalar);
+  clear_query_profile_cache();
+  reset_kernel_stats();
+
+  std::mt19937 rng(21);
+  const auto a = random_bases(100, rng);
+  const auto b = random_bases(300, rng);
+  DiagBlock blk;
+  blk.a_seq = a.data();
+  blk.a_len = a.size();
+  blk.b_seq = b.data();
+  blk.b_len = b.size();
+  (void)block_best(blk, ScoreParams{});
+  KernelStats st = kernel_stats();
+  EXPECT_EQ(st.striped.sweeps8, 1u);
+  EXPECT_EQ(st.striped.cells8, 100u * 300u);
+  EXPECT_EQ(st.striped.profile_builds, 1u);
+  EXPECT_EQ(st.striped.profile_hits, 0u);
+  EXPECT_EQ(st.striped.delegated, 0u);
+  EXPECT_EQ(st.striped.overflow_reruns, 0u);
+
+  // Same query + params again: the profile is served from the cache.
+  (void)block_best(blk, ScoreParams{});
+  st = kernel_stats();
+  EXPECT_EQ(st.striped.profile_hits, 1u);
+  EXPECT_EQ(st.striped.profile_builds, 1u);
+
+  // The service's pre-warm hook builds ahead of the first scan, so the scan
+  // itself is a pure cache hit.
+  const auto q2 = random_bases(64, rng);
+  warm_query_profile(q2.data(), q2.size(), ScoreParams{});
+  EXPECT_EQ(kernel_stats().striped.profile_builds, 2u);
+  DiagBlock blk2 = blk;
+  blk2.a_seq = q2.data();
+  blk2.a_len = q2.size();
+  (void)block_best(blk2, ScoreParams{});
+  st = kernel_stats();
+  EXPECT_EQ(st.striped.profile_builds, 2u);
+  EXPECT_EQ(st.striped.profile_hits, 2u);
+  EXPECT_EQ(st.striped.sweeps8, 3u);
+
+  // A boundary-loaded block is not striped-eligible: it delegates to the
+  // paired anti-diagonal backend and says so.
+  std::vector<std::int32_t> ba(a.size(), 1), bb(b.size(), 1);
+  DiagBlock bounded = blk;
+  bounded.bound_a = ba.data();
+  bounded.bound_b = bb.data();
+  (void)block_best(bounded, ScoreParams{});
+  EXPECT_EQ(kernel_stats().striped.delegated, 1u);
+
+  reset_kernel_stats();
+  const KernelStats zeroed = kernel_stats();
+  EXPECT_EQ(zeroed.striped.sweeps8, 0u);
+  EXPECT_EQ(zeroed.striped.profile_builds, 0u);
+  EXPECT_EQ(zeroed.striped.delegated, 0u);
 }
 
 }  // namespace

@@ -13,7 +13,10 @@
 #   3. ctest -L tier1          -- the correctness gate (see ROADMAP.md)
 #   4. kernel dispatch         -- tier1 re-run once per SIMD backend this
 #                                 host supports (GDSM_KERNEL=scalar|sse41|
-#                                 avx2; docs/KERNELS.md)
+#                                 avx2 plus the striped-* query-profile
+#                                 family; docs/KERNELS.md).  striped-avx512
+#                                 is skipped with a notice on hosts without
+#                                 AVX-512BW
 #   5. affine dispatch         -- oracle-verified --gap=affine service run
 #                                 once per backend (docs/ALGORITHMS.md)
 #   6. comm ablation           -- the DSM suites re-run once per data-plane
@@ -32,8 +35,9 @@
 #                                 (docs/SERVICE.md)
 #  11. db_smoke                -- database serving gate: oracle-verified
 #                                 --db loadgen burst + db fuzz sweep in the
-#                                 Release tree, then the db suite and a db
-#                                 fuzz replay rebuilt and re-run under
+#                                 Release tree, then the db suite, a db
+#                                 fuzz replay and the striped overflow-
+#                                 escalation suite rebuilt and re-run under
 #                                 Address/UBSanitizer (docs/SERVICE.md)
 #  12. (--tsan) TSan build + the dsm/fault/oracle/service/db suites raced
 #      under ThreadSanitizer (admission must stay deadlock-free; the preset
@@ -92,7 +96,13 @@ ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
 # gate with dispatch pinned to every other backend this host can run, so the
 # scalar reference and each vector path stay release-gated even on AVX2 hosts.
 ACTIVE_BACKEND="$(build/tools/kernel_info --active)"
-for backend in $(build/tools/kernel_info); do
+AVAILABLE_BACKENDS="$(build/tools/kernel_info)"
+case " $(echo $AVAILABLE_BACKENDS) " in
+  *" striped-avx512 "*) : ;;
+  *) echo "==> notice: striped-avx512 unavailable on this build/CPU" \
+         "(needs AVX-512F+BW); skipping its tier1 forcing" ;;
+esac
+for backend in $AVAILABLE_BACKENDS; do
   [ "$backend" = "$ACTIVE_BACKEND" ] && continue
   echo "==> ctest -L tier1 (GDSM_KERNEL=$backend)"
   GDSM_KERNEL="$backend" ctest --test-dir build -L tier1 \
@@ -160,12 +170,18 @@ build/tools/loadgen --db-gen=3 --subject-len=1200 --query-len=150 \
   --rate=150 --duration-s=2 --queue-cap=512 --min-score=40 --quiet
 build/tools/fuzz_align --db --budget-s=10 --quiet
 # The same surfaces under Address/UBSanitizer: the db suite (SubjectDb,
-# oracle, service path) plus one seeded db fuzz replay.
+# oracle, service path), one seeded db fuzz replay, and the striped
+# overflow-escalation suite — the 8->16-bit re-run recycles thread-local
+# scratch rows at a different lane width, exactly where a stale-size or
+# out-of-bounds bug would hide (docs/KERNELS.md).
 cmake -B build-asan -S . -DGDSM_SANITIZE=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-asan -j "$JOBS" --target db_test fuzz_align
+cmake --build build-asan -j "$JOBS" --target db_test fuzz_align \
+  striped_precision_test
 build-asan/tests/db_test --gtest_brief=1
 build-asan/tools/fuzz_align --db --seed=1 --faults=none --quiet
+echo "==> striped escalation suite (ASan)"
+build-asan/tests/striped_precision_test --gtest_brief=1
 
 if [ "$RUN_TSAN" -eq 1 ]; then
   echo "==> TSan build + concurrency suites"
