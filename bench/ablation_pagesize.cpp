@@ -2,24 +2,99 @@
 // strategy (DESIGN.md design-choice check: JIAJIA inherits the 4 KiB VM
 // page; the strategies move 56-byte cells, so page size sets the
 // false-sharing/transfer granularity).
+//
+// Two views per page size: the simulated 1998 cluster (CostModel sweep, the
+// paper's regime) and a real 2-node host run of the write/barrier/read
+// border handshake on the selected execution backend.  --backend=
+// (threads|process) picks the latter; run_all.sh's BENCH_BACKENDS axis
+// re-runs the bench per backend so the baseline carries both host rows.
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.h"
 #include "core/report_io.h"
+#include "dsm/backend.h"
+#include "dsm/cluster.h"
+#include "obs/snapshots.h"
+
+namespace {
+
+using namespace gdsm;
+
+/// One border handshake per round: node 0 dirties one int per page across
+/// a 64 KiB strip, a barrier ships the diffs, node 1 faults every page
+/// back in.  Wall seconds for 10 rounds — the page count (round trips) and
+/// page bytes (wire time) trade off exactly like the simulated columns.
+double host_border_seconds(std::size_t page_bytes, dsm::Backend backend) {
+  dsm::DsmConfig cfg;
+  cfg.page_bytes = page_bytes;
+  cfg.backend = backend;
+  dsm::Cluster cluster(2, cfg);
+  constexpr std::size_t kStripBytes = 64 * 1024;
+  constexpr int kRounds = 10;
+  const dsm::GlobalAddr arr = cluster.alloc(kStripBytes, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.run([&](dsm::Node& node) {
+    const std::size_t stride = page_bytes / sizeof(int);
+    const std::size_t n = kStripBytes / sizeof(int);
+    long sum = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      if (node.id() == 0) {
+        for (std::size_t i = 0; i < n; i += stride) {
+          node.write<int>(arr + i * sizeof(int), round);
+        }
+      }
+      node.barrier();
+      if (node.id() == 1) {
+        for (std::size_t i = 0; i < n; i += stride) {
+          sum += node.read<int>(arr + i * sizeof(int));
+        }
+      }
+      node.barrier();
+    }
+    // Keep the reads observable without a benchmark-library sink.
+    if (node.id() == 1 && sum != static_cast<long>(n / stride) *
+                                     (kRounds * (kRounds - 1) / 2)) {
+      std::cerr << "ablation_pagesize: border checksum mismatch\n";
+    }
+  });
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace gdsm;
   const Args args(argc, argv);
-  bench::banner("Ablation — DSM page size",
-                "Page size vs strategy run time (50K sequences, 8 procs)");
+  const std::string backend_arg = args.get("backend", "threads");
+  if (backend_arg != "threads" && backend_arg != "process") {
+    std::cerr << "ablation_pagesize: --backend=" << backend_arg
+              << " unknown (threads|process)\n";
+    return 2;
+  }
+  const dsm::Backend backend = backend_arg == "process"
+                                   ? dsm::Backend::kProcess
+                                   : dsm::Backend::kThreads;
+  bench::banner("Ablation — DSM page size (" + backend_arg + " backend)",
+                "Page size vs strategy run time (50K sequences, 8 procs) "
+                "plus a real 2-node border handshake");
 
-  obs::RunReport report("ablation_pagesize",
-                        "Ablation — DSM page size vs strategy run time");
+  // A distinct experiment id per backend keeps both runs side by side in
+  // the merged baseline (merge_reports rejects duplicate ids).
+  const std::string experiment = backend == dsm::Backend::kProcess
+                                     ? "ablation_pagesize_process"
+                                     : "ablation_pagesize";
+  obs::RunReport report(experiment,
+                        "Ablation — DSM page size vs strategy run time (" +
+                            backend_arg + " backend)");
   report.set_param("size", 50'000);
   report.set_param("procs", 8);
+  report.set_param("backend", backend_arg);
+  report.set_param("host_clock", true);  // the host column is wall clock
 
   TextTable table("Page size sweep");
-  table.set_header({"page bytes", "no-block total (s)", "blocked 5x5 (s)"});
+  table.set_header({"page bytes", "no-block total (s)", "blocked 5x5 (s)",
+                    "host border (ms)"});
   for (const std::size_t page :
        std::vector<std::size_t>{1024, 2048, 4096, 8192, 16384}) {
     sim::CostModel cm;
@@ -27,13 +102,15 @@ int main(int argc, char** argv) {
     const core::SimReport noblock = core::sim_wavefront(50'000, 50'000, 8, cm);
     const core::SimReport blocked =
         core::sim_blocked(50'000, 50'000, 8, 40, 40, cm);
+    const double host_s = host_border_seconds(page, backend);
     table.add_row({std::to_string(page), fmt_f(noblock.total_s, 1),
-                   fmt_f(blocked.total_s, 1)});
+                   fmt_f(blocked.total_s, 1), fmt_f(host_s * 1e3, 2)});
 
     obs::Json rec = obs::Json::object();
     rec.set("page_bytes", page);
     rec.set("noblock_total_s", noblock.total_s);
     rec.set("blocked_total_s", blocked.total_s);
+    rec.set("host_border_s", host_s);
     rec.set("noblock_sim", core::sim_report_json(noblock));
     rec.set("blocked_sim", core::sim_report_json(blocked));
     report.add_row("sweep", std::move(rec));
@@ -43,6 +120,13 @@ int main(int argc, char** argv) {
       << "Reading: the non-blocked strategy ships one page per border CELL,\n"
          "so larger pages only add wire time; the blocked strategy ships a\n"
          "whole block row, so larger pages amortize the per-page fault round\n"
-         "trips and help until wire time dominates.\n";
+         "trips and help until wire time dominates.  The host column is the\n"
+         "same trade on the real substrate: fewer, larger pages per barrier.\n";
+  // The auto-attached dsm section names the process-wide *default* backend;
+  // this bench picks its backend per cluster config, so pin the section to
+  // what actually ran.
+  obs::Json dsm_section = obs::dsm_backend_json();
+  dsm_section.set("backend", backend_arg);
+  report.set_section("dsm", std::move(dsm_section));
   return bench::emit_report(report, args);
 }

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "db/subject_db.h"
 #include "simd/dispatch.h"
 #include "svc/service.h"
 #include "util/genome.h"
@@ -79,11 +81,16 @@ int main(int argc, char** argv) {
   const int min_score = static_cast<int>(args.get_int("min-score", 120));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   const double duration_s = args.get_double("duration-s", 0.75);
-  // The last default rate deliberately exceeds the service's capacity so
-  // `open.r4000.qps` records the saturated scan throughput — the row where
-  // the kernel backend (striped vs anti-diagonal) shows up in the baseline.
+  // --cascade=off disables the certified seed-and-extend middle stage so the
+  // baseline carries both an accelerated and a PR 7-pipeline row.
+  const bool cascade_on = args.get("cascade", "on") != "off";
+  const auto qgram = static_cast<std::size_t>(
+      args.get_int("q", static_cast<long long>(db::DbConfig{}.q)));
+  // The last default rates deliberately exceed the service's capacity so
+  // `open.r16000.qps` records the saturated scan throughput — the row where
+  // the kernel backend and the cascade show up in the baseline.
   const std::vector<std::size_t> rates =
-      bench::size_list(args, "rates", {40, 160, 4000});
+      bench::size_list(args, "rates", {40, 160, 4000, 16000});
   const std::vector<std::size_t> thresholds =
       bench::size_list(args, "thresholds", {40, 80, 120, 140});
 
@@ -94,6 +101,7 @@ int main(int argc, char** argv) {
   std::string experiment = "db_throughput";
   if (std::getenv("GDSM_KERNEL") != nullptr)
     experiment += std::string("_") + simd::active_backend_name();
+  if (!cascade_on) experiment += "_nocascade";
   obs::RunReport report(experiment,
                         "Database-serving throughput: filtration-threshold "
                         "sweep and open-loop rate sweep over a sharded "
@@ -103,6 +111,11 @@ int main(int argc, char** argv) {
   report.set_param("query_len", query_len);
   report.set_param("probes", n_probes);
   report.set_param("min_score", min_score);
+  // The open-loop sweep's filtration threshold, the q-gram length and the
+  // cascade mode pin down which funnel the throughput numbers measured.
+  report.set_param("threshold", min_score);
+  report.set_param("q", qgram);
+  report.set_param("cascade", cascade_on ? "on" : "off");
   report.set_param("seed", seed);
   report.set_param("host_clock", true);  // wall-clock throughput/latency
   // The shard scan's DP runs through the kernel dispatch; run_all.sh's
@@ -119,6 +132,12 @@ int main(int argc, char** argv) {
     cfg.workers = static_cast<int>(args.get_int("workers", 2));
     cfg.queue_capacity = 256;
     return cfg;
+  };
+  const auto make_db_config = [&] {
+    db::DbConfig dcfg;
+    dcfg.cascade = cascade_on;
+    dcfg.q = qgram;
+    return dcfg;
   };
   const auto submit_probe = [&](svc::AlignService& service, std::size_t i,
                                 int threshold) {
@@ -139,7 +158,7 @@ int main(int argc, char** argv) {
                    "Filtration", "Hits"});
   for (const std::size_t threshold : thresholds) {
     svc::AlignService service(make_config());
-    service.load_db("db", w.sequences);
+    service.load_db("db", w.sequences, make_db_config());
     std::vector<svc::TicketPtr> tickets;
     for (std::size_t i = 0; i < w.probes.size(); ++i) {
       tickets.push_back(
@@ -180,7 +199,7 @@ int main(int argc, char** argv) {
                      "p99 (ms)"});
   for (const std::size_t rate : rates) {
     svc::AlignService service(make_config());
-    service.load_db("db", w.sequences);
+    service.load_db("db", w.sequences, make_db_config());
     Rng arrivals(seed ^ (0xdbdbdbdbull + rate));
     std::vector<svc::TicketPtr> tickets;
     std::uint64_t offered = 0, rejected = 0;
@@ -243,6 +262,64 @@ int main(int argc, char** argv) {
                          filtration);
   }
   open_t.print(std::cout);
+
+  // ---- persisted q-gram index: cold rebuild vs mmap re-open ----
+  // Measured on a database big enough that index construction dominates the
+  // load path — this is the warm-load_db speedup the persisted index buys a
+  // service restart (docs/SERVICE.md "Cascade").
+  {
+    const auto idx_seqs =
+        static_cast<std::size_t>(args.get_int("index-seqs", 8));
+    const auto idx_len =
+        static_cast<std::size_t>(args.get_int("index-len", 32000));
+    const int reps = static_cast<int>(args.get_int("index-reps", 5));
+    const std::string path =
+        args.get("index-path", "/tmp/gdsm_db_throughput.qidx");
+    Rng rng(seed ^ 0x71d3);
+    std::vector<Sequence> seqs;
+    for (std::size_t k = 0; k < idx_seqs; ++k) {
+      seqs.push_back(random_dna(idx_len, rng, "idx" + std::to_string(k)));
+    }
+    const db::DbConfig dcfg = make_db_config();
+    const auto secs_since = [](std::chrono::steady_clock::time_point t0) {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
+    };
+    double cold_s = 1e300, save_s = 1e300, open_s = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      auto t0 = std::chrono::steady_clock::now();
+      db::SubjectDb cold(seqs, dcfg);
+      cold_s = std::min(cold_s, secs_since(t0));
+      t0 = std::chrono::steady_clock::now();
+      cold.save_index(path);
+      save_s = std::min(save_s, secs_since(t0));
+      t0 = std::chrono::steady_clock::now();
+      const db::SubjectDb warm = db::SubjectDb::open_index(seqs, path, dcfg);
+      open_s = std::min(open_s, secs_since(t0));
+      if (warm.fragments().size() != cold.fragments().size()) {
+        std::cerr << "index round-trip changed the fragment partition\n";
+        return 1;
+      }
+    }
+    std::remove(path.c_str());
+    const double speedup = open_s > 0 ? cold_s / open_s : 0;
+    TextTable idx_t("Persisted q-gram index - " + std::to_string(idx_seqs) +
+                    " x " + std::to_string(idx_len) + " bases, best of " +
+                    std::to_string(reps));
+    idx_t.set_header({"Cold build (ms)", "Save (ms)", "mmap open (ms)",
+                      "Warm speedup"});
+    idx_t.add_row({fmt_f(cold_s * 1e3, 2), fmt_f(save_s * 1e3, 2),
+                   fmt_f(open_s * 1e3, 2), fmt_f(speedup, 1) + "x"});
+    idx_t.print(std::cout);
+    report.set_param("index_seqs", idx_seqs);
+    report.set_param("index_len", idx_len);
+    report.metrics().set("index.cold_build_s", cold_s);
+    report.metrics().set("index.save_s", save_s);
+    report.metrics().set("index.open_s", open_s);
+    report.metrics().set("index.warm_speedup", speedup);
+  }
+
   std::cout << "Shape checks: filtration stays ~0% below the no-seed bound\n"
                "and climbs past it (random probes discard nearly all\n"
                "fragments); the default min_score keeps the open-loop\n"

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,9 +33,13 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 
 /// Runs the registered google benchmarks; with --json=<path>, also writes a
 /// RunReport whose "benchmarks" series carries per-run timings (host wall
-/// clock, NOT the simulated 1998 platform) and user counters.
+/// clock, NOT the simulated 1998 platform) and user counters.  `decorate`,
+/// when set, runs on the finished report before it is emitted — for benches
+/// that add params or pin sections (e.g. the DSM backend axis).
 inline int gbench_main(int argc, char** argv, const std::string& experiment,
-                       const std::string& title) {
+                       const std::string& title,
+                       const std::function<void(obs::RunReport&)>& decorate =
+                           {}) {
   const Args args(argc, argv);
 
   // Rebuild argv without --json for benchmark::Initialize.
@@ -77,6 +82,7 @@ inline int gbench_main(int argc, char** argv, const std::string& experiment,
     }
     report.add_row("benchmarks", std::move(row));
   }
+  if (decorate) decorate(report);
   return emit_report(report, args);
 }
 

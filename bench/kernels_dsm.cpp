@@ -1,18 +1,38 @@
-// google-benchmark micro-benchmarks of the threaded DSM primitives on the
-// build host (functional substrate, not the simulated 1998 cluster).
+// google-benchmark micro-benchmarks of the DSM primitives on the build host
+// (functional substrate, not the simulated 1998 cluster).  --backend=
+// (threads|process) picks the DSM execution backend; run_all.sh's
+// BENCH_BACKENDS axis re-runs this bench per backend so the baseline
+// carries both primitive-cost rows side by side.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dsm/backend.h"
 #include "dsm/cluster.h"
 #include "gbench_json.h"
+#include "obs/snapshots.h"
 
 namespace {
 
 using namespace gdsm::dsm;
 
+/// The execution backend every benchmark's cluster runs on (set in main
+/// from --backend before google-benchmark takes over argv).
+Backend g_backend = Backend::kThreads;
+
+DsmConfig base_cfg() {
+  DsmConfig cfg;
+  cfg.backend = g_backend;
+  return cfg;
+}
+
 void BM_LockUnlockRoundTrip(benchmark::State& state) {
   const auto iters = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    Cluster cluster(2);
+    Cluster cluster(2, base_cfg());
     cluster.run([&](Node& node) {
       if (node.id() == 0) {
         for (int i = 0; i < iters; ++i) {
@@ -29,7 +49,7 @@ BENCHMARK(BM_LockUnlockRoundTrip)->Arg(1000)->Unit(benchmark::kMillisecond);
 void BM_CvPingPong(benchmark::State& state) {
   const auto rounds = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    Cluster cluster(2);
+    Cluster cluster(2, base_cfg());
     cluster.run([&](Node& node) {
       for (int i = 0; i < rounds; ++i) {
         if (node.id() == 0) {
@@ -49,7 +69,7 @@ BENCHMARK(BM_CvPingPong)->Arg(1000)->Unit(benchmark::kMillisecond);
 void BM_RemotePageFault(benchmark::State& state) {
   const auto pages = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    DsmConfig cfg;
+    DsmConfig cfg = base_cfg();
     cfg.cache_pages = 4;  // force re-faults
     Cluster cluster(2, cfg);
     const GlobalAddr arr =
@@ -72,7 +92,7 @@ BENCHMARK(BM_RemotePageFault)->Arg(256)->Unit(benchmark::kMillisecond);
 void BM_BarrierWithDiffs(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    Cluster cluster(nodes);
+    Cluster cluster(nodes, base_cfg());
     const GlobalAddr arr =
         cluster.alloc(static_cast<std::size_t>(nodes) * sizeof(int), 0);
     cluster.run([&](Node& node) {
@@ -89,7 +109,44 @@ BENCHMARK(BM_BarrierWithDiffs)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const gdsm::Args args(argc, argv);
+  const std::string backend_arg = args.get("backend", "threads");
+  if (backend_arg != "threads" && backend_arg != "process") {
+    std::cerr << "kernels_dsm: --backend=" << backend_arg
+              << " unknown (threads|process)\n";
+    return 2;
+  }
+  g_backend =
+      backend_arg == "process" ? Backend::kProcess : Backend::kThreads;
+
+  // Strip --backend before google-benchmark sees argv (it rejects unknown
+  // flags; gbench_main strips --json the same way).
+  std::vector<char*> filtered;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) continue;
+    if (std::strcmp(argv[i], "--backend") == 0) {
+      ++i;  // skip the separate value token too
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+
+  // A distinct experiment id per backend keeps both runs side by side in
+  // the merged baseline (merge_reports rejects duplicate ids).
+  const std::string experiment = g_backend == Backend::kProcess
+                                     ? "kernels_dsm_process"
+                                     : "kernels_dsm";
   return gdsm::bench::gbench_main(
-      argc, argv, "kernels_dsm",
-      "Microbenchmarks — threaded DSM primitives on the build host");
+      static_cast<int>(filtered.size()), filtered.data(), experiment,
+      "Microbenchmarks — " + backend_arg +
+          "-backend DSM primitives on the build host",
+      [&](gdsm::obs::RunReport& report) {
+        report.set_param("backend", backend_arg);
+        // The auto-attached dsm section names the process-wide *default*
+        // backend; this bench picks its backend per cluster config, so pin
+        // the section to what actually ran.
+        gdsm::obs::Json dsm_section = gdsm::obs::dsm_backend_json();
+        dsm_section.set("backend", backend_arg);
+        report.set_section("dsm", std::move(dsm_section));
+      });
 }

@@ -17,55 +17,57 @@ struct Hsp {
   int score;
 };
 
-int substitution(const BlastParams& p, Base a, Base b) {
-  return (a == b && a < 4) ? p.match : p.mismatch;
-}
-
-// Ungapped X-drop extension of a seed match along its diagonal.
+// Ungapped X-drop extension of a word-index seed (exact by construction:
+// pack_word never emits a code for an N window) along its diagonal.
 Hsp extend_ungapped(const Sequence& s, const Sequence& t, std::size_t sp,
                     std::size_t tp, int k, const BlastParams& params) {
-  // Seed score.
-  int score = 0;
-  for (int i = 0; i < k; ++i) {
-    score += substitution(params, s[sp + static_cast<std::size_t>(i)],
-                          t[tp + static_cast<std::size_t>(i)]);
-  }
-  Hsp hsp{sp, sp + static_cast<std::size_t>(k), tp,
-          tp + static_cast<std::size_t>(k), score};
+  const UngappedSegment seg = extend_ungapped_xdrop(
+      s.data(), s.size(), t.data(), t.size(), sp, tp,
+      static_cast<std::size_t>(k), params.match, params.mismatch,
+      params.xdrop_ungapped);
+  return Hsp{seg.s_begin, seg.s_end, seg.t_begin, seg.t_end, seg.score};
+}
 
+}  // namespace
+
+UngappedSegment extend_ungapped_xdrop(const Base* s, std::size_t s_len,
+                                      const Base* t, std::size_t t_len,
+                                      std::size_t sp, std::size_t tp,
+                                      std::size_t seed_len, int match,
+                                      int mismatch, int xdrop) {
+  UngappedSegment seg{sp, sp + seed_len, tp, tp + seed_len,
+                      static_cast<int>(seed_len) * match};
   // Right extension.
-  int best = score;
-  int run = score;
-  std::size_t i = hsp.s_end, j = hsp.t_end;
-  while (i < s.size() && j < t.size() && run > best - params.xdrop_ungapped) {
-    run += substitution(params, s[i], t[j]);
+  int best = seg.score;
+  int run = seg.score;
+  std::size_t i = seg.s_end, j = seg.t_end;
+  while (i < s_len && j < t_len && run > best - xdrop) {
+    run += (s[i] == t[j] && s[i] < 4) ? match : mismatch;
     ++i;
     ++j;
     if (run > best) {
       best = run;
-      hsp.s_end = i;
-      hsp.t_end = j;
+      seg.s_end = i;
+      seg.t_end = j;
     }
   }
   // Left extension.
   run = best;
-  i = hsp.s_begin;
-  j = hsp.t_begin;
-  while (i > 0 && j > 0 && run > best - params.xdrop_ungapped) {
-    run += substitution(params, s[i - 1], t[j - 1]);
+  i = seg.s_begin;
+  j = seg.t_begin;
+  while (i > 0 && j > 0 && run > best - xdrop) {
+    run += (s[i - 1] == t[j - 1] && s[i - 1] < 4) ? match : mismatch;
     --i;
     --j;
     if (run > best) {
       best = run;
-      hsp.s_begin = i;
-      hsp.t_begin = j;
+      seg.s_begin = i;
+      seg.t_begin = j;
     }
   }
-  hsp.score = best;
-  return hsp;
+  seg.score = best;
+  return seg;
 }
-
-}  // namespace
 
 std::vector<BlastHit> blastn(const Sequence& s, const Sequence& t,
                              const BlastParams& params) {

@@ -45,4 +45,26 @@ struct BlastHit {
 std::vector<BlastHit> blastn(const Sequence& s, const Sequence& t,
                              const BlastParams& params = {});
 
+/// An ungapped diagonal segment produced by X-drop extension (0-based,
+/// half-open coordinates into the two raw base arrays).
+struct UngappedSegment {
+  std::size_t s_begin = 0, s_end = 0;
+  std::size_t t_begin = 0, t_end = 0;
+  int score = 0;
+};
+
+/// Ungapped X-drop extension of an exact seed match s[sp, sp+seed_len) ==
+/// t[tp, tp+seed_len) along its diagonal: extend right then left, keeping
+/// the first maximal-scoring reach in each direction, abandoning a
+/// direction once the running score falls more than `xdrop` below the best.
+/// Operates on raw base arrays and allocates nothing, so a per-candidate
+/// cascade loop can call it for every chained run (docs/SERVICE.md
+/// "Cascade").  With `xdrop` >= match * min(s_len, t_len) the result is the
+/// maximal-scoring segment on the diagonal that contains the seed.
+UngappedSegment extend_ungapped_xdrop(const Base* s, std::size_t s_len,
+                                      const Base* t, std::size_t t_len,
+                                      std::size_t sp, std::size_t tp,
+                                      std::size_t seed_len, int match,
+                                      int mismatch, int xdrop);
+
 }  // namespace gdsm::blast

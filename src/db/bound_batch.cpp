@@ -1,0 +1,45 @@
+// Baseline-ISA half of the batched bound (bound_batch.h): availability
+// gating and forwarding into the -mavx2 translation unit.
+#include "db/bound_batch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gdsm::db {
+
+#if GDSM_DB_BOUND_AVX2
+namespace detail {
+void seeded_bound_batch_avx2(std::size_t m, const std::uint8_t* flags_t,
+                             std::size_t windows, std::size_t stride,
+                             std::size_t count, int a, int p, std::size_t q,
+                             std::int32_t* out);
+}  // namespace detail
+#endif
+
+bool bound_batch_available() {
+#if GDSM_DB_BOUND_AVX2
+  static const bool available = [] {
+    const char* env = std::getenv("GDSM_DB_BOUND");
+    if (env != nullptr && std::strcmp(env, "scalar") == 0) return false;
+    return __builtin_cpu_supports("avx2") != 0;
+  }();
+  return available;
+#else
+  return false;
+#endif
+}
+
+void seeded_bound_batch(std::size_t m, const std::uint8_t* flags_t,
+                        std::size_t windows, std::size_t stride,
+                        std::size_t count, int a, int p, std::size_t q,
+                        std::int32_t* out) {
+#if GDSM_DB_BOUND_AVX2
+  detail::seeded_bound_batch_avx2(m, flags_t, windows, stride, count, a, p, q,
+                                  out);
+#else
+  (void)m, (void)flags_t, (void)windows, (void)stride, (void)count;
+  (void)a, (void)p, (void)q, (void)out;
+#endif
+}
+
+}  // namespace gdsm::db

@@ -1,0 +1,58 @@
+// Vector backend of the stage-1 filtration bound: the seeded-run DP of
+// subject_db.cpp evaluated for a whole batch of candidate fragments at once,
+// 8 per 256-bit vector of 32-bit states.
+//
+// The scalar bound walks one fragment's seed flags per call, so a scan over
+// F seeded fragments pays F dependent m-column DP sweeps — the dominant cost
+// of db_query on small-q indexes, where the O(1) distinct-count prefilter
+// almost never fires.  Batching turns the fragment dimension into SIMD
+// lanes: the per-column recurrence (a max/add network over q states) is
+// identical in every lane, and only the per-window seed flag differs, so one
+// column update serves 8 fragments.  The flags are consumed transposed
+// (window-major, one byte per candidate) so each column reads 8 contiguous
+// bytes instead of 8 strided ones.
+//
+// The batch computes the *exact* bound (no decision early-exits): at vector
+// rates the full m columns cost less than the scalar loop's truncated sweep,
+// and the cascade downstream gets untruncated bounds, which only tightens
+// its extension early-stop.  Reject/accept decisions against min_score are
+// therefore byte-identical to the scalar path's (the scalar exits are
+// decision-preserving by construction).
+//
+// Like simd/dispatch.cpp, the AVX2 translation unit is the only one built
+// with -mavx2 and every call is CPUID-gated; hosts (or builds) without AVX2
+// fall back to the scalar per-fragment loop in subject_db.cpp.  Set
+// GDSM_DB_BOUND=scalar to force the fallback — the differential tests use
+// this to check the two paths agree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gdsm::db {
+
+/// True when the AVX2 batch kernel is compiled in, the CPU supports it, and
+/// GDSM_DB_BOUND does not force the scalar path.  Cached after first call.
+bool bound_batch_available();
+
+/// Exact seeded-run bounds for `count` candidates sharing one query.
+///
+///   flags_t  transposed seed flags: flags_t[w * stride + c] is non-zero
+///            when candidate c's fragment contains the query q-gram at
+///            window w, for w in [0, windows)
+///   stride   row stride of flags_t in bytes; must be a multiple of 8 and
+///            >= count, with padding lanes zeroed (they compute the no-seed
+///            bound into out[], which callers ignore)
+///   a        match score (> 0; callers handle degenerate schemes)
+///   p        per-column error penalty max(0, min(-mismatch, -gap))
+///   q        q-gram length, in [2, 15]
+///   out      receives one bound per lane; at least `stride` ints
+///
+/// out[c] equals seeded_run_bound(m, flags-of-candidate-c, scheme, q)
+/// exactly.  Must only be called when bound_batch_available().
+void seeded_bound_batch(std::size_t m, const std::uint8_t* flags_t,
+                        std::size_t windows, std::size_t stride,
+                        std::size_t count, int a, int p, std::size_t q,
+                        std::int32_t* out);
+
+}  // namespace gdsm::db

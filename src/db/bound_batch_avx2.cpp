@@ -1,0 +1,80 @@
+// AVX2 kernel of the batched seeded-run bound (bound_batch.h).  This is the
+// only db/ translation unit compiled with -mavx2; bound_batch.cpp gates
+// every call on CPUID, so the rest of the library stays baseline x86-64.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gdsm::db::detail {
+namespace {
+
+constexpr int kNeg = -(1 << 28);
+
+/// One vector of 8 candidates through the full m-column DP.  Mirrors
+/// seeded_bound_core in subject_db.cpp state for state; see that function
+/// for the recurrence derivation.  QF bakes q into the type (the state
+/// array stays in ymm registers and the r-loops unroll); QF == 0 reads q_rt.
+template <std::size_t QF>
+void bound_lanes(std::size_t m, const std::uint8_t* flags_t,
+                 std::size_t windows, std::size_t stride, int a, int p,
+                 std::size_t q_rt, std::int32_t* out) {
+  const std::size_t q = QF != 0 ? QF : q_rt;
+  const __m256i va = _mm256_set1_epi32(a);
+  const __m256i vstep = _mm256_set1_epi32(a - p);  // error column then match
+  const __m256i vp = _mm256_set1_epi32(p);
+  const __m256i vneg = _mm256_set1_epi32(kNeg);
+  const __m256i zero = _mm256_setzero_si256();
+
+  __m256i v[QF != 0 ? QF : 16];
+  for (std::size_t r = 1; r < q; ++r) v[r] = vneg;
+  v[0] = zero;
+  __m256i best = zero;
+  for (std::size_t j = 0; j < m; ++j) {
+    __m256i vmax = v[0];
+    for (std::size_t r = 1; r < q; ++r) vmax = _mm256_max_epi32(vmax, v[r]);
+    best = _mm256_max_epi32(best, vmax);
+    // Run cap: v[q-1] may extend past length q-1 only in lanes whose window
+    // j+1-q is seeded.  The flag bytes are 0/1, so a cmpgt-zero turns the
+    // 8-byte row slice into a lane mask.
+    __m256i cap = vneg;
+    if (j + 1 >= q && j + 1 - q < windows) {
+      const __m128i row = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+          flags_t + (j + 1 - q) * stride));
+      const __m256i mask = _mm256_cmpgt_epi32(_mm256_cvtepu8_epi32(row), zero);
+      cap = _mm256_blendv_epi8(vneg, _mm256_add_epi32(v[q - 1], va), mask);
+    }
+    for (std::size_t r = q - 1; r >= 1; --r)
+      v[r] = _mm256_add_epi32(v[r - 1], va);
+    v[q - 1] = _mm256_max_epi32(v[q - 1], cap);
+    v[1] = _mm256_max_epi32(v[1], _mm256_add_epi32(vmax, vstep));
+    v[0] = _mm256_max_epi32(zero, _mm256_sub_epi32(vmax, vp));
+  }
+  for (std::size_t r = 0; r < q; ++r) best = _mm256_max_epi32(best, v[r]);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), best);
+}
+
+}  // namespace
+
+void seeded_bound_batch_avx2(std::size_t m, const std::uint8_t* flags_t,
+                             std::size_t windows, std::size_t stride,
+                             std::size_t count, int a, int p, std::size_t q,
+                             std::int32_t* out) {
+  for (std::size_t c = 0; c < count; c += 8) {
+    const std::uint8_t* flags = flags_t + c;
+    std::int32_t* o = out + c;
+    switch (q) {  // same fixed-q instantiations as the scalar core
+      case 4: bound_lanes<4>(m, flags, windows, stride, a, p, q, o); break;
+      case 5: bound_lanes<5>(m, flags, windows, stride, a, p, q, o); break;
+      case 6: bound_lanes<6>(m, flags, windows, stride, a, p, q, o); break;
+      case 7: bound_lanes<7>(m, flags, windows, stride, a, p, q, o); break;
+      default: bound_lanes<0>(m, flags, windows, stride, a, p, q, o); break;
+    }
+  }
+}
+
+}  // namespace gdsm::db::detail
+
+#endif  // x86

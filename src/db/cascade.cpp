@@ -1,0 +1,211 @@
+#include "db/cascade.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "blast/blastn.h"
+
+namespace gdsm::db {
+namespace {
+
+constexpr int kNeg = std::numeric_limits<int>::min() / 4;
+
+/// Extension budget per candidate.  Runs are tried longest-first, so only
+/// pathological seed soups hit the cap — and a missed extension merely
+/// forwards the candidate to full DP, never drops it.
+constexpr std::size_t kMaxExtensions = 4;
+
+}  // namespace
+
+CascadeOutcome cascade_try_resolve(const Sequence& query, const Base* frag,
+                                   std::size_t frag_len,
+                                   const ScoreScheme& scheme, int exact_bound,
+                                   int no_seed_bound, std::size_t q,
+                                   CascadeScratch& scratch) {
+  CascadeOutcome out;
+  const std::size_t m = query.size();
+  const std::size_t n = frag_len;
+  // Certification needs real penalties (the band-width argument divides by
+  // -gap) and a strict U > B0 (which forces a >= q match run into every
+  // optimal alignment).  Anything else forwards to full DP.
+  if (scheme.match <= 0 || scheme.mismatch >= 0 || scheme.gap >= 0 ||
+      scheme.gap_open > 0 || exact_bound <= no_seed_bound ||
+      scratch.pairs.empty() || m == 0 || n == 0) {
+    return out;
+  }
+  const int a = scheme.match;
+
+  blast::chain_seed_runs(scratch.pairs.data(), scratch.pairs.size(),
+                         static_cast<int>(q), scratch.runs,
+                         scratch.sort_scratch);
+  out.chains = static_cast<std::uint32_t>(scratch.runs.size());
+  if (scratch.runs.empty()) return out;
+
+  // Stage A: X-drop-extend the longest runs.  The drop is set past any
+  // reachable score, so each extension is the maximal-scoring segment on
+  // its diagonal — its score is a realizable alignment score, hence
+  // ext <= true score <= U.  The higher the best extension, the narrower
+  // the certified band below, so runs are tried longest-first and the loop
+  // stops early once ext can no longer improve (it is capped by U).
+  std::sort(scratch.runs.begin(), scratch.runs.end(),
+            [](const blast::SeedRun& x, const blast::SeedRun& y) {
+              if (x.length() != y.length()) return x.length() > y.length();
+              if (x.diagonal != y.diagonal) return x.diagonal < y.diagonal;
+              return x.q_begin < y.q_begin;
+            });
+  const int xdrop = a * static_cast<int>(std::min(m, n)) + 1;
+  int best_ext = 0;
+  const std::size_t n_ext = std::min(scratch.runs.size(), kMaxExtensions);
+  for (std::size_t r = 0; r < n_ext; ++r) {
+    const blast::SeedRun& run = scratch.runs[r];
+    const blast::UngappedSegment seg = blast::extend_ungapped_xdrop(
+        query.data(), m, frag, n, run.q_begin, run.s_begin, run.length(), a,
+        scheme.mismatch, xdrop);
+    ++out.extensions;
+    best_ext = std::max(best_ext, seg.score);
+    if (best_ext >= exact_bound) break;
+  }
+  // The certificate needs ext > B0 strictly: every alignment scoring above
+  // ext then contains a >= q match run (else the no-seed bound would cap
+  // it at B0 < ext) and so passes through one of the gathered seeds.
+  if (best_ext <= no_seed_bound) return out;
+
+  // Stage B: certified banded DP.  Any alignment scoring >= ext carries at
+  // most g_max = (a*min(m,n) - ext) / (-gap) gap columns, so it stays
+  // within g_max diagonals of the seed run it passes through.  The
+  // restricted DP over the union of those bands therefore sees every
+  // alignment that could beat its own maximum R (R >= ext because the
+  // extension segment itself lies in-band): the full-matrix best score IS
+  // R, and the full matrix's score-R cells are exactly the restricted
+  // matrix's (cascade.h), making the tie-broken end cell canonical.
+  const std::int64_t g_max =
+      (static_cast<std::int64_t>(a) *
+           static_cast<std::int64_t>(std::min(m, n)) -
+       best_ext) /
+      (-scheme.gap);
+  const std::int64_t d_min = 1 - static_cast<std::int64_t>(m);
+  const std::int64_t d_max = static_cast<std::int64_t>(n) - 1;
+  scratch.bands.clear();
+  const auto im = static_cast<std::int64_t>(m);
+  const auto in = static_cast<std::int64_t>(n);
+  for (const blast::SeedRun& run : scratch.runs) {
+    // Matrix-extent prune: an alignment confined to diagonals
+    // [d - g_max, d + g_max] makes at most min(m, n, m + d + g, n - d + g)
+    // diagonal steps, so if a * that < ext no alignment scoring >= ext
+    // passes through this run's diagonal — no band needed around it.
+    // Stray single-seed runs off the homology diagonal would otherwise
+    // scatter bands across the matrix and trip the width budget below.
+    const std::int64_t d = run.diagonal;
+    const std::int64_t reach = std::min(
+        std::min(im, in), std::min(im + d + g_max, in - d + g_max));
+    if (a * reach < best_ext) continue;
+    scratch.bands.emplace_back(std::max(d_min, d - g_max),
+                               std::min(d_max, d + g_max));
+  }
+  if (scratch.bands.empty()) return out;
+  std::sort(scratch.bands.begin(), scratch.bands.end());
+  std::size_t nb = 0;
+  for (const auto& [lo, hi] : scratch.bands) {
+    // Merge bands closer than 3 diagonals: the row DP below zeroes the one
+    // cell past each band's right edge, and a >= 3-diagonal gap guarantees
+    // that cell never aliases a neighbouring band's live cells.
+    if (nb > 0 && lo <= scratch.bands[nb - 1].second + 2) {
+      scratch.bands[nb - 1].second =
+          std::max(scratch.bands[nb - 1].second, hi);
+    } else {
+      scratch.bands[nb++] = {lo, hi};
+    }
+  }
+  scratch.bands.resize(nb);
+
+  // Cost guard: the certificate is only a win while the band union is a
+  // small slice of the matrix.  Low-scoring extensions over seed soups
+  // (tandem repeats) widen g_max until the "restricted" DP approaches the
+  // full matrix — at that point the SIMD cluster path is cheaper, so
+  // forward instead.  Correctness is unaffected either way.
+  std::int64_t total_width = 0;
+  for (const auto& [lo, hi] : scratch.bands) total_width += hi - lo + 1;
+  const auto width_budget = std::max<std::int64_t>(
+      64, static_cast<std::int64_t>(n) / 4);
+  if (total_width > width_budget) return out;
+
+  // Restricted row DP (linear or Gotoh), outside cells H = 0 / E,F = -inf.
+  // Tie-break must replicate sw_best_score_linear: the kernel scans the
+  // longer sequence on rows, so ties resolve by (end_j, end_i) when the
+  // fragment is longer and (end_i, end_j) otherwise.
+  const bool affine = scheme.affine();
+  const bool transpose = n > m;
+  scratch.h.assign(n + 2, 0);
+  scratch.f.assign(n + 2, kNeg);
+  int* h = scratch.h.data();
+  int* f = scratch.f.data();
+  int best = 0;
+  std::size_t bi = 0, bj = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    const Base qb = query[i - 1];
+    for (const auto& [dlo, dhi] : scratch.bands) {
+      const std::int64_t ii = static_cast<std::int64_t>(i);
+      if (dlo + ii > static_cast<std::int64_t>(n)) continue;  // band exited
+      if (dhi + ii < 1) continue;  // band not yet entered
+      const std::size_t jlo =
+          static_cast<std::size_t>(std::max<std::int64_t>(1, dlo + ii));
+      const std::size_t jhi = static_cast<std::size_t>(
+          std::min<std::int64_t>(static_cast<std::int64_t>(n), dhi + ii));
+      if (dhi + ii == 1) {
+        // First row this band touches: the up-neighbours are outside cells
+        // of the previous row, which an earlier band may have dirtied.
+        for (std::size_t j = jlo; j <= jhi; ++j) {
+          h[j] = 0;
+          f[j] = kNeg;
+        }
+      }
+      int diag = h[jlo - 1];  // H(i-1, jlo-1); outside/border reads 0
+      int left = 0;           // H(i, jlo-1) is outside the band
+      int e = kNeg;           // E(i, jlo-1)
+      for (std::size_t j = jlo; j <= jhi; ++j) {
+        const int up = h[j];
+        const int sub = scheme.substitution(qb, frag[j - 1]);
+        int score;
+        if (affine) {
+          f[j] = std::max(f[j] + scheme.gap,
+                          up + scheme.gap_open + scheme.gap);
+          e = std::max(e + scheme.gap, left + scheme.gap_open + scheme.gap);
+          score = std::max({0, diag + sub, e, f[j]});
+        } else {
+          score = std::max({0, diag + sub, up + scheme.gap,
+                            left + scheme.gap});
+        }
+        h[j] = score;
+        diag = up;
+        left = score;
+        if (score > best) {
+          best = score;
+          bi = i;
+          bj = j;
+        } else if (score == best && best > 0) {
+          const bool wins = transpose
+                                ? (j < bj || (j == bj && i < bi))
+                                : (i < bi || (i == bi && j < bj));
+          if (wins) {
+            bi = i;
+            bj = j;
+          }
+        }
+      }
+      h[jhi + 1] = 0;  // outside cell next row's right edge reads as "up"
+      f[jhi + 1] = kNeg;
+    }
+  }
+  // The extension segment lies on a seed diagonal inside the band, so the
+  // restricted maximum can never fall below it; anything else means the
+  // certificate's preconditions were violated — forward to full DP.
+  if (best < best_ext) return out;
+
+  out.resolved = true;
+  out.score = best;
+  out.end_i = static_cast<std::uint32_t>(bi);
+  out.end_j = static_cast<std::uint32_t>(bj);
+  return out;
+}
+
+}  // namespace gdsm::db

@@ -90,15 +90,53 @@ DbQueryResult db_query(dsm::Cluster& cluster, const SubjectDb& db,
   }
 
   DbQueryResult out;
-  const SubjectDb::Filtration filt = db.filter(query, scheme, min_score);
-  out.fragments_scanned = filt.scanned;
-  out.fragments_rejected = filt.rejected;
-  out.fragments_aligned = filt.survivors.size();
+  SubjectDb::ScanResult scan = db.scan(query, scheme, min_score);
+  out.fragments_scanned = scan.scanned;
+  out.fragments_rejected = scan.rejected;
+  out.fragments_aligned = scan.forwarded.size();
+  out.fragments_resolved = scan.resolved.size();
+  out.cascade = scan.cascade;
+
+  // Certified candidates become hits directly: their score is exact and the
+  // scan already dropped certified resolutions below min_score.
+  for (const SubjectDb::ScanHit& r : scan.resolved) {
+    const Fragment& f = db.fragments()[r.fragment];
+    DbHit hit;
+    hit.fragment = f.id;
+    hit.seq_index = f.seq_index;
+    hit.begin = f.begin;
+    hit.score = r.score;
+    hit.end_i = r.end_i;
+    hit.end_j = r.end_j;
+    out.hits.push_back(hit);
+  }
 
   std::vector<std::uint64_t> per_node_aligned(
       static_cast<std::size_t>(cluster.nodes()), 0);
 
-  if (!filt.survivors.empty() && !query.empty()) {
+  const SubjectDb::Filtration filt{std::move(scan.forwarded), scan.scanned,
+                                   scan.rejected};
+  if (!filt.survivors.empty() && !query.empty() &&
+      filt.survivors.size() <= db.config().direct_align_max) {
+    // The cascade left too few candidates to amortize a cluster dispatch
+    // (two barriers dominate a fragment or two of DP): align them in place
+    // with the same dispatched kernel.  Hit-for-hit identical to the
+    // cluster path — only the transport differs.
+    for (const std::uint32_t fid : filt.survivors) {
+      const BestLocal b = best_score(query, db.fragment_seq(fid), scheme);
+      if (b.score < min_score) continue;
+      ++out.cascade.dp_confirmed;
+      const Fragment& f = db.fragments()[fid];
+      DbHit hit;
+      hit.fragment = f.id;
+      hit.seq_index = f.seq_index;
+      hit.begin = f.begin;
+      hit.score = b.score;
+      hit.end_i = static_cast<std::uint32_t>(b.end_i);
+      hit.end_j = static_cast<std::uint32_t>(b.end_j);
+      out.hits.push_back(hit);
+    }
+  } else if (!filt.survivors.empty() && !query.empty()) {
     const std::size_t m = query.size();
     const std::size_t query_bytes = m * sizeof(Base);
     // Fresh per-query scratch (the established per-dispatch idiom): the
@@ -170,6 +208,7 @@ DbQueryResult db_query(dsm::Cluster& cluster, const SubjectDb& db,
     for (std::size_t k = 0; k < work.size(); ++k) {
       const std::int32_t score = gathered[k * 3];
       if (score < min_score) continue;
+      ++out.cascade.dp_confirmed;
       const Fragment& f = db.fragments()[work[k].fragment];
       DbHit hit;
       hit.fragment = f.id;
@@ -180,12 +219,13 @@ DbQueryResult db_query(dsm::Cluster& cluster, const SubjectDb& db,
       hit.end_j = static_cast<std::uint32_t>(gathered[k * 3 + 2]);
       out.hits.push_back(hit);
     }
-    sort_hits(out.hits);
   }
+  sort_hits(out.hits);
 
   db_meter_record_query(out.fragments_scanned, out.fragments_rejected,
                         out.fragments_aligned, out.hits.size(),
                         per_node_aligned);
+  db_meter_record_cascade(out.cascade);
   return out;
 }
 

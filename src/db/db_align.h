@@ -73,8 +73,10 @@ struct DbQueryResult {
   std::vector<DbHit> hits;  ///< score descending, then fragment ascending
   std::size_t fragments_scanned = 0;
   std::size_t fragments_rejected = 0;
-  std::size_t fragments_aligned = 0;  ///< filtration survivors
-  std::uint64_t cache_hits = 0;       ///< DSM residency counters of the job
+  std::size_t fragments_aligned = 0;   ///< candidates that ran full DP
+  std::size_t fragments_resolved = 0;  ///< certified by the cascade, no DP
+  CascadeCounters cascade;             ///< funnel counters of this query
+  std::uint64_t cache_hits = 0;        ///< DSM residency counters of the job
   std::uint64_t read_faults = 0;
 };
 

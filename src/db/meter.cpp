@@ -40,6 +40,16 @@ void db_meter_record_query(std::size_t scanned, std::size_t rejected,
   }
 }
 
+void db_meter_record_cascade(const CascadeCounters& counters) {
+  const std::scoped_lock lk(g_mu);
+  g_totals.cascade += counters;
+}
+
+void db_meter_record_index_open() {
+  const std::scoped_lock lk(g_mu);
+  ++g_totals.cascade.index_mmap_hits;
+}
+
 void db_meter_record_shards(const std::vector<std::uint64_t>& per_node_bases) {
   const std::scoped_lock lk(g_mu);
   widen(g_totals.node_bases, per_node_bases.size());

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "db/cascade.h"
+
 namespace gdsm::db {
 
 struct DbMeterSnapshot {
@@ -17,6 +19,8 @@ struct DbMeterSnapshot {
   std::uint64_t fragments_rejected = 0;  ///< discarded before any DP
   std::uint64_t fragments_aligned = 0;   ///< survivors fed to the kernels
   std::uint64_t hits = 0;                ///< fragments reported >= min_score
+  /// Seed-and-extend funnel totals (schema v10 `db.cascade`).
+  CascadeCounters cascade;
   /// Residency and work placement per cluster node, for the shard-balance
   /// picture: bases resident (summed over every DbShards built) and
   /// fragments aligned on each node.  Sized to the widest cluster seen.
@@ -39,5 +43,8 @@ void db_meter_record_query(std::size_t scanned, std::size_t rejected,
                            std::size_t aligned, std::size_t hits,
                            const std::vector<std::uint64_t>& per_node_aligned);
 void db_meter_record_shards(const std::vector<std::uint64_t>& per_node_bases);
+void db_meter_record_cascade(const CascadeCounters& counters);
+/// One successful warm open of a persisted q-gram index (load path).
+void db_meter_record_index_open();
 
 }  // namespace gdsm::db

@@ -1,10 +1,13 @@
 #include "db/subject_db.h"
 
 #include <algorithm>
+#include <array>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
 #include "blast/words.h"
+#include "db/bound_batch.h"
 
 namespace gdsm::db {
 namespace {
@@ -16,10 +19,94 @@ DbConfig normalize(DbConfig cfg) {
   return cfg;
 }
 
+constexpr int kNeg = -(1 << 28);
+
+/// Allocation-free core of seeded_run_bound (q is pre-clamped to <= 15, so
+/// the state vector fits a fixed array): the hot path runs this once per
+/// seeded fragment per query.
+///
+/// `stop_at` enables the scan's decision-preserving early exits: the filter
+/// only compares the bound against min_score, so the DP may return as soon
+/// as the comparison is settled.  Accept-exit returns the running best once
+/// it reaches stop_at (a lower bound on the exact value, already >=
+/// min_score); reject-exit returns vmax + a*(m-j) (an upper bound on the
+/// exact value — every remaining column adds at most `a` to any state —
+/// already < min_score).  Either way the survivor set is byte-identical to
+/// the exact DP's.  Pass INT_MAX (the default) for the exact bound.
+/// The DP loop, templated on the q-gram length: QF != 0 bakes q into the
+/// type so the state vector lives in registers and the per-column r-loops
+/// fully unroll (the hot q = 5 path runs ~2-3x faster than the
+/// runtime-q loop); QF == 0 is the generic fallback reading q_rt.
+template <std::size_t QF>
+int seeded_bound_core(std::size_t m, const char* seed, std::size_t windows,
+                      int a, int p, std::size_t q_rt, int stop_at) {
+  const std::size_t q = QF != 0 ? QF : q_rt;
+  // INT_MAX disables both exits (ceiling < INT_MAX would otherwise fire on
+  // every column and return the trivial a*m cap instead of the exact DP).
+  const bool bounded = stop_at != std::numeric_limits<int>::max();
+
+  // v[r]: best score of a partial assignment whose current match run has
+  // length r (capped at q-1; the cap state also stands for runs >= q,
+  // which may only extend across seeded windows).
+  std::array<int, QF != 0 ? QF : 16> v;
+  v.fill(kNeg);
+  v[0] = 0;
+  int best = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    // vmax is the running optimum over all states, i.e. the best score over
+    // every j-column prefix — tracking it here replaces a per-column
+    // reduction over the updated states (the final column is folded in
+    // after the loop).
+    int vmax = v[0];
+    for (std::size_t r = 1; r < q; ++r) vmax = std::max(vmax, v[r]);
+    best = std::max(best, vmax);
+    if (bounded) {
+      if (best >= stop_at) return best;
+      const int ceiling =
+          vmax + a * static_cast<int>(m - j);  // every column adds <= a
+      if (ceiling < stop_at) return std::max(best, ceiling);
+    }
+    // Match extending a run to length >= q completes the q-window starting
+    // at j-q+1, which must then be a seed (an exact occurrence).
+    const bool seeded =
+        seed != nullptr && j + 1 >= q && j + 1 - q < windows && seed[j + 1 - q];
+    const int cap_ext = seeded ? v[q - 1] + a : kNeg;
+    // Match extending a short run (no complete q-window yet): an in-place
+    // downward shift of the state vector.
+    for (std::size_t r = q - 1; r >= 1; --r) v[r] = v[r - 1] + a;
+    v[q - 1] = std::max(v[q - 1], cap_ext);
+    // Interposed subject-only gap: pay p without consuming a query
+    // position, resetting the run, then match j.
+    v[1] = std::max(v[1], vmax - p + a);
+    // Error column at j, or a fresh local start.
+    v[0] = std::max(0, vmax - p);
+  }
+  for (std::size_t r = 0; r < q; ++r) best = std::max(best, v[r]);
+  return best;
+}
+
+int seeded_bound_impl(std::size_t m, const char* seed, std::size_t windows,
+                      const ScoreScheme& scheme, std::size_t q,
+                      int stop_at = std::numeric_limits<int>::max()) {
+  const int a = scheme.match;
+  if (a <= 0 || m == 0) return 0;  // no positive column -> local score 0
+  // Every error column (mismatch, or any gap column: a gap run costs at
+  // least `gap` per column even under affine, gap_open being a surcharge)
+  // costs at least p.  Degenerate non-negative penalties disable the
+  // filter rather than break it: p = 0 makes the bound a * m.
+  const int p = std::max(0, std::min(-scheme.mismatch, -scheme.gap));
+  switch (q) {  // fixed-q instantiations for the common index widths
+    case 4: return seeded_bound_core<4>(m, seed, windows, a, p, q, stop_at);
+    case 5: return seeded_bound_core<5>(m, seed, windows, a, p, q, stop_at);
+    case 6: return seeded_bound_core<6>(m, seed, windows, a, p, q, stop_at);
+    case 7: return seeded_bound_core<7>(m, seed, windows, a, p, q, stop_at);
+    default: return seeded_bound_core<0>(m, seed, windows, a, p, q, stop_at);
+  }
+}
+
 }  // namespace
 
-SubjectDb::SubjectDb(std::vector<Sequence> seqs, DbConfig cfg)
-    : cfg_(normalize(cfg)), seqs_(std::move(seqs)) {
+void SubjectDb::build_fragments() {
   const std::size_t step = cfg_.fragment_len - cfg_.overlap;
   for (std::size_t s = 0; s < seqs_.size(); ++s) {
     const std::size_t n = seqs_[s].size();
@@ -35,17 +122,43 @@ SubjectDb::SubjectDb(std::vector<Sequence> seqs, DbConfig cfg)
       if (f.end == n) break;
     }
   }
-  // Posting index: fragment ids are appended in ascending order, so every
-  // list ends up sorted and distinct without a separate pass.
-  const int q = static_cast<int>(cfg_.q);
+}
+
+QGramIndex::Geometry SubjectDb::geometry() const {
+  QGramIndex::Geometry g;
+  g.q = static_cast<std::uint32_t>(cfg_.q);
+  g.fragment_len = cfg_.fragment_len;
+  g.overlap = cfg_.overlap;
+  g.n_fragments = fragments_.size();
+  g.checksum = db_content_checksum(seqs_);
+  return g;
+}
+
+SubjectDb::SubjectDb(std::vector<Sequence> seqs, DbConfig cfg)
+    : cfg_(normalize(cfg)), seqs_(std::move(seqs)) {
+  build_fragments();
+  std::vector<QGramIndex::FragmentView> views;
+  views.reserve(fragments_.size());
   for (const Fragment& f : fragments_) {
-    const blast::WordIndex index(
-        seqs_[f.seq_index].slice(f.begin, f.end), q);
-    for (const std::uint32_t code : index.codes()) {
-      std::vector<std::uint32_t>& list = postings_[code];
-      if (list.empty() || list.back() != f.id) list.push_back(f.id);
-    }
+    views.push_back(QGramIndex::FragmentView{
+        seqs_[f.seq_index].data() + f.begin,
+        static_cast<std::size_t>(f.end - f.begin)});
   }
+  index_ = QGramIndex::build(views, geometry());
+}
+
+SubjectDb SubjectDb::open_index(std::vector<Sequence> seqs,
+                                const std::string& path, DbConfig cfg) {
+  SubjectDb db;
+  db.cfg_ = normalize(cfg);
+  db.seqs_ = std::move(seqs);
+  db.build_fragments();
+  db.index_ = QGramIndex::open(path, db.geometry());
+  return db;
+}
+
+void SubjectDb::save_index(const std::string& path) const {
+  index_.save(path);
 }
 
 Sequence SubjectDb::fragment_seq(std::uint32_t id) const {
@@ -60,47 +173,9 @@ Sequence SubjectDb::fragment_seq(std::uint32_t id) const {
 
 int seeded_run_bound(std::size_t m, const std::vector<char>& seed,
                      const ScoreScheme& scheme, std::size_t q) {
-  const int a = scheme.match;
-  if (a <= 0 || m == 0) return 0;  // no positive column -> local score 0
   q = std::clamp<std::size_t>(q, 2, 15);
-  // Every error column (mismatch, or any gap column: a gap run costs at
-  // least `gap` per column even under affine, gap_open being a surcharge)
-  // costs at least p.  Degenerate non-negative penalties disable the
-  // filter rather than break it: p = 0 makes the bound a * m.
-  const int p =
-      std::max(0, std::min(-scheme.mismatch, -scheme.gap));
-  const std::size_t windows = m >= q ? m - q + 1 : 0;
-
-  // v[r]: best score of a partial assignment whose current match run has
-  // length r (capped at q-1; the cap state also stands for runs >= q,
-  // which may only extend across seeded windows).
-  constexpr int kNeg = -(1 << 28);
-  std::vector<int> v(q, kNeg), nv(q);
-  v[0] = 0;
-  int best = 0;
-  for (std::size_t j = 0; j < m; ++j) {
-    int vmax = v[0];
-    for (std::size_t r = 1; r < q; ++r) vmax = std::max(vmax, v[r]);
-    std::fill(nv.begin(), nv.end(), kNeg);
-    // Error column at j, or a fresh local start.
-    nv[0] = std::max(0, vmax - p);
-    // Match extending a short run (no complete q-window yet).
-    for (std::size_t r = 0; r + 1 < q; ++r) {
-      if (v[r] > kNeg) nv[r + 1] = std::max(nv[r + 1], v[r] + a);
-    }
-    // Match extending a run to length >= q completes the q-window starting
-    // at j-q+1, which must then be a seed (an exact occurrence).
-    if (j + 1 >= q && j + 1 - q < windows &&
-        (!seed.empty() && seed[j + 1 - q])) {
-      if (v[q - 1] > kNeg) nv[q - 1] = std::max(nv[q - 1], v[q - 1] + a);
-    }
-    // Interposed subject-only gap: pay p without consuming a query
-    // position, resetting the run, then match j.
-    nv[1] = std::max(nv[1], vmax - p + a);
-    v.swap(nv);
-    for (std::size_t r = 0; r < q; ++r) best = std::max(best, v[r]);
-  }
-  return best;
+  return seeded_bound_impl(m, seed.empty() ? nullptr : seed.data(),
+                           seed.size(), scheme, q);
 }
 
 int qgram_score_bound(const Sequence& a, const Sequence& b,
@@ -122,48 +197,253 @@ int qgram_score_bound(const Sequence& a, const Sequence& b,
   return seeded_run_bound(m, seed, scheme, q);
 }
 
-SubjectDb::Filtration SubjectDb::filter(const Sequence& query,
-                                        const ScoreScheme& scheme,
-                                        int min_score) const {
-  Filtration out;
+void SubjectDb::scan_impl(const Sequence& query, const ScoreScheme& scheme,
+                          int min_score, bool cascade, ScanResult& out) const {
   out.scanned = fragments_.size();
   const std::size_t m = query.size();
   const std::size_t q = cfg_.q;
   const std::size_t windows = m >= q ? m - q + 1 : 0;
 
-  // Output-sensitive seed gather: one posting lookup per query window, one
-  // append per (window, fragment) seed pair.
-  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> seeds;
+  // Output-sensitive seed gather off the positional index: one lookup per
+  // query window, one tuple per exact (window, fragment, position)
+  // co-occurrence.  Grouping by fragment is a counting sort — a comparator
+  // sort over the ~1k tuples a 150 bp probe pulls from even a small db was
+  // the single hottest piece of the scan.  The window loop emits tuples in
+  // ascending q_pos, and the stable scatter keeps that order per fragment.
+  struct Occ {
+    std::uint32_t frag, q_pos, s_pos;
+  };
+  static thread_local std::vector<Occ> gathered, occs;
+  static thread_local std::vector<std::uint32_t> frag_start;
+  gathered.clear();
   for (std::size_t i = 0; i < windows; ++i) {
     std::uint32_t code;
     if (!blast::pack_word(query, i, static_cast<int>(q), &code)) continue;
-    const auto it = postings_.find(code);
-    if (it == postings_.end()) continue;
-    for (const std::uint32_t f : it->second) {
-      seeds[f].push_back(static_cast<std::uint32_t>(i));
+    for (const QGramIndex::Entry& e : index_.lookup(code)) {
+      gathered.push_back(Occ{e.fragment, static_cast<std::uint32_t>(i), e.pos});
     }
+  }
+  frag_start.assign(fragments_.size() + 1, 0);
+  for (const Occ& o : gathered) ++frag_start[o.frag + 1];
+  for (std::size_t f = 1; f <= fragments_.size(); ++f) {
+    frag_start[f] += frag_start[f - 1];
+  }
+  occs.resize(gathered.size());
+  {
+    static thread_local std::vector<std::uint32_t> cursor;
+    cursor.assign(frag_start.begin(), frag_start.end() - 1);
+    for (const Occ& o : gathered) occs[cursor[o.frag]++] = o;
   }
 
+  const int a = scheme.match;
+  const int p = std::max(0, std::min(-scheme.mismatch, -scheme.gap));
   // Fragments sharing no query q-gram all get the same (cheapest possible)
   // bound; it is computed once.
-  const int no_seed_bound = seeded_run_bound(m, {}, scheme, q);
-  std::vector<char> flags(windows, 0);
-  for (const Fragment& f : fragments_) {
-    int bound;
-    const auto it = seeds.find(f.id);
-    if (it == seeds.end()) {
-      bound = no_seed_bound;
-    } else {
-      for (const std::uint32_t i : it->second) flags[i] = 1;
-      bound = seeded_run_bound(m, flags, scheme, q);
-      for (const std::uint32_t i : it->second) flags[i] = 0;
+  const int no_seed_bound = seeded_bound_impl(m, nullptr, 0, scheme, q);
+  const bool no_seed_pass = no_seed_bound >= min_score;
+
+  // Two bound evaluators with byte-identical accept/reject decisions
+  // (bound_batch.h): the batch path runs the DP for 8 candidates per AVX2
+  // vector and yields exact bounds; the scalar path runs it per fragment
+  // with decision-preserving early exits.  Exact vs truncated bounds only
+  // reach the cascade's conservative gates, so the hit set is unchanged —
+  // the differential test forces GDSM_DB_BOUND=scalar to check.
+  if (bound_batch_available() && a > 0) {
+    // Pass 1: classify every fragment off the grouped tuples alone.  The
+    // occurrences of one fragment arrive in ascending q_pos (the window
+    // loop emits them sorted and the counting scatter is stable), so the
+    // prefilter's distinct-window count is a run count, no flag scratch.
+    enum : std::uint8_t { kReject, kForward, kNeedDp };
+    static thread_local std::vector<std::uint8_t> verdict;
+    static thread_local std::vector<std::uint32_t> cand;
+    verdict.assign(fragments_.size(), kReject);
+    cand.clear();
+    for (const Fragment& f : fragments_) {
+      const std::size_t group = frag_start[f.id];
+      const std::size_t oi = frag_start[f.id + 1];
+      if (oi == group) {  // no seeds: shared bound, no DP
+        if (no_seed_pass) verdict[f.id] = kForward;
+        continue;
+      }
+      std::size_t distinct = 0;
+      for (std::size_t k = group; k < oi; ++k) {
+        if (k == group || occs[k].q_pos != occs[k - 1].q_pos) ++distinct;
+      }
+      // Same O(1) admissible prefilter as the scalar path below.
+      const long long prefilter = std::min<long long>(
+          static_cast<long long>(a) * static_cast<long long>(m),
+          static_cast<long long>(no_seed_bound) +
+              static_cast<long long>(distinct) * (a + p));
+      if (prefilter < min_score) continue;
+      verdict[f.id] = kNeedDp;
+      cand.push_back(f.id);
     }
-    if (bound >= min_score) {
-      out.survivors.push_back(f.id);
-    } else {
+
+    // Pass 2: exact bounds for all DP candidates, 8 per vector, chunked so
+    // the transposed flag matrix stays cache-resident (m * 512 bytes).
+    constexpr std::size_t kChunk = 512;
+    static thread_local std::vector<std::uint8_t> flags_t;
+    static thread_local std::vector<std::int32_t> bounds;
+    bounds.assign((cand.size() + 7) & ~std::size_t{7}, 0);
+    for (std::size_t base = 0; base < cand.size(); base += kChunk) {
+      const std::size_t n = std::min(kChunk, cand.size() - base);
+      const std::size_t stride = (n + 7) & ~std::size_t{7};
+      flags_t.assign(windows * stride, 0);
+      for (std::size_t c = 0; c < n; ++c) {
+        const std::uint32_t f = cand[base + c];
+        for (std::size_t k = frag_start[f]; k < frag_start[f + 1]; ++k) {
+          flags_t[occs[k].q_pos * stride + c] = 1;
+        }
+      }
+      seeded_bound_batch(m, flags_t.data(), windows, stride, n, a, p, q,
+                         bounds.data() + base);
+    }
+
+    // Pass 3, in fragment order so forwarded ids come out ascending exactly
+    // as the scalar loop emits them: apply verdicts, run the cascade on the
+    // survivors.
+    static thread_local CascadeScratch scratch;
+    std::size_t ci = 0;
+    for (const Fragment& f : fragments_) {
+      if (verdict[f.id] == kForward) {
+        out.forwarded.push_back(f.id);
+        continue;
+      }
+      if (verdict[f.id] == kReject) {
+        ++out.rejected;
+        continue;
+      }
+      const int bound = bounds[ci++];
+      if (bound < min_score) {
+        ++out.rejected;
+        continue;
+      }
+      if (!cascade) {
+        out.forwarded.push_back(f.id);
+        continue;
+      }
+      const std::size_t group = frag_start[f.id];
+      const std::size_t oi = frag_start[f.id + 1];
+      out.cascade.seeds += oi - group;
+      scratch.pairs.clear();
+      for (std::size_t k = group; k < oi; ++k) {
+        scratch.pairs.push_back(blast::SeedPair{occs[k].q_pos, occs[k].s_pos});
+      }
+      const CascadeOutcome r = cascade_try_resolve(
+          query, seqs_[f.seq_index].data() + f.begin,
+          static_cast<std::size_t>(f.end - f.begin), scheme, bound,
+          no_seed_bound, q, scratch);
+      out.cascade.chains += r.chains;
+      out.cascade.extensions += r.extensions;
+      if (r.resolved) {
+        ++out.cascade.dp_skipped_by_bound;
+        if (r.score >= min_score) {
+          out.resolved.push_back(ScanHit{f.id, r.score, r.end_i, r.end_j});
+        }
+      } else {
+        out.forwarded.push_back(f.id);
+      }
+    }
+    return;
+  }
+
+  static thread_local std::vector<char> flags;
+  flags.assign(windows, 0);
+  static thread_local CascadeScratch scratch;
+  for (const Fragment& f : fragments_) {
+    const std::size_t group = frag_start[f.id];
+    const std::size_t oi = frag_start[f.id + 1];
+    if (oi == group) {  // no seeds: shared bound, no DP
+      if (no_seed_pass) {
+        out.forwarded.push_back(f.id);
+      } else {
+        ++out.rejected;
+      }
+      continue;
+    }
+
+    std::size_t distinct = 0;
+    for (std::size_t k = group; k < oi; ++k) {
+      if (flags[occs[k].q_pos] == 0) {
+        flags[occs[k].q_pos] = 1;
+        ++distinct;
+      }
+    }
+    // O(1) prefilter, admissible against the exact bound U itself: U <= a*m
+    // (each DP column adds at most `a`) and U <= B0 + |S|*(a+p) (un-seeding
+    // a window converts at most one of U's run-extending matches into an
+    // error, a swing of a+p).  Prefilter rejection therefore implies exact
+    // rejection: the survivor set stays byte-identical to the exact DP's.
+    const long long prefilter = std::min<long long>(
+        static_cast<long long>(a) * static_cast<long long>(m),
+        static_cast<long long>(no_seed_bound) +
+            static_cast<long long>(distinct) * (a + p));
+    int bound = std::numeric_limits<int>::min();
+    if (a > 0 && prefilter >= min_score) {
+      // Early-exit the DP the moment the accept/reject decision is
+      // settled (see seeded_bound_impl).  The accept side stops past
+      // B0 + 1, not min_score alone: a survivor's truncated bound is the
+      // cascade's exact_bound, and its U > B0 entry gate must see the same
+      // verdict the exact bound would give (exact >= truncated >= B0 + 1
+      // whenever the exit fired).  Both gates only ever use the value
+      // conservatively, so the hit set is unchanged.
+      const int stop_at = std::max(min_score, no_seed_bound + 1);
+      bound = seeded_bound_impl(m, flags.data(), windows, scheme, q,
+                                stop_at);
+    } else if (a <= 0) {
+      bound = 0;  // seeded_run_bound's degenerate-scheme value
+    }
+    for (std::size_t k = group; k < oi; ++k) flags[occs[k].q_pos] = 0;
+    if (bound < min_score) {
       ++out.rejected;
+      continue;
+    }
+
+    if (!cascade) {
+      out.forwarded.push_back(f.id);
+      continue;
+    }
+    out.cascade.seeds += oi - group;
+    scratch.pairs.clear();
+    for (std::size_t k = group; k < oi; ++k) {
+      scratch.pairs.push_back(blast::SeedPair{occs[k].q_pos, occs[k].s_pos});
+    }
+    const CascadeOutcome r = cascade_try_resolve(
+        query, seqs_[f.seq_index].data() + f.begin,
+        static_cast<std::size_t>(f.end - f.begin), scheme, bound,
+        no_seed_bound, q, scratch);
+    out.cascade.chains += r.chains;
+    out.cascade.extensions += r.extensions;
+    if (r.resolved) {
+      // The cascade's score is exact, so a sub-threshold resolution is a
+      // certified non-hit: the candidate is dropped without any full DP.
+      ++out.cascade.dp_skipped_by_bound;
+      if (r.score >= min_score) {
+        out.resolved.push_back(ScanHit{f.id, r.score, r.end_i, r.end_j});
+      }
+    } else {
+      out.forwarded.push_back(f.id);
     }
   }
+}
+
+SubjectDb::Filtration SubjectDb::filter(const Sequence& query,
+                                        const ScoreScheme& scheme,
+                                        int min_score) const {
+  ScanResult r;
+  scan_impl(query, scheme, min_score, /*cascade=*/false, r);
+  Filtration out;
+  out.scanned = r.scanned;
+  out.rejected = r.rejected;
+  out.survivors = std::move(r.forwarded);
+  return out;
+}
+
+SubjectDb::ScanResult SubjectDb::scan(const Sequence& query,
+                                      const ScoreScheme& scheme,
+                                      int min_score) const {
+  ScanResult out;
+  scan_impl(query, scheme, min_score, cfg_.cascade, out);
   return out;
 }
 

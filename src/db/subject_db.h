@@ -1,35 +1,50 @@
-// The multi-sequence subject database and its exact q-gram filtration
+// The multi-sequence subject database and its cascaded filtration
 // front-end.
 //
 // Production traffic is a query against a *database*, not one resident
 // subject: a SubjectDb holds many FASTA sequences partitioned into
-// fixed-size overlapping fragments, plus a q-gram posting index
-// (blast/words.h machinery) over the fragments.  Before any DP runs, every
-// fragment is screened with an admissible score upper bound computed from
-// which query q-grams occur in the fragment; a fragment whose bound falls
-// below the report threshold provably cannot contain a reportable hit and
-// is discarded without alignment (ALAE-style exact filtration — zero missed
-// hits by construction).  Survivors are aligned by the SIMD-dispatched
-// score kernels (db_align.h).
+// fixed-size overlapping fragments, plus a positional q-gram index
+// (qgram_index.h) over the fragments.  A db query walks an ALAE-style
+// cascade of admissible stages, each strictly cheaper than the next
+// (docs/SERVICE.md "Cascade"):
 //
-// The bound (docs/SERVICE.md "Database serving" has the derivation): any
-// run of >= q consecutive match columns in a local alignment is an exact
-// q-length occurrence of a query window in the fragment, so every q-window
-// inside the run must be a *seed* (its q-gram occurs in the fragment).  A
-// small DP over query positions — state = current match-run length capped
-// at q-1 — maximizes  +match per match column, -min(-mismatch, -gap) per
-// error column, with runs allowed past length q-1 only across seeded
-// windows.  The DP dominates every real alignment column-for-column, so
-// bound >= true Smith-Waterman score always (the property tests assert
-// this on adversarial pairs); its filtration power comes from match runs
-// being capped near q wherever the fragment shares no query q-grams.
+//   1. q-gram bound — every fragment is screened with an admissible score
+//      upper bound computed from which query q-grams occur in it; a
+//      fragment whose bound falls below the report threshold provably
+//      cannot contain a reportable hit and is discarded without alignment
+//      (zero missed hits by construction).  A constant-time prefilter
+//      (min(match * m, B0 + |S| * (match + p)) — see scan()) skips the
+//      bound DP entirely for fragments it already condemns.
+//   2. seed-and-extend — survivors get their seed occurrences chained on
+//      diagonals and X-drop-extended (cascade.h); a candidate whose
+//      extension score *meets* its bound is resolved host-side with a
+//      certified exact score and never reaches full DP.
+//   3. full DP — whatever remains is aligned by the SIMD-dispatched score
+//      kernels (db_align.h), on the cluster or host-side when the
+//      remainder is too small to amortize a cluster dispatch.
+//
+// The stage-1 bound (docs/SERVICE.md has the derivation): any run of >= q
+// consecutive match columns in a local alignment is an exact q-length
+// occurrence of a query window in the fragment, so every q-window inside
+// the run must be a *seed*.  A small DP over query positions — state =
+// current match-run length capped at q-1 — maximizes +match per match
+// column, -min(-mismatch, -gap) per error column, with runs allowed past
+// length q-1 only across seeded windows.  The DP dominates every real
+// alignment column-for-column, so bound >= true Smith-Waterman score
+// always (the property tests assert this on adversarial pairs).
+//
+// The index can be persisted (save_index) and mmap-ed back (open_index) so
+// a warm load skips the cold build; the file is versioned and checksummed
+// against the sequences (qgram_index.h).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
+#include "db/cascade.h"
+#include "db/qgram_index.h"
 #include "sw/scoring.h"
 #include "util/sequence.h"
 
@@ -43,8 +58,23 @@ struct DbConfig {
   /// alignment spanning a cut point survives intact in one of its
   /// neighbours.
   std::size_t overlap = 24;
-  /// q-gram length of the filtration index (clamped to [2, 15]).
+  /// q-gram length of the filtration index (clamped to [2, 15]).  q trades
+  /// seed sparsity against the no-seed bound B0 (runs capped at q-1 grow
+  /// B0 with q): at q = 5 / 150 bp queries B0 sits just under the default
+  /// service thresholds, which is what lets filtration reject at all.
   std::size_t q = 5;
+  /// Stage 2 of the cascade: certified seed-and-extend resolution of
+  /// stage-1 survivors.  Off = every survivor goes to full DP (the PR 7
+  /// pipeline); the hit set is identical either way.
+  bool cascade = true;
+  /// Forwarded candidates per query at or below which db_query aligns them
+  /// host-side with the same dispatched kernel instead of paying a cluster
+  /// dispatch (two barriers plus engine-thread wakeups dominate a handful
+  /// of fragments of SIMD DP).  0 always dispatches.
+  std::size_t direct_align_max = 8;
+  /// When non-empty, the service's load path persists / reuses the q-gram
+  /// index at this path (AlignService::load_db).
+  std::string index_path;
 };
 
 /// One database fragment: a window of one subject sequence.
@@ -59,14 +89,26 @@ class SubjectDb {
  public:
   SubjectDb() = default;  ///< empty database (no sequences, no fragments)
 
-  /// Partitions `seqs` into fragments and builds the q-gram posting index.
-  /// Empty sequences contribute no fragments.
+  /// Partitions `seqs` into fragments and builds the q-gram index (cold
+  /// build).  Empty sequences contribute no fragments.
   explicit SubjectDb(std::vector<Sequence> seqs, DbConfig cfg = {});
+
+  /// Like the constructor, but the index is mmap-ed from a file previously
+  /// written by save_index instead of rebuilt.  Throws std::runtime_error
+  /// when the file is missing, malformed, built over different geometry,
+  /// or checksummed against different sequences — callers fall back to the
+  /// cold constructor.
+  static SubjectDb open_index(std::vector<Sequence> seqs,
+                              const std::string& path, DbConfig cfg = {});
+
+  /// Persists the q-gram index for open_index.  Throws on I/O failure.
+  void save_index(const std::string& path) const;
 
   const DbConfig& config() const noexcept { return cfg_; }
   const std::vector<Sequence>& sequences() const noexcept { return seqs_; }
   const std::vector<Fragment>& fragments() const noexcept { return fragments_; }
   std::size_t total_bases() const noexcept { return total_bases_; }
+  const QGramIndex& index() const noexcept { return index_; }
 
   /// Materializes fragment `id` as a sequence named "<seq-name>#<id>".
   Sequence fragment_seq(std::uint32_t id) const;
@@ -77,11 +119,36 @@ class SubjectDb {
     std::size_t rejected = 0;
   };
 
-  /// Screens every fragment against `query`: keeps exactly those whose
-  /// admissible score bound reaches `min_score`.  Exact: a rejected
-  /// fragment cannot score >= min_score under `scheme` (linear or affine).
+  /// Stage 1 only: keeps exactly those fragments whose admissible score
+  /// bound reaches `min_score`.  Exact: a rejected fragment cannot score
+  /// >= min_score under `scheme` (linear or affine).
   Filtration filter(const Sequence& query, const ScoreScheme& scheme,
                     int min_score) const;
+
+  /// A candidate the cascade resolved host-side: `score` is the candidate's
+  /// exact best local score (certified, >= min_score) and end_i/end_j the
+  /// reference kernel's end cell.
+  struct ScanHit {
+    std::uint32_t fragment = 0;
+    int score = 0;
+    std::uint32_t end_i = 0;
+    std::uint32_t end_j = 0;
+  };
+
+  struct ScanResult {
+    std::vector<std::uint32_t> forwarded;  ///< fragment ids for full DP, asc
+    std::vector<ScanHit> resolved;         ///< certified, no DP needed
+    std::size_t scanned = 0;
+    std::size_t rejected = 0;
+    CascadeCounters cascade;  ///< funnel counters of this scan
+  };
+
+  /// The full cascade front-end of db_query: stage 1 over every fragment,
+  /// then (when config().cascade) stage 2 over the survivors.  The union
+  /// of resolved and forwarded fragments is exactly filter()'s survivor
+  /// set, so turning the cascade off changes costs, never results.
+  ScanResult scan(const Sequence& query, const ScoreScheme& scheme,
+                  int min_score) const;
 
   /// The admissible bound for one (query, fragment) pair — the quantity
   /// filter() thresholds, exposed for the oracle and tests.
@@ -89,12 +156,16 @@ class SubjectDb {
                   const ScoreScheme& scheme) const;
 
  private:
+  void build_fragments();
+  QGramIndex::Geometry geometry() const;
+  void scan_impl(const Sequence& query, const ScoreScheme& scheme,
+                 int min_score, bool cascade, ScanResult& out) const;
+
   DbConfig cfg_;
   std::vector<Sequence> seqs_;
   std::vector<Fragment> fragments_;
   std::size_t total_bases_ = 0;
-  /// q-gram code -> fragment ids containing it (ascending, distinct).
-  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> postings_;
+  QGramIndex index_;
 };
 
 /// The seeded-run DP bound itself.  `seed` has one flag per query window

@@ -51,7 +51,12 @@ inline constexpr const char* kReportSchema = "gdsm.run_report";
 /// the backend vocabulary grew the striped-* names
 /// (docs/METRICS.md "kernel.striped", docs/KERNELS.md "Striped
 /// query-profile kernels").
-inline constexpr int kSchemaVersion = 9;
+/// v10: cascaded seed-and-extend db scan — the "db" section gained
+/// fragments_resolved and a "cascade" object (seeds, chains, extensions,
+/// dp_skipped_by_bound, dp_confirmed, index_mmap_hits) covering the
+/// certified middle stage and the persisted mmap q-gram index
+/// (docs/METRICS.md "db.cascade", docs/SERVICE.md "Cascade").
+inline constexpr int kSchemaVersion = 10;
 /// Oldest schema version tools still accept (v3 files predate the kernel
 /// and comm sections but are otherwise field-compatible).
 inline constexpr int kSchemaVersionMin = 3;

@@ -184,6 +184,14 @@ Json db_stats_json() {
   j.set("fragments_aligned", s.fragments_aligned);
   j.set("filtration_rate", s.filtration_rate());
   j.set("hits", s.hits);
+  Json cascade = Json::object();
+  cascade.set("seeds", s.cascade.seeds);
+  cascade.set("chains", s.cascade.chains);
+  cascade.set("extensions", s.cascade.extensions);
+  cascade.set("dp_skipped_by_bound", s.cascade.dp_skipped_by_bound);
+  cascade.set("dp_confirmed", s.cascade.dp_confirmed);
+  cascade.set("index_mmap_hits", s.cascade.index_mmap_hits);
+  j.set("cascade", std::move(cascade));
   Json balance = Json::object();
   Json bases = Json::array();
   for (const std::uint64_t b : s.node_bases) bases.push(b);

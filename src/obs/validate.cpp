@@ -208,6 +208,28 @@ std::string validate_run_report(const Json& doc, bool require_read_faults) {
     }
   }
 
+  if (doc.at("schema_version").as_int() >= 10) {
+    // v10: cascaded seed-and-extend db scan — the db section carries the
+    // cascade funnel counters.
+    const Json* sections = doc.find("sections");
+    const Json* db = sections ? sections->find("db") : nullptr;
+    const Json* cascade =
+        db && db->is_object() ? db->find("cascade") : nullptr;
+    if (cascade == nullptr || !cascade->is_object()) {
+      return "v10 report without sections.db.cascade (seed-and-extend "
+             "funnel counters; see docs/METRICS.md v10)";
+    }
+    for (const char* k : {"seeds", "chains", "extensions",
+                          "dp_skipped_by_bound", "dp_confirmed",
+                          "index_mmap_hits"}) {
+      const Json* counter = cascade->find(k);
+      if (counter == nullptr || !counter->is_number()) {
+        return std::string("sections.db.cascade.") + k +
+               " missing or not a number";
+      }
+    }
+  }
+
   if (require_read_faults && !any_positive_read_faults(doc)) {
     return "no positive read_faults counter found (--require-read-faults)";
   }

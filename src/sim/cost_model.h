@@ -137,6 +137,18 @@ struct CostModel {
   double effective_cell(double base, std::size_t working_set_bytes) const {
     return working_set_bytes > l2_bytes ? base * (1.0 + cache_penalty) : base;
   }
+
+  // -- seed-and-extend cascade (v10) -------------------------------------
+  // The db scan's middle stage (src/db/cascade.h): seeded stage-1
+  // survivors are chained and X-drop-extended on the serving host, and
+  // candidates whose extension clears the no-seed bound resolve through a
+  // banded certified DP instead of the sharded full DP.  Rates measured on
+  // the bench/db_throughput funnel at the default thresholds.
+  double cascade_resolve_rate = 0.3;  ///< survivors certified host-side
+  double cascade_band_area = 0.25;    ///< banded-DP cells / full-matrix cells
+  /// Host-side chaining + ungapped-extension cost per gathered seed
+  /// occurrence (scalar, serving node).
+  double cascade_seed_s = 25e-9;
 };
 
 }  // namespace gdsm::sim

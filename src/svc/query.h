@@ -75,6 +75,7 @@ struct QueryResult {
   std::size_t db_fragments_scanned = 0;   ///< db scan: fragments considered
   std::size_t db_fragments_rejected = 0;  ///< db scan: pruned before DP
   std::size_t db_fragments_aligned = 0;   ///< db scan: filtration survivors
+  std::size_t db_fragments_resolved = 0;  ///< db scan: cascade-certified
   bool overflow = false;
   bool warm = false;          ///< subject was resident-warm at dispatch
   std::size_t batch_size = 1; ///< queries sharing this dispatch batch

@@ -157,6 +157,27 @@ double Scheduler::db_estimate(std::size_t m, std::size_t aligned_bases,
   return est;
 }
 
+double Scheduler::db_cascade_estimate(std::size_t m,
+                                      std::size_t aligned_bases,
+                                      std::size_t seeds, bool affine) const {
+  const double resolved = model_.cascade_resolve_rate;
+  // The un-certified remainder pays the sharded kernel scan as before.
+  double est = db_estimate(
+      m,
+      static_cast<std::size_t>(static_cast<double>(aligned_bases) *
+                               (1.0 - resolved)),
+      affine);
+  // Host-side stages run on the serving node: seed chaining and ungapped
+  // extension over the gathered occurrences, then the banded certified DP
+  // for the resolved fraction — scalar work, so no kernel speedup and no
+  // shard division.
+  est += static_cast<double>(seeds) * model_.cascade_seed_s;
+  est += resolved * model_.cascade_band_area * static_cast<double>(m) *
+         static_cast<double>(aligned_bases) * model_.cell_s_plain *
+         (affine ? model_.affine_cell_factor_scalar : 1.0);
+  return est;
+}
+
 ScheduleDecision Scheduler::choose(const ScheduleInput& in) const {
   ScheduleDecision d;
   d.kernel_backend = kernel_backend_;

@@ -76,6 +76,14 @@ class Scheduler {
   double db_estimate(std::size_t m, std::size_t aligned_bases,
                      bool affine = false) const;
 
+  /// Same scan with the seed-and-extend cascade enabled: the certified
+  /// fraction of survivors resolves in a host-side banded DP (scalar, no
+  /// shard parallelism) and only the remainder pays the sharded kernels;
+  /// `seeds` is the expected gathered seed-occurrence count, pricing the
+  /// chaining and X-drop stages.
+  double db_cascade_estimate(std::size_t m, std::size_t aligned_bases,
+                             std::size_t seeds, bool affine = false) const;
+
   /// SIMD backend the estimates assume.  Defaults to the dispatch table's
   /// active backend; tests pin it to compare machines.
   const std::string& kernel_backend() const noexcept { return kernel_backend_; }

@@ -8,6 +8,7 @@
 #include "core/blocked_mp.h"
 #include "core/exact_parallel.h"
 #include "core/wavefront.h"
+#include "db/meter.h"
 #include "simd/striped.h"
 #include "sw/affine.h"
 
@@ -105,7 +106,25 @@ void AlignService::load_db(const std::string& name,
     }
   }
   Database d;
-  d.db = db::SubjectDb(std::move(sequences), db_cfg);
+  if (!db_cfg.index_path.empty()) {
+    // Warm path: adopt the persisted q-gram index (checksummed against the
+    // sequences) instead of rebuilding it.  Any mismatch — missing file,
+    // version/geometry drift, content change, corruption — falls back to a
+    // cold build that refreshes the file for the next load.
+    try {
+      d.db = db::SubjectDb::open_index(sequences, db_cfg.index_path, db_cfg);
+      db::db_meter_record_index_open();
+    } catch (const std::exception&) {
+      d.db = db::SubjectDb(std::move(sequences), db_cfg);
+      try {
+        d.db.save_index(db_cfg.index_path);
+      } catch (const std::exception&) {
+        // Serving works without persistence; the next load rebuilds again.
+      }
+    }
+  } else {
+    d.db = db::SubjectDb(std::move(sequences), db_cfg);
+  }
   if (d.db.fragments().empty()) {
     throw std::invalid_argument("AlignService: database has no fragments: " +
                                 name);
@@ -263,6 +282,7 @@ void AlignService::execute_one(PendingQuery& q, std::size_t batch_size) {
         out.result.db_fragments_scanned = r.fragments_scanned;
         out.result.db_fragments_rejected = r.fragments_rejected;
         out.result.db_fragments_aligned = r.fragments_aligned;
+        out.result.db_fragments_resolved = r.fragments_resolved;
         out.result.cache_hits = r.cache_hits;
         out.result.read_faults = r.read_faults;
         out.ok = true;
@@ -444,6 +464,7 @@ void AlignService::execute_one(PendingQuery& q, std::size_t batch_size) {
         stats_.db_fragments_scanned += out.result.db_fragments_scanned;
         stats_.db_fragments_rejected += out.result.db_fragments_rejected;
         stats_.db_fragments_aligned += out.result.db_fragments_aligned;
+        stats_.db_fragments_resolved += out.result.db_fragments_resolved;
         stats_.db_hits += out.result.db_hits.size();
       }
       if (resident_used) {

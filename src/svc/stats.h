@@ -69,6 +69,7 @@ struct ServiceStats {
   std::uint64_t db_fragments_scanned = 0;   ///< fragments considered
   std::uint64_t db_fragments_rejected = 0;  ///< pruned by the q-gram bound
   std::uint64_t db_fragments_aligned = 0;   ///< survivors that reached DP
+  std::uint64_t db_fragments_resolved = 0;  ///< cascade-certified, DP skipped
   std::uint64_t db_hits = 0;                ///< hits across all db scans
 
   LatencyHistogram total_latency;  ///< admission -> completion

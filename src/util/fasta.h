@@ -14,8 +14,44 @@ namespace gdsm {
 /// Throws std::runtime_error on malformed input (content before a header).
 std::vector<Sequence> read_fasta(std::istream& in);
 
-/// Convenience: read a FASTA file from disk.
-std::vector<Sequence> read_fasta_file(const std::string& path);
+/// Incremental FASTA reader over a fixed-size read buffer: records are
+/// parsed straight out of 64 KiB chunks, so peak memory tracks the largest
+/// single record instead of the whole file — load_db's RSS stops scaling
+/// with database size.  Same grammar and errors as read_fasta (the
+/// line-oriented istream path stays available as the oracle).
+class FastaStreamReader {
+ public:
+  explicit FastaStreamReader(const std::string& path);
+  ~FastaStreamReader();
+  FastaStreamReader(const FastaStreamReader&) = delete;
+  FastaStreamReader& operator=(const FastaStreamReader&) = delete;
+
+  /// Parses the next record into `out`.  Returns false at end of input.
+  bool next(Sequence& out);
+
+ private:
+  bool fill();
+  /// Feeds one character through the line state machine; true when a
+  /// finished record was moved into `out`.
+  bool consume(char c, Sequence& out);
+
+  void* file_;  ///< FILE*, kept opaque to spare includers <cstdio>
+  std::vector<char> buf_;
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+  enum class Line { kStart, kHeaderName, kHeaderRest, kComment, kSeq };
+  Line line_ = Line::kStart;
+  bool cr_ = false;  ///< pending '\r' — data unless the next byte is '\n'
+  bool have_record_ = false;
+  std::string name_;
+  std::basic_string<Base> bases_;
+};
+
+/// Convenience: read a FASTA file from disk.  Streams through the chunked
+/// reader by default; `stream = false` takes the legacy whole-stream
+/// istream path (the oracle the streaming parser is tested against).
+std::vector<Sequence> read_fasta_file(const std::string& path,
+                                      bool stream = true);
 
 /// Writes records wrapped at `width` columns.
 void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs,

@@ -383,6 +383,58 @@ TEST(ValidateReportTest, RejectsV9ReportMissingStripedCounters) {
   }
 }
 
+// Regression for the v10 cascade requirement: a freshly emitted report
+// auto-carries sections.db.cascade with the seed-and-extend funnel
+// counters, and a v10 document that lost them must be rejected by name —
+// while the same body still validates at v9 and below.
+TEST(ValidateReportTest, RejectsV10ReportMissingCascadeCounters) {
+  RunReport report("validate_unit_v10", "v10 cascade regression");
+  Json row = Json::object();
+  row.set("x", 1);
+  report.add_row("points", std::move(row));
+  const Json good = report.to_json();
+  ASSERT_GE(good.at("schema_version").as_int(), 10);
+  ASSERT_EQ(validate_run_report(good), "");
+
+  const Json& sections = good.at("sections");
+  const Json& db = sections.at("db");
+  const Json& cascade = db.at("cascade");
+  for (const char* key : {"seeds", "chains", "extensions",
+                          "dp_skipped_by_bound", "dp_confirmed",
+                          "index_mmap_hits"}) {
+    EXPECT_TRUE(cascade.has(key)) << key;
+  }
+
+  {
+    Json doc = good;
+    Json s = without_member(sections, "db");
+    s.set("db", without_member(db, "cascade"));
+    doc.set("sections", std::move(s));
+    const std::string why = validate_run_report(doc);
+    EXPECT_NE(why.find("sections.db.cascade"), std::string::npos) << why;
+  }
+  {
+    Json doc = good;
+    Json s = without_member(sections, "db");
+    Json d = without_member(db, "cascade");
+    d.set("cascade", without_member(cascade, "dp_skipped_by_bound"));
+    s.set("db", std::move(d));
+    doc.set("sections", std::move(s));
+    const std::string why = validate_run_report(doc);
+    EXPECT_NE(why.find("dp_skipped_by_bound"), std::string::npos) << why;
+  }
+  // A v9 document without the cascade object is still accepted (the window
+  // reaches back to v3).
+  {
+    Json doc = good;
+    doc.set("schema_version", 9);
+    Json s = without_member(sections, "db");
+    s.set("db", without_member(db, "cascade"));
+    doc.set("sections", std::move(s));
+    EXPECT_EQ(validate_run_report(doc), "");
+  }
+}
+
 TEST(SnapshotsTest, DsmStatsFromRealClusterRun) {
   dsm::Cluster cluster(2);
   const dsm::GlobalAddr arr = cluster.alloc(16 * 1024, 0);

@@ -38,12 +38,13 @@ core::StrategyResult faulted_blocked_run() {
   return core::blocked_align(pair.s, pair.t, cfg);
 }
 
-TEST(ReportIoTest, SchemaVersionIsBumpedToNine) {
-  // v9 added the striped-kernel counters (kernel.striped: sweeps, cells,
-  // escalations and profile-cache traffic per the striped query-profile
-  // backends); docs/METRICS.md pins the layout to schema version 9, with
-  // v3-v8 files still accepted by the tools.
-  EXPECT_EQ(obs::kSchemaVersion, 9);
+TEST(ReportIoTest, SchemaVersionIsBumpedToTen) {
+  // v10 added the cascade funnel counters (db.cascade: seeds, chains,
+  // extensions, dp_skipped_by_bound, dp_confirmed, index_mmap_hits) for the
+  // seed-and-extend middle stage and the persisted mmap q-gram index;
+  // docs/METRICS.md pins the layout to schema version 10, with v3-v9 files
+  // still accepted by the tools.
+  EXPECT_EQ(obs::kSchemaVersion, 10);
   EXPECT_EQ(obs::kSchemaVersionMin, 3);
 }
 

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "sw/full_matrix.h"
 #include "util/args.h"
@@ -86,6 +89,109 @@ TEST(Fasta, HeaderNameStopsAtWhitespace) {
 TEST(Fasta, RejectsDataBeforeHeader) {
   std::istringstream in("ACGT\n>late\nACGT\n");
   EXPECT_THROW(read_fasta(in), std::runtime_error);
+}
+
+// ----------------------------------------------- streaming FASTA reader --
+// The chunked FastaStreamReader must parse byte-for-byte like the
+// line-oriented read_fasta oracle; these tests feed both paths the same
+// file and compare records.
+
+namespace {
+
+/// Writes `text` to a temp file, parses it with both the streaming path and
+/// the istream oracle, and expects identical records.
+void expect_stream_matches_oracle(const std::string& text,
+                                  const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "fasta_stream_" + tag;
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+  std::istringstream in(text);
+  const std::vector<Sequence> oracle = read_fasta(in);
+  const std::vector<Sequence> streamed = read_fasta_file(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(streamed.size(), oracle.size()) << tag;
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(streamed[i].name(), oracle[i].name()) << tag << " record " << i;
+    EXPECT_EQ(streamed[i].text(), oracle[i].text()) << tag << " record " << i;
+  }
+}
+
+}  // namespace
+
+TEST(FastaStream, MatchesOracleOnMessyInput) {
+  expect_stream_matches_oracle(
+      ">a first\nACGT\nacgt\n\n;comment line\n>b\tsecond\n  AC GT \nNNN\n>c\n",
+      "messy");
+  expect_stream_matches_oracle(">crlf desc\r\nACGT\r\nTTTT\r\n>two\r\nGG\r\n",
+                               "crlf");
+  expect_stream_matches_oracle(">no_trailing_newline\nACGTAC", "notrail");
+  expect_stream_matches_oracle(">trailing_cr_eof\nACGT\r", "creof");
+  expect_stream_matches_oracle("", "empty");
+  expect_stream_matches_oracle(";only a comment\n", "commentonly");
+}
+
+TEST(FastaStream, RecordsSpanReadChunks) {
+  // One record much larger than the 64 KiB read buffer plus many small
+  // records, so headers and sequence lines land on chunk boundaries.
+  Rng rng(7);
+  std::string text = ">big whole-buffer record\n";
+  const std::string big = random_dna(300'000, rng).text();
+  for (std::size_t i = 0; i < big.size(); i += 70) {
+    text += big.substr(i, 70);
+    text += '\n';
+  }
+  for (int k = 0; k < 50; ++k) {
+    text += ">small" + std::to_string(k) + "\nACGTACGTAA\n";
+  }
+  expect_stream_matches_oracle(text, "chunks");
+}
+
+TEST(FastaStream, RejectsDataBeforeHeaderAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "fasta_stream_badlead";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "ACGT\n>late\nACGT\n";
+  }
+  EXPECT_THROW(read_fasta_file(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_fasta_file(path), std::runtime_error);  // now absent
+  EXPECT_THROW(read_fasta_file(path, /*stream=*/false), std::runtime_error);
+}
+
+TEST(FastaStream, SlurpFlagTakesTheLegacyPath) {
+  const std::string path = ::testing::TempDir() + "fasta_stream_slurp";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << ">x one\nACGT\n>y\nTTGG\n";
+  }
+  const auto streamed = read_fasta_file(path, /*stream=*/true);
+  const auto slurped = read_fasta_file(path, /*stream=*/false);
+  std::remove(path.c_str());
+  ASSERT_EQ(streamed.size(), slurped.size());
+  for (std::size_t i = 0; i < slurped.size(); ++i) {
+    EXPECT_EQ(streamed[i].name(), slurped[i].name());
+    EXPECT_EQ(streamed[i].text(), slurped[i].text());
+  }
+}
+
+TEST(FastaStream, PullInterfaceYieldsOneRecordAtATime) {
+  const std::string path = ::testing::TempDir() + "fasta_stream_pull";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << ">one\nAC\n>two\nGT\n";
+  }
+  FastaStreamReader reader(path);
+  Sequence s;
+  ASSERT_TRUE(reader.next(s));
+  EXPECT_EQ(s.name(), "one");
+  EXPECT_EQ(s.text(), "AC");
+  ASSERT_TRUE(reader.next(s));
+  EXPECT_EQ(s.name(), "two");
+  EXPECT_EQ(s.text(), "GT");
+  EXPECT_FALSE(reader.next(s));
+  std::remove(path.c_str());
 }
 
 TEST(Rng, DeterministicAndSeedSensitive) {

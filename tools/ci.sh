@@ -39,7 +39,16 @@
 #                                 fuzz replay and the striped overflow-
 #                                 escalation suite rebuilt and re-run under
 #                                 Address/UBSanitizer (docs/SERVICE.md)
-#  12. (--tsan) TSan build + the dsm/fault/oracle/service/db suites raced
+#  12. db_cascade              -- the certified seed-and-extend stage:
+#                                 cascade on/off hit-for-hit identity vs the
+#                                 brute-force oracle and the persisted
+#                                 q-gram index round-trip (corrupted
+#                                 checksum rejected) in the Release tree AND
+#                                 under Address/UBSanitizer, plus a
+#                                 GDSM_DB_BOUND=scalar rerun covering the
+#                                 scalar bound fallback
+#                                 (docs/SERVICE.md "Cascade")
+#  13. (--tsan) TSan build + the dsm/fault/oracle/service/db suites raced
 #      under ThreadSanitizer (admission must stay deadlock-free; the preset
 #      builds the same SSE4.1/AVX2 kernel objects as the Release build;
 #      the process backend is exercised by stage 7, not here -- TSan does
@@ -177,11 +186,25 @@ build/tools/fuzz_align --db --budget-s=10 --quiet
 cmake -B build-asan -S . -DGDSM_SANITIZE=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$JOBS" --target db_test fuzz_align \
-  striped_precision_test
+  striped_precision_test db_cascade_test
 build-asan/tests/db_test --gtest_brief=1
 build-asan/tools/fuzz_align --db --seed=1 --faults=none --quiet
 echo "==> striped escalation suite (ASan)"
 build-asan/tests/striped_precision_test --gtest_brief=1
+
+echo "==> db_cascade (certified seed-and-extend + persisted index)"
+# Cascade on/off hit-for-hit identity against the brute-force oracle,
+# admissibility adversaries (random / high-identity / tandem-repeat probes,
+# both gap models) and the persisted-index round-trip with its corrupted-
+# checksum reject — in the Release tree, then again under ASan/UBSan: the
+# banded restricted DP recycles thread-local scratch rows, exactly where a
+# stale-size or out-of-bounds bug would hide.
+build/tests/db_cascade_test --gtest_brief=1
+build-asan/tests/db_cascade_test --gtest_brief=1
+# Same suite with the AVX2 batched bound forced off: on AVX2 hosts this is
+# the only coverage of the scalar per-fragment fallback the batch path
+# shadows (bound_batch.h), and the two must reject/accept identically.
+GDSM_DB_BOUND=scalar build/tests/db_cascade_test --gtest_brief=1
 
 if [ "$RUN_TSAN" -eq 1 ]; then
   echo "==> TSan build + concurrency suites"
